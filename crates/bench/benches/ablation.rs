@@ -1,0 +1,40 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! contraction factorization, decoupled PLM, memory sharing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cfd_core::{Flow, FlowOptions};
+
+fn bench(c: &mut Criterion) {
+    let a = bench::ablation();
+    // Factorization: an order of magnitude in kernel cycles at p = 11.
+    assert!(a.latency_naive > 10 * a.latency_factored);
+    // Decoupling: temporaries inside cost 24 BRAMs (paper: 24).
+    assert_eq!(a.brams_inside, 24);
+    assert_eq!(a.brams_decoupled, 0);
+    // Sharing doubles the kernel count (paper's headline).
+    assert_eq!(a.max_k_no_sharing, 8);
+    assert_eq!(a.max_k_sharing, 16);
+
+    let src = cfdlang::examples::inverse_helmholtz(bench::PAPER_P);
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("flow_factored", |b| {
+        b.iter(|| Flow::compile(&src, &FlowOptions::default()).unwrap())
+    });
+    g.bench_function("flow_naive", |b| {
+        b.iter(|| {
+            Flow::compile(
+                &src,
+                &FlowOptions {
+                    factorize: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 10: speedup over ARM A53 software execution, checked against
+//! the paper within 8%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zynq::ArmCostModel;
+
+const ELEMENTS: usize = 2_000;
+
+fn bench(c: &mut Criterion) {
+    let bars = bench::fig10(ELEMENTS);
+    for (i, (label, s)) in bars.iter().enumerate() {
+        let (plabel, p) = bench::FIG10_PAPER[i];
+        assert_eq!(label, plabel);
+        assert!(
+            (s - p).abs() / p < 0.08,
+            "{label}: model {s:.2} vs paper {p}"
+        );
+    }
+
+    let art = bench::compile_paper_kernel(true, true);
+    let model = ArmCostModel::a53_1200mhz();
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("sw_reference_model", |b| {
+        b.iter(|| zynq::sim::sw_reference(&art.module, &model, ELEMENTS).unwrap())
+    });
+    g.bench_function("sw_hls_code_model", |b| {
+        b.iter(|| zynq::sim::sw_hls_code(&art.kernel, &model, ELEMENTS).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! In-text k < m batching experiment: verifies the paper's finding that
+//! batched PLMs do not improve the end-to-end time, and benches the
+//! discrete-event simulation of batched configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const ELEMENTS: usize = 2_048;
+
+fn bench(c: &mut Criterion) {
+    let rows = bench::batch_report(ELEMENTS);
+    for &(k, m, t) in &rows {
+        if k == m {
+            continue;
+        }
+        let base = rows
+            .iter()
+            .find(|&&(bk, bm, _)| bk == k && bm == k)
+            .map(|&(_, _, bt)| bt)
+            .expect("baseline");
+        let rel = (t - base).abs() / base;
+        assert!(
+            rel < 0.02,
+            "k={k} m={m}: batching changed total by {:.1}%",
+            rel * 100.0
+        );
+    }
+
+    let art = bench::compile_paper_kernel(true, true);
+    let mut g = c.benchmark_group("batch");
+    g.sample_size(10);
+    g.bench_function("des_k2_m8", |b| {
+        b.iter(|| bench::simulate(&art, 2, 8, ELEMENTS))
+    });
+    g.bench_function("des_k2_m2", |b| {
+        b.iter(|| bench::simulate(&art, 2, 2, ELEMENTS))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

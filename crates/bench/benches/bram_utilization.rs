@@ -1,0 +1,22 @@
+//! Figure 8: BRAM utilization of parallel accelerators with and without
+//! memory sharing; checks the feasibility crossover (no-sharing stops at
+//! m = 8, sharing reaches m = 16 under the 312-BRAM budget).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (series, max) = bench::fig8();
+    // Same conclusions as the paper's Figure 8.
+    let at = |m: usize| series.iter().find(|&&(mm, _, _)| mm == m).copied().unwrap();
+    assert!(at(8).1 <= max, "no-sharing fits 8");
+    assert!(at(16).1 > max, "no-sharing cannot fit 16");
+    assert!(at(16).2 <= max, "sharing fits 16");
+
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("bram_series", |b| b.iter(bench::fig8));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

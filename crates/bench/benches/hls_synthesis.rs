@@ -1,0 +1,32 @@
+//! In-text kernel report: times HLS synthesis of the p=11 Inverse
+//! Helmholtz kernel and checks the resource numbers against the paper
+//! (2,314 LUT / 2,999 FF / 15 DSP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let art = bench::compile_paper_kernel(true, true);
+    assert_eq!(art.hls_report.dsps, 15, "paper: 15 DSPs");
+    assert!((2100..=2600).contains(&art.hls_report.luts), "paper: 2,314 LUTs");
+    assert!((2700..=3300).contains(&art.hls_report.ffs), "paper: 2,999 FFs");
+
+    let mut g = c.benchmark_group("hls_synthesis");
+    g.sample_size(20);
+    g.bench_function("inverse_helmholtz_p11", |b| {
+        b.iter(|| hls::synthesize(black_box(&art.kernel), &hls::HlsOptions::default()))
+    });
+    g.bench_function("latency_model_only", |b| {
+        b.iter(|| {
+            hls::kernel_latency(
+                black_box(&art.kernel),
+                &hls::HlsOptions::default(),
+                &hls::OpLibrary::ultrascale_200mhz(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! In-text PLM report: times memory-subsystem synthesis (sharing vs no
+//! sharing) and checks the BRAM counts against the paper (31 → 18 with
+//! Vivado's mapping; 28 → 16 with this model's tight 512-word packing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mnemosyne::MemoryOptions;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let art = bench::compile_paper_kernel(true, true);
+    let cfg = &art.mnemosyne_config;
+    let sharing = mnemosyne::synthesize(cfg, &MemoryOptions::default());
+    let no_sharing = mnemosyne::synthesize(
+        cfg,
+        &MemoryOptions {
+            sharing: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(no_sharing.brams, 28, "paper: 31 (Vivado packing)");
+    assert_eq!(sharing.brams, 16, "paper: 18 (Vivado packing)");
+
+    let mut g = c.benchmark_group("mnemosyne");
+    g.bench_function("synthesize_sharing", |b| {
+        b.iter(|| mnemosyne::synthesize(black_box(cfg), &MemoryOptions::default()))
+    });
+    g.bench_function("synthesize_no_sharing", |b| {
+        b.iter(|| {
+            mnemosyne::synthesize(
+                black_box(cfg),
+                &MemoryOptions {
+                    sharing: false,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.bench_function("clique_cover", |b| {
+        b.iter(|| mnemosyne::share_groups(black_box(cfg), false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 9: accelerator and total speedup of the parallel
+//! architectures, checked against the paper within 4%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const ELEMENTS: usize = 4_000; // ratios are element-count independent
+
+fn bench(c: &mut Criterion) {
+    let pts = bench::fig9(ELEMENTS);
+    for (i, &(m, acc, tot)) in pts.iter().enumerate() {
+        let (pm, pacc, ptot) = bench::FIG9_PAPER[i];
+        assert_eq!(m, pm);
+        assert!(
+            (acc - pacc).abs() / pacc < 0.04,
+            "m={m}: accel {acc:.2} vs paper {pacc}"
+        );
+        assert!(
+            (tot - ptot).abs() / ptot < 0.04,
+            "m={m}: total {tot:.2} vs paper {ptot}"
+        );
+    }
+
+    let art = bench::compile_paper_kernel(true, true);
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    for k in [1usize, 16] {
+        g.bench_function(format!("simulate_k{k}"), |b| {
+            b.iter(|| bench::simulate(&art, k, k, ELEMENTS))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

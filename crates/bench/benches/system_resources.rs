@@ -1,0 +1,49 @@
+//! Table I: times system construction for every (m, k) row and checks
+//! the resource totals against the paper within 10%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Verify the full table against the paper's rows.
+    let rows = bench::table1();
+    for &(sharing, m, lut, _ff, dsp) in bench::TABLE1_PAPER {
+        let row = rows
+            .iter()
+            .find(|r| r.sharing == sharing && r.m == m)
+            .unwrap_or_else(|| panic!("missing row sharing={sharing} m={m}"));
+        assert_eq!(row.dsps, dsp, "DSPs are exact");
+        let rel = (row.luts as f64 - lut as f64).abs() / lut as f64;
+        assert!(rel < 0.10, "m={m} sharing={sharing}: LUT {} vs {lut}", row.luts);
+    }
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    let art = bench::compile_paper_kernel(true, true);
+    g.bench_function("build_row_m16", |b| {
+        b.iter(|| {
+            let cfg = sysgen::SystemConfig { k: 16, m: 16 };
+            let host = sysgen::HostProgram::from_kernel(&art.kernel, cfg);
+            sysgen::SystemDesign::build(
+                &sysgen::BoardSpec::zcu106(),
+                &art.hls_report,
+                &art.memory,
+                cfg,
+                host,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("eq3_enumeration", |b| {
+        b.iter(|| {
+            sysgen::enumerate_configs(
+                &sysgen::BoardSpec::zcu106(),
+                &art.hls_report,
+                &art.memory,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

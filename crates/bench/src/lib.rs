@@ -1,0 +1,381 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section VI).
+//!
+//! Each `fig*`/`table*` function returns the data series of the
+//! corresponding artifact; the `paper_figures` binary renders them next
+//! to the paper's reference values, and the Criterion benches in
+//! `benches/` time the underlying flows.
+
+use cfd_core::{Artifacts, Flow, FlowOptions};
+use mnemosyne::MemoryOptions;
+use sysgen::{BoardSpec, SystemConfig};
+use zynq::{ArmCostModel, SimConfig};
+
+/// Polynomial degree of the paper's evaluation kernel.
+pub const PAPER_P: usize = 11;
+/// CFD problem size of the paper's evaluation.
+pub const PAPER_ELEMENTS: usize = 50_000;
+
+/// Compile the paper's Inverse Helmholtz kernel.
+pub fn compile_paper_kernel(sharing: bool, decoupled: bool) -> Artifacts {
+    let src = cfdlang::examples::inverse_helmholtz(PAPER_P);
+    let opts = FlowOptions {
+        decoupled,
+        memory: MemoryOptions {
+            sharing,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Flow::compile(&src, &opts).expect("paper kernel compiles")
+}
+
+/// Compile with an explicit system configuration.
+pub fn compile_with_system(sharing: bool, k: usize, m: usize) -> Option<Artifacts> {
+    let src = cfdlang::examples::inverse_helmholtz(PAPER_P);
+    let opts = FlowOptions {
+        memory: MemoryOptions {
+            sharing,
+            ..Default::default()
+        },
+        system: Some(SystemConfig { k, m }),
+        ..Default::default()
+    };
+    Flow::compile(&src, &opts).ok()
+}
+
+// ---------------------------------------------------------------------
+// In-text kernel / PLM reports
+// ---------------------------------------------------------------------
+
+/// The in-text kernel report: `(luts, ffs, dsps)`; paper: 2,314 / 2,999
+/// / 15.
+pub fn kernel_report() -> (usize, usize, usize) {
+    let a = compile_paper_kernel(true, true);
+    (a.hls_report.luts, a.hls_report.ffs, a.hls_report.dsps)
+}
+
+/// PLM BRAMs `(no_sharing, sharing)`; paper: 31 / 18 (Vivado mapping;
+/// our 512-word BRAM model: 28 / 16).
+pub fn plm_report() -> (usize, usize) {
+    (
+        compile_paper_kernel(false, true).memory.brams,
+        compile_paper_kernel(true, true).memory.brams,
+    )
+}
+
+/// Temporaries-inside comparison `(memory_subsystem, accelerator,
+/// total)`; paper: 9 / 24 / 33.
+pub fn temporaries_inside_report() -> (usize, usize, usize) {
+    let a = compile_paper_kernel(false, false);
+    let mem = a.memory.brams;
+    let acc = a.hls_report.brams;
+    (mem, acc, mem + acc)
+}
+
+// ---------------------------------------------------------------------
+// Figure 5: memory compatibility graph
+// ---------------------------------------------------------------------
+
+/// The compatibility graph in Graphviz dot syntax.
+pub fn fig5_dot() -> String {
+    compile_paper_kernel(true, true).compat.to_dot()
+}
+
+/// Compatibility summary: `(array, interface?, #addr-compat edges)`.
+pub fn fig5_summary() -> Vec<(String, bool, usize)> {
+    let a = compile_paper_kernel(true, true);
+    let g = &a.compat;
+    g.nodes
+        .iter()
+        .enumerate()
+        .map(|(i, (_, name, _, iface))| {
+            let deg = g
+                .edges
+                .iter()
+                .filter(|&&(x, y, k)| {
+                    (x == i || y == i) && k == pschedule::CompatKind::AddressSpace
+                })
+                .count();
+            (name.clone(), *iface, deg)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table I: resource utilization
+// ---------------------------------------------------------------------
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    pub sharing: bool,
+    pub m: usize,
+    pub luts: usize,
+    pub ffs: usize,
+    pub dsps: usize,
+    pub lut_pct: f64,
+    pub ff_pct: f64,
+    pub dsp_pct: f64,
+}
+
+/// Regenerate Table I (both halves).
+pub fn table1() -> Vec<Table1Row> {
+    let board = BoardSpec::zcu106();
+    let mut rows = Vec::new();
+    for sharing in [false, true] {
+        let ms = if sharing {
+            vec![1usize, 2, 4, 8, 16]
+        } else {
+            vec![1, 2, 4, 8]
+        };
+        for m in ms {
+            if let Some(a) = compile_with_system(sharing, m, m) {
+                let d = a.system.expect("fits");
+                rows.push(Table1Row {
+                    sharing,
+                    m,
+                    luts: d.luts,
+                    ffs: d.ffs,
+                    dsps: d.dsps,
+                    lut_pct: board.lut_pct(d.luts),
+                    ff_pct: board.ff_pct(d.ffs),
+                    dsp_pct: board.dsp_pct(d.dsps),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Paper reference values for Table I: `(sharing, m, lut, ff, dsp)`.
+pub const TABLE1_PAPER: &[(bool, usize, usize, usize, usize)] = &[
+    (false, 1, 11_318, 9_523, 15),
+    (false, 2, 15_929, 12_583, 30),
+    (false, 4, 25_728, 18_663, 60),
+    (false, 8, 42_679, 30_795, 120),
+    (true, 1, 11_292, 9_533, 15),
+    (true, 2, 15_572, 12_596, 30),
+    (true, 4, 24_480, 18_663, 60),
+    (true, 8, 42_141, 30_782, 120),
+    (true, 16, 77_235, 55_053, 240),
+];
+
+// ---------------------------------------------------------------------
+// Figure 8: BRAM utilization
+// ---------------------------------------------------------------------
+
+/// One point of Figure 8: `(m, no_sharing_brams, sharing_brams)`.
+/// Entries above the board limit are "theory" points, like the paper's
+/// m=16 no-sharing bar.
+pub fn fig8() -> (Vec<(usize, usize, usize)>, usize) {
+    let no = compile_paper_kernel(false, true).memory.brams;
+    let sh = compile_paper_kernel(true, true).memory.brams;
+    let series = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&m| (m, no * m, sh * m))
+        .collect();
+    (series, BoardSpec::zcu106().brams)
+}
+
+/// Paper reference for Figure 8: `(m, no_sharing, sharing)`, max = 312.
+pub const FIG8_PAPER: &[(usize, usize, usize)] = &[
+    (1, 31, 18),
+    (2, 62, 36),
+    (4, 124, 72),
+    (8, 248, 144),
+    (16, 496, 288),
+];
+
+// ---------------------------------------------------------------------
+// Figure 9: accelerator and total speedup
+// ---------------------------------------------------------------------
+
+/// One point of Figure 9: `(m, accelerator_speedup, total_speedup)`.
+pub fn fig9(elements: usize) -> Vec<(usize, f64, f64)> {
+    let art = compile_paper_kernel(true, true);
+    let base = simulate(&art, 1, 1, elements);
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&m| {
+            let r = simulate(&art, m, m, elements);
+            (m, base.exec_s / r.exec_s, base.total_s / r.total_s)
+        })
+        .collect()
+}
+
+/// Paper reference for Figure 9.
+pub const FIG9_PAPER: &[(usize, f64, f64)] = &[
+    (1, 1.00, 1.00),
+    (2, 2.00, 1.96),
+    (4, 3.97, 3.78),
+    (8, 7.91, 7.09),
+    (16, 15.76, 12.58),
+];
+
+// ---------------------------------------------------------------------
+// Figure 10: comparison against ARM software execution
+// ---------------------------------------------------------------------
+
+/// The bars of Figure 10: `(label, speedup vs SW Ref)`.
+pub fn fig10(elements: usize) -> Vec<(String, f64)> {
+    let art = compile_paper_kernel(true, true);
+    let model = ArmCostModel::a53_1200mhz();
+    let sw_ref = zynq::sim::sw_reference(&art.module, &model, elements).expect("sw ref");
+    let sw_hls = zynq::sim::sw_hls_code(&art.kernel, &model, elements).expect("sw hls");
+    let mut out = vec![
+        ("SW Ref.".to_string(), 1.0),
+        (
+            "SW HLS code".to_string(),
+            sw_ref.total_s / sw_hls.total_s,
+        ),
+    ];
+    for k in [1usize, 8, 16] {
+        let r = simulate(&art, k, k, elements);
+        out.push((format!("HW k = {k}"), sw_ref.total_s / r.total_s));
+    }
+    out
+}
+
+/// Paper reference for Figure 10.
+pub const FIG10_PAPER: &[(&str, f64)] = &[
+    ("SW Ref.", 1.00),
+    ("SW HLS code", 0.90),
+    ("HW k = 1", 0.69),
+    ("HW k = 8", 4.86),
+    ("HW k = 16", 8.62),
+];
+
+// ---------------------------------------------------------------------
+// In-text: k < m batching
+// ---------------------------------------------------------------------
+
+/// Batch experiment: `(k, m, total_s)` for k ≤ m variants.
+pub fn batch_report(elements: usize) -> Vec<(usize, usize, f64)> {
+    let art = compile_paper_kernel(true, true);
+    let mut out = Vec::new();
+    for (k, m) in [(1usize, 1usize), (1, 2), (1, 4), (2, 2), (2, 4), (2, 8), (4, 4), (4, 8)] {
+        out.push((k, m, simulate(&art, k, m, elements).total_s));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// Ablation summary comparing design choices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ablation {
+    /// Kernel latency (cycles): factored vs naive contraction.
+    pub latency_factored: u64,
+    pub latency_naive: u64,
+    /// Kernel BRAMs: decoupled (0) vs temporaries inside.
+    pub brams_decoupled: usize,
+    pub brams_inside: usize,
+    /// Memory subsystem BRAMs with/without sharing.
+    pub plm_sharing: usize,
+    pub plm_no_sharing: usize,
+    /// Maximum k = m with/without sharing.
+    pub max_k_sharing: usize,
+    pub max_k_no_sharing: usize,
+}
+
+/// Run the ablation suite.
+pub fn ablation() -> Ablation {
+    let fact = compile_paper_kernel(true, true);
+    let no_share = compile_paper_kernel(false, true);
+    let inside = compile_paper_kernel(false, false);
+    let naive = {
+        let src = cfdlang::examples::inverse_helmholtz(PAPER_P);
+        let opts = FlowOptions {
+            factorize: false,
+            ..Default::default()
+        };
+        Flow::compile(&src, &opts).expect("naive compiles")
+    };
+    Ablation {
+        latency_factored: fact.hls_report.latency_cycles,
+        latency_naive: naive.hls_report.latency_cycles,
+        brams_decoupled: fact.hls_report.brams,
+        brams_inside: inside.hls_report.brams,
+        plm_sharing: fact.memory.brams,
+        plm_no_sharing: no_share.memory.brams,
+        max_k_sharing: fact.system.as_ref().map(|s| s.config.k).unwrap_or(0),
+        max_k_no_sharing: no_share.system.as_ref().map(|s| s.config.k).unwrap_or(0),
+    }
+}
+
+/// Transfer-overlap extension (the paper's future work): `(k, m,
+/// serial_total_s, overlapped_total_s)`.
+pub fn overlap_report(elements: usize) -> Vec<(usize, usize, f64, f64)> {
+    let art = compile_paper_kernel(true, true);
+    let mut out = Vec::new();
+    for (k, m) in [(1usize, 2usize), (2, 4), (4, 8), (8, 16)] {
+        let serial = simulate(&art, k, m, elements);
+        let over = simulate_with(&art, k, m, elements, true);
+        out.push((k, m, serial.total_s, over.total_s));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// Simulate one configuration of a compiled kernel.
+pub fn simulate(art: &Artifacts, k: usize, m: usize, elements: usize) -> zynq::HwResult {
+    simulate_with(art, k, m, elements, false)
+}
+
+/// Simulate with an explicit transfer-overlap setting.
+pub fn simulate_with(
+    art: &Artifacts,
+    k: usize,
+    m: usize,
+    elements: usize,
+    overlap: bool,
+) -> zynq::HwResult {
+    let board = BoardSpec::zcu106();
+    let cfg = SystemConfig { k, m };
+    let host = sysgen::HostProgram::from_kernel(&art.kernel, cfg);
+    let design = sysgen::SystemDesign::build(&board, &art.hls_report, &art.memory, cfg, host)
+        .expect("configuration fits");
+    zynq::simulate_hw(
+        &design,
+        &SimConfig {
+            elements,
+            overlap_transfers: overlap,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_scales_linearly() {
+        let (series, max) = fig8();
+        assert_eq!(max, 312);
+        let (m0, n0, s0) = series[0];
+        assert_eq!(m0, 1);
+        for &(m, n, s) in &series {
+            assert_eq!(n, n0 * m);
+            assert_eq!(s, s0 * m);
+        }
+        // Sharing fits at m=16, no-sharing does not (the paper's point).
+        let last = series.last().unwrap();
+        assert!(last.1 > max);
+        assert!(last.2 <= max);
+    }
+
+    #[test]
+    fn table1_has_all_rows() {
+        let rows = table1();
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().any(|r| r.sharing && r.m == 16));
+        assert!(!rows.iter().any(|r| !r.sharing && r.m == 16));
+    }
+}

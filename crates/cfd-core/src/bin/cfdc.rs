@@ -1,0 +1,286 @@
+//! `cfdc` — command-line driver for the CFDlang-to-FPGA flow.
+//!
+//! ```text
+//! cfdc compile  <file.cfd> [--no-factorize] [--no-sharing] [--no-decouple]
+//!               [--emit c|host|ir|dot|report|memory|all] [-o DIR]
+//! cfdc simulate <file.cfd> [--elements N] [--k K] [--m M]
+//! cfdc verify   <file.cfd> [--elements N] [--seed S]
+//! cfdc explore  <file.cfd>
+//! ```
+//!
+//! `<file.cfd>` may be a path or one of the built-in kernels:
+//! `helmholtz[:p]`, `interpolation[:n:m]`, `sandwich[:n]`, `axpy[:n]`.
+
+use cfd_core::{Flow, FlowOptions};
+use mnemosyne::MemoryOptions;
+use std::process::exit;
+use sysgen::SystemConfig;
+use zynq::SimConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    match args[0].as_str() {
+        "compile" => cmd_compile(&args[1..]),
+        "simulate" => cmd_simulate(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "explore" => cmd_explore(&args[1..]),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "cfdc — CFDlang-to-FPGA flow\n\n\
+         USAGE:\n\
+         \tcfdc compile  <kernel> [--no-factorize] [--no-sharing] [--no-decouple] [--emit WHAT] [-o DIR]\n\
+         \tcfdc simulate <kernel> [--elements N] [--k K] [--m M]\n\
+         \tcfdc verify   <kernel> [--elements N] [--seed S]\n\
+         \tcfdc explore  <kernel>\n\n\
+         KERNEL: a .cfd file path or helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n]\n\
+         EMIT:   c | host | ir | dot | report | memory | all (default: report)"
+    );
+    exit(2)
+}
+
+fn load_source(spec: &str) -> String {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    let p1: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+    let p2: Option<usize> = parts.next().and_then(|s| s.parse().ok());
+    match head {
+        "helmholtz" => cfdlang::examples::inverse_helmholtz(p1.unwrap_or(11)),
+        "interpolation" => cfdlang::examples::interpolation(p1.unwrap_or(8), p2.unwrap_or(12)),
+        "sandwich" => cfdlang::examples::matrix_sandwich(p1.unwrap_or(8)),
+        "axpy" => cfdlang::examples::axpy(p1.unwrap_or(8)),
+        path => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read '{path}': {e}");
+            exit(1)
+        }),
+    }
+}
+
+struct Parsed {
+    source: String,
+    opts: FlowOptions,
+    emit: String,
+    out_dir: Option<String>,
+    elements: usize,
+    seed: u64,
+    #[allow(dead_code)]
+    k: Option<usize>,
+    #[allow(dead_code)]
+    m: Option<usize>,
+}
+
+fn parse_common(args: &[String]) -> Parsed {
+    if args.is_empty() {
+        usage();
+    }
+    let source = load_source(&args[0]);
+    let mut opts = FlowOptions::default();
+    let mut emit = "report".to_string();
+    let mut out_dir = None;
+    let mut elements = 50_000usize;
+    let mut seed = 42u64;
+    let mut k = None;
+    let mut m = None;
+    let mut i = 1;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-factorize" => opts.factorize = false,
+            "--no-decouple" => opts.decoupled = false,
+            "--no-sharing" => {
+                opts.memory = MemoryOptions {
+                    sharing: false,
+                    ..Default::default()
+                }
+            }
+            "--emit" => emit = value(&mut i),
+            "-o" => out_dir = Some(value(&mut i)),
+            "--elements" => elements = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--k" => k = value(&mut i).parse().ok(),
+            "--m" => m = value(&mut i).parse().ok(),
+            other => {
+                eprintln!("unknown option '{other}'");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if let (Some(k), Some(m)) = (k, m) {
+        opts.system = Some(SystemConfig { k, m });
+    }
+    Parsed {
+        source,
+        opts,
+        emit,
+        out_dir,
+        elements,
+        seed,
+        k,
+        m,
+    }
+}
+
+fn compile(p: &Parsed) -> cfd_core::Artifacts {
+    Flow::compile(&p.source, &p.opts).unwrap_or_else(|e| {
+        eprintln!("compilation failed: {e}");
+        exit(1)
+    })
+}
+
+fn cmd_compile(args: &[String]) {
+    let p = parse_common(args);
+    let art = compile(&p);
+    let mut sections: Vec<(&str, String)> = Vec::new();
+    let want = |w: &str| p.emit == w || p.emit == "all";
+    if want("ir") {
+        sections.push(("kernel.ir", art.module.to_string()));
+    }
+    if want("c") {
+        sections.push(("kernel.c", art.c_source.clone()));
+    }
+    if want("host") {
+        sections.push(("host.c", art.host_source.clone()));
+    }
+    if want("dot") {
+        sections.push(("compat.dot", art.compat.to_dot()));
+    }
+    if want("memory") {
+        let mut s = String::new();
+        for u in &art.memory.units {
+            s.push_str(&format!(
+                "{}: {} words, {} BRAM36, {}R{}W, members {:?}\n",
+                u.name, u.words, u.brams, u.read_ports, u.write_ports, u.members
+            ));
+        }
+        s.push_str(&format!("total {} BRAMs\n", art.memory.brams));
+        sections.push(("memory.txt", s));
+    }
+    if want("report") {
+        let mut s = art.hls_report.to_string();
+        if let Some(sys) = &art.system {
+            s.push_str(&format!(
+                "\nsystem: k={} m={} | {} LUT {} FF {} DSP {} BRAM\n",
+                sys.config.k, sys.config.m, sys.luts, sys.ffs, sys.dsps, sys.brams
+            ));
+        }
+        sections.push(("report.txt", s));
+    }
+    if sections.is_empty() {
+        eprintln!("nothing to emit for '--emit {}'", p.emit);
+        exit(2);
+    }
+    match &p.out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create '{dir}': {e}");
+                exit(1)
+            });
+            for (name, content) in &sections {
+                let path = format!("{dir}/{name}");
+                std::fs::write(&path, content).unwrap_or_else(|e| {
+                    eprintln!("cannot write '{path}': {e}");
+                    exit(1)
+                });
+                println!("wrote {path}");
+            }
+        }
+        None => {
+            for (name, content) in &sections {
+                println!("=== {name} ===\n{content}");
+            }
+        }
+    }
+}
+
+fn cmd_simulate(args: &[String]) {
+    let p = parse_common(args);
+    let art = compile(&p);
+    let r = art
+        .simulate(&SimConfig {
+            elements: p.elements,
+            ..Default::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
+            exit(1)
+        });
+    println!(
+        "k={} m={} | {} elements in {} rounds",
+        r.k, r.m, r.elements, r.rounds
+    );
+    println!(
+        "exec {:.4} s | transfers {:.4} s | total {:.4} s ({:.2} ms/element)",
+        r.exec_s,
+        r.transfer_s,
+        r.total_s,
+        r.total_per_element_s() * 1e3
+    );
+    let (sw_ref, sw_hls) = art.sw_times(p.elements).unwrap();
+    println!(
+        "ARM A53: reference {:.4} s, HLS-style code {:.4} s -> HW speedup {:.2}x",
+        sw_ref.total_s,
+        sw_hls.total_s,
+        sw_ref.total_s / r.total_s
+    );
+}
+
+fn cmd_verify(args: &[String]) {
+    let mut p = parse_common(args);
+    if p.elements == 50_000 {
+        p.elements = 8; // verification default: a sample, not the full run
+    }
+    let art = compile(&p);
+    let v = art.verify(p.elements, p.seed).unwrap_or_else(|e| {
+        eprintln!("verification failed: {e}");
+        exit(1)
+    });
+    println!(
+        "verified {} elements: bitexact={}, max_rel_diff={:.3e}",
+        v.elements, v.bitexact, v.max_rel_diff
+    );
+    if !v.bitexact {
+        exit(1);
+    }
+}
+
+fn cmd_explore(args: &[String]) {
+    let p = parse_common(args);
+    let art = compile(&p);
+    let board = sysgen::BoardSpec::zcu106();
+    println!(
+        "kernel: {} LUT {} FF {} DSP | PLM {} BRAM",
+        art.hls_report.luts, art.hls_report.dsps, art.hls_report.ffs, art.memory.brams
+    );
+    println!("feasible configurations on {}:", board.name);
+    println!("   k    m  batch     LUT   BRAM   slack(BRAM)");
+    for cfg in sysgen::enumerate_configs(&board, &art.hls_report, &art.memory) {
+        let host = sysgen::HostProgram::from_kernel(&art.kernel, cfg);
+        if let Some(d) = sysgen::SystemDesign::build(&board, &art.hls_report, &art.memory, cfg, host)
+        {
+            let (_, _, _, sb) = d.slack();
+            println!(
+                "  {:>2}  {:>3}  {:>4}   {:>6}  {:>5}   {:>6}",
+                cfg.k,
+                cfg.m,
+                cfg.batch(),
+                d.luts,
+                d.brams,
+                sb
+            );
+        }
+    }
+}

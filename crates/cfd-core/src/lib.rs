@@ -1,0 +1,367 @@
+//! `cfd-core` — the end-to-end CFDlang-to-FPGA flow.
+//!
+//! This crate wires the whole toolchain of Figure 3 into one call:
+//!
+//! ```text
+//! CFDlang ──parse/check──► AST ──lower──► tensor IR ──canonicalize──►
+//! polyhedral model ──reschedule──► schedule ──codegen──► C99 kernel
+//!      ├──► HLS model        → resource/latency report
+//!      ├──► liveness         → Mnemosyne config → memory subsystem
+//!      └──► system generator → replicated design + host program
+//!                            → full-system simulation & verification
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use cfd_core::{Flow, FlowOptions};
+//!
+//! let src = cfdlang::examples::inverse_helmholtz(5);
+//! let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
+//! assert_eq!(art.hls_report.dsps, 15);
+//! assert!(art.system.is_some());
+//!
+//! // Functional check of the generated accelerator against the
+//! // reference interpreter:
+//! let v = art.verify(2, 42).unwrap();
+//! assert!(v.bitexact);
+//! ```
+
+use cfdlang::{Diagnostic, TypedProgram};
+use cgen::{CKernel, CodegenOptions};
+use hls::{HlsOptions, HlsReport};
+use mnemosyne::{MemoryOptions, MemorySubsystem, MnemosyneConfig};
+use pschedule::{
+    CompatibilityGraph, Dependences, KernelModel, Liveness, Schedule, SchedulerOptions,
+};
+use sysgen::{BoardSpec, HostProgram, SystemConfig, SystemDesign};
+use teil::layout::LayoutPlan;
+use teil::Module;
+use zynq::{ArmCostModel, SimConfig};
+
+/// Errors from the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Frontend (parse / type-check) failure.
+    Frontend(Diagnostic),
+    /// Middle-end or backend failure.
+    Backend(String),
+    /// The requested system configuration does not fit the board.
+    DoesNotFit { k: usize, m: usize },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Frontend(d) => write!(f, "{d}"),
+            FlowError::Backend(m) => write!(f, "{m}"),
+            FlowError::DoesNotFit { k, m } => {
+                write!(f, "configuration k={k}, m={m} exceeds the board resources")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<Diagnostic> for FlowError {
+    fn from(d: Diagnostic) -> Self {
+        FlowError::Frontend(d)
+    }
+}
+
+impl From<String> for FlowError {
+    fn from(s: String) -> Self {
+        FlowError::Backend(s)
+    }
+}
+
+/// Options for the complete flow.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Exploit contraction associativity (Section IV-A). On by default.
+    pub factorize: bool,
+    /// Run duplicate-statement CSE and dead-code elimination.
+    pub clean: bool,
+    /// Rescheduling options (step ⓘⓘⓘ).
+    pub scheduler: SchedulerOptions,
+    /// Export temporaries to PLM units (the paper's decoupled design).
+    pub decoupled: bool,
+    /// Memory synthesis options (sharing on by default).
+    pub memory: MemoryOptions,
+    /// HLS options (200 MHz, pipelining).
+    pub hls: HlsOptions,
+    /// Target board.
+    pub board: BoardSpec,
+    /// Requested replication; `None` picks the largest feasible `k = m`.
+    pub system: Option<SystemConfig>,
+    /// CFD problem size for host-program generation.
+    pub elements: usize,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            factorize: true,
+            clean: true,
+            scheduler: SchedulerOptions::default(),
+            decoupled: true,
+            memory: MemoryOptions::default(),
+            hls: HlsOptions::default(),
+            board: BoardSpec::zcu106(),
+            system: None,
+            elements: 50_000,
+        }
+    }
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    pub typed: TypedProgram,
+    pub module: Module,
+    pub model: KernelModel,
+    pub dependences: Dependences,
+    pub schedule: Schedule,
+    pub liveness: Liveness,
+    pub compat: CompatibilityGraph,
+    pub kernel: CKernel,
+    /// The generated C99 source (input to HLS).
+    pub c_source: String,
+    pub hls_report: HlsReport,
+    pub mnemosyne_config: MnemosyneConfig,
+    pub memory: MemorySubsystem,
+    /// `None` only if the requested configuration does not fit.
+    pub system: Option<SystemDesign>,
+    /// Generated host-code skeleton.
+    pub host_source: String,
+    pub options: FlowOptions,
+}
+
+/// The flow entry point.
+pub struct Flow;
+
+impl Flow {
+    /// Compile a CFDlang program through the complete flow.
+    pub fn compile(source: &str, opts: &FlowOptions) -> Result<Artifacts, FlowError> {
+        // Frontend.
+        let ast = cfdlang::parse(source)?;
+        let typed = cfdlang::check(&ast)?;
+
+        // Middle end: lower and canonicalize.
+        let mut module = teil::lower(&typed)?;
+        if opts.factorize {
+            module = teil::transform::factorize(&module);
+        }
+        if opts.clean {
+            module = teil::transform::cse(&module);
+            module = teil::transform::dce(&module);
+        }
+
+        // Layout materialization and the polyhedral model.
+        let layout = LayoutPlan::row_major(&module);
+        let model = KernelModel::build(&module, &layout);
+
+        // Dependence analysis and rescheduling.
+        let dependences = Dependences::analyze(&model);
+        let schedule = pschedule::reschedule(&module, &model, &dependences, &opts.scheduler);
+
+        // Liveness → compatibility graph → Mnemosyne configuration. In
+        // non-decoupled mode the temporaries stay inside the accelerator,
+        // so the external memory subsystem only holds interface arrays.
+        let liveness = Liveness::analyze(&module, &model, &schedule);
+        let compat = CompatibilityGraph::build(&model, &liveness);
+        let full_config = MnemosyneConfig::from_graph(&compat);
+        let mut mnemosyne_config = if opts.decoupled {
+            full_config
+        } else {
+            full_config.retain_interface()
+        };
+        // Propagate the HLS port demands (array partitioning / unrolling)
+        // into the memory metadata: Mnemosyne builds multi-bank PLMs for
+        // them (Section V-A1/V-A2).
+        for spec in mnemosyne_config.arrays.clone() {
+            let (r, w) = opts.hls.ports_for(&spec.name);
+            if (r, w) != (1, 1) {
+                mnemosyne_config.set_ports(&spec.name, r, w);
+            }
+        }
+
+        // Code generation and HLS.
+        let cg_opts = CodegenOptions {
+            decoupled: opts.decoupled,
+            ..Default::default()
+        };
+        let kernel = cgen::build_kernel(&module, &model, &schedule, &cg_opts);
+        let c_source = cgen::emit_c99(&kernel);
+        let hls_report = hls::synthesize(&kernel, &opts.hls);
+
+        // Memory subsystem.
+        let memory = mnemosyne::synthesize(&mnemosyne_config, &opts.memory);
+
+        // System generation.
+        let cfg = match opts.system {
+            Some(c) => Some(c),
+            None => sysgen::max_equal_config(&opts.board, &hls_report, &memory),
+        };
+        let (system, host_source) = match cfg {
+            Some(c) => {
+                let host = HostProgram::from_kernel(&kernel, c);
+                let host_src = host.to_c(opts.elements);
+                let design =
+                    SystemDesign::build(&opts.board, &hls_report, &memory, c, host);
+                if design.is_none() && opts.system.is_some() {
+                    return Err(FlowError::DoesNotFit { k: c.k, m: c.m });
+                }
+                (design, host_src)
+            }
+            None => (None, String::new()),
+        };
+
+        Ok(Artifacts {
+            typed,
+            module,
+            model,
+            dependences,
+            schedule,
+            liveness,
+            compat,
+            kernel,
+            c_source,
+            hls_report,
+            mnemosyne_config,
+            memory,
+            system,
+            host_source,
+            options: opts.clone(),
+        })
+    }
+}
+
+impl Artifacts {
+    /// Run the full-system simulation (requires a fitting system).
+    pub fn simulate(&self, sim: &SimConfig) -> Result<zynq::HwResult, FlowError> {
+        let system = self
+            .system
+            .as_ref()
+            .ok_or_else(|| FlowError::Backend("no feasible system configuration".into()))?;
+        Ok(zynq::simulate_hw(system, sim))
+    }
+
+    /// Verify `n` random elements of the accelerator against the
+    /// reference interpreter.
+    pub fn verify(&self, n: usize, seed: u64) -> Result<zynq::VerifyResult, FlowError> {
+        zynq::verify_elements(&self.module, &self.kernel, n, seed).map_err(FlowError::Backend)
+    }
+
+    /// ARM software timings for the Figure-10 comparison.
+    pub fn sw_times(
+        &self,
+        elements: usize,
+    ) -> Result<(zynq::sim::SwResult, zynq::sim::SwResult), FlowError> {
+        let model = ArmCostModel::a53_1200mhz();
+        let reference =
+            zynq::sim::sw_reference(&self.module, &model, elements).map_err(FlowError::Backend)?;
+        let hls_code =
+            zynq::sim::sw_hls_code(&self.kernel, &model, elements).map_err(FlowError::Backend)?;
+        Ok((reference, hls_code))
+    }
+
+    /// Per-kernel BRAM count of the memory subsystem.
+    pub fn plm_brams(&self) -> usize {
+        self.memory.brams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_helmholtz_end_to_end() {
+        let src = cfdlang::examples::inverse_helmholtz(4);
+        let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
+        assert_eq!(art.module.stmts.len(), 7);
+        assert!(art.c_source.contains("kernel_body"));
+        assert!(art.system.is_some());
+        let v = art.verify(2, 1).unwrap();
+        assert!(v.bitexact);
+    }
+
+    #[test]
+    fn frontend_errors_propagate() {
+        let err = Flow::compile("var x : [", &FlowOptions::default()).unwrap_err();
+        assert!(matches!(err, FlowError::Frontend(_)));
+    }
+
+    #[test]
+    fn requested_oversized_system_errors() {
+        let src = cfdlang::examples::inverse_helmholtz(4);
+        let opts = FlowOptions {
+            system: Some(SystemConfig { k: 64, m: 64 }),
+            ..Default::default()
+        };
+        let err = Flow::compile(&src, &opts).unwrap_err();
+        assert!(matches!(err, FlowError::DoesNotFit { .. }));
+    }
+
+    #[test]
+    fn no_factorization_option() {
+        let src = cfdlang::examples::inverse_helmholtz(4);
+        let opts = FlowOptions {
+            factorize: false,
+            ..Default::default()
+        };
+        let art = Flow::compile(&src, &opts).unwrap();
+        assert_eq!(art.module.stmts.len(), 3);
+        assert!(art.verify(1, 5).unwrap().bitexact);
+    }
+
+    #[test]
+    fn simulation_runs_from_artifacts() {
+        let src = cfdlang::examples::inverse_helmholtz(4);
+        let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
+        let r = art
+            .simulate(&SimConfig {
+                elements: 64,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(r.total_s > 0.0);
+        assert!(r.exec_s > 0.0);
+    }
+
+    #[test]
+    fn array_partitioning_flows_into_memory_subsystem() {
+        // Partitioning u demands a multi-bank PLM: Mnemosyne replicates
+        // the banks (Section V-A1/V-A2).
+        let src = cfdlang::examples::inverse_helmholtz(11);
+        let base = Flow::compile(&src, &FlowOptions::default()).unwrap();
+        let opts = FlowOptions {
+            hls: hls::HlsOptions {
+                partition: vec![("u".into(), 3)],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let part = Flow::compile(&src, &opts).unwrap();
+        let iu = part.mnemosyne_config.index_of("u").unwrap();
+        assert_eq!(part.mnemosyne_config.arrays[iu].read_ports, 3);
+        assert!(
+            part.memory.brams > base.memory.brams,
+            "multi-port PLM must cost extra banks: {} vs {}",
+            part.memory.brams,
+            base.memory.brams
+        );
+    }
+
+    #[test]
+    fn sw_times_produce_sane_ratio() {
+        let src = cfdlang::examples::inverse_helmholtz(4);
+        let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
+        let (reference, hls_code) = art.sw_times(10).unwrap();
+        // Flat-index code is somewhat slower on the CPU.
+        assert!(hls_code.per_element_s > reference.per_element_s);
+        assert!(hls_code.per_element_s < 2.0 * reference.per_element_s);
+    }
+}

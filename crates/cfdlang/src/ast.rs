@@ -1,0 +1,189 @@
+//! Abstract syntax tree for CFDlang programs.
+
+use crate::diag::Span;
+
+/// A full CFDlang program: declarations followed by assignment statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub decls: Vec<Decl>,
+    pub stmts: Vec<Stmt>,
+}
+
+/// Storage class of a declared tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclKind {
+    /// `var input x : [..]` — written by the host before execution.
+    Input,
+    /// `var output x : [..]` — read by the host after execution.
+    Output,
+    /// `var x : [..]` — kernel-local tensor.
+    Local,
+}
+
+/// A tensor declaration or type alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `var [input|output] name : [d0 d1 ...]` or `var ... : alias`.
+    Var {
+        kind: DeclKind,
+        name: String,
+        ty: TypeExpr,
+        span: Span,
+    },
+    /// `type name : [d0 d1 ...]`.
+    TypeAlias {
+        name: String,
+        ty: TypeExpr,
+        span: Span,
+    },
+}
+
+/// A type expression: an explicit shape or a reference to an alias.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `[d0 d1 ...]`; `[]` denotes a scalar.
+    Shape(Vec<usize>),
+    /// A previously declared `type` alias.
+    Alias(String),
+}
+
+/// An assignment `name = expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub lhs: String,
+    pub rhs: Expr,
+    pub span: Span,
+}
+
+/// Entry-wise binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    /// The C99 operator spelling.
+    pub fn c_symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+
+    /// The DSL spelling.
+    pub fn dsl_symbol(&self) -> &'static str {
+        self.c_symbol()
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a declared tensor.
+    Ident(String, Span),
+    /// Integer literal used as a scalar.
+    Num(f64, Span),
+    /// Entry-wise binary operation (shapes must match).
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        span: Span,
+    },
+    /// Tensor (outer) product `a # b`; the result's dimensions are the
+    /// concatenation of the operands' dimensions.
+    Product {
+        operands: Vec<Expr>,
+        span: Span,
+    },
+    /// Contraction `expr . [[a b] ...]`: sums over each paired dimension
+    /// of the operand expression; the result keeps the remaining
+    /// dimensions in their original order.
+    Contract {
+        operand: Box<Expr>,
+        pairs: Vec<(usize, usize)>,
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Ident(_, s) | Expr::Num(_, s) => *s,
+            Expr::Binary { span, .. }
+            | Expr::Product { span, .. }
+            | Expr::Contract { span, .. } => *span,
+        }
+    }
+
+    /// Visit every identifier referenced by the expression.
+    pub fn visit_idents<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expr::Ident(name, _) => f(name),
+            Expr::Num(..) => {}
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_idents(f);
+                rhs.visit_idents(f);
+            }
+            Expr::Product { operands, .. } => {
+                for o in operands {
+                    o.visit_idents(f);
+                }
+            }
+            Expr::Contract { operand, .. } => operand.visit_idents(f),
+        }
+    }
+}
+
+impl Program {
+    /// All identifiers read anywhere in the statements.
+    pub fn read_idents(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.stmts {
+            s.rhs.visit_idents(&mut |n| {
+                if !out.iter().any(|o| o == n) {
+                    out.push(n.to_string());
+                }
+            });
+        }
+        out
+    }
+
+    /// Find a variable declaration by name.
+    pub fn find_var(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| match d {
+            Decl::Var { name: n, .. } => n == name,
+            Decl::TypeAlias { .. } => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_idents_collects_all() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Ident("D".into(), Span::default())),
+            rhs: Box::new(Expr::Ident("t".into(), Span::default())),
+            span: Span::default(),
+        };
+        let mut seen = Vec::new();
+        e.visit_idents(&mut |n| seen.push(n.to_string()));
+        assert_eq!(seen, vec!["D", "t"]);
+    }
+
+    #[test]
+    fn binop_symbols() {
+        assert_eq!(BinOp::Add.c_symbol(), "+");
+        assert_eq!(BinOp::Div.dsl_symbol(), "/");
+    }
+}

@@ -1,0 +1,85 @@
+//! Source spans and diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range into the source, with line/column of the start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// Merge two spans into the smallest covering span (keeps the first
+    /// span's line/col).
+    pub fn to(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compiler diagnostic with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers() {
+        let a = Span::new(3, 7, 1, 4);
+        let b = Span::new(10, 15, 2, 1);
+        let m = a.to(b);
+        assert_eq!(m.start, 3);
+        assert_eq!(m.end, 15);
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn diagnostic_displays_location() {
+        let d = Diagnostic::new(Span::new(0, 1, 3, 9), "unexpected token");
+        assert_eq!(d.to_string(), "error at 3:9: unexpected token");
+    }
+}

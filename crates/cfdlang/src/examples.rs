@@ -1,0 +1,90 @@
+//! Canonical CFDlang programs used throughout the evaluation.
+//!
+//! These generate the kernels from the paper parameterized by the
+//! polynomial degree `p` (the paper evaluates `p = 11`).
+
+/// The Inverse Helmholtz operator of Figure 1, for `(p+1)`-point bases —
+/// pass `n = p` to get tensors of extent `p`. The paper's instance is
+/// `inverse_helmholtz(11)` (extent 11 per dimension).
+///
+/// ```text
+/// t = (Sᵀ ⊗ Sᵀ ⊗ Sᵀ) u       (Eq. 1a)
+/// r = D ∘ t                   (Eq. 1b, Hadamard)
+/// v = (S ⊗ S ⊗ S) r           (Eq. 1c)
+/// ```
+pub fn inverse_helmholtz(n: usize) -> String {
+    format!(
+        "var input S : [{n} {n}]\n\
+         var input D : [{n} {n} {n}]\n\
+         var input u : [{n} {n} {n}]\n\
+         var output v : [{n} {n} {n}]\n\
+         var t : [{n} {n} {n}]\n\
+         var r : [{n} {n} {n}]\n\
+         t = S # S # S # u . [[1 6] [3 7] [5 8]]\n\
+         r = D * t\n\
+         v = S # S # S # r . [[0 6] [2 7] [4 8]]\n"
+    )
+}
+
+/// Tensor-product interpolation: evaluate a degree-`n` element at `m`
+/// points per direction, `o = (P ⊗ P ⊗ P) u`. This is the "simpler
+/// operator subsumed by the Inverse Helmholtz" mentioned in Section II-A.
+pub fn interpolation(n: usize, m: usize) -> String {
+    format!(
+        "var input P : [{m} {n}]\n\
+         var input u : [{n} {n} {n}]\n\
+         var output o : [{m} {m} {m}]\n\
+         o = P # P # P # u . [[1 6] [3 7] [5 8]]\n"
+    )
+}
+
+/// A single 2-D matrix-apply `o = Sᵀ A S` expressed as two contractions —
+/// a small kernel used by unit tests and the quickstart example.
+pub fn matrix_sandwich(n: usize) -> String {
+    format!(
+        "var input S : [{n} {n}]\n\
+         var input A : [{n} {n}]\n\
+         var output o : [{n} {n}]\n\
+         var w : [{n} {n}]\n\
+         w = S # A . [[0 2]]\n\
+         o = w # S . [[1 2]]\n"
+    )
+}
+
+/// Element-wise AXPY-like update `o = a * x + y` (no contraction) —
+/// exercises the pointwise-only path of the flow.
+pub fn axpy(n: usize) -> String {
+    format!(
+        "var input x : [{n} {n} {n}]\n\
+         var input y : [{n} {n} {n}]\n\
+         var input a : []\n\
+         var output o : [{n} {n} {n}]\n\
+         o = a * x + y\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{check, parse};
+
+    #[test]
+    fn all_examples_check() {
+        for src in [
+            super::inverse_helmholtz(11),
+            super::inverse_helmholtz(4),
+            super::interpolation(4, 7),
+            super::matrix_sandwich(8),
+            super::axpy(5),
+        ] {
+            let p = parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            check(&p).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn interpolation_changes_shape() {
+        let t = check(&parse(&super::interpolation(4, 7)).unwrap()).unwrap();
+        assert_eq!(t.shape_of("o"), Some(&[7, 7, 7][..]));
+        assert_eq!(t.shape_of("u"), Some(&[4, 4, 4][..]));
+    }
+}

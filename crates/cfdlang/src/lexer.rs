@@ -1,0 +1,185 @@
+//! Hand-written lexer for CFDlang.
+//!
+//! Comments run from `//` to end of line. Whitespace separates tokens.
+
+use crate::diag::{Diagnostic, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenize a full source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! span1 {
+        ($start:expr, $len:expr, $l:expr, $c:expr) => {
+            Span::new($start, $start + $len, $l, $c)
+        };
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b':' | b'=' | b'[' | b']' | b'(' | b')' | b'#' | b'*' | b'+' | b'-' | b'/'
+            | b'.' => {
+                let kind = match b {
+                    b':' => TokenKind::Colon,
+                    b'=' => TokenKind::Equals,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'#' => TokenKind::Hash,
+                    b'*' => TokenKind::Star,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    b'/' => TokenKind::Slash,
+                    b'.' => TokenKind::Dot,
+                    _ => unreachable!(),
+                };
+                out.push(Token {
+                    kind,
+                    span: span1!(i, 1, line, col),
+                });
+                i += 1;
+                col += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let scol = col;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[start..i];
+                let value: u64 = text.parse().map_err(|_| {
+                    Diagnostic::new(
+                        span1!(start, i - start, line, scol),
+                        format!("integer literal '{text}' out of range"),
+                    )
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Int(value),
+                    span: span1!(start, i - start, line, scol),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                let scol = col;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[start..i];
+                let kind = match text {
+                    "var" => TokenKind::Var,
+                    "input" => TokenKind::Input,
+                    "output" => TokenKind::Output,
+                    "type" => TokenKind::Type,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                out.push(Token {
+                    kind,
+                    span: span1!(start, i - start, line, scol),
+                });
+            }
+            other => {
+                return Err(Diagnostic::new(
+                    span1!(i, 1, line, col),
+                    format!("unexpected character '{}'", other as char),
+                ));
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(bytes.len(), bytes.len(), line, col),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_declaration() {
+        assert_eq!(
+            kinds("var input S : [11 11]"),
+            vec![
+                TokenKind::Var,
+                TokenKind::Input,
+                TokenKind::Ident("S".into()),
+                TokenKind::Colon,
+                TokenKind::LBracket,
+                TokenKind::Int(11),
+                TokenKind::Int(11),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_contraction_statement() {
+        let ks = kinds("t = S # u . [[1 2]]");
+        assert!(ks.contains(&TokenKind::Hash));
+        assert!(ks.contains(&TokenKind::Dot));
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::LBracket).count(), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("var x : [2] // trailing comment\n// full line\nx = x");
+        assert!(!ks.iter().any(|k| matches!(k, TokenKind::Slash)));
+        assert_eq!(ks.iter().filter(|k| matches!(k, TokenKind::Ident(_))).count(), 3);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("var x : [2]\nx = x").unwrap();
+        let eq = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Equals)
+            .unwrap();
+        assert_eq!(eq.span.line, 2);
+        assert_eq!(eq.span.col, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("x = $").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let ks = kinds("var variable input inputs");
+        assert_eq!(ks[0], TokenKind::Var);
+        assert_eq!(ks[1], TokenKind::Ident("variable".into()));
+        assert_eq!(ks[2], TokenKind::Input);
+        assert_eq!(ks[3], TokenKind::Ident("inputs".into()));
+    }
+}

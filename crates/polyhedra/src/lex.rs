@@ -1,0 +1,202 @@
+//! Lexicographic-order relations over schedule spaces.
+//!
+//! Schedule-space tuples are ordered lexicographically (Section IV-C of
+//! the paper). Dependence legality and liveness both need this order as a
+//! relation: `a <lex b` over `n` dimensions expands into a union of `n`
+//! basic maps (`a_0 = b_0, ..., a_{j-1} = b_{j-1}, a_j < b_j`).
+//!
+//! The paper's second-order helper `ge_le` — which turns a mapping from
+//! one schedule tuple to another into the set of all tuples between them —
+//! is implemented by [`between_set`].
+
+use crate::constraint::Constraint;
+use crate::linexpr::LinExpr;
+use crate::map::{BasicMap, Map};
+use crate::set::{BasicSet, Set};
+use crate::space::Space;
+use crate::system::System;
+
+/// `{ a -> b : a <lex b }` over `n`-dimensional anonymous tuples.
+pub fn lex_lt_map(n: usize) -> Map {
+    let in_space = Space::anon(n);
+    let out_space = Space::anon(n);
+    let mut map = Map::empty(in_space.clone(), out_space.clone());
+    for j in 0..n {
+        let mut sys = System::universe(2 * n);
+        for d in 0..j {
+            // a_d = b_d
+            let mut coeffs = vec![0i64; 2 * n];
+            coeffs[d] = 1;
+            coeffs[n + d] = -1;
+            sys.add(Constraint::eq(LinExpr::new(&coeffs, 0)));
+        }
+        // a_j < b_j  <=>  b_j - a_j - 1 >= 0
+        let mut coeffs = vec![0i64; 2 * n];
+        coeffs[j] = -1;
+        coeffs[n + j] = 1;
+        sys.add(Constraint::ge0(LinExpr::new(&coeffs, -1)));
+        map = map.union_basic(BasicMap {
+            in_space: in_space.clone(),
+            out_space: out_space.clone(),
+            system: sys,
+        });
+    }
+    map
+}
+
+/// `{ a -> b : a <=lex b }` over `n`-dimensional anonymous tuples.
+pub fn lex_le_map(n: usize) -> Map {
+    let n_space = Space::anon(n);
+    let mut map = lex_lt_map(n);
+    // Plus full equality.
+    let mut sys = System::universe(2 * n);
+    for d in 0..n {
+        let mut coeffs = vec![0i64; 2 * n];
+        coeffs[d] = 1;
+        coeffs[n + d] = -1;
+        sys.add(Constraint::eq(LinExpr::new(&coeffs, 0)));
+    }
+    map = map.union_basic(BasicMap {
+        in_space: n_space.clone(),
+        out_space: n_space,
+        system: sys,
+    });
+    map
+}
+
+/// The paper's `ge_le ∘ I`: given an interval relation `iv : [w] -> [r]`
+/// over `n`-dimensional schedule tuples, return
+/// `{ x : ∃ (w, r) ∈ iv : w <=lex x <=lex r }` —
+/// the set of schedule points at which a value written at `w` and read at
+/// `r` is live.
+pub fn between_set(iv: &Map, n: usize) -> Set {
+    assert_eq!(iv.in_space.dim(), n);
+    assert_eq!(iv.out_space.dim(), n);
+    let le = lex_le_map(n);
+    let space = Space::anon(n);
+    let mut out = Set::empty(space.clone());
+
+    for part in &iv.parts {
+        // Variables: (w, r) in `part`; extend to (w, r, x).
+        let base = part.system.insert_vars(2 * n, n);
+        for le_wx in &le.parts {
+            // le_wx over (w', x'): embed as (w, _, x) -> insert r in the middle.
+            let c1 = le_wx.system.insert_vars(n, n);
+            for le_xr in &le.parts {
+                // le_xr over (x', r'): we need (x <=lex r) over (w, r, x):
+                // variable order for le is (in, out) = (x, r); remap to
+                // positions (2n..3n) for x and (n..2n) for r.
+                let mut sys = System::universe(3 * n);
+                for c in le_xr.system.constraints() {
+                    let mut coeffs = vec![0i64; 3 * n];
+                    for d in 0..n {
+                        coeffs[2 * n + d] = c.expr.coeffs[d]; // x
+                        coeffs[n + d] = c.expr.coeffs[n + d]; // r
+                    }
+                    sys.add(Constraint {
+                        kind: c.kind,
+                        expr: LinExpr::new(&coeffs, c.expr.constant),
+                    });
+                }
+                let joined = base.intersect(&c1).intersect(&sys);
+                if joined.known_infeasible() {
+                    continue;
+                }
+                // Eliminate w and r (first 2n vars), keep x.
+                let live = joined.eliminate_range(0, 2 * n);
+                if !live.known_infeasible() {
+                    out = out.union_basic(BasicSet::from_system(space.clone(), live));
+                }
+            }
+        }
+    }
+    out.coalesce()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::LinExpr;
+
+    #[test]
+    fn lex_lt_orders_tuples() {
+        let m = lex_lt_map(3);
+        assert!(m.contains(&[0, 5, 9], &[1, 0, 0]));
+        assert!(m.contains(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!m.contains(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!m.contains(&[2, 0, 0], &[1, 9, 9]));
+    }
+
+    #[test]
+    fn lex_le_includes_equality() {
+        let m = lex_le_map(2);
+        assert!(m.contains(&[3, 3], &[3, 3]));
+        assert!(m.contains(&[3, 3], &[3, 4]));
+        assert!(!m.contains(&[3, 4], &[3, 3]));
+    }
+
+    #[test]
+    fn lex_lt_is_total_on_distinct() {
+        let m = lex_lt_map(2);
+        for a in 0..3i64 {
+            for b in 0..3i64 {
+                for c in 0..3i64 {
+                    for d in 0..3i64 {
+                        let lt = m.contains(&[a, b], &[c, d]);
+                        let gt = m.contains(&[c, d], &[a, b]);
+                        if (a, b) == (c, d) {
+                            assert!(!lt && !gt);
+                        } else {
+                            assert!(lt ^ gt, "exactly one of <, > must hold");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn between_single_interval() {
+        // Interval [1,0] -> [3,0] over 2-dim tuples; live points with
+        // first coord in 1..=3 and intermediate points unconstrained in
+        // second coordinate except at the endpoints.
+        let sp = Space::anon(2);
+        let iv = Map::from_affine(
+            Space::anon(0),
+            sp.clone(),
+            &[LinExpr::constant(0, 1), LinExpr::constant(0, 0)],
+        );
+        let to = Map::from_affine(
+            Space::anon(0),
+            sp,
+            &[LinExpr::constant(0, 3), LinExpr::constant(0, 0)],
+        );
+        // Build iv as [w]->[r] with constant w=(1,0), r=(3,0):
+        // compose reverse(from) with to: {(1,0)} x {(3,0)}
+        let pair = iv.reverse().compose(&to);
+        let live = between_set(&pair, 2);
+        assert!(live.contains(&[1, 0]));
+        assert!(live.contains(&[2, -100]));
+        assert!(live.contains(&[2, 100]));
+        assert!(live.contains(&[3, 0]));
+        assert!(!live.contains(&[3, 1]));
+        assert!(!live.contains(&[0, 99]));
+        assert!(!live.contains(&[1, -1]));
+        assert!(!live.contains(&[4, 0]));
+    }
+
+    #[test]
+    fn between_disjoint_intervals_disjoint_sets() {
+        let sp = Space::anon(1);
+        let mk = |w: i64, r: i64| {
+            let from = Map::from_affine(Space::anon(0), sp.clone(), &[LinExpr::constant(0, w)]);
+            let to = Map::from_affine(Space::anon(0), sp.clone(), &[LinExpr::constant(0, r)]);
+            from.reverse().compose(&to)
+        };
+        let a = between_set(&mk(0, 2), 1);
+        let b = between_set(&mk(3, 5), 1);
+        assert!(a.disjoint(&b));
+        let c = between_set(&mk(2, 4), 1);
+        assert!(!a.disjoint(&c));
+    }
+}

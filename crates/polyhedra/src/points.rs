@@ -1,0 +1,195 @@
+//! Integer point enumeration for bounded sets.
+//!
+//! Used by tests and brute-force validators. Enumeration computes the
+//! bounding box of the set by per-dimension FM projection, iterates the
+//! box lexicographically, and filters by membership. This is exponential
+//! in general and perfectly fine for the small validation sets used here.
+
+use crate::constraint::ConstraintKind;
+use crate::set::BasicSet;
+
+/// Iterator over the integer points of a bounded [`BasicSet`].
+pub struct PointIter<'a> {
+    set: &'a BasicSet,
+    ranges: Vec<(i64, i64)>,
+    cursor: Option<Vec<i64>>,
+}
+
+impl<'a> PointIter<'a> {
+    /// Create an iterator. Panics if the set is unbounded in some
+    /// dimension (point enumeration is only meaningful for bounded sets).
+    pub fn new(set: &'a BasicSet) -> Self {
+        let n = set.dim();
+        if set.system.known_infeasible() {
+            return PointIter {
+                set,
+                ranges: Vec::new(),
+                cursor: None,
+            };
+        }
+        let mut ranges = Vec::with_capacity(n);
+        for d in 0..n {
+            match dim_range(set, d) {
+                Some(r) if r.0 <= r.1 => ranges.push(r),
+                _ => {
+                    return PointIter {
+                        set,
+                        ranges: Vec::new(),
+                        cursor: None,
+                    }
+                }
+            }
+        }
+        let start: Vec<i64> = ranges.iter().map(|r| r.0).collect();
+        PointIter {
+            set,
+            ranges,
+            cursor: if n == 0 { Some(Vec::new()) } else { Some(start) },
+        }
+    }
+}
+
+/// Compute the `[lo, hi]` range of dimension `d` by projecting out all
+/// other dimensions. Returns `None` if unbounded on either side.
+pub fn dim_range(set: &BasicSet, d: usize) -> Option<(i64, i64)> {
+    let n = set.dim();
+    // Eliminate trailing dims after d, then the leading ones.
+    let sys = set
+        .system
+        .eliminate_range(d + 1, n - d - 1)
+        .eliminate_range(0, d);
+    if sys.known_infeasible() {
+        return Some((1, 0)); // canonical empty range
+    }
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    for c in sys.constraints() {
+        let a = c.expr.coeffs[0];
+        let k = c.expr.constant;
+        match c.kind {
+            ConstraintKind::Eq => {
+                // a*x + k = 0; normalized a > 0 and a | k.
+                let v = -k / a;
+                lo = Some(lo.map_or(v, |l| l.max(v)));
+                hi = Some(hi.map_or(v, |h| h.min(v)));
+            }
+            ConstraintKind::GeZero => {
+                if a > 0 {
+                    // x >= ceil(-k / a); normalization makes a == 1.
+                    let v = div_ceil(-k, a);
+                    lo = Some(lo.map_or(v, |l| l.max(v)));
+                } else if a < 0 {
+                    let v = div_floor(k, -a);
+                    hi = Some(hi.map_or(v, |h| h.min(v)));
+                }
+            }
+        }
+    }
+    match (lo, hi) {
+        (Some(l), Some(h)) => Some((l, h)),
+        _ => None,
+    }
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b) + if a.rem_euclid(b) != 0 { 1 } else { 0 }
+}
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        loop {
+            let cur = self.cursor.take()?;
+            // Advance cursor (odometer).
+            if cur.is_empty() {
+                // 0-dimensional: single point, emitted once.
+                self.cursor = None;
+                return Some(cur);
+            }
+            let mut nxt = cur.clone();
+            let mut d = nxt.len();
+            loop {
+                if d == 0 {
+                    self.cursor = None;
+                    break;
+                }
+                d -= 1;
+                nxt[d] += 1;
+                if nxt[d] <= self.ranges[d].1 {
+                    self.cursor = Some(nxt);
+                    break;
+                }
+                nxt[d] = self.ranges[d].0;
+            }
+            if self.set.contains(&cur) {
+                return Some(cur);
+            }
+            if self.cursor.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Space;
+
+    #[test]
+    fn enumerates_box() {
+        let b = BasicSet::boxed(Space::set("t", &["i", "j"]), &[(0, 1), (0, 2)]);
+        let pts: Vec<Vec<i64>> = b.points().collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_dimensional_scalar() {
+        let b = BasicSet::universe(Space::set("s", &[]));
+        let pts: Vec<Vec<i64>> = b.points().collect();
+        assert_eq!(pts, vec![Vec::<i64>::new()]);
+    }
+
+    #[test]
+    fn empty_set_yields_nothing() {
+        let b = BasicSet::boxed(Space::set("t", &["i"]), &[(5, 2)]);
+        assert_eq!(b.points().count(), 0);
+    }
+
+    #[test]
+    fn triangle_count() {
+        // { (i,j) : 0 <= i <= 3, 0 <= j <= i } -> 1+2+3+4 = 10 points
+        use crate::constraint::Constraint;
+        use crate::linexpr::LinExpr;
+        let b = BasicSet::boxed(Space::set("t", &["i", "j"]), &[(0, 3), (0, 3)])
+            .constrain(Constraint::ge0(LinExpr::new(&[1, -1], 0)));
+        assert_eq!(b.points().count(), 10);
+    }
+
+    #[test]
+    fn dim_range_of_triangle() {
+        use crate::constraint::Constraint;
+        use crate::linexpr::LinExpr;
+        let b = BasicSet::boxed(Space::set("t", &["i", "j"]), &[(0, 3), (0, 3)])
+            .constrain(Constraint::ge0(LinExpr::new(&[1, -1], 0)));
+        assert_eq!(dim_range(&b, 0), Some((0, 3)));
+        assert_eq!(dim_range(&b, 1), Some((0, 3)));
+    }
+
+    #[test]
+    fn div_helpers() {
+        assert_eq!(div_ceil(5, 2), 3);
+        assert_eq!(div_ceil(-5, 2), -2);
+        assert_eq!(div_floor(5, 2), 2);
+        assert_eq!(div_floor(-5, 2), -3);
+    }
+}

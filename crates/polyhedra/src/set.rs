@@ -1,0 +1,399 @@
+//! Integer sets over named spaces.
+//!
+//! A [`BasicSet`] is one integer polyhedron (conjunction of affine
+//! constraints); a [`Set`] is a finite union of basic sets over the same
+//! space. Unions arise from lexicographic-order expansion (see
+//! [`crate::lex`]).
+
+use crate::constraint::Constraint;
+use crate::linexpr::LinExpr;
+use crate::points::PointIter;
+use crate::space::Space;
+use crate::system::System;
+use std::fmt;
+
+/// A single integer polyhedron over a named space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicSet {
+    pub space: Space,
+    pub system: System,
+}
+
+impl BasicSet {
+    /// The full space (no constraints).
+    pub fn universe(space: Space) -> Self {
+        let system = System::universe(space.dim());
+        BasicSet { space, system }
+    }
+
+    /// The empty set over `space`.
+    pub fn empty(space: Space) -> Self {
+        let system = System::infeasible(space.dim());
+        BasicSet { space, system }
+    }
+
+    /// A rectangular domain: `bounds[d] = (lo, hi)` gives `lo <= x_d <= hi`
+    /// (inclusive on both ends).
+    pub fn boxed(space: Space, bounds: &[(i64, i64)]) -> Self {
+        assert_eq!(space.dim(), bounds.len(), "bounds arity mismatch");
+        let n = space.dim();
+        let mut system = System::universe(n);
+        for (d, &(lo, hi)) in bounds.iter().enumerate() {
+            let x = LinExpr::var(n, d);
+            system.add(Constraint::ge(&x, &LinExpr::constant(n, lo)));
+            system.add(Constraint::le(&x, &LinExpr::constant(n, hi)));
+        }
+        BasicSet { space, system }
+    }
+
+    /// Build from raw equality rows `(coeffs, constant)` meaning
+    /// `coeffs·x + constant = 0`.
+    pub fn from_eqs(space: Space, eqs: &[(&[i64], i64)]) -> Self {
+        let n = space.dim();
+        let mut system = System::universe(n);
+        for (coeffs, k) in eqs {
+            assert_eq!(coeffs.len(), n);
+            system.add(Constraint::eq(LinExpr::new(coeffs, *k)));
+        }
+        BasicSet { space, system }
+    }
+
+    /// Build from an arbitrary constraint system.
+    pub fn from_system(space: Space, system: System) -> Self {
+        assert_eq!(space.dim(), system.n_vars(), "system arity mismatch");
+        BasicSet { space, system }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    /// Intersection of two basic sets (same space).
+    pub fn intersect(&self, other: &BasicSet) -> BasicSet {
+        assert!(
+            self.space.compatible(&other.space),
+            "intersect: incompatible spaces {} vs {}",
+            self.space,
+            other.space
+        );
+        BasicSet {
+            space: self.space.clone(),
+            system: self.system.intersect(&other.system),
+        }
+    }
+
+    /// Add a constraint.
+    pub fn constrain(&self, c: Constraint) -> BasicSet {
+        let mut out = self.clone();
+        out.system.add(c);
+        out
+    }
+
+    /// Whether the set contains no integer points.
+    pub fn is_empty(&self) -> bool {
+        self.system.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.system.holds(point)
+    }
+
+    /// Project out the trailing `count` dimensions (FM elimination). The
+    /// resulting space keeps the same tuple name.
+    pub fn project_out_trailing(&self, count: usize) -> BasicSet {
+        let n = self.dim();
+        assert!(count <= n);
+        let system = self.system.eliminate_range(n - count, count);
+        let space = Space {
+            tuple: self.space.tuple.clone(),
+            dims: self.space.dims[..n - count].to_vec(),
+        };
+        BasicSet { space, system }
+    }
+
+    /// Project out the leading `count` dimensions.
+    pub fn project_out_leading(&self, count: usize) -> BasicSet {
+        let n = self.dim();
+        assert!(count <= n);
+        let system = self.system.eliminate_range(0, count);
+        let space = Space {
+            tuple: self.space.tuple.clone(),
+            dims: self.space.dims[count..].to_vec(),
+        };
+        BasicSet { space, system }
+    }
+
+    /// Iterate all integer points (small sets only; used in tests and for
+    /// brute-force validation).
+    pub fn points(&self) -> PointIter<'_> {
+        PointIter::new(self)
+    }
+
+    /// Rename the space (dimensionality must match).
+    pub fn with_space(&self, space: Space) -> BasicSet {
+        assert_eq!(space.dim(), self.dim());
+        BasicSet {
+            space,
+            system: self.system.clone(),
+        }
+    }
+}
+
+impl fmt::Display for BasicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cs: Vec<String> = self
+            .system
+            .constraints()
+            .iter()
+            .map(|c| c.display(&self.space.dims))
+            .collect();
+        if self.system.known_infeasible() {
+            write!(f, "{{ {} : false }}", self.space)
+        } else if cs.is_empty() {
+            write!(f, "{{ {} }}", self.space)
+        } else {
+            write!(f, "{{ {} : {} }}", self.space, cs.join(" and "))
+        }
+    }
+}
+
+/// A finite union of basic sets over a common space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Set {
+    pub space: Space,
+    pub parts: Vec<BasicSet>,
+}
+
+impl Set {
+    /// The empty set.
+    pub fn empty(space: Space) -> Self {
+        Set {
+            space,
+            parts: Vec::new(),
+        }
+    }
+
+    /// The universe set.
+    pub fn universe(space: Space) -> Self {
+        let u = BasicSet::universe(space.clone());
+        Set {
+            space,
+            parts: vec![u],
+        }
+    }
+
+    /// A set from one basic set.
+    pub fn from_basic(bs: BasicSet) -> Self {
+        Set {
+            space: bs.space.clone(),
+            parts: vec![bs],
+        }
+    }
+
+    /// Union (concatenation of parts, dropping known-empty ones).
+    pub fn union(&self, other: &Set) -> Set {
+        assert!(self.space.compatible(&other.space));
+        let mut parts = self.parts.clone();
+        parts.extend(other.parts.iter().cloned());
+        Set {
+            space: self.space.clone(),
+            parts,
+        }
+        .coalesce()
+    }
+
+    /// Add one basic set.
+    pub fn union_basic(&self, bs: BasicSet) -> Set {
+        let mut out = self.clone();
+        if !bs.system.known_infeasible() {
+            out.parts.push(bs);
+        }
+        out
+    }
+
+    /// Pairwise intersection of the unions.
+    pub fn intersect(&self, other: &Set) -> Set {
+        assert!(self.space.compatible(&other.space));
+        let mut parts = Vec::new();
+        for a in &self.parts {
+            for b in &other.parts {
+                let c = a.intersect(b);
+                if !c.system.known_infeasible() && !c.system.quick_infeasible() {
+                    parts.push(c);
+                }
+            }
+        }
+        Set {
+            space: self.space.clone(),
+            parts,
+        }
+        .coalesce()
+    }
+
+    /// Whether the union is empty (every part empty).
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|p| p.is_empty())
+    }
+
+    /// Whether two sets share no integer point.
+    pub fn disjoint(&self, other: &Set) -> bool {
+        self.intersect(other).is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.parts.iter().any(|p| p.contains(point))
+    }
+
+    /// Drop parts whose systems are already known infeasible (cheap) and
+    /// deduplicate identical parts.
+    pub fn coalesce(mut self) -> Set {
+        self.parts.retain(|p| !p.system.known_infeasible());
+        let mut kept: Vec<BasicSet> = Vec::new();
+        for p in self.parts.drain(..) {
+            if !kept.contains(&p) {
+                kept.push(p);
+            }
+        }
+        self.parts = kept;
+        self
+    }
+
+    /// Drop parts that are fully empty (runs FM per part — more expensive
+    /// than [`Set::coalesce`] but produces a minimal union).
+    pub fn prune_empty(mut self) -> Set {
+        self.parts.retain(|p| !p.is_empty());
+        self
+    }
+
+    /// Project out trailing dimensions of every part.
+    pub fn project_out_trailing(&self, count: usize) -> Set {
+        let parts: Vec<BasicSet> = self
+            .parts
+            .iter()
+            .map(|p| p.project_out_trailing(count))
+            .collect();
+        let space = Space {
+            tuple: self.space.tuple.clone(),
+            dims: self.space.dims[..self.space.dim() - count].to_vec(),
+        };
+        Set { space, parts }.coalesce()
+    }
+
+    /// Enumerate the integer points of all parts (deduplicated).
+    pub fn points_vec(&self) -> Vec<Vec<i64>> {
+        let mut out: Vec<Vec<i64>> = Vec::new();
+        for p in &self.parts {
+            for pt in p.points() {
+                if !out.contains(&pt) {
+                    out.push(pt);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Set {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "{{ {} : false }}", self.space);
+        }
+        let parts: Vec<String> = self.parts.iter().map(|p| p.to_string()).collect();
+        write!(f, "{}", parts.join(" ∪ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp2() -> Space {
+        Space::set("t", &["i", "j"])
+    }
+
+    #[test]
+    fn boxed_counts_points() {
+        let b = BasicSet::boxed(sp2(), &[(0, 2), (0, 3)]);
+        assert_eq!(b.points().count(), 12);
+    }
+
+    #[test]
+    fn empty_box_when_bounds_cross() {
+        let b = BasicSet::boxed(sp2(), &[(3, 2), (0, 3)]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn intersect_box() {
+        let a = BasicSet::boxed(sp2(), &[(0, 5), (0, 5)]);
+        let b = BasicSet::boxed(sp2(), &[(3, 8), (3, 8)]);
+        let c = a.intersect(&b);
+        assert_eq!(c.points().count(), 9); // 3..=5 × 3..=5
+    }
+
+    #[test]
+    fn project_out_trailing_box() {
+        let b = BasicSet::boxed(sp2(), &[(0, 4), (2, 3)]);
+        let p = b.project_out_trailing(1);
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.points().count(), 5);
+    }
+
+    #[test]
+    fn project_out_leading_box() {
+        let b = BasicSet::boxed(sp2(), &[(0, 4), (2, 3)]);
+        let p = b.project_out_leading(1);
+        assert_eq!(p.dim(), 1);
+        assert_eq!(p.points().count(), 2);
+    }
+
+    #[test]
+    fn union_and_disjoint() {
+        let a = Set::from_basic(BasicSet::boxed(sp2(), &[(0, 1), (0, 1)]));
+        let b = Set::from_basic(BasicSet::boxed(sp2(), &[(5, 6), (5, 6)]));
+        assert!(a.disjoint(&b));
+        let u = a.union(&b);
+        assert_eq!(u.points_vec().len(), 8);
+        assert!(!u.disjoint(&a));
+    }
+
+    #[test]
+    fn set_intersect_unions() {
+        let a = Set::from_basic(BasicSet::boxed(sp2(), &[(0, 3), (0, 3)]))
+            .union_basic(BasicSet::boxed(sp2(), &[(10, 12), (10, 12)]));
+        let b = Set::from_basic(BasicSet::boxed(sp2(), &[(2, 11), (2, 11)]));
+        let c = a.intersect(&b);
+        // (2..=3 × 2..=3) plus (10..=11 × 10..=11)
+        assert_eq!(c.points_vec().len(), 8);
+    }
+
+    #[test]
+    fn diagonal_constraint() {
+        let d = BasicSet::from_eqs(sp2(), &[(&[1, -1], 0)]);
+        let b = BasicSet::boxed(sp2(), &[(0, 10), (0, 10)]);
+        assert_eq!(b.intersect(&d).points().count(), 11);
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = BasicSet::boxed(Space::set("t", &["i"]), &[(0, 10)]);
+        let s = b.to_string();
+        assert!(s.contains("t[i]"), "{s}");
+        assert!(s.contains("i >= 0") || s.contains("i - 0 >= 0"), "{s}");
+    }
+
+    #[test]
+    fn prune_empty_removes_hidden_empties() {
+        // Part is rationally constrained but integer-empty after FM.
+        let mut sys = System::universe(1);
+        sys.add(Constraint::ge0(LinExpr::new(&[1], -5)));
+        sys.add(Constraint::ge0(LinExpr::new(&[-1], 4)));
+        let hidden = BasicSet::from_system(Space::set("t", &["i"]), sys);
+        let live = BasicSet::boxed(Space::set("t", &["i"]), &[(0, 1)]);
+        let s = Set::from_basic(hidden).union_basic(live).prune_empty();
+        assert_eq!(s.parts.len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Named tuple spaces.
+//!
+//! A [`Space`] identifies a tuple of integer dimensions, e.g. the index
+//! space of tensor `t` of rank 3 is the space `t[i, j, k]`. Spaces carry a
+//! tuple name (used to distinguish statements/arrays) and per-dimension
+//! names (used only for pretty printing — identity is positional).
+
+use std::fmt;
+
+/// A named tuple space with `dims.len()` integer dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Space {
+    /// Tuple name, e.g. a statement or array identifier. May be empty for
+    /// anonymous (schedule) spaces.
+    pub tuple: String,
+    /// Per-dimension names, e.g. `["i", "j", "k"]`.
+    pub dims: Vec<String>,
+}
+
+impl Space {
+    /// Create a set space with the given tuple name and dimension names.
+    pub fn set(tuple: &str, dims: &[&str]) -> Self {
+        Space {
+            tuple: tuple.to_string(),
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+
+    /// Create an anonymous space of dimension `n` with synthesized names
+    /// `d0, d1, ...`. Used for schedule spaces.
+    pub fn anon(n: usize) -> Self {
+        Space {
+            tuple: String::new(),
+            dims: (0..n).map(|i| format!("d{i}")).collect(),
+        }
+    }
+
+    /// Create a space named `tuple` with `n` synthesized dimension names.
+    pub fn named(tuple: &str, n: usize) -> Self {
+        Space {
+            tuple: tuple.to_string(),
+            dims: (0..n).map(|i| format!("{tuple}{i}")).collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether two spaces are compatible for set operations: same
+    /// dimensionality and same tuple name (anonymous tuples match
+    /// anything).
+    pub fn compatible(&self, other: &Space) -> bool {
+        self.dim() == other.dim()
+            && (self.tuple.is_empty() || other.tuple.is_empty() || self.tuple == other.tuple)
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.tuple, self.dims.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_space_has_name_and_dims() {
+        let s = Space::set("t", &["i", "j", "k"]);
+        assert_eq!(s.tuple, "t");
+        assert_eq!(s.dim(), 3);
+        assert_eq!(s.to_string(), "t[i, j, k]");
+    }
+
+    #[test]
+    fn anon_space_dims() {
+        let s = Space::anon(4);
+        assert_eq!(s.dim(), 4);
+        assert!(s.tuple.is_empty());
+    }
+
+    #[test]
+    fn compatibility_requires_same_rank() {
+        let a = Space::set("t", &["i"]);
+        let b = Space::set("t", &["i", "j"]);
+        assert!(!a.compatible(&b));
+    }
+
+    #[test]
+    fn anonymous_matches_named() {
+        let a = Space::anon(2);
+        let b = Space::set("t", &["i", "j"]);
+        assert!(a.compatible(&b));
+        assert!(b.compatible(&a));
+    }
+
+    #[test]
+    fn different_tuples_incompatible() {
+        let a = Space::set("t", &["i"]);
+        let b = Space::set("r", &["i"]);
+        assert!(!a.compatible(&b));
+    }
+
+    #[test]
+    fn named_synthesizes_dims() {
+        let s = Space::named("s", 3);
+        assert_eq!(s.dims, vec!["s0", "s1", "s2"]);
+    }
+}

@@ -1,0 +1,552 @@
+//! Constraint systems with Fourier–Motzkin elimination.
+//!
+//! A [`System`] is a conjunction of affine constraints over `n_vars`
+//! anonymous variables. It is the computational workhorse behind sets and
+//! maps: intersection is concatenation, projection is FM elimination, and
+//! emptiness is full elimination down to constant rows.
+
+use crate::constraint::{Constraint, ConstraintKind, Normalized};
+use crate::linexpr::{combine, LinExpr};
+use std::collections::HashSet;
+
+/// A conjunction of affine constraints over `n_vars` variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct System {
+    n_vars: usize,
+    constraints: Vec<Constraint>,
+    /// Set when normalization discovered an infeasible row. An infeasible
+    /// system represents the empty set regardless of other rows.
+    infeasible: bool,
+}
+
+impl System {
+    /// The unconstrained (universe) system over `n` variables.
+    pub fn universe(n: usize) -> Self {
+        System {
+            n_vars: n,
+            constraints: Vec::new(),
+            infeasible: false,
+        }
+    }
+
+    /// An explicitly infeasible (empty) system.
+    pub fn infeasible(n: usize) -> Self {
+        System {
+            n_vars: n,
+            constraints: Vec::new(),
+            infeasible: true,
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The constraint rows (normalized).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Whether normalization has already shown this system infeasible.
+    /// (`false` does **not** imply non-emptiness — use [`System::is_empty`].)
+    pub fn known_infeasible(&self) -> bool {
+        self.infeasible
+    }
+
+    /// Add a constraint (normalizing it first).
+    pub fn add(&mut self, c: Constraint) {
+        assert_eq!(c.n_vars(), self.n_vars, "constraint arity mismatch");
+        if self.infeasible {
+            return;
+        }
+        match c.normalize() {
+            Normalized::Trivial => {}
+            Normalized::Infeasible => {
+                self.infeasible = true;
+                self.constraints.clear();
+            }
+            Normalized::Keep(k) => {
+                if !self.constraints.contains(&k) {
+                    self.constraints.push(k);
+                }
+            }
+        }
+    }
+
+    /// Add all constraints from an iterator.
+    pub fn extend<I: IntoIterator<Item = Constraint>>(&mut self, it: I) {
+        for c in it {
+            self.add(c);
+        }
+    }
+
+    /// Conjunction of two systems over the same variables.
+    pub fn intersect(&self, other: &System) -> System {
+        assert_eq!(self.n_vars, other.n_vars, "system arity mismatch");
+        let mut out = self.clone();
+        if out.infeasible {
+            return out;
+        }
+        out.extend(other.constraints.iter().cloned());
+        if other.infeasible {
+            out.infeasible = true;
+            out.constraints.clear();
+        }
+        out
+    }
+
+    /// Whether an integer point satisfies every constraint.
+    pub fn holds(&self, point: &[i64]) -> bool {
+        !self.infeasible && self.constraints.iter().all(|c| c.holds(point))
+    }
+
+    /// Insert `count` fresh variables at position `at` in every row.
+    pub fn insert_vars(&self, at: usize, count: usize) -> System {
+        System {
+            n_vars: self.n_vars + count,
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| Constraint {
+                    kind: c.kind,
+                    expr: c.expr.insert_vars(at, count),
+                })
+                .collect(),
+            infeasible: self.infeasible,
+        }
+    }
+
+    /// Eliminate variable `var` by exact substitution (if a unit-coefficient
+    /// equality mentions it) or Fourier–Motzkin pairing. The variable is
+    /// *removed* from the system; the result has `n_vars - 1` variables.
+    pub fn eliminate(&self, var: usize) -> System {
+        assert!(var < self.n_vars);
+        if self.infeasible {
+            return System::infeasible(self.n_vars - 1);
+        }
+
+        // Preferred: exact substitution via an equality with coefficient ±1.
+        if let Some(pos) = self.constraints.iter().position(|c| {
+            c.kind == ConstraintKind::Eq && c.expr.coeffs[var].abs() == 1
+        }) {
+            let eqc = &self.constraints[pos];
+            // c*x + e = 0 with c = ±1  =>  x = -e/c = -c*e (since c^2 = 1).
+            let c = eqc.expr.coeffs[var];
+            let mut rhs = eqc.expr.clone();
+            rhs.coeffs[var] = 0;
+            let repl = rhs.scale(-c); // x = -c * e
+            let mut out = System::universe(self.n_vars - 1);
+            for (i, row) in self.constraints.iter().enumerate() {
+                if i == pos {
+                    continue;
+                }
+                let substituted = row.expr.substitute(var, &repl);
+                out.add(Constraint {
+                    kind: row.kind,
+                    expr: substituted.remove_var(var),
+                });
+            }
+            return out;
+        }
+
+        // General case: split equalities into two inequalities, then pair.
+        let mut lowers: Vec<LinExpr> = Vec::new(); // a*x + e >= 0, a > 0
+        let mut uppers: Vec<LinExpr> = Vec::new(); // -b*x + f >= 0, b > 0
+        let mut rest: Vec<Constraint> = Vec::new();
+        for c in &self.constraints {
+            let k = c.expr.coeffs[var];
+            if k == 0 {
+                rest.push(c.clone());
+                continue;
+            }
+            match c.kind {
+                ConstraintKind::GeZero => {
+                    if k > 0 {
+                        lowers.push(c.expr.clone());
+                    } else {
+                        uppers.push(c.expr.clone());
+                    }
+                }
+                ConstraintKind::Eq => {
+                    // Orient so the variable has a positive coefficient in
+                    // the lower-bound copy and negative in the upper copy.
+                    let pos = if k > 0 { c.expr.clone() } else { c.expr.scale(-1) };
+                    lowers.push(pos.clone());
+                    uppers.push(pos.scale(-1));
+                }
+            }
+        }
+
+        let mut out = System::universe(self.n_vars - 1);
+        for c in rest {
+            out.add(Constraint {
+                kind: c.kind,
+                expr: c.expr.remove_var(var),
+            });
+            if out.infeasible {
+                return out;
+            }
+        }
+        for lo in &lowers {
+            let a = lo.coeffs[var];
+            debug_assert!(a > 0);
+            for up in &uppers {
+                let b = -up.coeffs[var];
+                debug_assert!(b > 0);
+                // b*lo + a*up eliminates x.
+                let comb = combine(lo, b, up, a);
+                debug_assert_eq!(comb.coeffs[var], 0);
+                out.add(Constraint::ge0(comb.remove_var(var)));
+                if out.infeasible {
+                    return out;
+                }
+            }
+        }
+        out.prune_redundant();
+        out
+    }
+
+    /// Eliminate a contiguous range of variables `[from, from+count)`.
+    ///
+    /// The elimination order is chosen greedily: variables that appear in
+    /// an equality with a ±1 coefficient go first (exact substitution),
+    /// then variables with the smallest Fourier–Motzkin pairing fan-out.
+    /// For the layout systems produced by the flow (row-major index maps
+    /// like `a = 121i + 11j + k`) this ordering keeps the projection
+    /// integer-exact: `k`, `j`, `i` are substituted through the unit
+    /// coefficients instead of being paired through the large strides.
+    pub fn eliminate_range(&self, from: usize, count: usize) -> System {
+        let mut sys = self.clone();
+        // Remaining variable indices (they shift as eliminations proceed).
+        let mut remaining: Vec<usize> = (from..from + count).collect();
+        while let Some(pos) = pick_elimination_target(&sys, &remaining) {
+            let var = remaining.swap_remove(pos);
+            sys = sys.eliminate(var);
+            if sys.infeasible {
+                return System::infeasible(self.n_vars - count);
+            }
+            for r in &mut remaining {
+                if *r > var {
+                    *r -= 1;
+                }
+            }
+        }
+        sys
+    }
+
+    /// Whether the system has no integer solutions.
+    ///
+    /// Decided by exhaustive FM elimination with integer tightening. On
+    /// the (near-unimodular) systems produced by the CFDlang flow this is
+    /// exact; in general FM may fail to detect emptiness of pathological
+    /// integer-only-empty systems (never produced here).
+    pub fn is_empty(&self) -> bool {
+        if self.infeasible {
+            return true;
+        }
+        let mut sys = self.clone();
+        for _ in 0..self.n_vars {
+            sys = sys.eliminate(0);
+            if sys.infeasible {
+                return true;
+            }
+        }
+        sys.infeasible
+    }
+
+    /// Cheap incomplete emptiness test: derive per-variable bounds from
+    /// rows with exactly one nonzero coefficient and report `true` if any
+    /// variable's interval is empty. Never returns `true` for a feasible
+    /// system; used to prune intersection unions before full FM.
+    pub fn quick_infeasible(&self) -> bool {
+        if self.infeasible {
+            return true;
+        }
+        let n = self.n_vars;
+        let mut lo = vec![i64::MIN; n];
+        let mut hi = vec![i64::MAX; n];
+        for c in &self.constraints {
+            let mut nz = None;
+            let mut many = false;
+            for (v, &k) in c.expr.coeffs.iter().enumerate() {
+                if k != 0 {
+                    if nz.is_some() {
+                        many = true;
+                        break;
+                    }
+                    nz = Some((v, k));
+                }
+            }
+            if many {
+                continue;
+            }
+            let Some((v, k)) = nz else { continue };
+            // Normalized rows have |k| == 1 for inequalities and a
+            // canonical positive leading coefficient for equalities that
+            // divides the constant.
+            match c.kind {
+                ConstraintKind::Eq => {
+                    if c.expr.constant % k == 0 {
+                        let val = -c.expr.constant / k;
+                        lo[v] = lo[v].max(val);
+                        hi[v] = hi[v].min(val);
+                    }
+                }
+                ConstraintKind::GeZero => {
+                    if k == 1 {
+                        lo[v] = lo[v].max(-c.expr.constant);
+                    } else if k == -1 {
+                        hi[v] = hi[v].min(c.expr.constant);
+                    }
+                }
+            }
+            if lo[v] > hi[v] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drop duplicate rows and inequalities dominated by a parallel row
+    /// with a tighter constant.
+    pub fn prune_redundant(&mut self) {
+        if self.infeasible {
+            return;
+        }
+        // Deduplicate exact rows.
+        let mut seen: HashSet<(bool, Vec<i64>, i64)> = HashSet::new();
+        let mut kept: Vec<Constraint> = Vec::new();
+        for c in &self.constraints {
+            let key = (
+                c.kind == ConstraintKind::Eq,
+                c.expr.coeffs.clone(),
+                c.expr.constant,
+            );
+            if seen.insert(key) {
+                kept.push(c.clone());
+            }
+        }
+        // For parallel inequalities a·x + c1 >= 0 and a·x + c2 >= 0 keep the
+        // tighter (smaller constant).
+        let mut best: Vec<Constraint> = Vec::new();
+        'outer: for c in &kept {
+            if c.kind == ConstraintKind::Eq {
+                best.push(c.clone());
+                continue;
+            }
+            for b in &mut best {
+                if b.kind == ConstraintKind::GeZero && b.expr.coeffs == c.expr.coeffs {
+                    if c.expr.constant < b.expr.constant {
+                        b.expr.constant = c.expr.constant;
+                    }
+                    continue 'outer;
+                }
+            }
+            best.push(c.clone());
+        }
+        self.constraints = best;
+    }
+}
+
+/// Choose which of `remaining` to eliminate next (index *into*
+/// `remaining`); `None` when the list is empty.
+fn pick_elimination_target(sys: &System, remaining: &[usize]) -> Option<usize> {
+    if remaining.is_empty() {
+        return None;
+    }
+    // Prefer a variable with a unit-coefficient equality (exact).
+    for (i, &v) in remaining.iter().enumerate() {
+        let has_unit_eq = sys.constraints.iter().any(|c| {
+            c.kind == ConstraintKind::Eq && c.expr.coeffs[v].abs() == 1
+        });
+        if has_unit_eq {
+            return Some(i);
+        }
+    }
+    // Otherwise the smallest lower×upper pairing fan-out.
+    let fan = |v: usize| -> usize {
+        let mut lo = 0usize;
+        let mut hi = 0usize;
+        for c in &sys.constraints {
+            let k = c.expr.coeffs[v];
+            if k == 0 {
+                continue;
+            }
+            match c.kind {
+                ConstraintKind::Eq => {
+                    lo += 1;
+                    hi += 1;
+                }
+                ConstraintKind::GeZero => {
+                    if k > 0 {
+                        lo += 1;
+                    } else {
+                        hi += 1;
+                    }
+                }
+            }
+        }
+        lo * hi
+    };
+    remaining
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &v)| fan(v))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box2(ilo: i64, ihi: i64, jlo: i64, jhi: i64) -> System {
+        let mut s = System::universe(2);
+        s.add(Constraint::ge0(LinExpr::new(&[1, 0], -ilo)));
+        s.add(Constraint::ge0(LinExpr::new(&[-1, 0], ihi)));
+        s.add(Constraint::ge0(LinExpr::new(&[0, 1], -jlo)));
+        s.add(Constraint::ge0(LinExpr::new(&[0, -1], jhi)));
+        s
+    }
+
+    #[test]
+    fn universe_not_empty() {
+        assert!(!System::universe(3).is_empty());
+    }
+
+    #[test]
+    fn box_feasible() {
+        assert!(!box2(0, 10, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn contradictory_bounds_empty() {
+        // i >= 5 and i <= 3
+        let mut s = System::universe(1);
+        s.add(Constraint::ge0(LinExpr::new(&[1], -5)));
+        s.add(Constraint::ge0(LinExpr::new(&[-1], 3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn eliminate_projects_box() {
+        // project j out of 0<=i<=10, 0<=j<=10 -> 0<=i<=10
+        let s = box2(0, 10, 0, 10);
+        let p = s.eliminate(1);
+        assert_eq!(p.n_vars(), 1);
+        assert!(p.holds(&[0]));
+        assert!(p.holds(&[10]));
+        assert!(!p.holds(&[11]));
+        assert!(!p.holds(&[-1]));
+    }
+
+    #[test]
+    fn eliminate_with_equality_substitution() {
+        // { (i,j) : i = j + 2, 0 <= j <= 5 }, eliminate j -> 2 <= i <= 7
+        let mut s = System::universe(2);
+        s.add(Constraint::eq(LinExpr::new(&[1, -1], -2)));
+        s.add(Constraint::ge0(LinExpr::new(&[0, 1], 0)));
+        s.add(Constraint::ge0(LinExpr::new(&[0, -1], 5)));
+        let p = s.eliminate(1);
+        assert!(p.holds(&[2]));
+        assert!(p.holds(&[7]));
+        assert!(!p.holds(&[1]));
+        assert!(!p.holds(&[8]));
+    }
+
+    #[test]
+    fn fm_pairing_without_equalities() {
+        // { (i,j) : j >= i, j <= 10, i >= 0 }, eliminate j -> 0 <= i <= 10
+        let mut s = System::universe(2);
+        s.add(Constraint::ge0(LinExpr::new(&[-1, 1], 0)));
+        s.add(Constraint::ge0(LinExpr::new(&[0, -1], 10)));
+        s.add(Constraint::ge0(LinExpr::new(&[1, 0], 0)));
+        let p = s.eliminate(1);
+        assert!(p.holds(&[10]));
+        assert!(!p.holds(&[11]));
+    }
+
+    #[test]
+    fn integer_tightening_in_projection() {
+        // { (i,j) : 2j = i, 1 <= i <= 1 } rationally j = 1/2 exists, but
+        // normalize flags 2j = 1 infeasible over the integers.
+        let mut s = System::universe(2);
+        s.add(Constraint::eq(LinExpr::new(&[-1, 2], 0)));
+        s.add(Constraint::eq(LinExpr::new(&[1, 0], -1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn eliminate_range_many() {
+        let mut s = System::universe(4);
+        for v in 0..4 {
+            let mut lo = vec![0i64; 4];
+            lo[v] = 1;
+            s.add(Constraint::ge0(LinExpr::new(&lo, 0)));
+            let mut hi = vec![0i64; 4];
+            hi[v] = -1;
+            s.add(Constraint::ge0(LinExpr::new(&hi, 3)));
+        }
+        let p = s.eliminate_range(1, 2);
+        assert_eq!(p.n_vars(), 2);
+        assert!(p.holds(&[3, 3]));
+        assert!(!p.holds(&[4, 0]));
+    }
+
+    #[test]
+    fn intersect_concatenates() {
+        let a = box2(0, 10, 0, 10);
+        let b = box2(5, 20, 5, 20);
+        let c = a.intersect(&b);
+        assert!(c.holds(&[5, 7]));
+        assert!(!c.holds(&[4, 7]));
+        assert!(!c.holds(&[11, 7]));
+    }
+
+    #[test]
+    fn infeasible_propagates() {
+        let mut s = System::universe(1);
+        s.add(Constraint::ge0(LinExpr::constant(1, -1)));
+        assert!(s.known_infeasible());
+        assert!(s.is_empty());
+        let t = s.intersect(&System::universe(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_tightest_parallel() {
+        let mut s = System::universe(1);
+        s.add(Constraint::ge0(LinExpr::new(&[-1], 10))); // x <= 10
+        s.add(Constraint::ge0(LinExpr::new(&[-1], 5))); // x <= 5
+        s.prune_redundant();
+        assert_eq!(s.constraints().len(), 1);
+        assert!(s.holds(&[5]));
+        assert!(!s.holds(&[6]));
+    }
+
+    #[test]
+    fn quick_infeasible_detects_clashing_constants() {
+        let mut s = System::universe(2);
+        s.add(Constraint::eq(LinExpr::new(&[1, 0], -2))); // x = 2
+        s.add(Constraint::eq(LinExpr::new(&[1, 0], -5))); // x = 5
+        assert!(s.quick_infeasible());
+    }
+
+    #[test]
+    fn quick_infeasible_never_false_positive_on_boxes() {
+        let s = box2(0, 10, 0, 10);
+        assert!(!s.quick_infeasible());
+        let mut t = box2(0, 10, 0, 10);
+        t.add(Constraint::ge0(LinExpr::new(&[1, -1], 0))); // multi-var row ignored
+        assert!(!t.quick_infeasible());
+    }
+
+    #[test]
+    fn insert_vars_shifts() {
+        let mut s = System::universe(2);
+        s.add(Constraint::ge0(LinExpr::new(&[1, -1], 0))); // i >= j
+        let w = s.insert_vars(1, 1); // (i, z, j)
+        assert!(w.holds(&[3, 100, 2]));
+        assert!(!w.holds(&[2, 100, 3]));
+    }
+}

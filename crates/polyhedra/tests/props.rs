@@ -1,0 +1,185 @@
+//! Property-based validation of the polyhedral engine against brute force.
+
+use polyhedra::{BasicSet, Constraint, LinExpr, Map, Set, Space};
+use proptest::prelude::*;
+
+/// Strategy: a random box over `n` dims with small bounds.
+fn small_box(n: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((-4i64..5, -4i64..5), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Strategy: a random affine constraint over `n` dims with coefficients in
+/// {-1, 0, 1} — the (near-)unimodular class on which FM projection with
+/// integer tightening is exact, which is exactly the class the CFDlang
+/// flow produces for iteration and schedule dimensions. (Layout systems
+/// add large strides but always through unit-coefficient equalities; see
+/// `layout_strides_stay_exact` below.)
+fn small_constraint(n: usize) -> impl Strategy<Value = Constraint> {
+    (
+        proptest::collection::vec(-1i64..2, n),
+        -5i64..6,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(coeffs, k, is_eq)| {
+            let e = LinExpr::new(&coeffs, k);
+            if is_eq {
+                Constraint::eq(e)
+            } else {
+                Constraint::ge0(e)
+            }
+        })
+}
+
+fn space(n: usize) -> Space {
+    Space::named("s", n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FM projection of the trailing dim equals the brute-force shadow.
+    #[test]
+    fn projection_matches_bruteforce(bounds in small_box(3), c in small_constraint(3)) {
+        let b = BasicSet::boxed(space(3), &bounds).constrain(c);
+        let projected = b.project_out_trailing(1);
+        // Brute-force shadow of the integer points.
+        let mut shadow: Vec<Vec<i64>> = Vec::new();
+        for p in b.points() {
+            let q = p[..2].to_vec();
+            if !shadow.contains(&q) { shadow.push(q); }
+        }
+        // Every shadow point is in the projection.
+        for q in &shadow {
+            prop_assert!(projected.contains(q), "missing shadow point {q:?}");
+        }
+        // Every projected point within the box bounds is a shadow point
+        // (FM must not over-approximate on this unimodular class).
+        let bb = BasicSet::boxed(space(2), &bounds[..2]);
+        for q in bb.points() {
+            if projected.contains(&q) {
+                prop_assert!(shadow.contains(&q), "FM over-approximated at {q:?}");
+            }
+        }
+    }
+
+    /// Emptiness decided by FM agrees with brute-force point search.
+    #[test]
+    fn emptiness_matches_bruteforce(
+        bounds in small_box(3),
+        c1 in small_constraint(3),
+        c2 in small_constraint(3),
+    ) {
+        let b = BasicSet::boxed(space(3), &bounds).constrain(c1).constrain(c2);
+        let brute_empty = b.points().next().is_none();
+        prop_assert_eq!(b.is_empty(), brute_empty);
+    }
+
+    /// Intersection is commutative and sound w.r.t. membership.
+    #[test]
+    fn intersection_commutes(b1 in small_box(2), b2 in small_box(2)) {
+        let a = BasicSet::boxed(space(2), &b1);
+        let b = BasicSet::boxed(space(2), &b2);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        for p in BasicSet::boxed(space(2), &[(-4, 4), (-4, 4)]).points() {
+            prop_assert_eq!(ab.contains(&p), a.contains(&p) && b.contains(&p));
+            prop_assert_eq!(ab.contains(&p), ba.contains(&p));
+        }
+    }
+
+    /// Set disjointness agrees with brute force.
+    #[test]
+    fn disjointness_matches_bruteforce(b1 in small_box(2), b2 in small_box(2)) {
+        let a = Set::from_basic(BasicSet::boxed(space(2), &b1));
+        let b = Set::from_basic(BasicSet::boxed(space(2), &b2));
+        let brute = !b1.iter().zip(&b2).any(|_| false) && {
+            let mut overlap = false;
+            for p in a.parts[0].points() {
+                if b.contains(&p) { overlap = true; break; }
+            }
+            !overlap
+        };
+        prop_assert_eq!(a.disjoint(&b), brute);
+    }
+
+    /// Affine map application: image membership agrees with evaluation.
+    #[test]
+    fn map_apply_matches_eval(
+        bounds in small_box(2),
+        coeffs in proptest::collection::vec(-2i64..3, 2),
+        k in -5i64..6,
+    ) {
+        let e = LinExpr::new(&coeffs, k);
+        let m = Map::from_affine(space(2), Space::named("o", 1), &[e.clone()]);
+        let dom = Set::from_basic(BasicSet::boxed(space(2), &bounds));
+        let img = m.apply(&dom);
+        for p in dom.parts[0].points() {
+            let v = e.eval(&p);
+            prop_assert!(img.contains(&[v]), "image missing f({p:?}) = {v}");
+        }
+    }
+
+    /// Composition of affine functions equals pointwise composition.
+    #[test]
+    fn compose_matches_eval(
+        a0 in -2i64..3, a1 in -2i64..3, ka in -3i64..4,
+        b0 in -2i64..3, kb in -3i64..4,
+        x in -4i64..5, y in -4i64..5,
+    ) {
+        let f = Map::from_affine(space(2), Space::named("m", 1), &[LinExpr::new(&[a0, a1], ka)]);
+        let g = Map::from_affine(Space::named("m", 1), Space::named("o", 1), &[LinExpr::new(&[b0], kb)]);
+        let gf = f.compose(&g);
+        let fv = a0 * x + a1 * y + ka;
+        let gv = b0 * fv + kb;
+        prop_assert!(gf.contains(&[x, y], &[gv]));
+        prop_assert!(!gf.contains(&[x, y], &[gv + 1]));
+    }
+
+    /// Row-major layout systems (large strides through unit-coefficient
+    /// equalities, as produced by layout materialization) project exactly:
+    /// eliminating the tensor indices from `a = s2*i + s1*j + k` plus box
+    /// bounds yields exactly the reachable address range.
+    #[test]
+    fn layout_strides_stay_exact(p in 1i64..5) {
+        use polyhedra::{BasicMap, Space};
+        let n = p + 1; // dims 0..=p
+        let tsp = Space::set("t", &["i", "j", "k"]);
+        let asp = Space::set("a", &["addr"]);
+        // addr = n^2*i + n*j + k
+        let layout = BasicMap::from_affine(
+            tsp.clone(),
+            asp,
+            &[LinExpr::new(&[n * n, n, 1], 0)],
+        );
+        let dom = BasicSet::boxed(tsp, &[(0, p), (0, p), (0, p)]);
+        let img = layout.apply(&dom);
+        // The image must be exactly [0, n^3 - 1]: row-major over a full
+        // box is surjective onto the flat range.
+        for addr in 0..(n * n * n) {
+            prop_assert!(img.contains(&[addr]), "missing addr {addr}");
+        }
+        prop_assert!(!img.contains(&[-1]));
+        prop_assert!(!img.contains(&[n * n * n]));
+    }
+
+    /// lex_lt over random tuples is a strict total order.
+    #[test]
+    fn lex_total_order(
+        a in proptest::collection::vec(-3i64..4, 3),
+        b in proptest::collection::vec(-3i64..4, 3),
+    ) {
+        let m = polyhedra::lex_lt_map(3);
+        let lt = m.contains(&a, &b);
+        let gt = m.contains(&b, &a);
+        if a == b {
+            prop_assert!(!lt && !gt);
+        } else {
+            prop_assert!(lt ^ gt);
+            prop_assert_eq!(lt, a < b, "lex order must match Vec's Ord");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `pschedule` — polyhedral scheduling and liveness for the CFDlang flow.
+//!
+//! This crate implements steps ⓘⓘⓘ (rescheduling) and ⓘⓥ (analysis /
+//! Mnemosyne metadata generation) of the compilation flow in Figure 4 of
+//! the paper, on top of the `polyhedra` engine:
+//!
+//! * [`model`] — promotes every IR statement to a polyhedral statement
+//!   with an iteration domain and layout-aware read/write access
+//!   relations (the *operand maps* of Section IV-B),
+//! * [`schedule`] — affine schedules `S : stmt[...] → [...]` into a
+//!   common lexicographically-ordered schedule space; the *reference
+//!   schedule* follows program order (Section IV-C),
+//! * [`deps`] — value-based RAW/RAR dependence analysis and polyhedral
+//!   legality checking of candidate schedules,
+//! * [`scheduler`] — a Pluto-like rescheduler: per-statement loop
+//!   permutation and producer–consumer fusion chosen to minimize RAW
+//!   dependence distance and maximize RAR coincidence, validated exactly
+//!   against the dependence relations (Section IV-E),
+//! * [`liveness`] — the paper's liveness analysis (Section IV-F):
+//!   `I = (S×S)∘RAW`, `L = ge_le∘I`, address-space and memory-interface
+//!   compatibility, and the memory compatibility graph of Figure 5.
+
+pub mod deps;
+pub mod liveness;
+pub mod model;
+pub mod schedule;
+pub mod scheduler;
+
+pub use deps::{legal, Dependence, DependenceKind, Dependences};
+pub use liveness::{CompatKind, CompatibilityGraph, Liveness};
+pub use model::{KernelModel, PolyStmt};
+pub use schedule::Schedule;
+pub use scheduler::{reschedule, SchedulerOptions};

@@ -1,0 +1,74 @@
+//! FPGA board descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Programmable-logic resources of a target device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardSpec {
+    pub name: String,
+    pub luts: usize,
+    pub ffs: usize,
+    pub dsps: usize,
+    pub brams: usize,
+    /// Host CPU clock (Hz) — the ARM Cortex-A53 on Zynq boards.
+    pub cpu_hz: f64,
+    /// Fabric clock for the accelerators (Hz).
+    pub fabric_hz: f64,
+    /// Effective host↔PL DMA bandwidth (bytes/second).
+    pub dma_bytes_per_sec: f64,
+    /// Fixed DMA setup latency per transfer burst (seconds).
+    pub dma_setup_s: f64,
+}
+
+impl BoardSpec {
+    /// The Xilinx Zynq UltraScale+ ZCU106 (xczu7ev-ffvc1156-2) used in
+    /// the paper: ~230K LUTs, ~460K FFs, 312 BRAM36, 1,728 DSPs; quad
+    /// Cortex-A53 at 1.2 GHz; kernels synthesized at 200 MHz. The DMA
+    /// bandwidth is calibrated to the transfer fraction implied by
+    /// Figures 9/10 (~0.7 GB/s effective on the HP ports).
+    pub fn zcu106() -> BoardSpec {
+        BoardSpec {
+            name: "ZCU106 (xczu7ev)".into(),
+            luts: 230_400,
+            ffs: 460_800,
+            dsps: 1_728,
+            brams: 312,
+            cpu_hz: 1.2e9,
+            fabric_hz: 200.0e6,
+            dma_bytes_per_sec: 0.70e9,
+            dma_setup_s: 4.0e-6,
+        }
+    }
+
+    /// Percentage of the board's LUTs.
+    pub fn lut_pct(&self, used: usize) -> f64 {
+        100.0 * used as f64 / self.luts as f64
+    }
+
+    /// Percentage of the board's FFs.
+    pub fn ff_pct(&self, used: usize) -> f64 {
+        100.0 * used as f64 / self.ffs as f64
+    }
+
+    /// Percentage of the board's DSPs.
+    pub fn dsp_pct(&self, used: usize) -> f64 {
+        100.0 * used as f64 / self.dsps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu106_matches_paper_figures() {
+        let b = BoardSpec::zcu106();
+        assert_eq!(b.brams, 312);
+        // Paper: 11,318 LUT = 4.9%, 9,523 FF = 2.1%, 15 DSP = 0.9%.
+        assert!((b.lut_pct(11_318) - 4.9).abs() < 0.05);
+        assert!((b.ff_pct(9_523) - 2.1).abs() < 0.05);
+        assert!((b.dsp_pct(15) - 0.9).abs() < 0.05);
+        // Clock ratio: CPU is 6× faster than the fabric.
+        assert!((b.cpu_hz / b.fabric_hz - 6.0).abs() < 1e-9);
+    }
+}

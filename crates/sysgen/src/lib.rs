@@ -1,0 +1,28 @@
+//! `sysgen` — parallel system generation (Section V-B).
+//!
+//! The system generator reads the HLS kernel report, the Mnemosyne memory
+//! subsystem and the board description, and builds the replicated
+//! architecture of Figure 7:
+//!
+//! * it solves Eq. (3) — `[H]·k + [M]·m ≤ [A]` with `m` a power-of-two
+//!   multiple of `k` — to find feasible replication factors,
+//! * it instantiates `k` accelerators and `m` PLM systems plus the
+//!   integration logic: the AXI-lite peripheral that presents the `k`
+//!   accelerators to the host as a single `ap_ctrl` device, the batch
+//!   counter that steers accelerators across PLMs when `k < m`, and the
+//!   data-steering network from the DMA to the PLM instances,
+//! * it emits the host program skeleton: `Ne/m` main-loop iterations of
+//!   input transfer → `m/k` start/wait rounds → output transfer.
+//!
+//! Resource totals are calibrated against Table I of the paper (base
+//! infrastructure ≈ 6.8k LUT, ≈ 4.4–4.9k LUT per added replica).
+
+pub mod board;
+pub mod host;
+pub mod netlist;
+pub mod system;
+
+pub use board::BoardSpec;
+pub use host::HostProgram;
+pub use netlist::emit_system_verilog;
+pub use system::{enumerate_configs, max_equal_config, SystemConfig, SystemDesign};

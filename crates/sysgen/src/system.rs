@@ -1,0 +1,336 @@
+//! Replicated system construction and Eq. (3).
+
+use crate::board::BoardSpec;
+use crate::host::HostProgram;
+use hls::HlsReport;
+use mnemosyne::MemorySubsystem;
+use serde::{Deserialize, Serialize};
+
+/// A replication choice: `k` accelerators and `m` PLM systems with
+/// `m = 2^j · k` (the paper's power-of-two constraint keeps the steering
+/// logic trivial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    pub k: usize,
+    pub m: usize,
+}
+
+impl SystemConfig {
+    /// Executions per accelerator per main-loop round.
+    pub fn batch(&self) -> usize {
+        self.m / self.k
+    }
+
+    /// Validity of the k/m relation.
+    pub fn valid(&self) -> bool {
+        self.k >= 1 && self.m >= self.k && self.m % self.k == 0 && self.batch().is_power_of_two()
+    }
+}
+
+/// Integration-logic resource model, calibrated against Table I: the
+/// fixed infrastructure (AXI DMA, AXI-lite peripheral, timers, reset/
+/// clock) plus per-replica steering (data mux/demux, start broadcast,
+/// done collection, batch counter slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegrationModel {
+    pub base_lut: usize,
+    pub base_ff: usize,
+    pub base_bram: usize,
+    pub glue_lut_per_kernel: usize,
+    pub glue_ff_per_kernel: usize,
+    /// Extra steering per PLM beyond the first batch (k < m).
+    pub glue_lut_per_extra_plm: usize,
+}
+
+impl Default for IntegrationModel {
+    fn default() -> Self {
+        IntegrationModel {
+            base_lut: 6_800,
+            base_ff: 6_100,
+            base_bram: 8,
+            glue_lut_per_kernel: 1_480,
+            glue_ff_per_kernel: 60,
+            glue_lut_per_extra_plm: 220,
+        }
+    }
+}
+
+/// A fully elaborated system instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemDesign {
+    pub config: SystemConfig,
+    pub board: BoardSpec,
+    /// Per-kernel HLS report.
+    pub kernel: HlsReport,
+    /// Per-kernel memory subsystem.
+    pub memory: MemorySubsystem,
+    /// Totals including integration logic.
+    pub luts: usize,
+    pub ffs: usize,
+    pub dsps: usize,
+    pub brams: usize,
+    pub host: HostProgram,
+}
+
+impl SystemDesign {
+    /// Build a system, checking Eq. (3). Returns `None` when the
+    /// configuration does not fit the board.
+    pub fn build(
+        board: &BoardSpec,
+        kernel: &HlsReport,
+        memory: &MemorySubsystem,
+        cfg: SystemConfig,
+        host: HostProgram,
+    ) -> Option<SystemDesign> {
+        assert!(cfg.valid(), "invalid (k, m) = ({}, {})", cfg.k, cfg.m);
+        let im = IntegrationModel::default();
+        let luts = im.base_lut
+            + cfg.k * (kernel.luts + im.glue_lut_per_kernel)
+            + cfg.m * memory.luts
+            + (cfg.m - cfg.k) * im.glue_lut_per_extra_plm;
+        let ffs = im.base_ff
+            + cfg.k * (kernel.ffs + im.glue_ff_per_kernel)
+            + cfg.m * memory.ffs;
+        let dsps = cfg.k * kernel.dsps;
+        let brams = im.base_bram + cfg.k * kernel.brams + cfg.m * memory.brams;
+        let fits = luts <= board.luts
+            && ffs <= board.ffs
+            && dsps <= board.dsps
+            && brams <= board.brams;
+        if !fits {
+            return None;
+        }
+        Some(SystemDesign {
+            config: cfg,
+            board: board.clone(),
+            kernel: kernel.clone(),
+            memory: memory.clone(),
+            luts,
+            ffs,
+            dsps,
+            brams,
+            host,
+        })
+    }
+
+    /// Eq. (3) slack per resource: `[A] - ([H]·k + [M]·m)`.
+    pub fn slack(&self) -> (isize, isize, isize, isize) {
+        (
+            self.board.luts as isize - self.luts as isize,
+            self.board.ffs as isize - self.ffs as isize,
+            self.board.dsps as isize - self.dsps as isize,
+            self.board.brams as isize - self.brams as isize,
+        )
+    }
+}
+
+/// All feasible `(k, m)` pairs with `k ∈ {1, 2, 4, ...}` and
+/// `m = 2^j · k`, by checking Eq. (3) for each.
+pub fn enumerate_configs(
+    board: &BoardSpec,
+    kernel: &HlsReport,
+    memory: &MemorySubsystem,
+) -> Vec<SystemConfig> {
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    while k <= 64 {
+        let mut m = k;
+        while m <= 64 {
+            let cfg = SystemConfig { k, m };
+            let host = HostProgram::placeholder(cfg);
+            if SystemDesign::build(board, kernel, memory, cfg, host).is_some() {
+                out.push(cfg);
+            }
+            m *= 2;
+        }
+        k *= 2;
+    }
+    out
+}
+
+/// The largest feasible `k = m` (power of two) — the configuration the
+/// paper uses for its main results.
+pub fn max_equal_config(
+    board: &BoardSpec,
+    kernel: &HlsReport,
+    memory: &MemorySubsystem,
+) -> Option<SystemConfig> {
+    enumerate_configs(board, kernel, memory)
+        .into_iter()
+        .filter(|c| c.k == c.m)
+        .max_by_key(|c| c.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnemosyne::{MemoryOptions, MnemosyneConfig};
+
+    fn kernel_report() -> HlsReport {
+        HlsReport {
+            kernel: "kernel_body".into(),
+            clock_mhz: 200.0,
+            latency_cycles: 500_000,
+            luts: 2_314,
+            ffs: 2_999,
+            dsps: 15,
+            brams: 0,
+            loops: vec![],
+        }
+    }
+
+    fn memory(sharing: bool) -> MemorySubsystem {
+        // The p=11 Helmholtz memory config (see mnemosyne tests).
+        let mut cfg = MnemosyneConfig::default();
+        let w = 1331;
+        let names: [(&str, usize, bool); 10] = [
+            ("S", 121, true),
+            ("D", w, true),
+            ("u", w, true),
+            ("v", w, true),
+            ("t", w, false),
+            ("r", w, false),
+            ("t0", w, false),
+            ("t1", w, false),
+            ("t2", w, false),
+            ("t3", w, false),
+        ];
+        for (n, words, iface) in names {
+            cfg.arrays.push(mnemosyne::ArraySpec {
+                name: n.into(),
+                words,
+                interface: iface,
+                read_ports: 1,
+                write_ports: 1,
+            });
+        }
+        // Interval compatibilities for the temporaries (stage order).
+        let lt = [(4, 2, 3), (5, 3, 4), (6, 0, 1), (7, 1, 2), (8, 4, 5), (9, 5, 6)];
+        for (i, &(ai, s1, e1)) in lt.iter().enumerate() {
+            for &(aj, s2, e2) in &lt[i + 1..] {
+                if e1 < s2 || e2 < s1 {
+                    cfg.address_space_compatible.push((ai.min(aj), ai.max(aj)));
+                }
+            }
+        }
+        mnemosyne::synthesize(
+            &cfg,
+            &MemoryOptions {
+                sharing,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn config_validity() {
+        assert!(SystemConfig { k: 2, m: 8 }.valid());
+        assert_eq!(SystemConfig { k: 2, m: 8 }.batch(), 4);
+        // The paper's constraint is on the ratio m/k (a power of two),
+        // not on k itself.
+        assert!(SystemConfig { k: 3, m: 6 }.valid());
+        assert!(!SystemConfig { k: 4, m: 2 }.valid());
+        assert!(!SystemConfig { k: 3, m: 7 }.valid());
+    }
+
+    #[test]
+    fn no_sharing_fits_eight_kernels() {
+        // Paper: 31 BRAM/PLM → max m = k = 8. Our model: 28 BRAM → the
+        // same maximum (16 × 28 = 448 > 312).
+        let b = BoardSpec::zcu106();
+        let mem = memory(false);
+        assert_eq!(mem.brams, 28);
+        let max = max_equal_config(&b, &kernel_report(), &mem).unwrap();
+        assert_eq!((max.k, max.m), (8, 8));
+    }
+
+    #[test]
+    fn sharing_fits_sixteen_kernels() {
+        // Paper: 18 BRAM/PLM → max m = k = 16 (the headline result).
+        let b = BoardSpec::zcu106();
+        let mem = memory(true);
+        assert_eq!(mem.brams, 16);
+        let max = max_equal_config(&b, &kernel_report(), &mem).unwrap();
+        assert_eq!((max.k, max.m), (16, 16));
+    }
+
+    #[test]
+    fn table1_lut_totals_within_ten_percent() {
+        let b = BoardSpec::zcu106();
+        let mem = memory(true);
+        let paper = [(1usize, 11_292usize), (2, 15_572), (4, 24_480), (8, 42_141), (16, 77_235)];
+        for (k, lut_paper) in paper {
+            let cfg = SystemConfig { k, m: k };
+            let d = SystemDesign::build(
+                &b,
+                &kernel_report(),
+                &mem,
+                cfg,
+                HostProgram::placeholder(cfg),
+            )
+            .unwrap();
+            let rel = (d.luts as f64 - lut_paper as f64).abs() / lut_paper as f64;
+            assert!(
+                rel < 0.10,
+                "k={k}: model {} vs paper {lut_paper} ({:.1}% off)",
+                d.luts,
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn dsp_totals_match_paper_exactly() {
+        let b = BoardSpec::zcu106();
+        let mem = memory(true);
+        for k in [1usize, 2, 4, 8, 16] {
+            let cfg = SystemConfig { k, m: k };
+            let d = SystemDesign::build(
+                &b,
+                &kernel_report(),
+                &mem,
+                cfg,
+                HostProgram::placeholder(cfg),
+            )
+            .unwrap();
+            assert_eq!(d.dsps, 15 * k);
+        }
+    }
+
+    #[test]
+    fn k_less_than_m_configs_enumerate() {
+        let b = BoardSpec::zcu106();
+        let mem = memory(true);
+        let configs = enumerate_configs(&b, &kernel_report(), &mem);
+        assert!(configs.contains(&SystemConfig { k: 1, m: 1 }));
+        assert!(configs.contains(&SystemConfig { k: 2, m: 4 }));
+        assert!(configs.contains(&SystemConfig { k: 4, m: 16 }));
+        assert!(!configs.contains(&SystemConfig { k: 32, m: 32 }));
+    }
+
+    #[test]
+    fn slack_is_nonnegative_for_built_systems() {
+        let b = BoardSpec::zcu106();
+        let mem = memory(true);
+        let cfg = SystemConfig { k: 16, m: 16 };
+        let d = SystemDesign::build(&b, &kernel_report(), &mem, cfg, HostProgram::placeholder(cfg))
+            .unwrap();
+        let (l, f, ds, br) = d.slack();
+        assert!(l >= 0 && f >= 0 && ds >= 0 && br >= 0);
+    }
+
+    #[test]
+    fn infeasible_config_rejected() {
+        let b = BoardSpec::zcu106();
+        let mem = memory(false);
+        let cfg = SystemConfig { k: 16, m: 16 };
+        assert!(SystemDesign::build(
+            &b,
+            &kernel_report(),
+            &mem,
+            cfg,
+            HostProgram::placeholder(cfg)
+        )
+        .is_none());
+    }
+}

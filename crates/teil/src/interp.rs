@@ -1,0 +1,418 @@
+//! Reference interpreter with operation counting.
+//!
+//! The interpreter defines the functional semantics of the IR; every other
+//! execution path in the repository (generated C-like loop nests, the HLS
+//! accelerator model, the full-system simulation) is validated against it.
+//! The operation counts it produces feed the ARM software cost model of
+//! the `zynq` crate.
+
+use crate::ir::{Module, PointExpr, Stmt, TensorKind};
+use cfdlang::BinOp;
+use std::collections::HashMap;
+
+/// A dense row-major tensor of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    pub shape: Vec<usize>,
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    /// All-zero tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Fill from a function of the multi-index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f64) -> Self {
+        let mut t = Tensor::zeros(shape);
+        let mut idx = vec![0usize; shape.len()];
+        for flat in 0..t.data.len() {
+            t.data[flat] = f(&idx);
+            advance(&mut idx, shape);
+        }
+        t
+    }
+
+    /// Number of elements.
+    pub fn volume(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        row_major_strides(&self.shape)
+    }
+
+    /// Flat offset of a multi-index.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let strides = self.strides();
+        idx.iter().zip(&strides).map(|(i, s)| i * s).sum()
+    }
+
+    /// Element access by multi-index.
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Mutable element access by multi-index.
+    pub fn set(&mut self, idx: &[usize], v: f64) {
+        let o = self.offset(idx);
+        self.data[o] = v;
+    }
+
+    /// Maximum relative difference to another tensor (0 for identical).
+    pub fn max_rel_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() / scale
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Row-major strides for a shape.
+pub fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for d in (0..shape.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    strides
+}
+
+/// Advance a multi-index odometer-style; wraps to all-zero at the end.
+pub fn advance(idx: &mut [usize], shape: &[usize]) {
+    for d in (0..idx.len()).rev() {
+        idx[d] += 1;
+        if idx[d] < shape[d] {
+            return;
+        }
+        idx[d] = 0;
+    }
+}
+
+/// Scalar operation counts accumulated during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub fp_add: u64,
+    pub fp_sub: u64,
+    pub fp_mul: u64,
+    pub fp_div: u64,
+    pub loads: u64,
+    pub stores: u64,
+    /// Total innermost iteration count (used for loop-overhead modelling).
+    pub iters: u64,
+}
+
+impl ExecStats {
+    /// All floating-point operations.
+    pub fn flops(&self) -> u64 {
+        self.fp_add + self.fp_sub + self.fp_mul + self.fp_div
+    }
+
+    /// Element-wise sum of two stat records.
+    pub fn merge(&self, o: &ExecStats) -> ExecStats {
+        ExecStats {
+            fp_add: self.fp_add + o.fp_add,
+            fp_sub: self.fp_sub + o.fp_sub,
+            fp_mul: self.fp_mul + o.fp_mul,
+            fp_div: self.fp_div + o.fp_div,
+            loads: self.loads + o.loads,
+            stores: self.stores + o.stores,
+            iters: self.iters + o.iters,
+        }
+    }
+}
+
+/// Result of running a module.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Value of every tensor after execution (indexed by `TensorId`).
+    pub values: Vec<Tensor>,
+    pub stats: ExecStats,
+}
+
+impl Execution {
+    /// Value of a tensor by name.
+    pub fn value(&self, module: &Module, name: &str) -> Option<&Tensor> {
+        module.find(name).map(|id| &self.values[id.0])
+    }
+}
+
+/// The reference interpreter.
+pub struct Interpreter<'m> {
+    module: &'m Module,
+}
+
+impl<'m> Interpreter<'m> {
+    pub fn new(module: &'m Module) -> Self {
+        Interpreter { module }
+    }
+
+    /// Execute the module on the given inputs (by tensor name). Every
+    /// input tensor must be provided with the declared shape.
+    pub fn run(&self, inputs: &HashMap<String, Tensor>) -> Result<Execution, String> {
+        let m = self.module;
+        let mut values: Vec<Tensor> = Vec::with_capacity(m.tensors.len());
+        for decl in &m.tensors {
+            match decl.kind {
+                TensorKind::Input => {
+                    let t = inputs
+                        .get(&decl.name)
+                        .ok_or_else(|| format!("missing input '{}'", decl.name))?;
+                    if t.shape != decl.shape {
+                        return Err(format!(
+                            "input '{}' has shape {:?}, declared {:?}",
+                            decl.name, t.shape, decl.shape
+                        ));
+                    }
+                    values.push(t.clone());
+                }
+                _ => values.push(Tensor::zeros(&decl.shape)),
+            }
+        }
+        let mut stats = ExecStats::default();
+        for stmt in &m.stmts {
+            self.exec_stmt(stmt, &mut values, &mut stats)?;
+        }
+        Ok(Execution { values, stats })
+    }
+
+    fn exec_stmt(
+        &self,
+        stmt: &Stmt,
+        values: &mut [Tensor],
+        stats: &mut ExecStats,
+    ) -> Result<(), String> {
+        let m = self.module;
+        let out_shape = m.shape(stmt.out).to_vec();
+        let out_rank = out_shape.len();
+        let ext = m.iter_extents(stmt);
+        let out_vol: usize = out_shape.iter().product();
+        let red_vol: usize = stmt.reduce_extents.iter().product();
+
+        let mut result = Tensor::zeros(&out_shape);
+        let mut idx = vec![0usize; ext.len()];
+        for o in 0..out_vol {
+            let mut acc = 0.0f64;
+            for _ in 0..red_vol.max(1) {
+                let v = eval(m, &stmt.expr, &idx, values, stats);
+                if stmt.is_reduction() {
+                    acc += v;
+                    stats.fp_add += 1;
+                } else {
+                    acc = v;
+                }
+                stats.iters += 1;
+                // Advance reduction part of the odometer.
+                advance(&mut idx[out_rank..], &ext[out_rank..]);
+            }
+            result.data[o] = acc;
+            stats.stores += 1;
+            advance(&mut idx[..out_rank], &ext[..out_rank]);
+        }
+        values[stmt.out.0] = result;
+        Ok(())
+    }
+}
+
+fn eval(
+    m: &Module,
+    e: &PointExpr,
+    idx: &[usize],
+    values: &[Tensor],
+    stats: &mut ExecStats,
+) -> f64 {
+    match e {
+        PointExpr::Const(c) => *c,
+        PointExpr::Access { tensor, index_map } => {
+            stats.loads += 1;
+            let t = &values[tensor.0];
+            let mut flat = 0usize;
+            let strides = row_major_strides(&t.shape);
+            for (d, &v) in index_map.iter().enumerate() {
+                flat += idx[v] * strides[d];
+            }
+            t.data[flat]
+        }
+        PointExpr::Bin { op, lhs, rhs } => {
+            let a = eval(m, lhs, idx, values, stats);
+            let b = eval(m, rhs, idx, values, stats);
+            match op {
+                BinOp::Add => {
+                    stats.fp_add += 1;
+                    a + b
+                }
+                BinOp::Sub => {
+                    stats.fp_sub += 1;
+                    a - b
+                }
+                BinOp::Mul => {
+                    stats.fp_mul += 1;
+                    a * b
+                }
+                BinOp::Div => {
+                    stats.fp_div += 1;
+                    a / b
+                }
+            }
+        }
+    }
+}
+
+/// Build the input map for a module from `(name, tensor)` pairs.
+pub fn inputs_from(pairs: Vec<(&str, Tensor)>) -> HashMap<String, Tensor> {
+    pairs
+        .into_iter()
+        .map(|(n, t)| (n.to_string(), t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::transform::factorize;
+
+    fn lower_src(src: &str) -> Module {
+        lower(&cfdlang::check(&cfdlang::parse(src).unwrap()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tensor_row_major_layout() {
+        let t = Tensor::from_fn(&[2, 3], |idx| (idx[0] * 10 + idx[1]) as f64);
+        assert_eq!(t.data, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(t.get(&[1, 2]), 12.0);
+        assert_eq!(t.strides(), vec![3, 1]);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = lower_src(
+            "var input S : [2 2]\nvar input u : [2]\nvar output o : [2]\no = S # u . [[1 2]]",
+        );
+        let s = Tensor {
+            shape: vec![2, 2],
+            data: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let u = Tensor {
+            shape: vec![2],
+            data: vec![5.0, 6.0],
+        };
+        let ex = Interpreter::new(&m)
+            .run(&inputs_from(vec![("S", s), ("u", u)]))
+            .unwrap();
+        let o = ex.value(&m, "o").unwrap();
+        assert_eq!(o.data, vec![1.0 * 5.0 + 2.0 * 6.0, 3.0 * 5.0 + 4.0 * 6.0]);
+    }
+
+    #[test]
+    fn hadamard_and_axpy() {
+        let m = lower_src(&cfdlang::examples::axpy(2));
+        let x = Tensor::from_fn(&[2, 2, 2], |i| (i[0] + i[1] + i[2]) as f64);
+        let y = Tensor::from_fn(&[2, 2, 2], |_| 1.0);
+        let a = Tensor {
+            shape: vec![],
+            data: vec![2.0],
+        };
+        let ex = Interpreter::new(&m)
+            .run(&inputs_from(vec![("x", x.clone()), ("y", y), ("a", a)]))
+            .unwrap();
+        let o = ex.value(&m, "o").unwrap();
+        for (i, v) in o.data.iter().enumerate() {
+            assert_eq!(*v, 2.0 * x.data[i] + 1.0);
+        }
+    }
+
+    #[test]
+    fn factorization_preserves_semantics() {
+        let m = lower_src(&cfdlang::examples::inverse_helmholtz(4));
+        let f = factorize(&m);
+        let mk = |seed: usize| {
+            Tensor::from_fn(&[4, 4, 4], |i| {
+                ((i[0] * 31 + i[1] * 17 + i[2] * 7 + seed) % 13) as f64 * 0.25 - 1.0
+            })
+        };
+        let s = Tensor::from_fn(&[4, 4], |i| ((i[0] * 5 + i[1] * 3) % 7) as f64 * 0.5 - 1.0);
+        let inputs = inputs_from(vec![("S", s), ("D", mk(1)), ("u", mk(2))]);
+        let e1 = Interpreter::new(&m).run(&inputs).unwrap();
+        let e2 = Interpreter::new(&f).run(&inputs).unwrap();
+        let v1 = e1.value(&m, "v").unwrap();
+        let v2 = e2.value(&f, "v").unwrap();
+        assert!(
+            v1.max_rel_diff(v2) < 1e-12,
+            "factorized result diverged: {}",
+            v1.max_rel_diff(v2)
+        );
+    }
+
+    #[test]
+    fn identity_helmholtz_is_identity() {
+        // With S = I and D = 1, the operator reduces to v = u.
+        let m = lower_src(&cfdlang::examples::inverse_helmholtz(3));
+        let s = Tensor::from_fn(&[3, 3], |i| if i[0] == i[1] { 1.0 } else { 0.0 });
+        let d = Tensor::from_fn(&[3, 3, 3], |_| 1.0);
+        let u = Tensor::from_fn(&[3, 3, 3], |i| (i[0] * 9 + i[1] * 3 + i[2]) as f64);
+        let ex = Interpreter::new(&m)
+            .run(&inputs_from(vec![("S", s), ("D", d), ("u", u.clone())]))
+            .unwrap();
+        assert_eq!(ex.value(&m, "v").unwrap().data, u.data);
+    }
+
+    #[test]
+    fn op_counts_match_formula() {
+        let m = lower_src(&cfdlang::examples::inverse_helmholtz(4));
+        let n = 4usize;
+        let s = Tensor::zeros(&[n, n]);
+        let d = Tensor::zeros(&[n, n, n]);
+        let u = Tensor::zeros(&[n, n, n]);
+        let ex = Interpreter::new(&m)
+            .run(&inputs_from(vec![("S", s), ("D", d), ("u", u)]))
+            .unwrap();
+        // Two contractions: n^6 iterations × 3 muls; Hadamard: n^3 muls.
+        let expected_mul = 2 * n.pow(6) * 3 + n.pow(3);
+        assert_eq!(ex.stats.fp_mul, expected_mul as u64);
+        // Accumulation adds: one per reduction iteration.
+        assert_eq!(ex.stats.fp_add, (2 * n.pow(6)) as u64);
+        // Stores: each statement writes its whole output once.
+        assert_eq!(ex.stats.stores, (3 * n.pow(3)) as u64);
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let m = lower_src("var input a : [2]\nvar output o : [2]\no = a");
+        let err = Interpreter::new(&m).run(&HashMap::new()).unwrap_err();
+        assert!(err.contains("missing input 'a'"));
+    }
+
+    #[test]
+    fn wrong_shape_is_error() {
+        let m = lower_src("var input a : [2]\nvar output o : [2]\no = a");
+        let err = Interpreter::new(&m)
+            .run(&inputs_from(vec![("a", Tensor::zeros(&[3]))]))
+            .unwrap_err();
+        assert!(err.contains("shape"));
+    }
+
+    #[test]
+    fn max_rel_diff_detects_difference() {
+        let a = Tensor {
+            shape: vec![2],
+            data: vec![1.0, 2.0],
+        };
+        let b = Tensor {
+            shape: vec![2],
+            data: vec![1.0, 2.2],
+        };
+        assert!(a.max_rel_diff(&b) > 0.05);
+        assert_eq!(a.max_rel_diff(&a), 0.0);
+    }
+}

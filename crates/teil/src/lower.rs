@@ -1,0 +1,313 @@
+//! Lowering from the CFDlang AST to the tensor IR (step ⓘ of Figure 4).
+//!
+//! Every DSL assignment becomes one IR statement in the uniform loop-nest
+//! form; nested contractions or products inside entry-wise expressions
+//! are materialized into compiler temporaries first (pseudo-SSA).
+
+use crate::ir::{Module, PointExpr, Stmt, TensorId, TensorKind};
+use cfdlang::ast::{DeclKind, Expr};
+use cfdlang::sema::{infer, TypedProgram};
+
+/// Lower a checked program into a [`Module`].
+pub fn lower(typed: &TypedProgram) -> Result<Module, String> {
+    let mut module = Module::default();
+    for name in &typed.order {
+        let kind = match typed.kinds[name] {
+            DeclKind::Input => TensorKind::Input,
+            DeclKind::Output => TensorKind::Output,
+            DeclKind::Local => TensorKind::Temp,
+        };
+        module.declare(name.clone(), typed.shapes[name].clone(), kind);
+    }
+    for stmt in &typed.program.stmts {
+        let out = module
+            .find(&stmt.lhs)
+            .ok_or_else(|| format!("unknown lhs '{}'", stmt.lhs))?;
+        lower_assign(&mut module, typed, out, &stmt.rhs)?;
+    }
+    module.validate()?;
+    Ok(module)
+}
+
+/// Lower `out = expr` into one statement (materializing temporaries for
+/// nested non-entry-wise subexpressions).
+fn lower_assign(
+    module: &mut Module,
+    typed: &TypedProgram,
+    out: TensorId,
+    expr: &Expr,
+) -> Result<(), String> {
+    match expr {
+        Expr::Contract { operand, pairs, .. } => {
+            let atoms = flatten_product(operand);
+            // Materialize every atom to a tensor value.
+            let mut atom_ids = Vec::with_capacity(atoms.len());
+            for a in atoms {
+                atom_ids.push(lower_to_value(module, typed, a)?);
+            }
+            lower_contraction(module, out, &atom_ids, pairs)
+        }
+        Expr::Product { .. } => {
+            let atoms = flatten_product(expr);
+            let mut atom_ids = Vec::with_capacity(atoms.len());
+            for a in atoms {
+                atom_ids.push(lower_to_value(module, typed, a)?);
+            }
+            lower_contraction(module, out, &atom_ids, &[])
+        }
+        // Entry-wise expression (possibly containing nested contractions
+        // that get materialized).
+        _ => {
+            let out_rank = module.shape(out).len();
+            let pe = lower_pointwise(module, typed, expr, out_rank)?;
+            module.stmts.push(Stmt {
+                out,
+                reduce_extents: vec![],
+                expr: pe,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Lower an expression to a tensor value, materializing a temporary if it
+/// is not already an identifier.
+fn lower_to_value(
+    module: &mut Module,
+    typed: &TypedProgram,
+    expr: &Expr,
+) -> Result<TensorId, String> {
+    if let Expr::Ident(name, _) = expr {
+        return module
+            .find(name)
+            .ok_or_else(|| format!("unknown tensor '{name}'"));
+    }
+    let shape = infer(expr, &typed.shapes).map_err(|d| d.to_string())?;
+    let name = module.fresh_temp_name("tmp");
+    let id = module.declare(name, shape, TensorKind::Temp);
+    lower_assign(module, typed, id, expr)?;
+    Ok(id)
+}
+
+/// Flatten nested `#` products into a list of atom expressions.
+fn flatten_product(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Product { operands, .. } => operands.iter().flat_map(flatten_product).collect(),
+        other => vec![other],
+    }
+}
+
+/// Lower a contraction of materialized atoms.
+///
+/// The dimensions of the outer product `a0 # a1 # ...` are numbered
+/// consecutively; `pairs` contracts pairs of them. Remaining dimensions,
+/// in order, become the output iteration variables `0..out_rank`; each
+/// pair gets one reduction variable.
+fn lower_contraction(
+    module: &mut Module,
+    out: TensorId,
+    atoms: &[TensorId],
+    pairs: &[(usize, usize)],
+) -> Result<(), String> {
+    // Product dimension table: (atom index, dim within atom, extent).
+    let mut prod_dims: Vec<(usize, usize, usize)> = Vec::new();
+    for (ai, &a) in atoms.iter().enumerate() {
+        for (d, &ext) in module.shape(a).iter().enumerate() {
+            prod_dims.push((ai, d, ext));
+        }
+    }
+    let rank = prod_dims.len();
+    let mut pair_of: Vec<Option<usize>> = vec![None; rank];
+    for (pi, &(a, b)) in pairs.iter().enumerate() {
+        if a >= rank || b >= rank {
+            return Err(format!("contraction pair ({a},{b}) out of range"));
+        }
+        pair_of[a] = Some(pi);
+        pair_of[b] = Some(pi);
+    }
+    // Assign iteration variables.
+    let out_rank = module.shape(out).len();
+    let mut var_of_dim: Vec<usize> = vec![usize::MAX; rank];
+    let mut next_out = 0usize;
+    for (d, p) in pair_of.iter().enumerate() {
+        match p {
+            None => {
+                var_of_dim[d] = next_out;
+                next_out += 1;
+            }
+            Some(pi) => {
+                var_of_dim[d] = out_rank + pi;
+            }
+        }
+    }
+    if next_out != out_rank {
+        return Err(format!(
+            "contraction produces rank {next_out}, output has rank {out_rank}"
+        ));
+    }
+    let reduce_extents: Vec<usize> = pairs
+        .iter()
+        .map(|&(a, _)| prod_dims[a].2)
+        .collect();
+    // Build access factors.
+    let mut factors = Vec::with_capacity(atoms.len());
+    let mut cursor = 0usize;
+    for &a in atoms {
+        let r = module.shape(a).len();
+        let index_map: Vec<usize> = (0..r).map(|d| var_of_dim[cursor + d]).collect();
+        cursor += r;
+        factors.push(PointExpr::Access {
+            tensor: a,
+            index_map,
+        });
+    }
+    module.stmts.push(Stmt {
+        out,
+        reduce_extents,
+        expr: PointExpr::product(factors),
+    });
+    Ok(())
+}
+
+/// Lower an entry-wise expression tree; identifiers access with the
+/// identity index map over the output iteration variables, scalars access
+/// with an empty map (broadcast).
+fn lower_pointwise(
+    module: &mut Module,
+    typed: &TypedProgram,
+    expr: &Expr,
+    out_rank: usize,
+) -> Result<PointExpr, String> {
+    match expr {
+        Expr::Num(v, _) => Ok(PointExpr::Const(*v)),
+        Expr::Ident(name, _) => {
+            let id = module
+                .find(name)
+                .ok_or_else(|| format!("unknown tensor '{name}'"))?;
+            let rank = module.shape(id).len();
+            Ok(PointExpr::Access {
+                tensor: id,
+                index_map: (0..rank).collect(),
+            })
+        }
+        Expr::Binary { op, lhs, rhs, .. } => Ok(PointExpr::Bin {
+            op: *op,
+            lhs: Box::new(lower_pointwise(module, typed, lhs, out_rank)?),
+            rhs: Box::new(lower_pointwise(module, typed, rhs, out_rank)?),
+        }),
+        // Nested contraction/product inside an entry-wise expression:
+        // materialize it, then access it entry-wise.
+        Expr::Contract { .. } | Expr::Product { .. } => {
+            let id = lower_to_value(module, typed, expr)?;
+            let rank = module.shape(id).len();
+            Ok(PointExpr::Access {
+                tensor: id,
+                index_map: (0..rank).collect(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::TensorKind;
+
+    fn lower_src(src: &str) -> Module {
+        let typed = cfdlang::check(&cfdlang::parse(src).unwrap()).unwrap();
+        lower(&typed).unwrap()
+    }
+
+    #[test]
+    fn helmholtz_lowers_to_three_statements() {
+        let m = lower_src(&cfdlang::examples::inverse_helmholtz(11));
+        assert_eq!(m.stmts.len(), 3);
+        // t-statement: 3 reduction dims, 4 factors.
+        let t = &m.stmts[0];
+        assert_eq!(t.reduce_extents, vec![11, 11, 11]);
+        assert_eq!(t.expr.product_factors().unwrap().len(), 4);
+        // r-statement: Hadamard, no reduction.
+        let r = &m.stmts[1];
+        assert!(!r.is_reduction());
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn helmholtz_first_contraction_index_maps() {
+        // t_ijk = sum_{l,m,n} S[i,l] S[j,m] S[k,n] u[l,m,n]
+        // Iteration vars: i=0 j=1 k=2 l=3 m=4 n=5.
+        let m = lower_src(&cfdlang::examples::inverse_helmholtz(11));
+        let fs = m.stmts[0].expr.product_factors().unwrap();
+        assert_eq!(fs[0].1, vec![0, 3]); // S[i,l]
+        assert_eq!(fs[1].1, vec![1, 4]); // S[j,m]
+        assert_eq!(fs[2].1, vec![2, 5]); // S[k,n]
+        assert_eq!(fs[3].1, vec![3, 4, 5]); // u[l,m,n]
+    }
+
+    #[test]
+    fn helmholtz_second_contraction_transposed() {
+        // v_ijk = sum_{l,m,n} S[l,i] S[m,j] S[n,k] r[l,m,n]
+        let m = lower_src(&cfdlang::examples::inverse_helmholtz(11));
+        let fs = m.stmts[2].expr.product_factors().unwrap();
+        assert_eq!(fs[0].1, vec![3, 0]); // S[l,i]
+        assert_eq!(fs[1].1, vec![4, 1]);
+        assert_eq!(fs[2].1, vec![5, 2]);
+        assert_eq!(fs[3].1, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn pointwise_mixed_ops() {
+        let m = lower_src("var input a : [3]\nvar input b : [3]\nvar output o : [3]\no = a * b + a");
+        assert_eq!(m.stmts.len(), 1);
+        assert_eq!(m.stmts[0].expr.flops(), 2);
+    }
+
+    #[test]
+    fn scalar_broadcast_has_empty_map() {
+        let m = lower_src(&cfdlang::examples::axpy(4));
+        let accesses = m.stmts[0].expr.accesses();
+        // a (scalar) has empty index map.
+        assert!(accesses.iter().any(|(t, im)| m.name(**t) == "a" && im.is_empty()));
+    }
+
+    #[test]
+    fn nested_contraction_materializes_temp() {
+        // o = D * (S # u . [[1 2]]) — contraction inside Hadamard.
+        let m = lower_src(
+            "var input S : [3 3]\nvar input u : [3]\nvar input D : [3]\nvar output o : [3]\n\
+             o = D * (S # u . [[1 2]])",
+        );
+        assert_eq!(m.stmts.len(), 2);
+        assert_eq!(m.of_kind(TensorKind::Temp).len(), 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn outer_product_without_contraction() {
+        let m = lower_src(
+            "var input a : [2]\nvar input b : [3]\nvar output o : [2 3]\no = a # b",
+        );
+        assert_eq!(m.stmts.len(), 1);
+        assert!(!m.stmts[0].is_reduction());
+        let fs = m.stmts[0].expr.product_factors().unwrap();
+        assert_eq!(fs[0].1, vec![0]);
+        assert_eq!(fs[1].1, vec![1]);
+    }
+
+    #[test]
+    fn plain_copy_statement() {
+        let m = lower_src("var input a : [4]\nvar output o : [4]\no = a");
+        assert_eq!(m.stmts.len(), 1);
+        assert!(matches!(m.stmts[0].expr, PointExpr::Access { .. }));
+    }
+
+    #[test]
+    fn matrix_sandwich_two_contractions() {
+        let m = lower_src(&cfdlang::examples::matrix_sandwich(4));
+        assert_eq!(m.stmts.len(), 2);
+        // w = S # A . [[0 2]] : w[i,j] = sum_l S[l,i] A[l,j]
+        let fs = m.stmts[0].expr.product_factors().unwrap();
+        assert_eq!(fs[0].1, vec![2, 0]);
+        assert_eq!(fs[1].1, vec![2, 1]);
+    }
+}

@@ -1,0 +1,349 @@
+//! IR canonicalization (step ⓘ of Figure 4).
+//!
+//! The central transform is **contraction factorization**: a contraction
+//! with `q` independent reduction dimensions and a pure-product body is
+//! rewritten into `q` staged binary contractions, lowering the asymptotic
+//! cost from `O(p^{2q})` to `O(q · p^{q+1})` per element. For the Inverse
+//! Helmholtz operator this is the rewrite of Section IV-A:
+//!
+//! ```text
+//! t = ( S ⊗ ( S ⊗ (S ⊗ u)ᶜᶻₓᵧᶻ )ᵇʸ꜀ₓᵧ )ᵃˣᵦ꜀ₓ
+//! ```
+//!
+//! turning one `O(p⁶)` loop nest into three `O(p⁴)` nests with two new
+//! temporaries per contraction (`t0, t1, ...` — the temporaries visible in
+//! Figure 6 of the paper).
+
+use crate::ir::{Module, PointExpr, Stmt, TensorId, TensorKind};
+use std::collections::HashMap;
+
+/// Factorize every factorizable contraction in the module. Returns a new
+/// module; the original is untouched.
+pub fn factorize(module: &Module) -> Module {
+    let mut out = Module {
+        tensors: module.tensors.clone(),
+        stmts: Vec::new(),
+    };
+    for stmt in &module.stmts {
+        factorize_stmt(&mut out, module, stmt);
+    }
+    debug_assert_eq!(out.validate(), Ok(()));
+    out
+}
+
+fn factorize_stmt(out: &mut Module, src: &Module, stmt: &Stmt) {
+    let out_rank = src.shape(stmt.out).len();
+    let mut reduce_extents = stmt.reduce_extents.clone();
+    let factors = match stmt.expr.product_factors() {
+        Some(f) if stmt.reduce_rank() >= 2 && f.len() >= 2 => f,
+        _ => {
+            out.stmts.push(stmt.clone());
+            return;
+        }
+    };
+    let mut factors: Vec<(TensorId, Vec<usize>)> = factors;
+
+    // Eliminate reduction variables from the last one down; eliminating
+    // the last keeps the numbering of the remaining variables stable.
+    while reduce_extents.len() > 1 {
+        let r = out_rank + reduce_extents.len() - 1;
+        let touches: Vec<usize> = (0..factors.len())
+            .filter(|&i| factors[i].1.contains(&r))
+            .collect();
+        // Splitting only helps if some factor does not touch r.
+        if touches.is_empty() || touches.len() == factors.len() {
+            break;
+        }
+        // The new temporary's dimensions: all iteration variables used by
+        // the touching group except r, ascending.
+        let mut temp_vars: Vec<usize> = Vec::new();
+        for &fi in &touches {
+            for &v in &factors[fi].1 {
+                if v != r && !temp_vars.contains(&v) {
+                    temp_vars.push(v);
+                }
+            }
+        }
+        temp_vars.sort_unstable();
+        let extent_of = |v: usize| -> usize {
+            if v < out_rank {
+                src.shape(stmt.out)[v]
+            } else {
+                reduce_extents[v - out_rank]
+            }
+        };
+        let temp_shape: Vec<usize> = temp_vars.iter().map(|&v| extent_of(v)).collect();
+        let temp_name = out.fresh_temp_name("t");
+        let temp = out.declare(temp_name, temp_shape, TensorKind::Temp);
+
+        // Stage statement: temp[temp_vars...] = sum_r Π touching factors.
+        // In the stage's iteration space, temp dim d is variable d and r
+        // is variable temp_vars.len().
+        let stage_var = |v: usize| -> usize {
+            if v == r {
+                temp_vars.len()
+            } else {
+                temp_vars.iter().position(|&t| t == v).expect("var in temp dims")
+            }
+        };
+        let stage_factors: Vec<PointExpr> = touches
+            .iter()
+            .map(|&fi| PointExpr::Access {
+                tensor: factors[fi].0,
+                index_map: factors[fi].1.iter().map(|&v| stage_var(v)).collect(),
+            })
+            .collect();
+        out.stmts.push(Stmt {
+            out: temp,
+            reduce_extents: vec![extent_of(r)],
+            expr: PointExpr::product(stage_factors),
+        });
+
+        // Replace the touching group by an access to the temporary.
+        let mut new_factors: Vec<(TensorId, Vec<usize>)> = Vec::new();
+        for (i, f) in factors.iter().enumerate() {
+            if !touches.contains(&i) {
+                new_factors.push(f.clone());
+            }
+        }
+        new_factors.push((temp, temp_vars.clone()));
+        factors = new_factors;
+        reduce_extents.pop();
+    }
+
+    let exprs: Vec<PointExpr> = factors
+        .into_iter()
+        .map(|(tensor, index_map)| PointExpr::Access { tensor, index_map })
+        .collect();
+    out.stmts.push(Stmt {
+        out: stmt.out,
+        reduce_extents,
+        expr: PointExpr::product(exprs),
+    });
+}
+
+/// Dead-code elimination: drop statements defining temporaries that are
+/// never read (transitively) and remove the now-unreferenced tensor
+/// declarations, remapping ids.
+pub fn dce(module: &Module) -> Module {
+    // Mark live tensors backwards from outputs.
+    let mut live = vec![false; module.tensors.len()];
+    for id in module.of_kind(TensorKind::Output) {
+        live[id.0] = true;
+    }
+    // Inputs stay part of the interface even if unread.
+    for id in module.of_kind(TensorKind::Input) {
+        live[id.0] = true;
+    }
+    loop {
+        let mut changed = false;
+        for stmt in module.stmts.iter().rev() {
+            if live[stmt.out.0] {
+                for t in stmt.reads() {
+                    if !live[t.0] {
+                        live[t.0] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Remap ids.
+    let mut remap: HashMap<TensorId, TensorId> = HashMap::new();
+    let mut out = Module::default();
+    for (i, t) in module.tensors.iter().enumerate() {
+        if live[i] {
+            let new = out.declare(t.name.clone(), t.shape.clone(), t.kind);
+            remap.insert(TensorId(i), new);
+        }
+    }
+    for stmt in &module.stmts {
+        if !live[stmt.out.0] {
+            continue;
+        }
+        out.stmts.push(Stmt {
+            out: remap[&stmt.out],
+            reduce_extents: stmt.reduce_extents.clone(),
+            expr: remap_expr(&stmt.expr, &remap),
+        });
+    }
+    debug_assert_eq!(out.validate(), Ok(()));
+    out
+}
+
+/// Common-subexpression elimination for whole statements: if two
+/// statements compute identical right-hand sides into temporaries, reuse
+/// the first. (The paper's pseudo-SSA form makes this sound: tensors are
+/// assigned once and never mutated.)
+pub fn cse(module: &Module) -> Module {
+    let mut replace: HashMap<TensorId, TensorId> = HashMap::new();
+    let mut seen: Vec<(Vec<usize>, PointExpr, TensorId)> = Vec::new();
+    let mut out = Module {
+        tensors: module.tensors.clone(),
+        stmts: Vec::new(),
+    };
+    for stmt in &module.stmts {
+        let expr = remap_expr(&stmt.expr, &replace);
+        let dup = seen.iter().find(|(re, e, prev)| {
+            re == &stmt.reduce_extents
+                && e == &expr
+                && module.shape(*prev) == module.shape(stmt.out)
+        });
+        match dup {
+            Some((_, _, prev)) if module.decl(stmt.out).kind == TensorKind::Temp => {
+                replace.insert(stmt.out, *prev);
+            }
+            _ => {
+                seen.push((stmt.reduce_extents.clone(), expr.clone(), stmt.out));
+                out.stmts.push(Stmt {
+                    out: stmt.out,
+                    reduce_extents: stmt.reduce_extents.clone(),
+                    expr,
+                });
+            }
+        }
+    }
+    // Drop now-dead duplicate definitions and their declarations.
+    dce(&out)
+}
+
+fn remap_expr(e: &PointExpr, remap: &HashMap<TensorId, TensorId>) -> PointExpr {
+    match e {
+        PointExpr::Access { tensor, index_map } => PointExpr::Access {
+            tensor: *remap.get(tensor).unwrap_or(tensor),
+            index_map: index_map.clone(),
+        },
+        PointExpr::Const(c) => PointExpr::Const(*c),
+        PointExpr::Bin { op, lhs, rhs } => PointExpr::Bin {
+            op: *op,
+            lhs: Box::new(remap_expr(lhs, remap)),
+            rhs: Box::new(remap_expr(rhs, remap)),
+        },
+    }
+}
+
+/// Total multiply–add work (in scalar FLOPs) of a module: per-point
+/// expression FLOPs plus one accumulation add per reduction iteration.
+pub fn flop_count(module: &Module) -> usize {
+    module
+        .stmts
+        .iter()
+        .map(|s| {
+            let vol = module.iter_volume(s);
+            let per_point = s.expr.flops();
+            let acc = if s.is_reduction() { 1 } else { 0 };
+            vol * (per_point + acc)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+
+    fn helmholtz(n: usize) -> Module {
+        let typed =
+            cfdlang::check(&cfdlang::parse(&cfdlang::examples::inverse_helmholtz(n)).unwrap())
+                .unwrap();
+        lower(&typed).unwrap()
+    }
+
+    #[test]
+    fn factorize_helmholtz_creates_four_temps() {
+        let m = factorize(&helmholtz(11));
+        // 3 stages per contraction × 2 contractions + Hadamard = 7 stmts.
+        assert_eq!(m.stmts.len(), 7);
+        let temp_names: Vec<&str> = m
+            .of_kind(TensorKind::Temp)
+            .iter()
+            .map(|&id| m.name(id))
+            .collect();
+        // Paper Figure 6: temporaries t, r, t0, t1, t2, t3.
+        assert_eq!(temp_names, vec!["t", "r", "t0", "t1", "t2", "t3"]);
+    }
+
+    #[test]
+    fn factorize_reduces_flops() {
+        let m = helmholtz(11);
+        let f = factorize(&m);
+        let naive = flop_count(&m);
+        let factored = flop_count(&f);
+        // O(p^6) -> O(p^4): enormous reduction at p = 11.
+        assert!(factored * 10 < naive, "naive {naive}, factored {factored}");
+        // Exact counts: naive contraction = 11^6 * (3 muls + 1 add) * 2
+        // contractions + 11^3 hadamard.
+        assert_eq!(naive, 2 * 11usize.pow(6) * 4 + 11usize.pow(3));
+        // Factored: per contraction 3 stages of 11^4 * 2 flops.
+        assert_eq!(factored, 2 * 3 * 11usize.pow(4) * 2 + 11usize.pow(3));
+    }
+
+    #[test]
+    fn factorize_stage_iteration_spaces_are_p4() {
+        let m = factorize(&helmholtz(11));
+        for s in &m.stmts {
+            let vol = m.iter_volume(s);
+            assert!(
+                vol == 11usize.pow(4) || vol == 11usize.pow(3),
+                "unexpected stage volume {vol}"
+            );
+        }
+    }
+
+    #[test]
+    fn factorize_preserves_nonproduct_statements() {
+        let m = helmholtz(4);
+        let f = factorize(&m);
+        // Hadamard statement survives untouched.
+        assert!(f.stmts.iter().any(|s| !s.is_reduction() && s.expr.flops() == 1));
+    }
+
+    #[test]
+    fn dce_removes_unused_temp() {
+        let typed = cfdlang::check(
+            &cfdlang::parse(
+                "var input a : [3]\nvar w : [3]\nvar output o : [3]\nw = a + a\no = a",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let m = lower(&typed).unwrap();
+        assert_eq!(m.stmts.len(), 2);
+        let d = dce(&m);
+        assert_eq!(d.stmts.len(), 1);
+        assert!(d.find("w").is_none());
+        assert!(d.find("a").is_some(), "inputs stay in the interface");
+    }
+
+    #[test]
+    fn dce_keeps_transitive_chains() {
+        let m = helmholtz(4);
+        let d = dce(&m);
+        assert_eq!(d.stmts.len(), m.stmts.len());
+    }
+
+    #[test]
+    fn cse_merges_duplicate_statements() {
+        let typed = cfdlang::check(
+            &cfdlang::parse(
+                "var input a : [3]\nvar x : [3]\nvar y : [3]\nvar output o : [3]\n\
+                 x = a + a\ny = a + a\no = x * y",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let m = lower(&typed).unwrap();
+        let c = cse(&m);
+        // y = a + a collapses into x.
+        assert_eq!(c.stmts.len(), 2);
+    }
+
+    #[test]
+    fn factorized_helmholtz_validates() {
+        factorize(&helmholtz(5)).validate().unwrap();
+        dce(&factorize(&helmholtz(5))).validate().unwrap();
+    }
+}

@@ -1,0 +1,135 @@
+//! ARM Cortex-A53 software cost model.
+//!
+//! The A53 is a dual-issue in-order core; scalar double-precision code
+//! dominated by L1-resident loads and FP multiply–add chains retires a
+//! handful of cycles per loop iteration. The constants below are
+//! calibrated so that the reference Inverse Helmholtz element (~177
+//! kFLOP) lands at the paper's implied ~2 ms/element on the 1.2 GHz A53
+//! (Figure 10: SW Ref. = 0.69 × HW k=1 total), and so that the flat-index
+//! HLS-oriented code pays the paper's ~10% penalty (SW HLS code = 0.90).
+
+use serde::{Deserialize, Serialize};
+use teil::interp::ExecStats;
+
+/// Average retired-cycle costs per dynamic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArmCostModel {
+    pub cycles_per_load: f64,
+    pub cycles_per_store: f64,
+    pub cycles_per_flop: f64,
+    /// Loop bookkeeping per innermost iteration (increment, compare,
+    /// branch, induction updates).
+    pub cycles_per_iter: f64,
+    /// Integer multiply in address computation (flat-index code only;
+    /// partially hidden by dual issue).
+    pub cycles_per_addr_mul: f64,
+    pub cycles_per_addr_add: f64,
+    /// Core clock in Hz.
+    pub hz: f64,
+}
+
+impl ArmCostModel {
+    /// The calibrated Cortex-A53 model at the ZCU106's 1.2 GHz.
+    pub fn a53_1200mhz() -> ArmCostModel {
+        ArmCostModel {
+            cycles_per_load: 8.0,
+            cycles_per_store: 8.0,
+            cycles_per_flop: 3.0,
+            cycles_per_iter: 4.0,
+            cycles_per_addr_mul: 0.75,
+            cycles_per_addr_add: 0.35,
+            hz: 1.2e9,
+        }
+    }
+
+    /// Seconds for the reference implementation, from interpreter
+    /// operation counts (nested-array code: address arithmetic strength-
+    /// reduced away, hence no explicit address cost).
+    pub fn time_reference(&self, stats: &ExecStats) -> f64 {
+        let cycles = stats.loads as f64 * self.cycles_per_load
+            + stats.stores as f64 * self.cycles_per_store
+            + stats.flops() as f64 * self.cycles_per_flop
+            + stats.iters as f64 * self.cycles_per_iter;
+        cycles / self.hz
+    }
+
+    /// Seconds for the HLS-oriented generated C (flat single-dimensional
+    /// indexing with explicit multiplies), from the loop-program
+    /// evaluator's counts.
+    pub fn time_hls_code(&self, counts: &cgen::ExecCounts) -> f64 {
+        let cycles = counts.loads as f64 * self.cycles_per_load
+            + counts.stores as f64 * self.cycles_per_store
+            + counts.fp_ops as f64 * self.cycles_per_flop
+            + counts.iters as f64 * self.cycles_per_iter
+            + counts.addr_muls as f64 * self.cycles_per_addr_mul
+            + counts.addr_adds as f64 * self.cycles_per_addr_add;
+        cycles / self.hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_time_scales_linearly() {
+        let m = ArmCostModel::a53_1200mhz();
+        let s1 = ExecStats {
+            fp_add: 100,
+            fp_mul: 100,
+            loads: 200,
+            stores: 10,
+            iters: 100,
+            ..Default::default()
+        };
+        let mut s2 = s1;
+        s2.fp_add *= 2;
+        s2.fp_mul *= 2;
+        s2.loads *= 2;
+        s2.stores *= 2;
+        s2.iters *= 2;
+        let t1 = m.time_reference(&s1);
+        let t2 = m.time_reference(&s2);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hls_code_pays_address_arithmetic() {
+        let m = ArmCostModel::a53_1200mhz();
+        let base = cgen::ExecCounts {
+            fp_ops: 1000,
+            loads: 2000,
+            stores: 100,
+            iters: 1000,
+            addr_muls: 0,
+            addr_adds: 0,
+        };
+        let mut flat = base;
+        flat.addr_muls = 4000;
+        flat.addr_adds = 4000;
+        assert!(m.time_hls_code(&flat) > m.time_hls_code(&base));
+    }
+
+    #[test]
+    fn helmholtz_element_lands_near_two_ms() {
+        // The calibration anchor: ~177 kFLOP factored element ≈ 2 ms.
+        let m = ArmCostModel::a53_1200mhz();
+        let typed =
+            cfdlang::check(&cfdlang::parse(&cfdlang::examples::inverse_helmholtz(11)).unwrap())
+                .unwrap();
+        let module = teil::transform::factorize(&teil::lower::lower(&typed).unwrap());
+        let zero = |shape: &[usize]| teil::Tensor::zeros(shape);
+        let ex = teil::Interpreter::new(&module)
+            .run(&teil::interp::inputs_from(vec![
+                ("S", zero(&[11, 11])),
+                ("D", zero(&[11, 11, 11])),
+                ("u", zero(&[11, 11, 11])),
+            ]))
+            .unwrap();
+        let t = m.time_reference(&ex.stats);
+        assert!(
+            (1.2e-3..3.2e-3).contains(&t),
+            "per-element reference time {t:.2e}s outside calibration band"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Host↔PL DMA transfer model.
+
+use serde::{Deserialize, Serialize};
+use sysgen::BoardSpec;
+
+/// Linear transfer-time model: `setup + bytes / bandwidth` per burst.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmaModel {
+    pub bytes_per_sec: f64,
+    pub setup_s: f64,
+}
+
+impl DmaModel {
+    /// From a board description.
+    pub fn from_board(board: &BoardSpec) -> DmaModel {
+        DmaModel {
+            bytes_per_sec: board.dma_bytes_per_sec,
+            setup_s: board.dma_setup_s,
+        }
+    }
+
+    /// Seconds to move `bytes` in one burst.
+    pub fn transfer_s(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.setup_s + bytes as f64 / self.bytes_per_sec
+    }
+
+    /// Seconds to move `bytes` split into `bursts` independent bursts
+    /// (one per PLM instance; the paper transfers `m` instances of each
+    /// array to power-of-two aligned addresses).
+    pub fn transfer_bursts_s(&self, bytes: usize, bursts: usize) -> f64 {
+        if bytes == 0 || bursts == 0 {
+            return 0.0;
+        }
+        self.setup_s * bursts as f64 + bytes as f64 / self.bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DmaModel {
+        DmaModel {
+            bytes_per_sec: 0.7e9,
+            setup_s: 4e-6,
+        }
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(model().transfer_s(0), 0.0);
+        assert_eq!(model().transfer_bursts_s(0, 4), 0.0);
+    }
+
+    #[test]
+    fn transfer_time_is_affine() {
+        let m = model();
+        let t1 = m.transfer_s(700_000);
+        assert!((t1 - (4e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_bursts_cost_more_setup() {
+        let m = model();
+        let one = m.transfer_bursts_s(1 << 20, 1);
+        let many = m.transfer_bursts_s(1 << 20, 16);
+        assert!(many > one);
+        assert!((many - one - 15.0 * 4e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helmholtz_element_transfer_fraction() {
+        // ~33 KB per element at 0.7 GB/s ≈ 47 µs — the ~1.7% of the
+        // ~2.9 ms kernel that Figure 9's total-vs-accelerator gap implies.
+        let m = model();
+        let t = m.transfer_s((121 + 2 * 1331 + 1331) * 8);
+        assert!((40e-6..60e-6).contains(&t), "{t:.2e}");
+    }
+}

@@ -1,0 +1,38 @@
+//! `zynq` — full-system simulation of the ZCU106 deployment.
+//!
+//! The paper evaluates on a physical Zynq UltraScale+ MPSoC: a quad
+//! Cortex-A53 host at 1.2 GHz driving `k` accelerators at 200 MHz through
+//! AXI DMA and an AXI-lite control peripheral, with hardware timers
+//! measuring kernel execution with and without data transfers. This
+//! crate replaces the board with a discrete-event simulator plus
+//! calibrated cost models:
+//!
+//! * [`arm`] — the ARM software cost model (cycles per memory access /
+//!   FLOP / loop iteration), applied to the reference implementation
+//!   (interpreter operation counts) and to the HLS-oriented generated C
+//!   (flat-index loop nests with explicit address arithmetic) — the *SW
+//!   Ref.* and *SW HLS code* bars of Figure 10,
+//! * [`dma`] — the host↔PLM transfer model (setup latency + bandwidth),
+//! * [`des`] — a small discrete-event engine,
+//! * [`sim`] — the system simulation executing the generated host
+//!   program: per main-loop round, transfer inputs for `m` elements,
+//!   broadcast start `m/k` times, collect done interrupts, transfer
+//!   outputs (Figure 7's architecture, including `k < m` batching),
+//! * [`verify`] — functional validation: sampled elements are executed
+//!   through the generated kernel and compared against the `teil`
+//!   reference interpreter.
+//!
+//! Absolute times are model outputs; the reproduction targets are the
+//! *ratios* of Figures 9 and 10, which this simulator matches (see
+//! `EXPERIMENTS.md`).
+
+pub mod arm;
+pub mod des;
+pub mod dma;
+pub mod sim;
+pub mod verify;
+
+pub use arm::ArmCostModel;
+pub use dma::DmaModel;
+pub use sim::{simulate_hw, HwResult, SimConfig};
+pub use verify::{verify_elements, VerifyResult};

@@ -1,0 +1,95 @@
+//! The paper's evaluation workflow end to end: compile the Inverse
+//! Helmholtz operator (p = 11), build the largest system that fits the
+//! ZCU106, simulate a 50,000-element CFD run, and compare against ARM
+//! software execution — Figures 9 and 10 of the paper.
+//!
+//! ```sh
+//! cargo run --release --example inverse_helmholtz
+//! ```
+
+use cfdfpga::flow::{Flow, FlowOptions};
+use cfdfpga::mnemosyne::MemoryOptions;
+use cfdfpga::sysgen::{BoardSpec, HostProgram, SystemConfig, SystemDesign};
+use cfdfpga::zynq::{ArmCostModel, SimConfig};
+
+const ELEMENTS: usize = 50_000;
+
+fn main() {
+    let source = cfdfpga::cfdlang::examples::inverse_helmholtz(11);
+    println!("Inverse Helmholtz operator, p = 11 — {} DSL lines\n", source.lines().count());
+
+    // Compile twice: with and without liveness-based memory sharing.
+    let with_sharing = Flow::compile(&source, &FlowOptions::default()).expect("flow");
+    let no_sharing = Flow::compile(
+        &source,
+        &FlowOptions {
+            memory: MemoryOptions {
+                sharing: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("flow");
+
+    println!("kernel: {} LUT, {} FF, {} DSP @ {} MHz, latency {:.2} ms",
+        with_sharing.hls_report.luts,
+        with_sharing.hls_report.ffs,
+        with_sharing.hls_report.dsps,
+        with_sharing.hls_report.clock_mhz,
+        with_sharing.hls_report.latency_seconds() * 1e3,
+    );
+    println!(
+        "PLM per kernel: {} BRAMs without sharing, {} with sharing",
+        no_sharing.memory.brams, with_sharing.memory.brams
+    );
+    let k_max_no = no_sharing.system.as_ref().map(|s| s.config.k).unwrap_or(0);
+    let k_max_sh = with_sharing.system.as_ref().map(|s| s.config.k).unwrap_or(0);
+    println!("max parallel kernels: {k_max_no} -> {k_max_sh} (the paper's 8 -> 16)\n");
+
+    // Figure 9: scale k = m and report speedups.
+    let board = BoardSpec::zcu106();
+    let simulate = |k: usize| {
+        let cfg = SystemConfig { k, m: k };
+        let host = HostProgram::from_kernel(&with_sharing.kernel, cfg);
+        let d = SystemDesign::build(&board, &with_sharing.hls_report, &with_sharing.memory, cfg, host)
+            .expect("fits");
+        cfdfpga::zynq::simulate_hw(
+            &d,
+            &SimConfig {
+                elements: ELEMENTS,
+                ..Default::default()
+            },
+        )
+    };
+    let base = simulate(1);
+    println!("{} elements on the simulated ZCU106:", ELEMENTS);
+    println!("  m=k    exec speedup   total speedup   total time");
+    for k in [1usize, 2, 4, 8, 16] {
+        let r = simulate(k);
+        println!(
+            "  {:>3}       {:>6.2}         {:>6.2}        {:>8.2} s",
+            k,
+            base.exec_s / r.exec_s,
+            base.total_s / r.total_s,
+            r.total_s
+        );
+    }
+
+    // Figure 10: against the ARM A53.
+    let model = ArmCostModel::a53_1200mhz();
+    let sw = cfdfpga::zynq::sim::sw_reference(&with_sharing.module, &model, ELEMENTS).expect("sw");
+    println!("\nARM A53 (1.2 GHz) software reference: {:.2} s total", sw.total_s);
+    for k in [1usize, 8, 16] {
+        let r = simulate(k);
+        println!("  HW k = {:<2} speedup vs ARM: {:.2}x", k, sw.total_s / r.total_s);
+    }
+
+    // Functional validation of the accelerator datapath.
+    let v = with_sharing.verify(4, 7).expect("verify");
+    println!(
+        "\nfunctional check: {} elements, bitexact = {}",
+        v.elements, v.bitexact
+    );
+    assert!(v.bitexact);
+}

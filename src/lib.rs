@@ -1,0 +1,18 @@
+//! `cfdfpga` — umbrella crate for the CFDlang-to-FPGA reproduction.
+//!
+//! This crate re-exports the public APIs of every subsystem so that
+//! examples, integration tests and downstream users can depend on a single
+//! package. See the `cfd-core` crate ([`flow`]) for the end-to-end
+//! compiler/synthesis/simulation pipeline, and `DESIGN.md` at the
+//! repository root for the system inventory.
+
+pub use cfd_core as flow;
+pub use cfdlang;
+pub use cgen;
+pub use hls;
+pub use mnemosyne;
+pub use polyhedra;
+pub use pschedule;
+pub use sysgen;
+pub use teil;
+pub use zynq;

@@ -1,0 +1,181 @@
+//! Independent mathematical oracle: Equations (1a)–(1c) of the paper
+//! implemented directly as nested loops, compared against the complete
+//! flow (DSL → IR → factorization → scheduling → generated code). This
+//! guards against systematic errors shared between the interpreter and
+//! the code generator, since the oracle shares no code with either.
+
+use cfdfpga::flow::{Flow, FlowOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Direct evaluation of the Inverse Helmholtz operator:
+///   t_ijk = Σ_lmn Sᵀ_li Sᵀ_mj Sᵀ_nk u_lmn   (1a)
+///   r_ijk = D_ijk · t_ijk                    (1b)
+///   v_ijk = Σ_lmn S_li S_mj S_nk r_lmn       (1c)
+fn oracle_inverse_helmholtz(n: usize, s: &[f64], d: &[f64], u: &[f64]) -> Vec<f64> {
+    let at2 = |m: &[f64], a: usize, b: usize| m[a * n + b];
+    let at3 = |m: &[f64], a: usize, b: usize, c: usize| m[(a * n + b) * n + c];
+    let mut t = vec![0.0f64; n * n * n];
+    let mut idx = 0;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    for m in 0..n {
+                        for q in 0..n {
+                            // Sᵀ_li = S_il etc. (Figure 1 pairs [1 6][3 7][5 8])
+                            acc += at2(s, i, l) * at2(s, j, m) * at2(s, k, q) * at3(u, l, m, q);
+                        }
+                    }
+                }
+                t[idx] = acc;
+                idx += 1;
+            }
+        }
+    }
+    let r: Vec<f64> = t.iter().zip(d).map(|(a, b)| a * b).collect();
+    let mut v = vec![0.0f64; n * n * n];
+    idx = 0;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    for m in 0..n {
+                        for q in 0..n {
+                            // Pairs [0 6][2 7][4 8]: S_li S_mj S_qk.
+                            acc += at2(s, l, i) * at2(s, m, j) * at2(s, q, k)
+                                * at3(&r, l, m, q);
+                        }
+                    }
+                }
+                v[idx] = acc;
+                idx += 1;
+            }
+        }
+    }
+    v
+}
+
+fn rand_vec(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn run_flow_kernel(art: &cfdfpga::flow::Artifacts, inputs: &[(&str, Vec<f64>)]) -> Vec<f64> {
+    let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+    for p in &art.kernel.params {
+        mem.insert(p.name.clone(), vec![0.0; p.words]);
+    }
+    for (name, data) in inputs {
+        mem.insert(name.to_string(), data.clone());
+    }
+    cgen::run_kernel(&art.kernel, &mut mem).expect("kernel runs");
+    mem.remove("v").or_else(|| mem.remove("o")).expect("output")
+}
+
+fn max_rel(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn flow_matches_oracle_for_helmholtz() {
+    let mut rng = StdRng::seed_from_u64(0xCFD);
+    for n in [2usize, 3, 5, 7] {
+        let src = cfdfpga::cfdlang::examples::inverse_helmholtz(n);
+        for factorize in [false, true] {
+            let art = Flow::compile(
+                &src,
+                &FlowOptions {
+                    factorize,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let s = rand_vec(&mut rng, n * n);
+            let d = rand_vec(&mut rng, n * n * n);
+            let u = rand_vec(&mut rng, n * n * n);
+            let expect = oracle_inverse_helmholtz(n, &s, &d, &u);
+            let got = run_flow_kernel(
+                &art,
+                &[("S", s.clone()), ("D", d.clone()), ("u", u.clone())],
+            );
+            let diff = max_rel(&expect, &got);
+            assert!(
+                diff < 1e-10,
+                "n={n} factorize={factorize}: max rel diff {diff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn identity_operator_is_identity_through_the_flow() {
+    // With S = I and D = 1, the operator must return u exactly.
+    let n = 6usize;
+    let src = cfdfpga::cfdlang::examples::inverse_helmholtz(n);
+    let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
+    let mut s = vec![0.0f64; n * n];
+    for i in 0..n {
+        s[i * n + i] = 1.0;
+    }
+    let d = vec![1.0f64; n * n * n];
+    let mut rng = StdRng::seed_from_u64(7);
+    let u = rand_vec(&mut rng, n * n * n);
+    let got = run_flow_kernel(&art, &[("S", s), ("D", d), ("u", u.clone())]);
+    assert_eq!(got, u, "identity operator must be exact");
+}
+
+#[test]
+fn scaling_linearity_through_the_flow() {
+    // The operator is linear in u: f(α·u) = α·f(u).
+    let n = 4usize;
+    let src = cfdfpga::cfdlang::examples::inverse_helmholtz(n);
+    let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let s = rand_vec(&mut rng, n * n);
+    let d = rand_vec(&mut rng, n * n * n);
+    let u = rand_vec(&mut rng, n * n * n);
+    let alpha = 3.0f64;
+    let ua: Vec<f64> = u.iter().map(|x| alpha * x).collect();
+    let f1 = run_flow_kernel(&art, &[("S", s.clone()), ("D", d.clone()), ("u", u)]);
+    let f2 = run_flow_kernel(&art, &[("S", s), ("D", d), ("u", ua)]);
+    let scaled: Vec<f64> = f1.iter().map(|x| alpha * x).collect();
+    assert!(max_rel(&scaled, &f2) < 1e-12);
+}
+
+#[test]
+fn interpolation_matches_direct_tensor_product() {
+    // o_abc = Σ_lmn P_al P_bm P_cn u_lmn.
+    let (n, m) = (4usize, 6usize);
+    let src = cfdfpga::cfdlang::examples::interpolation(n, m);
+    let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let p = rand_vec(&mut rng, m * n);
+    let u = rand_vec(&mut rng, n * n * n);
+    let got = run_flow_kernel(&art, &[("P", p.clone()), ("u", u.clone())]);
+    let mut expect = vec![0.0f64; m * m * m];
+    for a in 0..m {
+        for b in 0..m {
+            for c in 0..m {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    for mm in 0..n {
+                        for q in 0..n {
+                            acc += p[a * n + l]
+                                * p[b * n + mm]
+                                * p[c * n + q]
+                                * u[(l * n + mm) * n + q];
+                        }
+                    }
+                }
+                expect[(a * m + b) * m + c] = acc;
+            }
+        }
+    }
+    assert!(max_rel(&expect, &got) < 1e-10);
+}
