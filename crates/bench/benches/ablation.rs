@@ -1,8 +1,8 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
 //! contraction factorization, decoupled PLM, memory sharing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cfd_core::{Flow, FlowOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let a = bench::ablation();

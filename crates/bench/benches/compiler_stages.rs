@@ -23,7 +23,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("parse_and_check", |b| {
         b.iter(|| cfdlang::check(&cfdlang::parse(black_box(&src)).unwrap()).unwrap())
     });
-    g.bench_function("lower", |b| b.iter(|| teil::lower(black_box(&typed)).unwrap()));
+    g.bench_function("lower", |b| {
+        b.iter(|| teil::lower(black_box(&typed)).unwrap())
+    });
     g.bench_function("factorize", |b| {
         b.iter(|| teil::transform::factorize(black_box(&lowered)))
     });
@@ -48,7 +50,11 @@ fn bench(c: &mut Criterion) {
         })
     });
     // Sanity: the reference schedule is the legality fallback.
-    assert!(pschedule::legal(&model, &deps, &Schedule::reference(&model)));
+    assert!(pschedule::legal(
+        &model,
+        &deps,
+        &Schedule::reference(&model)
+    ));
     g.finish();
 }
 

@@ -8,8 +8,14 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let art = bench::compile_paper_kernel(true, true);
     assert_eq!(art.hls_report.dsps, 15, "paper: 15 DSPs");
-    assert!((2100..=2600).contains(&art.hls_report.luts), "paper: 2,314 LUTs");
-    assert!((2700..=3300).contains(&art.hls_report.ffs), "paper: 2,999 FFs");
+    assert!(
+        (2100..=2600).contains(&art.hls_report.luts),
+        "paper: 2,314 LUTs"
+    );
+    assert!(
+        (2700..=3300).contains(&art.hls_report.ffs),
+        "paper: 2,999 FFs"
+    );
 
     let mut g = c.benchmark_group("hls_synthesis");
     g.sample_size(20);

@@ -13,7 +13,11 @@ fn bench(c: &mut Criterion) {
             .unwrap_or_else(|| panic!("missing row sharing={sharing} m={m}"));
         assert_eq!(row.dsps, dsp, "DSPs are exact");
         let rel = (row.luts as f64 - lut as f64).abs() / lut as f64;
-        assert!(rel < 0.10, "m={m} sharing={sharing}: LUT {} vs {lut}", row.luts);
+        assert!(
+            rel < 0.10,
+            "m={m} sharing={sharing}: LUT {} vs {lut}",
+            row.luts
+        );
     }
 
     let mut g = c.benchmark_group("table1");
@@ -35,11 +39,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("eq3_enumeration", |b| {
         b.iter(|| {
-            sysgen::enumerate_configs(
-                &sysgen::BoardSpec::zcu106(),
-                &art.hls_report,
-                &art.memory,
-            )
+            sysgen::enumerate_configs(&sysgen::BoardSpec::zcu106(), &art.hls_report, &art.memory)
         })
     });
     g.finish();

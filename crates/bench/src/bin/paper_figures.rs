@@ -1,9 +1,13 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paper_figures [--report kernel|plm|compat|table1|fig8|fig9|fig10|batch|ablation|all]
+//! paper_figures [--report kernel|plm|compat|table1|fig8|fig9|fig10|batch|ablation|dse|all]
 //!               [--elements N]
 //! ```
+//!
+//! All reports share one staged compilation of the paper kernel
+//! ([`bench::paper_engine`]): the frontend and middle end run once per
+//! invocation no matter how many reports are requested.
 //!
 //! Each report prints the model's numbers next to the paper's, so the
 //! reproduction quality is visible at a glance.
@@ -65,6 +69,27 @@ fn main() {
     if all || report == "overlap" {
         overlap(elements.min(4_096));
     }
+    if all || report == "dse" {
+        dse(elements.min(10_000));
+    }
+}
+
+fn dse(elements: usize) {
+    println!("== Design-space sweep (staged pipeline, parallel backend) ==");
+    // Other reports share the engine; count only this sweep's stage work.
+    let before = bench::paper_engine().pipeline().counters();
+    let report = bench::dse_sweep(elements, 0);
+    print!("{}", report.render_table());
+    println!(
+        "  (sweep ran frontend {}×, middle end {}×, backend {}×; shared totals since startup: {}/{}/{})",
+        report.counts.frontend - before.frontend,
+        report.counts.middle_end - before.middle_end,
+        report.counts.backend - before.backend,
+        report.counts.frontend,
+        report.counts.middle_end,
+        report.counts.backend,
+    );
+    println!();
 }
 
 fn overlap(elements: usize) {

@@ -5,12 +5,18 @@
 //!               [--emit c|host|ir|dot|report|memory|all] [-o DIR]
 //! cfdc simulate <file.cfd> [--elements N] [--k K] [--m M]
 //! cfdc verify   <file.cfd> [--elements N] [--seed S]
-//! cfdc explore  <file.cfd>
+//! cfdc explore  <file.cfd> [--grid] [--jobs N] [--json] [--elements N]
 //! ```
+//!
+//! `explore` lists feasible replications; with `--grid` it runs the full
+//! parallel design-space sweep (k × batch × sharing × decoupling) on the
+//! staged pipeline — the frontend and middle end compile once, the
+//! per-point backend/system stages fan out over `--jobs` workers.
 //!
 //! `<file.cfd>` may be a path or one of the built-in kernels:
 //! `helmholtz[:p]`, `interpolation[:n:m]`, `sandwich[:n]`, `axpy[:n]`.
 
+use cfd_core::dse::{DseEngine, DseGrid};
 use cfd_core::{Flow, FlowOptions};
 use mnemosyne::MemoryOptions;
 use std::process::exit;
@@ -42,7 +48,7 @@ fn usage() -> ! {
          \tcfdc compile  <kernel> [--no-factorize] [--no-sharing] [--no-decouple] [--emit WHAT] [-o DIR]\n\
          \tcfdc simulate <kernel> [--elements N] [--k K] [--m M]\n\
          \tcfdc verify   <kernel> [--elements N] [--seed S]\n\
-         \tcfdc explore  <kernel>\n\n\
+         \tcfdc explore  <kernel> [--grid] [--jobs N] [--json] [--elements N]\n\n\
          KERNEL: a .cfd file path or helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n]\n\
          EMIT:   c | host | ir | dot | report | memory | all (default: report)"
     );
@@ -72,11 +78,17 @@ struct Parsed {
     emit: String,
     out_dir: Option<String>,
     elements: usize,
+    /// Whether --elements was given explicitly (commands pick their own
+    /// defaults otherwise).
+    elements_set: bool,
     seed: u64,
     #[allow(dead_code)]
     k: Option<usize>,
     #[allow(dead_code)]
     m: Option<usize>,
+    grid: bool,
+    jobs: usize,
+    json: bool,
 }
 
 fn parse_common(args: &[String]) -> Parsed {
@@ -88,9 +100,13 @@ fn parse_common(args: &[String]) -> Parsed {
     let mut emit = "report".to_string();
     let mut out_dir = None;
     let mut elements = 50_000usize;
+    let mut elements_set = false;
     let mut seed = 42u64;
     let mut k = None;
     let mut m = None;
+    let mut grid = false;
+    let mut jobs = 0usize;
+    let mut json = false;
     let mut i = 1;
     let value = |i: &mut usize| -> String {
         *i += 1;
@@ -108,10 +124,16 @@ fn parse_common(args: &[String]) -> Parsed {
             }
             "--emit" => emit = value(&mut i),
             "-o" => out_dir = Some(value(&mut i)),
-            "--elements" => elements = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--elements" => {
+                elements = value(&mut i).parse().unwrap_or_else(|_| usage());
+                elements_set = true;
+            }
             "--seed" => seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--k" => k = value(&mut i).parse().ok(),
             "--m" => m = value(&mut i).parse().ok(),
+            "--grid" => grid = true,
+            "--jobs" => jobs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--json" => json = true,
             other => {
                 eprintln!("unknown option '{other}'");
                 usage();
@@ -128,9 +150,13 @@ fn parse_common(args: &[String]) -> Parsed {
         emit,
         out_dir,
         elements,
+        elements_set,
         seed,
         k,
         m,
+        grid,
+        jobs,
+        json,
     }
 }
 
@@ -240,7 +266,7 @@ fn cmd_simulate(args: &[String]) {
 
 fn cmd_verify(args: &[String]) {
     let mut p = parse_common(args);
-    if p.elements == 50_000 {
+    if !p.elements_set {
         p.elements = 8; // verification default: a sample, not the full run
     }
     let art = compile(&p);
@@ -259,18 +285,40 @@ fn cmd_verify(args: &[String]) {
 
 fn cmd_explore(args: &[String]) {
     let p = parse_common(args);
-    let art = compile(&p);
-    let board = sysgen::BoardSpec::zcu106();
+    let engine = DseEngine::prepare(&p.source, &p.opts).unwrap_or_else(|e| {
+        eprintln!("compilation failed: {e}");
+        exit(1)
+    });
+    if p.grid {
+        // Sweep default: small enough to keep 32 simulations quick.
+        let elements = if p.elements_set { p.elements } else { 10_000 };
+        let report = engine.run(&DseGrid::default(), p.jobs, elements);
+        if p.json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_table());
+            if let Some(best) = report.best() {
+                println!(
+                    "best: {} ({:.0} elements/s)",
+                    best.point.label(),
+                    best.throughput_eps
+                );
+            }
+        }
+        return;
+    }
+    // Legacy listing: one backend pass, then Eq. (3) over all (k, m).
+    let be = engine.pipeline().backend(engine.scheduled(), &p.opts);
+    let board = &p.opts.board;
     println!(
         "kernel: {} LUT {} FF {} DSP | PLM {} BRAM",
-        art.hls_report.luts, art.hls_report.dsps, art.hls_report.ffs, art.memory.brams
+        be.hls_report.luts, be.hls_report.ffs, be.hls_report.dsps, be.memory.brams
     );
     println!("feasible configurations on {}:", board.name);
     println!("   k    m  batch     LUT   BRAM   slack(BRAM)");
-    for cfg in sysgen::enumerate_configs(&board, &art.hls_report, &art.memory) {
-        let host = sysgen::HostProgram::from_kernel(&art.kernel, cfg);
-        if let Some(d) = sysgen::SystemDesign::build(&board, &art.hls_report, &art.memory, cfg, host)
-        {
+    for cfg in sysgen::enumerate_configs(board, &be.hls_report, &be.memory) {
+        let host = sysgen::HostProgram::from_kernel(&be.kernel, cfg);
+        if let Some(d) = sysgen::SystemDesign::build(board, &be.hls_report, &be.memory, cfg, host) {
             let (_, _, _, sb) = d.slack();
             println!(
                 "  {:>2}  {:>3}  {:>4}   {:>6}  {:>5}   {:>6}",

@@ -1,0 +1,452 @@
+//! Parallel design-space exploration over the staged pipeline.
+//!
+//! The paper's evaluation is fundamentally a sweep over the replication
+//! and memory parameters (k, m, PLM sharing, decoupling, array
+//! partitioning). With the monolithic flow each of those design points
+//! re-ran the frontend and middle end from source; here a [`DseEngine`]
+//! compiles source through [`Pipeline::schedule`] exactly once and fans
+//! the per-point backend/system stages out across a scoped worker pool.
+//!
+//! ```
+//! use cfd_core::dse::{DseEngine, DseGrid};
+//! use cfd_core::FlowOptions;
+//!
+//! let src = cfdlang::examples::inverse_helmholtz(4);
+//! let engine = DseEngine::prepare(&src, &FlowOptions::default()).unwrap();
+//! let grid = DseGrid {
+//!     k: vec![1, 2],
+//!     batch: vec![1],
+//!     sharing: vec![true],
+//!     decoupled: vec![true, false],
+//!     partition: vec![1],
+//! };
+//! let report = engine.run(&grid, 2, 1_000);
+//! assert_eq!(report.outcomes.len(), 4);
+//! // The shared stages ran once, regardless of grid size or jobs.
+//! assert_eq!(engine.pipeline().counters().frontend, 1);
+//! assert_eq!(engine.pipeline().counters().middle_end, 1);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sysgen::SystemConfig;
+use teil::TensorKind;
+use zynq::SimConfig;
+
+use crate::pipeline::{Pipeline, Scheduled, StageCounts, StageTimings};
+use crate::{Artifacts, FlowError, FlowOptions};
+
+/// One point of the exploration grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsePoint {
+    /// Accelerator replicas.
+    pub k: usize,
+    /// PLM systems (`m = 2^j · k`).
+    pub m: usize,
+    /// Mnemosyne PLM sharing.
+    pub sharing: bool,
+    /// Temporaries exported to PLMs (decoupled) vs kept inside.
+    pub decoupled: bool,
+    /// Cyclic partition factor applied to the kernel's largest input
+    /// array (1 = no partitioning).
+    pub partition: u32,
+}
+
+impl DsePoint {
+    pub fn label(&self) -> String {
+        format!(
+            "k={} m={} sharing={} decoupled={} partition={}",
+            self.k, self.m, self.sharing, self.decoupled, self.partition
+        )
+    }
+}
+
+/// The cartesian exploration grid. `m` is derived as `k · batch`, so
+/// every generated point satisfies the paper's power-of-two batching
+/// constraint by construction.
+#[derive(Debug, Clone)]
+pub struct DseGrid {
+    pub k: Vec<usize>,
+    /// Batch factors (executions per accelerator per round); powers of
+    /// two.
+    pub batch: Vec<usize>,
+    pub sharing: Vec<bool>,
+    pub decoupled: Vec<bool>,
+    pub partition: Vec<u32>,
+}
+
+impl Default for DseGrid {
+    /// The paper-shaped default sweep: replication × batching × sharing
+    /// × decoupling (32 points).
+    fn default() -> Self {
+        DseGrid {
+            k: vec![1, 2, 4, 8],
+            batch: vec![1, 2],
+            sharing: vec![true, false],
+            decoupled: vec![true, false],
+            partition: vec![1],
+        }
+    }
+}
+
+impl DseGrid {
+    /// Materialize the grid points (row-major over the option axes).
+    pub fn points(&self) -> Vec<DsePoint> {
+        let mut out = Vec::new();
+        for &k in &self.k {
+            for &batch in &self.batch {
+                assert!(
+                    batch.is_power_of_two(),
+                    "batch factors must be powers of two"
+                );
+                for &sharing in &self.sharing {
+                    for &decoupled in &self.decoupled {
+                        for &partition in &self.partition {
+                            out.push(DsePoint {
+                                k,
+                                m: k * batch,
+                                sharing,
+                                decoupled,
+                                partition: partition.max(1),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Evaluation result for one design point.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    pub point: DsePoint,
+    /// Whether the configuration fits the board (Eq. 3).
+    pub feasible: bool,
+    /// System totals including integration logic (0 when infeasible).
+    pub luts: usize,
+    pub ffs: usize,
+    pub dsps: usize,
+    pub brams: usize,
+    /// Memory-subsystem BRAMs per PLM system.
+    pub plm_brams: usize,
+    /// Per-kernel latency estimate.
+    pub latency_cycles: u64,
+    /// Simulated end-to-end time for the report's element count.
+    pub total_s: f64,
+    /// Elements per second (0 when infeasible).
+    pub throughput_eps: f64,
+    /// Wall-clock seconds spent evaluating this point.
+    pub eval_s: f64,
+}
+
+/// Ranked sweep results plus the evidence that the shared stages ran
+/// only once.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// Outcomes ranked best-first: feasible before infeasible, then by
+    /// throughput, then by BRAM and LUT cost.
+    pub outcomes: Vec<DseOutcome>,
+    pub evaluated: usize,
+    pub feasible: usize,
+    pub jobs: usize,
+    /// Element count every point was simulated with.
+    pub elements: usize,
+    /// Wall-clock seconds for the whole sweep (excluding `prepare`).
+    pub wall_s: f64,
+    /// Cost of the shared frontend/middle-end/schedule stages.
+    pub shared: StageTimings,
+    /// Stage-invocation counters after the sweep.
+    pub counts: StageCounts,
+}
+
+impl DseReport {
+    /// The best-ranked feasible outcome, if any.
+    pub fn best(&self) -> Option<&DseOutcome> {
+        self.outcomes.first().filter(|o| o.feasible)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{} configurations ({} feasible), {} jobs, sweep {:.3} s, shared stages {:.3} s\n",
+            self.evaluated,
+            self.feasible,
+            self.jobs,
+            self.wall_s,
+            self.shared.total_s(),
+        ));
+        s.push_str(
+            "   k    m  share  decouple  part      LUT      FF   DSP   BRAM    el/s  feasible\n",
+        );
+        for o in &self.outcomes {
+            let p = &o.point;
+            s.push_str(&format!(
+                "  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>6}  {:>4}  {:>5}  {:>6.0}  {}\n",
+                p.k,
+                p.m,
+                p.sharing,
+                p.decoupled,
+                p.partition,
+                o.luts,
+                o.ffs,
+                o.dsps,
+                o.brams,
+                o.throughput_eps,
+                if o.feasible { "yes" } else { "no" },
+            ));
+        }
+        s
+    }
+
+    /// Serialize the report as JSON (hand-rolled: the dependency set has
+    /// no serde_json).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"evaluated\": {},\n", self.evaluated));
+        s.push_str(&format!("  \"feasible\": {},\n", self.feasible));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"elements\": {},\n", self.elements));
+        s.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
+        s.push_str(&format!(
+            "  \"shared_stages\": {{\"frontend_s\": {:.6}, \"middle_end_s\": {:.6}, \"schedule_s\": {:.6}}},\n",
+            self.shared.frontend_s, self.shared.middle_end_s, self.shared.schedule_s
+        ));
+        s.push_str(&format!(
+            "  \"stage_invocations\": {{\"frontend\": {}, \"middle_end\": {}, \"schedule\": {}, \"backend\": {}, \"system\": {}}},\n",
+            self.counts.frontend,
+            self.counts.middle_end,
+            self.counts.schedule,
+            self.counts.backend,
+            self.counts.system
+        ));
+        s.push_str("  \"outcomes\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let p = &o.point;
+            s.push_str(&format!(
+                "    {{\"k\": {}, \"m\": {}, \"sharing\": {}, \"decoupled\": {}, \"partition\": {}, \
+                 \"feasible\": {}, \"luts\": {}, \"ffs\": {}, \"dsps\": {}, \"brams\": {}, \
+                 \"plm_brams\": {}, \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}}}{}\n",
+                p.k,
+                p.m,
+                p.sharing,
+                p.decoupled,
+                p.partition,
+                o.feasible,
+                o.luts,
+                o.ffs,
+                o.dsps,
+                o.brams,
+                o.plm_brams,
+                o.latency_cycles,
+                o.total_s,
+                o.throughput_eps,
+                if i + 1 == self.outcomes.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// The exploration engine: source is compiled through the scheduling
+/// stage exactly once at [`DseEngine::prepare`]; every design point then
+/// reuses the shared [`Scheduled`] artifacts.
+#[derive(Debug)]
+pub struct DseEngine {
+    pipeline: Pipeline,
+    base: FlowOptions,
+    scheduled: Scheduled,
+    frontend_s: f64,
+    /// Name of the kernel's largest input array: the target for the
+    /// `partition` axis of the grid.
+    partition_target: Option<String>,
+}
+
+impl DseEngine {
+    /// Compile the shared stages (frontend → middle end → schedule) once.
+    /// `base` supplies everything the grid does not vary: scheduler and
+    /// canonicalization options, board, HLS clock, element count.
+    pub fn prepare(source: &str, base: &FlowOptions) -> Result<DseEngine, FlowError> {
+        let pipeline = Pipeline::new();
+        let fe = pipeline.frontend(source)?;
+        let me = pipeline.middle_end(&fe, base)?;
+        let sc = pipeline.schedule(&me, base);
+        let module = &sc.middle.module;
+        let partition_target = module
+            .of_kind(TensorKind::Input)
+            .into_iter()
+            .max_by_key(|&id| module.shape(id).iter().product::<usize>())
+            .map(|id| module.name(id).to_string());
+        Ok(DseEngine {
+            pipeline,
+            base: base.clone(),
+            scheduled: sc,
+            frontend_s: fe.elapsed_s,
+            partition_target,
+        })
+    }
+
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The shared scheduling-stage output every point starts from.
+    pub fn scheduled(&self) -> &Scheduled {
+        &self.scheduled
+    }
+
+    /// Wall-clock cost of the shared stages.
+    pub fn shared_timings(&self) -> StageTimings {
+        StageTimings {
+            frontend_s: self.frontend_s,
+            middle_end_s: self.scheduled.middle.elapsed_s,
+            schedule_s: self.scheduled.elapsed_s,
+            ..Default::default()
+        }
+    }
+
+    /// The flow options for one design point: the engine's base options
+    /// with the point's backend/system axes applied.
+    pub fn options_for(&self, point: &DsePoint) -> FlowOptions {
+        let mut opts = self.base.clone();
+        opts.decoupled = point.decoupled;
+        opts.memory.sharing = point.sharing;
+        // A factor > 1 overrides the partition set; factor 1 means "as the
+        // base options say", so any base partitioning is left untouched.
+        if point.partition > 1 {
+            if let Some(name) = &self.partition_target {
+                opts.hls.partition = vec![(name.clone(), point.partition)];
+            }
+        }
+        opts.system = Some(SystemConfig {
+            k: point.k,
+            m: point.m,
+        });
+        opts
+    }
+
+    /// Run the backend + system stages for one point and simulate the
+    /// result. Never re-runs the shared stages.
+    pub fn evaluate(&self, point: &DsePoint, elements: usize) -> DseOutcome {
+        let t = Instant::now();
+        let opts = self.options_for(point);
+        let be = self.pipeline.backend(&self.scheduled, &opts);
+        let sys = match self.pipeline.system(&be, &opts) {
+            Ok(sys) => sys.system,
+            // DoesNotFit (and any future system-stage error) marks the
+            // point infeasible rather than aborting the sweep.
+            Err(_) => None,
+        };
+        match sys {
+            Some(design) => {
+                let sim = zynq::simulate_hw(
+                    &design,
+                    &SimConfig {
+                        elements,
+                        ..Default::default()
+                    },
+                );
+                DseOutcome {
+                    point: *point,
+                    feasible: true,
+                    luts: design.luts,
+                    ffs: design.ffs,
+                    dsps: design.dsps,
+                    brams: design.brams,
+                    plm_brams: be.memory.brams,
+                    latency_cycles: be.hls_report.latency_cycles,
+                    total_s: sim.total_s,
+                    throughput_eps: if sim.total_s > 0.0 {
+                        elements as f64 / sim.total_s
+                    } else {
+                        0.0
+                    },
+                    eval_s: t.elapsed().as_secs_f64(),
+                }
+            }
+            None => DseOutcome {
+                point: *point,
+                feasible: false,
+                luts: 0,
+                ffs: 0,
+                dsps: 0,
+                brams: 0,
+                plm_brams: be.memory.brams,
+                latency_cycles: be.hls_report.latency_cycles,
+                total_s: 0.0,
+                throughput_eps: 0.0,
+                eval_s: t.elapsed().as_secs_f64(),
+            },
+        }
+    }
+
+    /// Sweep the grid with `jobs` worker threads (0 = one per available
+    /// core) and return the ranked report.
+    pub fn run(&self, grid: &DseGrid, jobs: usize, elements: usize) -> DseReport {
+        let points = grid.points();
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        }
+        .min(points.len().max(1));
+        let t = Instant::now();
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<DseOutcome>> = Mutex::new(Vec::with_capacity(points.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let outcome = self.evaluate(&points[i], elements);
+                    results.lock().unwrap().push(outcome);
+                });
+            }
+        });
+        let mut outcomes = results.into_inner().unwrap();
+        outcomes.sort_by(|a, b| {
+            b.feasible
+                .cmp(&a.feasible)
+                .then(b.throughput_eps.total_cmp(&a.throughput_eps))
+                .then(a.brams.cmp(&b.brams))
+                .then(a.luts.cmp(&b.luts))
+                .then(a.point.label().cmp(&b.point.label()))
+        });
+        let feasible = outcomes.iter().filter(|o| o.feasible).count();
+        DseReport {
+            evaluated: outcomes.len(),
+            feasible,
+            jobs,
+            elements,
+            wall_s: t.elapsed().as_secs_f64(),
+            shared: self.shared_timings(),
+            counts: self.pipeline.counters(),
+            outcomes,
+        }
+    }
+
+    /// Build full [`Artifacts`] for one option combination on top of the
+    /// shared stages — the cheap replacement for `Flow::compile` when
+    /// only backend/system options differ from the engine's base (the
+    /// canonicalization and scheduler axes are taken from the base, not
+    /// from `opts`).
+    pub fn artifacts_for(&self, opts: &FlowOptions) -> Result<Artifacts, FlowError> {
+        let be = self.pipeline.backend(&self.scheduled, opts);
+        let sys = self.pipeline.system(&be, opts)?;
+        let fe = crate::pipeline::Frontend {
+            typed: std::sync::Arc::clone(&self.scheduled.middle.typed),
+            elapsed_s: self.frontend_s,
+        };
+        Ok(Artifacts::assemble(&fe, &self.scheduled, be, sys, opts))
+    }
+}

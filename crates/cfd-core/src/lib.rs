@@ -1,15 +1,24 @@
 //! `cfd-core` — the end-to-end CFDlang-to-FPGA flow.
 //!
-//! This crate wires the whole toolchain of Figure 3 into one call:
+//! The toolchain of Figure 3 is organized as a **staged pipeline**
+//! ([`pipeline`]) with five typed stages:
 //!
 //! ```text
-//! CFDlang ──parse/check──► AST ──lower──► tensor IR ──canonicalize──►
-//! polyhedral model ──reschedule──► schedule ──codegen──► C99 kernel
-//!      ├──► HLS model        → resource/latency report
-//!      ├──► liveness         → Mnemosyne config → memory subsystem
-//!      └──► system generator → replicated design + host program
-//!                            → full-system simulation & verification
+//! Frontend   CFDlang source ──parse/check──► typed AST
+//! MiddleEnd  typed AST ──lower/factorize/cse/dce──► tensor IR
+//!            + row-major layout + polyhedral model + dependences
+//! Scheduled  middle end ──reschedule──► schedule + liveness
+//!            + memory-compatibility graph
+//! Backend    scheduled ──codegen──► C99 kernel + HLS report
+//!            + Mnemosyne config + memory subsystem
+//! System     backend ──Eq.(3)──► replicated design + host program
 //! ```
+//!
+//! Each stage is individually runnable, its products are immutable and
+//! `Arc`-shared, and per-stage wall-clock timings and invocation counts
+//! are recorded. [`Flow::compile`] is a thin composition of the five
+//! stages; the [`dse`] engine reuses the first three across a whole
+//! configuration grid and fans the rest out over worker threads.
 //!
 //! # Quick start
 //!
@@ -20,24 +29,45 @@
 //! let art = Flow::compile(&src, &FlowOptions::default()).unwrap();
 //! assert_eq!(art.hls_report.dsps, 15);
 //! assert!(art.system.is_some());
+//! assert!(art.timings.total_s() > 0.0);
 //!
 //! // Functional check of the generated accelerator against the
 //! // reference interpreter:
 //! let v = art.verify(2, 42).unwrap();
 //! assert!(v.bitexact);
 //! ```
+//!
+//! # Exploring a design space
+//!
+//! ```
+//! use cfd_core::dse::{DseEngine, DseGrid};
+//! use cfd_core::FlowOptions;
+//!
+//! let src = cfdlang::examples::inverse_helmholtz(4);
+//! // Frontend, middle end and scheduling run once here ...
+//! let engine = DseEngine::prepare(&src, &FlowOptions::default()).unwrap();
+//! // ... and every grid point reuses them, in parallel.
+//! let report = engine.run(&DseGrid::default(), 4, 1_000);
+//! assert!(report.evaluated >= 16);
+//! let best = report.best().unwrap();
+//! assert!(best.feasible && best.throughput_eps > 0.0);
+//! ```
+
+pub mod dse;
+pub mod pipeline;
 
 use cfdlang::{Diagnostic, TypedProgram};
-use cgen::{CKernel, CodegenOptions};
+use cgen::CKernel;
 use hls::{HlsOptions, HlsReport};
 use mnemosyne::{MemoryOptions, MemorySubsystem, MnemosyneConfig};
 use pschedule::{
     CompatibilityGraph, Dependences, KernelModel, Liveness, Schedule, SchedulerOptions,
 };
-use sysgen::{BoardSpec, HostProgram, SystemConfig, SystemDesign};
-use teil::layout::LayoutPlan;
+use sysgen::{BoardSpec, SystemConfig, SystemDesign};
 use teil::Module;
 use zynq::{ArmCostModel, SimConfig};
+
+pub use pipeline::{Pipeline, StageCounts, StageTimings};
 
 /// Errors from the flow.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,105 +166,19 @@ pub struct Artifacts {
     /// Generated host-code skeleton.
     pub host_source: String,
     pub options: FlowOptions,
+    /// Wall-clock cost of each pipeline stage for this compilation.
+    pub timings: StageTimings,
 }
 
 /// The flow entry point.
 pub struct Flow;
 
 impl Flow {
-    /// Compile a CFDlang program through the complete flow.
+    /// Compile a CFDlang program through the complete flow — a thin
+    /// composition of the five [`pipeline`] stages on a fresh
+    /// [`Pipeline`].
     pub fn compile(source: &str, opts: &FlowOptions) -> Result<Artifacts, FlowError> {
-        // Frontend.
-        let ast = cfdlang::parse(source)?;
-        let typed = cfdlang::check(&ast)?;
-
-        // Middle end: lower and canonicalize.
-        let mut module = teil::lower(&typed)?;
-        if opts.factorize {
-            module = teil::transform::factorize(&module);
-        }
-        if opts.clean {
-            module = teil::transform::cse(&module);
-            module = teil::transform::dce(&module);
-        }
-
-        // Layout materialization and the polyhedral model.
-        let layout = LayoutPlan::row_major(&module);
-        let model = KernelModel::build(&module, &layout);
-
-        // Dependence analysis and rescheduling.
-        let dependences = Dependences::analyze(&model);
-        let schedule = pschedule::reschedule(&module, &model, &dependences, &opts.scheduler);
-
-        // Liveness → compatibility graph → Mnemosyne configuration. In
-        // non-decoupled mode the temporaries stay inside the accelerator,
-        // so the external memory subsystem only holds interface arrays.
-        let liveness = Liveness::analyze(&module, &model, &schedule);
-        let compat = CompatibilityGraph::build(&model, &liveness);
-        let full_config = MnemosyneConfig::from_graph(&compat);
-        let mut mnemosyne_config = if opts.decoupled {
-            full_config
-        } else {
-            full_config.retain_interface()
-        };
-        // Propagate the HLS port demands (array partitioning / unrolling)
-        // into the memory metadata: Mnemosyne builds multi-bank PLMs for
-        // them (Section V-A1/V-A2).
-        for spec in mnemosyne_config.arrays.clone() {
-            let (r, w) = opts.hls.ports_for(&spec.name);
-            if (r, w) != (1, 1) {
-                mnemosyne_config.set_ports(&spec.name, r, w);
-            }
-        }
-
-        // Code generation and HLS.
-        let cg_opts = CodegenOptions {
-            decoupled: opts.decoupled,
-            ..Default::default()
-        };
-        let kernel = cgen::build_kernel(&module, &model, &schedule, &cg_opts);
-        let c_source = cgen::emit_c99(&kernel);
-        let hls_report = hls::synthesize(&kernel, &opts.hls);
-
-        // Memory subsystem.
-        let memory = mnemosyne::synthesize(&mnemosyne_config, &opts.memory);
-
-        // System generation.
-        let cfg = match opts.system {
-            Some(c) => Some(c),
-            None => sysgen::max_equal_config(&opts.board, &hls_report, &memory),
-        };
-        let (system, host_source) = match cfg {
-            Some(c) => {
-                let host = HostProgram::from_kernel(&kernel, c);
-                let host_src = host.to_c(opts.elements);
-                let design =
-                    SystemDesign::build(&opts.board, &hls_report, &memory, c, host);
-                if design.is_none() && opts.system.is_some() {
-                    return Err(FlowError::DoesNotFit { k: c.k, m: c.m });
-                }
-                (design, host_src)
-            }
-            None => (None, String::new()),
-        };
-
-        Ok(Artifacts {
-            typed,
-            module,
-            model,
-            dependences,
-            schedule,
-            liveness,
-            compat,
-            kernel,
-            c_source,
-            hls_report,
-            mnemosyne_config,
-            memory,
-            system,
-            host_source,
-            options: opts.clone(),
-        })
+        Pipeline::new().run(source, opts)
     }
 }
 

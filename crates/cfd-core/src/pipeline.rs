@@ -1,0 +1,352 @@
+//! Staged compilation pipeline.
+//!
+//! [`Flow::compile`](crate::Flow::compile) used to be one monolithic
+//! function, so every design point in an exploration re-ran the whole
+//! frontend and middle end from source. This module splits the flow into
+//! five individually runnable stages with typed outputs:
+//!
+//! | stage | consumes | produces |
+//! |-------|----------|----------|
+//! | [`Pipeline::frontend`]   | CFDlang source | [`Frontend`]: type-checked AST |
+//! | [`Pipeline::middle_end`] | [`Frontend`] + canonicalization options | [`MiddleEnd`]: tensor IR, layout, polyhedral model, dependences |
+//! | [`Pipeline::schedule`]   | [`MiddleEnd`] + scheduler options | [`Scheduled`]: schedule, liveness, compatibility graph |
+//! | [`Pipeline::backend`]    | [`Scheduled`] + decoupling/memory/HLS options | [`Backend`]: C kernel, HLS report, Mnemosyne config, memory subsystem |
+//! | [`Pipeline::system`]     | [`Backend`] + board/replication options | [`SystemStage`]: replicated design + host program |
+//!
+//! The immutable middle-end products are stored behind [`Arc`], so a
+//! [`Scheduled`] stage can be cloned cheaply and shared across threads —
+//! the property the [`dse`](crate::dse) engine exploits to fan backend
+//! and system construction out over a configuration grid. Every stage
+//! records its wall-clock cost ([`StageTimings`]) and bumps a per-
+//! pipeline invocation counter ([`StageCounts`]), which lets tests assert
+//! that an exploration compiled the frontend and middle end exactly once.
+//!
+//! ```
+//! use cfd_core::pipeline::Pipeline;
+//! use cfd_core::FlowOptions;
+//!
+//! let src = cfdlang::examples::inverse_helmholtz(4);
+//! let opts = FlowOptions::default();
+//! let p = Pipeline::new();
+//! let fe = p.frontend(&src).unwrap();
+//! let me = p.middle_end(&fe, &opts).unwrap();
+//! let sc = p.schedule(&me, &opts);
+//! let be = p.backend(&sc, &opts);
+//! let sys = p.system(&be, &opts).unwrap();
+//! assert!(sys.system.is_some());
+//! assert_eq!(p.counters().frontend, 1);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cfdlang::TypedProgram;
+use cgen::{CKernel, CodegenOptions};
+use hls::HlsReport;
+use mnemosyne::{MemorySubsystem, MnemosyneConfig};
+use pschedule::{CompatibilityGraph, Dependences, KernelModel, Liveness, Schedule};
+use sysgen::{HostProgram, SystemDesign};
+use teil::layout::LayoutPlan;
+use teil::Module;
+
+use crate::{Artifacts, FlowError, FlowOptions};
+
+/// How many times each stage of a [`Pipeline`] ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageCounts {
+    pub frontend: usize,
+    pub middle_end: usize,
+    pub schedule: usize,
+    pub backend: usize,
+    pub system: usize,
+}
+
+#[derive(Debug, Default)]
+struct StageCounters {
+    frontend: AtomicUsize,
+    middle_end: AtomicUsize,
+    schedule: AtomicUsize,
+    backend: AtomicUsize,
+    system: AtomicUsize,
+}
+
+impl StageCounters {
+    fn snapshot(&self) -> StageCounts {
+        StageCounts {
+            frontend: self.frontend.load(Ordering::Relaxed),
+            middle_end: self.middle_end.load(Ordering::Relaxed),
+            schedule: self.schedule.load(Ordering::Relaxed),
+            backend: self.backend.load(Ordering::Relaxed),
+            system: self.system.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wall-clock seconds spent in each stage for one compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    pub frontend_s: f64,
+    pub middle_end_s: f64,
+    pub schedule_s: f64,
+    pub backend_s: f64,
+    pub system_s: f64,
+}
+
+impl StageTimings {
+    pub fn total_s(&self) -> f64 {
+        self.frontend_s + self.middle_end_s + self.schedule_s + self.backend_s + self.system_s
+    }
+}
+
+/// Output of the frontend stage: the type-checked program.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    pub typed: Arc<TypedProgram>,
+    pub elapsed_s: f64,
+}
+
+/// Output of the middle end: canonicalized tensor IR plus the layout,
+/// polyhedral model and dependence information derived from it. All
+/// products are immutable and `Arc`-shared — cloning a `MiddleEnd` is a
+/// handful of reference-count bumps.
+#[derive(Debug, Clone)]
+pub struct MiddleEnd {
+    pub typed: Arc<TypedProgram>,
+    pub module: Arc<Module>,
+    pub layout: Arc<LayoutPlan>,
+    pub model: Arc<KernelModel>,
+    pub dependences: Arc<Dependences>,
+    pub elapsed_s: f64,
+}
+
+/// Output of the scheduling stage: the rescheduled program plus the
+/// liveness and compatibility analyses every backend variant shares.
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    pub middle: MiddleEnd,
+    pub schedule: Arc<Schedule>,
+    pub liveness: Arc<Liveness>,
+    pub compat: Arc<CompatibilityGraph>,
+    pub elapsed_s: f64,
+}
+
+/// Output of the backend stage: generated code, the HLS estimate and the
+/// synthesized memory subsystem for one option combination.
+#[derive(Debug, Clone)]
+pub struct Backend {
+    pub kernel: CKernel,
+    pub c_source: String,
+    pub hls_report: HlsReport,
+    pub mnemosyne_config: MnemosyneConfig,
+    pub memory: MemorySubsystem,
+    pub elapsed_s: f64,
+}
+
+/// Output of the system stage: the replicated design (if it fits) and
+/// the generated host program.
+#[derive(Debug, Clone)]
+pub struct SystemStage {
+    pub system: Option<SystemDesign>,
+    pub host_source: String,
+    pub elapsed_s: f64,
+}
+
+/// A handle over the staged flow. Stage methods are `&self` and the
+/// counter state is atomic, so one `Pipeline` can drive many threads.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    counters: Arc<StageCounters>,
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Snapshot of how many times each stage has run on this pipeline.
+    pub fn counters(&self) -> StageCounts {
+        self.counters.snapshot()
+    }
+
+    /// Parse and type-check CFDlang source.
+    pub fn frontend(&self, source: &str) -> Result<Frontend, FlowError> {
+        self.counters.frontend.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let ast = cfdlang::parse(source)?;
+        let typed = cfdlang::check(&ast)?;
+        Ok(Frontend {
+            typed: Arc::new(typed),
+            elapsed_s: t.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Lower to tensor IR, canonicalize (factorization, CSE, DCE per
+    /// `opts`), materialize the row-major layout and build the
+    /// polyhedral model and dependences.
+    pub fn middle_end(&self, fe: &Frontend, opts: &FlowOptions) -> Result<MiddleEnd, FlowError> {
+        self.counters.middle_end.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let mut module = teil::lower(&fe.typed)?;
+        if opts.factorize {
+            module = teil::transform::factorize(&module);
+        }
+        if opts.clean {
+            module = teil::transform::cse(&module);
+            module = teil::transform::dce(&module);
+        }
+        let layout = LayoutPlan::row_major(&module);
+        let model = KernelModel::build(&module, &layout);
+        let dependences = Dependences::analyze(&model);
+        Ok(MiddleEnd {
+            typed: Arc::clone(&fe.typed),
+            module: Arc::new(module),
+            layout: Arc::new(layout),
+            model: Arc::new(model),
+            dependences: Arc::new(dependences),
+            elapsed_s: t.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Reschedule and run the liveness / compatibility analyses.
+    pub fn schedule(&self, me: &MiddleEnd, opts: &FlowOptions) -> Scheduled {
+        self.counters.schedule.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let schedule =
+            pschedule::reschedule(&me.module, &me.model, &me.dependences, &opts.scheduler);
+        let liveness = Liveness::analyze(&me.module, &me.model, &schedule);
+        let compat = CompatibilityGraph::build(&me.model, &liveness);
+        Scheduled {
+            middle: me.clone(),
+            schedule: Arc::new(schedule),
+            liveness: Arc::new(liveness),
+            compat: Arc::new(compat),
+            elapsed_s: t.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Generate the C kernel, estimate it with the HLS model and
+    /// synthesize the Mnemosyne memory subsystem. Honors `opts.decoupled`,
+    /// `opts.memory` and `opts.hls`.
+    pub fn backend(&self, sc: &Scheduled, opts: &FlowOptions) -> Backend {
+        self.counters.backend.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        // Liveness → compatibility graph → Mnemosyne configuration. In
+        // non-decoupled mode the temporaries stay inside the accelerator,
+        // so the external memory subsystem only holds interface arrays.
+        let full_config = MnemosyneConfig::from_graph(&sc.compat);
+        let mut mnemosyne_config = if opts.decoupled {
+            full_config
+        } else {
+            full_config.retain_interface()
+        };
+        // Propagate the HLS port demands (array partitioning / unrolling)
+        // into the memory metadata: Mnemosyne builds multi-bank PLMs for
+        // them (Section V-A1/V-A2).
+        for spec in mnemosyne_config.arrays.clone() {
+            let (r, w) = opts.hls.ports_for(&spec.name);
+            if (r, w) != (1, 1) {
+                mnemosyne_config.set_ports(&spec.name, r, w);
+            }
+        }
+        let cg_opts = CodegenOptions {
+            decoupled: opts.decoupled,
+            ..Default::default()
+        };
+        let kernel =
+            cgen::build_kernel(&sc.middle.module, &sc.middle.model, &sc.schedule, &cg_opts);
+        let c_source = cgen::emit_c99(&kernel);
+        let hls_report = hls::synthesize(&kernel, &opts.hls);
+        let memory = mnemosyne::synthesize(&mnemosyne_config, &opts.memory);
+        Backend {
+            kernel,
+            c_source,
+            hls_report,
+            mnemosyne_config,
+            memory,
+            elapsed_s: t.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Pick / validate the replication configuration and build the
+    /// replicated system plus its host program. Returns
+    /// [`FlowError::DoesNotFit`] only when `opts.system` explicitly
+    /// requests a configuration that exceeds the board.
+    pub fn system(&self, be: &Backend, opts: &FlowOptions) -> Result<SystemStage, FlowError> {
+        self.counters.system.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let cfg = match opts.system {
+            Some(c) => Some(c),
+            None => sysgen::max_equal_config(&opts.board, &be.hls_report, &be.memory),
+        };
+        let (system, host_source) = match cfg {
+            Some(c) => {
+                let host = HostProgram::from_kernel(&be.kernel, c);
+                let host_src = host.to_c(opts.elements);
+                let design = SystemDesign::build(&opts.board, &be.hls_report, &be.memory, c, host);
+                if design.is_none() && opts.system.is_some() {
+                    return Err(FlowError::DoesNotFit { k: c.k, m: c.m });
+                }
+                (design, host_src)
+            }
+            None => (None, String::new()),
+        };
+        Ok(SystemStage {
+            system,
+            host_source,
+            elapsed_s: t.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The complete flow as a composition of the five stages —
+    /// behaviorally identical to the old monolithic `Flow::compile`.
+    pub fn run(&self, source: &str, opts: &FlowOptions) -> Result<Artifacts, FlowError> {
+        let fe = self.frontend(source)?;
+        let me = self.middle_end(&fe, opts)?;
+        let sc = self.schedule(&me, opts);
+        let be = self.backend(&sc, opts);
+        let sys = self.system(&be, opts)?;
+        Ok(Artifacts::assemble(&fe, &sc, be, sys, opts))
+    }
+}
+
+impl Artifacts {
+    /// Assemble the flat [`Artifacts`] record the rest of the codebase
+    /// consumes from staged outputs. The frontend/middle-end products are
+    /// cloned out of their `Arc`s so `Artifacts` keeps its owned,
+    /// self-contained shape.
+    pub fn assemble(
+        fe: &Frontend,
+        sc: &Scheduled,
+        be: Backend,
+        sys: SystemStage,
+        opts: &FlowOptions,
+    ) -> Artifacts {
+        let me = &sc.middle;
+        let timings = StageTimings {
+            frontend_s: fe.elapsed_s,
+            middle_end_s: me.elapsed_s,
+            schedule_s: sc.elapsed_s,
+            backend_s: be.elapsed_s,
+            system_s: sys.elapsed_s,
+        };
+        Artifacts {
+            typed: (*me.typed).clone(),
+            module: (*me.module).clone(),
+            model: (*me.model).clone(),
+            dependences: (*me.dependences).clone(),
+            schedule: (*sc.schedule).clone(),
+            liveness: (*sc.liveness).clone(),
+            compat: (*sc.compat).clone(),
+            kernel: be.kernel,
+            c_source: be.c_source,
+            hls_report: be.hls_report,
+            mnemosyne_config: be.mnemosyne_config,
+            memory: be.memory,
+            system: sys.system,
+            host_source: sys.host_source,
+            options: opts.clone(),
+            timings,
+        }
+    }
+}

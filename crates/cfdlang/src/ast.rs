@@ -97,10 +97,7 @@ pub enum Expr {
     },
     /// Tensor (outer) product `a # b`; the result's dimensions are the
     /// concatenation of the operands' dimensions.
-    Product {
-        operands: Vec<Expr>,
-        span: Span,
-    },
+    Product { operands: Vec<Expr>, span: Span },
     /// Contraction `expr . [[a b] ...]`: sums over each paired dimension
     /// of the operand expression; the result keeps the remaining
     /// dimensions in their original order.

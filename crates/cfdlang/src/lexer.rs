@@ -36,8 +36,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
                     i += 1;
                 }
             }
-            b':' | b'=' | b'[' | b']' | b'(' | b')' | b'#' | b'*' | b'+' | b'-' | b'/'
-            | b'.' => {
+            b':' | b'=' | b'[' | b']' | b'(' | b')' | b'#' | b'*' | b'+' | b'-' | b'/' | b'.' => {
                 let kind = match b {
                     b':' => TokenKind::Colon,
                     b'=' => TokenKind::Equals,
@@ -82,9 +81,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
                 let scol = col;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                     col += 1;
                 }
@@ -154,16 +151,18 @@ mod tests {
     fn comments_are_skipped() {
         let ks = kinds("var x : [2] // trailing comment\n// full line\nx = x");
         assert!(!ks.iter().any(|k| matches!(k, TokenKind::Slash)));
-        assert_eq!(ks.iter().filter(|k| matches!(k, TokenKind::Ident(_))).count(), 3);
+        assert_eq!(
+            ks.iter()
+                .filter(|k| matches!(k, TokenKind::Ident(_)))
+                .count(),
+            3
+        );
     }
 
     #[test]
     fn spans_track_lines() {
         let toks = lex("var x : [2]\nx = x").unwrap();
-        let eq = toks
-            .iter()
-            .find(|t| t.kind == TokenKind::Equals)
-            .unwrap();
+        let eq = toks.iter().find(|t| t.kind == TokenKind::Equals).unwrap();
         assert_eq!(eq.span.line, 2);
         assert_eq!(eq.span.col, 3);
     }

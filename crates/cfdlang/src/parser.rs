@@ -168,11 +168,7 @@ impl Parser {
         let (lhs, span) = self.eat_ident()?;
         self.eat(&TokenKind::Equals)?;
         let rhs = self.expr()?;
-        Ok(Stmt {
-            lhs,
-            rhs,
-            span,
-        })
+        Ok(Stmt { lhs, rhs, span })
     }
 
     fn expr(&mut self) -> Result<Expr, Diagnostic> {
@@ -322,7 +318,10 @@ mod tests {
                 _ => panic!(),
             })
             .collect();
-        assert_eq!(kinds, vec![DeclKind::Input, DeclKind::Output, DeclKind::Local]);
+        assert_eq!(
+            kinds,
+            vec![DeclKind::Input, DeclKind::Output, DeclKind::Local]
+        );
     }
 
     #[test]
@@ -344,10 +343,13 @@ mod tests {
     #[test]
     fn hadamard_precedence() {
         // a * b + c parses as (a*b) + c
-        let p = parse("var a : [2]\nvar b : [2]\nvar c : [2]\nvar o : [2]\no = a * b + c")
-            .unwrap();
+        let p = parse("var a : [2]\nvar b : [2]\nvar c : [2]\nvar o : [2]\no = a * b + c").unwrap();
         match &p.stmts[0].rhs {
-            Expr::Binary { op: BinOp::Add, lhs, .. } => match lhs.as_ref() {
+            Expr::Binary {
+                op: BinOp::Add,
+                lhs,
+                ..
+            } => match lhs.as_ref() {
                 Expr::Binary { op: BinOp::Mul, .. } => {}
                 other => panic!("expected mul on lhs, got {other:?}"),
             },
@@ -370,7 +372,11 @@ mod tests {
     fn parenthesized_expression() {
         let p = parse("var a : [2]\nvar b : [2]\nvar o : [2]\no = (a + b) * a").unwrap();
         match &p.stmts[0].rhs {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(lhs.as_ref(), Expr::Binary { op: BinOp::Add, .. }));
             }
             other => panic!("expected mul at top, got {other:?}"),
@@ -393,7 +399,9 @@ mod tests {
     fn scalar_literal() {
         let p = parse("var a : [2]\nvar o : [2]\no = a * 2").unwrap();
         match &p.stmts[0].rhs {
-            Expr::Binary { rhs, .. } => assert!(matches!(rhs.as_ref(), Expr::Num(v, _) if *v == 2.0)),
+            Expr::Binary { rhs, .. } => {
+                assert!(matches!(rhs.as_ref(), Expr::Num(v, _) if *v == 2.0))
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

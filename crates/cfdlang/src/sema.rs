@@ -19,7 +19,7 @@ use std::collections::HashMap;
 pub type Shape = Vec<usize>;
 
 /// A checked program with resolved shapes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TypedProgram {
     pub program: Program,
     /// Resolved shape of every declared variable.
@@ -88,19 +88,30 @@ pub fn check(program: &Program) -> Result<TypedProgram, Diagnostic> {
             Decl::TypeAlias { name, ty, span } => {
                 let shape = resolve_type(ty, &aliases).map_err(|m| Diagnostic::new(*span, m))?;
                 if aliases.insert(name.clone(), shape).is_some() {
-                    return Err(Diagnostic::new(*span, format!("duplicate type alias '{name}'")));
+                    return Err(Diagnostic::new(
+                        *span,
+                        format!("duplicate type alias '{name}'"),
+                    ));
                 }
             }
-            Decl::Var { kind, name, ty, span } => {
+            Decl::Var {
+                kind,
+                name,
+                ty,
+                span,
+            } => {
                 let shape = resolve_type(ty, &aliases).map_err(|m| Diagnostic::new(*span, m))?;
-                if shape.iter().any(|&d| d == 0) {
+                if shape.contains(&0) {
                     return Err(Diagnostic::new(
                         *span,
                         format!("tensor '{name}' has a zero-extent dimension"),
                     ));
                 }
                 if shapes.insert(name.clone(), shape).is_some() {
-                    return Err(Diagnostic::new(*span, format!("duplicate variable '{name}'")));
+                    return Err(Diagnostic::new(
+                        *span,
+                        format!("duplicate variable '{name}'"),
+                    ));
                 }
                 kinds.insert(name.clone(), *kind);
                 order.push(name.clone());
@@ -151,7 +162,10 @@ fn check_stmt<'p>(
     assigned: &mut HashMap<&'p str, bool>,
 ) -> Result<Shape, Diagnostic> {
     let lhs_shape = shapes.get(&stmt.lhs).ok_or_else(|| {
-        Diagnostic::new(stmt.span, format!("assignment to undeclared variable '{}'", stmt.lhs))
+        Diagnostic::new(
+            stmt.span,
+            format!("assignment to undeclared variable '{}'", stmt.lhs),
+        )
     })?;
     match kinds[&stmt.lhs] {
         DeclKind::Input => {
@@ -184,9 +198,10 @@ fn check_stmt<'p>(
 /// Infer the shape of an expression.
 pub fn infer(expr: &Expr, shapes: &HashMap<String, Shape>) -> Result<Shape, Diagnostic> {
     match expr {
-        Expr::Ident(name, span) => shapes.get(name).cloned().ok_or_else(|| {
-            Diagnostic::new(*span, format!("use of undeclared variable '{name}'"))
-        }),
+        Expr::Ident(name, span) => shapes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Diagnostic::new(*span, format!("use of undeclared variable '{name}'"))),
         Expr::Num(..) => Ok(vec![]),
         Expr::Binary { op, lhs, rhs, span } => {
             let l = infer(lhs, shapes)?;
@@ -194,9 +209,7 @@ pub fn infer(expr: &Expr, shapes: &HashMap<String, Shape>) -> Result<Shape, Diag
             // Scalars broadcast against any shape.
             if l.is_empty() {
                 Ok(r)
-            } else if r.is_empty() {
-                Ok(l)
-            } else if l == r {
+            } else if r.is_empty() || l == r {
                 Ok(l)
             } else {
                 Err(Diagnostic::new(
@@ -217,7 +230,11 @@ pub fn infer(expr: &Expr, shapes: &HashMap<String, Shape>) -> Result<Shape, Diag
             }
             Ok(shape)
         }
-        Expr::Contract { operand, pairs, span } => {
+        Expr::Contract {
+            operand,
+            pairs,
+            span,
+        } => {
             let inner = infer(operand, shapes)?;
             let rank = inner.len();
             let mut contracted = vec![false; rank];
@@ -307,8 +324,7 @@ mod tests {
 
     #[test]
     fn rejects_double_assignment() {
-        let e =
-            check_src("var input a : [2]\nvar output o : [2]\no = a\no = a").unwrap_err();
+        let e = check_src("var input a : [2]\nvar output o : [2]\no = a\no = a").unwrap_err();
         assert!(e.message.contains("assigned more than once"));
     }
 
@@ -320,10 +336,8 @@ mod tests {
 
     #[test]
     fn rejects_shape_mismatch_entrywise() {
-        let e = check_src(
-            "var input a : [2]\nvar input b : [3]\nvar output o : [2]\no = a * b",
-        )
-        .unwrap_err();
+        let e = check_src("var input a : [2]\nvar input b : [3]\nvar output o : [2]\no = a * b")
+            .unwrap_err();
         assert!(e.message.contains("mismatched shapes"));
     }
 
@@ -338,19 +352,14 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_pair() {
-        let e = check_src(
-            "var input S : [2 2]\nvar output o : []\no = S . [[0 7]]",
-        )
-        .unwrap_err();
+        let e = check_src("var input S : [2 2]\nvar output o : []\no = S . [[0 7]]").unwrap_err();
         assert!(e.message.contains("out of range"));
     }
 
     #[test]
     fn rejects_dimension_contracted_twice() {
-        let e = check_src(
-            "var input T : [2 2 2 2]\nvar output o : []\no = T . [[0 1] [1 2]]",
-        )
-        .unwrap_err();
+        let e = check_src("var input T : [2 2 2 2]\nvar output o : []\no = T . [[0 1] [1 2]]")
+            .unwrap_err();
         assert!(e.message.contains("contracted twice") || e.message.contains("repeats"));
     }
 
@@ -368,10 +377,8 @@ mod tests {
 
     #[test]
     fn type_alias_resolves() {
-        let t = check_src(
-            "type vec : [5]\nvar input a : vec\nvar output o : vec\no = a + a",
-        )
-        .unwrap();
+        let t =
+            check_src("type vec : [5]\nvar input a : vec\nvar output o : vec\no = a + a").unwrap();
         assert_eq!(t.shape_of("a"), Some(&[5][..]));
     }
 }

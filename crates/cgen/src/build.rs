@@ -57,8 +57,11 @@ fn build_params(
     let mut params = Vec::new();
     let mut locals = Vec::new();
     let mut seen: Vec<teil::layout::ArrayId> = Vec::new();
-    let mut push = |arr: teil::layout::ArrayId, role: ParamRole, into_params: bool,
-                    params: &mut Vec<CParam>, locals: &mut Vec<CParam>| {
+    let mut push = |arr: teil::layout::ArrayId,
+                    role: ParamRole,
+                    into_params: bool,
+                    params: &mut Vec<CParam>,
+                    locals: &mut Vec<CParam>| {
         if seen.contains(&arr) {
             return;
         }
@@ -104,23 +107,16 @@ fn build_group(
     }
     group
         .iter()
-        .map(|&si| build_single_nest(module, model, sched, si))
-        .flatten()
+        .flat_map(|&si| build_single_nest(module, model, sched, si))
         .collect()
 }
 
-fn fusable_shapes(
-    module: &Module,
-    model: &KernelModel,
-    sched: &Schedule,
-    group: &[usize],
-) -> bool {
+fn fusable_shapes(module: &Module, model: &KernelModel, sched: &Schedule, group: &[usize]) -> bool {
     let first = group[0];
     let ext0 = permuted_extents(model, sched, first);
-    group.iter().all(|&si| {
-        permuted_extents(model, sched, si) == ext0
-            && !module.stmts[si].is_reduction()
-    })
+    group
+        .iter()
+        .all(|&si| permuted_extents(model, sched, si) == ext0 && !module.stmts[si].is_reduction())
 }
 
 fn permuted_extents(model: &KernelModel, sched: &Schedule, si: usize) -> Vec<usize> {
@@ -171,9 +167,7 @@ fn build_single_nest(
     // Accumulator form requires every reduction variable in the loop
     // suffix.
     let reduce_rank = stmt.reduce_rank();
-    let suffix_ok = perm[rank - reduce_rank..]
-        .iter()
-        .all(|&v| v >= out_rank);
+    let suffix_ok = perm[rank - reduce_rank..].iter().all(|&v| v >= out_rank);
     if suffix_ok {
         let acc = "acc".to_string();
         let expr = point_to_cexpr(module, model, sched, si, &stmt.expr);
@@ -231,11 +225,7 @@ fn build_single_nest(
     );
     let expr = point_to_cexpr(module, model, sched, si, &stmt.expr);
     let target = write_access(module, model, sched, si);
-    let accum_nest = wrap_loops(
-        &vars,
-        &ext,
-        vec![CStmt::StoreAccum { target, expr }],
-    );
+    let accum_nest = wrap_loops(&vars, &ext, vec![CStmt::StoreAccum { target, expr }]);
     vec![zero_nest, accum_nest]
 }
 
@@ -257,12 +247,7 @@ fn store_stmt(
 
 /// The write access of a statement, with loop variables in permuted
 /// order.
-fn write_access(
-    module: &Module,
-    model: &KernelModel,
-    sched: &Schedule,
-    si: usize,
-) -> ArrAccess {
+fn write_access(module: &Module, model: &KernelModel, sched: &Schedule, si: usize) -> ArrAccess {
     let stmt = &module.stmts[si];
     let wp = model.layout.placement(stmt.out);
     let out_rank = model.stmts[si].out_rank;
@@ -275,6 +260,7 @@ fn write_access(
 
 /// Translate a point expression into a C expression under a loop
 /// permutation.
+#[allow(clippy::only_used_in_recursion)]
 fn point_to_cexpr(
     module: &Module,
     model: &KernelModel,
@@ -411,7 +397,10 @@ mod tests {
                 has_accum_mem = true;
             }
         });
-        assert!(has_accum_mem, "reduction-outer schedule needs memory accumulation");
+        assert!(
+            has_accum_mem,
+            "reduction-outer schedule needs memory accumulation"
+        );
     }
 
     #[test]

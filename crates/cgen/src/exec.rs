@@ -26,10 +26,7 @@ pub struct ExecCounts {
 /// Execute a kernel over named flat arrays. Arrays listed as parameters
 /// must be present in `mem` with the right size; locals are allocated and
 /// dropped internally.
-pub fn run_kernel(
-    k: &CKernel,
-    mem: &mut HashMap<String, Vec<f64>>,
-) -> Result<ExecCounts, String> {
+pub fn run_kernel(k: &CKernel, mem: &mut HashMap<String, Vec<f64>>) -> Result<ExecCounts, String> {
     for p in &k.params {
         let a = mem
             .get(&p.name)
@@ -45,7 +42,8 @@ pub fn run_kernel(
     }
     // Locals live only for the call.
     for l in &k.locals {
-        mem.entry(l.name.clone()).or_insert_with(|| vec![0.0; l.words]);
+        mem.entry(l.name.clone())
+            .or_insert_with(|| vec![0.0; l.words]);
     }
     let mut counts = ExecCounts::default();
     let mut vars: Vec<(String, i64)> = Vec::new();
@@ -229,7 +227,11 @@ mod tests {
     fn generated_code_matches_interpreter_exactly() {
         for factored in [false, true] {
             for decoupled in [true, false] {
-                let (m, k) = setup(&cfdlang::examples::inverse_helmholtz(5), factored, decoupled);
+                let (m, k) = setup(
+                    &cfdlang::examples::inverse_helmholtz(5),
+                    factored,
+                    decoupled,
+                );
                 let s = rand_tensor(&[5, 5], 1);
                 let d = rand_tensor(&[5, 5, 5], 2);
                 let u = rand_tensor(&[5, 5, 5], 3);
@@ -291,7 +293,9 @@ mod tests {
     fn missing_array_is_error() {
         let (_m, k) = setup(&cfdlang::examples::axpy(2), false, true);
         let mut mem = HashMap::new();
-        assert!(run_kernel(&k, &mut mem).unwrap_err().contains("missing array"));
+        assert!(run_kernel(&k, &mut mem)
+            .unwrap_err()
+            .contains("missing array"));
     }
 
     #[test]

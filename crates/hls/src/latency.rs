@@ -238,7 +238,8 @@ mod tests {
     #[test]
     fn pointwise_loop_achieves_ii_one() {
         let k = kernel(&cfdlang::examples::axpy(4), false);
-        let (loops, _) = kernel_latency(&k, &HlsOptions::default(), &OpLibrary::ultrascale_200mhz());
+        let (loops, _) =
+            kernel_latency(&k, &HlsOptions::default(), &OpLibrary::ultrascale_200mhz());
         let inner = loops.last().unwrap();
         assert_eq!(inner.ii, 1, "{inner:?}");
     }
@@ -258,7 +259,8 @@ mod tests {
     fn factored_kernel_latency_in_expected_band() {
         // 6 stages × 11^3 entries × (depth + 10·II + overhead) + Hadamard.
         let k = kernel(&cfdlang::examples::inverse_helmholtz(11), true);
-        let (_, total) = kernel_latency(&k, &HlsOptions::default(), &OpLibrary::ultrascale_200mhz());
+        let (_, total) =
+            kernel_latency(&k, &HlsOptions::default(), &OpLibrary::ultrascale_200mhz());
         assert!(
             (400_000..800_000).contains(&total),
             "latency {total} outside expected band"
@@ -386,7 +388,8 @@ mod tests {
     #[test]
     fn loop_labels_are_paths() {
         let k = kernel(&cfdlang::examples::inverse_helmholtz(4), true);
-        let (loops, _) = kernel_latency(&k, &HlsOptions::default(), &OpLibrary::ultrascale_200mhz());
+        let (loops, _) =
+            kernel_latency(&k, &HlsOptions::default(), &OpLibrary::ultrascale_200mhz());
         assert!(loops.iter().any(|l| l.label.contains('.')), "{loops:?}");
     }
 }

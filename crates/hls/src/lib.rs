@@ -87,7 +87,10 @@ impl HlsOptions {
             .map(|(_, f)| *f)
             .unwrap_or(1)
             .max(1);
-        (self.array_read_ports * factor, self.array_write_ports * factor)
+        (
+            self.array_read_ports * factor,
+            self.array_write_ports * factor,
+        )
     }
 }
 

@@ -33,7 +33,11 @@ impl HlsReport {
 
 impl fmt::Display for HlsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "== HLS Report: {} @ {:.0} MHz ==", self.kernel, self.clock_mhz)?;
+        writeln!(
+            f,
+            "== HLS Report: {} @ {:.0} MHz ==",
+            self.kernel, self.clock_mhz
+        )?;
         writeln!(
             f,
             "  latency: {} cycles ({:.1} us)",

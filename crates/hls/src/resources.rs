@@ -36,9 +36,12 @@ pub fn estimate_resources(
     // Function-level FU binding: sequentially executing loops share FU
     // instances, so the kernel instantiates the *maximum* concurrent need
     // across pipelined loops (per unrolled lane).
-    let fu_muls = loops.iter().map(|l| l.muls_per_iter).max().unwrap_or(0).max(
-        usize::from(total_muls(kernel) > 0),
-    );
+    let fu_muls = loops
+        .iter()
+        .map(|l| l.muls_per_iter)
+        .max()
+        .unwrap_or(0)
+        .max(usize::from(total_muls(kernel) > 0));
     let fu_adds = loops.iter().map(|l| l.adds_per_iter).max().unwrap_or(0);
     let fu_divs = loops.iter().map(|l| l.divs_per_iter).max().unwrap_or(0);
 
@@ -59,8 +62,8 @@ pub fn estimate_resources(
             for l in expr.loads() {
                 addr_terms += l.addr.add_terms() + l.addr.mul_terms();
             }
-            any_strided |= target.addr.mul_terms() > 0
-                || expr.loads().iter().any(|l| l.addr.mul_terms() > 0);
+            any_strided |=
+                target.addr.mul_terms() > 0 || expr.loads().iter().any(|l| l.addr.mul_terms() > 0);
         }
         CStmt::AccumScalar { expr, .. } => {
             n_accesses += expr.loads().len();
@@ -194,7 +197,12 @@ mod tests {
             &kernel(&cfdlang::examples::inverse_helmholtz(11), false, true),
             &HlsOptions::default(),
         );
-        assert!(naive.dsps > fact.dsps, "naive {} vs {}", naive.dsps, fact.dsps);
+        assert!(
+            naive.dsps > fact.dsps,
+            "naive {} vs {}",
+            naive.dsps,
+            fact.dsps
+        );
     }
 
     #[test]

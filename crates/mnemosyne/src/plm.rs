@@ -113,7 +113,11 @@ pub fn build_subsystem(
     let mut units = Vec::with_capacity(solution.groups.len());
     for (gi, group) in solution.groups.iter().enumerate() {
         let words = solution.group_words(cfg, gi);
-        let read_ports = group.iter().map(|&a| cfg.arrays[a].read_ports).max().unwrap_or(1);
+        let read_ports = group
+            .iter()
+            .map(|&a| cfg.arrays[a].read_ports)
+            .max()
+            .unwrap_or(1);
         let write_ports = group
             .iter()
             .map(|&a| cfg.arrays[a].write_ports)
@@ -164,21 +168,88 @@ mod tests {
         // tests independent of the analysis).
         let w = 1331;
         let arrays = vec![
-            ArraySpec { name: "S".into(), words: 121, interface: true, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "D".into(), words: w, interface: true, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "u".into(), words: w, interface: true, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "v".into(), words: w, interface: true, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "t".into(), words: w, interface: false, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "r".into(), words: w, interface: false, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "t0".into(), words: w, interface: false, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "t1".into(), words: w, interface: false, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "t2".into(), words: w, interface: false, read_ports: 1, write_ports: 1 },
-            ArraySpec { name: "t3".into(), words: w, interface: false, read_ports: 1, write_ports: 1 },
+            ArraySpec {
+                name: "S".into(),
+                words: 121,
+                interface: true,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "D".into(),
+                words: w,
+                interface: true,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "u".into(),
+                words: w,
+                interface: true,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "v".into(),
+                words: w,
+                interface: true,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "t".into(),
+                words: w,
+                interface: false,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "r".into(),
+                words: w,
+                interface: false,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "t0".into(),
+                words: w,
+                interface: false,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "t1".into(),
+                words: w,
+                interface: false,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "t2".into(),
+                words: w,
+                interface: false,
+                read_ports: 1,
+                write_ports: 1,
+            },
+            ArraySpec {
+                name: "t3".into(),
+                words: w,
+                interface: false,
+                read_ports: 1,
+                write_ports: 1,
+            },
         ];
         // Temporaries in stage order: t0(0-1) t1(1-2) t(2-3) r(3-4)
         // t2(4-5) t3(5-6): compatible iff lifetimes disjoint.
         // Indices:         t=4 r=5 t0=6 t1=7 t2=8 t3=9.
-        let lifetimes = [(4, 2, 3), (5, 3, 4), (6, 0, 1), (7, 1, 2), (8, 4, 5), (9, 5, 6)];
+        let lifetimes = [
+            (4, 2, 3),
+            (5, 3, 4),
+            (6, 0, 1),
+            (7, 1, 2),
+            (8, 4, 5),
+            (9, 5, 6),
+        ];
         let mut compat = Vec::new();
         for (i, &(ai, s1, e1)) in lifetimes.iter().enumerate() {
             for &(aj, s2, e2) in &lifetimes[i + 1..] {
@@ -247,7 +318,13 @@ mod tests {
     fn sharing_reduction_ratio_matches_paper() {
         // Paper: 18/31 = 0.58. Ours: 16/28 = 0.57.
         let cfg = helmholtz_cfg();
-        let no = crate::synthesize(&cfg, &MemoryOptions { sharing: false, ..Default::default() });
+        let no = crate::synthesize(
+            &cfg,
+            &MemoryOptions {
+                sharing: false,
+                ..Default::default()
+            },
+        );
         let sh = crate::synthesize(&cfg, &MemoryOptions::default());
         let ratio = sh.brams as f64 / no.brams as f64;
         assert!((0.5..0.65).contains(&ratio), "ratio {ratio}");

@@ -137,8 +137,7 @@ pub fn exact_min_groups(cfg: &MnemosyneConfig, share_interface: bool) -> usize {
         for g in 0..groups.len() {
             let ok = sharable
                 && groups[g].iter().all(|&m| {
-                    cfg.addr_compatible(i, m)
-                        && (share_interface || !cfg.arrays[m].interface)
+                    cfg.addr_compatible(i, m) && (share_interface || !cfg.arrays[m].interface)
                 });
             if ok {
                 groups[g].push(i);
@@ -215,11 +214,7 @@ mod tests {
         // t0 is compatible with t2, t3 but must not share.
         let sol = share_groups(&cfg, false);
         sol.validate(&cfg, false).unwrap();
-        let g0 = sol
-            .groups
-            .iter()
-            .find(|g| g.contains(&0))
-            .unwrap();
+        let g0 = sol.groups.iter().find(|g| g.contains(&0)).unwrap();
         assert_eq!(g0.len(), 1);
     }
 

@@ -22,8 +22,7 @@ pub struct DimBounds {
 impl DimBounds {
     /// Whether the bounds are plain constants.
     pub fn is_constant(&self) -> bool {
-        self.lowers.iter().all(LinExpr::is_constant)
-            && self.uppers.iter().all(LinExpr::is_constant)
+        self.lowers.iter().all(LinExpr::is_constant) && self.uppers.iter().all(LinExpr::is_constant)
     }
 
     /// If both sides are single constants, return `(lo, hi)`.
@@ -160,18 +159,8 @@ mod tests {
         let mut count = 0;
         let (ilo, ihi) = bounds[0].as_constant_range().unwrap();
         for i in ilo..=ihi {
-            let lo = bounds[1]
-                .lowers
-                .iter()
-                .map(|e| e.eval(&[i]))
-                .max()
-                .unwrap();
-            let hi = bounds[1]
-                .uppers
-                .iter()
-                .map(|e| e.eval(&[i]))
-                .min()
-                .unwrap();
+            let lo = bounds[1].lowers.iter().map(|e| e.eval(&[i])).max().unwrap();
+            let hi = bounds[1].uppers.iter().map(|e| e.eval(&[i])).min().unwrap();
             count += (hi - lo + 1).max(0);
         }
         assert_eq!(count as usize, b.points().count());

@@ -38,7 +38,10 @@ impl LinExpr {
     pub fn var(n: usize, i: usize) -> Self {
         let mut coeffs = vec![0; n];
         coeffs[i] = 1;
-        LinExpr { coeffs, constant: 0 }
+        LinExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Build from a slice of coefficients and a constant.
@@ -113,7 +116,7 @@ impl LinExpr {
     pub fn insert_vars(&self, at: usize, count: usize) -> LinExpr {
         let mut coeffs = Vec::with_capacity(self.coeffs.len() + count);
         coeffs.extend_from_slice(&self.coeffs[..at]);
-        coeffs.extend(std::iter::repeat(0).take(count));
+        coeffs.extend(std::iter::repeat_n(0, count));
         coeffs.extend_from_slice(&self.coeffs[at..]);
         LinExpr {
             coeffs,
@@ -159,10 +162,7 @@ impl LinExpr {
             if c == 0 {
                 continue;
             }
-            let name = names
-                .get(i)
-                .cloned()
-                .unwrap_or_else(|| format!("x{i}"));
+            let name = names.get(i).cloned().unwrap_or_else(|| format!("x{i}"));
             match c {
                 1 => parts.push(name),
                 -1 => parts.push(format!("-{name}")),
@@ -218,10 +218,9 @@ pub fn combine(a: &LinExpr, p: i64, b: &LinExpr, q: i64) -> LinExpr {
             i64::try_from(v).expect("FM combination overflow")
         })
         .collect();
-    let constant = i64::try_from(
-        (a.constant as i128) * (p as i128) + (b.constant as i128) * (q as i128),
-    )
-    .expect("FM combination overflow");
+    let constant =
+        i64::try_from((a.constant as i128) * (p as i128) + (b.constant as i128) * (q as i128))
+            .expect("FM combination overflow");
     LinExpr { coeffs, constant }
 }
 

@@ -96,12 +96,8 @@ impl BasicMap {
         for c in self.system.constraints() {
             // Permute (in ++ out) -> (out ++ in).
             let mut coeffs = vec![0i64; m + n];
-            for d in 0..m {
-                coeffs[n + d] = c.expr.coeffs[d];
-            }
-            for d in 0..n {
-                coeffs[d] = c.expr.coeffs[m + d];
-            }
+            coeffs[n..n + m].copy_from_slice(&c.expr.coeffs[..m]);
+            coeffs[..n].copy_from_slice(&c.expr.coeffs[m..m + n]);
             system.add(Constraint {
                 kind: c.kind,
                 expr: LinExpr::new(&coeffs, c.expr.constant),
@@ -569,8 +565,11 @@ mod tests {
 
     #[test]
     fn union_map_apply() {
-        let m = Map::from_affine(spb(), spb(), &[LinExpr::new(&[1], 1)])
-            .union(&Map::from_affine(spb(), spb(), &[LinExpr::new(&[1], -1)]));
+        let m = Map::from_affine(spb(), spb(), &[LinExpr::new(&[1], 1)]).union(&Map::from_affine(
+            spb(),
+            spb(),
+            &[LinExpr::new(&[1], -1)],
+        ));
         let s = Set::from_basic(BasicSet::boxed(spb(), &[(0, 0)]));
         let img = m.apply(&s);
         assert!(img.contains(&[1]));

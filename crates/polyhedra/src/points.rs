@@ -44,7 +44,11 @@ impl<'a> PointIter<'a> {
         PointIter {
             set,
             ranges,
-            cursor: if n == 0 { Some(Vec::new()) } else { Some(start) },
+            cursor: if n == 0 {
+                Some(Vec::new())
+            } else {
+                Some(start)
+            },
         }
     }
 }
@@ -131,9 +135,7 @@ impl Iterator for PointIter<'_> {
             if self.set.contains(&cur) {
                 return Some(cur);
             }
-            if self.cursor.is_none() {
-                return None;
-            }
+            self.cursor.as_ref()?;
         }
     }
 }

@@ -127,9 +127,11 @@ impl System {
         }
 
         // Preferred: exact substitution via an equality with coefficient ±1.
-        if let Some(pos) = self.constraints.iter().position(|c| {
-            c.kind == ConstraintKind::Eq && c.expr.coeffs[var].abs() == 1
-        }) {
+        if let Some(pos) = self
+            .constraints
+            .iter()
+            .position(|c| c.kind == ConstraintKind::Eq && c.expr.coeffs[var].abs() == 1)
+        {
             let eqc = &self.constraints[pos];
             // c*x + e = 0 with c = ±1  =>  x = -e/c = -c*e (since c^2 = 1).
             let c = eqc.expr.coeffs[var];
@@ -171,7 +173,11 @@ impl System {
                 ConstraintKind::Eq => {
                     // Orient so the variable has a positive coefficient in
                     // the lower-bound copy and negative in the upper copy.
-                    let pos = if k > 0 { c.expr.clone() } else { c.expr.scale(-1) };
+                    let pos = if k > 0 {
+                        c.expr.clone()
+                    } else {
+                        c.expr.scale(-1)
+                    };
                     lowers.push(pos.clone());
                     uppers.push(pos.scale(-1));
                 }
@@ -357,9 +363,10 @@ fn pick_elimination_target(sys: &System, remaining: &[usize]) -> Option<usize> {
     }
     // Prefer a variable with a unit-coefficient equality (exact).
     for (i, &v) in remaining.iter().enumerate() {
-        let has_unit_eq = sys.constraints.iter().any(|c| {
-            c.kind == ConstraintKind::Eq && c.expr.coeffs[v].abs() == 1
-        });
+        let has_unit_eq = sys
+            .constraints
+            .iter()
+            .any(|c| c.kind == ConstraintKind::Eq && c.expr.coeffs[v].abs() == 1);
         if has_unit_eq {
             return Some(i);
         }

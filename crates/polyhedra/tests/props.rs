@@ -114,7 +114,7 @@ proptest! {
         k in -5i64..6,
     ) {
         let e = LinExpr::new(&coeffs, k);
-        let m = Map::from_affine(space(2), Space::named("o", 1), &[e.clone()]);
+        let m = Map::from_affine(space(2), Space::named("o", 1), std::slice::from_ref(&e));
         let dom = Set::from_basic(BasicSet::boxed(space(2), &bounds));
         let img = m.apply(&dom);
         for p in dom.parts[0].points() {

@@ -108,16 +108,12 @@ impl Dependences {
 
     /// Only the RAW edges.
     pub fn raw(&self) -> impl Iterator<Item = &Dependence> {
-        self.edges
-            .iter()
-            .filter(|e| e.kind == DependenceKind::Raw)
+        self.edges.iter().filter(|e| e.kind == DependenceKind::Raw)
     }
 
     /// Only the RAR edges.
     pub fn rar(&self) -> impl Iterator<Item = &Dependence> {
-        self.edges
-            .iter()
-            .filter(|e| e.kind == DependenceKind::Rar)
+        self.edges.iter().filter(|e| e.kind == DependenceKind::Rar)
     }
 }
 

@@ -182,7 +182,8 @@ impl CompatibilityGraph {
     pub fn compatible(&self, i: usize, j: usize, kind: CompatKind) -> bool {
         self.edges.iter().any(|&(a, b, k)| {
             ((a, b) == (i.min(j), i.max(j)))
-                && (k == kind || (kind == CompatKind::MemoryInterface && k == CompatKind::AddressSpace))
+                && (k == kind
+                    || (kind == CompatKind::MemoryInterface && k == CompatKind::AddressSpace))
         })
     }
 

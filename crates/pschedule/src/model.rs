@@ -60,14 +60,18 @@ impl KernelModel {
                 let dims: Vec<String> = (0..rank).map(|d| format!("x{d}")).collect();
                 let dim_refs: Vec<&str> = dims.iter().map(String::as_str).collect();
                 let space = Space::set(&format!("S{i}"), &dim_refs);
-                let bounds: Vec<(i64, i64)> =
-                    extents.iter().map(|&e| (0, e as i64 - 1)).collect();
+                let bounds: Vec<(i64, i64)> = extents.iter().map(|&e| (0, e as i64 - 1)).collect();
                 let domain = BasicSet::boxed(space.clone(), &bounds);
                 let out_rank = module.shape(stmt.out).len();
 
                 // Write access: out[x0..x_{out_rank-1}] through layout.
                 let wp = layout.placement(stmt.out);
-                let write_expr = access_expr(rank, &(0..out_rank).collect::<Vec<_>>(), &wp.strides, wp.offset);
+                let write_expr = access_expr(
+                    rank,
+                    &(0..out_rank).collect::<Vec<_>>(),
+                    &wp.strides,
+                    wp.offset,
+                );
                 let arr_name = layout.arrays[wp.array.0].name.clone();
                 let write = Map::from_basic(
                     BasicMap::from_affine(
@@ -85,12 +89,8 @@ impl KernelModel {
                     let e = access_expr(rank, index_map, &p.strides, p.offset);
                     let an = layout.arrays[p.array.0].name.clone();
                     let m = Map::from_basic(
-                        BasicMap::from_affine(
-                            space.clone(),
-                            Space::set(&an, &["addr"]),
-                            &[e],
-                        )
-                        .intersect_domain(&domain),
+                        BasicMap::from_affine(space.clone(), Space::set(&an, &["addr"]), &[e])
+                            .intersect_domain(&domain),
                     );
                     reads.push((p.array, m));
                 });
@@ -230,11 +230,7 @@ mod tests {
         let (m, km) = model(4, false);
         let s_id = m.find("S").unwrap();
         let sa = km.layout.placement(s_id).array;
-        let s_reads = km.stmts[0]
-            .reads
-            .iter()
-            .filter(|(a, _)| *a == sa)
-            .count();
+        let s_reads = km.stmts[0].reads.iter().filter(|(a, _)| *a == sa).count();
         assert_eq!(s_reads, 3, "S appears three times in the contraction");
     }
 }

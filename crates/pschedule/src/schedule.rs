@@ -42,7 +42,11 @@ impl Schedule {
         Schedule {
             dim: 1 + max_rank + 1,
             seq: (0..model.stmts.len() as i64).collect(),
-            perms: model.stmts.iter().map(|s| (0..s.rank()).collect()).collect(),
+            perms: model
+                .stmts
+                .iter()
+                .map(|s| (0..s.rank()).collect())
+                .collect(),
             micro: vec![0; model.stmts.len()],
         }
     }

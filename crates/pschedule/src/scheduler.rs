@@ -148,7 +148,9 @@ pub fn cost(module: &Module, model: &KernelModel, deps: &Dependences, sched: &Sc
         }
         let perm = &sched.perms[si];
         let out_rank = perm.len() - reduce_rank;
-        let suffix_ok = perm[perm.len() - reduce_rank..].iter().all(|&v| v >= out_rank);
+        let suffix_ok = perm[perm.len() - reduce_rank..]
+            .iter()
+            .all(|&v| v >= out_rank);
         if !suffix_ok {
             total += 1000;
         }
@@ -233,12 +235,7 @@ fn read_read_alignment(
 }
 
 /// Fuse pointwise consumers into their producers where legal.
-fn fuse_pointwise(
-    module: &Module,
-    model: &KernelModel,
-    deps: &Dependences,
-    sched: &mut Schedule,
-) {
+fn fuse_pointwise(module: &Module, model: &KernelModel, deps: &Dependences, sched: &mut Schedule) {
     for e in deps.raw().cloned().collect::<Vec<_>>() {
         let (w, r) = (e.src, e.dst);
         if sched.fused(w, r) {
@@ -289,7 +286,7 @@ fn heap_permute(a: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(a, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             a.swap(i, k - 1);
         } else {
             a.swap(0, k - 1);

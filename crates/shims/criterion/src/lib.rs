@@ -1,0 +1,144 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `Bencher`, and the
+//! `criterion_group!` / `criterion_main!` macros with the call shapes the
+//! benches in `crates/bench` use. Instead of criterion's statistical
+//! machinery, each benchmark is warmed up and then timed over a fixed
+//! number of batches; the mean and min per-iteration wall time are
+//! printed. Deliberately dependency-free; swap for the real `criterion`
+//! in `[workspace.dependencies]` when a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { sample_size: 30 }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name.as_ref(), 30, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed batches per benchmark (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name}: no iterations recorded");
+        return;
+    }
+    let mean = b.total.as_secs_f64() / b.iters as f64;
+    println!(
+        "  {name}: mean {} / iter, min {} ({} iters)",
+        fmt_secs(mean),
+        fmt_secs(b.min.as_secs_f64()),
+        b.iters
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Per-benchmark timing state; `iter` runs and times the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warm-up: one untimed call (also sizes the batch so fast
+        // closures are not dominated by clock reads).
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let d = t.elapsed();
+            self.total += d;
+            self.min = self.min.min(d / batch as u32);
+            self.iters += batch;
+        }
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)` — defines `fn name()`
+/// that runs every target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)` — defines `main` running each
+/// group, honoring `--bench`-style invocation (extra CLI args ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

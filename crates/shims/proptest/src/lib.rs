@@ -1,0 +1,268 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the test suites here use: the `proptest!` macro
+//! (with `#![proptest_config(...)]`), `prop_assert!` / `prop_assert_eq!`,
+//! integer-range and boolean strategies, tuple strategies, fixed-length
+//! `collection::vec`, and `Strategy::prop_map`. Inputs are drawn from a
+//! deterministic SplitMix64 stream seeded from the test's module path, so
+//! runs are reproducible; there is no shrinking — a failing case panics
+//! with the ordinary assertion message. Swap for the real `proptest` in
+//! `[workspace.dependencies]` when a registry is reachable.
+
+pub mod test_runner {
+    /// Deterministic source the strategies draw from (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct ShimRng {
+        state: u64,
+    }
+
+    impl ShimRng {
+        pub fn seeded(seed: u64) -> Self {
+            ShimRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// FNV-1a over the test path: a stable per-test seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub mod strategy {
+    use crate::test_runner::ShimRng;
+
+    /// Minimal counterpart of `proptest::strategy::Strategy`: a value
+    /// generator (no shrinking).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut ShimRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            MapStrategy { inner: self, f }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct MapStrategy<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for MapStrategy<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut ShimRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut ShimRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i32, i64, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut ShimRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (S0 0)
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::ShimRng;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Counterpart of `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut ShimRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::ShimRng;
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// Fixed-length counterpart of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut ShimRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod config {
+    /// Counterpart of `proptest::test_runner::Config`: only the case
+    /// count is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// No shrinking: assertion failures panic directly with the generated
+/// inputs left to the assertion message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::config::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::ShimRng::seeded(
+                    $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -4i64..5, n in 2usize..6, s in 0u64..1000) {
+            prop_assert!((-4..5).contains(&a));
+            prop_assert!((2..6).contains(&n));
+            prop_assert!(s < 1000);
+        }
+
+        #[test]
+        fn composite_strategies_generate(
+            v in crate::collection::vec((-4i64..5, -4i64..5), 3),
+            b in crate::bool::ANY,
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_runner::ShimRng::seeded(7);
+        let s = (0i64..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = crate::strategy::Strategy::generate(&s, &mut rng);
+            assert_eq!(v % 2, 0);
+            assert!((0..20).contains(&v));
+        }
+    }
+}

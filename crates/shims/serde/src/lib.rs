@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! repository actually serializes (there is no `serde_json` either) — the
+//! `#[derive(Serialize, Deserialize)]` attributes on model types are
+//! forward-looking metadata. This shim accepts the derives and expands
+//! them to nothing, so the annotated code compiles unchanged and the real
+//! `serde` can be swapped back in via `[workspace.dependencies]` when a
+//! registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -120,7 +120,7 @@ mod tests {
     fn prog(k: usize, m: usize) -> HostProgram {
         HostProgram {
             config: SystemConfig { k, m },
-            bytes_in_per_element: 22_264, // S + D + u at p=11
+            bytes_in_per_element: 22_264,  // S + D + u at p=11
             bytes_out_per_element: 10_648, // v
         }
     }

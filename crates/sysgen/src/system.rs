@@ -23,7 +23,10 @@ impl SystemConfig {
 
     /// Validity of the k/m relation.
     pub fn valid(&self) -> bool {
-        self.k >= 1 && self.m >= self.k && self.m % self.k == 0 && self.batch().is_power_of_two()
+        self.k >= 1
+            && self.m >= self.k
+            && self.m.is_multiple_of(self.k)
+            && self.batch().is_power_of_two()
     }
 }
 
@@ -88,15 +91,11 @@ impl SystemDesign {
             + cfg.k * (kernel.luts + im.glue_lut_per_kernel)
             + cfg.m * memory.luts
             + (cfg.m - cfg.k) * im.glue_lut_per_extra_plm;
-        let ffs = im.base_ff
-            + cfg.k * (kernel.ffs + im.glue_ff_per_kernel)
-            + cfg.m * memory.ffs;
+        let ffs = im.base_ff + cfg.k * (kernel.ffs + im.glue_ff_per_kernel) + cfg.m * memory.ffs;
         let dsps = cfg.k * kernel.dsps;
         let brams = im.base_bram + cfg.k * kernel.brams + cfg.m * memory.brams;
-        let fits = luts <= board.luts
-            && ffs <= board.ffs
-            && dsps <= board.dsps
-            && brams <= board.brams;
+        let fits =
+            luts <= board.luts && ffs <= board.ffs && dsps <= board.dsps && brams <= board.brams;
         if !fits {
             return None;
         }
@@ -205,7 +204,14 @@ mod tests {
             });
         }
         // Interval compatibilities for the temporaries (stage order).
-        let lt = [(4, 2, 3), (5, 3, 4), (6, 0, 1), (7, 1, 2), (8, 4, 5), (9, 5, 6)];
+        let lt = [
+            (4, 2, 3),
+            (5, 3, 4),
+            (6, 0, 1),
+            (7, 1, 2),
+            (8, 4, 5),
+            (9, 5, 6),
+        ];
         for (i, &(ai, s1, e1)) in lt.iter().enumerate() {
             for &(aj, s2, e2) in &lt[i + 1..] {
                 if e1 < s2 || e2 < s1 {
@@ -258,7 +264,13 @@ mod tests {
     fn table1_lut_totals_within_ten_percent() {
         let b = BoardSpec::zcu106();
         let mem = memory(true);
-        let paper = [(1usize, 11_292usize), (2, 15_572), (4, 24_480), (8, 42_141), (16, 77_235)];
+        let paper = [
+            (1usize, 11_292usize),
+            (2, 15_572),
+            (4, 24_480),
+            (8, 42_141),
+            (16, 77_235),
+        ];
         for (k, lut_paper) in paper {
             let cfg = SystemConfig { k, m: k };
             let d = SystemDesign::build(
@@ -313,8 +325,14 @@ mod tests {
         let b = BoardSpec::zcu106();
         let mem = memory(true);
         let cfg = SystemConfig { k: 16, m: 16 };
-        let d = SystemDesign::build(&b, &kernel_report(), &mem, cfg, HostProgram::placeholder(cfg))
-            .unwrap();
+        let d = SystemDesign::build(
+            &b,
+            &kernel_report(),
+            &mem,
+            cfg,
+            HostProgram::placeholder(cfg),
+        )
+        .unwrap();
         let (l, f, ds, br) = d.slack();
         assert!(l >= 0 && f >= 0 && ds >= 0 && br >= 0);
     }

@@ -224,13 +224,8 @@ impl<'m> Interpreter<'m> {
     }
 }
 
-fn eval(
-    m: &Module,
-    e: &PointExpr,
-    idx: &[usize],
-    values: &[Tensor],
-    stats: &mut ExecStats,
-) -> f64 {
+#[allow(clippy::only_used_in_recursion)]
+fn eval(m: &Module, e: &PointExpr, idx: &[usize], values: &[Tensor], stats: &mut ExecStats) -> f64 {
     match e {
         PointExpr::Const(c) => *c,
         PointExpr::Access { tensor, index_map } => {
@@ -270,10 +265,7 @@ fn eval(
 
 /// Build the input map for a module from `(name, tensor)` pairs.
 pub fn inputs_from(pairs: Vec<(&str, Tensor)>) -> HashMap<String, Tensor> {
-    pairs
-        .into_iter()
-        .map(|(n, t)| (n.to_string(), t))
-        .collect()
+    pairs.into_iter().map(|(n, t)| (n.to_string(), t)).collect()
 }
 
 #[cfg(test)]

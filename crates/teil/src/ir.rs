@@ -198,7 +198,12 @@ pub struct Module {
 
 impl Module {
     /// Declare a tensor, returning its id.
-    pub fn declare(&mut self, name: impl Into<String>, shape: Vec<usize>, kind: TensorKind) -> TensorId {
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        shape: Vec<usize>,
+        kind: TensorKind,
+    ) -> TensorId {
         let name = name.into();
         assert!(
             self.find(&name).is_none(),

@@ -145,10 +145,7 @@ fn lower_contraction(
             "contraction produces rank {next_out}, output has rank {out_rank}"
         ));
     }
-    let reduce_extents: Vec<usize> = pairs
-        .iter()
-        .map(|&(a, _)| prod_dims[a].2)
-        .collect();
+    let reduce_extents: Vec<usize> = pairs.iter().map(|&(a, _)| prod_dims[a].2).collect();
     // Build access factors.
     let mut factors = Vec::with_capacity(atoms.len());
     let mut cursor = 0usize;
@@ -172,6 +169,7 @@ fn lower_contraction(
 /// Lower an entry-wise expression tree; identifiers access with the
 /// identity index map over the output iteration variables, scalars access
 /// with an empty map (broadcast).
+#[allow(clippy::only_used_in_recursion)]
 fn lower_pointwise(
     module: &mut Module,
     typed: &TypedProgram,
@@ -257,7 +255,8 @@ mod tests {
 
     #[test]
     fn pointwise_mixed_ops() {
-        let m = lower_src("var input a : [3]\nvar input b : [3]\nvar output o : [3]\no = a * b + a");
+        let m =
+            lower_src("var input a : [3]\nvar input b : [3]\nvar output o : [3]\no = a * b + a");
         assert_eq!(m.stmts.len(), 1);
         assert_eq!(m.stmts[0].expr.flops(), 2);
     }
@@ -267,7 +266,9 @@ mod tests {
         let m = lower_src(&cfdlang::examples::axpy(4));
         let accesses = m.stmts[0].expr.accesses();
         // a (scalar) has empty index map.
-        assert!(accesses.iter().any(|(t, im)| m.name(**t) == "a" && im.is_empty()));
+        assert!(accesses
+            .iter()
+            .any(|(t, im)| m.name(**t) == "a" && im.is_empty()));
     }
 
     #[test]
@@ -284,9 +285,7 @@ mod tests {
 
     #[test]
     fn outer_product_without_contraction() {
-        let m = lower_src(
-            "var input a : [2]\nvar input b : [3]\nvar output o : [2 3]\no = a # b",
-        );
+        let m = lower_src("var input a : [2]\nvar input b : [3]\nvar output o : [2 3]\no = a # b");
         assert_eq!(m.stmts.len(), 1);
         assert!(!m.stmts[0].is_reduction());
         let fs = m.stmts[0].expr.product_factors().unwrap();

@@ -83,7 +83,10 @@ fn factorize_stmt(out: &mut Module, src: &Module, stmt: &Stmt) {
             if v == r {
                 temp_vars.len()
             } else {
-                temp_vars.iter().position(|&t| t == v).expect("var in temp dims")
+                temp_vars
+                    .iter()
+                    .position(|&t| t == v)
+                    .expect("var in temp dims")
             }
         };
         let stage_factors: Vec<PointExpr> = touches
@@ -298,16 +301,17 @@ mod tests {
         let m = helmholtz(4);
         let f = factorize(&m);
         // Hadamard statement survives untouched.
-        assert!(f.stmts.iter().any(|s| !s.is_reduction() && s.expr.flops() == 1));
+        assert!(f
+            .stmts
+            .iter()
+            .any(|s| !s.is_reduction() && s.expr.flops() == 1));
     }
 
     #[test]
     fn dce_removes_unused_temp() {
         let typed = cfdlang::check(
-            &cfdlang::parse(
-                "var input a : [3]\nvar w : [3]\nvar output o : [3]\nw = a + a\no = a",
-            )
-            .unwrap(),
+            &cfdlang::parse("var input a : [3]\nvar w : [3]\nvar output o : [3]\nw = a + a\no = a")
+                .unwrap(),
         )
         .unwrap();
         let m = lower(&typed).unwrap();

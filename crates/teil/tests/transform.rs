@@ -1,0 +1,144 @@
+//! Properties of the canonicalization transforms: `factorize`, `cse` and
+//! `dce` must be idempotent and preserve interpreter semantics on every
+//! example kernel the frontend ships.
+
+use std::collections::HashMap;
+use teil::interp::{Interpreter, Tensor};
+use teil::ir::TensorKind;
+use teil::transform::{cse, dce, factorize};
+use teil::Module;
+
+/// Every `cfdlang::examples` kernel at a few sizes.
+fn example_kernels() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for p in [3usize, 4, 5] {
+        out.push((
+            format!("inverse_helmholtz({p})"),
+            cfdlang::examples::inverse_helmholtz(p),
+        ));
+    }
+    for (n, m) in [(3usize, 5usize), (4, 6)] {
+        out.push((
+            format!("interpolation({n}, {m})"),
+            cfdlang::examples::interpolation(n, m),
+        ));
+    }
+    for n in [3usize, 4] {
+        out.push((
+            format!("matrix_sandwich({n})"),
+            cfdlang::examples::matrix_sandwich(n),
+        ));
+    }
+    for n in [4usize, 7] {
+        out.push((format!("axpy({n})"), cfdlang::examples::axpy(n)));
+    }
+    out
+}
+
+fn lower(src: &str) -> Module {
+    let typed = cfdlang::check(&cfdlang::parse(src).unwrap()).unwrap();
+    teil::lower(&typed).unwrap()
+}
+
+/// Deterministic pseudo-random inputs for a module.
+fn random_inputs(module: &Module, seed: u64) -> HashMap<String, Tensor> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut inputs = HashMap::new();
+    for id in module.of_kind(TensorKind::Input) {
+        let t = Tensor::from_fn(module.shape(id), |_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        inputs.insert(module.name(id).to_string(), t);
+    }
+    inputs
+}
+
+/// Maximum relative difference between the outputs of two semantically
+/// equal modules on the same inputs.
+fn output_diff(a: &Module, b: &Module, seed: u64) -> f64 {
+    let inputs = random_inputs(a, seed);
+    let ea = Interpreter::new(a).run(&inputs).unwrap();
+    let eb = Interpreter::new(b).run(&inputs).unwrap();
+    let mut max = 0.0f64;
+    for id in a.of_kind(TensorKind::Output) {
+        let name = a.name(id);
+        let va = ea.value(a, name).unwrap();
+        let vb = eb
+            .value(b, name)
+            .unwrap_or_else(|| panic!("output '{name}' lost by transform"));
+        max = max.max(va.max_rel_diff(vb));
+    }
+    max
+}
+
+#[test]
+fn transforms_are_idempotent_on_every_example() {
+    for (name, src) in example_kernels() {
+        let m = lower(&src);
+        let f = factorize(&m);
+        assert_eq!(factorize(&f), f, "factorize not idempotent on {name}");
+        let c = cse(&m);
+        assert_eq!(cse(&c), c, "cse not idempotent on {name}");
+        let d = dce(&m);
+        assert_eq!(dce(&d), d, "dce not idempotent on {name}");
+        // The full canonicalization pass the middle end applies.
+        let canon = dce(&cse(&factorize(&m)));
+        assert_eq!(
+            dce(&cse(&factorize(&canon))),
+            canon,
+            "canonicalization pipeline not idempotent on {name}"
+        );
+    }
+}
+
+#[test]
+fn cse_and_dce_are_bitexact_on_every_example() {
+    for (name, src) in example_kernels() {
+        let m = lower(&src);
+        for seed in [1u64, 42] {
+            assert_eq!(
+                output_diff(&m, &cse(&m), seed),
+                0.0,
+                "cse changed values on {name}"
+            );
+            assert_eq!(
+                output_diff(&m, &dce(&m), seed),
+                0.0,
+                "dce changed values on {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn factorization_preserves_semantics_on_every_example() {
+    for (name, src) in example_kernels() {
+        let m = lower(&src);
+        let f = factorize(&m);
+        for seed in [7u64, 99] {
+            let diff = output_diff(&m, &f, seed);
+            assert!(
+                diff < 1e-10,
+                "factorize diverged on {name}: max rel diff {diff}"
+            );
+        }
+    }
+}
+
+#[test]
+fn canonicalization_preserves_semantics_on_every_example() {
+    for (name, src) in example_kernels() {
+        let m = lower(&src);
+        let canon = dce(&cse(&factorize(&m)));
+        for seed in [5u64, 1234] {
+            let diff = output_diff(&m, &canon, seed);
+            assert!(
+                diff < 1e-10,
+                "canonicalization diverged on {name}: max rel diff {diff}"
+            );
+        }
+    }
+}

@@ -71,6 +71,7 @@ impl HwResult {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)]
 enum Event {
     DmaInDone,
     AccelDone { accel: usize },
@@ -111,7 +112,10 @@ pub fn simulate_hw(design: &SystemDesign, cfg: &SimConfig) -> HwResult {
             // peripheral; the broadcast is serialized on the AXI bus.
             let start_cost = secs(cfg.axi_start_s_per_kernel) * k as u64;
             for a in 0..k {
-                q.schedule_at(start_t + start_cost + secs(kernel_s), Event::AccelDone { accel: a });
+                q.schedule_at(
+                    start_t + start_cost + secs(kernel_s),
+                    Event::AccelDone { accel: a },
+                );
             }
             // Collect all done events; the peripheral raises the
             // interrupt when the last accelerator signals done.
@@ -171,9 +175,7 @@ fn simulate_overlapped(design: &SystemDesign, cfg: &SimConfig) -> HwResult {
 
     let t_in = secs(dma.transfer_bursts_s(host.bytes_in_per_element * k, k));
     let t_out = secs(dma.transfer_bursts_s(host.bytes_out_per_element * k, k));
-    let exec = secs(cfg.axi_start_s_per_kernel) * k as u64
-        + secs(kernel_s)
-        + secs(cfg.irq_s);
+    let exec = secs(cfg.axi_start_s_per_kernel) * k as u64 + secs(kernel_s) + secs(cfg.irq_s);
 
     let mut dma_free: u64 = 0;
     let mut accel_free: u64 = 0;
@@ -239,12 +241,7 @@ pub fn sw_reference(
     let zeros: Vec<(&str, teil::Tensor)> = module
         .of_kind(teil::TensorKind::Input)
         .iter()
-        .map(|&id| {
-            (
-                module.name(id),
-                teil::Tensor::zeros(module.shape(id)),
-            )
-        })
+        .map(|&id| (module.name(id), teil::Tensor::zeros(module.shape(id))))
         .collect();
     let inputs = teil::interp::inputs_from(zeros);
     let ex = teil::Interpreter::new(module).run(&inputs)?;

@@ -4,13 +4,14 @@
 //! that HLS would synthesize ([`cgen::run_kernel`]); this module runs a
 //! sample of CFD elements through it with randomized inputs and compares
 //! every output word against the `teil` reference interpreter. Elements
-//! are distributed across worker threads with `crossbeam` — each element
-//! is independent, exactly like the accelerator replicas.
+//! are distributed across scoped worker threads — each element is
+//! independent, exactly like the accelerator replicas.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Mutex;
 use teil::ir::{Module, TensorKind};
 use teil::{Interpreter, Tensor};
 
@@ -35,25 +36,38 @@ pub fn verify_elements(
         .map(|t| t.get())
         .unwrap_or(1)
         .min(n.max(1));
-    let results = parking_lot::Mutex::new(Vec::<Result<(f64, bool), String>>::new());
-    crossbeam::scope(|scope| {
-        for t in 0..threads {
-            let results = &results;
-            scope.spawn(move |_| {
-                let mut local: Vec<Result<(f64, bool), String>> = Vec::new();
-                let mut e = t;
-                while e < n {
-                    local.push(verify_one(module, kernel, seed.wrapping_add(e as u64)));
-                    e += threads;
-                }
-                results.lock().extend(local);
-            });
+    let results = Mutex::new(Vec::<Result<(f64, bool), String>>::new());
+    // Join every worker explicitly so a panic surfaces as an `Err` to the
+    // caller instead of aborting the process out of the scope.
+    let panicked = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let results = &results;
+                scope.spawn(move || {
+                    let mut local: Vec<Result<(f64, bool), String>> = Vec::new();
+                    let mut e = t;
+                    while e < n {
+                        local.push(verify_one(module, kernel, seed.wrapping_add(e as u64)));
+                        e += threads;
+                    }
+                    results.lock().unwrap().extend(local);
+                })
+            })
+            .collect();
+        // Join ALL handles before reporting: a short-circuit would leave
+        // panicked threads for the scope to auto-join and re-panic on.
+        let mut panicked = false;
+        for h in handles {
+            panicked |= h.join().is_err();
         }
-    })
-    .map_err(|_| "verification worker panicked".to_string())?;
+        panicked
+    });
+    if panicked {
+        return Err("verification worker panicked".into());
+    }
     let mut max_rel = 0.0f64;
     let mut bitexact = true;
-    let collected = results.into_inner();
+    let collected = results.into_inner().expect("no worker panicked");
     if collected.len() != n {
         return Err("element count mismatch".into());
     }
@@ -164,21 +178,21 @@ mod tests {
     fn corrupted_kernel_is_detected() {
         let (m, mut k) = setup(4, true);
         // Flip an operation: the verifier must notice.
-        fn corrupt(stmts: &mut Vec<cgen::CStmt>) -> bool {
+        fn corrupt(stmts: &mut [cgen::CStmt]) -> bool {
             for s in stmts.iter_mut() {
-                match s {
-                    cgen::CStmt::For { body, .. } => {
-                        if corrupt(body) {
-                            return true;
-                        }
+                let hit = match s {
+                    cgen::CStmt::For { body, .. } => corrupt(body),
+                    cgen::CStmt::AccumScalar {
+                        expr: cgen::CExpr::Bin { op, .. },
+                        ..
+                    } => {
+                        *op = cfdlang::BinOp::Add;
+                        true
                     }
-                    cgen::CStmt::AccumScalar { expr, .. } => {
-                        if let cgen::CExpr::Bin { op, .. } = expr {
-                            *op = cfdlang::BinOp::Add;
-                            return true;
-                        }
-                    }
-                    _ => {}
+                    _ => false,
+                };
+                if hit {
+                    return true;
                 }
             }
             false

@@ -1,39 +1,48 @@
-//! Design-space exploration: sweep the polynomial degree p and list, for
-//! each kernel, every feasible (k, m) replication on the ZCU106 — the
-//! exploration loop the DSL flow makes cheap (the paper's Section I:
-//! "simplifies the exploration of parameters and constraints such as
-//! on-chip memory usage").
+//! Design-space exploration: sweep the polynomial degree p and, for each
+//! kernel, run the parallel DSE engine over the (k, batch, sharing,
+//! decoupling) grid on the ZCU106 — the exploration loop the DSL flow
+//! makes cheap (the paper's Section I: "simplifies the exploration of
+//! parameters and constraints such as on-chip memory usage").
+//!
+//! Per degree, the frontend/middle end/scheduler run exactly once; the
+//! grid points share those stages and evaluate concurrently.
 //!
 //! ```sh
 //! cargo run --release --example design_space
 //! ```
 
-use cfdfpga::flow::{Flow, FlowOptions};
-use cfdfpga::sysgen::{enumerate_configs, BoardSpec};
+use cfdfpga::flow::dse::{DseEngine, DseGrid};
+use cfdfpga::flow::FlowOptions;
 
 fn main() {
-    let board = BoardSpec::zcu106();
-    println!("Inverse Helmholtz on {}:\n", board.name);
-    println!("   p   kernel LUT/DSP    PLM BRAM   feasible (k, m) configurations");
+    let elements = 10_000;
+    println!("Inverse Helmholtz on ZCU106, {elements} elements:\n");
+    println!("   p   grid  feasible   best (k, m, sharing)     el/s   shared / sweep");
     for p in [3usize, 5, 7, 9, 11, 13] {
         let src = cfdfpga::cfdlang::examples::inverse_helmholtz(p);
-        let art = Flow::compile(&src, &FlowOptions::default()).expect("flow");
-        let configs = enumerate_configs(&board, &art.hls_report, &art.memory);
-        let equal: Vec<String> = configs
-            .iter()
-            .filter(|c| c.k == c.m)
-            .map(|c| format!("{}", c.k))
-            .collect();
-        let batched = configs.iter().filter(|c| c.k != c.m).count();
-        println!(
-            "  {:>2}     {:>5} / {:<3}      {:>5}      k=m ∈ {{{}}} (+{} batched)",
-            p,
-            art.hls_report.luts,
-            art.hls_report.dsps,
-            art.memory.brams,
-            equal.join(", "),
-            batched,
+        let engine = DseEngine::prepare(&src, &FlowOptions::default()).expect("flow");
+        let report = engine.run(&DseGrid::default(), 0, elements);
+        let counts = report.counts;
+        assert_eq!(
+            (counts.frontend, counts.middle_end),
+            (1, 1),
+            "shared stages must compile once"
         );
+        match report.best() {
+            Some(best) => println!(
+                "  {:>2}   {:>4}  {:>8}   k={:<2} m={:<3} sharing={:<5}  {:>7.0}   {:.3} s / {:.3} s",
+                p,
+                report.evaluated,
+                report.feasible,
+                best.point.k,
+                best.point.m,
+                best.point.sharing,
+                best.throughput_eps,
+                report.shared.total_s(),
+                report.wall_s,
+            ),
+            None => println!("  {p:>2}   {:>4}         0   (nothing fits)", report.evaluated),
+        }
     }
 
     println!("\nSmaller p shrinks the PLM footprint faster than the logic,");

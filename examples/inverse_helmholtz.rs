@@ -16,7 +16,10 @@ const ELEMENTS: usize = 50_000;
 
 fn main() {
     let source = cfdfpga::cfdlang::examples::inverse_helmholtz(11);
-    println!("Inverse Helmholtz operator, p = 11 — {} DSL lines\n", source.lines().count());
+    println!(
+        "Inverse Helmholtz operator, p = 11 — {} DSL lines\n",
+        source.lines().count()
+    );
 
     // Compile twice: with and without liveness-based memory sharing.
     let with_sharing = Flow::compile(&source, &FlowOptions::default()).expect("flow");
@@ -32,7 +35,8 @@ fn main() {
     )
     .expect("flow");
 
-    println!("kernel: {} LUT, {} FF, {} DSP @ {} MHz, latency {:.2} ms",
+    println!(
+        "kernel: {} LUT, {} FF, {} DSP @ {} MHz, latency {:.2} ms",
         with_sharing.hls_report.luts,
         with_sharing.hls_report.ffs,
         with_sharing.hls_report.dsps,
@@ -44,7 +48,11 @@ fn main() {
         no_sharing.memory.brams, with_sharing.memory.brams
     );
     let k_max_no = no_sharing.system.as_ref().map(|s| s.config.k).unwrap_or(0);
-    let k_max_sh = with_sharing.system.as_ref().map(|s| s.config.k).unwrap_or(0);
+    let k_max_sh = with_sharing
+        .system
+        .as_ref()
+        .map(|s| s.config.k)
+        .unwrap_or(0);
     println!("max parallel kernels: {k_max_no} -> {k_max_sh} (the paper's 8 -> 16)\n");
 
     // Figure 9: scale k = m and report speedups.
@@ -52,8 +60,14 @@ fn main() {
     let simulate = |k: usize| {
         let cfg = SystemConfig { k, m: k };
         let host = HostProgram::from_kernel(&with_sharing.kernel, cfg);
-        let d = SystemDesign::build(&board, &with_sharing.hls_report, &with_sharing.memory, cfg, host)
-            .expect("fits");
+        let d = SystemDesign::build(
+            &board,
+            &with_sharing.hls_report,
+            &with_sharing.memory,
+            cfg,
+            host,
+        )
+        .expect("fits");
         cfdfpga::zynq::simulate_hw(
             &d,
             &SimConfig {
@@ -79,10 +93,17 @@ fn main() {
     // Figure 10: against the ARM A53.
     let model = ArmCostModel::a53_1200mhz();
     let sw = cfdfpga::zynq::sim::sw_reference(&with_sharing.module, &model, ELEMENTS).expect("sw");
-    println!("\nARM A53 (1.2 GHz) software reference: {:.2} s total", sw.total_s);
+    println!(
+        "\nARM A53 (1.2 GHz) software reference: {:.2} s total",
+        sw.total_s
+    );
     for k in [1usize, 8, 16] {
         let r = simulate(k);
-        println!("  HW k = {:<2} speedup vs ARM: {:.2}x", k, sw.total_s / r.total_s);
+        println!(
+            "  HW k = {:<2} speedup vs ARM: {:.2}x",
+            k,
+            sw.total_s / r.total_s
+        );
     }
 
     // Functional validation of the accelerator datapath.

@@ -3,8 +3,9 @@
 //! This crate re-exports the public APIs of every subsystem so that
 //! examples, integration tests and downstream users can depend on a single
 //! package. See the `cfd-core` crate ([`flow`]) for the end-to-end
-//! compiler/synthesis/simulation pipeline, and `DESIGN.md` at the
-//! repository root for the system inventory.
+//! staged compiler/synthesis/simulation pipeline and the design-space
+//! exploration engine, and `README.md` at the repository root for the
+//! quickstart and crate map.
 
 pub use cfd_core as flow;
 pub use cfdlang;

@@ -18,7 +18,10 @@ fn paper() -> &'static cfdfpga::flow::Artifacts {
 fn c_kernel_matches_figure6_interface() {
     let c = &paper().c_source;
     // Parameter order of Figure 6: interface first, then temporaries.
-    let pos = |s: &str| c.find(s).unwrap_or_else(|| panic!("missing '{s}' in:\n{c}"));
+    let pos = |s: &str| {
+        c.find(s)
+            .unwrap_or_else(|| panic!("missing '{s}' in:\n{c}"))
+    };
     assert!(pos("restrict S") < pos("restrict D"));
     assert!(pos("restrict D") < pos("restrict u"));
     assert!(pos("restrict u") < pos("restrict v"));
@@ -108,7 +111,11 @@ fn compatibility_graph_temporal_chain() {
             if j == i + 1 {
                 assert!(!compatible, "{} and {} must conflict", chain[i], chain[j]);
             } else {
-                assert!(compatible, "{} and {} must be compatible", chain[i], chain[j]);
+                assert!(
+                    compatible,
+                    "{} and {} must be compatible",
+                    chain[i], chain[j]
+                );
             }
         }
     }

@@ -150,8 +150,8 @@ fn decoupled_vs_inside_totals_match_paper_structure() {
     );
     assert_eq!(ins.kernel.locals.len(), 6);
     assert_eq!(ins.hls_report.brams, 24); // paper: 24
-    // The decoupled design uses fewer BRAMs overall (the paper's point:
-    // 33 inside vs 18 shared-PLM; ours: 34 vs 16).
+                                          // The decoupled design uses fewer BRAMs overall (the paper's point:
+                                          // 33 inside vs 18 shared-PLM; ours: 34 vs 16).
     let dec_total = dec.memory.brams;
     let ins_total = ins.memory.brams + ins.hls_report.brams;
     assert!(

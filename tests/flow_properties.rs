@@ -11,9 +11,8 @@ use teil::interp::{inputs_from, Interpreter, Tensor};
 /// random shapes, plus an optional pointwise epilogue.
 fn contraction_program(n1: usize, n2: usize, epilogue: bool) -> String {
     // A : [n1 n2], B : [n2], o = A # B . [[1 2]] : [n1]
-    let mut src = format!(
-        "var input A : [{n1} {n2}]\nvar input B : [{n2}]\nvar input C : [{n1}]\n"
-    );
+    let mut src =
+        format!("var input A : [{n1} {n2}]\nvar input B : [{n2}]\nvar input C : [{n1}]\n");
     if epilogue {
         src.push_str(&format!("var w : [{n1}]\nvar output o : [{n1}]\n"));
         src.push_str("w = A # B . [[1 2]]\no = w * C + w\n");

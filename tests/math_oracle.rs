@@ -46,8 +46,7 @@ fn oracle_inverse_helmholtz(n: usize, s: &[f64], d: &[f64], u: &[f64]) -> Vec<f6
                     for m in 0..n {
                         for q in 0..n {
                             // Pairs [0 6][2 7][4 8]: S_li S_mj S_qk.
-                            acc += at2(s, l, i) * at2(s, m, j) * at2(s, q, k)
-                                * at3(&r, l, m, q);
+                            acc += at2(s, l, i) * at2(s, m, j) * at2(s, q, k) * at3(&r, l, m, q);
                         }
                     }
                 }

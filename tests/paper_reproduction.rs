@@ -64,8 +64,16 @@ fn simulate(k: usize, m: usize) -> cfdfpga::zynq::HwResult {
 fn kernel_resources_match_in_text_report() {
     let r = &paper_kernel(true).hls_report;
     assert_eq!(r.dsps, 15);
-    assert!((r.luts as f64 - 2314.0).abs() / 2314.0 < 0.10, "LUT {}", r.luts);
-    assert!((r.ffs as f64 - 2999.0).abs() / 2999.0 < 0.10, "FF {}", r.ffs);
+    assert!(
+        (r.luts as f64 - 2314.0).abs() / 2314.0 < 0.10,
+        "LUT {}",
+        r.luts
+    );
+    assert!(
+        (r.ffs as f64 - 2999.0).abs() / 2999.0 < 0.10,
+        "FF {}",
+        r.ffs
+    );
     assert!((r.clock_mhz - 200.0).abs() < f64::EPSILON);
 }
 
@@ -102,8 +110,14 @@ fn figure9_speedups_within_tolerance() {
         let r = simulate(k, k);
         let acc = base.exec_s / r.exec_s;
         let tot = base.total_s / r.total_s;
-        assert!((acc - pacc).abs() / pacc < 0.04, "k={k}: accel {acc:.2} vs {pacc}");
-        assert!((tot - ptot).abs() / ptot < 0.04, "k={k}: total {tot:.2} vs {ptot}");
+        assert!(
+            (acc - pacc).abs() / pacc < 0.04,
+            "k={k}: accel {acc:.2} vs {pacc}"
+        );
+        assert!(
+            (tot - ptot).abs() / ptot < 0.04,
+            "k={k}: total {tot:.2} vs {ptot}"
+        );
     }
 }
 
