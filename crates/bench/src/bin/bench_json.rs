@@ -1,0 +1,279 @@
+//! Machine-readable perf baseline emitter.
+//!
+//! Times the hot paths this repository optimizes — compiler stages,
+//! interpreter, full-system simulation, and the DSE sweep — and writes
+//! `BENCH_pr2.json` (schema documented in README.md, "Reading
+//! `BENCH_*.json`"). The committed file carries both the numbers of the
+//! tree it was generated from (`current`) and the frozen pre-PR-2 seed
+//! medians (`baseline_pr1`, measured on the same machine before the
+//! hot-path overhaul), so the perf trajectory is tracked in-repo and
+//! regressions are diffable.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr2.json
+//! cargo run --release -p bench --bin bench_json -- --smoke # 3 samples, stdout only
+//! ```
+
+use cfd_core::FlowOptions;
+use pschedule::{Dependences, KernelModel, Liveness, SchedulerOptions};
+use std::collections::HashMap;
+use std::time::Instant;
+use teil::interp::{Interpreter, Tensor};
+use teil::layout::LayoutPlan;
+
+/// Seed (pre-PR-2) medians in nanoseconds, measured with the same
+/// harness on the commit before the hot-path overhaul. Frozen here so
+/// every regeneration of the JSON keeps the before/after comparison.
+const BASELINE_PR1_NS: &[(&str, u64)] = &[
+    ("compiler/parse_and_check", 7_484),
+    ("compiler/lower", 1_977),
+    ("compiler/factorize", 2_440),
+    ("compiler/polyhedral_model", 66_724),
+    ("compiler/dependence_analysis", 754_219),
+    ("compiler/reschedule", 1_712_000),
+    ("compiler/liveness", 267_712_000),
+    ("compiler/codegen_c99", 21_427),
+    ("ablation/flow_factored", 279_984_000),
+    ("ablation/flow_naive", 726_237_000),
+    ("fig9/simulate_k1", 199_659),
+    ("fig9/simulate_k16", 98_607),
+];
+
+struct Args {
+    samples: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut samples = 9usize;
+    let mut out = Some("BENCH_pr2.json".to_string());
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                samples = 3;
+                out = None;
+            }
+            "--samples" => {
+                samples = it.next().and_then(|v| v.parse().ok()).expect("--samples N");
+            }
+            "-o" | "--out" => out = Some(it.next().expect("-o PATH")),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    Args {
+        samples: samples.max(1),
+        out,
+    }
+}
+
+/// Median wall time of `f` over `samples` runs, in nanoseconds.
+fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
+    std::hint::black_box(f()); // warm-up
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let samples = args.samples;
+    let mut rows: Vec<(String, u64, usize)> = Vec::new();
+    let mut push = |name: &str, ns: u64, n: usize| {
+        println!("  {name}: median {:.3} ms ({n} samples)", ns as f64 / 1e6);
+        rows.push((name.to_string(), ns, n));
+    };
+
+    // --- Compiler stages on the paper kernel (mirrors benches/compiler_stages.rs).
+    println!("compiler stages (p = {}):", bench::PAPER_P);
+    let src = cfdlang::examples::inverse_helmholtz(bench::PAPER_P);
+    let ast = cfdlang::parse(&src).unwrap();
+    let typed = cfdlang::check(&ast).unwrap();
+    let lowered = teil::lower(&typed).unwrap();
+    let module = teil::transform::factorize(&lowered);
+    let layout = LayoutPlan::row_major(&module);
+    let model = KernelModel::build(&module, &layout);
+    let deps = Dependences::analyze(&model);
+    let sched = pschedule::reschedule(&module, &model, &deps, &SchedulerOptions::default());
+
+    push(
+        "compiler/parse_and_check",
+        median_ns(samples, || {
+            cfdlang::check(&cfdlang::parse(&src).unwrap()).unwrap()
+        }),
+        samples,
+    );
+    push(
+        "compiler/lower",
+        median_ns(samples, || teil::lower(&typed).unwrap()),
+        samples,
+    );
+    push(
+        "compiler/factorize",
+        median_ns(samples, || teil::transform::factorize(&lowered)),
+        samples,
+    );
+    push(
+        "compiler/polyhedral_model",
+        median_ns(samples, || KernelModel::build(&module, &layout)),
+        samples,
+    );
+    push(
+        "compiler/dependence_analysis",
+        median_ns(samples, || Dependences::analyze(&model)),
+        samples,
+    );
+    push(
+        "compiler/reschedule",
+        median_ns(samples, || {
+            pschedule::reschedule(&module, &model, &deps, &SchedulerOptions::default())
+        }),
+        samples,
+    );
+    push(
+        "compiler/liveness",
+        median_ns(samples, || Liveness::analyze(&module, &model, &sched)),
+        samples,
+    );
+    push(
+        "compiler/codegen_c99",
+        median_ns(samples, || {
+            let k = cgen::build_kernel(&module, &model, &sched, &cgen::CodegenOptions::default());
+            cgen::emit_c99(&k)
+        }),
+        samples,
+    );
+
+    // --- Whole-flow ablation (mirrors benches/ablation.rs).
+    println!("flow:");
+    push(
+        "ablation/flow_factored",
+        median_ns(samples, || {
+            cfd_core::Flow::compile(&src, &FlowOptions::default()).unwrap()
+        }),
+        samples,
+    );
+    push(
+        "ablation/flow_naive",
+        median_ns(samples, || {
+            cfd_core::Flow::compile(
+                &src,
+                &FlowOptions {
+                    factorize: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        }),
+        samples,
+    );
+
+    // --- Full-system simulation (mirrors benches/parallel_speedup.rs).
+    println!("simulation:");
+    let art = bench::compile_paper_kernel(true, true);
+    for k in [1usize, 16] {
+        push(
+            &format!("fig9/simulate_k{k}"),
+            median_ns(samples, || bench::simulate(&art, k, k, 4_000)),
+            samples,
+        );
+    }
+
+    // --- Interpreter (flat walk vs the seed multi-index oracle).
+    println!("interpreter (p = 7):");
+    let imod = teil::transform::factorize(
+        &teil::lower(
+            &cfdlang::check(&cfdlang::parse(&cfdlang::examples::inverse_helmholtz(7)).unwrap())
+                .unwrap(),
+        )
+        .unwrap(),
+    );
+    let mut inputs: HashMap<String, Tensor> = HashMap::new();
+    for id in imod.of_kind(teil::TensorKind::Input) {
+        inputs.insert(
+            imod.name(id).to_string(),
+            Tensor::from_fn(imod.shape(id), |i| {
+                i.iter().sum::<usize>() as f64 * 0.25 - 1.0
+            }),
+        );
+    }
+    let interp = Interpreter::new(&imod);
+    push(
+        "interp/flat_walk",
+        median_ns(samples, || interp.run(&inputs).unwrap()),
+        samples,
+    );
+    push(
+        "interp/multi_index_reference",
+        median_ns(samples, || interp.run_reference(&inputs).unwrap()),
+        samples,
+    );
+
+    // --- DSE sweep: wall clock + the engine's own per-point accounting.
+    println!("dse sweep:");
+    let t = Instant::now();
+    let report = bench::dse_sweep(2_000, 4);
+    let sweep_ns = t.elapsed().as_nanos() as u64;
+    push("dse/sweep_32pt_wall", sweep_ns, 1);
+
+    // --- Emit JSON.
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"cfdfpga-bench-v1\",\n");
+    s.push_str("  \"pr\": 2,\n");
+    s.push_str(&format!("  \"samples\": {samples},\n"));
+    s.push_str("  \"benches\": [\n");
+    for (i, (name, ns, n)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"median_ns\": {ns}, \"samples\": {n}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"dse\": {{\"points\": {}, \"feasible\": {}, \"backend_compiles\": {}, \
+         \"backend_reuses\": {}, \"backend_compile_s\": {:.6}, \"eval_total_s\": {:.6}, \
+         \"eval_mean_s\": {:.6}, \"eval_max_s\": {:.6}, \"wall_s\": {:.6}}},\n",
+        report.evaluated,
+        report.feasible,
+        report.backend_compiles,
+        report.backend_reuses,
+        report.backend_s,
+        report.eval_total_s,
+        report.eval_mean_s,
+        report.eval_max_s,
+        report.wall_s,
+    ));
+    s.push_str("  \"baseline_pr1\": {\n");
+    for (i, (name, ns)) in BASELINE_PR1_NS.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{name}\": {ns}{}\n",
+            if i + 1 == BASELINE_PR1_NS.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    s.push_str("  }\n}\n");
+
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &s).expect("write bench json");
+            println!("wrote {path}");
+        }
+        None => print!("{s}"),
+    }
+
+    // Sanity: the flat walk and the reference walk agree (cheap spot
+    // check so a bench run can't silently time diverging paths).
+    let a = interp.run(&inputs).unwrap();
+    let b = interp.run_reference(&inputs).unwrap();
+    assert_eq!(a.stats, b.stats, "flat walk diverged from reference");
+}

@@ -28,14 +28,13 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use sysgen::SystemConfig;
 use teil::TensorKind;
 use zynq::SimConfig;
 
-use crate::pipeline::{Pipeline, Scheduled, StageCounts, StageTimings};
+use crate::pipeline::{Backend, Pipeline, Scheduled, StageCounts, StageTimings};
 use crate::{Artifacts, FlowError, FlowOptions};
 
 /// One point of the exploration grid.
@@ -61,6 +60,25 @@ impl DsePoint {
             self.k, self.m, self.sharing, self.decoupled, self.partition
         )
     }
+
+    /// The backend-relevant subset of the point: grid axes that only
+    /// differ in system-stage knobs (`k`, `m`) share one compiled
+    /// backend (kernel, HLS estimate, memory subsystem).
+    fn backend_key(&self) -> BackendKey {
+        BackendKey {
+            sharing: self.sharing,
+            decoupled: self.decoupled,
+            partition: self.partition,
+        }
+    }
+}
+
+/// Key identifying a unique backend compilation within a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BackendKey {
+    sharing: bool,
+    decoupled: bool,
+    partition: u32,
 }
 
 /// The cartesian exploration grid. `m` is derived as `k · batch`, so
@@ -161,6 +179,19 @@ pub struct DseReport {
     pub shared: StageTimings,
     /// Stage-invocation counters after the sweep.
     pub counts: StageCounts,
+    /// Unique backend configurations compiled during the sweep.
+    pub backend_compiles: usize,
+    /// Points that reused a memoized backend instead of recompiling.
+    pub backend_reuses: usize,
+    /// Wall-clock seconds spent compiling the unique backends.
+    pub backend_s: f64,
+    /// Sum of per-point evaluation times (system stage + simulation)
+    /// across all workers — CPU time, not wall-clock.
+    pub eval_total_s: f64,
+    /// Mean per-point evaluation time.
+    pub eval_mean_s: f64,
+    /// Slowest single point.
+    pub eval_max_s: f64,
 }
 
 impl DseReport {
@@ -173,12 +204,17 @@ impl DseReport {
     pub fn render_table(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{} configurations ({} feasible), {} jobs, sweep {:.3} s, shared stages {:.3} s\n",
+            "{} configurations ({} feasible), {} jobs, sweep {:.3} s, shared stages {:.3} s, \
+             {} backends compiled ({} reused), point eval {:.3} s total / {:.4} s mean\n",
             self.evaluated,
             self.feasible,
             self.jobs,
             self.wall_s,
             self.shared.total_s(),
+            self.backend_compiles,
+            self.backend_reuses,
+            self.eval_total_s,
+            self.eval_mean_s,
         ));
         s.push_str(
             "   k    m  share  decouple  part      LUT      FF   DSP   BRAM    el/s  feasible\n",
@@ -225,13 +261,22 @@ impl DseReport {
             self.counts.backend,
             self.counts.system
         ));
+        s.push_str(&format!(
+            "  \"backend_cache\": {{\"compiles\": {}, \"reuses\": {}, \"compile_s\": {:.6}}},\n",
+            self.backend_compiles, self.backend_reuses, self.backend_s
+        ));
+        s.push_str(&format!(
+            "  \"eval_timing\": {{\"total_s\": {:.6}, \"mean_s\": {:.6}, \"max_s\": {:.6}}},\n",
+            self.eval_total_s, self.eval_mean_s, self.eval_max_s
+        ));
         s.push_str("  \"outcomes\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             let p = &o.point;
             s.push_str(&format!(
                 "    {{\"k\": {}, \"m\": {}, \"sharing\": {}, \"decoupled\": {}, \"partition\": {}, \
                  \"feasible\": {}, \"luts\": {}, \"ffs\": {}, \"dsps\": {}, \"brams\": {}, \
-                 \"plm_brams\": {}, \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}}}{}\n",
+                 \"plm_brams\": {}, \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \
+                 \"eval_s\": {:.6}}}{}\n",
                 p.k,
                 p.m,
                 p.sharing,
@@ -246,6 +291,7 @@ impl DseReport {
                 o.latency_cycles,
                 o.total_s,
                 o.throughput_eps,
+                o.eval_s,
                 if i + 1 == self.outcomes.len() { "" } else { "," },
             ));
         }
@@ -332,12 +378,27 @@ impl DseEngine {
     }
 
     /// Run the backend + system stages for one point and simulate the
-    /// result. Never re-runs the shared stages.
+    /// result. Never re-runs the shared stages. (Point-wise API: compiles
+    /// the point's backend inline; [`DseEngine::run`] memoizes backends
+    /// across the grid instead.)
     pub fn evaluate(&self, point: &DsePoint, elements: usize) -> DseOutcome {
         let t = Instant::now();
         let opts = self.options_for(point);
         let be = self.pipeline.backend(&self.scheduled, &opts);
-        let sys = match self.pipeline.system(&be, &opts) {
+        self.evaluate_with_backend(point, &opts, &be, elements, t)
+    }
+
+    /// System stage + simulation for one point against an
+    /// already-compiled backend.
+    fn evaluate_with_backend(
+        &self,
+        point: &DsePoint,
+        opts: &FlowOptions,
+        be: &Backend,
+        elements: usize,
+        started: Instant,
+    ) -> DseOutcome {
+        let sys = match self.pipeline.system(be, opts) {
             Ok(sys) => sys.system,
             // DoesNotFit (and any future system-stage error) marks the
             // point infeasible rather than aborting the sweep.
@@ -367,7 +428,7 @@ impl DseEngine {
                     } else {
                         0.0
                     },
-                    eval_s: t.elapsed().as_secs_f64(),
+                    eval_s: started.elapsed().as_secs_f64(),
                 }
             }
             None => DseOutcome {
@@ -381,13 +442,19 @@ impl DseEngine {
                 latency_cycles: be.hls_report.latency_cycles,
                 total_s: 0.0,
                 throughput_eps: 0.0,
-                eval_s: t.elapsed().as_secs_f64(),
+                eval_s: started.elapsed().as_secs_f64(),
             },
         }
     }
 
     /// Sweep the grid with `jobs` worker threads (0 = one per available
     /// core) and return the ranked report.
+    ///
+    /// Backends are **memoized on the backend-relevant point subset**
+    /// (sharing, decoupling, partitioning): grid points that differ only
+    /// in the system-stage knobs `k`/`m` share one compiled kernel, HLS
+    /// estimate and memory subsystem. Each worker accumulates outcomes in
+    /// its own buffer — no shared lock on the hot path.
     pub fn run(&self, grid: &DseGrid, jobs: usize, elements: usize) -> DseReport {
         let points = grid.points();
         let jobs = if jobs == 0 {
@@ -399,21 +466,101 @@ impl DseEngine {
         }
         .min(points.len().max(1));
         let t = Instant::now();
+
+        // Unique backend configurations, first-seen order.
+        let mut keys: Vec<BackendKey> = Vec::new();
+        let mut key_of_point: Vec<usize> = Vec::with_capacity(points.len());
+        for p in &points {
+            let k = p.backend_key();
+            let idx = keys.iter().position(|&e| e == k).unwrap_or_else(|| {
+                keys.push(k);
+                keys.len() - 1
+            });
+            key_of_point.push(idx);
+        }
+        // Representative options per key (k/m axes are irrelevant to the
+        // backend stage).
+        let key_opts: Vec<FlowOptions> = keys
+            .iter()
+            .map(|k| {
+                let rep = points
+                    .iter()
+                    .find(|p| p.backend_key() == *k)
+                    .expect("key from points");
+                self.options_for(rep)
+            })
+            .collect();
+
+        // Compile the unique backends on the worker pool: worker `w`
+        // takes keys w, w+stride, ... and returns them with their index.
+        let t_backend = Instant::now();
+        let backends: Vec<Backend> = {
+            let workers = jobs.min(keys.len()).max(1);
+            let mut indexed: Vec<(usize, Backend)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let key_opts = &key_opts;
+                        scope.spawn(move || {
+                            (w..key_opts.len())
+                                .step_by(workers)
+                                .map(|i| (i, self.pipeline.backend(&self.scheduled, &key_opts[i])))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("backend worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, be)| be).collect()
+        };
+        let backend_s = t_backend.elapsed().as_secs_f64();
+
+        // Fan the system stage + simulation out over the points, one
+        // outcome buffer per worker.
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<DseOutcome>> = Mutex::new(Vec::with_capacity(points.len()));
-        std::thread::scope(|scope| {
+        let mut outcomes: Vec<DseOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(jobs);
             for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= points.len() {
-                        break;
+                let next = &next;
+                let points = &points;
+                let key_of_point = &key_of_point;
+                let key_opts = &key_opts;
+                let backends = &backends;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<DseOutcome> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= points.len() {
+                            break local;
+                        }
+                        let started = Instant::now();
+                        let ki = key_of_point[i];
+                        // The representative options only differ from the
+                        // point's in k/m — pass the point's own system
+                        // config through.
+                        let mut opts = key_opts[ki].clone();
+                        opts.system = Some(sysgen::SystemConfig {
+                            k: points[i].k,
+                            m: points[i].m,
+                        });
+                        local.push(self.evaluate_with_backend(
+                            &points[i],
+                            &opts,
+                            &backends[ki],
+                            elements,
+                            started,
+                        ));
                     }
-                    let outcome = self.evaluate(&points[i], elements);
-                    results.lock().unwrap().push(outcome);
-                });
+                }));
             }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
-        let mut outcomes = results.into_inner().unwrap();
         outcomes.sort_by(|a, b| {
             b.feasible
                 .cmp(&a.feasible)
@@ -423,6 +570,8 @@ impl DseEngine {
                 .then(a.point.label().cmp(&b.point.label()))
         });
         let feasible = outcomes.iter().filter(|o| o.feasible).count();
+        let eval_total_s: f64 = outcomes.iter().map(|o| o.eval_s).sum();
+        let eval_max_s = outcomes.iter().map(|o| o.eval_s).fold(0.0, f64::max);
         DseReport {
             evaluated: outcomes.len(),
             feasible,
@@ -431,6 +580,16 @@ impl DseEngine {
             wall_s: t.elapsed().as_secs_f64(),
             shared: self.shared_timings(),
             counts: self.pipeline.counters(),
+            backend_compiles: keys.len(),
+            backend_reuses: points.len() - keys.len(),
+            backend_s,
+            eval_total_s,
+            eval_mean_s: if outcomes.is_empty() {
+                0.0
+            } else {
+                eval_total_s / outcomes.len() as f64
+            },
+            eval_max_s,
             outcomes,
         }
     }

@@ -43,11 +43,15 @@ impl DimBounds {
 /// either side (no loop can be emitted).
 pub fn extract_bounds(set: &BasicSet) -> Option<Vec<DimBounds>> {
     let n = set.dim();
+    // The set's memoized projection sweep provides `levels[d]` — the
+    // system with every dimension after `d` projected out. The seed
+    // recomputed the full trailing elimination per dimension; the cached
+    // chain builds each level from the previous one with a single
+    // variable elimination, shared with `PointIter`.
+    let levels = &set.projection().levels;
     let mut out = Vec::with_capacity(n);
-    for d in 0..n {
-        // Project away dimensions after d; the constraints on x_d then
-        // reference only x_0..x_d.
-        let sys = set.system.eliminate_range(d + 1, n - d - 1);
+    for (d, sys) in levels.iter().enumerate() {
+        // Constraints on x_d reference only x_0..x_d.
         if sys.known_infeasible() {
             // Empty set: emit a degenerate 1..0 loop.
             out.push(DimBounds {

@@ -25,6 +25,17 @@ pub struct Constraint {
     pub expr: LinExpr,
 }
 
+/// Outcome of [`Constraint::normalize_in_place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalizeAction {
+    /// The constraint was canonicalized in place and should be kept.
+    Keep,
+    /// Trivially satisfied; drop it.
+    Trivial,
+    /// Unsatisfiable over the integers.
+    Infeasible,
+}
+
 /// Result of normalizing a constraint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Normalized {
@@ -86,34 +97,49 @@ impl Constraint {
     /// Normalize: divide by the GCD of the variable coefficients with
     /// integer tightening; classify trivial/infeasible constants.
     pub fn normalize(&self) -> Normalized {
+        let mut c = self.clone();
+        match c.normalize_in_place() {
+            NormalizeAction::Keep => Normalized::Keep(c),
+            NormalizeAction::Trivial => Normalized::Trivial,
+            NormalizeAction::Infeasible => Normalized::Infeasible,
+        }
+    }
+
+    /// Normalize this constraint in place — the zero-allocation form of
+    /// [`Constraint::normalize`]. On `Keep` the constraint is canonical;
+    /// on `Trivial`/`Infeasible` its contents are unspecified and the
+    /// caller should discard it.
+    pub fn normalize_in_place(&mut self) -> NormalizeAction {
         let g = self.expr.coeff_gcd();
         if g == 0 {
             // Constant constraint.
             return match self.kind {
-                ConstraintKind::Eq if self.expr.constant == 0 => Normalized::Trivial,
-                ConstraintKind::Eq => Normalized::Infeasible,
-                ConstraintKind::GeZero if self.expr.constant >= 0 => Normalized::Trivial,
-                ConstraintKind::GeZero => Normalized::Infeasible,
+                ConstraintKind::Eq if self.expr.constant == 0 => NormalizeAction::Trivial,
+                ConstraintKind::Eq => NormalizeAction::Infeasible,
+                ConstraintKind::GeZero if self.expr.constant >= 0 => NormalizeAction::Trivial,
+                ConstraintKind::GeZero => NormalizeAction::Infeasible,
             };
         }
-        let mut expr = self.expr.clone();
+        let expr = &mut self.expr;
         match self.kind {
             ConstraintKind::Eq => {
                 // Integer solvability: g must divide the constant.
                 if expr.constant % g != 0 {
-                    return Normalized::Infeasible;
+                    return NormalizeAction::Infeasible;
                 }
-                for c in &mut expr.coeffs {
-                    *c /= g;
+                if g > 1 {
+                    for c in &mut expr.coeffs {
+                        *c /= g;
+                    }
+                    expr.constant /= g;
                 }
-                expr.constant /= g;
                 // Canonical sign: first nonzero coefficient positive.
                 if let Some(&first) = expr.coeffs.iter().find(|&&c| c != 0) {
                     if first < 0 {
-                        expr = expr.scale(-1);
+                        expr.scale_assign(-1);
                     }
                 }
-                Normalized::Keep(Constraint::eq(expr))
+                NormalizeAction::Keep
             }
             ConstraintKind::GeZero => {
                 if g > 1 {
@@ -123,7 +149,7 @@ impl Constraint {
                     // Integer tightening: floor division of the constant.
                     expr.constant = expr.constant.div_euclid(g);
                 }
-                Normalized::Keep(Constraint::ge0(expr))
+                NormalizeAction::Keep
             }
         }
     }

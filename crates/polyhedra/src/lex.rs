@@ -76,37 +76,58 @@ pub fn between_set(iv: &Map, n: usize) -> Set {
     let space = Space::anon(n);
     let mut out = Set::empty(space.clone());
 
+    // Precompute the lifted lex systems once (the seed rebuilt both
+    // inside the per-part double loop — (n+1)² remaps per interval part).
+    // Over variables (w, r, x):
+    //   wx[j1]: w <=lex x at split j1 — le is over (in, out) = (w, x);
+    //           insert r in the middle.
+    let wx: Vec<System> = le
+        .parts
+        .iter()
+        .map(|p| p.system.insert_vars(n, n))
+        .collect();
+    //   xr[j2]: x <=lex r at split j2 — remap le's (in, out) = (x, r) to
+    //           positions (2n..3n) for x and (n..2n) for r.
+    let xr: Vec<System> = le
+        .parts
+        .iter()
+        .map(|p| {
+            let mut sys = System::universe(3 * n);
+            for c in p.system.constraints() {
+                let mut coeffs = vec![0i64; 3 * n];
+                for d in 0..n {
+                    coeffs[2 * n + d] = c.expr.coeffs[d]; // x
+                    coeffs[n + d] = c.expr.coeffs[n + d]; // r
+                }
+                sys.add(Constraint {
+                    kind: c.kind,
+                    expr: LinExpr::new(&coeffs, c.expr.constant),
+                });
+            }
+            sys
+        })
+        .collect();
+    // Both lex conjuncts combined, shared across every interval part.
+    let sandwiches: Vec<System> = wx
+        .iter()
+        .flat_map(|a| xr.iter().map(move |b| a.intersect(b)))
+        .collect();
+
     for part in &iv.parts {
         // Variables: (w, r) in `part`; extend to (w, r, x).
         let base = part.system.insert_vars(2 * n, n);
-        for le_wx in &le.parts {
-            // le_wx over (w', x'): embed as (w, _, x) -> insert r in the middle.
-            let c1 = le_wx.system.insert_vars(n, n);
-            for le_xr in &le.parts {
-                // le_xr over (x', r'): we need (x <=lex r) over (w, r, x):
-                // variable order for le is (in, out) = (x, r); remap to
-                // positions (2n..3n) for x and (n..2n) for r.
-                let mut sys = System::universe(3 * n);
-                for c in le_xr.system.constraints() {
-                    let mut coeffs = vec![0i64; 3 * n];
-                    for d in 0..n {
-                        coeffs[2 * n + d] = c.expr.coeffs[d]; // x
-                        coeffs[n + d] = c.expr.coeffs[n + d]; // r
-                    }
-                    sys.add(Constraint {
-                        kind: c.kind,
-                        expr: LinExpr::new(&coeffs, c.expr.constant),
-                    });
-                }
-                let joined = base.intersect(&c1).intersect(&sys);
-                if joined.known_infeasible() {
-                    continue;
-                }
-                // Eliminate w and r (first 2n vars), keep x.
-                let live = joined.eliminate_range(0, 2 * n);
-                if !live.known_infeasible() {
-                    out = out.union_basic(BasicSet::from_system(space.clone(), live));
-                }
+        for sandwich in &sandwiches {
+            let joined = base.intersect(sandwich);
+            // Interval propagation prunes most incompatible split
+            // combinations without running the full elimination (sound:
+            // never flags a feasible join).
+            if joined.known_infeasible() || joined.quick_infeasible() {
+                continue;
+            }
+            // Eliminate w and r (first 2n vars), keep x.
+            let live = joined.eliminate_range(0, 2 * n);
+            if !live.known_infeasible() {
+                out = out.union_basic(BasicSet::from_system(space.clone(), live));
             }
         }
     }

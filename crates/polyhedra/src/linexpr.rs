@@ -53,16 +53,19 @@ impl LinExpr {
     }
 
     /// Number of variables this expression ranges over.
+    #[inline]
     pub fn n_vars(&self) -> usize {
         self.coeffs.len()
     }
 
     /// Whether all coefficients are zero (constant expression).
+    #[inline]
     pub fn is_constant(&self) -> bool {
         self.coeffs.iter().all(|&c| c == 0)
     }
 
     /// Coefficient of variable `i`.
+    #[inline]
     pub fn coeff(&self, i: usize) -> i64 {
         self.coeffs[i]
     }
@@ -91,17 +94,33 @@ impl LinExpr {
 
     /// `k * self`.
     pub fn scale(&self, k: i64) -> LinExpr {
-        LinExpr {
-            coeffs: self
-                .coeffs
-                .iter()
-                .map(|c| c.checked_mul(k).expect("LinExpr overflow"))
-                .collect(),
-            constant: self.constant.checked_mul(k).expect("LinExpr overflow"),
+        let mut out = self.clone();
+        out.scale_assign(k);
+        out
+    }
+
+    /// `self *= k` in place (no allocation).
+    pub fn scale_assign(&mut self, k: i64) {
+        for c in &mut self.coeffs {
+            *c = c.checked_mul(k).expect("LinExpr overflow");
         }
+        self.constant = self.constant.checked_mul(k).expect("LinExpr overflow");
+    }
+
+    /// `self += k * other` in place (no allocation), with i128
+    /// intermediates checked back into i64.
+    pub fn add_scaled_assign(&mut self, other: &LinExpr, k: i64) {
+        assert_eq!(self.n_vars(), other.n_vars(), "LinExpr arity mismatch");
+        for (a, &b) in self.coeffs.iter_mut().zip(&other.coeffs) {
+            let v = (*a as i128) + (b as i128) * (k as i128);
+            *a = i64::try_from(v).expect("LinExpr overflow");
+        }
+        let v = (self.constant as i128) + (other.constant as i128) * (k as i128);
+        self.constant = i64::try_from(v).expect("LinExpr overflow");
     }
 
     /// Evaluate at an integer point.
+    #[inline]
     pub fn eval(&self, point: &[i64]) -> i64 {
         assert_eq!(point.len(), self.n_vars(), "point arity mismatch");
         let mut acc: i128 = self.constant as i128;
@@ -146,7 +165,31 @@ impl LinExpr {
         }
         let mut out = self.clone();
         out.coeffs[i] = 0;
-        out.add(&repl.scale(c))
+        out.add_scaled_assign(repl, c);
+        out
+    }
+
+    /// Substitute variable `i` by `repl` and remove it from the variable
+    /// vector in one pass — the zero-intermediate equivalent of
+    /// `substitute(i, repl).remove_var(i)` (one output allocation, no
+    /// temporaries).
+    pub fn substitute_skipping(&self, i: usize, repl: &LinExpr) -> LinExpr {
+        debug_assert_eq!(repl.coeffs[i], 0, "self-referential substitution");
+        let c = self.coeffs[i];
+        let n = self.n_vars();
+        let mut coeffs = Vec::with_capacity(n - 1);
+        for v in 0..n {
+            if v == i {
+                continue;
+            }
+            let w = (self.coeffs[v] as i128) + (repl.coeffs[v] as i128) * (c as i128);
+            coeffs.push(i64::try_from(w).expect("LinExpr overflow"));
+        }
+        let k = (self.constant as i128) + (repl.constant as i128) * (c as i128);
+        LinExpr {
+            coeffs,
+            constant: i64::try_from(k).expect("LinExpr overflow"),
+        }
     }
 
     /// Greatest common divisor of the variable coefficients (0 if all are
@@ -194,6 +237,13 @@ impl fmt::Display for LinExpr {
     }
 }
 
+/// Saturating i128 → i64 conversion. Used when storing derived interval
+/// bounds: saturation only ever *weakens* a bound over i64-valued points,
+/// so soundness of the pruning checks is preserved.
+pub(crate) fn clamp_i64(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
 /// Greatest common divisor (non-negative).
 pub fn gcd(a: i64, b: i64) -> i64 {
     let (mut a, mut b) = (a.abs(), b.abs());
@@ -218,6 +268,47 @@ pub fn combine(a: &LinExpr, p: i64, b: &LinExpr, q: i64) -> LinExpr {
             i64::try_from(v).expect("FM combination overflow")
         })
         .collect();
+    let constant =
+        i64::try_from((a.constant as i128) * (p as i128) + (b.constant as i128) * (q as i128))
+            .expect("FM combination overflow");
+    LinExpr { coeffs, constant }
+}
+
+/// `dst = p * a + q * b` written into an existing expression, reusing its
+/// coefficient buffer (no allocation once `dst` has the right arity).
+pub fn combine_into(dst: &mut LinExpr, a: &LinExpr, p: i64, b: &LinExpr, q: i64) {
+    assert_eq!(a.n_vars(), b.n_vars(), "LinExpr arity mismatch");
+    dst.coeffs.clear();
+    dst.coeffs
+        .extend(a.coeffs.iter().zip(&b.coeffs).map(|(&ca, &cb)| {
+            let v = (ca as i128) * (p as i128) + (cb as i128) * (q as i128);
+            i64::try_from(v).expect("FM combination overflow")
+        }));
+    dst.constant =
+        i64::try_from((a.constant as i128) * (p as i128) + (b.constant as i128) * (q as i128))
+            .expect("FM combination overflow");
+}
+
+/// `p * a + q * b` with variable `skip` removed from the result — the
+/// single-allocation form of `combine(a, p, b, q).remove_var(skip)` used
+/// by Fourier–Motzkin pairing (where the combination is chosen to cancel
+/// `skip` exactly).
+pub fn combine_skipping(a: &LinExpr, p: i64, b: &LinExpr, q: i64, skip: usize) -> LinExpr {
+    assert_eq!(a.n_vars(), b.n_vars(), "LinExpr arity mismatch");
+    debug_assert_eq!(
+        (a.coeffs[skip] as i128) * (p as i128) + (b.coeffs[skip] as i128) * (q as i128),
+        0,
+        "combination must cancel the skipped variable"
+    );
+    let n = a.n_vars();
+    let mut coeffs = Vec::with_capacity(n - 1);
+    for v in 0..n {
+        if v == skip {
+            continue;
+        }
+        let w = (a.coeffs[v] as i128) * (p as i128) + (b.coeffs[v] as i128) * (q as i128);
+        coeffs.push(i64::try_from(w).expect("FM combination overflow"));
+    }
     let constant =
         i64::try_from((a.constant as i128) * (p as i128) + (b.constant as i128) * (q as i128))
             .expect("FM combination overflow");
@@ -277,6 +368,46 @@ mod tests {
         // 1*a + 1*b cancels the large coefficients.
         let c = combine(&a, 1, &b, 1);
         assert_eq!(c, LinExpr::new(&[0, 2], 0));
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ones() {
+        let a = LinExpr::new(&[1, 2], 3);
+        let b = LinExpr::new(&[4, -1], 7);
+        let mut x = a.clone();
+        x.add_scaled_assign(&b, -3);
+        assert_eq!(x, a.add(&b.scale(-3)));
+        let mut y = a.clone();
+        y.scale_assign(-2);
+        assert_eq!(y, a.scale(-2));
+    }
+
+    #[test]
+    fn combine_into_reuses_buffer() {
+        let a = LinExpr::new(&[1, 2, 3], 4);
+        let b = LinExpr::new(&[-1, 0, 5], 1);
+        let mut dst = LinExpr::zero(3);
+        combine_into(&mut dst, &a, 2, &b, 3);
+        assert_eq!(dst, combine(&a, 2, &b, 3));
+    }
+
+    #[test]
+    fn combine_skipping_drops_cancelled_var() {
+        // 3x + y >= ... paired with -3x + z: 1*a + 1*b cancels x.
+        let a = LinExpr::new(&[3, 1, 0], 2);
+        let b = LinExpr::new(&[-3, 0, 1], 5);
+        let r = combine_skipping(&a, 1, &b, 1, 0);
+        assert_eq!(r, combine(&a, 1, &b, 1).remove_var(0));
+    }
+
+    #[test]
+    fn substitute_skipping_matches_two_step() {
+        let e = LinExpr::new(&[3, 1, -2], 1);
+        let repl = LinExpr::new(&[0, 2, 1], -5);
+        assert_eq!(
+            e.substitute_skipping(0, &repl),
+            e.substitute(0, &repl).remove_var(0)
+        );
     }
 
     #[test]

@@ -1,61 +1,187 @@
 //! Integer point enumeration for bounded sets.
 //!
-//! Used by tests and brute-force validators. Enumeration computes the
-//! bounding box of the set by per-dimension FM projection, iterates the
-//! box lexicographically, and filters by membership. This is exponential
-//! in general and perfectly fine for the small validation sets used here.
+//! Used by tests and brute-force validators. Enumeration walks the set's
+//! (cached) bounding box in lexicographic order, but instead of testing
+//! full membership of every lattice point in the box, each dimension's
+//! range is re-tightened from the suffix-projected constraint systems as
+//! the prefix advances — whole empty subtrees of the box are skipped.
+//! A final membership check per emitted point keeps the enumeration
+//! exact (the projections never lose integer points, so nothing is
+//! missed). This is exponential in general and perfectly fine for the
+//! small validation sets used here.
 
 use crate::constraint::ConstraintKind;
+use crate::linexpr::clamp_i64;
 use crate::set::BasicSet;
+use crate::system::System;
 
 /// Iterator over the integer points of a bounded [`BasicSet`].
 pub struct PointIter<'a> {
     set: &'a BasicSet,
+    n: usize,
+    /// `levels[d]`: the system with dimensions after `d` projected out
+    /// (ranges over dims `0..=d`). Used to tighten dimension `d`'s range
+    /// for the current prefix. Borrowed from the set's memoized
+    /// projection sweep — constructing an iterator computes the chain at
+    /// most once per set.
+    levels: &'a [System],
+    /// Static bounding box (start point for every dynamic range).
+    bbox: Vec<(i64, i64)>,
+    /// Dynamic `[lo, hi]` per dimension for the current prefix.
     ranges: Vec<(i64, i64)>,
-    cursor: Option<Vec<i64>>,
+    cur: Vec<i64>,
+    started: bool,
+    done: bool,
 }
 
 impl<'a> PointIter<'a> {
-    /// Create an iterator. Panics if the set is unbounded in some
-    /// dimension (point enumeration is only meaningful for bounded sets).
+    /// Create an iterator. Unbounded or empty sets yield no points
+    /// (enumeration is only meaningful for bounded sets).
     pub fn new(set: &'a BasicSet) -> Self {
         let n = set.dim();
+        let empty = |set| PointIter {
+            set,
+            n,
+            levels: &[],
+            bbox: Vec::new(),
+            ranges: Vec::new(),
+            cur: Vec::new(),
+            started: false,
+            done: true,
+        };
         if set.system.known_infeasible() {
+            return empty(set);
+        }
+        if n == 0 {
+            // 0-dimensional: the single empty point.
             return PointIter {
                 set,
+                n,
+                levels: &[],
+                bbox: Vec::new(),
                 ranges: Vec::new(),
-                cursor: None,
+                cur: Vec::new(),
+                started: false,
+                done: false,
             };
         }
-        let mut ranges = Vec::with_capacity(n);
-        for d in 0..n {
-            match dim_range(set, d) {
-                Some(r) if r.0 <= r.1 => ranges.push(r),
-                _ => {
-                    return PointIter {
-                        set,
-                        ranges: Vec::new(),
-                        cursor: None,
+        // One memoized sweep provides both the bounding box (deciding
+        // boundedness and emptiness) and the suffix projection chain used
+        // for incremental range tightening.
+        let proj = set.projection();
+        let mut bbox = Vec::with_capacity(n);
+        for r in &proj.bbox {
+            match r {
+                Some((lo, hi)) if lo <= hi => bbox.push((*lo, *hi)),
+                _ => return empty(set),
+            }
+        }
+        PointIter {
+            set,
+            n,
+            levels: &proj.levels,
+            bbox,
+            ranges: vec![(0, 0); n],
+            cur: vec![0; n],
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Range of dimension `d` for the current prefix `cur[0..d]`,
+    /// starting from the static box and tightened by every row of
+    /// `levels[d]` that mentions `x_d`. A lo > hi result means the
+    /// subtree is empty.
+    fn range_at(&self, d: usize) -> (i64, i64) {
+        let (mut lo, mut hi) = self.bbox[d];
+        for c in self.levels[d].constraints() {
+            let a = c.expr.coeffs[d];
+            if a == 0 {
+                continue;
+            }
+            // a*x_d + e(prefix) (>=|=) 0. i64×i64 products fit i128; the
+            // accumulation is checked so overflow panics loudly instead
+            // of silently pruning a live subtree.
+            let mut e = c.expr.constant as i128;
+            for v in 0..d {
+                e = e
+                    .checked_add(c.expr.coeffs[v] as i128 * self.cur[v] as i128)
+                    .expect("prefix evaluation overflow");
+            }
+            let a = a as i128;
+            match c.kind {
+                ConstraintKind::Eq => {
+                    if e.rem_euclid(a) != 0 {
+                        return (1, 0); // no integer solution on this prefix
+                    }
+                    let v = clamp_i64(-e / a);
+                    lo = lo.max(v);
+                    hi = hi.min(v);
+                }
+                ConstraintKind::GeZero => {
+                    if a > 0 {
+                        // x_d >= ceil(-e / a)
+                        lo = lo.max(clamp_i64(-(e.div_euclid(a))));
+                    } else {
+                        // x_d <= floor(e / -a)
+                        hi = hi.min(clamp_i64(e.div_euclid(-a)));
                     }
                 }
             }
+            if lo > hi {
+                return (1, 0);
+            }
         }
-        let start: Vec<i64> = ranges.iter().map(|r| r.0).collect();
-        PointIter {
-            set,
-            ranges,
-            cursor: if n == 0 {
-                Some(Vec::new())
+        (lo, hi)
+    }
+
+    /// Advance the deepest dimension strictly before `d` that still has
+    /// headroom; returns the dimension advanced.
+    fn bump(&mut self, d: usize) -> Option<usize> {
+        let mut b = d;
+        while b > 0 {
+            b -= 1;
+            if self.cur[b] < self.ranges[b].1 {
+                self.cur[b] += 1;
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Fill dimensions `d..n` with the lows of their dynamic ranges,
+    /// advancing earlier dimensions past empty subtrees. Returns `false`
+    /// when the whole space is exhausted.
+    fn fill(&mut self, mut d: usize) -> bool {
+        while d < self.n {
+            let (lo, hi) = self.range_at(d);
+            if lo <= hi {
+                self.ranges[d] = (lo, hi);
+                self.cur[d] = lo;
+                d += 1;
             } else {
-                Some(start)
-            },
+                match self.bump(d) {
+                    Some(b) => d = b + 1,
+                    None => return false,
+                }
+            }
         }
+        true
     }
 }
 
-/// Compute the `[lo, hi]` range of dimension `d` by projecting out all
-/// other dimensions. Returns `None` if unbounded on either side.
+/// Compute the `[lo, hi]` range of dimension `d` via the set's cached
+/// bounding box (one shared elimination sweep for all dimensions,
+/// memoized on the set). Returns `None` if unbounded on either side and
+/// the canonical empty range `(1, 0)` when the set is empty.
 pub fn dim_range(set: &BasicSet, d: usize) -> Option<(i64, i64)> {
+    set.bounding_box()[d]
+}
+
+/// The seed implementation of [`dim_range`]: a full Fourier–Motzkin
+/// re-projection of all other dimensions, per dimension, with no sharing
+/// or caching. Kept as the oracle for property tests of the cached path.
+pub fn dim_range_uncached(set: &BasicSet, d: usize) -> Option<(i64, i64)> {
     let n = set.dim();
     // Eliminate trailing dims after d, then the leading ones.
     let sys = set
@@ -109,33 +235,31 @@ impl Iterator for PointIter<'_> {
     type Item = Vec<i64>;
 
     fn next(&mut self) -> Option<Vec<i64>> {
+        if self.done {
+            return None;
+        }
+        if self.n == 0 {
+            // 0-dimensional: single point, emitted once.
+            self.done = true;
+            return Some(Vec::new());
+        }
         loop {
-            let cur = self.cursor.take()?;
-            // Advance cursor (odometer).
-            if cur.is_empty() {
-                // 0-dimensional: single point, emitted once.
-                self.cursor = None;
-                return Some(cur);
-            }
-            let mut nxt = cur.clone();
-            let mut d = nxt.len();
-            loop {
-                if d == 0 {
-                    self.cursor = None;
-                    break;
+            let alive = if !self.started {
+                self.started = true;
+                self.fill(0)
+            } else {
+                match self.bump(self.n) {
+                    Some(b) => self.fill(b + 1),
+                    None => false,
                 }
-                d -= 1;
-                nxt[d] += 1;
-                if nxt[d] <= self.ranges[d].1 {
-                    self.cursor = Some(nxt);
-                    break;
-                }
-                nxt[d] = self.ranges[d].0;
+            };
+            if !alive {
+                self.done = true;
+                return None;
             }
-            if self.set.contains(&cur) {
-                return Some(cur);
+            if self.set.contains(&self.cur) {
+                return Some(self.cur.clone());
             }
-            self.cursor.as_ref()?;
         }
     }
 }
@@ -185,6 +309,33 @@ mod tests {
             .constrain(Constraint::ge0(LinExpr::new(&[1, -1], 0)));
         assert_eq!(dim_range(&b, 0), Some((0, 3)));
         assert_eq!(dim_range(&b, 1), Some((0, 3)));
+        assert_eq!(dim_range_uncached(&b, 0), Some((0, 3)));
+        assert_eq!(dim_range_uncached(&b, 1), Some((0, 3)));
+    }
+
+    #[test]
+    fn unbounded_dim_yields_no_points() {
+        let b = BasicSet::universe(Space::set("t", &["i"]));
+        assert_eq!(dim_range(&b, 0), None);
+        assert_eq!(b.points().count(), 0);
+    }
+
+    #[test]
+    fn pruned_walk_matches_filtered_walk_on_diagonal() {
+        // { (i,j,k) : i = j = k } inside a box: 5 points on the diagonal;
+        // the pruned walk must emit them in the same lexicographic order.
+        let b = BasicSet::boxed(Space::set("t", &["i", "j", "k"]), &[(0, 4); 3])
+            .constrain(crate::constraint::Constraint::eq(
+                crate::linexpr::LinExpr::new(&[1, -1, 0], 0),
+            ))
+            .constrain(crate::constraint::Constraint::eq(
+                crate::linexpr::LinExpr::new(&[0, 1, -1], 0),
+            ));
+        let pts: Vec<Vec<i64>> = b.points().collect();
+        assert_eq!(pts.len(), 5);
+        for (v, p) in pts.iter().enumerate() {
+            assert_eq!(p, &vec![v as i64; 3]);
+        }
     }
 
     #[test]

@@ -11,25 +11,79 @@ use crate::points::PointIter;
 use crate::space::Space;
 use crate::system::System;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A single integer polyhedron over a named space.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries a lazily computed, memoized bounding box (see
+/// [`BasicSet::bounding_box`]); the cache is ignored by equality and
+/// shared by clones, and never observable through the public API other
+/// than as saved recomputation.
+#[derive(Debug)]
 pub struct BasicSet {
     pub space: Space,
-    pub system: System,
+    /// Crate-private so external code cannot mutate the system out from
+    /// under the memoized projection cache; read through
+    /// [`BasicSet::system`]. In-crate code must not mutate it after
+    /// `projection()` has run.
+    pub(crate) system: System,
+    /// Cached projection sweep (suffix chain + bounding box); computed by
+    /// one shared elimination sweep on first use.
+    bbox: OnceLock<ProjectionCache>,
 }
 
+/// The memoized result of one suffix-elimination sweep over a system.
+#[derive(Debug, Clone)]
+pub(crate) struct ProjectionCache {
+    /// `levels[d]`: the system with every dimension after `d` projected
+    /// out (ranges over dims `0..=d`).
+    pub(crate) levels: Vec<System>,
+    /// Per-dimension `[lo, hi]` ranges; `None` when unbounded on either
+    /// side, all `(1, 0)` when the set is empty.
+    pub(crate) bbox: Vec<Option<(i64, i64)>>,
+}
+
+impl Clone for BasicSet {
+    fn clone(&self) -> Self {
+        let bbox = OnceLock::new();
+        if let Some(b) = self.bbox.get() {
+            let _ = bbox.set(b.clone());
+        }
+        BasicSet {
+            space: self.space.clone(),
+            system: self.system.clone(),
+            bbox,
+        }
+    }
+}
+
+impl PartialEq for BasicSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space && self.system == other.system
+    }
+}
+
+impl Eq for BasicSet {}
+
 impl BasicSet {
+    fn make(space: Space, system: System) -> Self {
+        BasicSet {
+            space,
+            system,
+            bbox: OnceLock::new(),
+        }
+    }
+
     /// The full space (no constraints).
     pub fn universe(space: Space) -> Self {
         let system = System::universe(space.dim());
-        BasicSet { space, system }
+        BasicSet::make(space, system)
     }
 
     /// The empty set over `space`.
     pub fn empty(space: Space) -> Self {
         let system = System::infeasible(space.dim());
-        BasicSet { space, system }
+        BasicSet::make(space, system)
     }
 
     /// A rectangular domain: `bounds[d] = (lo, hi)` gives `lo <= x_d <= hi`
@@ -43,7 +97,7 @@ impl BasicSet {
             system.add(Constraint::ge(&x, &LinExpr::constant(n, lo)));
             system.add(Constraint::le(&x, &LinExpr::constant(n, hi)));
         }
-        BasicSet { space, system }
+        BasicSet::make(space, system)
     }
 
     /// Build from raw equality rows `(coeffs, constant)` meaning
@@ -55,18 +109,24 @@ impl BasicSet {
             assert_eq!(coeffs.len(), n);
             system.add(Constraint::eq(LinExpr::new(coeffs, *k)));
         }
-        BasicSet { space, system }
+        BasicSet::make(space, system)
     }
 
     /// Build from an arbitrary constraint system.
     pub fn from_system(space: Space, system: System) -> Self {
         assert_eq!(space.dim(), system.n_vars(), "system arity mismatch");
-        BasicSet { space, system }
+        BasicSet::make(space, system)
     }
 
     /// Dimensionality.
     pub fn dim(&self) -> usize {
         self.space.dim()
+    }
+
+    /// The constraint system (read-only: mutating it would invalidate
+    /// the memoized projection cache).
+    pub fn system(&self) -> &System {
+        &self.system
     }
 
     /// Intersection of two basic sets (same space).
@@ -77,17 +137,16 @@ impl BasicSet {
             self.space,
             other.space
         );
-        BasicSet {
-            space: self.space.clone(),
-            system: self.system.intersect(&other.system),
-        }
+        BasicSet::make(self.space.clone(), self.system.intersect(&other.system))
     }
 
     /// Add a constraint.
     pub fn constrain(&self, c: Constraint) -> BasicSet {
-        let mut out = self.clone();
-        out.system.add(c);
-        out
+        let mut system = self.system.clone();
+        system.add(c);
+        // Deliberately a fresh cell: the cached box of `self` does not
+        // apply to the tightened system.
+        BasicSet::make(self.space.clone(), system)
     }
 
     /// Whether the set contains no integer points.
@@ -110,7 +169,7 @@ impl BasicSet {
             tuple: self.space.tuple.clone(),
             dims: self.space.dims[..n - count].to_vec(),
         };
-        BasicSet { space, system }
+        BasicSet::make(space, system)
     }
 
     /// Project out the leading `count` dimensions.
@@ -122,7 +181,7 @@ impl BasicSet {
             tuple: self.space.tuple.clone(),
             dims: self.space.dims[count..].to_vec(),
         };
-        BasicSet { space, system }
+        BasicSet::make(space, system)
     }
 
     /// Iterate all integer points (small sets only; used in tests and for
@@ -131,13 +190,112 @@ impl BasicSet {
         PointIter::new(self)
     }
 
+    /// The per-dimension `[lo, hi]` bounding box of the set (`None` for a
+    /// dimension unbounded on either side; the canonical empty range
+    /// `(1, 0)` everywhere when the set is empty). Computed on first use
+    /// by **one shared elimination sweep** — a single suffix chain of
+    /// single-variable projections instead of a full Fourier–Motzkin
+    /// re-projection per dimension — and memoized for reuse by
+    /// [`BasicSet::points`], bound extraction and the lex machinery.
+    ///
+    /// The cache snapshots the system at first call; code that mutates
+    /// `self.system` in place must not call this before mutating.
+    pub fn bounding_box(&self) -> &[Option<(i64, i64)>] {
+        &self.projection().bbox
+    }
+
+    /// The full memoized projection sweep (suffix chain + bounding box),
+    /// shared by point enumeration and loop-bound extraction.
+    pub(crate) fn projection(&self) -> &ProjectionCache {
+        self.bbox.get_or_init(|| compute_projection(&self.system))
+    }
+
     /// Rename the space (dimensionality must match).
     pub fn with_space(&self, space: Space) -> BasicSet {
         assert_eq!(space.dim(), self.dim());
-        BasicSet {
-            space,
-            system: self.system.clone(),
+        let out = BasicSet::make(space, self.system.clone());
+        if let Some(b) = self.bbox.get() {
+            let _ = out.bbox.set(b.clone());
         }
+        out
+    }
+}
+
+/// One shared suffix sweep over a system: `levels[d]` (the system with
+/// all dimensions after `d` projected out) is built incrementally from
+/// `levels[d+1]` by eliminating one variable, and the range of dimension
+/// `d` then needs only the *leading* `d` eliminations of the
+/// already-shrunk `levels[d]`.
+fn compute_projection(sys: &System) -> ProjectionCache {
+    let n = sys.n_vars();
+    // Walk the suffix chain from the last dimension down; `cur` holds
+    // levels[d] (dims 0..=d) at the top of each iteration.
+    let mut levels = Vec::with_capacity(n);
+    let mut cur = sys.clone();
+    for d in (0..n).rev() {
+        levels.push(cur.clone());
+        if d > 0 {
+            cur = cur.eliminate(d); // cheap arity shrink when infeasible
+        }
+    }
+    levels.reverse(); // levels[d] over dims 0..=d
+    let mut empty = sys.known_infeasible();
+    let mut bbox: Vec<Option<(i64, i64)>> = Vec::with_capacity(n);
+    for (d, lvl) in levels.iter().enumerate() {
+        if empty || lvl.known_infeasible() {
+            empty = true;
+            bbox.push(Some((1, 0)));
+            continue;
+        }
+        let one = lvl.eliminate_range(0, d);
+        let r = if one.known_infeasible() {
+            Some((1, 0))
+        } else {
+            single_var_range(&one)
+        };
+        if matches!(r, Some((lo, hi)) if lo > hi) {
+            empty = true;
+        }
+        bbox.push(r);
+    }
+    // If any dimension came out empty the set is empty: canonicalize.
+    if empty {
+        bbox = vec![Some((1, 0)); n];
+    }
+    ProjectionCache { levels, bbox }
+}
+
+/// Extract `[lo, hi]` of the single remaining variable of a projected
+/// one-dimensional system; `None` when unbounded on either side.
+fn single_var_range(sys: &System) -> Option<(i64, i64)> {
+    use crate::constraint::ConstraintKind;
+    let mut lo: Option<i64> = None;
+    let mut hi: Option<i64> = None;
+    for c in sys.constraints() {
+        let a = c.expr.coeffs[0];
+        let k = c.expr.constant;
+        match c.kind {
+            ConstraintKind::Eq => {
+                // a*x + k = 0; normalized a > 0 and a | k.
+                let v = -k / a;
+                lo = Some(lo.map_or(v, |l| l.max(v)));
+                hi = Some(hi.map_or(v, |h| h.min(v)));
+            }
+            ConstraintKind::GeZero => {
+                if a > 0 {
+                    // x >= ceil(-k / a); normalization makes a == 1.
+                    let v = -(k.div_euclid(a));
+                    lo = Some(lo.map_or(v, |l| l.max(v)));
+                } else if a < 0 {
+                    let v = k.div_euclid(-a);
+                    hi = Some(hi.map_or(v, |h| h.min(v)));
+                }
+            }
+        }
+    }
+    match (lo, hi) {
+        (Some(l), Some(h)) => Some((l, h)),
+        _ => None,
     }
 }
 

@@ -5,9 +5,8 @@
 //! maps: intersection is concatenation, projection is FM elimination, and
 //! emptiness is full elimination down to constant rows.
 
-use crate::constraint::{Constraint, ConstraintKind, Normalized};
-use crate::linexpr::{combine, LinExpr};
-use std::collections::HashSet;
+use crate::constraint::{Constraint, ConstraintKind, NormalizeAction};
+use crate::linexpr::{clamp_i64, combine_skipping, LinExpr};
 
 /// A conjunction of affine constraints over `n_vars` variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,21 +53,24 @@ impl System {
         self.infeasible
     }
 
-    /// Add a constraint (normalizing it first).
-    pub fn add(&mut self, c: Constraint) {
+    /// Add a constraint (normalizing it first). Normalization happens in
+    /// place on the passed-in row — constraints are GCD-canonical from
+    /// the moment they enter a system, so later comparisons and
+    /// eliminations never re-normalize.
+    pub fn add(&mut self, mut c: Constraint) {
         assert_eq!(c.n_vars(), self.n_vars, "constraint arity mismatch");
         if self.infeasible {
             return;
         }
-        match c.normalize() {
-            Normalized::Trivial => {}
-            Normalized::Infeasible => {
+        match c.normalize_in_place() {
+            NormalizeAction::Trivial => {}
+            NormalizeAction::Infeasible => {
                 self.infeasible = true;
                 self.constraints.clear();
             }
-            Normalized::Keep(k) => {
-                if !self.constraints.contains(&k) {
-                    self.constraints.push(k);
+            NormalizeAction::Keep => {
+                if !self.constraints.contains(&c) {
+                    self.constraints.push(c);
                 }
             }
         }
@@ -135,75 +137,69 @@ impl System {
             let eqc = &self.constraints[pos];
             // c*x + e = 0 with c = ±1  =>  x = -e/c = -c*e (since c^2 = 1).
             let c = eqc.expr.coeffs[var];
-            let mut rhs = eqc.expr.clone();
-            rhs.coeffs[var] = 0;
-            let repl = rhs.scale(-c); // x = -c * e
+            let mut repl = eqc.expr.clone();
+            repl.coeffs[var] = 0;
+            repl.scale_assign(-c); // x = -c * e
             let mut out = System::universe(self.n_vars - 1);
             for (i, row) in self.constraints.iter().enumerate() {
                 if i == pos {
                     continue;
                 }
-                let substituted = row.expr.substitute(var, &repl);
                 out.add(Constraint {
                     kind: row.kind,
-                    expr: substituted.remove_var(var),
+                    expr: row.expr.substitute_skipping(var, &repl),
                 });
             }
             return out;
         }
 
-        // General case: split equalities into two inequalities, then pair.
-        let mut lowers: Vec<LinExpr> = Vec::new(); // a*x + e >= 0, a > 0
-        let mut uppers: Vec<LinExpr> = Vec::new(); // -b*x + f >= 0, b > 0
-        let mut rest: Vec<Constraint> = Vec::new();
-        for c in &self.constraints {
+        // General case: split equalities into two inequalities, then
+        // pair. Rows are referenced by index with an orientation sign, so
+        // setup clones nothing; every output row is built in exactly one
+        // allocation by `combine_skipping`.
+        let mut lowers: Vec<(usize, i64)> = Vec::new(); // sign*expr has coeff > 0 on var
+        let mut uppers: Vec<(usize, i64)> = Vec::new(); // sign*expr has coeff < 0 on var
+        let mut out = System::universe(self.n_vars - 1);
+        for (i, c) in self.constraints.iter().enumerate() {
             let k = c.expr.coeffs[var];
             if k == 0 {
-                rest.push(c.clone());
+                out.add(Constraint {
+                    kind: c.kind,
+                    expr: c.expr.remove_var(var),
+                });
+                if out.infeasible {
+                    return out;
+                }
                 continue;
             }
             match c.kind {
                 ConstraintKind::GeZero => {
                     if k > 0 {
-                        lowers.push(c.expr.clone());
+                        lowers.push((i, 1));
                     } else {
-                        uppers.push(c.expr.clone());
+                        uppers.push((i, 1));
                     }
                 }
                 ConstraintKind::Eq => {
                     // Orient so the variable has a positive coefficient in
                     // the lower-bound copy and negative in the upper copy.
-                    let pos = if k > 0 {
-                        c.expr.clone()
-                    } else {
-                        c.expr.scale(-1)
-                    };
-                    lowers.push(pos.clone());
-                    uppers.push(pos.scale(-1));
+                    let s = if k > 0 { 1 } else { -1 };
+                    lowers.push((i, s));
+                    uppers.push((i, -s));
                 }
             }
         }
-
-        let mut out = System::universe(self.n_vars - 1);
-        for c in rest {
-            out.add(Constraint {
-                kind: c.kind,
-                expr: c.expr.remove_var(var),
-            });
-            if out.infeasible {
-                return out;
-            }
-        }
-        for lo in &lowers {
-            let a = lo.coeffs[var];
+        for &(li, ls) in &lowers {
+            let lo = &self.constraints[li].expr;
+            let a = ls * lo.coeffs[var];
             debug_assert!(a > 0);
-            for up in &uppers {
-                let b = -up.coeffs[var];
+            for &(ui, us) in &uppers {
+                let up = &self.constraints[ui].expr;
+                let b = -(us * up.coeffs[var]);
                 debug_assert!(b > 0);
-                // b*lo + a*up eliminates x.
-                let comb = combine(lo, b, up, a);
-                debug_assert_eq!(comb.coeffs[var], 0);
-                out.add(Constraint::ge0(comb.remove_var(var)));
+                // b*(ls*lo) + a*(us*up) eliminates x.
+                let comb = combine_skipping(lo, b * ls, up, a * us, var);
+                out.add(Constraint::ge0(comb));
                 if out.infeasible {
                     return out;
                 }
@@ -251,108 +247,220 @@ impl System {
         if self.infeasible {
             return true;
         }
-        let mut sys = self.clone();
-        for _ in 0..self.n_vars {
-            sys = sys.eliminate(0);
-            if sys.infeasible {
-                return true;
-            }
+        // Sound early exit: interval propagation never flags a feasible
+        // system, and skipping the full elimination is a large win on the
+        // dependence/liveness systems that are empty for simple reasons.
+        if self.quick_infeasible() {
+            return true;
         }
-        sys.infeasible
+        // Full elimination in greedy order (unit-coefficient equalities
+        // substitute exactly before any Fourier–Motzkin pairing).
+        self.eliminate_range(0, self.n_vars).infeasible
     }
 
-    /// Cheap incomplete emptiness test: derive per-variable bounds from
-    /// rows with exactly one nonzero coefficient and report `true` if any
-    /// variable's interval is empty. Never returns `true` for a feasible
-    /// system; used to prune intersection unions before full FM.
+    /// Cheap incomplete emptiness test via bounded interval propagation:
+    /// every row tightens per-variable `[lo, hi]` bounds using the
+    /// current bounds of the other variables (i128 interval arithmetic,
+    /// ceil/floor rounding toward the integer hull), for a few rounds.
+    /// Never returns `true` for a feasible system; used to prune
+    /// intersection unions and lex joins before full FM elimination.
     pub fn quick_infeasible(&self) -> bool {
         if self.infeasible {
             return true;
         }
         let n = self.n_vars;
-        let mut lo = vec![i64::MIN; n];
-        let mut hi = vec![i64::MAX; n];
-        for c in &self.constraints {
-            let mut nz = None;
-            let mut many = false;
-            for (v, &k) in c.expr.coeffs.iter().enumerate() {
-                if k != 0 {
-                    if nz.is_some() {
-                        many = true;
-                        break;
+        if n == 0 {
+            return false;
+        }
+        let mut lo: Vec<Option<i64>> = vec![None; n];
+        let mut hi: Vec<Option<i64>> = vec![None; n];
+        for _round in 0..4 {
+            let mut changed = false;
+            for c in &self.constraints {
+                // Propagate `expr >= 0`; for equalities also `-expr >= 0`.
+                for sign in [1i64, -1] {
+                    if sign < 0 && c.kind != ConstraintKind::Eq {
+                        continue;
                     }
-                    nz = Some((v, k));
-                }
-            }
-            if many {
-                continue;
-            }
-            let Some((v, k)) = nz else { continue };
-            // Normalized rows have |k| == 1 for inequalities and a
-            // canonical positive leading coefficient for equalities that
-            // divides the constant.
-            match c.kind {
-                ConstraintKind::Eq => {
-                    if c.expr.constant % k == 0 {
-                        let val = -c.expr.constant / k;
-                        lo[v] = lo[v].max(val);
-                        hi[v] = hi[v].min(val);
-                    }
-                }
-                ConstraintKind::GeZero => {
-                    if k == 1 {
-                        lo[v] = lo[v].max(-c.expr.constant);
-                    } else if k == -1 {
-                        hi[v] = hi[v].min(c.expr.constant);
+                    if propagate_row(&c.expr, sign, &mut lo, &mut hi, &mut changed) {
+                        return true;
                     }
                 }
             }
-            if lo[v] > hi[v] {
-                return true;
+            if !changed {
+                break;
             }
         }
         false
     }
 
     /// Drop duplicate rows and inequalities dominated by a parallel row
-    /// with a tighter constant.
+    /// with a tighter constant. Works on sorted row indices, so no row is
+    /// cloned or hashed; first-occurrence order is preserved.
     pub fn prune_redundant(&mut self) {
         if self.infeasible {
             return;
         }
-        // Deduplicate exact rows.
-        let mut seen: HashSet<(bool, Vec<i64>, i64)> = HashSet::new();
-        let mut kept: Vec<Constraint> = Vec::new();
-        for c in &self.constraints {
-            let key = (
-                c.kind == ConstraintKind::Eq,
-                c.expr.coeffs.clone(),
-                c.expr.constant,
-            );
-            if seen.insert(key) {
-                kept.push(c.clone());
-            }
+        let rows = &self.constraints;
+        if rows.len() < 2 {
+            return;
         }
-        // For parallel inequalities a·x + c1 >= 0 and a·x + c2 >= 0 keep the
-        // tighter (smaller constant).
-        let mut best: Vec<Constraint> = Vec::new();
-        'outer: for c in &kept {
-            if c.kind == ConstraintKind::Eq {
-                best.push(c.clone());
-                continue;
-            }
-            for b in &mut best {
-                if b.kind == ConstraintKind::GeZero && b.expr.coeffs == c.expr.coeffs {
-                    if c.expr.constant < b.expr.constant {
-                        b.expr.constant = c.expr.constant;
-                    }
-                    continue 'outer;
+        // Sort indices so parallel rows (same kind + coefficients) are
+        // adjacent.
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (ca, cb) = (&rows[a], &rows[b]);
+            (ca.kind == ConstraintKind::Eq)
+                .cmp(&(cb.kind == ConstraintKind::Eq))
+                .then_with(|| ca.expr.coeffs.cmp(&cb.expr.coeffs))
+                .then_with(|| ca.expr.constant.cmp(&cb.expr.constant))
+        });
+        // For each group of parallel rows: equalities dedupe on exact
+        // match; inequalities keep one row at the earliest original
+        // position with the tightest (smallest) constant.
+        let mut keep_at: Vec<Option<i64>> = vec![None; rows.len()]; // idx -> constant to keep
+        let mut g = 0;
+        while g < order.len() {
+            let start = g;
+            let c0 = &rows[order[start]];
+            let mut end = start + 1;
+            while end < order.len() {
+                let c = &rows[order[end]];
+                if c.kind == c0.kind && c.expr.coeffs == c0.expr.coeffs {
+                    end += 1;
+                } else {
+                    break;
                 }
             }
-            best.push(c.clone());
+            if c0.kind == ConstraintKind::Eq {
+                // Exact duplicates are adjacent (sorted by constant too).
+                let mut i = start;
+                while i < end {
+                    let k = rows[order[i]].expr.constant;
+                    let mut first = order[i];
+                    let mut j = i;
+                    while j < end && rows[order[j]].expr.constant == k {
+                        first = first.min(order[j]);
+                        j += 1;
+                    }
+                    keep_at[first] = Some(k);
+                    i = j;
+                }
+            } else {
+                let mut first = order[start];
+                let mut tightest = rows[order[start]].expr.constant;
+                for &idx in &order[start + 1..end] {
+                    first = first.min(idx);
+                    tightest = tightest.min(rows[idx].expr.constant);
+                }
+                keep_at[first] = Some(tightest);
+            }
+            g = end;
         }
-        self.constraints = best;
+        let mut out = Vec::with_capacity(rows.len());
+        for (i, c) in self.constraints.drain(..).enumerate() {
+            if let Some(k) = keep_at[i] {
+                let mut c = c;
+                c.expr.constant = k;
+                out.push(c);
+            }
+        }
+        self.constraints = out;
     }
+}
+
+/// One propagation step for the row `sign * expr >= 0` (`sign` is ±1;
+/// −1 is only used for equalities): for every variable with a nonzero
+/// coefficient, derive the bound implied by the current intervals of the
+/// other variables. Returns `true` when some interval becomes empty.
+fn propagate_row(
+    expr: &LinExpr,
+    sign: i64,
+    lo: &mut [Option<i64>],
+    hi: &mut [Option<i64>],
+    changed: &mut bool,
+) -> bool {
+    // Row: sum_v cv*x_v + k >= 0 with cv = sign*coeffs[v]. For a target
+    // v this gives cv*x_v >= -k - S with S = sum_{u≠v} cu*x_u, so a valid
+    // bound substitutes the box maximum of S. The per-u maxima are summed
+    // once; each target subtracts its own term.
+    let mut unbounded = 0usize;
+    let mut unbounded_at = usize::MAX;
+    let mut smax: i128 = 0;
+    for (u, &c) in expr.coeffs.iter().enumerate() {
+        let cu = sign * c;
+        if cu == 0 {
+            continue;
+        }
+        let term = if cu > 0 { hi[u] } else { lo[u] };
+        match term {
+            // i64×i64 products always fit i128; the running sum is
+            // checked so an (astronomically unlikely) overflow panics
+            // loudly instead of silently misclassifying a feasible
+            // system — matching the crate's checked-arithmetic
+            // convention.
+            Some(b) => {
+                smax = smax
+                    .checked_add(cu as i128 * b as i128)
+                    .expect("interval propagation overflow");
+            }
+            None => {
+                unbounded += 1;
+                unbounded_at = u;
+                if unbounded > 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    let k = (sign as i128) * (expr.constant as i128);
+    for (v, &c) in expr.coeffs.iter().enumerate() {
+        let cv = sign * c;
+        if cv == 0 {
+            continue;
+        }
+        let s_excl = if unbounded == 0 {
+            let own = if cv > 0 { hi[v] } else { lo[v] };
+            match own {
+                Some(b) => smax
+                    .checked_sub(cv as i128 * b as i128)
+                    .expect("interval propagation overflow"),
+                None => smax,
+            }
+        } else if unbounded_at == v {
+            smax
+        } else {
+            // Some *other* variable is unbounded: no bound for v.
+            continue;
+        };
+        // cv * x_v >= rhs
+        let rhs = k
+            .checked_add(s_excl)
+            .and_then(i128::checked_neg)
+            .expect("interval propagation overflow");
+        if cv > 0 {
+            // x_v >= ceil(rhs / cv)
+            let b = clamp_i64(-((-rhs).div_euclid(cv as i128)));
+            if lo[v].is_none_or(|cur| b > cur) {
+                lo[v] = Some(b);
+                *changed = true;
+                if hi[v].is_some_and(|h| b > h) {
+                    return true;
+                }
+            }
+        } else {
+            // x_v <= floor(rhs / cv) = floor(-rhs / -cv)
+            let b = clamp_i64((-rhs).div_euclid(-(cv as i128)));
+            if hi[v].is_none_or(|cur| b < cur) {
+                hi[v] = Some(b);
+                *changed = true;
+                if lo[v].is_some_and(|l| b < l) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
 }
 
 /// Choose which of `remaining` to eliminate next (index *into*

@@ -166,6 +166,68 @@ proptest! {
         prop_assert!(!img.contains(&[n * n * n]));
     }
 
+    /// GCD normalization preserves integer semantics: a constraint with
+    /// all coefficients scaled by a common factor holds at exactly the
+    /// same integer points as its normalized form (integer tightening of
+    /// the constant included).
+    #[test]
+    fn normalized_constraint_equivalent_to_unnormalized(
+        coeffs in proptest::collection::vec(-3i64..4, 3),
+        k in -9i64..10,
+        g in 1i64..5,
+        is_eq in proptest::bool::ANY,
+    ) {
+        use polyhedra::constraint::Normalized;
+        let scaled: Vec<i64> = coeffs.iter().map(|c| c * g).collect();
+        let e = LinExpr::new(&scaled, k);
+        let c = if is_eq { Constraint::eq(e) } else { Constraint::ge0(e) };
+        let probe = BasicSet::boxed(space(3), &[(-4, 4), (-4, 4), (-4, 4)]);
+        match c.normalize() {
+            Normalized::Keep(n) => {
+                for p in probe.points() {
+                    prop_assert_eq!(
+                        c.holds(&p), n.holds(&p),
+                        "normalize changed semantics at {:?}: {} vs {}", p, c, n
+                    );
+                }
+            }
+            Normalized::Trivial => {
+                for p in probe.points() {
+                    prop_assert!(c.holds(&p), "trivial constraint fails at {:?}", p);
+                }
+            }
+            Normalized::Infeasible => {
+                for p in probe.points() {
+                    prop_assert!(!c.holds(&p), "infeasible constraint holds at {:?}", p);
+                }
+            }
+        }
+    }
+
+    /// The cached shared-sweep `dim_range` agrees with the uncached seed
+    /// implementation (full per-dimension FM re-projection) on random
+    /// bounded sets.
+    #[test]
+    fn cached_dim_range_matches_uncached(bounds in small_box(3), c in small_constraint(3)) {
+        use polyhedra::points::{dim_range, dim_range_uncached};
+        let b = BasicSet::boxed(space(3), &bounds).constrain(c);
+        for d in 0..3 {
+            let cached = dim_range(&b, d);
+            let seed = dim_range_uncached(&b, d);
+            // Both must agree on emptiness; on non-empty sets the ranges
+            // must be identical.
+            let empty = |r: Option<(i64, i64)>| matches!(r, Some((lo, hi)) if lo > hi);
+            if empty(cached) || empty(seed) {
+                prop_assert!(
+                    empty(cached) && empty(seed),
+                    "dim {}: cached {:?} vs uncached {:?}", d, cached, seed
+                );
+            } else {
+                prop_assert_eq!(cached, seed, "dim {}", d);
+            }
+        }
+    }
+
     /// lex_lt over random tuples is a strict total order.
     #[test]
     fn lex_total_order(

@@ -22,7 +22,7 @@
 
 use crate::model::KernelModel;
 use crate::schedule::Schedule;
-use polyhedra::{between_set, lex_le_map, BasicSet, LinExpr, Map, Set, Space};
+use polyhedra::{between_set, BasicSet, LinExpr, Map, Set, Space};
 use std::collections::HashMap;
 use teil::ir::{Module, TensorKind};
 use teil::layout::ArrayId;
@@ -51,6 +51,10 @@ impl Liveness {
         let mut live = HashMap::new();
         let mut writes_at = HashMap::new();
         let mut reads_at = HashMap::new();
+        // Per-statement schedule maps are array-independent: build once.
+        let stmt_maps: Vec<Map> = (0..model.stmts.len())
+            .map(|si| sched.stmt_map(model, si))
+            .collect();
 
         for &arr in &arrays {
             let arr_decl = &layout.arrays[arr.0];
@@ -61,8 +65,7 @@ impl Liveness {
             let mut a = Map::empty(arr_space.clone(), Space::anon(dim));
             for (si, stmt) in model.stmts.iter().enumerate() {
                 if stmt.write_array == arr {
-                    let sm = sched.stmt_map(model, si);
-                    a = a.union(&stmt.write.reverse().compose(&sm));
+                    a = a.union(&stmt.write.reverse().compose(&stmt_maps[si]));
                 }
             }
             // Virtual write for host-written (input) tensors.
@@ -73,10 +76,9 @@ impl Liveness {
             // B : array[addr] → read schedule tuples.
             let mut b = Map::empty(arr_space.clone(), Space::anon(dim));
             for (si, stmt) in model.stmts.iter().enumerate() {
-                let sm = sched.stmt_map(model, si);
                 for (ra, rm) in &stmt.reads {
                     if *ra == arr {
-                        b = b.union(&rm.reverse().compose(&sm));
+                        b = b.union(&rm.reverse().compose(&stmt_maps[si]));
                     }
                 }
             }
@@ -85,9 +87,15 @@ impl Liveness {
                 b = b.union(&const_map(&arr_space, &arr_dom, &sched.last_tuple()));
             }
 
-            // P : write tuple → read tuple over the same element, forward
-            // intervals only.
-            let p = a.reverse().compose(&b).intersect(&lex_le_map(dim));
+            // P : write tuple → read tuple over the same element. The
+            // seed additionally intersected with `lex_le_map(dim)` to
+            // keep forward intervals only; that conjunct is implied
+            // inside `between_set` (w <=lex x <=lex r forces w <=lex r by
+            // transitivity of the total lex order, and backward pairs
+            // expand to empty parts that `prune_empty` drops), so it is
+            // omitted — it multiplied the part count by dim+1 before the
+            // expensive ge_le expansion.
+            let p = a.reverse().compose(&b);
             let l = between_set(&p, dim).prune_empty();
 
             writes_at.insert(arr, a.range().prune_empty());

@@ -19,7 +19,9 @@ pub struct Criterion {
 impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group: {name}");
-        BenchmarkGroup { sample_size: 30 }
+        BenchmarkGroup {
+            sample_size: default_samples(30),
+        }
     }
 
     pub fn bench_function(
@@ -27,9 +29,24 @@ impl Criterion {
         name: impl AsRef<str>,
         f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        run_one(name.as_ref(), 30, f);
+        run_one(name.as_ref(), default_samples(30), f);
         self
     }
+}
+
+/// Sample-count override for CI smoke runs: `CRITERION_SAMPLES=N` caps
+/// every benchmark (including explicit `sample_size` calls) at `N`
+/// batches, so bench binaries can be exercised cheaply without changing
+/// their code.
+fn sample_cap() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+fn default_samples(n: usize) -> usize {
+    sample_cap().map_or(n, |cap| n.min(cap))
 }
 
 /// A named group of benchmarks sharing a sample size.
@@ -41,7 +58,7 @@ pub struct BenchmarkGroup {
 impl BenchmarkGroup {
     /// Number of timed batches per benchmark (criterion's sample count).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = default_samples(n.max(1));
         self
     }
 

@@ -5,6 +5,18 @@
 //! accelerator model, the full-system simulation) is validated against it.
 //! The operation counts it produces feed the ARM software cost model of
 //! the `zynq` crate.
+//!
+//! # Execution strategy
+//!
+//! [`Interpreter::run`] walks each statement's iteration space with a
+//! **flat counter and pre-resolved affine offsets**: every tensor access
+//! is compiled once per statement into per-iteration-variable stride
+//! weights, and the odometer advance updates one flat offset per access
+//! by a precomputed delta — the element access path performs no
+//! multi-index arithmetic and **zero heap allocations**. The seed
+//! multi-index walk is kept as [`Interpreter::run_reference`]; the two
+//! are bit-identical in results and operation counts (enforced by
+//! `tests/interp_equiv.rs`).
 
 use crate::ir::{Module, PointExpr, Stmt, TensorKind};
 use cfdlang::BinOp;
@@ -38,6 +50,7 @@ impl Tensor {
     }
 
     /// Number of elements.
+    #[inline]
     pub fn volume(&self) -> usize {
         self.data.len()
     }
@@ -47,19 +60,29 @@ impl Tensor {
         row_major_strides(&self.shape)
     }
 
-    /// Flat offset of a multi-index.
+    /// Flat offset of a multi-index. Folds the row-major strides on the
+    /// fly from the innermost dimension outward — no stride vector is
+    /// materialized, so element access never touches the heap.
+    #[inline]
     pub fn offset(&self, idx: &[usize]) -> usize {
         debug_assert_eq!(idx.len(), self.shape.len());
-        let strides = self.strides();
-        idx.iter().zip(&strides).map(|(i, s)| i * s).sum()
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for d in (0..self.shape.len()).rev() {
+            off += idx[d] * stride;
+            stride *= self.shape[d];
+        }
+        off
     }
 
     /// Element access by multi-index.
+    #[inline]
     pub fn get(&self, idx: &[usize]) -> f64 {
         self.data[self.offset(idx)]
     }
 
     /// Mutable element access by multi-index.
+    #[inline]
     pub fn set(&mut self, idx: &[usize], v: f64) {
         let o = self.offset(idx);
         self.data[o] = v;
@@ -89,6 +112,9 @@ pub fn row_major_strides(shape: &[usize]) -> Vec<usize> {
 }
 
 /// Advance a multi-index odometer-style; wraps to all-zero at the end.
+/// Mutates the caller's index buffer in place — a full iteration-space
+/// walk reuses one buffer and never allocates.
+#[inline]
 pub fn advance(idx: &mut [usize], shape: &[usize]) {
     for d in (0..idx.len()).rev() {
         idx[d] += 1;
@@ -159,7 +185,33 @@ impl<'m> Interpreter<'m> {
 
     /// Execute the module on the given inputs (by tensor name). Every
     /// input tensor must be provided with the declared shape.
+    ///
+    /// Uses the flat-walk engine: per statement, accesses are compiled to
+    /// flat affine offsets updated by delta strides as the iteration
+    /// odometer advances. Results and operation counts are bit-identical
+    /// to [`Interpreter::run_reference`].
     pub fn run(&self, inputs: &HashMap<String, Tensor>) -> Result<Execution, String> {
+        let mut values = self.bind_inputs(inputs)?;
+        let mut stats = ExecStats::default();
+        for stmt in &self.module.stmts {
+            self.exec_stmt_flat(stmt, &mut values, &mut stats)?;
+        }
+        Ok(Execution { values, stats })
+    }
+
+    /// Execute with the seed multi-index walk (`advance` + per-access
+    /// offset recomputation). Kept as the oracle the flat path is
+    /// validated against.
+    pub fn run_reference(&self, inputs: &HashMap<String, Tensor>) -> Result<Execution, String> {
+        let mut values = self.bind_inputs(inputs)?;
+        let mut stats = ExecStats::default();
+        for stmt in &self.module.stmts {
+            self.exec_stmt(stmt, &mut values, &mut stats)?;
+        }
+        Ok(Execution { values, stats })
+    }
+
+    fn bind_inputs(&self, inputs: &HashMap<String, Tensor>) -> Result<Vec<Tensor>, String> {
         let m = self.module;
         let mut values: Vec<Tensor> = Vec::with_capacity(m.tensors.len());
         for decl in &m.tensors {
@@ -179,11 +231,67 @@ impl<'m> Interpreter<'m> {
                 _ => values.push(Tensor::zeros(&decl.shape)),
             }
         }
-        let mut stats = ExecStats::default();
-        for stmt in &m.stmts {
-            self.exec_stmt(stmt, &mut values, &mut stats)?;
+        Ok(values)
+    }
+
+    /// Flat-walk execution of one statement: the expression tree is
+    /// compiled once (index maps → per-iteration-variable stride
+    /// weights), and the walk advances one flat offset per access by a
+    /// precomputed delta per odometer step — the inner loop does no
+    /// index-vector arithmetic and no allocation.
+    fn exec_stmt_flat(
+        &self,
+        stmt: &Stmt,
+        values: &mut [Tensor],
+        stats: &mut ExecStats,
+    ) -> Result<(), String> {
+        let m = self.module;
+        let out_shape = m.shape(stmt.out).to_vec();
+        let out_rank = out_shape.len();
+        let ext = m.iter_extents(stmt);
+        let rank = ext.len();
+        let out_vol: usize = out_shape.iter().product();
+        let red_vol: usize = stmt.reduce_extents.iter().product();
+
+        let mut plans: Vec<AccessPlan> = Vec::new();
+        let cexpr = compile_expr(&stmt.expr, values, &ext, &mut plans);
+        // Per-plan rollover sums: rs[j] = Σ_{w ≥ j} (ext[w]-1)·weight[w],
+        // so the delta of incrementing digit j (digits j+1..end rolling
+        // to zero) is weight[j] - (rs[j+1] - rs[end]).
+        for p in &mut plans {
+            let mut rs = vec![0i64; rank + 1];
+            for j in (0..rank).rev() {
+                rs[j] = rs[j + 1] + (ext[j] as i64 - 1) * p.weights[j];
+            }
+            p.roll_sums = rs;
         }
-        Ok(Execution { values, stats })
+
+        let mut result = Tensor::zeros(&out_shape);
+        let mut idx = vec![0usize; rank];
+        let mut offs: Vec<usize> = vec![0; plans.len()];
+        let is_reduction = stmt.is_reduction();
+        for o in 0..out_vol {
+            let mut acc = 0.0f64;
+            for _ in 0..red_vol.max(1) {
+                let v = eval_flat(&cexpr, &offs, values, stats);
+                if is_reduction {
+                    acc += v;
+                    stats.fp_add += 1;
+                } else {
+                    acc = v;
+                }
+                stats.iters += 1;
+                // Advance the reduction part of the odometer, sliding
+                // every access offset by its delta.
+                advance_region(&mut idx, &ext, out_rank, rank, &plans, &mut offs);
+            }
+            result.data[o] = acc;
+            stats.stores += 1;
+            // Advance the output part (reduction digits are all zero).
+            advance_region(&mut idx, &ext, 0, out_rank, &plans, &mut offs);
+        }
+        values[stmt.out.0] = result;
+        Ok(())
     }
 
     fn exec_stmt(
@@ -241,6 +349,136 @@ fn eval(m: &Module, e: &PointExpr, idx: &[usize], values: &[Tensor], stats: &mut
         PointExpr::Bin { op, lhs, rhs } => {
             let a = eval(m, lhs, idx, values, stats);
             let b = eval(m, rhs, idx, values, stats);
+            match op {
+                BinOp::Add => {
+                    stats.fp_add += 1;
+                    a + b
+                }
+                BinOp::Sub => {
+                    stats.fp_sub += 1;
+                    a - b
+                }
+                BinOp::Mul => {
+                    stats.fp_mul += 1;
+                    a * b
+                }
+                BinOp::Div => {
+                    stats.fp_div += 1;
+                    a / b
+                }
+            }
+        }
+    }
+}
+
+/// One compiled tensor access: the flat affine image of the iteration
+/// vector under the access's index map and the operand's row-major
+/// layout.
+#[derive(Debug)]
+struct AccessPlan {
+    /// `weights[v]` — stride contribution of iteration variable `v` to
+    /// the flat offset (a variable indexing several operand dims sums
+    /// their strides).
+    weights: Vec<i64>,
+    /// Suffix rollover sums over the full iteration rank (see
+    /// `exec_stmt_flat`).
+    roll_sums: Vec<i64>,
+}
+
+/// Expression tree with accesses resolved to offset slots.
+#[derive(Debug)]
+enum FlatExpr {
+    Const(f64),
+    Access {
+        tensor: usize,
+        slot: usize,
+    },
+    Bin {
+        op: BinOp,
+        lhs: Box<FlatExpr>,
+        rhs: Box<FlatExpr>,
+    },
+}
+
+/// Compile a [`PointExpr`] tree: each access gets an [`AccessPlan`] (in
+/// evaluation order) and a slot into the shared offset vector.
+fn compile_expr(
+    e: &PointExpr,
+    values: &[Tensor],
+    ext: &[usize],
+    plans: &mut Vec<AccessPlan>,
+) -> FlatExpr {
+    match e {
+        PointExpr::Const(c) => FlatExpr::Const(*c),
+        PointExpr::Access { tensor, index_map } => {
+            let strides = row_major_strides(&values[tensor.0].shape);
+            let mut weights = vec![0i64; ext.len()];
+            for (d, &v) in index_map.iter().enumerate() {
+                weights[v] += strides[d] as i64;
+            }
+            let slot = plans.len();
+            plans.push(AccessPlan {
+                weights,
+                roll_sums: Vec::new(),
+            });
+            FlatExpr::Access {
+                tensor: tensor.0,
+                slot,
+            }
+        }
+        PointExpr::Bin { op, lhs, rhs } => FlatExpr::Bin {
+            op: *op,
+            lhs: Box::new(compile_expr(lhs, values, ext, plans)),
+            rhs: Box::new(compile_expr(rhs, values, ext, plans)),
+        },
+    }
+}
+
+/// Odometer advance over digits `[base, end)` of `idx`, applying each
+/// access's offset delta for the digit that increments (and the digits
+/// that roll over). Wrapping the whole region subtracts the full region
+/// roll sum — offsets return to the region's all-zero state exactly.
+#[inline]
+fn advance_region(
+    idx: &mut [usize],
+    ext: &[usize],
+    base: usize,
+    end: usize,
+    plans: &[AccessPlan],
+    offs: &mut [usize],
+) {
+    let mut d = end;
+    while d > base {
+        d -= 1;
+        idx[d] += 1;
+        if idx[d] < ext[d] {
+            for (p, o) in plans.iter().zip(offs.iter_mut()) {
+                let delta = p.weights[d] - (p.roll_sums[d + 1] - p.roll_sums[end]);
+                *o = (*o as i64 + delta) as usize;
+            }
+            return;
+        }
+        idx[d] = 0;
+    }
+    // Full wrap of the region.
+    for (p, o) in plans.iter().zip(offs.iter_mut()) {
+        *o = (*o as i64 - (p.roll_sums[base] - p.roll_sums[end])) as usize;
+    }
+}
+
+/// Evaluate a compiled expression at the current offsets. Mirrors `eval`
+/// exactly (same traversal order, same operation counting), but every
+/// access is a single indexed load.
+fn eval_flat(e: &FlatExpr, offs: &[usize], values: &[Tensor], stats: &mut ExecStats) -> f64 {
+    match e {
+        FlatExpr::Const(c) => *c,
+        FlatExpr::Access { tensor, slot } => {
+            stats.loads += 1;
+            values[*tensor].data[offs[*slot]]
+        }
+        FlatExpr::Bin { op, lhs, rhs } => {
+            let a = eval_flat(lhs, offs, values, stats);
+            let b = eval_flat(rhs, offs, values, stats);
             match op {
                 BinOp::Add => {
                     stats.fp_add += 1;

@@ -61,8 +61,18 @@ fn dse_sweep_compiles_shared_stages_exactly_once() {
     assert_eq!(report.counts.frontend, 1, "frontend must compile once");
     assert_eq!(report.counts.middle_end, 1, "middle end must compile once");
     assert_eq!(report.counts.schedule, 1, "scheduler must run once");
-    assert_eq!(report.counts.backend, report.evaluated);
+    // Backends are memoized on (sharing, decoupled, partition): the
+    // default grid's 32 points need only 4 backend compilations.
+    assert_eq!(report.counts.backend, report.backend_compiles);
+    assert_eq!(report.backend_compiles, 4);
+    assert_eq!(
+        report.backend_reuses,
+        report.evaluated - report.backend_compiles
+    );
     assert_eq!(report.counts.system, report.evaluated);
+    // Per-point timing is tracked for the perf baseline.
+    assert!(report.eval_total_s > 0.0);
+    assert!(report.eval_max_s >= report.eval_mean_s);
 
     // Paper headline: with sharing the 16-kernel configuration fits.
     assert!(report.feasible >= 16);
