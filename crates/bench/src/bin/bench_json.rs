@@ -1,19 +1,22 @@
 //! Machine-readable perf baseline emitter.
 //!
 //! Times the hot paths this repository optimizes — compiler stages,
-//! interpreter, full-system simulation, and the DSE sweep — and writes
-//! `BENCH_pr2.json` (schema documented in README.md, "Reading
+//! interpreter, full-system simulation, the DSE sweep, and the
+//! multi-kernel program flow — and writes `BENCH_pr3.json` (schema
+//! `cfdfpga-bench-v1`, documented in README.md, "Reading
 //! `BENCH_*.json`"). The committed file carries both the numbers of the
-//! tree it was generated from (`current`) and the frozen pre-PR-2 seed
-//! medians (`baseline_pr1`, measured on the same machine before the
-//! hot-path overhaul), so the perf trajectory is tracked in-repo and
-//! regressions are diffable.
+//! tree it was generated from and the frozen PR-2 medians
+//! (`baseline_pr2`, lifted from the committed `BENCH_pr2.json`), so the
+//! perf trajectory is tracked in-repo and regressions are diffable.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr2.json
+//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr3.json
 //! cargo run --release -p bench --bin bench_json -- --smoke # 3 samples, stdout only
+//! cargo run --release -p bench --bin bench_json -- --check # CI gate: committed
+//!                        # BENCH_pr3.json medians vs BENCH_pr2.json, >20% fails
 //! ```
 
+use cfd_core::program::{ProgramFlow, ProgramOptions};
 use cfd_core::FlowOptions;
 use pschedule::{Dependences, KernelModel, Liveness, SchedulerOptions};
 use std::collections::HashMap;
@@ -21,32 +24,18 @@ use std::time::Instant;
 use teil::interp::{Interpreter, Tensor};
 use teil::layout::LayoutPlan;
 
-/// Seed (pre-PR-2) medians in nanoseconds, measured with the same
-/// harness on the commit before the hot-path overhaul. Frozen here so
-/// every regeneration of the JSON keeps the before/after comparison.
-const BASELINE_PR1_NS: &[(&str, u64)] = &[
-    ("compiler/parse_and_check", 7_484),
-    ("compiler/lower", 1_977),
-    ("compiler/factorize", 2_440),
-    ("compiler/polyhedral_model", 66_724),
-    ("compiler/dependence_analysis", 754_219),
-    ("compiler/reschedule", 1_712_000),
-    ("compiler/liveness", 267_712_000),
-    ("compiler/codegen_c99", 21_427),
-    ("ablation/flow_factored", 279_984_000),
-    ("ablation/flow_naive", 726_237_000),
-    ("fig9/simulate_k1", 199_659),
-    ("fig9/simulate_k16", 98_607),
-];
-
 struct Args {
     samples: usize,
     out: Option<String>,
+    /// `--check`: compare committed BENCH_pr3.json against the frozen
+    /// BENCH_pr2.json baselines instead of measuring.
+    check: bool,
 }
 
 fn parse_args() -> Args {
     let mut samples = 9usize;
-    let mut out = Some("BENCH_pr2.json".to_string());
+    let mut out = Some("BENCH_pr3.json".to_string());
+    let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -58,13 +47,101 @@ fn parse_args() -> Args {
                 samples = it.next().and_then(|v| v.parse().ok()).expect("--samples N");
             }
             "-o" | "--out" => out = Some(it.next().expect("-o PATH")),
+            "--check" => check = true,
             other => panic!("unknown argument '{other}'"),
         }
     }
     Args {
         samples: samples.max(1),
         out,
+        check,
     }
+}
+
+/// Extract `(name, median_ns)` pairs from a `cfdfpga-bench-v1` JSON
+/// file's `benches` array (hand-rolled — the dependency set has no
+/// serde_json).
+fn read_bench_medians(path: &str) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read '{path}': {e} (run bench_json to generate it)"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = &rest[..name_end];
+        let Some(med_at) = line.find("\"median_ns\": ") else {
+            continue;
+        };
+        let digits: String = line[med_at + 13..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(ns) = digits.parse::<u64>() {
+            out.push((name.to_string(), ns));
+        }
+    }
+    out
+}
+
+/// CI regression gate: every bench name present in both committed files
+/// must not have regressed by more than 20% from PR 2 to PR 3. Purely
+/// file-vs-file (deterministic — no timing in CI).
+fn run_check() -> ! {
+    let baseline = read_bench_medians("BENCH_pr2.json");
+    let current = read_bench_medians("BENCH_pr3.json");
+    assert!(!baseline.is_empty(), "no benches in BENCH_pr2.json");
+    assert!(!current.is_empty(), "no benches in BENCH_pr3.json");
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    let mut missing = Vec::new();
+    for (name, base_ns) in &baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            // A baseline path that vanished from the current file would
+            // silently escape the gate — treat it as a failure so
+            // renames/drops are conscious decisions.
+            missing.push(name.clone());
+            continue;
+        };
+        compared += 1;
+        let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
+        let verdict = if ratio > 1.20 {
+            failures.push(name.clone());
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name}: {:.3} ms -> {:.3} ms ({:+.1}%) {verdict}",
+            *base_ns as f64 / 1e6,
+            *cur_ns as f64 / 1e6,
+            (ratio - 1.0) * 100.0,
+        );
+    }
+    assert!(compared > 0, "no overlapping bench names to compare");
+    if failures.is_empty() && missing.is_empty() {
+        println!("bench check: {compared} medians within 20% of BENCH_pr2.json");
+        std::process::exit(0)
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "bench check FAILED: {} medians regressed >20%: {}",
+            failures.len(),
+            failures.join(", ")
+        );
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "bench check FAILED: {} baseline benches missing from BENCH_pr3.json: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+    }
+    std::process::exit(1)
 }
 
 /// Median wall time of `f` over `samples` runs, in nanoseconds.
@@ -83,6 +160,9 @@ fn median_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> u64 {
 
 fn main() {
     let args = parse_args();
+    if args.check {
+        run_check();
+    }
     let samples = args.samples;
     let mut rows: Vec<(String, u64, usize)> = Vec::new();
     let mut push = |name: &str, ns: u64, n: usize| {
@@ -222,11 +302,39 @@ fn main() {
     let sweep_ns = t.elapsed().as_nanos() as u64;
     push("dse/sweep_32pt_wall", sweep_ns, 1);
 
+    // --- Multi-kernel program flow: the whole simulation_step chain
+    // (interpolation → inverse Helmholtz → projection) compiled into
+    // one shared-memory system, plus its chained simulation.
+    println!("multi-kernel program (simulation_step, p = 7):");
+    let psrc = cfdlang::examples::simulation_step(7);
+    let popts = ProgramOptions::default();
+    push(
+        "program/compile_simstep",
+        median_ns(samples, || ProgramFlow::compile(&psrc, &popts).unwrap()),
+        samples,
+    );
+    let part = ProgramFlow::compile(&psrc, &popts).unwrap();
+    let psys = part.system.as_ref().expect("program fits");
+    push(
+        "program/simulate_simstep",
+        median_ns(samples, || {
+            zynq::simulate_program(
+                psys,
+                &zynq::SimConfig {
+                    elements: 4_000,
+                    ..Default::default()
+                },
+            )
+        }),
+        samples,
+    );
+    let program_brams = (part.memory.brams, part.per_kernel_plm_brams());
+
     // --- Emit JSON.
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"cfdfpga-bench-v1\",\n");
-    s.push_str("  \"pr\": 2,\n");
+    s.push_str("  \"pr\": 3,\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str("  \"benches\": [\n");
     for (i, (name, ns, n)) in rows.iter().enumerate() {
@@ -250,15 +358,18 @@ fn main() {
         report.eval_max_s,
         report.wall_s,
     ));
-    s.push_str("  \"baseline_pr1\": {\n");
-    for (i, (name, ns)) in BASELINE_PR1_NS.iter().enumerate() {
+    s.push_str(&format!(
+        "  \"program\": {{\"kernels\": 3, \"plm_brams_shared\": {}, \"plm_brams_concat\": {}}},\n",
+        program_brams.0, program_brams.1
+    ));
+    // Freeze the PR-2 medians from the committed file so the
+    // before/after comparison travels with this one.
+    let baseline_pr2 = read_bench_medians("BENCH_pr2.json");
+    s.push_str("  \"baseline_pr2\": {\n");
+    for (i, (name, ns)) in baseline_pr2.iter().enumerate() {
         s.push_str(&format!(
             "    \"{name}\": {ns}{}\n",
-            if i + 1 == BASELINE_PR1_NS.len() {
-                ""
-            } else {
-                ","
-            }
+            if i + 1 == baseline_pr2.len() { "" } else { "," }
         ));
     }
     s.push_str("  }\n}\n");

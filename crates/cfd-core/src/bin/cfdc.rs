@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! cfdc compile  <file.cfd> [--no-factorize] [--no-sharing] [--no-decouple]
+//!               [--no-cross-sharing] [--kernel NAME]
 //!               [--emit c|host|ir|dot|report|memory|all] [-o DIR]
-//! cfdc simulate <file.cfd> [--elements N] [--k K] [--m M]
-//! cfdc verify   <file.cfd> [--elements N] [--seed S]
+//! cfdc simulate <file.cfd> [--elements N] [--k K] [--m M] [--kernel NAME]
+//! cfdc verify   <file.cfd> [--elements N] [--seed S] [--kernel NAME]
 //! cfdc explore  <file.cfd> [--grid] [--jobs N] [--json] [--elements N]
 //! ```
 //!
@@ -13,14 +14,23 @@
 //! staged pipeline — the frontend and middle end compile once, the
 //! per-point backend/system stages fan out over `--jobs` workers.
 //!
+//! **Multi-kernel programs** (sources with `kernel name { ... }` blocks)
+//! compile as a whole into one shared-memory accelerator system —
+//! `compile` prints per-kernel *and* aggregate resource tables,
+//! `simulate`/`verify` run the chained execution, `explore --grid`
+//! sweeps joint design points. `--kernel NAME` instead selects one
+//! kernel of the program and compiles it alone.
+//!
 //! `<file.cfd>` may be a path or one of the built-in kernels:
-//! `helmholtz[:p]`, `interpolation[:n:m]`, `sandwich[:n]`, `axpy[:n]`.
+//! `helmholtz[:p]`, `interpolation[:n:m]`, `sandwich[:n]`, `axpy[:n]`,
+//! or the built-in programs `simstep[:p]`, `axpychain[:n]`.
 
-use cfd_core::dse::{DseEngine, DseGrid};
+use cfd_core::dse::{DseEngine, DseGrid, ProgramDseEngine};
+use cfd_core::program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 use cfd_core::{Flow, FlowOptions};
 use mnemosyne::MemoryOptions;
 use std::process::exit;
-use sysgen::SystemConfig;
+use sysgen::{ProgramSystemConfig, SystemConfig};
 use zynq::SimConfig;
 
 fn main() {
@@ -45,12 +55,16 @@ fn usage() -> ! {
     eprintln!(
         "cfdc — CFDlang-to-FPGA flow\n\n\
          USAGE:\n\
-         \tcfdc compile  <kernel> [--no-factorize] [--no-sharing] [--no-decouple] [--emit WHAT] [-o DIR]\n\
-         \tcfdc simulate <kernel> [--elements N] [--k K] [--m M]\n\
-         \tcfdc verify   <kernel> [--elements N] [--seed S]\n\
+         \tcfdc compile  <kernel> [--no-factorize] [--no-sharing] [--no-decouple] [--no-cross-sharing]\n\
+         \t              [--kernel NAME] [--emit WHAT] [-o DIR]\n\
+         \tcfdc simulate <kernel> [--elements N] [--k K] [--m M] [--kernel NAME]\n\
+         \tcfdc verify   <kernel> [--elements N] [--seed S] [--kernel NAME]\n\
          \tcfdc explore  <kernel> [--grid] [--jobs N] [--json] [--elements N]\n\n\
-         KERNEL: a .cfd file path or helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n]\n\
-         EMIT:   c | host | ir | dot | report | memory | all (default: report)"
+         KERNEL: a .cfd file path, a kernel helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n],\n\
+         \tor a multi-kernel program simstep[:p] | axpychain[:n]\n\
+         EMIT:   c | host | ir | dot | report | memory | all (default: report)\n\n\
+         Multi-kernel sources compile into ONE shared-memory accelerator system;\n\
+         --kernel NAME selects a single kernel of the program instead."
     );
     exit(2)
 }
@@ -65,6 +79,8 @@ fn load_source(spec: &str) -> String {
         "interpolation" => cfdlang::examples::interpolation(p1.unwrap_or(8), p2.unwrap_or(12)),
         "sandwich" => cfdlang::examples::matrix_sandwich(p1.unwrap_or(8)),
         "axpy" => cfdlang::examples::axpy(p1.unwrap_or(8)),
+        "simstep" => cfdlang::examples::simulation_step(p1.unwrap_or(11)),
+        "axpychain" => cfdlang::examples::axpy_chain(p1.unwrap_or(8)),
         path => std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read '{path}': {e}");
             exit(1)
@@ -75,6 +91,11 @@ fn load_source(spec: &str) -> String {
 struct Parsed {
     source: String,
     opts: FlowOptions,
+    /// Co-locate PLM groups across kernels of a program.
+    cross_sharing: bool,
+    /// Kernel count of the (possibly `--kernel`-reduced) source,
+    /// parsed once in `parse_common`.
+    kernel_count: usize,
     emit: String,
     out_dir: Option<String>,
     elements: usize,
@@ -82,21 +103,38 @@ struct Parsed {
     /// defaults otherwise).
     elements_set: bool,
     seed: u64,
-    #[allow(dead_code)]
     k: Option<usize>,
-    #[allow(dead_code)]
     m: Option<usize>,
     grid: bool,
     jobs: usize,
     json: bool,
 }
 
+impl Parsed {
+    /// Whether the source is a multi-kernel program.
+    fn is_program(&self) -> bool {
+        self.kernel_count > 1
+    }
+
+    fn program_options(&self) -> ProgramOptions {
+        let mut opts = ProgramOptions {
+            flow: self.opts.clone(),
+            cross_sharing: self.cross_sharing,
+            system: None,
+        };
+        opts.flow.system = None;
+        opts
+    }
+}
+
 fn parse_common(args: &[String]) -> Parsed {
     if args.is_empty() {
         usage();
     }
-    let source = load_source(&args[0]);
+    let mut source = load_source(&args[0]);
     let mut opts = FlowOptions::default();
+    let mut cross_sharing = true;
+    let mut kernel: Option<String> = None;
     let mut emit = "report".to_string();
     let mut out_dir = None;
     let mut elements = 50_000usize;
@@ -122,6 +160,8 @@ fn parse_common(args: &[String]) -> Parsed {
                     ..Default::default()
                 }
             }
+            "--no-cross-sharing" => cross_sharing = false,
+            "--kernel" => kernel = Some(value(&mut i)),
             "--emit" => emit = value(&mut i),
             "-o" => out_dir = Some(value(&mut i)),
             "--elements" => {
@@ -144,9 +184,31 @@ fn parse_common(args: &[String]) -> Parsed {
     if let (Some(k), Some(m)) = (k, m) {
         opts.system = Some(SystemConfig { k, m });
     }
+    // Parse once: program detection, and the --kernel NAME reduction
+    // of a program source to one of its kernels. (Parse errors are
+    // deferred to the command's own compile for a uniform message.)
+    let mut kernel_count = 1;
+    if let Ok(set) = cfdlang::parse_set(&source) {
+        kernel_count = set.kernels.len();
+        if let Some(name) = &kernel {
+            match set.find_kernel(name) {
+                Some(k) => source = cfdlang::pretty(&k.program),
+                None => {
+                    eprintln!(
+                        "no kernel '{name}' in program (kernels: {})",
+                        set.kernel_names().join(", ")
+                    );
+                    exit(1)
+                }
+            }
+            kernel_count = 1;
+        }
+    }
     Parsed {
         source,
         opts,
+        cross_sharing,
+        kernel_count,
         emit,
         out_dir,
         elements,
@@ -167,8 +229,84 @@ fn compile(p: &Parsed) -> cfd_core::Artifacts {
     })
 }
 
+fn compile_program(p: &Parsed) -> ProgramArtifacts {
+    let mut opts = p.program_options();
+    if let (Some(k), Some(m)) = (p.k, p.m) {
+        // Uniform per-kernel replication from --k/--m.
+        opts.system = Some(ProgramSystemConfig::uniform(k, m, p.kernel_count));
+    }
+    ProgramFlow::compile(&p.source, &opts).unwrap_or_else(|e| {
+        eprintln!("compilation failed: {e}");
+        exit(1)
+    })
+}
+
+/// Per-kernel + aggregate resource tables of a compiled program.
+fn program_report(art: &ProgramArtifacts) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "program: {} kernels, {} handoffs, cross-kernel PLM edges: {}\n",
+        art.kernel_count(),
+        art.cross.handoffs.len(),
+        art.memory_plan.cross_edges,
+    ));
+    s.push_str("  kernel                  latency(cyc)      LUT      FF   DSP  PLM-BRAM(alone)\n");
+    for (name, a) in art.names.iter().zip(&art.kernels) {
+        s.push_str(&format!(
+            "  {:<22} {:>13}  {:>7}  {:>6}  {:>4}  {:>15}\n",
+            name,
+            a.hls_report.latency_cycles,
+            a.hls_report.luts,
+            a.hls_report.ffs,
+            a.hls_report.dsps,
+            a.memory.brams,
+        ));
+    }
+    s.push_str(&format!(
+        "  shared PLM set: {} BRAMs ({} if concatenated) in {} units\n",
+        art.memory.brams,
+        art.per_kernel_plm_brams(),
+        art.memory.units.len(),
+    ));
+    let routing = if art.options.cross_sharing {
+        "in-fabric"
+    } else {
+        "host-mediated copy"
+    };
+    for h in &art.cross.handoffs {
+        s.push_str(&format!(
+            "  handoff: {} --{}--> {} ({} words, {routing})\n",
+            art.names[h.from], h.name, art.names[h.to], h.words
+        ));
+    }
+    match &art.system {
+        Some(sys) => {
+            let ks: Vec<String> = sys.config.ks.iter().map(|k| k.to_string()).collect();
+            s.push_str(&format!(
+                "aggregate system: k=[{}] m={} | {} LUT {} FF {} DSP {} BRAM\n",
+                ks.join(","),
+                sys.config.m,
+                sys.luts,
+                sys.ffs,
+                sys.dsps,
+                sys.brams
+            ));
+            let (l, f, d, b) = sys.slack();
+            s.push_str(&format!(
+                "slack vs {}: {} LUT {} FF {} DSP {} BRAM\n",
+                sys.board.name, l, f, d, b
+            ));
+        }
+        None => s.push_str("aggregate system: no feasible configuration\n"),
+    }
+    s
+}
+
 fn cmd_compile(args: &[String]) {
     let p = parse_common(args);
+    if p.is_program() {
+        return cmd_compile_program(&p);
+    }
     let art = compile(&p);
     let mut sections: Vec<(&str, String)> = Vec::new();
     let want = |w: &str| p.emit == w || p.emit == "all";
@@ -232,8 +370,108 @@ fn cmd_compile(args: &[String]) {
     }
 }
 
+fn cmd_compile_program(p: &Parsed) {
+    let art = compile_program(p);
+    let mut sections: Vec<(String, String)> = Vec::new();
+    let want = |w: &str| p.emit == w || p.emit == "all";
+    if want("ir") {
+        for (name, a) in art.names.iter().zip(&art.kernels) {
+            sections.push((format!("{name}.ir"), a.module.to_string()));
+        }
+    }
+    if want("c") {
+        // Program-unique symbols (`<stage>_body`) so the emitted
+        // sources link into one system.
+        for (i, name) in art.names.iter().enumerate() {
+            sections.push((format!("{name}.c"), art.stage_c_source(i)));
+        }
+    }
+    if want("host") {
+        sections.push(("host.c".to_string(), art.host_source.clone()));
+    }
+    if want("dot") {
+        for (name, a) in art.names.iter().zip(&art.kernels) {
+            sections.push((format!("{name}.compat.dot"), a.compat.to_dot()));
+        }
+    }
+    if want("memory") {
+        let mut s = String::new();
+        for u in &art.memory.units {
+            s.push_str(&format!(
+                "{}: {} words, {} BRAM36, {}R{}W, members {:?}\n",
+                u.name, u.words, u.brams, u.read_ports, u.write_ports, u.members
+            ));
+        }
+        s.push_str(&format!(
+            "total {} BRAMs ({} cross-kernel units)\n",
+            art.memory.brams,
+            art.memory_plan.cross_kernel_units(&art.memory)
+        ));
+        sections.push(("memory.txt".to_string(), s));
+    }
+    if want("report") {
+        sections.push(("report.txt".to_string(), program_report(&art)));
+    }
+    if sections.is_empty() {
+        eprintln!("nothing to emit for '--emit {}'", p.emit);
+        exit(2);
+    }
+    match &p.out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create '{dir}': {e}");
+                exit(1)
+            });
+            for (name, content) in &sections {
+                let path = format!("{dir}/{name}");
+                std::fs::write(&path, content).unwrap_or_else(|e| {
+                    eprintln!("cannot write '{path}': {e}");
+                    exit(1)
+                });
+                println!("wrote {path}");
+            }
+        }
+        None => {
+            for (name, content) in &sections {
+                println!("=== {name} ===\n{content}");
+            }
+        }
+    }
+}
+
 fn cmd_simulate(args: &[String]) {
     let p = parse_common(args);
+    if p.is_program() {
+        let art = compile_program(&p);
+        let r = art
+            .simulate(&SimConfig {
+                elements: p.elements,
+                ..Default::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("simulation failed: {e}");
+                exit(1)
+            });
+        let ks: Vec<String> = r.ks.iter().map(|k| k.to_string()).collect();
+        println!(
+            "program k=[{}] m={} | {} elements in {} rounds",
+            ks.join(","),
+            r.m,
+            r.elements,
+            r.rounds
+        );
+        for (name, exec) in art.names.iter().zip(&r.stage_exec_s) {
+            println!("  stage {name}: exec {exec:.4} s");
+        }
+        println!(
+            "exec {:.4} s | transfers {:.4} s | total {:.4} s ({:.2} ms/element)",
+            r.exec_s,
+            r.transfer_s,
+            r.total_s,
+            r.total_per_element_s() * 1e3
+        );
+        return;
+    }
     let art = compile(&p);
     let r = art
         .simulate(&SimConfig {
@@ -269,6 +507,24 @@ fn cmd_verify(args: &[String]) {
     if !p.elements_set {
         p.elements = 8; // verification default: a sample, not the full run
     }
+    if p.is_program() {
+        let art = compile_program(&p);
+        let v = art.verify(p.elements, p.seed).unwrap_or_else(|e| {
+            eprintln!("verification failed: {e}");
+            exit(1)
+        });
+        println!(
+            "verified {} chained elements ({} kernels): bitexact={}, max_rel_diff={:.3e}",
+            v.elements,
+            art.kernel_count(),
+            v.bitexact,
+            v.max_rel_diff
+        );
+        if !v.bitexact {
+            exit(1);
+        }
+        return;
+    }
     let art = compile(&p);
     let v = art.verify(p.elements, p.seed).unwrap_or_else(|e| {
         eprintln!("verification failed: {e}");
@@ -285,6 +541,9 @@ fn cmd_verify(args: &[String]) {
 
 fn cmd_explore(args: &[String]) {
     let p = parse_common(args);
+    if p.is_program() {
+        return cmd_explore_program(&p);
+    }
     let engine = DseEngine::prepare(&p.source, &p.opts).unwrap_or_else(|e| {
         eprintln!("compilation failed: {e}");
         exit(1)
@@ -309,6 +568,58 @@ fn cmd_explore(args: &[String]) {
     }
     // Legacy listing: one backend pass, then Eq. (3) over all (k, m).
     let be = engine.pipeline().backend(engine.scheduled(), &p.opts);
+    explore_listing(&p, &be);
+}
+
+/// Joint exploration of a multi-kernel program.
+fn cmd_explore_program(p: &Parsed) {
+    if p.grid {
+        let engine =
+            ProgramDseEngine::prepare(&p.source, &p.program_options()).unwrap_or_else(|e| {
+                eprintln!("compilation failed: {e}");
+                exit(1)
+            });
+        let elements = if p.elements_set { p.elements } else { 10_000 };
+        let report = engine.run(&DseGrid::default(), p.jobs, elements);
+        if p.json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_table());
+            if let Some(best) = report.best() {
+                println!(
+                    "best: {} ({:.0} elements/s, program {})",
+                    best.point.label(),
+                    best.throughput_eps,
+                    best.kernel
+                );
+            }
+        }
+        return;
+    }
+    // Listing mode: compile the program once, enumerate uniform configs.
+    let art = ProgramFlow::compile(&p.source, &p.program_options()).unwrap_or_else(|e| {
+        eprintln!("compilation failed: {e}");
+        exit(1)
+    });
+    print!("{}", program_report(&art));
+    let stages: Vec<(String, hls::HlsReport)> = art
+        .names
+        .iter()
+        .zip(&art.kernels)
+        .map(|(n, a)| (n.clone(), a.hls_report.clone()))
+        .collect();
+    println!("feasible uniform configurations on {}:", p.opts.board.name);
+    println!("   k    m     LUT   BRAM");
+    for d in sysgen::enumerate_program_designs(&p.opts.board, &stages, &art.memory) {
+        println!(
+            "  {:>2}  {:>3}  {:>6}  {:>5}",
+            d.config.ks[0], d.config.m, d.luts, d.brams
+        );
+    }
+}
+
+/// The single-kernel feasibility listing.
+fn explore_listing(p: &Parsed, be: &cfd_core::pipeline::Backend) {
     let board = &p.opts.board;
     println!(
         "kernel: {} LUT {} FF {} DSP | PLM {} BRAM",

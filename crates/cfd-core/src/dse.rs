@@ -142,6 +142,9 @@ impl DseGrid {
 #[derive(Debug, Clone)]
 pub struct DseOutcome {
     pub point: DsePoint,
+    /// Kernel (or joined program-kernel) name the point was evaluated
+    /// on — sweep rows are labelled by name, not bare grid index.
+    pub kernel: String,
     /// Whether the configuration fits the board (Eq. 3).
     pub feasible: bool,
     /// System totals including integration logic (0 when infeasible).
@@ -216,13 +219,22 @@ impl DseReport {
             self.eval_total_s,
             self.eval_mean_s,
         ));
-        s.push_str(
-            "   k    m  share  decouple  part      LUT      FF   DSP   BRAM    el/s  feasible\n",
-        );
+        let name_w = self
+            .outcomes
+            .iter()
+            .map(|o| o.kernel.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        s.push_str(&format!(
+            "  {:<name_w$}   k    m  share  decouple  part      LUT      FF   DSP   BRAM    el/s  feasible\n",
+            "kernel"
+        ));
         for o in &self.outcomes {
             let p = &o.point;
             s.push_str(&format!(
-                "  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>6}  {:>4}  {:>5}  {:>6.0}  {}\n",
+                "  {:<name_w$}  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>6}  {:>4}  {:>5}  {:>6.0}  {}\n",
+                o.kernel,
                 p.k,
                 p.m,
                 p.sharing,
@@ -273,10 +285,11 @@ impl DseReport {
         for (i, o) in self.outcomes.iter().enumerate() {
             let p = &o.point;
             s.push_str(&format!(
-                "    {{\"k\": {}, \"m\": {}, \"sharing\": {}, \"decoupled\": {}, \"partition\": {}, \
+                "    {{\"kernel\": \"{}\", \"k\": {}, \"m\": {}, \"sharing\": {}, \"decoupled\": {}, \"partition\": {}, \
                  \"feasible\": {}, \"luts\": {}, \"ffs\": {}, \"dsps\": {}, \"brams\": {}, \
                  \"plm_brams\": {}, \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \
                  \"eval_s\": {:.6}}}{}\n",
+                o.kernel,
                 p.k,
                 p.m,
                 p.sharing,
@@ -309,6 +322,8 @@ pub struct DseEngine {
     base: FlowOptions,
     scheduled: Scheduled,
     frontend_s: f64,
+    /// Kernel name the sweep rows are labelled with.
+    kernel_name: String,
     /// Name of the kernel's largest input array: the target for the
     /// `partition` axis of the grid.
     partition_target: Option<String>,
@@ -318,7 +333,19 @@ impl DseEngine {
     /// Compile the shared stages (frontend → middle end → schedule) once.
     /// `base` supplies everything the grid does not vary: scheduler and
     /// canonicalization options, board, HLS clock, element count.
+    /// Multi-kernel sources are rejected — use [`ProgramDseEngine`].
     pub fn prepare(source: &str, base: &FlowOptions) -> Result<DseEngine, FlowError> {
+        let set = cfdlang::parse_set(source)?;
+        if set.is_multi() {
+            return Err(FlowError::Backend(
+                "multi-kernel program source: use ProgramDseEngine for joint sweeps".into(),
+            ));
+        }
+        let kernel_name = set
+            .kernels
+            .first()
+            .map(|k| k.name.clone())
+            .unwrap_or_else(|| "main".to_string());
         let pipeline = Pipeline::new();
         let fe = pipeline.frontend(source)?;
         let me = pipeline.middle_end(&fe, base)?;
@@ -334,8 +361,14 @@ impl DseEngine {
             base: base.clone(),
             scheduled: sc,
             frontend_s: fe.elapsed_s,
+            kernel_name,
             partition_target,
         })
+    }
+
+    /// Kernel name the sweep is labelled with.
+    pub fn kernel_name(&self) -> &str {
+        &self.kernel_name
     }
 
     pub fn pipeline(&self) -> &Pipeline {
@@ -415,6 +448,7 @@ impl DseEngine {
                 );
                 DseOutcome {
                     point: *point,
+                    kernel: self.kernel_name.clone(),
                     feasible: true,
                     luts: design.luts,
                     ffs: design.ffs,
@@ -433,6 +467,7 @@ impl DseEngine {
             }
             None => DseOutcome {
                 point: *point,
+                kernel: self.kernel_name.clone(),
                 feasible: false,
                 luts: 0,
                 ffs: 0,
@@ -607,5 +642,323 @@ impl DseEngine {
             elapsed_s: self.frontend_s,
         };
         Ok(Artifacts::assemble(&fe, &self.scheduled, be, sys, opts))
+    }
+}
+
+/// Joint design-space exploration over a **multi-kernel program**: one
+/// grid point fixes the backend axes (sharing, decoupling, partitioning)
+/// for *every* kernel plus a uniform replication `k`/`m`, and the whole
+/// chain is costed under the shared board budget. The per-kernel shared
+/// stages (frontend, middle end, schedule, link) run once at
+/// [`ProgramDseEngine::prepare`]; backends are memoized on
+/// **(kernel, backend key)** — the existing single-kernel memoization,
+/// keyed additionally by kernel.
+#[derive(Debug)]
+pub struct ProgramDseEngine {
+    pipeline: Pipeline,
+    base: crate::program::ProgramOptions,
+    names: Vec<String>,
+    scheds: Vec<Scheduled>,
+    cross: std::sync::Arc<pschedule::CrossLiveness>,
+    /// Largest input array per kernel (the `partition` axis target).
+    partition_targets: Vec<Option<String>>,
+    shared: StageTimings,
+}
+
+impl ProgramDseEngine {
+    /// Compile every kernel's shared stages plus the link stage once.
+    pub fn prepare(
+        source: &str,
+        base: &crate::program::ProgramOptions,
+    ) -> Result<ProgramDseEngine, FlowError> {
+        let pipeline = Pipeline::new();
+        let fronts = pipeline.program_frontend(source)?;
+        let names: Vec<String> = fronts.iter().map(|(n, _)| n.clone()).collect();
+        let kopts = FlowOptions {
+            system: None,
+            ..base.flow.clone()
+        };
+        let mut scheds = Vec::with_capacity(fronts.len());
+        for (_, fe) in &fronts {
+            let me = pipeline.middle_end(fe, &kopts)?;
+            scheds.push(pipeline.schedule(&me, &kopts));
+        }
+        let link = pipeline.link(&names, &scheds)?;
+        let partition_targets: Vec<Option<String>> = scheds
+            .iter()
+            .map(|sc| {
+                let module = &sc.middle.module;
+                module
+                    .of_kind(TensorKind::Input)
+                    .into_iter()
+                    .max_by_key(|&id| module.shape(id).iter().product::<usize>())
+                    .map(|id| module.name(id).to_string())
+            })
+            .collect();
+        let shared = StageTimings {
+            frontend_s: fronts.iter().map(|(_, f)| f.elapsed_s).sum(),
+            middle_end_s: scheds.iter().map(|s| s.middle.elapsed_s).sum(),
+            schedule_s: scheds.iter().map(|s| s.elapsed_s).sum(),
+            link_s: link.elapsed_s,
+            ..Default::default()
+        };
+        Ok(ProgramDseEngine {
+            pipeline,
+            base: base.clone(),
+            names,
+            scheds,
+            cross: link.cross,
+            partition_targets,
+            shared,
+        })
+    }
+
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Kernel names in execution order.
+    pub fn kernel_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The joint label sweep rows carry.
+    pub fn program_label(&self) -> String {
+        self.names.join("+")
+    }
+
+    /// Per-kernel backend options for one grid point.
+    fn kernel_options_for(&self, point: &DsePoint, kernel: usize) -> FlowOptions {
+        let mut opts = self.base.flow.clone();
+        opts.system = None;
+        opts.decoupled = point.decoupled;
+        opts.memory.sharing = point.sharing;
+        if point.partition > 1 {
+            if let Some(name) = &self.partition_targets[kernel] {
+                opts.hls.partition = vec![(name.clone(), point.partition)];
+            }
+        }
+        opts
+    }
+
+    /// Evaluate one joint point against already-compiled per-kernel
+    /// backends. System costs come from the same [`ProgramBuild`]
+    /// construction `ProgramFlow::compile` uses, so sweep rankings
+    /// always match what a real compile would build.
+    fn evaluate_with_backends(
+        &self,
+        point: &DsePoint,
+        backends: &[Backend],
+        elements: usize,
+        started: Instant,
+    ) -> DseOutcome {
+        let cross_sharing = self.base.cross_sharing && point.sharing;
+        let memory_opts = {
+            let mut m = self.base.flow.memory.clone();
+            m.sharing = point.sharing;
+            m
+        };
+        let brefs: Vec<&Backend> = backends.iter().collect();
+        let build = crate::program::ProgramBuild::prepare(
+            &self.names,
+            &self.cross,
+            &brefs,
+            &memory_opts,
+            cross_sharing,
+        );
+        let cfg = sysgen::ProgramSystemConfig::uniform(point.k, point.m, self.names.len());
+        let memory_brams = build.memory.brams;
+        let design = build.design_for(&self.base.flow.board, cfg);
+        let latency_cycles: u64 = backends.iter().map(|b| b.hls_report.latency_cycles).sum();
+        match design {
+            Some(design) => {
+                let sim = zynq::simulate_program(
+                    &design,
+                    &SimConfig {
+                        elements,
+                        ..Default::default()
+                    },
+                );
+                DseOutcome {
+                    point: *point,
+                    kernel: self.program_label(),
+                    feasible: true,
+                    luts: design.luts,
+                    ffs: design.ffs,
+                    dsps: design.dsps,
+                    brams: design.brams,
+                    plm_brams: memory_brams,
+                    latency_cycles,
+                    total_s: sim.total_s,
+                    throughput_eps: if sim.total_s > 0.0 {
+                        elements as f64 / sim.total_s
+                    } else {
+                        0.0
+                    },
+                    eval_s: started.elapsed().as_secs_f64(),
+                }
+            }
+            None => DseOutcome {
+                point: *point,
+                kernel: self.program_label(),
+                feasible: false,
+                luts: 0,
+                ffs: 0,
+                dsps: 0,
+                brams: 0,
+                plm_brams: memory_brams,
+                latency_cycles,
+                total_s: 0.0,
+                throughput_eps: 0.0,
+                eval_s: started.elapsed().as_secs_f64(),
+            },
+        }
+    }
+
+    /// Evaluate one joint point (compiles the point's backends inline;
+    /// [`ProgramDseEngine::run`] memoizes them across the grid).
+    pub fn evaluate(&self, point: &DsePoint, elements: usize) -> DseOutcome {
+        let t = Instant::now();
+        let backends: Vec<Backend> = (0..self.scheds.len())
+            .map(|ki| {
+                self.pipeline
+                    .backend(&self.scheds[ki], &self.kernel_options_for(point, ki))
+            })
+            .collect();
+        self.evaluate_with_backends(point, &backends, elements, t)
+    }
+
+    /// Sweep the grid with `jobs` workers. Backends are memoized on
+    /// (kernel, sharing, decoupled, partition): the default 32-point
+    /// grid over a 3-kernel program compiles 12 backends.
+    pub fn run(&self, grid: &DseGrid, jobs: usize, elements: usize) -> DseReport {
+        let points = grid.points();
+        let nk = self.scheds.len();
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        }
+        .min(points.len().max(1));
+        let t = Instant::now();
+
+        // Unique backend keys, first-seen order.
+        let mut keys: Vec<BackendKey> = Vec::new();
+        let mut key_of_point: Vec<usize> = Vec::with_capacity(points.len());
+        for p in &points {
+            let k = p.backend_key();
+            let idx = keys.iter().position(|&e| e == k).unwrap_or_else(|| {
+                keys.push(k);
+                keys.len() - 1
+            });
+            key_of_point.push(idx);
+        }
+
+        // Compile (key × kernel) backends on the worker pool.
+        let t_backend = Instant::now();
+        let jobs_be = jobs.min(keys.len() * nk).max(1);
+        let backends: Vec<Vec<Backend>> = {
+            let reps: Vec<DsePoint> = keys
+                .iter()
+                .map(|k| {
+                    *points
+                        .iter()
+                        .find(|p| p.backend_key() == *k)
+                        .expect("key from points")
+                })
+                .collect();
+            let mut indexed: Vec<(usize, Backend)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs_be)
+                    .map(|w| {
+                        let reps = &reps;
+                        scope.spawn(move || {
+                            (w..reps.len() * nk)
+                                .step_by(jobs_be)
+                                .map(|i| {
+                                    let (key, kernel) = (i / nk, i % nk);
+                                    let opts = self.kernel_options_for(&reps[key], kernel);
+                                    (i, self.pipeline.backend(&self.scheds[kernel], &opts))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("backend worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            let mut flat = indexed.into_iter().map(|(_, b)| b);
+            (0..keys.len())
+                .map(|_| (0..nk).map(|_| flat.next().expect("backend")).collect())
+                .collect()
+        };
+        let backend_s = t_backend.elapsed().as_secs_f64();
+
+        // Fan the program system stage + chained simulation out.
+        let next = AtomicUsize::new(0);
+        let mut outcomes: Vec<DseOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(jobs);
+            for _ in 0..jobs {
+                let next = &next;
+                let points = &points;
+                let key_of_point = &key_of_point;
+                let backends = &backends;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<DseOutcome> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= points.len() {
+                            break local;
+                        }
+                        let started = Instant::now();
+                        local.push(self.evaluate_with_backends(
+                            &points[i],
+                            &backends[key_of_point[i]],
+                            elements,
+                            started,
+                        ));
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        outcomes.sort_by(|a, b| {
+            b.feasible
+                .cmp(&a.feasible)
+                .then(b.throughput_eps.total_cmp(&a.throughput_eps))
+                .then(a.brams.cmp(&b.brams))
+                .then(a.luts.cmp(&b.luts))
+                .then(a.point.label().cmp(&b.point.label()))
+        });
+        let feasible = outcomes.iter().filter(|o| o.feasible).count();
+        let eval_total_s: f64 = outcomes.iter().map(|o| o.eval_s).sum();
+        let eval_max_s = outcomes.iter().map(|o| o.eval_s).fold(0.0, f64::max);
+        DseReport {
+            evaluated: outcomes.len(),
+            feasible,
+            jobs,
+            elements,
+            wall_s: t.elapsed().as_secs_f64(),
+            shared: self.shared,
+            counts: self.pipeline.counters(),
+            backend_compiles: keys.len() * nk,
+            backend_reuses: (points.len() - keys.len()) * nk,
+            backend_s,
+            eval_total_s,
+            eval_mean_s: if outcomes.is_empty() {
+                0.0
+            } else {
+                eval_total_s / outcomes.len() as f64
+            },
+            eval_max_s,
+            outcomes,
+        }
     }
 }

@@ -55,6 +55,7 @@
 
 pub mod dse;
 pub mod pipeline;
+pub mod program;
 
 use cfdlang::{Diagnostic, TypedProgram};
 use cgen::CKernel;
@@ -68,6 +69,7 @@ use teil::Module;
 use zynq::{ArmCostModel, SimConfig};
 
 pub use pipeline::{Pipeline, StageCounts, StageTimings};
+pub use program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 
 /// Errors from the flow.
 #[derive(Debug, Clone, PartialEq)]

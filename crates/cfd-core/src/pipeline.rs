@@ -3,15 +3,23 @@
 //! [`Flow::compile`](crate::Flow::compile) used to be one monolithic
 //! function, so every design point in an exploration re-ran the whole
 //! frontend and middle end from source. This module splits the flow into
-//! five individually runnable stages with typed outputs:
+//! individually runnable stages with typed outputs. A single-kernel
+//! compile composes five of them; a multi-kernel program
+//! ([`crate::program`]) runs the per-kernel stages once per kernel plus
+//! the cross-kernel [`Pipeline::link`] stage:
 //!
 //! | stage | consumes | produces |
 //! |-------|----------|----------|
 //! | [`Pipeline::frontend`]   | CFDlang source | [`Frontend`]: type-checked AST |
 //! | [`Pipeline::middle_end`] | [`Frontend`] + canonicalization options | [`MiddleEnd`]: tensor IR, layout, polyhedral model, dependences |
 //! | [`Pipeline::schedule`]   | [`MiddleEnd`] + scheduler options | [`Scheduled`]: schedule, liveness, compatibility graph |
+//! | [`Pipeline::link`]       | all kernels' [`Scheduled`] | [`LinkStage`]: inter-kernel handoffs + sequence liveness |
 //! | [`Pipeline::backend`]    | [`Scheduled`] + decoupling/memory/HLS options | [`Backend`]: C kernel, HLS report, Mnemosyne config, memory subsystem |
 //! | [`Pipeline::system`]     | [`Backend`] + board/replication options | [`SystemStage`]: replicated design + host program |
+//!
+//! (Programs replace the per-kernel system stage with one shared
+//! program-memory + multi-system stage — see
+//! [`ProgramFlow`](crate::program::ProgramFlow).)
 //!
 //! The immutable middle-end products are stored behind [`Arc`], so a
 //! [`Scheduled`] stage can be cloned cheaply and shared across threads —
@@ -58,6 +66,8 @@ pub struct StageCounts {
     pub frontend: usize,
     pub middle_end: usize,
     pub schedule: usize,
+    /// Cross-kernel link-stage invocations (multi-kernel programs).
+    pub link: usize,
     pub backend: usize,
     pub system: usize,
 }
@@ -67,6 +77,7 @@ struct StageCounters {
     frontend: AtomicUsize,
     middle_end: AtomicUsize,
     schedule: AtomicUsize,
+    link: AtomicUsize,
     backend: AtomicUsize,
     system: AtomicUsize,
 }
@@ -77,6 +88,7 @@ impl StageCounters {
             frontend: self.frontend.load(Ordering::Relaxed),
             middle_end: self.middle_end.load(Ordering::Relaxed),
             schedule: self.schedule.load(Ordering::Relaxed),
+            link: self.link.load(Ordering::Relaxed),
             backend: self.backend.load(Ordering::Relaxed),
             system: self.system.load(Ordering::Relaxed),
         }
@@ -89,13 +101,20 @@ pub struct StageTimings {
     pub frontend_s: f64,
     pub middle_end_s: f64,
     pub schedule_s: f64,
+    /// Cross-kernel link stage (0 for single-kernel compiles).
+    pub link_s: f64,
     pub backend_s: f64,
     pub system_s: f64,
 }
 
 impl StageTimings {
     pub fn total_s(&self) -> f64 {
-        self.frontend_s + self.middle_end_s + self.schedule_s + self.backend_s + self.system_s
+        self.frontend_s
+            + self.middle_end_s
+            + self.schedule_s
+            + self.link_s
+            + self.backend_s
+            + self.system_s
     }
 }
 
@@ -128,6 +147,15 @@ pub struct Scheduled {
     pub schedule: Arc<Schedule>,
     pub liveness: Arc<Liveness>,
     pub compat: Arc<CompatibilityGraph>,
+    pub elapsed_s: f64,
+}
+
+/// Output of the cross-kernel link stage of a multi-kernel program:
+/// inter-kernel dependences (tensor handoffs) and kernel-sequence
+/// liveness, the inputs to program-wide PLM sharing.
+#[derive(Debug, Clone)]
+pub struct LinkStage {
+    pub cross: Arc<pschedule::CrossLiveness>,
     pub elapsed_s: f64,
 }
 
@@ -169,11 +197,40 @@ impl Pipeline {
         self.counters.snapshot()
     }
 
-    /// Parse and type-check CFDlang source.
+    /// Count a frontend invocation performed outside [`Pipeline::frontend`]
+    /// (the program frontend parses all kernels in one pass).
+    pub(crate) fn count_frontend(&self) {
+        self.counters.frontend.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a system-stage invocation performed outside
+    /// [`Pipeline::system`] (the program system stage).
+    pub(crate) fn count_system(&self) {
+        self.counters.system.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Parse and type-check single-kernel CFDlang source. A source
+    /// written as one `kernel name { ... }` block is accepted as the
+    /// degenerate one-kernel program; multi-kernel sources must go
+    /// through the program flow ([`Pipeline::run_program`]).
     pub fn frontend(&self, source: &str) -> Result<Frontend, FlowError> {
         self.counters.frontend.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
-        let ast = cfdlang::parse(source)?;
+        let set = cfdlang::parse_set(source)?;
+        if set.is_multi() {
+            return Err(FlowError::Backend(
+                "multi-kernel program source: use the program flow (run_program)".into(),
+            ));
+        }
+        let ast = set
+            .kernels
+            .into_iter()
+            .next()
+            .map(|k| k.program)
+            .unwrap_or(cfdlang::Program {
+                decls: vec![],
+                stmts: vec![],
+            });
         let typed = cfdlang::check(&ast)?;
         Ok(Frontend {
             typed: Arc::new(typed),
@@ -223,6 +280,23 @@ impl Pipeline {
             compat: Arc::new(compat),
             elapsed_s: t.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Cross-kernel link analysis over a program's scheduled kernels:
+    /// resolve the tensor handoffs (inter-kernel dependences) and the
+    /// kernel-sequence live intervals that program-wide PLM sharing
+    /// feeds on. The degenerate single-kernel program links trivially
+    /// (no handoffs).
+    pub fn link(&self, names: &[String], kernels: &[Scheduled]) -> Result<LinkStage, FlowError> {
+        self.counters.link.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let modules: Vec<&Module> = kernels.iter().map(|sc| sc.middle.module.as_ref()).collect();
+        let cross =
+            pschedule::CrossLiveness::analyze(names, &modules).map_err(FlowError::Backend)?;
+        Ok(LinkStage {
+            cross: Arc::new(cross),
+            elapsed_s: t.elapsed().as_secs_f64(),
+        })
     }
 
     /// Generate the C kernel, estimate it with the HLS model and
@@ -327,6 +401,7 @@ impl Artifacts {
             frontend_s: fe.elapsed_s,
             middle_end_s: me.elapsed_s,
             schedule_s: sc.elapsed_s,
+            link_s: 0.0,
             backend_s: be.elapsed_s,
             system_s: sys.elapsed_s,
         };

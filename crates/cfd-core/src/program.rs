@@ -1,0 +1,577 @@
+//! Multi-kernel program compilation: a whole CFD solver into **one**
+//! shared-memory accelerator system.
+//!
+//! A real CFD time-step is a pipeline of kernels (interpolation,
+//! inverse Helmholtz solve, projection, ...) that should share one
+//! accelerator system, its PLM budget and its DMA fabric. This module
+//! threads the multi-kernel [`cfdlang::ProgramSet`] abstraction through
+//! every pipeline layer:
+//!
+//! 1. **frontend** — [`Pipeline::program_frontend`] parses and checks
+//!    the kernel blocks (a plain source is the degenerate one-kernel
+//!    program),
+//! 2. **per-kernel middle end / schedule / backend** — the existing
+//!    single-kernel stages run once per kernel, so every per-kernel
+//!    artifact is *bit-identical* to compiling that kernel alone,
+//! 3. **link** — [`Pipeline::link`] resolves the inter-kernel tensor
+//!    handoffs and kernel-sequence liveness,
+//! 4. **program memory** — `mnemosyne::merge_configs` co-locates PLM
+//!    groups *across* kernels under one BRAM budget (handoff buffers
+//!    alias, dead-between-kernels buffers overlay),
+//! 5. **program system** — `sysgen::MultiSystemDesign` replicates each
+//!    kernel (`ks[i]` accelerators) against `m` shared PLM sets and
+//!    checks the generalized Eq. (3) over the union,
+//! 6. **simulation / verification** — `zynq::simulate_program` executes
+//!    the chained host schedule; `zynq::verify_program` checks the
+//!    chain bit-exactly against the chained reference interpreter.
+//!
+//! ```
+//! use cfd_core::program::{ProgramFlow, ProgramOptions};
+//!
+//! let src = cfdlang::examples::axpy_chain(4);
+//! let art = ProgramFlow::compile(&src, &ProgramOptions::default()).unwrap();
+//! assert_eq!(art.names, vec!["axpy_scale", "axpy_update"]);
+//! assert!(art.system.is_some());
+//! assert!(art.verify(1, 7).unwrap().bitexact);
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cgen::ParamRole;
+use mnemosyne::{MemorySubsystem, ProgramMemoryPlan};
+use pschedule::CrossLiveness;
+use sysgen::{MultiSystemDesign, ProgramHostProgram, ProgramSystemConfig};
+use teil::Module;
+use zynq::{ProgramHwResult, SimConfig, VerifyResult};
+
+use crate::pipeline::{Backend, Frontend, LinkStage, Pipeline, Scheduled, StageTimings};
+use crate::{Artifacts, FlowError, FlowOptions};
+
+/// Options for compiling a multi-kernel program. The per-kernel axes
+/// come from the embedded [`FlowOptions`] (applied uniformly to every
+/// kernel); the program level adds cross-kernel sharing and the joint
+/// replication choice.
+#[derive(Debug, Clone)]
+pub struct ProgramOptions {
+    /// Per-kernel flow options. `flow.system` is ignored — the program
+    /// system is chosen by `system` below.
+    pub flow: FlowOptions,
+    /// Co-locate PLM groups across kernels (handoff aliasing + overlay
+    /// of buffers dead between kernels). With this off the program
+    /// memory is the plain concatenation of the per-kernel subsystems.
+    pub cross_sharing: bool,
+    /// Requested program replication; `None` picks the largest feasible
+    /// uniform `k = m`.
+    pub system: Option<ProgramSystemConfig>,
+}
+
+impl Default for ProgramOptions {
+    fn default() -> Self {
+        ProgramOptions {
+            flow: FlowOptions::default(),
+            cross_sharing: true,
+            system: None,
+        }
+    }
+}
+
+/// Everything a program compilation produces.
+#[derive(Debug, Clone)]
+pub struct ProgramArtifacts {
+    /// Kernel names in execution order.
+    pub names: Vec<String>,
+    /// Per-kernel artifacts, exactly as the single-kernel flow would
+    /// produce them (`system` is `None` — the program owns the system).
+    pub kernels: Vec<Artifacts>,
+    /// Cross-kernel dependences and sequence liveness.
+    pub cross: Arc<CrossLiveness>,
+    /// The merged program memory configuration (namespaced arrays,
+    /// cross-kernel compatibility edges).
+    pub memory_plan: ProgramMemoryPlan,
+    /// The shared PLM subsystem of one PLM set.
+    pub memory: MemorySubsystem,
+    /// `None` only if the requested configuration does not fit.
+    pub system: Option<MultiSystemDesign>,
+    /// Generated chained host-code skeleton.
+    pub host_source: String,
+    pub options: ProgramOptions,
+    /// Aggregated wall-clock stage costs (per-kernel stages summed).
+    pub timings: StageTimings,
+}
+
+impl ProgramArtifacts {
+    /// Number of kernels in the program.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Per-kernel artifacts by name.
+    pub fn kernel(&self, name: &str) -> Option<&Artifacts> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.kernels[i])
+    }
+
+    /// Sum of the stand-alone per-kernel PLM BRAM counts — what the
+    /// program would cost without cross-kernel co-location.
+    pub fn per_kernel_plm_brams(&self) -> usize {
+        self.kernels.iter().map(|a| a.memory.brams).sum()
+    }
+
+    /// Stage `i`'s C source under a program-unique symbol
+    /// (`<stage>_body`) — every kernel compiles to `kernel_body` on its
+    /// own, but one system links all stages together.
+    pub fn stage_c_source(&self, i: usize) -> String {
+        cgen::emit_c99_as(&self.kernels[i].kernel, &format!("{}_body", self.names[i]))
+    }
+
+    /// Run the chained full-system simulation (requires a fitting
+    /// system).
+    pub fn simulate(&self, sim: &SimConfig) -> Result<ProgramHwResult, FlowError> {
+        let system = self
+            .system
+            .as_ref()
+            .ok_or_else(|| FlowError::Backend("no feasible program configuration".into()))?;
+        Ok(zynq::simulate_program(system, sim))
+    }
+
+    /// Verify `n` chained elements against the chained reference
+    /// interpreter.
+    pub fn verify(&self, n: usize, seed: u64) -> Result<VerifyResult, FlowError> {
+        let modules: Vec<&Module> = self.kernels.iter().map(|a| &a.module).collect();
+        let kernels: Vec<&cgen::CKernel> = self.kernels.iter().map(|a| &a.kernel).collect();
+        zynq::verify_program(&self.names, &modules, &kernels, n, seed).map_err(FlowError::Backend)
+    }
+}
+
+/// The shared program-level products derived from per-kernel backends:
+/// merged PLM plan, synthesized shared memory, stage-labelled HLS
+/// reports and the host byte interface. Both [`Pipeline::run_program`]
+/// and the joint DSE engine build systems from this one struct, so
+/// sweep costs can never diverge from what `ProgramFlow` produces.
+#[derive(Debug, Clone)]
+pub(crate) struct ProgramBuild {
+    pub plan: ProgramMemoryPlan,
+    pub memory: MemorySubsystem,
+    pub stages: Vec<(String, hls::HlsReport)>,
+    pub bytes_in_per_element: usize,
+    pub bytes_out_per_element: usize,
+    pub handoff_bytes_per_element: usize,
+}
+
+impl ProgramBuild {
+    /// Merge memory, label stage reports and account the host's
+    /// external byte interface for one backend combination.
+    pub fn prepare(
+        names: &[String],
+        cross: &CrossLiveness,
+        backends: &[&Backend],
+        memory_opts: &mnemosyne::MemoryOptions,
+        cross_sharing: bool,
+    ) -> ProgramBuild {
+        let configs: Vec<&mnemosyne::MnemosyneConfig> =
+            backends.iter().map(|b| &b.mnemosyne_config).collect();
+        let plan = mnemosyne::merge_configs(&configs, cross, cross_sharing);
+        let memory = mnemosyne::synthesize_program(&plan, memory_opts);
+        let stages: Vec<(String, hls::HlsReport)> = names
+            .iter()
+            .zip(backends)
+            .map(|(n, b)| (n.clone(), b.hls_report.renamed(n.clone())))
+            .collect();
+        // Host interface. Under cross-kernel sharing handoff buffers
+        // are co-located and never cross the DMA; without it they keep
+        // their stand-alone DMA wiring (mirroring `merge_configs`), so
+        // the host transfers every kernel's inputs and outputs.
+        let mut bytes_in = 0usize;
+        let mut bytes_out = 0usize;
+        for (k, be) in backends.iter().enumerate() {
+            for p in &be.kernel.params {
+                let external =
+                    !cross_sharing || cross.info(k, &p.name).map(|s| s.external).unwrap_or(false);
+                if !external {
+                    continue;
+                }
+                match p.role {
+                    ParamRole::Input => bytes_in += p.words * 8,
+                    ParamRole::Output => bytes_out += p.words * 8,
+                    ParamRole::Temp => {}
+                }
+            }
+        }
+        ProgramBuild {
+            plan,
+            memory,
+            stages,
+            bytes_in_per_element: bytes_in,
+            bytes_out_per_element: bytes_out,
+            handoff_bytes_per_element: if cross_sharing {
+                cross.handoff_words() * 8
+            } else {
+                0
+            },
+        }
+    }
+
+    /// The host program for one replication choice.
+    pub fn host_for(&self, cfg: ProgramSystemConfig) -> ProgramHostProgram {
+        ProgramHostProgram {
+            config: cfg,
+            stage_names: self.stages.iter().map(|(n, _)| n.clone()).collect(),
+            bytes_in_per_element: self.bytes_in_per_element,
+            bytes_out_per_element: self.bytes_out_per_element,
+            handoff_bytes_per_element: self.handoff_bytes_per_element,
+        }
+    }
+
+    /// Build the system for one replication choice (`None` when it
+    /// exceeds the board).
+    pub fn design_for(
+        &self,
+        board: &sysgen::BoardSpec,
+        cfg: ProgramSystemConfig,
+    ) -> Option<MultiSystemDesign> {
+        MultiSystemDesign::build(
+            board,
+            &self.stages,
+            &self.memory,
+            cfg.clone(),
+            self.host_for(cfg),
+        )
+    }
+}
+
+/// The program-flow entry point.
+pub struct ProgramFlow;
+
+impl ProgramFlow {
+    /// Compile a (possibly multi-kernel) CFDlang source through the
+    /// complete program flow on a fresh [`Pipeline`].
+    pub fn compile(source: &str, opts: &ProgramOptions) -> Result<ProgramArtifacts, FlowError> {
+        Pipeline::new().run_program(source, opts)
+    }
+}
+
+impl Pipeline {
+    /// Parse and type-check a (possibly multi-kernel) source: one
+    /// [`Frontend`] per kernel, in execution order. Counts as a single
+    /// frontend invocation.
+    pub fn program_frontend(&self, source: &str) -> Result<Vec<(String, Frontend)>, FlowError> {
+        let t = Instant::now();
+        let set = cfdlang::parse_set(source)?;
+        let typed = cfdlang::check_set(&set)?;
+        self.count_frontend();
+        let elapsed = t.elapsed().as_secs_f64() / typed.kernels.len().max(1) as f64;
+        Ok(typed
+            .kernels
+            .into_iter()
+            .map(|k| {
+                (
+                    k.name,
+                    Frontend {
+                        typed: Arc::new(k.typed),
+                        elapsed_s: elapsed,
+                    },
+                )
+            })
+            .collect())
+    }
+
+    /// The complete program flow: per-kernel stages, the cross-kernel
+    /// link stage, program-wide memory synthesis and the multi-system
+    /// stage.
+    pub fn run_program(
+        &self,
+        source: &str,
+        opts: &ProgramOptions,
+    ) -> Result<ProgramArtifacts, FlowError> {
+        let fronts = self.program_frontend(source)?;
+        let names: Vec<String> = fronts.iter().map(|(n, _)| n.clone()).collect();
+        // Per-kernel options: the program stage owns the system choice.
+        let kopts = FlowOptions {
+            system: None,
+            ..opts.flow.clone()
+        };
+        let mut scheds: Vec<Scheduled> = Vec::with_capacity(fronts.len());
+        for (_, fe) in &fronts {
+            let me = self.middle_end(fe, &kopts)?;
+            scheds.push(self.schedule(&me, &kopts));
+        }
+        let link = self.link(&names, &scheds)?;
+        let backends: Vec<Backend> = scheds.iter().map(|sc| self.backend(sc, &kopts)).collect();
+        self.finish_program(opts, fronts, scheds, link, backends)
+    }
+
+    /// Program memory + system construction from already-compiled
+    /// per-kernel stage products (the joint-DSE entry point).
+    pub(crate) fn finish_program(
+        &self,
+        opts: &ProgramOptions,
+        fronts: Vec<(String, Frontend)>,
+        scheds: Vec<Scheduled>,
+        link: LinkStage,
+        backends: Vec<Backend>,
+    ) -> Result<ProgramArtifacts, FlowError> {
+        let names: Vec<String> = fronts.iter().map(|(n, _)| n.clone()).collect();
+        let t_sys = Instant::now();
+        self.count_system();
+        let cross = Arc::clone(&link.cross);
+
+        // Program memory + stage reports + host byte interface (shared
+        // with the joint DSE engine).
+        let brefs: Vec<&Backend> = backends.iter().collect();
+        let build = ProgramBuild::prepare(
+            &names,
+            &cross,
+            &brefs,
+            &opts.flow.memory,
+            opts.cross_sharing,
+        );
+
+        // Replication: the requested configuration or the largest
+        // feasible uniform k = m.
+        let cfg = match &opts.system {
+            Some(c) => Some(c.clone()),
+            None => {
+                sysgen::max_equal_program_config(&opts.flow.board, &build.stages, &build.memory)
+            }
+        };
+        let (system, host_source) = match cfg {
+            Some(c) => {
+                let host_src = build.host_for(c.clone()).to_c(opts.flow.elements);
+                let design = build.design_for(&opts.flow.board, c.clone());
+                if design.is_none() && opts.system.is_some() {
+                    return Err(FlowError::DoesNotFit {
+                        k: c.ks.iter().copied().max().unwrap_or(0),
+                        m: c.m,
+                    });
+                }
+                (design, host_src)
+            }
+            None => (None, String::new()),
+        };
+        let ProgramBuild {
+            plan: memory_plan,
+            memory,
+            ..
+        } = build;
+        let system_s = t_sys.elapsed().as_secs_f64();
+
+        // Per-kernel artifacts, assembled exactly like the single-kernel
+        // flow (so the no-sharing program is bit-identical per kernel).
+        let kopts = FlowOptions {
+            system: None,
+            ..opts.flow.clone()
+        };
+        let timings = StageTimings {
+            frontend_s: fronts.iter().map(|(_, f)| f.elapsed_s).sum(),
+            middle_end_s: scheds.iter().map(|s| s.middle.elapsed_s).sum(),
+            schedule_s: scheds.iter().map(|s| s.elapsed_s).sum(),
+            link_s: link.elapsed_s,
+            backend_s: backends.iter().map(|b| b.elapsed_s).sum(),
+            system_s,
+        };
+        let kernels: Vec<Artifacts> = fronts
+            .iter()
+            .zip(&scheds)
+            .zip(backends)
+            .map(|(((_, fe), sc), be)| {
+                Artifacts::assemble(
+                    fe,
+                    sc,
+                    be,
+                    crate::pipeline::SystemStage {
+                        system: None,
+                        host_source: String::new(),
+                        elapsed_s: 0.0,
+                    },
+                    &kopts,
+                )
+            })
+            .collect();
+        Ok(ProgramArtifacts {
+            names,
+            kernels,
+            cross,
+            memory_plan,
+            memory,
+            system,
+            host_source,
+            options: opts.clone(),
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Flow;
+
+    #[test]
+    fn simulation_step_compiles_into_one_system() {
+        let src = cfdlang::examples::simulation_step(4);
+        let art = ProgramFlow::compile(&src, &ProgramOptions::default()).unwrap();
+        assert_eq!(art.kernel_count(), 3);
+        assert_eq!(
+            art.names,
+            vec!["interpolate", "inverse_helmholtz", "project"]
+        );
+        let sys = art.system.as_ref().expect("program fits");
+        assert_eq!(sys.stages.len(), 3);
+        // Cross-kernel sharing beats the concatenated per-kernel PLMs.
+        assert!(art.memory.brams < art.per_kernel_plm_brams());
+        assert!(art.memory_plan.cross_edges > 0);
+        // The chain simulates and verifies end-to-end.
+        let r = art
+            .simulate(&SimConfig {
+                elements: 64,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(r.stage_exec_s.len(), 3);
+        assert!(r.total_s > 0.0);
+        assert!(art.verify(1, 3).unwrap().bitexact);
+    }
+
+    #[test]
+    fn single_kernel_source_is_degenerate_program() {
+        let src = cfdlang::examples::inverse_helmholtz(4);
+        let art = ProgramFlow::compile(&src, &ProgramOptions::default()).unwrap();
+        assert_eq!(art.names, vec!["main"]);
+        assert!(art.cross.handoffs.is_empty());
+        let single = Flow::compile(&src, &FlowOptions::default()).unwrap();
+        let k = &art.kernels[0];
+        assert_eq!(k.c_source, single.c_source);
+        assert_eq!(k.hls_report, single.hls_report);
+        assert_eq!(k.memory, single.memory);
+        // The degenerate program system picks the same k = m as the
+        // single-kernel flow.
+        let (ps, ss) = (
+            art.system.as_ref().unwrap(),
+            single.system.as_ref().unwrap(),
+        );
+        assert_eq!(ps.config.ks, vec![ss.config.k]);
+        assert_eq!(ps.config.m, ss.config.m);
+        assert_eq!(
+            (ps.luts, ps.ffs, ps.dsps, ps.brams),
+            (ss.luts, ss.ffs, ss.dsps, ss.brams)
+        );
+    }
+
+    #[test]
+    fn stage_counters_reflect_program_shape() {
+        let p = Pipeline::new();
+        let art = p
+            .run_program(
+                &cfdlang::examples::axpy_chain(3),
+                &ProgramOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(art.kernel_count(), 2);
+        let c = p.counters();
+        assert_eq!(c.frontend, 1);
+        assert_eq!(c.middle_end, 2);
+        assert_eq!(c.schedule, 2);
+        assert_eq!(c.link, 1);
+        assert_eq!(c.backend, 2);
+        assert_eq!(c.system, 1);
+        assert!(art.timings.total_s() > 0.0);
+    }
+
+    #[test]
+    fn without_cross_sharing_handoffs_pay_dma() {
+        let src = cfdlang::examples::axpy_chain(4);
+        let shared = ProgramFlow::compile(&src, &ProgramOptions::default()).unwrap();
+        let copied = ProgramFlow::compile(
+            &src,
+            &ProgramOptions {
+                cross_sharing: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (hs, hc) = (
+            &shared.system.as_ref().unwrap().host,
+            &copied.system.as_ref().unwrap().host,
+        );
+        // The handoff w (64 words) moves from the fabric to the DMA.
+        assert_eq!(hs.handoff_bytes_per_element, 64 * 8);
+        assert_eq!(hc.handoff_bytes_per_element, 0);
+        assert_eq!(
+            hc.bytes_in_per_element,
+            hs.bytes_in_per_element + 64 * 8,
+            "consumer input now loaded by the host"
+        );
+        assert_eq!(
+            hc.bytes_out_per_element,
+            hs.bytes_out_per_element + 64 * 8,
+            "producer output now drained by the host"
+        );
+        // And the simulated transfers actually grow.
+        let sim = |a: &ProgramArtifacts| {
+            a.simulate(&SimConfig {
+                elements: 64,
+                ..Default::default()
+            })
+            .unwrap()
+            .transfer_s
+        };
+        assert!(sim(&copied) > sim(&shared));
+    }
+
+    #[test]
+    fn single_kernel_block_source_compiles_everywhere() {
+        // `kernel solo { ... }` is the degenerate one-kernel set and
+        // must work through the single-kernel entry points too.
+        let src = format!("kernel solo {{\n{}}}\n", cfdlang::examples::axpy(3));
+        let art = crate::Flow::compile(&src, &FlowOptions::default()).unwrap();
+        assert!(art.verify(1, 2).unwrap().bitexact);
+        let prog = ProgramFlow::compile(&src, &ProgramOptions::default()).unwrap();
+        assert_eq!(prog.names, vec!["solo"]);
+        let engine = crate::dse::DseEngine::prepare(&src, &FlowOptions::default()).unwrap();
+        assert_eq!(engine.kernel_name(), "solo");
+    }
+
+    #[test]
+    fn stage_sources_and_reports_carry_stage_names() {
+        let art = ProgramFlow::compile(
+            &cfdlang::examples::axpy_chain(3),
+            &ProgramOptions::default(),
+        )
+        .unwrap();
+        // Emission for the linked system uses program-unique symbols...
+        assert!(art.stage_c_source(0).contains("void axpy_scale_body("));
+        assert!(art.stage_c_source(1).contains("void axpy_update_body("));
+        let sys = art.system.as_ref().unwrap();
+        assert_eq!(sys.stages[0].kernel.kernel, "axpy_scale");
+        assert_eq!(sys.stages[1].kernel.kernel, "axpy_update");
+        // ...while the per-kernel artifacts keep their stand-alone
+        // shape (the bit-identity guarantee).
+        assert!(art.kernels[0].c_source.contains("void kernel_body("));
+    }
+
+    #[test]
+    fn requested_oversized_program_errors() {
+        let src = cfdlang::examples::simulation_step(4);
+        let opts = ProgramOptions {
+            system: Some(ProgramSystemConfig::uniform(64, 64, 3)),
+            ..Default::default()
+        };
+        let err = ProgramFlow::compile(&src, &opts).unwrap_err();
+        assert!(matches!(err, FlowError::DoesNotFit { .. }));
+    }
+
+    #[test]
+    fn handoff_buffers_leave_the_host_interface() {
+        let src = cfdlang::examples::simulation_step(4);
+        let art = ProgramFlow::compile(&src, &ProgramOptions::default()).unwrap();
+        let host = &art.system.as_ref().unwrap().host;
+        // u and v hand off in-fabric (64 words each at p=4).
+        assert_eq!(host.handoff_bytes_per_element, 2 * 64 * 8);
+        // External inputs: P, u0, S, D, Q; external output: w only.
+        assert_eq!(host.bytes_in_per_element, (16 + 64 + 16 + 64 + 16) * 8);
+        assert_eq!(host.bytes_out_per_element, 64 * 8);
+    }
+}

@@ -9,6 +9,53 @@ pub struct Program {
     pub stmts: Vec<Stmt>,
 }
 
+/// One `kernel name { ... }` block of a multi-kernel source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    pub name: String,
+    pub program: Program,
+    pub span: Span,
+}
+
+/// A multi-kernel source: an ordered sequence of kernel declarations
+/// that execute as one chained CFD step. A source without `kernel`
+/// blocks parses as the degenerate single-kernel set (one kernel named
+/// `main`). Kernels are linked by tensor name: an `input` of a later
+/// kernel whose name matches an `output` of an earlier kernel receives
+/// that kernel's result (the buffer handoff the host orchestrates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSet {
+    pub kernels: Vec<KernelDef>,
+}
+
+impl ProgramSet {
+    /// Wrap a single program as the degenerate one-kernel set.
+    pub fn single(program: Program) -> ProgramSet {
+        ProgramSet {
+            kernels: vec![KernelDef {
+                name: "main".to_string(),
+                program,
+                span: Span::default(),
+            }],
+        }
+    }
+
+    /// Whether the source declared more than one kernel.
+    pub fn is_multi(&self) -> bool {
+        self.kernels.len() > 1
+    }
+
+    /// Kernel names in declaration (= execution) order.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        self.kernels.iter().map(|k| k.name.as_str()).collect()
+    }
+
+    /// Find a kernel by name.
+    pub fn find_kernel(&self, name: &str) -> Option<&KernelDef> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
 /// Storage class of a declared tensor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeclKind {

@@ -36,7 +36,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
                     i += 1;
                 }
             }
-            b':' | b'=' | b'[' | b']' | b'(' | b')' | b'#' | b'*' | b'+' | b'-' | b'/' | b'.' => {
+            b':' | b'=' | b'[' | b']' | b'(' | b')' | b'{' | b'}' | b'#' | b'*' | b'+' | b'-'
+            | b'/' | b'.' => {
                 let kind = match b {
                     b':' => TokenKind::Colon,
                     b'=' => TokenKind::Equals,
@@ -44,6 +45,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
                     b']' => TokenKind::RBracket,
                     b'(' => TokenKind::LParen,
                     b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
                     b'#' => TokenKind::Hash,
                     b'*' => TokenKind::Star,
                     b'+' => TokenKind::Plus,
@@ -91,6 +94,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
                     "input" => TokenKind::Input,
                     "output" => TokenKind::Output,
                     "type" => TokenKind::Type,
+                    "kernel" => TokenKind::Kernel,
                     _ => TokenKind::Ident(text.to_string()),
                 };
                 out.push(Token {

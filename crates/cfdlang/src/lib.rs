@@ -34,6 +34,21 @@
 //! let typed = cfdlang::check(&program).expect("type checks");
 //! assert_eq!(typed.shape_of("t"), Some(&vec![11usize, 11, 11][..]));
 //! ```
+//!
+//! # Multi-kernel programs
+//!
+//! A source may group several kernels into one program with
+//! `kernel name { ... }` blocks; [`parse_set`] / [`check_set`] resolve
+//! the name-matched output→input handoffs between them (a full CFD
+//! time-step is such a chain — see [`examples::simulation_step`]). A
+//! plain source is the degenerate single-kernel set.
+//!
+//! ```
+//! let src = cfdlang::examples::simulation_step(4);
+//! let set = cfdlang::check_set(&cfdlang::parse_set(&src).unwrap()).unwrap();
+//! assert_eq!(set.kernels.len(), 3);
+//! assert_eq!(set.links.len(), 2); // u and v hand off between kernels
+//! ```
 
 pub mod ast;
 pub mod diag;
@@ -44,8 +59,8 @@ pub mod pretty;
 pub mod sema;
 pub mod token;
 
-pub use ast::{BinOp, Decl, DeclKind, Expr, Program, Stmt};
+pub use ast::{BinOp, Decl, DeclKind, Expr, KernelDef, Program, ProgramSet, Stmt};
 pub use diag::{Diagnostic, Span};
-pub use parser::parse;
-pub use pretty::pretty;
-pub use sema::{check, TypedProgram};
+pub use parser::{parse, parse_set};
+pub use pretty::{pretty, pretty_set};
+pub use sema::{check, check_set, TensorLink, TypedKernel, TypedProgram, TypedProgramSet};

@@ -20,15 +20,49 @@
 //! `S # S # S # u . [[1 6] [3 7] [5 8]]` contracts the 9-dimensional
 //! product, exactly as in Figure 1 of the paper.
 
-use crate::ast::{BinOp, Decl, DeclKind, Expr, Program, Stmt, TypeExpr};
+use crate::ast::{BinOp, Decl, DeclKind, Expr, KernelDef, Program, ProgramSet, Stmt, TypeExpr};
 use crate::diag::Diagnostic;
 use crate::lexer::lex;
 use crate::token::{Token, TokenKind};
 
-/// Parse a CFDlang source string into an AST.
+/// Parse a single-kernel CFDlang source string into an AST.
 pub fn parse(src: &str) -> Result<Program, Diagnostic> {
     let tokens = lex(src)?;
     Parser { tokens, pos: 0 }.program()
+}
+
+/// Parse a (possibly multi-kernel) source into a [`ProgramSet`].
+///
+/// A source made of `kernel name { ... }` blocks yields one kernel per
+/// block in declaration order; a plain declaration/statement source is
+/// the degenerate case — a single kernel named `main`. Mixing the two
+/// forms is an error.
+pub fn parse_set(src: &str) -> Result<ProgramSet, Diagnostic> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    if p.peek().kind != TokenKind::Kernel {
+        return Ok(ProgramSet::single(p.program()?));
+    }
+    let mut kernels: Vec<KernelDef> = Vec::new();
+    while p.peek().kind != TokenKind::Eof {
+        let kw = p.eat(&TokenKind::Kernel)?;
+        let (name, _) = p.eat_ident()?;
+        if kernels.iter().any(|k| k.name == name) {
+            return Err(Diagnostic::new(
+                kw.span,
+                format!("duplicate kernel '{name}'"),
+            ));
+        }
+        p.eat(&TokenKind::LBrace)?;
+        let program = p.block_program()?;
+        p.eat(&TokenKind::RBrace)?;
+        kernels.push(KernelDef {
+            name,
+            program,
+            span: kw.span,
+        });
+    }
+    Ok(ProgramSet { kernels })
 }
 
 struct Parser {
@@ -95,6 +129,27 @@ impl Parser {
                 TokenKind::Type => decls.push(self.type_decl()?),
                 TokenKind::Ident(_) => stmts.push(self.stmt()?),
                 TokenKind::Eof => break,
+                ref other => {
+                    return Err(Diagnostic::new(
+                        self.peek().span,
+                        format!("expected declaration or statement, found {other}"),
+                    ))
+                }
+            }
+        }
+        Ok(Program { decls, stmts })
+    }
+
+    /// A program body inside a `kernel { ... }` block: stops at `}`.
+    fn block_program(&mut self) -> Result<Program, Diagnostic> {
+        let mut decls = Vec::new();
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek().kind {
+                TokenKind::Var => decls.push(self.var_decl()?),
+                TokenKind::Type => decls.push(self.type_decl()?),
+                TokenKind::Ident(_) => stmts.push(self.stmt()?),
+                TokenKind::RBrace | TokenKind::Eof => break,
                 ref other => {
                     return Err(Diagnostic::new(
                         self.peek().span,

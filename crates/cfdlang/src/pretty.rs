@@ -1,7 +1,29 @@
 //! Pretty printer: AST back to CFDlang surface syntax.
 
-use crate::ast::{Decl, DeclKind, Expr, Program, TypeExpr};
+use crate::ast::{Decl, DeclKind, Expr, Program, ProgramSet, TypeExpr};
 use std::fmt::Write;
+
+/// Render a multi-kernel set as CFDlang source. The degenerate
+/// single-kernel set prints as a plain program (no `kernel` block), so
+/// round-tripping a classic source stays the identity.
+pub fn pretty_set(set: &ProgramSet) -> String {
+    if !set.is_multi() {
+        return set
+            .kernels
+            .first()
+            .map(|k| pretty(&k.program))
+            .unwrap_or_default();
+    }
+    let mut out = String::new();
+    for k in &set.kernels {
+        let _ = writeln!(out, "kernel {} {{", k.name);
+        for line in pretty(&k.program).lines() {
+            let _ = writeln!(out, "\t{line}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
 
 /// Render a program as CFDlang source.
 pub fn pretty(p: &Program) -> String {

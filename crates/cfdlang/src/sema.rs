@@ -11,7 +11,7 @@
 //! * contraction pairs must reference distinct, in-range, equal-extent
 //!   dimensions of the product expression.
 
-use crate::ast::{Decl, DeclKind, Expr, Program, Stmt, TypeExpr};
+use crate::ast::{Decl, DeclKind, Expr, Program, ProgramSet, Stmt, TypeExpr};
 use crate::diag::Diagnostic;
 use std::collections::HashMap;
 
@@ -74,6 +74,146 @@ impl TypedProgram {
     pub fn volume_of(&self, name: &str) -> Option<usize> {
         self.shapes.get(name).map(|s| s.iter().product())
     }
+}
+
+/// One checked kernel of a multi-kernel program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedKernel {
+    pub name: String,
+    pub typed: TypedProgram,
+}
+
+/// A cross-kernel tensor handoff: kernel `from`'s output `name` feeds
+/// kernel `to`'s equally named input. Shapes are checked to match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorLink {
+    pub name: String,
+    /// Producing kernel (index into `TypedProgramSet::kernels`).
+    pub from: usize,
+    /// Consuming kernel.
+    pub to: usize,
+    pub shape: Shape,
+}
+
+/// A checked multi-kernel program with its resolved inter-kernel links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedProgramSet {
+    pub kernels: Vec<TypedKernel>,
+    /// Handoffs in (from, to) order.
+    pub links: Vec<TensorLink>,
+}
+
+impl TypedProgramSet {
+    /// Kernel names in execution order.
+    pub fn kernel_names(&self) -> Vec<&str> {
+        self.kernels.iter().map(|k| k.name.as_str()).collect()
+    }
+
+    /// Whether kernel `to`'s input `name` is fed by an earlier kernel.
+    pub fn link_into(&self, to: usize, name: &str) -> Option<&TensorLink> {
+        self.links.iter().find(|l| l.to == to && l.name == name)
+    }
+
+    /// External inputs the host must supply: `(kernel index, name)`
+    /// pairs for every input not fed by an upstream kernel.
+    pub fn external_inputs(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (i, k) in self.kernels.iter().enumerate() {
+            for n in k.typed.inputs() {
+                if self.link_into(i, n).is_none() {
+                    out.push((i, n.to_string()));
+                }
+            }
+        }
+        out
+    }
+
+    /// External outputs the host reads back: every kernel output is
+    /// host-visible (handoffs are additionally forwarded in-fabric).
+    pub fn external_outputs(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for (i, k) in self.kernels.iter().enumerate() {
+            for n in k.typed.outputs() {
+                // Outputs consumed by a later kernel stay in the fabric;
+                // only final results travel back over DMA.
+                let consumed = self.links.iter().any(|l| l.from == i && l.name == n);
+                if !consumed {
+                    out.push((i, n.to_string()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Check a multi-kernel set: each kernel individually, then the
+/// cross-kernel links (name-matched output→input handoffs must agree on
+/// shape; an input may only be fed by a *preceding* kernel).
+pub fn check_set(set: &ProgramSet) -> Result<TypedProgramSet, Diagnostic> {
+    let mut kernels = Vec::with_capacity(set.kernels.len());
+    for k in &set.kernels {
+        let typed = check(&k.program).map_err(|d| {
+            Diagnostic::new(d.span, format!("in kernel '{}': {}", k.name, d.message))
+        })?;
+        kernels.push(TypedKernel {
+            name: k.name.clone(),
+            typed,
+        });
+    }
+    let mut links = Vec::new();
+    for (j, cons) in kernels.iter().enumerate() {
+        for input in cons.typed.inputs() {
+            // The most recent producer wins, mirroring dataflow order.
+            let producer = kernels[..j]
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, p)| p.typed.outputs().contains(&input));
+            if let Some((i, prod)) = producer {
+                let ps = prod.typed.shape_of(input).expect("declared output");
+                let cs = cons.typed.shape_of(input).expect("declared input");
+                if ps != cs {
+                    return Err(Diagnostic::new(
+                        set.kernels[j].span,
+                        format!(
+                            "kernel '{}' output '{}' {:?} does not match kernel '{}' input {:?}",
+                            prod.name, input, ps, cons.name, cs
+                        ),
+                    ));
+                }
+                links.push(TensorLink {
+                    name: input.to_string(),
+                    from: i,
+                    to: j,
+                    shape: ps.to_vec(),
+                });
+            }
+        }
+    }
+    let typed_set = TypedProgramSet { kernels, links };
+    // External input names are program-global (the host supplies one
+    // tensor per name), so same-named external inputs of different
+    // kernels must agree on shape.
+    let externals = typed_set.external_inputs();
+    for (a, (ki, name)) in externals.iter().enumerate() {
+        let sa = typed_set.kernels[*ki].typed.shape_of(name).expect("input");
+        for (kj, other) in &externals[a + 1..] {
+            if other != name {
+                continue;
+            }
+            let sb = typed_set.kernels[*kj].typed.shape_of(name).expect("input");
+            if sa != sb {
+                return Err(Diagnostic::new(
+                    set.kernels[*kj].span,
+                    format!(
+                        "external input '{}' has shape {:?} in kernel '{}' but {:?} in kernel '{}'",
+                        name, sa, typed_set.kernels[*ki].name, sb, typed_set.kernels[*kj].name
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(typed_set)
 }
 
 /// Check a parsed program.
@@ -373,6 +513,29 @@ mod tests {
     fn rejects_zero_extent() {
         let e = check_src("var input a : [0]\nvar output o : []\no = a . [[0 0]]").unwrap_err();
         assert!(e.message.contains("zero-extent"));
+    }
+
+    #[test]
+    fn rejects_conflicting_external_input_shapes() {
+        // x is an external input to both kernels with different shapes:
+        // the host cannot supply one tensor under that name.
+        let src = "kernel a { var input x : [4]\nvar output u : [4]\nu = x + x }\n\
+                   kernel b { var input x : [5]\nvar input u : [4]\nvar output o : [5]\no = x * 2 }";
+        let e = crate::check_set(&crate::parse_set(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("external input 'x'"), "{}", e.message);
+        assert!(
+            e.span != crate::Span::default(),
+            "diagnostic carries a span"
+        );
+    }
+
+    #[test]
+    fn handoff_shape_mismatch_carries_span() {
+        let src = "kernel a { var input x : [4]\nvar output u : [4]\nu = x + x }\n\
+                   kernel b { var input u : [5]\nvar output o : [5]\no = u * 2 }";
+        let e = crate::check_set(&crate::parse_set(src).unwrap()).unwrap_err();
+        assert!(e.message.contains("does not match"), "{}", e.message);
+        assert!(e.span != crate::Span::default());
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub enum TokenKind {
     Input,
     Output,
     Type,
+    Kernel,
     // Punctuation
     Colon,
     Equals,
@@ -18,6 +19,8 @@ pub enum TokenKind {
     RBracket,
     LParen,
     RParen,
+    LBrace,
+    RBrace,
     Hash,
     Star,
     Plus,
@@ -38,12 +41,15 @@ impl fmt::Display for TokenKind {
             TokenKind::Input => write!(f, "'input'"),
             TokenKind::Output => write!(f, "'output'"),
             TokenKind::Type => write!(f, "'type'"),
+            TokenKind::Kernel => write!(f, "'kernel'"),
             TokenKind::Colon => write!(f, "':'"),
             TokenKind::Equals => write!(f, "'='"),
             TokenKind::LBracket => write!(f, "'['"),
             TokenKind::RBracket => write!(f, "']'"),
             TokenKind::LParen => write!(f, "'('"),
             TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
             TokenKind::Hash => write!(f, "'#'"),
             TokenKind::Star => write!(f, "'*'"),
             TokenKind::Plus => write!(f, "'+'"),

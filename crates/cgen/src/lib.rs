@@ -23,6 +23,6 @@ pub mod exec;
 pub mod ir;
 
 pub use build::{build_kernel, CodegenOptions};
-pub use emit::emit_c99;
+pub use emit::{emit_c99, emit_c99_as};
 pub use exec::{run_kernel, ExecCounts};
 pub use ir::{AffineAddr, ArrAccess, CExpr, CKernel, CParam, CStmt, ParamRole};

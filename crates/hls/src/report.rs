@@ -20,6 +20,16 @@ pub struct HlsReport {
 }
 
 impl HlsReport {
+    /// The same report under a different kernel label — multi-kernel
+    /// systems label each stage's report with the stage name (every
+    /// kernel synthesizes as `kernel_body` on its own).
+    pub fn renamed(&self, kernel: impl Into<String>) -> HlsReport {
+        HlsReport {
+            kernel: kernel.into(),
+            ..self.clone()
+        }
+    }
+
     /// Latency in seconds at the synthesis clock.
     pub fn latency_seconds(&self) -> f64 {
         self.latency_cycles as f64 / (self.clock_mhz * 1e6)
@@ -79,6 +89,26 @@ mod tests {
         };
         assert!((r.latency_seconds() - 0.001).abs() < 1e-12);
         assert!((r.latency_us() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renamed_keeps_everything_but_the_label() {
+        let r = HlsReport {
+            kernel: "kernel_body".into(),
+            clock_mhz: 200.0,
+            latency_cycles: 200_000,
+            luts: 1,
+            ffs: 2,
+            dsps: 3,
+            brams: 4,
+            loops: vec![],
+        };
+        let s = r.renamed("interpolate");
+        assert_eq!(s.kernel, "interpolate");
+        assert_eq!(
+            (s.latency_cycles, s.luts, s.ffs, s.dsps, s.brams),
+            (r.latency_cycles, r.luts, r.ffs, r.dsps, r.brams)
+        );
     }
 
     #[test]

@@ -23,10 +23,12 @@
 
 pub mod config;
 pub mod plm;
+pub mod program;
 pub mod sharing;
 
 pub use config::{ArraySpec, MnemosyneConfig};
 pub use plm::{BramSpec, MemoryOptions, MemorySubsystem, PlmUnit};
+pub use program::{merge_configs, synthesize_program, ProgramMemoryPlan};
 pub use sharing::{share_groups, SharingSolution};
 
 /// Synthesize the memory subsystem for a kernel.

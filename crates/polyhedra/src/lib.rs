@@ -55,7 +55,7 @@ pub mod set;
 pub mod space;
 pub mod system;
 
-pub use bounds::{extract_bounds, DimBounds};
+pub use bounds::{extract_bounds, ClosedInterval, DimBounds};
 pub use constraint::{Constraint, ConstraintKind};
 pub use lex::{between_set, lex_le_map, lex_lt_map};
 pub use linexpr::LinExpr;

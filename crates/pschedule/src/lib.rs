@@ -18,15 +18,21 @@
 //!   against the dependence relations (Section IV-E),
 //! * [`liveness`] — the paper's liveness analysis (Section IV-F):
 //!   `I = (S×S)∘RAW`, `L = ge_le∘I`, address-space and memory-interface
-//!   compatibility, and the memory compatibility graph of Figure 5.
+//!   compatibility, and the memory compatibility graph of Figure 5,
+//! * [`link`] — cross-kernel analysis for multi-kernel programs:
+//!   inter-kernel dependences (tensor handoffs), kernel-sequence live
+//!   intervals, and the cross-kernel compatibility rules behind
+//!   program-wide PLM sharing.
 
 pub mod deps;
+pub mod link;
 pub mod liveness;
 pub mod model;
 pub mod schedule;
 pub mod scheduler;
 
 pub use deps::{legal, Dependence, DependenceKind, Dependences};
+pub use link::{ArraySeqInfo, CrossLiveness, Handoff};
 pub use liveness::{CompatKind, CompatibilityGraph, Liveness};
 pub use model::{KernelModel, PolyStmt};
 pub use schedule::Schedule;

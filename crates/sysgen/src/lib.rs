@@ -19,10 +19,15 @@
 
 pub mod board;
 pub mod host;
+pub mod multi;
 pub mod netlist;
 pub mod system;
 
 pub use board::BoardSpec;
 pub use host::HostProgram;
+pub use multi::{
+    enumerate_program_configs, enumerate_program_designs, max_equal_program_config,
+    MultiSystemDesign, ProgramHostProgram, ProgramSystemConfig, StageDesign,
+};
 pub use netlist::emit_system_verilog;
 pub use system::{enumerate_configs, max_equal_config, SystemConfig, SystemDesign};

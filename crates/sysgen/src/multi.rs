@@ -1,0 +1,446 @@
+//! Multi-accelerator system construction for multi-kernel programs.
+//!
+//! A whole CFD time-step compiles into **one** shared-memory
+//! accelerator system: every kernel of the program gets its own
+//! replicated accelerator bank (`ks[i]` instances of stage `i`), all
+//! banks execute against the same `m` PLM sets (which hold the merged,
+//! cross-kernel-shared program memory of
+//! `mnemosyne::synthesize_program`), and a single DMA engine plus
+//! AXI-lite peripheral serve the union. Eq. (3) generalizes to
+//!
+//! ```text
+//! Σ_i [H_i]·k_i  +  [M]·m  +  glue  ≤  [A]
+//! ```
+//!
+//! with the same power-of-two batching constraint per stage
+//! (`m = 2^j · k_i`). The host program runs `Ne/m` main-loop rounds:
+//! transfer the *external* inputs for `m` elements, run each stage's
+//! `m/k_i` start/wait batches in chain order (handoffs stay inside the
+//! PLM fabric — co-located buffers make them free), then transfer the
+//! external outputs back.
+
+use crate::board::BoardSpec;
+use crate::system::{IntegrationModel, SystemConfig};
+use hls::HlsReport;
+use mnemosyne::MemorySubsystem;
+use serde::{Deserialize, Serialize};
+
+/// Replication choice for a program: `ks[i]` accelerators for stage `i`
+/// and `m` shared PLM sets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramSystemConfig {
+    pub ks: Vec<usize>,
+    pub m: usize,
+}
+
+impl ProgramSystemConfig {
+    /// The same replication for every stage.
+    pub fn uniform(k: usize, m: usize, stages: usize) -> ProgramSystemConfig {
+        ProgramSystemConfig {
+            ks: vec![k; stages],
+            m,
+        }
+    }
+
+    /// Executions per accelerator of stage `i` per main-loop round.
+    pub fn batch(&self, stage: usize) -> usize {
+        self.m / self.ks[stage]
+    }
+
+    /// Every stage must satisfy the paper's `m = 2^j · k` relation.
+    pub fn valid(&self) -> bool {
+        !self.ks.is_empty()
+            && self.ks.iter().all(|&k| {
+                k >= 1 && self.m >= k && self.m.is_multiple_of(k) && (self.m / k).is_power_of_two()
+            })
+    }
+
+    /// The per-stage view of stage `i` (for reporting).
+    pub fn stage_config(&self, stage: usize) -> SystemConfig {
+        SystemConfig {
+            k: self.ks[stage],
+            m: self.m,
+        }
+    }
+}
+
+/// One kernel stage of the program system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDesign {
+    pub name: String,
+    /// Accelerator instances of this stage.
+    pub k: usize,
+    /// Per-instance HLS report.
+    pub kernel: HlsReport,
+}
+
+/// Host program for a chained multi-kernel system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramHostProgram {
+    pub config: ProgramSystemConfig,
+    pub stage_names: Vec<String>,
+    /// External input bytes per element (host → PLM over DMA).
+    pub bytes_in_per_element: usize,
+    /// External output bytes per element (PLM → host over DMA).
+    pub bytes_out_per_element: usize,
+    /// Kernel-to-kernel handoff bytes per element — stays inside the
+    /// fabric, never crosses the DMA.
+    pub handoff_bytes_per_element: usize,
+}
+
+impl ProgramHostProgram {
+    /// Main-loop iterations to process `elements` elements.
+    pub fn rounds(&self, elements: usize) -> usize {
+        elements.div_ceil(self.config.m)
+    }
+
+    /// Generate the C host-side skeleton for inspection.
+    pub fn to_c(&self, elements: usize) -> String {
+        let m = self.config.m;
+        let mut body = String::new();
+        for (i, name) in self.stage_names.iter().enumerate() {
+            let k = self.config.ks[i];
+            let batch = self.config.batch(i);
+            body.push_str(&format!(
+                "\t\tfor (int b = 0; b < {batch}; ++b) {{ /* stage '{name}' */\n\
+                 \t\t\taxi_lite_write(CTRL_START_{i}, 1); /* broadcast to {k} kernels */\n\
+                 \t\t\twait_for_interrupt();\n\
+                 \t\t}}\n"
+            ));
+        }
+        format!(
+            "/* generated host code: {stages}-stage program, m = {m} PLM sets */\n\
+             void run_simulation(const double *in, double *out) {{\n\
+             \tfor (size_t i = 0; i < {rounds}; ++i) {{\n\
+             \t\tdma_write(in + i * {m} * {bi} / 8, {total_in});\n\
+             {body}\
+             \t\t/* handoffs ({hb} B/element) stay in the PLM fabric */\n\
+             \t\tdma_read(out + i * {m} * {bo} / 8, {total_out});\n\
+             \t}}\n\
+             }}\n",
+            stages = self.stage_names.len(),
+            rounds = self.rounds(elements),
+            bi = self.bytes_in_per_element,
+            bo = self.bytes_out_per_element,
+            hb = self.handoff_bytes_per_element,
+            total_in = self.bytes_in_per_element * m,
+            total_out = self.bytes_out_per_element * m,
+        )
+    }
+}
+
+/// A fully elaborated multi-kernel system instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSystemDesign {
+    pub config: ProgramSystemConfig,
+    pub board: BoardSpec,
+    pub stages: Vec<StageDesign>,
+    /// The merged program memory subsystem of *one* PLM set.
+    pub memory: MemorySubsystem,
+    /// Totals including integration logic.
+    pub luts: usize,
+    pub ffs: usize,
+    pub dsps: usize,
+    pub brams: usize,
+    pub host: ProgramHostProgram,
+}
+
+impl MultiSystemDesign {
+    /// Build a program system, checking the generalized Eq. (3) over
+    /// the union of all stages. Returns `None` when it does not fit.
+    pub fn build(
+        board: &BoardSpec,
+        stages: &[(String, HlsReport)],
+        memory: &MemorySubsystem,
+        cfg: ProgramSystemConfig,
+        host: ProgramHostProgram,
+    ) -> Option<MultiSystemDesign> {
+        assert_eq!(stages.len(), cfg.ks.len(), "one k per stage");
+        assert!(cfg.valid(), "invalid program configuration {cfg:?}");
+        let im = IntegrationModel::default();
+        let mut luts = im.base_lut + cfg.m * memory.luts;
+        let mut ffs = im.base_ff + cfg.m * memory.ffs;
+        let mut dsps = 0usize;
+        let mut brams = im.base_bram + cfg.m * memory.brams;
+        for (i, (_, hlsr)) in stages.iter().enumerate() {
+            let k = cfg.ks[i];
+            luts +=
+                k * (hlsr.luts + im.glue_lut_per_kernel) + (cfg.m - k) * im.glue_lut_per_extra_plm;
+            ffs += k * (hlsr.ffs + im.glue_ff_per_kernel);
+            dsps += k * hlsr.dsps;
+            brams += k * hlsr.brams;
+        }
+        let fits =
+            luts <= board.luts && ffs <= board.ffs && dsps <= board.dsps && brams <= board.brams;
+        if !fits {
+            return None;
+        }
+        Some(MultiSystemDesign {
+            stages: stages
+                .iter()
+                .enumerate()
+                .map(|(i, (name, hlsr))| StageDesign {
+                    name: name.clone(),
+                    k: cfg.ks[i],
+                    kernel: hlsr.clone(),
+                })
+                .collect(),
+            config: cfg,
+            board: board.clone(),
+            memory: memory.clone(),
+            luts,
+            ffs,
+            dsps,
+            brams,
+            host,
+        })
+    }
+
+    /// Slack per resource: `[A] - (Σ[H_i]·k_i + [M]·m)`.
+    pub fn slack(&self) -> (isize, isize, isize, isize) {
+        (
+            self.board.luts as isize - self.luts as isize,
+            self.board.ffs as isize - self.ffs as isize,
+            self.board.dsps as isize - self.dsps as isize,
+            self.board.brams as isize - self.brams as isize,
+        )
+    }
+
+    /// Per-round kernel-execution seconds summed over the chained
+    /// stages (each stage runs `m/k_i` serial batches).
+    pub fn chain_exec_seconds(&self) -> f64 {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| self.config.batch(i) as f64 * s.kernel.latency_seconds())
+            .sum()
+    }
+}
+
+/// All feasible **uniform** program designs (`k_i = k` for all stages,
+/// `m = 2^j · k`), fully built with placeholder hosts — callers that
+/// only need the configurations can project them out, callers that
+/// report resources get them without rebuilding Eq. (3).
+pub fn enumerate_program_designs(
+    board: &BoardSpec,
+    stages: &[(String, HlsReport)],
+    memory: &MemorySubsystem,
+) -> Vec<MultiSystemDesign> {
+    let mut out = Vec::new();
+    let mut k = 1usize;
+    while k <= 64 {
+        let mut m = k;
+        while m <= 64 {
+            let cfg = ProgramSystemConfig::uniform(k, m, stages.len());
+            let host = ProgramHostProgram::placeholder(cfg.clone(), stages);
+            if let Some(d) = MultiSystemDesign::build(board, stages, memory, cfg, host) {
+                out.push(d);
+            }
+            m *= 2;
+        }
+        k *= 2;
+    }
+    out
+}
+
+/// All feasible **uniform** program configurations.
+pub fn enumerate_program_configs(
+    board: &BoardSpec,
+    stages: &[(String, HlsReport)],
+    memory: &MemorySubsystem,
+) -> Vec<ProgramSystemConfig> {
+    enumerate_program_designs(board, stages, memory)
+        .into_iter()
+        .map(|d| d.config)
+        .collect()
+}
+
+/// The largest feasible uniform `k = m` program configuration.
+pub fn max_equal_program_config(
+    board: &BoardSpec,
+    stages: &[(String, HlsReport)],
+    memory: &MemorySubsystem,
+) -> Option<ProgramSystemConfig> {
+    enumerate_program_configs(board, stages, memory)
+        .into_iter()
+        .filter(|c| c.ks.iter().all(|&k| k == c.m))
+        .max_by_key(|c| c.m)
+}
+
+impl ProgramHostProgram {
+    /// A placeholder for feasibility enumeration (no transfer sizes).
+    pub fn placeholder(
+        config: ProgramSystemConfig,
+        stages: &[(String, HlsReport)],
+    ) -> ProgramHostProgram {
+        ProgramHostProgram {
+            stage_names: stages.iter().map(|(n, _)| n.clone()).collect(),
+            config,
+            bytes_in_per_element: 0,
+            bytes_out_per_element: 0,
+            handoff_bytes_per_element: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostProgram;
+    use crate::system::SystemDesign;
+
+    fn report(latency: u64, luts: usize) -> HlsReport {
+        HlsReport {
+            kernel: "kernel_body".into(),
+            clock_mhz: 200.0,
+            latency_cycles: latency,
+            luts,
+            ffs: 2_999,
+            dsps: 15,
+            brams: 0,
+            loops: vec![],
+        }
+    }
+
+    fn memory() -> MemorySubsystem {
+        MemorySubsystem {
+            units: vec![],
+            brams: 16,
+            luts: 450,
+            ffs: 250,
+        }
+    }
+
+    #[test]
+    fn config_validity_per_stage() {
+        assert!(ProgramSystemConfig::uniform(2, 4, 3).valid());
+        assert!(ProgramSystemConfig {
+            ks: vec![1, 2, 4],
+            m: 4
+        }
+        .valid());
+        assert!(!ProgramSystemConfig {
+            ks: vec![3, 2],
+            m: 4
+        }
+        .valid());
+        assert!(!ProgramSystemConfig { ks: vec![], m: 1 }.valid());
+    }
+
+    #[test]
+    fn single_stage_matches_system_design_totals() {
+        // The degenerate one-kernel program must cost exactly what the
+        // single-kernel Eq. (3) computes.
+        let board = BoardSpec::zcu106();
+        let hlsr = report(500_000, 2_314);
+        let mem = memory();
+        let cfg = SystemConfig { k: 4, m: 4 };
+        let single =
+            SystemDesign::build(&board, &hlsr, &mem, cfg, HostProgram::placeholder(cfg)).unwrap();
+        let pcfg = ProgramSystemConfig::uniform(4, 4, 1);
+        let stages = vec![("main".to_string(), hlsr)];
+        let multi = MultiSystemDesign::build(
+            &board,
+            &stages,
+            &mem,
+            pcfg.clone(),
+            ProgramHostProgram::placeholder(pcfg.clone(), &stages),
+        )
+        .unwrap();
+        assert_eq!(
+            (multi.luts, multi.ffs, multi.dsps, multi.brams),
+            (single.luts, single.ffs, single.dsps, single.brams)
+        );
+    }
+
+    #[test]
+    fn union_budget_rejects_what_stages_accept_alone() {
+        let board = BoardSpec::zcu106();
+        let hlsr = report(500_000, 2_314);
+        // One kernel with its own 16-BRAM PLM set fits at k = m = 16;
+        // the three-kernel program's merged PLM set (36 BRAMs even
+        // after cross-kernel sharing) blows the shared BRAM budget at
+        // the same replication.
+        let one = ProgramSystemConfig::uniform(16, 16, 1);
+        let stages1 = vec![("a".to_string(), hlsr.clone())];
+        assert!(MultiSystemDesign::build(
+            &board,
+            &stages1,
+            &memory(),
+            one.clone(),
+            ProgramHostProgram::placeholder(one.clone(), &stages1)
+        )
+        .is_some());
+        let merged = MemorySubsystem {
+            units: vec![],
+            brams: 36,
+            luts: 1_200,
+            ffs: 700,
+        };
+        let three = ProgramSystemConfig::uniform(16, 16, 3);
+        let stages3: Vec<(String, HlsReport)> = ["a", "b", "c"]
+            .iter()
+            .map(|n| (n.to_string(), hlsr.clone()))
+            .collect();
+        assert!(MultiSystemDesign::build(
+            &board,
+            &stages3,
+            &merged,
+            three.clone(),
+            ProgramHostProgram::placeholder(three.clone(), &stages3)
+        )
+        .is_none());
+        let max = max_equal_program_config(&board, &stages3, &merged).unwrap();
+        assert!(max.m < 16, "{max:?}");
+    }
+
+    #[test]
+    fn per_stage_replication_and_chain_latency() {
+        let board = BoardSpec::zcu106();
+        let fast = report(100_000, 2_000);
+        let slow = report(400_000, 2_500);
+        let mem = memory();
+        let stages = vec![("fast".to_string(), fast), ("slow".to_string(), slow)];
+        // Give the slow stage 4 replicas, the fast one 1 — batches 4 / 1.
+        let cfg = ProgramSystemConfig {
+            ks: vec![1, 4],
+            m: 4,
+        };
+        let d = MultiSystemDesign::build(
+            &board,
+            &stages,
+            &mem,
+            cfg.clone(),
+            ProgramHostProgram::placeholder(cfg.clone(), &stages),
+        )
+        .unwrap();
+        assert_eq!(d.config.batch(0), 4);
+        assert_eq!(d.config.batch(1), 1);
+        // Chain exec = 4×fast + 1×slow per round.
+        let want = 4.0 * 100_000.0 / 200e6 + 400_000.0 / 200e6;
+        assert!((d.chain_exec_seconds() - want).abs() < 1e-12);
+        let (l, f, ds, br) = d.slack();
+        assert!(l >= 0 && f >= 0 && ds >= 0 && br >= 0);
+    }
+
+    #[test]
+    fn host_skeleton_mentions_every_stage() {
+        let cfg = ProgramSystemConfig {
+            ks: vec![2, 1],
+            m: 4,
+        };
+        let host = ProgramHostProgram {
+            config: cfg,
+            stage_names: vec!["interp".into(), "helm".into()],
+            bytes_in_per_element: 800,
+            bytes_out_per_element: 400,
+            handoff_bytes_per_element: 512,
+        };
+        let c = host.to_c(100);
+        assert!(c.contains("stage 'interp'"));
+        assert!(c.contains("stage 'helm'"));
+        assert!(c.contains("broadcast to 2 kernels"));
+        assert!(c.contains("512 B/element"));
+        assert_eq!(host.rounds(100), 25);
+    }
+}

@@ -244,6 +244,13 @@ impl Module {
             .collect()
     }
 
+    /// Look up a tensor by name *and* kind — the lookup multi-kernel
+    /// linking performs when matching a later kernel's input against an
+    /// earlier kernel's equally named output.
+    pub fn find_of_kind(&self, name: &str, kind: TensorKind) -> Option<TensorId> {
+        self.find(name).filter(|&id| self.decl(id).kind == kind)
+    }
+
     /// Iteration-space extents of a statement: output dims then reduce
     /// dims.
     pub fn iter_extents(&self, stmt: &Stmt) -> Vec<usize> {

@@ -34,5 +34,8 @@ pub mod verify;
 
 pub use arm::ArmCostModel;
 pub use dma::DmaModel;
-pub use sim::{simulate_hw, HwResult, SimConfig};
-pub use verify::{verify_elements, VerifyResult};
+pub use sim::{simulate_hw, simulate_program, HwResult, ProgramHwResult, SimConfig};
+pub use verify::{
+    random_program_inputs, run_program_chain, run_program_reference, verify_elements,
+    verify_program, VerifyResult,
+};

@@ -12,7 +12,7 @@
 use crate::des::{secs, to_secs, EventQueue};
 use crate::dma::DmaModel;
 use serde::{Deserialize, Serialize};
-use sysgen::SystemDesign;
+use sysgen::{MultiSystemDesign, SystemDesign};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -165,6 +165,199 @@ pub fn simulate_hw(design: &SystemDesign, cfg: &SimConfig) -> HwResult {
         exec_s: to_secs(exec_ticks * n),
         transfer_s: to_secs(transfer_ticks * n),
         total_s: to_secs(round_ticks * n),
+    }
+}
+
+/// Simulated measurements of a chained multi-kernel program run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramHwResult {
+    pub elements: usize,
+    pub rounds: usize,
+    /// Accelerators per stage.
+    pub ks: Vec<usize>,
+    /// Shared PLM sets.
+    pub m: usize,
+    /// Accumulated execution timer per stage (start to interrupt).
+    pub stage_exec_s: Vec<f64>,
+    /// Total kernel-execution time across the chain.
+    pub exec_s: f64,
+    /// Accumulated DMA transfer time (external inputs/outputs only —
+    /// handoffs stay in the PLM fabric).
+    pub transfer_s: f64,
+    /// End-to-end wall time.
+    pub total_s: f64,
+}
+
+impl ProgramHwResult {
+    /// Average total time per element.
+    pub fn total_per_element_s(&self) -> f64 {
+        self.total_s / self.elements as f64
+    }
+}
+
+/// Run the discrete-event simulation of a chained multi-kernel system.
+///
+/// One main-loop round DMAs the *external* inputs for `m` elements in,
+/// executes every stage in chain order (`m / k_i` serial batches of
+/// stage `i`'s `k_i` accelerators; kernel-to-kernel handoffs are free —
+/// the merged PLM co-locates the buffers), and DMAs the external
+/// outputs back. As in [`simulate_hw`], the serial schedule carries no
+/// state between rounds, so the DES runs **one** representative round
+/// and fast-forwards the rest by multiplication in integer tick space —
+/// the single-kernel fast-forward path, preserved per kernel.
+///
+/// With `overlap_transfers` set and a spare PLM set for every stage
+/// (`m >= 2·k_i`), rounds pipeline at **round granularity**: the DMA
+/// fills round `r+1`'s input sets and drains round `r-1`'s outputs
+/// while round `r` executes ([`simulate_program_overlapped`]). This is
+/// coarser than the single-kernel simulator's slice-level overlap, so
+/// the tick-identity with [`simulate_hw`] holds for the serial
+/// schedule only.
+pub fn simulate_program(design: &MultiSystemDesign, cfg: &SimConfig) -> ProgramHwResult {
+    if cfg.overlap_transfers && design.config.ks.iter().all(|&k| design.config.m >= 2 * k) {
+        return simulate_program_overlapped(design, cfg);
+    }
+    let m = design.config.m;
+    let host = &design.host;
+    let dma = DmaModel::from_board(&design.board);
+    let rounds = host.rounds(cfg.elements);
+
+    let mut q: EventQueue<Event> = EventQueue::new();
+    let mut stage_exec_ticks: Vec<u64> = vec![0; design.stages.len()];
+    let mut transfer_ticks: u64 = 0;
+
+    if rounds > 0 {
+        let t_in = dma.transfer_bursts_s(host.bytes_in_per_element * m, m);
+        q.schedule_in(secs(t_in), Event::DmaInDone);
+        match q.pop() {
+            Some((_, Event::DmaInDone)) => {}
+            other => unreachable!("expected DmaInDone, got {other:?}"),
+        }
+        transfer_ticks += secs(t_in);
+
+        for (si, stage) in design.stages.iter().enumerate() {
+            let k = design.config.ks[si];
+            let batch = design.config.batch(si);
+            let kernel_s = stage.kernel.latency_seconds();
+            for _b in 0..batch {
+                let start_t = q.now();
+                let start_cost = secs(cfg.axi_start_s_per_kernel) * k as u64;
+                for a in 0..k {
+                    q.schedule_at(
+                        start_t + start_cost + secs(kernel_s),
+                        Event::AccelDone { accel: a },
+                    );
+                }
+                let mut done = 0usize;
+                let mut last = start_t;
+                while done < k {
+                    match q.pop() {
+                        Some((t, Event::AccelDone { .. })) => {
+                            done += 1;
+                            last = t;
+                        }
+                        other => unreachable!("expected AccelDone, got {other:?}"),
+                    }
+                }
+                let irq_t = last + secs(cfg.irq_s);
+                q.schedule_at(irq_t, Event::DmaOutDone); // time marker
+                let _ = q.pop();
+                stage_exec_ticks[si] += irq_t - start_t;
+            }
+        }
+
+        let t_out = dma.transfer_bursts_s(host.bytes_out_per_element * m, m);
+        q.schedule_in(secs(t_out), Event::DmaOutDone);
+        match q.pop() {
+            Some((_, Event::DmaOutDone)) => {}
+            other => unreachable!("expected DmaOutDone, got {other:?}"),
+        }
+        transfer_ticks += secs(t_out);
+    }
+
+    let round_ticks = q.now();
+    let n = rounds as u64;
+    let stage_exec_s: Vec<f64> = stage_exec_ticks.iter().map(|&t| to_secs(t * n)).collect();
+    ProgramHwResult {
+        elements: cfg.elements,
+        rounds,
+        ks: design.config.ks.clone(),
+        m,
+        exec_s: stage_exec_s.iter().sum(),
+        stage_exec_s,
+        transfer_s: to_secs(transfer_ticks * n),
+        total_s: to_secs(round_ticks * n),
+    }
+}
+
+/// Round-granularity double buffering for chained programs: the DMA
+/// engine and the accelerator chain are two serially reused resources;
+/// round `r`'s chain executes once its inputs landed and the chain is
+/// free, while the single DMA engine fills/drains neighbouring rounds'
+/// PLM sets. Requires a spare set for every stage (`m >= 2·k_i`).
+fn simulate_program_overlapped(design: &MultiSystemDesign, cfg: &SimConfig) -> ProgramHwResult {
+    let m = design.config.m;
+    let host = &design.host;
+    let dma = DmaModel::from_board(&design.board);
+    let rounds = host.rounds(cfg.elements);
+
+    let t_in = secs(dma.transfer_bursts_s(host.bytes_in_per_element * m, m));
+    let t_out = secs(dma.transfer_bursts_s(host.bytes_out_per_element * m, m));
+    // Chain execution of one round, stage by stage.
+    let stage_exec: Vec<u64> = design
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(si, s)| {
+            let k = design.config.ks[si];
+            design.config.batch(si) as u64
+                * (secs(cfg.axi_start_s_per_kernel) * k as u64
+                    + secs(s.kernel.latency_seconds())
+                    + secs(cfg.irq_s))
+        })
+        .collect();
+    let exec: u64 = stage_exec.iter().sum();
+
+    let mut dma_free: u64 = 0;
+    let mut chain_free: u64 = 0;
+    let mut exec_total: u64 = 0;
+    let mut transfer_total: u64 = 0;
+    let mut end: u64 = 0;
+    let mut pending_out: Option<u64> = None;
+    for _r in 0..rounds {
+        let in_done = dma_free + t_in;
+        dma_free = in_done;
+        transfer_total += t_in;
+        let exec_start = in_done.max(chain_free);
+        let exec_done = exec_start + exec;
+        chain_free = exec_done;
+        exec_total += exec;
+        // Drain the previous round's outputs while this one executes.
+        if let Some(ready) = pending_out.take() {
+            let out_start = ready.max(dma_free);
+            dma_free = out_start + t_out;
+            transfer_total += t_out;
+            end = end.max(dma_free);
+        }
+        pending_out = Some(exec_done);
+        end = end.max(exec_done);
+    }
+    if let Some(ready) = pending_out {
+        let out_done = ready.max(dma_free) + t_out;
+        transfer_total += t_out;
+        end = end.max(out_done);
+    }
+
+    let n = rounds as u64;
+    ProgramHwResult {
+        elements: cfg.elements,
+        rounds,
+        ks: design.config.ks.clone(),
+        m,
+        stage_exec_s: stage_exec.iter().map(|&t| to_secs(t * n)).collect(),
+        exec_s: to_secs(exec_total),
+        transfer_s: to_secs(transfer_total),
+        total_s: to_secs(end),
     }
 }
 
@@ -438,6 +631,149 @@ mod tests {
         );
         assert!((r.exec_s - s.exec_s).abs() < 1e-9);
         assert!((r.transfer_s - s.transfer_s).abs() / s.transfer_s < 0.01);
+    }
+
+    fn program_design(ks: Vec<usize>, m: usize, latencies: &[u64]) -> sysgen::MultiSystemDesign {
+        let board = BoardSpec::zcu106();
+        let stages: Vec<(String, hls::HlsReport)> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                (
+                    format!("stage{i}"),
+                    hls::HlsReport {
+                        kernel: format!("stage{i}"),
+                        clock_mhz: 200.0,
+                        latency_cycles: l,
+                        luts: 2_314,
+                        ffs: 2_999,
+                        dsps: 15,
+                        brams: 0,
+                        loops: vec![],
+                    },
+                )
+            })
+            .collect();
+        let memory = mnemosyne::MemorySubsystem {
+            units: vec![],
+            brams: 16,
+            luts: 450,
+            ffs: 250,
+        };
+        let cfg = sysgen::ProgramSystemConfig { ks, m };
+        let host = sysgen::ProgramHostProgram {
+            config: cfg.clone(),
+            stage_names: stages.iter().map(|(n, _)| n.clone()).collect(),
+            bytes_in_per_element: (121 + 2 * 1331) * 8,
+            bytes_out_per_element: 1331 * 8,
+            handoff_bytes_per_element: 1331 * 8,
+        };
+        sysgen::MultiSystemDesign::build(&board, &stages, &memory, cfg, host).unwrap()
+    }
+
+    #[test]
+    fn single_stage_program_matches_simulate_hw() {
+        // The degenerate one-kernel program must be tick-identical to
+        // the single-kernel simulator (same bytes, same latency).
+        let single = sim(4, 4, 800);
+        let prog = simulate_program(
+            &program_design(vec![4], 4, &[571_000]),
+            &SimConfig {
+                elements: 800,
+                ..Default::default()
+            },
+        );
+        assert_eq!(prog.rounds, single.rounds);
+        assert_eq!(prog.exec_s, single.exec_s);
+        assert_eq!(prog.transfer_s, single.transfer_s);
+        assert_eq!(prog.total_s, single.total_s);
+        assert_eq!(prog.stage_exec_s.len(), 1);
+    }
+
+    #[test]
+    fn chained_stages_accumulate_exec_in_order() {
+        let r = simulate_program(
+            &program_design(vec![2, 4], 4, &[100_000, 400_000]),
+            &SimConfig {
+                elements: 400,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.stage_exec_s.len(), 2);
+        // Stage 0 runs 2 batches of 100k cycles; stage 1 one batch of
+        // 400k — stage 1 still dominates.
+        assert!(r.stage_exec_s[1] > r.stage_exec_s[0]);
+        assert!((r.exec_s - (r.stage_exec_s[0] + r.stage_exec_s[1])).abs() < 1e-12);
+        assert!(r.total_s > r.exec_s);
+        // Handoffs never hit the DMA: transfers equal the single-kernel
+        // external traffic.
+        let single = sim(4, 4, 400);
+        assert!((r.transfer_s - single.transfer_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn program_overlap_hides_transfers_with_spare_sets() {
+        let design = program_design(vec![2, 2], 4, &[200_000, 200_000]);
+        let serial = simulate_program(
+            &design,
+            &SimConfig {
+                elements: 512,
+                ..Default::default()
+            },
+        );
+        let overlapped = simulate_program(
+            &design,
+            &SimConfig {
+                elements: 512,
+                overlap_transfers: true,
+                ..Default::default()
+            },
+        );
+        assert!(overlapped.total_s < serial.total_s);
+        // Same work, transfers nearly hidden behind the chain.
+        assert!((overlapped.exec_s - serial.exec_s).abs() < 1e-12);
+        assert!(overlapped.total_s < overlapped.exec_s * 1.05);
+        // Without a spare PLM set per stage the flag degrades to the
+        // serial schedule.
+        let tight = program_design(vec![4, 4], 4, &[200_000, 200_000]);
+        let flagged = simulate_program(
+            &tight,
+            &SimConfig {
+                elements: 256,
+                overlap_transfers: true,
+                ..Default::default()
+            },
+        );
+        let plain = simulate_program(
+            &tight,
+            &SimConfig {
+                elements: 256,
+                ..Default::default()
+            },
+        );
+        assert_eq!(flagged, plain);
+    }
+
+    #[test]
+    fn per_stage_replication_changes_batches_not_totals_of_others() {
+        let wide = simulate_program(
+            &program_design(vec![4, 4], 4, &[200_000, 200_000]),
+            &SimConfig {
+                elements: 512,
+                ..Default::default()
+            },
+        );
+        let narrow = simulate_program(
+            &program_design(vec![4, 1], 4, &[200_000, 200_000]),
+            &SimConfig {
+                elements: 512,
+                ..Default::default()
+            },
+        );
+        // Stage 1 at k=1 serializes 4 batches: ≈ 4× its exec time.
+        assert_eq!(wide.stage_exec_s[0], narrow.stage_exec_s[0]);
+        let ratio = narrow.stage_exec_s[1] / wide.stage_exec_s[1];
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

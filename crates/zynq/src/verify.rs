@@ -83,6 +83,154 @@ pub fn verify_elements(
     })
 }
 
+/// Execute a chained multi-kernel program through the generated loop
+/// programs. `external` supplies the host-side inputs by name (names
+/// are program-global: equally named external inputs of different
+/// kernels receive the same tensor). Returns every kernel's outputs as
+/// `"kernel.tensor"` → values; a later kernel's input named like an
+/// earlier kernel's output receives that output (the PLM handoff).
+pub fn run_program_chain(
+    names: &[String],
+    modules: &[&Module],
+    kernels: &[&cgen::CKernel],
+    external: &HashMap<String, Tensor>,
+) -> Result<HashMap<String, Vec<f64>>, String> {
+    assert_eq!(modules.len(), kernels.len());
+    // Latest produced value per tensor name (the handoff buffers).
+    let mut produced: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut out: HashMap<String, Vec<f64>> = HashMap::new();
+    for ((name, module), kernel) in names.iter().zip(modules).zip(kernels) {
+        let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+        for p in &kernel.params {
+            mem.insert(p.name.clone(), vec![0.0; p.words]);
+        }
+        for id in module.of_kind(TensorKind::Input) {
+            let n = module.name(id);
+            let data = if let Some(v) = produced.get(n) {
+                v.clone()
+            } else {
+                external
+                    .get(n)
+                    .map(|t| t.data.clone())
+                    .ok_or_else(|| format!("missing external input '{n}' for kernel '{name}'"))?
+            };
+            mem.insert(n.to_string(), data);
+        }
+        cgen::run_kernel(kernel, &mut mem)?;
+        for id in module.of_kind(TensorKind::Output) {
+            let n = module.name(id);
+            let v = mem
+                .get(n)
+                .ok_or_else(|| format!("output '{n}' missing in kernel '{name}'"))?
+                .clone();
+            out.insert(format!("{name}.{n}"), v.clone());
+            produced.insert(n.to_string(), v);
+        }
+    }
+    Ok(out)
+}
+
+/// Run the reference interpreter over the chained program. Same handoff
+/// semantics as [`run_program_chain`].
+pub fn run_program_reference(
+    names: &[String],
+    modules: &[&Module],
+    external: &HashMap<String, Tensor>,
+) -> Result<HashMap<String, Tensor>, String> {
+    let mut produced: HashMap<String, Tensor> = HashMap::new();
+    let mut out: HashMap<String, Tensor> = HashMap::new();
+    for (name, module) in names.iter().zip(modules) {
+        let mut inputs: HashMap<String, Tensor> = HashMap::new();
+        for id in module.of_kind(TensorKind::Input) {
+            let n = module.name(id);
+            let t = if let Some(v) = produced.get(n) {
+                v.clone()
+            } else {
+                external
+                    .get(n)
+                    .cloned()
+                    .ok_or_else(|| format!("missing external input '{n}' for kernel '{name}'"))?
+            };
+            inputs.insert(n.to_string(), t);
+        }
+        let ex = Interpreter::new(module).run(&inputs)?;
+        for id in module.of_kind(TensorKind::Output) {
+            let n = module.name(id);
+            let t = ex.values[id.0].clone();
+            out.insert(format!("{name}.{n}"), t.clone());
+            produced.insert(n.to_string(), t);
+        }
+    }
+    Ok(out)
+}
+
+/// Random external inputs for a chained program: one tensor per
+/// distinct external input name (program-global), drawn in chain order.
+pub fn random_program_inputs(modules: &[&Module], seed: u64) -> HashMap<String, Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut external: HashMap<String, Tensor> = HashMap::new();
+    let mut produced: Vec<String> = Vec::new();
+    for module in modules {
+        for id in module.of_kind(TensorKind::Input) {
+            let n = module.name(id);
+            if produced.iter().any(|p| p == n) || external.contains_key(n) {
+                continue;
+            }
+            let shape = module.shape(id).to_vec();
+            external.insert(
+                n.to_string(),
+                Tensor::from_fn(&shape, |_| rng.gen_range(-1.0..1.0)),
+            );
+        }
+        for id in module.of_kind(TensorKind::Output) {
+            produced.push(module.name(id).to_string());
+        }
+    }
+    external
+}
+
+/// Verify `n` elements of a chained program: the generated kernels,
+/// executed with PLM handoffs, must match the chained reference
+/// interpreter on every kernel's outputs.
+pub fn verify_program(
+    names: &[String],
+    modules: &[&Module],
+    kernels: &[&cgen::CKernel],
+    n: usize,
+    seed: u64,
+) -> Result<VerifyResult, String> {
+    let mut max_rel = 0.0f64;
+    let mut bitexact = true;
+    for e in 0..n {
+        let external = random_program_inputs(modules, seed.wrapping_add(e as u64));
+        let expect = run_program_reference(names, modules, &external)?;
+        let got = run_program_chain(names, modules, kernels, &external)?;
+        if expect.len() != got.len() {
+            return Err("program output-set mismatch".into());
+        }
+        for (key, t) in &expect {
+            let g = got
+                .get(key)
+                .ok_or_else(|| format!("output '{key}' missing from hardware path"))?;
+            if g.len() != t.data.len() {
+                return Err(format!("output '{key}' size mismatch"));
+            }
+            for (a, b) in t.data.iter().zip(g) {
+                if a.to_bits() != b.to_bits() {
+                    bitexact = false;
+                }
+                let scale = a.abs().max(b.abs()).max(1.0);
+                max_rel = max_rel.max((a - b).abs() / scale);
+            }
+        }
+    }
+    Ok(VerifyResult {
+        elements: n,
+        max_rel_diff: max_rel,
+        bitexact,
+    })
+}
+
 fn verify_one(module: &Module, kernel: &cgen::CKernel, seed: u64) -> Result<(f64, bool), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Random inputs for this element.
@@ -171,6 +319,99 @@ mod tests {
         for seed in [1u64, 99, 12345] {
             let r = verify_elements(&m, &k, 2, seed).unwrap();
             assert!(r.bitexact, "seed {seed}");
+        }
+    }
+
+    fn setup_program(n: usize) -> (Vec<String>, Vec<Module>, Vec<cgen::CKernel>) {
+        let set = cfdlang::check_set(
+            &cfdlang::parse_set(&cfdlang::examples::simulation_step(n)).unwrap(),
+        )
+        .unwrap();
+        let mut names = Vec::new();
+        let mut modules = Vec::new();
+        let mut kernels = Vec::new();
+        for tk in &set.kernels {
+            let m = factorize(&lower(&tk.typed).unwrap());
+            let layout = LayoutPlan::row_major(&m);
+            let km = KernelModel::build(&m, &layout);
+            let s = Schedule::reference(&km);
+            kernels.push(build_kernel(&m, &km, &s, &CodegenOptions::default()));
+            names.push(tk.name.clone());
+            modules.push(m);
+        }
+        (names, modules, kernels)
+    }
+
+    #[test]
+    fn chained_program_is_bitexact() {
+        let (names, modules, kernels) = setup_program(4);
+        let mrefs: Vec<&Module> = modules.iter().collect();
+        let krefs: Vec<&cgen::CKernel> = kernels.iter().collect();
+        let r = verify_program(&names, &mrefs, &krefs, 3, 11).unwrap();
+        assert!(r.bitexact, "max rel diff {}", r.max_rel_diff);
+        assert_eq!(r.max_rel_diff, 0.0);
+    }
+
+    #[test]
+    fn handoff_feeds_downstream_kernel() {
+        // The chained result must differ from running the last kernel
+        // on raw external data — i.e. the handoff really flows.
+        let (names, modules, _) = setup_program(4);
+        let mrefs: Vec<&Module> = modules.iter().collect();
+        let external = random_program_inputs(&mrefs, 5);
+        let chained = run_program_reference(&names, &mrefs, &external).unwrap();
+        // Run 'project' alone on a fresh random v (not the handoff).
+        let mut solo_inputs: HashMap<String, Tensor> = HashMap::new();
+        let project = &modules[2];
+        for id in project.of_kind(TensorKind::Input) {
+            let n = project.name(id);
+            let t = external.get(n).cloned().unwrap_or_else(|| {
+                Tensor::from_fn(project.shape(id), |i| i.iter().sum::<usize>() as f64)
+            });
+            solo_inputs.insert(n.to_string(), t);
+        }
+        let solo = Interpreter::new(project).run(&solo_inputs).unwrap();
+        let w_id = project.of_kind(TensorKind::Output)[0];
+        let solo_w = &solo.values[w_id.0];
+        let chained_w = &chained["project.w"];
+        assert!(solo_w.max_rel_diff(chained_w) > 1e-12);
+    }
+
+    #[test]
+    fn program_chain_matches_manual_per_kernel_chain() {
+        // Feeding each separately generated kernel by hand must agree
+        // with run_program_chain — the handoff is pure data flow.
+        let (names, modules, kernels) = setup_program(4);
+        let mrefs: Vec<&Module> = modules.iter().collect();
+        let krefs: Vec<&cgen::CKernel> = kernels.iter().collect();
+        let external = random_program_inputs(&mrefs, 99);
+        let auto = run_program_chain(&names, &mrefs, &krefs, &external).unwrap();
+
+        let mut produced: HashMap<String, Vec<f64>> = HashMap::new();
+        for ((name, module), kernel) in names.iter().zip(&modules).zip(&kernels) {
+            let mut mem: HashMap<String, Vec<f64>> = HashMap::new();
+            for p in &kernel.params {
+                mem.insert(p.name.clone(), vec![0.0; p.words]);
+            }
+            for id in module.of_kind(TensorKind::Input) {
+                let n = module.name(id);
+                let data = produced
+                    .get(n)
+                    .cloned()
+                    .unwrap_or_else(|| external[n].data.clone());
+                mem.insert(n.to_string(), data);
+            }
+            cgen::run_kernel(kernel, &mut mem).unwrap();
+            for id in module.of_kind(TensorKind::Output) {
+                let n = module.name(id);
+                let v = mem[n].clone();
+                assert_eq!(
+                    auto[&format!("{name}.{n}")],
+                    v,
+                    "kernel '{name}' output '{n}' diverged"
+                );
+                produced.insert(n.to_string(), v);
+            }
         }
     }
 
