@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
             let cfg = sysgen::SystemConfig { k: 16, m: 16 };
             let host = sysgen::HostProgram::from_kernel(&art.kernel, cfg);
             sysgen::SystemDesign::build(
-                &sysgen::BoardSpec::zcu106(),
+                &sysgen::Platform::zcu106(),
                 &art.hls_report,
                 &art.memory,
                 cfg,
@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("eq3_enumeration", |b| {
         b.iter(|| {
-            sysgen::enumerate_configs(&sysgen::BoardSpec::zcu106(), &art.hls_report, &art.memory)
+            sysgen::enumerate_configs(&sysgen::Platform::zcu106(), &art.hls_report, &art.memory)
         })
     });
     g.finish();

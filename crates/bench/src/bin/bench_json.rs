@@ -1,19 +1,22 @@
 //! Machine-readable perf baseline emitter.
 //!
 //! Times the hot paths this repository optimizes — compiler stages,
-//! interpreter, full-system simulation, the DSE sweep, and the
-//! multi-kernel program flow — and writes `BENCH_pr3.json` (schema
-//! `cfdfpga-bench-v1`, documented in README.md, "Reading
-//! `BENCH_*.json`"). The committed file carries both the numbers of the
-//! tree it was generated from and the frozen PR-2 medians
-//! (`baseline_pr2`, lifted from the committed `BENCH_pr2.json`), so the
-//! perf trajectory is tracked in-repo and regressions are diffable.
+//! interpreter, full-system simulation, the DSE sweep, the multi-kernel
+//! program flow, and the multi-board portfolio sweep — and writes
+//! `BENCH_pr4.json` (schema `cfdfpga-bench-v1`, documented in
+//! README.md, "Reading `BENCH_*.json`"). The committed file carries
+//! both the numbers of the tree it was generated from and the frozen
+//! PR-3 medians (`baseline_pr3`, lifted from the committed
+//! `BENCH_pr3.json`), so the perf trajectory is tracked in-repo and
+//! regressions are diffable. The `platforms` section records, per
+//! catalog platform, the paper kernel's largest feasible replication
+//! and its simulated time — the portfolio figures.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr3.json
+//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr4.json
 //! cargo run --release -p bench --bin bench_json -- --smoke # 3 samples, stdout only
 //! cargo run --release -p bench --bin bench_json -- --check # CI gate: committed
-//!                        # BENCH_pr3.json medians vs BENCH_pr2.json, >20% fails
+//!                        # BENCH_pr4.json medians vs BENCH_pr3.json, >20% fails
 //! ```
 
 use cfd_core::program::{ProgramFlow, ProgramOptions};
@@ -27,14 +30,14 @@ use teil::layout::LayoutPlan;
 struct Args {
     samples: usize,
     out: Option<String>,
-    /// `--check`: compare committed BENCH_pr3.json against the frozen
-    /// BENCH_pr2.json baselines instead of measuring.
+    /// `--check`: compare committed BENCH_pr4.json against the frozen
+    /// BENCH_pr3.json baselines instead of measuring.
     check: bool,
 }
 
 fn parse_args() -> Args {
     let mut samples = 9usize;
-    let mut out = Some("BENCH_pr3.json".to_string());
+    let mut out = Some("BENCH_pr4.json".to_string());
     let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -89,13 +92,13 @@ fn read_bench_medians(path: &str) -> Vec<(String, u64)> {
 }
 
 /// CI regression gate: every bench name present in both committed files
-/// must not have regressed by more than 20% from PR 2 to PR 3. Purely
+/// must not have regressed by more than 20% from PR 3 to PR 4. Purely
 /// file-vs-file (deterministic — no timing in CI).
 fn run_check() -> ! {
-    let baseline = read_bench_medians("BENCH_pr2.json");
-    let current = read_bench_medians("BENCH_pr3.json");
-    assert!(!baseline.is_empty(), "no benches in BENCH_pr2.json");
-    assert!(!current.is_empty(), "no benches in BENCH_pr3.json");
+    let baseline = read_bench_medians("BENCH_pr3.json");
+    let current = read_bench_medians("BENCH_pr4.json");
+    assert!(!baseline.is_empty(), "no benches in BENCH_pr3.json");
+    assert!(!current.is_empty(), "no benches in BENCH_pr4.json");
     let mut compared = 0usize;
     let mut failures = Vec::new();
     let mut missing = Vec::new();
@@ -124,7 +127,7 @@ fn run_check() -> ! {
     }
     assert!(compared > 0, "no overlapping bench names to compare");
     if failures.is_empty() && missing.is_empty() {
-        println!("bench check: {compared} medians within 20% of BENCH_pr2.json");
+        println!("bench check: {compared} medians within 20% of BENCH_pr3.json");
         std::process::exit(0)
     }
     if !failures.is_empty() {
@@ -136,7 +139,7 @@ fn run_check() -> ! {
     }
     if !missing.is_empty() {
         eprintln!(
-            "bench check FAILED: {} baseline benches missing from BENCH_pr3.json: {}",
+            "bench check FAILED: {} baseline benches missing from BENCH_pr4.json: {}",
             missing.len(),
             missing.join(", ")
         );
@@ -330,11 +333,73 @@ fn main() {
     );
     let program_brams = (part.memory.brams, part.per_kernel_plm_brams());
 
+    // --- Multi-board portfolio: per-platform figures for the paper
+    // kernel (largest feasible k = m at the default clock + simulated
+    // time), plus the portfolio sweep wall time.
+    println!("platform portfolio (paper kernel):");
+    let mut platform_rows: Vec<(String, f64, usize, usize, usize, f64)> = Vec::new();
+    for platform in sysgen::Platform::catalog() {
+        let popts = cfd_core::FlowOptions::for_platform(platform.clone());
+        let part = bench::paper_engine()
+            .artifacts_for(&popts)
+            .expect("paper kernel compiles on every platform");
+        match &part.system {
+            Some(sys) => {
+                let r = zynq::simulate_hw(
+                    sys,
+                    &zynq::SimConfig {
+                        elements: 4_000,
+                        ..Default::default()
+                    },
+                );
+                println!(
+                    "  {}: k=m={} @ {:.0} MHz, {:.4} s / 4000 elements",
+                    platform.id, sys.config.k, platform.default_clock_mhz, r.total_s
+                );
+                platform_rows.push((
+                    platform.id.clone(),
+                    platform.default_clock_mhz,
+                    sys.config.k,
+                    sys.luts,
+                    sys.brams,
+                    r.total_s,
+                ));
+            }
+            None => {
+                println!("  {}: nothing fits", platform.id);
+                platform_rows.push((
+                    platform.id.clone(),
+                    platform.default_clock_mhz,
+                    0,
+                    0,
+                    0,
+                    0.0,
+                ));
+            }
+        }
+    }
+    let t = Instant::now();
+    let portfolio = bench::paper_engine().run_portfolio(
+        &sysgen::Platform::catalog(),
+        &cfd_core::dse::DseGrid::default(),
+        4,
+        2_000,
+    );
+    push(
+        "portfolio/sweep_catalog_wall",
+        t.elapsed().as_nanos() as u64,
+        1,
+    );
+    assert!(
+        portfolio.feasible_platforms().len() >= 3,
+        "portfolio must span the catalog"
+    );
+
     // --- Emit JSON.
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"cfdfpga-bench-v1\",\n");
-    s.push_str("  \"pr\": 3,\n");
+    s.push_str("  \"pr\": 4,\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str("  \"benches\": [\n");
     for (i, (name, ns, n)) in rows.iter().enumerate() {
@@ -362,14 +427,40 @@ fn main() {
         "  \"program\": {{\"kernels\": 3, \"plm_brams_shared\": {}, \"plm_brams_concat\": {}}},\n",
         program_brams.0, program_brams.1
     ));
-    // Freeze the PR-2 medians from the committed file so the
+    // Per-platform portfolio figures for the paper kernel.
+    s.push_str("  \"platforms\": [\n");
+    for (i, (id, clock, k, luts, brams, total_s)) in platform_rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"platform\": \"{id}\", \"clock_mhz\": {clock:.1}, \"max_k\": {k}, \
+             \"luts\": {luts}, \"brams\": {brams}, \"total_s_4000\": {total_s:.6}, \
+             \"feasible\": {}}}{}\n",
+            *k > 0,
+            if i + 1 == platform_rows.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"portfolio\": {{\"evaluated\": {}, \"feasible\": {}, \"backend_compiles\": {}, \
+         \"backend_reuses\": {}, \"pareto_points\": {}, \"platforms_spanned\": {}}},\n",
+        portfolio.evaluated,
+        portfolio.feasible,
+        portfolio.backend_compiles,
+        portfolio.backend_reuses,
+        portfolio.pareto_frontier().len(),
+        portfolio.feasible_platforms().len(),
+    ));
+    // Freeze the PR-3 medians from the committed file so the
     // before/after comparison travels with this one.
-    let baseline_pr2 = read_bench_medians("BENCH_pr2.json");
-    s.push_str("  \"baseline_pr2\": {\n");
-    for (i, (name, ns)) in baseline_pr2.iter().enumerate() {
+    let baseline_pr3 = read_bench_medians("BENCH_pr3.json");
+    s.push_str("  \"baseline_pr3\": {\n");
+    for (i, (name, ns)) in baseline_pr3.iter().enumerate() {
         s.push_str(&format!(
             "    \"{name}\": {ns}{}\n",
-            if i + 1 == baseline_pr2.len() { "" } else { "," }
+            if i + 1 == baseline_pr3.len() { "" } else { "," }
         ));
     }
     s.push_str("  }\n}\n");

@@ -11,7 +11,7 @@ use cfd_core::{Artifacts, Flow, FlowOptions};
 use mnemosyne::MemoryOptions;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
-use sysgen::{BoardSpec, SystemConfig};
+use sysgen::{Platform, SystemConfig};
 use zynq::{ArmCostModel, SimConfig};
 
 /// Polynomial degree of the paper's evaluation kernel.
@@ -151,7 +151,7 @@ pub struct Table1Row {
 
 /// Regenerate Table I (both halves).
 pub fn table1() -> Vec<Table1Row> {
-    let board = BoardSpec::zcu106();
+    let board = Platform::zcu106().board;
     let mut rows = Vec::new();
     for sharing in [false, true] {
         let ms = if sharing {
@@ -205,7 +205,7 @@ pub fn fig8() -> (Vec<(usize, usize, usize)>, usize) {
         .iter()
         .map(|&m| (m, no * m, sh * m))
         .collect();
-    (series, BoardSpec::zcu106().brams)
+    (series, Platform::zcu106().board.brams)
 }
 
 /// Paper reference for Figure 8: `(m, no_sharing, sharing)`, max = 312.
@@ -372,10 +372,10 @@ pub fn simulate_with(
     elements: usize,
     overlap: bool,
 ) -> zynq::HwResult {
-    let board = BoardSpec::zcu106();
+    let platform = Platform::zcu106();
     let cfg = SystemConfig { k, m };
     let host = sysgen::HostProgram::from_kernel(&art.kernel, cfg);
-    let design = sysgen::SystemDesign::build(&board, &art.hls_report, &art.memory, cfg, host)
+    let design = sysgen::SystemDesign::build(&platform, &art.hls_report, &art.memory, cfg, host)
         .expect("configuration fits");
     zynq::simulate_hw(
         &design,

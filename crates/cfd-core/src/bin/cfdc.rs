@@ -1,18 +1,25 @@
 //! `cfdc` — command-line driver for the CFDlang-to-FPGA flow.
 //!
 //! ```text
-//! cfdc compile  <file.cfd> [--no-factorize] [--no-sharing] [--no-decouple]
-//!               [--no-cross-sharing] [--kernel NAME]
+//! cfdc boards
+//! cfdc compile  <file.cfd> [--board NAME] [--no-factorize] [--no-sharing]
+//!               [--no-decouple] [--no-cross-sharing] [--kernel NAME]
 //!               [--emit c|host|ir|dot|report|memory|all] [-o DIR]
-//! cfdc simulate <file.cfd> [--elements N] [--k K] [--m M] [--kernel NAME]
+//! cfdc simulate <file.cfd> [--board NAME] [--elements N] [--k K] [--m M] [--kernel NAME]
 //! cfdc verify   <file.cfd> [--elements N] [--seed S] [--kernel NAME]
-//! cfdc explore  <file.cfd> [--grid] [--jobs N] [--json] [--elements N]
+//! cfdc explore  <file.cfd> [--board NAME | --boards all|A,B,..] [--grid]
+//!               [--jobs N] [--json] [--elements N]
 //! ```
 //!
-//! `explore` lists feasible replications; with `--grid` it runs the full
-//! parallel design-space sweep (k × batch × sharing × decoupling) on the
-//! staged pipeline — the frontend and middle end compile once, the
-//! per-point backend/system stages fan out over `--jobs` workers.
+//! Every command targets one platform from the catalog (`cfdc boards`
+//! lists it; default ZCU106). `explore` lists feasible replications;
+//! with `--grid` it runs the full parallel design-space sweep
+//! (k × batch × sharing × decoupling) on the staged pipeline — the
+//! frontend and middle end compile once, the per-point backend/system
+//! stages fan out over `--jobs` workers. With `--boards all` (or a
+//! comma-separated list) it sweeps the **platform × clock × grid**
+//! portfolio and reports the Pareto frontier of simulated time vs.
+//! resource fit across boards.
 //!
 //! **Multi-kernel programs** (sources with `kernel name { ... }` blocks)
 //! compile as a whole into one shared-memory accelerator system —
@@ -30,7 +37,7 @@ use cfd_core::program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 use cfd_core::{Flow, FlowOptions};
 use mnemosyne::MemoryOptions;
 use std::process::exit;
-use sysgen::{ProgramSystemConfig, SystemConfig};
+use sysgen::{Platform, ProgramSystemConfig, SystemConfig};
 use zynq::SimConfig;
 
 fn main() {
@@ -43,6 +50,7 @@ fn main() {
         "simulate" => cmd_simulate(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
+        "boards" => cmd_boards(),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -55,16 +63,21 @@ fn usage() -> ! {
     eprintln!(
         "cfdc — CFDlang-to-FPGA flow\n\n\
          USAGE:\n\
-         \tcfdc compile  <kernel> [--no-factorize] [--no-sharing] [--no-decouple] [--no-cross-sharing]\n\
-         \t              [--kernel NAME] [--emit WHAT] [-o DIR]\n\
-         \tcfdc simulate <kernel> [--elements N] [--k K] [--m M] [--kernel NAME]\n\
+         \tcfdc boards\n\
+         \tcfdc compile  <kernel> [--board NAME] [--no-factorize] [--no-sharing] [--no-decouple]\n\
+         \t              [--no-cross-sharing] [--kernel NAME] [--emit WHAT] [-o DIR]\n\
+         \tcfdc simulate <kernel> [--board NAME] [--elements N] [--k K] [--m M] [--kernel NAME]\n\
          \tcfdc verify   <kernel> [--elements N] [--seed S] [--kernel NAME]\n\
-         \tcfdc explore  <kernel> [--grid] [--jobs N] [--json] [--elements N]\n\n\
+         \tcfdc explore  <kernel> [--board NAME | --boards all|A,B,..] [--grid] [--jobs N]\n\
+         \t              [--json] [--elements N]\n\n\
          KERNEL: a .cfd file path, a kernel helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n],\n\
          \tor a multi-kernel program simstep[:p] | axpychain[:n]\n\
-         EMIT:   c | host | ir | dot | report | memory | all (default: report)\n\n\
+         EMIT:   c | host | ir | dot | report | memory | all (default: report)\n\
+         BOARD:  a catalog platform (see `cfdc boards`); default zcu106\n\n\
          Multi-kernel sources compile into ONE shared-memory accelerator system;\n\
-         --kernel NAME selects a single kernel of the program instead."
+         --kernel NAME selects a single kernel of the program instead.\n\
+         `explore --boards all` sweeps the platform x clock x (k, m) portfolio and\n\
+         reports the Pareto frontier (simulated time vs. resource fit) per board."
     );
     exit(2)
 }
@@ -108,6 +121,8 @@ struct Parsed {
     grid: bool,
     jobs: usize,
     json: bool,
+    /// Portfolio platforms from `--boards` (explore only).
+    boards: Option<Vec<Platform>>,
 }
 
 impl Parsed {
@@ -145,6 +160,8 @@ fn parse_common(args: &[String]) -> Parsed {
     let mut grid = false;
     let mut jobs = 0usize;
     let mut json = false;
+    let mut board: Option<String> = None;
+    let mut boards: Option<Vec<Platform>> = None;
     let mut i = 1;
     let value = |i: &mut usize| -> String {
         *i += 1;
@@ -172,6 +189,15 @@ fn parse_common(args: &[String]) -> Parsed {
             "--k" => k = value(&mut i).parse().ok(),
             "--m" => m = value(&mut i).parse().ok(),
             "--grid" => grid = true,
+            "--board" => board = Some(value(&mut i)),
+            "--boards" => {
+                let spec = value(&mut i);
+                boards = Some(if spec == "all" {
+                    Platform::catalog()
+                } else {
+                    spec.split(',').map(lookup_platform).collect()
+                });
+            }
             "--jobs" => jobs = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--json" => json = true,
             other => {
@@ -180,6 +206,11 @@ fn parse_common(args: &[String]) -> Parsed {
             }
         }
         i += 1;
+    }
+    if let Some(name) = &board {
+        let platform = lookup_platform(name);
+        opts.hls.clock_mhz = platform.default_clock_mhz;
+        opts.platform = platform;
     }
     if let (Some(k), Some(m)) = (k, m) {
         opts.system = Some(SystemConfig { k, m });
@@ -219,7 +250,50 @@ fn parse_common(args: &[String]) -> Parsed {
         grid,
         jobs,
         json,
+        boards,
     }
+}
+
+/// Resolve a `--board`/`--boards` name against the platform catalog.
+fn lookup_platform(name: &str) -> Platform {
+    Platform::by_name(name).unwrap_or_else(|| {
+        let ids: Vec<String> = Platform::catalog().into_iter().map(|p| p.id).collect();
+        eprintln!("unknown board '{name}' (catalog: {})", ids.join(", "));
+        exit(1)
+    })
+}
+
+/// `cfdc boards`: the platform catalog.
+fn cmd_boards() {
+    println!("platform catalog (use with --board / --boards):");
+    println!(
+        "  id          board                       LUT        FF    DSP  BRAM36  host CPU                fabric clocks (MHz)"
+    );
+    for p in Platform::catalog() {
+        let clocks: Vec<String> = p
+            .clock_ladder_mhz
+            .iter()
+            .map(|c| {
+                if (*c - p.default_clock_mhz).abs() < 1e-9 {
+                    format!("[{c:.0}]")
+                } else {
+                    format!("{c:.0}")
+                }
+            })
+            .collect();
+        println!(
+            "  {:<10}  {:<22}  {:>9}  {:>8}  {:>5}  {:>6}  {:<22}  {}",
+            p.id,
+            p.board.name,
+            p.board.luts,
+            p.board.ffs,
+            p.board.dsps,
+            p.board.brams,
+            format!("{} @ {:.2} GHz", p.host.name, p.host.hz / 1e9),
+            clocks.join(" "),
+        );
+    }
+    println!("  (default clock bracketed; default board: zcu106)");
 }
 
 fn compile(p: &Parsed) -> cfd_core::Artifacts {
@@ -294,7 +368,11 @@ fn program_report(art: &ProgramArtifacts) -> String {
             let (l, f, d, b) = sys.slack();
             s.push_str(&format!(
                 "slack vs {}: {} LUT {} FF {} DSP {} BRAM\n",
-                sys.board.name, l, f, d, b
+                sys.board().name,
+                l,
+                f,
+                d,
+                b
             ));
         }
         None => s.push_str("aggregate system: no feasible configuration\n"),
@@ -548,6 +626,11 @@ fn cmd_explore(args: &[String]) {
         eprintln!("compilation failed: {e}");
         exit(1)
     });
+    if let Some(platforms) = &p.boards {
+        let elements = if p.elements_set { p.elements } else { 10_000 };
+        let report = engine.run_portfolio(platforms, &DseGrid::default(), p.jobs, elements);
+        return print_portfolio(&report, p.json);
+    }
     if p.grid {
         // Sweep default: small enough to keep 32 simulations quick.
         let elements = if p.elements_set { p.elements } else { 10_000 };
@@ -571,8 +654,41 @@ fn cmd_explore(args: &[String]) {
     explore_listing(&p, &be);
 }
 
+/// Render a portfolio sweep (table or JSON) with its Pareto frontier.
+fn print_portfolio(report: &cfd_core::dse::PortfolioReport, json: bool) {
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    print!("{}", report.render_table());
+    let frontier = report.pareto_frontier();
+    println!("pareto frontier ({} points):", frontier.len());
+    for o in frontier {
+        println!(
+            "  {} @ {:.0} MHz: k={} m={} -> {:.4} s ({:.0} el/s) at {:.1}% fit",
+            o.platform,
+            o.clock_mhz,
+            o.outcome.point.k,
+            o.outcome.point.m,
+            o.outcome.total_s,
+            o.outcome.throughput_eps,
+            o.utilization * 100.0
+        );
+    }
+}
+
 /// Joint exploration of a multi-kernel program.
 fn cmd_explore_program(p: &Parsed) {
+    if let Some(platforms) = &p.boards {
+        let engine =
+            ProgramDseEngine::prepare(&p.source, &p.program_options()).unwrap_or_else(|e| {
+                eprintln!("compilation failed: {e}");
+                exit(1)
+            });
+        let elements = if p.elements_set { p.elements } else { 10_000 };
+        let report = engine.run_portfolio(platforms, &DseGrid::default(), p.jobs, elements);
+        return print_portfolio(&report, p.json);
+    }
     if p.grid {
         let engine =
             ProgramDseEngine::prepare(&p.source, &p.program_options()).unwrap_or_else(|e| {
@@ -608,9 +724,12 @@ fn cmd_explore_program(p: &Parsed) {
         .zip(&art.kernels)
         .map(|(n, a)| (n.clone(), a.hls_report.clone()))
         .collect();
-    println!("feasible uniform configurations on {}:", p.opts.board.name);
+    println!(
+        "feasible uniform configurations on {}:",
+        p.opts.platform.board.name
+    );
     println!("   k    m     LUT   BRAM");
-    for d in sysgen::enumerate_program_designs(&p.opts.board, &stages, &art.memory) {
+    for d in sysgen::enumerate_program_designs(&p.opts.platform, &stages, &art.memory) {
         println!(
             "  {:>2}  {:>3}  {:>6}  {:>5}",
             d.config.ks[0], d.config.m, d.luts, d.brams
@@ -620,16 +739,18 @@ fn cmd_explore_program(p: &Parsed) {
 
 /// The single-kernel feasibility listing.
 fn explore_listing(p: &Parsed, be: &cfd_core::pipeline::Backend) {
-    let board = &p.opts.board;
+    let platform = &p.opts.platform;
     println!(
         "kernel: {} LUT {} FF {} DSP | PLM {} BRAM",
         be.hls_report.luts, be.hls_report.ffs, be.hls_report.dsps, be.memory.brams
     );
-    println!("feasible configurations on {}:", board.name);
+    println!("feasible configurations on {}:", platform.board.name);
     println!("   k    m  batch     LUT   BRAM   slack(BRAM)");
-    for cfg in sysgen::enumerate_configs(board, &be.hls_report, &be.memory) {
+    for cfg in sysgen::enumerate_configs(platform, &be.hls_report, &be.memory) {
         let host = sysgen::HostProgram::from_kernel(&be.kernel, cfg);
-        if let Some(d) = sysgen::SystemDesign::build(board, &be.hls_report, &be.memory, cfg, host) {
+        if let Some(d) =
+            sysgen::SystemDesign::build(platform, &be.hls_report, &be.memory, cfg, host)
+        {
             let (_, _, _, sb) = d.slack();
             println!(
                 "  {:>2}  {:>3}  {:>4}   {:>6}  {:>5}   {:>6}",

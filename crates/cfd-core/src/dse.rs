@@ -7,6 +7,14 @@
 //! compiles source through [`Pipeline::schedule`] exactly once and fans
 //! the per-point backend/system stages out across a scoped worker pool.
 //!
+//! On top of the single-board sweep, [`DseEngine::run_portfolio`] (and
+//! its program twin) crosses the grid with a **platform catalog and
+//! each platform's fabric-clock ladder**: backends are memoized per
+//! (clock, backend options), every combination is costed under its
+//! platform's Eq. (3) budget, and the [`PortfolioReport`] marks each
+//! platform's Pareto frontier over (simulated time, resource fit) —
+//! the heterogeneous-portfolio view: pick the node that fits the job.
+//!
 //! ```
 //! use cfd_core::dse::{DseEngine, DseGrid};
 //! use cfd_core::FlowOptions;
@@ -30,7 +38,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use sysgen::SystemConfig;
+use sysgen::{Platform, SystemConfig};
 use teil::TensorKind;
 use zynq::SimConfig;
 
@@ -747,6 +755,7 @@ impl ProgramDseEngine {
     /// always match what a real compile would build.
     fn evaluate_with_backends(
         &self,
+        platform: &Platform,
         point: &DsePoint,
         backends: &[Backend],
         elements: usize,
@@ -768,7 +777,7 @@ impl ProgramDseEngine {
         );
         let cfg = sysgen::ProgramSystemConfig::uniform(point.k, point.m, self.names.len());
         let memory_brams = build.memory.brams;
-        let design = build.design_for(&self.base.flow.board, cfg);
+        let design = build.design_for(platform, cfg);
         let latency_cycles: u64 = backends.iter().map(|b| b.hls_report.latency_cycles).sum();
         match design {
             Some(design) => {
@@ -825,7 +834,7 @@ impl ProgramDseEngine {
                     .backend(&self.scheds[ki], &self.kernel_options_for(point, ki))
             })
             .collect();
-        self.evaluate_with_backends(point, &backends, elements, t)
+        self.evaluate_with_backends(&self.base.flow.platform, point, &backends, elements, t)
     }
 
     /// Sweep the grid with `jobs` workers. Backends are memoized on
@@ -916,6 +925,7 @@ impl ProgramDseEngine {
                         }
                         let started = Instant::now();
                         local.push(self.evaluate_with_backends(
+                            &self.base.flow.platform,
                             &points[i],
                             &backends[key_of_point[i]],
                             elements,
@@ -960,5 +970,624 @@ impl ProgramDseEngine {
             eval_max_s,
             outcomes,
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-board portfolio exploration
+// ---------------------------------------------------------------------
+
+/// One platform × clock × grid-point outcome of a portfolio sweep.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Catalog id of the platform (`zcu106`, `pynq-z2`, ...).
+    pub platform: String,
+    /// Display name of the board.
+    pub board: String,
+    /// Fabric clock the kernel was synthesized at (from the platform's
+    /// achievable ladder).
+    pub clock_mhz: f64,
+    pub outcome: DseOutcome,
+    /// Largest resource-utilization fraction across LUT/FF/DSP/BRAM —
+    /// the "fit" axis of the Pareto frontier (0 when infeasible).
+    pub utilization: f64,
+    /// Whether this point sits on its platform's Pareto frontier of
+    /// (simulated time, utilization). The portfolio frontier is the
+    /// union over platforms — pick the node that fits the job.
+    pub pareto: bool,
+}
+
+/// Per-platform feasibility summary of a portfolio sweep.
+#[derive(Debug, Clone)]
+pub struct PlatformSummary {
+    pub platform: String,
+    pub board: String,
+    /// Grid × clock combinations evaluated on this platform.
+    pub evaluated: usize,
+    pub feasible: usize,
+    /// Points on the platform's time-vs-fit Pareto frontier.
+    pub pareto_points: usize,
+    /// Best simulated end-to-end time (`None` when nothing fits).
+    pub best_total_s: Option<f64>,
+}
+
+/// Ranked results of a platform × clock × (k, m) portfolio sweep.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// Outcomes ranked feasible-first, then by simulated time.
+    pub outcomes: Vec<PortfolioOutcome>,
+    pub summaries: Vec<PlatformSummary>,
+    pub evaluated: usize,
+    pub feasible: usize,
+    pub jobs: usize,
+    pub elements: usize,
+    pub wall_s: f64,
+    /// Unique (clock, backend-option) combinations compiled.
+    pub backend_compiles: usize,
+    /// Evaluations that reused a memoized backend.
+    pub backend_reuses: usize,
+}
+
+/// Pareto flags over (minimize time, minimize utilization) for the
+/// feasible subset; infeasible entries are never on the frontier, and
+/// of several points with *identical* objectives only the first stays
+/// (ties would otherwise all survive and clutter the frontier).
+fn pareto_flags(objectives: &[Option<(f64, f64)>]) -> Vec<bool> {
+    let mut flags = vec![false; objectives.len()];
+    for i in 0..objectives.len() {
+        let Some((t, u)) = objectives[i] else {
+            continue;
+        };
+        let dominated = objectives.iter().enumerate().any(|(j, o)| match o {
+            Some((t2, u2)) => {
+                (*t2 <= t && *u2 <= u && (*t2 < t || *u2 < u)) || (j < i && *t2 == t && *u2 == u)
+            }
+            None => false,
+        });
+        flags[i] = !dominated;
+    }
+    flags
+}
+
+impl PortfolioReport {
+    /// Rank, flag Pareto points per platform and summarize.
+    /// `backend_uses` is the total number of memoized-backend lookups
+    /// across all evaluations (one per kernel per combo), so
+    /// `reuses = uses - compiles` holds for programs too.
+    fn assemble(
+        platforms: &[Platform],
+        mut outcomes: Vec<PortfolioOutcome>,
+        jobs: usize,
+        elements: usize,
+        wall_s: f64,
+        backend_compiles: usize,
+        backend_uses: usize,
+    ) -> PortfolioReport {
+        // Per-platform Pareto frontier over (total_s, utilization).
+        for p in platforms {
+            let idx: Vec<usize> = (0..outcomes.len())
+                .filter(|&i| outcomes[i].platform == p.id)
+                .collect();
+            let objectives: Vec<Option<(f64, f64)>> = idx
+                .iter()
+                .map(|&i| {
+                    let o = &outcomes[i];
+                    o.outcome
+                        .feasible
+                        .then_some((o.outcome.total_s, o.utilization))
+                })
+                .collect();
+            for (&i, flag) in idx.iter().zip(pareto_flags(&objectives)) {
+                outcomes[i].pareto = flag;
+            }
+        }
+        outcomes.sort_by(|a, b| {
+            b.outcome
+                .feasible
+                .cmp(&a.outcome.feasible)
+                .then(a.outcome.total_s.total_cmp(&b.outcome.total_s))
+                .then(a.utilization.total_cmp(&b.utilization))
+                .then(a.platform.cmp(&b.platform))
+                .then(a.clock_mhz.total_cmp(&b.clock_mhz))
+                .then(a.outcome.point.label().cmp(&b.outcome.point.label()))
+        });
+        let summaries: Vec<PlatformSummary> = platforms
+            .iter()
+            .map(|p| {
+                let of_p: Vec<&PortfolioOutcome> =
+                    outcomes.iter().filter(|o| o.platform == p.id).collect();
+                PlatformSummary {
+                    platform: p.id.clone(),
+                    board: p.board.name.clone(),
+                    evaluated: of_p.len(),
+                    feasible: of_p.iter().filter(|o| o.outcome.feasible).count(),
+                    pareto_points: of_p.iter().filter(|o| o.pareto).count(),
+                    best_total_s: of_p
+                        .iter()
+                        .filter(|o| o.outcome.feasible)
+                        .map(|o| o.outcome.total_s)
+                        .min_by(f64::total_cmp),
+                }
+            })
+            .collect();
+        let feasible = outcomes.iter().filter(|o| o.outcome.feasible).count();
+        PortfolioReport {
+            evaluated: outcomes.len(),
+            feasible,
+            jobs,
+            elements,
+            wall_s,
+            backend_compiles,
+            backend_reuses: backend_uses.saturating_sub(backend_compiles),
+            summaries,
+            outcomes,
+        }
+    }
+
+    /// The portfolio Pareto frontier: every platform's non-dominated
+    /// (time, fit) points, best time first.
+    pub fn pareto_frontier(&self) -> Vec<&PortfolioOutcome> {
+        self.outcomes.iter().filter(|o| o.pareto).collect()
+    }
+
+    /// Platforms with at least one feasible point.
+    pub fn feasible_platforms(&self) -> Vec<&PlatformSummary> {
+        self.summaries.iter().filter(|s| s.feasible > 0).collect()
+    }
+
+    /// Render as an aligned text table (Pareto rows marked `*`).
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "portfolio: {} platforms, {} combinations ({} feasible), {} jobs, {:.3} s, \
+             {} backends compiled ({} reused)\n",
+            self.summaries.len(),
+            self.evaluated,
+            self.feasible,
+            self.jobs,
+            self.wall_s,
+            self.backend_compiles,
+            self.backend_reuses,
+        ));
+        for sum in &self.summaries {
+            s.push_str(&format!(
+                "  {:<10} {:<22} {:>3}/{:<3} feasible, {} pareto{}\n",
+                sum.platform,
+                sum.board,
+                sum.feasible,
+                sum.evaluated,
+                sum.pareto_points,
+                match sum.best_total_s {
+                    Some(t) => format!(", best {t:.4} s"),
+                    None => ", nothing fits".to_string(),
+                }
+            ));
+        }
+        s.push_str(
+            "    platform     MHz   k    m  share  decouple  part      LUT   BRAM   util%     el/s  pareto\n",
+        );
+        for o in &self.outcomes {
+            let p = &o.outcome.point;
+            s.push_str(&format!(
+                "  {} {:<10}  {:>4.0}  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>5}  {:>6.1}  {:>7.0}  {}\n",
+                if o.pareto { "*" } else { " " },
+                o.platform,
+                o.clock_mhz,
+                p.k,
+                p.m,
+                p.sharing,
+                p.decoupled,
+                p.partition,
+                o.outcome.luts,
+                o.outcome.brams,
+                o.utilization * 100.0,
+                o.outcome.throughput_eps,
+                if o.outcome.feasible {
+                    if o.pareto {
+                        "pareto"
+                    } else {
+                        "yes"
+                    }
+                } else {
+                    "no"
+                },
+            ));
+        }
+        s
+    }
+
+    /// Serialize as JSON (hand-rolled: the dependency set has no
+    /// serde_json).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"evaluated\": {},\n", self.evaluated));
+        s.push_str(&format!("  \"feasible\": {},\n", self.feasible));
+        s.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        s.push_str(&format!("  \"elements\": {},\n", self.elements));
+        s.push_str(&format!("  \"wall_s\": {:.6},\n", self.wall_s));
+        s.push_str(&format!(
+            "  \"backend_cache\": {{\"compiles\": {}, \"reuses\": {}}},\n",
+            self.backend_compiles, self.backend_reuses
+        ));
+        s.push_str("  \"platforms\": [\n");
+        for (i, p) in self.summaries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"platform\": \"{}\", \"board\": \"{}\", \"evaluated\": {}, \
+                 \"feasible\": {}, \"pareto_points\": {}, \"best_total_s\": {}}}{}\n",
+                p.platform,
+                p.board,
+                p.evaluated,
+                p.feasible,
+                p.pareto_points,
+                match p.best_total_s {
+                    Some(t) => format!("{t:.6}"),
+                    None => "null".to_string(),
+                },
+                if i + 1 == self.summaries.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        s.push_str("  ],\n");
+        let frontier = self.pareto_frontier();
+        s.push_str("  \"pareto_frontier\": [\n");
+        for (i, o) in frontier.iter().enumerate() {
+            let p = &o.outcome.point;
+            s.push_str(&format!(
+                "    {{\"platform\": \"{}\", \"clock_mhz\": {:.1}, \"k\": {}, \"m\": {}, \
+                 \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \"utilization\": {:.4}}}{}\n",
+                o.platform,
+                o.clock_mhz,
+                p.k,
+                p.m,
+                o.outcome.total_s,
+                o.outcome.throughput_eps,
+                o.utilization,
+                if i + 1 == frontier.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"outcomes\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let p = &o.outcome.point;
+            s.push_str(&format!(
+                "    {{\"platform\": \"{}\", \"clock_mhz\": {:.1}, \"kernel\": \"{}\", \"k\": {}, \"m\": {}, \
+                 \"sharing\": {}, \"decoupled\": {}, \"partition\": {}, \"feasible\": {}, \
+                 \"luts\": {}, \"ffs\": {}, \"dsps\": {}, \"brams\": {}, \"plm_brams\": {}, \
+                 \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \
+                 \"utilization\": {:.4}, \"pareto\": {}}}{}\n",
+                o.platform,
+                o.clock_mhz,
+                o.outcome.kernel,
+                p.k,
+                p.m,
+                p.sharing,
+                p.decoupled,
+                p.partition,
+                o.outcome.feasible,
+                o.outcome.luts,
+                o.outcome.ffs,
+                o.outcome.dsps,
+                o.outcome.brams,
+                o.outcome.plm_brams,
+                o.outcome.latency_cycles,
+                o.outcome.total_s,
+                o.outcome.throughput_eps,
+                o.utilization,
+                o.pareto,
+                if i + 1 == self.outcomes.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// A (platform index, clock) × grid cross product, flattened for the
+/// worker pool. `backend` indexes the memoized (clock, backend-key)
+/// compilation shared across platforms and `k`/`m`.
+#[derive(Debug, Clone, Copy)]
+struct ComboJob {
+    platform: usize,
+    clock_mhz: f64,
+    point: usize,
+    backend: usize,
+}
+
+/// Flatten platforms × clock ladders × grid points and assign each
+/// combo its memoized backend slot. Returns the jobs plus the unique
+/// (clock, key) list in first-seen order.
+fn portfolio_jobs(
+    platforms: &[Platform],
+    points: &[DsePoint],
+) -> (Vec<ComboJob>, Vec<(f64, BackendKey)>) {
+    let mut keys: Vec<(u64, BackendKey)> = Vec::new();
+    let mut jobs = Vec::new();
+    for (pi, platform) in platforms.iter().enumerate() {
+        for &clock in &platform.clock_ladder_mhz {
+            for (qi, point) in points.iter().enumerate() {
+                let key = (clock.to_bits(), point.backend_key());
+                let bi = keys.iter().position(|&e| e == key).unwrap_or_else(|| {
+                    keys.push(key);
+                    keys.len() - 1
+                });
+                jobs.push(ComboJob {
+                    platform: pi,
+                    clock_mhz: clock,
+                    point: qi,
+                    backend: bi,
+                });
+            }
+        }
+    }
+    let keys = keys
+        .into_iter()
+        .map(|(bits, k)| (f64::from_bits(bits), k))
+        .collect();
+    (jobs, keys)
+}
+
+fn resolve_jobs(jobs: usize, len: usize) -> usize {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    jobs.min(len.max(1))
+}
+
+impl DseEngine {
+    /// Utilization of a feasible outcome against a platform's board.
+    fn outcome_utilization(platform: &Platform, o: &DseOutcome) -> f64 {
+        if !o.feasible {
+            return 0.0;
+        }
+        let b = &platform.board;
+        [
+            o.luts as f64 / b.luts as f64,
+            o.ffs as f64 / b.ffs as f64,
+            o.dsps as f64 / b.dsps as f64,
+            o.brams as f64 / b.brams as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// Sweep the **platform × clock × (k, m, sharing, decoupling,
+    /// partition)** cross product: the multi-board portfolio view.
+    /// Frontend, middle end and scheduling stay compiled once (from
+    /// [`DseEngine::prepare`]); backends are memoized per **(clock,
+    /// backend key)** — a backend compiled at 200 MHz is reused across
+    /// every platform whose ladder contains 200 MHz and every `k`/`m`.
+    pub fn run_portfolio(
+        &self,
+        platforms: &[Platform],
+        grid: &DseGrid,
+        jobs: usize,
+        elements: usize,
+    ) -> PortfolioReport {
+        let points = grid.points();
+        let (combos, keys) = portfolio_jobs(platforms, &points);
+        let jobs = resolve_jobs(jobs, combos.len());
+        let t = Instant::now();
+
+        // Compile the unique (clock, backend-key) backends in parallel.
+        let key_opts: Vec<FlowOptions> = keys
+            .iter()
+            .map(|&(clock, key)| {
+                let rep = points
+                    .iter()
+                    .find(|p| p.backend_key() == key)
+                    .expect("key from points");
+                let mut opts = self.options_for(rep);
+                opts.hls.clock_mhz = clock;
+                opts
+            })
+            .collect();
+        let backends: Vec<Backend> = {
+            let workers = jobs.min(keys.len()).max(1);
+            let mut indexed: Vec<(usize, Backend)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let key_opts = &key_opts;
+                        scope.spawn(move || {
+                            (w..key_opts.len())
+                                .step_by(workers)
+                                .map(|i| (i, self.pipeline.backend(&self.scheduled, &key_opts[i])))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("backend worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, be)| be).collect()
+        };
+
+        // Fan the per-combo system stage + simulation out.
+        let next = AtomicUsize::new(0);
+        let outcomes: Vec<PortfolioOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(jobs);
+            for _ in 0..jobs {
+                let next = &next;
+                let combos = &combos;
+                let points = &points;
+                let key_opts = &key_opts;
+                let backends = &backends;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<PortfolioOutcome> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= combos.len() {
+                            break local;
+                        }
+                        let started = Instant::now();
+                        let job = combos[i];
+                        let platform = &platforms[job.platform];
+                        let mut opts = key_opts[job.backend].clone();
+                        opts.platform = platform.clone();
+                        opts.system = Some(SystemConfig {
+                            k: points[job.point].k,
+                            m: points[job.point].m,
+                        });
+                        let outcome = self.evaluate_with_backend(
+                            &points[job.point],
+                            &opts,
+                            &backends[job.backend],
+                            elements,
+                            started,
+                        );
+                        let utilization = DseEngine::outcome_utilization(platform, &outcome);
+                        local.push(PortfolioOutcome {
+                            platform: platform.id.clone(),
+                            board: platform.board.name.clone(),
+                            clock_mhz: job.clock_mhz,
+                            outcome,
+                            utilization,
+                            pareto: false,
+                        });
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let uses = outcomes.len();
+        PortfolioReport::assemble(
+            platforms,
+            outcomes,
+            jobs,
+            elements,
+            t.elapsed().as_secs_f64(),
+            keys.len(),
+            uses,
+        )
+    }
+}
+
+impl ProgramDseEngine {
+    /// The portfolio sweep for a multi-kernel program: platform × clock
+    /// × joint grid points, with backends memoized per **(kernel,
+    /// clock, backend key)**.
+    pub fn run_portfolio(
+        &self,
+        platforms: &[Platform],
+        grid: &DseGrid,
+        jobs: usize,
+        elements: usize,
+    ) -> PortfolioReport {
+        let points = grid.points();
+        let nk = self.scheds.len();
+        let (combos, keys) = portfolio_jobs(platforms, &points);
+        let jobs = resolve_jobs(jobs, combos.len());
+        let t = Instant::now();
+
+        // Compile (clock, key) × kernel backends on the worker pool.
+        let reps: Vec<(f64, DsePoint)> = keys
+            .iter()
+            .map(|&(clock, key)| {
+                (
+                    clock,
+                    *points
+                        .iter()
+                        .find(|p| p.backend_key() == key)
+                        .expect("key from points"),
+                )
+            })
+            .collect();
+        let jobs_be = jobs.min(keys.len() * nk).max(1);
+        let backends: Vec<Vec<Backend>> = {
+            let mut indexed: Vec<(usize, Backend)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs_be)
+                    .map(|w| {
+                        let reps = &reps;
+                        scope.spawn(move || {
+                            (w..reps.len() * nk)
+                                .step_by(jobs_be)
+                                .map(|i| {
+                                    let (key, kernel) = (i / nk, i % nk);
+                                    let (clock, rep) = &reps[key];
+                                    let mut opts = self.kernel_options_for(rep, kernel);
+                                    opts.hls.clock_mhz = *clock;
+                                    (i, self.pipeline.backend(&self.scheds[kernel], &opts))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("backend worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            let mut flat = indexed.into_iter().map(|(_, b)| b);
+            (0..keys.len())
+                .map(|_| (0..nk).map(|_| flat.next().expect("backend")).collect())
+                .collect()
+        };
+
+        let next = AtomicUsize::new(0);
+        let outcomes: Vec<PortfolioOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(jobs);
+            for _ in 0..jobs {
+                let next = &next;
+                let combos = &combos;
+                let points = &points;
+                let backends = &backends;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<PortfolioOutcome> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= combos.len() {
+                            break local;
+                        }
+                        let started = Instant::now();
+                        let job = combos[i];
+                        let platform = &platforms[job.platform];
+                        let outcome = self.evaluate_with_backends(
+                            platform,
+                            &points[job.point],
+                            &backends[job.backend],
+                            elements,
+                            started,
+                        );
+                        let utilization = DseEngine::outcome_utilization(platform, &outcome);
+                        local.push(PortfolioOutcome {
+                            platform: platform.id.clone(),
+                            board: platform.board.name.clone(),
+                            clock_mhz: job.clock_mhz,
+                            outcome,
+                            utilization,
+                            pareto: false,
+                        });
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let uses = outcomes.len() * nk;
+        PortfolioReport::assemble(
+            platforms,
+            outcomes,
+            jobs,
+            elements,
+            t.elapsed().as_secs_f64(),
+            keys.len() * nk,
+            uses,
+        )
     }
 }

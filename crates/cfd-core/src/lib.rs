@@ -64,7 +64,7 @@ use mnemosyne::{MemoryOptions, MemorySubsystem, MnemosyneConfig};
 use pschedule::{
     CompatibilityGraph, Dependences, KernelModel, Liveness, Schedule, SchedulerOptions,
 };
-use sysgen::{BoardSpec, SystemConfig, SystemDesign};
+use sysgen::{Platform, SystemConfig, SystemDesign};
 use teil::Module;
 use zynq::{ArmCostModel, SimConfig};
 
@@ -78,8 +78,10 @@ pub enum FlowError {
     Frontend(Diagnostic),
     /// Middle-end or backend failure.
     Backend(String),
-    /// The requested system configuration does not fit the board.
-    DoesNotFit { k: usize, m: usize },
+    /// The requested system configuration does not fit the selected
+    /// platform's board — the structured small-board error (callers
+    /// can retry with a smaller replication or another platform).
+    DoesNotFit { k: usize, m: usize, board: String },
 }
 
 impl std::fmt::Display for FlowError {
@@ -87,8 +89,11 @@ impl std::fmt::Display for FlowError {
         match self {
             FlowError::Frontend(d) => write!(f, "{d}"),
             FlowError::Backend(m) => write!(f, "{m}"),
-            FlowError::DoesNotFit { k, m } => {
-                write!(f, "configuration k={k}, m={m} exceeds the board resources")
+            FlowError::DoesNotFit { k, m, board } => {
+                write!(
+                    f,
+                    "configuration k={k}, m={m} exceeds the resources of {board}"
+                )
             }
         }
     }
@@ -121,10 +126,11 @@ pub struct FlowOptions {
     pub decoupled: bool,
     /// Memory synthesis options (sharing on by default).
     pub memory: MemoryOptions,
-    /// HLS options (200 MHz, pipelining).
+    /// HLS options (clock from the platform ladder, pipelining).
     pub hls: HlsOptions,
-    /// Target board.
-    pub board: BoardSpec,
+    /// Target platform: board budget, host CPU, DMA fabric and clock
+    /// ladder. Defaults to the paper's ZCU106.
+    pub platform: Platform,
     /// Requested replication; `None` picks the largest feasible `k = m`.
     pub system: Option<SystemConfig>,
     /// CFD problem size for host-program generation.
@@ -140,10 +146,21 @@ impl Default for FlowOptions {
             decoupled: true,
             memory: MemoryOptions::default(),
             hls: HlsOptions::default(),
-            board: BoardSpec::zcu106(),
+            platform: Platform::zcu106(),
             system: None,
             elements: 50_000,
         }
+    }
+}
+
+impl FlowOptions {
+    /// Options targeting `platform`, synthesizing at its default fabric
+    /// clock. (`FlowOptions::default()` is `for_platform(zcu106)`.)
+    pub fn for_platform(platform: Platform) -> FlowOptions {
+        let mut opts = FlowOptions::default();
+        opts.hls.clock_mhz = platform.default_clock_mhz;
+        opts.platform = platform;
+        opts
     }
 }
 
@@ -200,12 +217,13 @@ impl Artifacts {
         zynq::verify_elements(&self.module, &self.kernel, n, seed).map_err(FlowError::Backend)
     }
 
-    /// ARM software timings for the Figure-10 comparison.
+    /// Host software timings for the Figure-10 comparison, on the
+    /// compilation's target platform CPU.
     pub fn sw_times(
         &self,
         elements: usize,
     ) -> Result<(zynq::sim::SwResult, zynq::sim::SwResult), FlowError> {
-        let model = ArmCostModel::a53_1200mhz();
+        let model = ArmCostModel::from_platform(&self.options.platform);
         let reference =
             zynq::sim::sw_reference(&self.module, &model, elements).map_err(FlowError::Backend)?;
         let hls_code =

@@ -343,23 +343,38 @@ impl Pipeline {
     }
 
     /// Pick / validate the replication configuration and build the
-    /// replicated system plus its host program. Returns
-    /// [`FlowError::DoesNotFit`] only when `opts.system` explicitly
-    /// requests a configuration that exceeds the board.
+    /// replicated system plus its host program on the target platform.
+    /// Returns [`FlowError::DoesNotFit`] only when `opts.system`
+    /// explicitly requests a configuration that exceeds the platform's
+    /// board — the automatic choice degrades to the largest feasible
+    /// replication (or no system at all) on small boards.
     pub fn system(&self, be: &Backend, opts: &FlowOptions) -> Result<SystemStage, FlowError> {
         self.counters.system.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
+        let platform = &opts.platform;
+        if let Some(c) = opts.system {
+            if !c.valid() {
+                return Err(FlowError::Backend(format!(
+                    "invalid replication (k, m) = ({}, {}): m must be a power-of-two multiple of k",
+                    c.k, c.m
+                )));
+            }
+        }
         let cfg = match opts.system {
             Some(c) => Some(c),
-            None => sysgen::max_equal_config(&opts.board, &be.hls_report, &be.memory),
+            None => sysgen::max_equal_config(platform, &be.hls_report, &be.memory),
         };
         let (system, host_source) = match cfg {
             Some(c) => {
                 let host = HostProgram::from_kernel(&be.kernel, c);
                 let host_src = host.to_c(opts.elements);
-                let design = SystemDesign::build(&opts.board, &be.hls_report, &be.memory, c, host);
+                let design = SystemDesign::build(platform, &be.hls_report, &be.memory, c, host);
                 if design.is_none() && opts.system.is_some() {
-                    return Err(FlowError::DoesNotFit { k: c.k, m: c.m });
+                    return Err(FlowError::DoesNotFit {
+                        k: c.k,
+                        m: c.m,
+                        board: platform.board.name.clone(),
+                    });
                 }
                 (design, host_src)
             }

@@ -226,14 +226,14 @@ impl ProgramBuild {
     }
 
     /// Build the system for one replication choice (`None` when it
-    /// exceeds the board).
+    /// exceeds the platform's board).
     pub fn design_for(
         &self,
-        board: &sysgen::BoardSpec,
+        platform: &sysgen::Platform,
         cfg: ProgramSystemConfig,
     ) -> Option<MultiSystemDesign> {
         MultiSystemDesign::build(
-            board,
+            platform,
             &self.stages,
             &self.memory,
             cfg.clone(),
@@ -331,20 +331,36 @@ impl Pipeline {
 
         // Replication: the requested configuration or the largest
         // feasible uniform k = m.
+        if let Some(c) = &opts.system {
+            if c.ks.len() != names.len() {
+                return Err(FlowError::Backend(format!(
+                    "replication lists {} stages but the program has {}",
+                    c.ks.len(),
+                    names.len()
+                )));
+            }
+            if !c.valid() {
+                return Err(FlowError::Backend(format!(
+                    "invalid replication ks={:?}, m={}: m must be a power-of-two multiple of every k",
+                    c.ks, c.m
+                )));
+            }
+        }
         let cfg = match &opts.system {
             Some(c) => Some(c.clone()),
             None => {
-                sysgen::max_equal_program_config(&opts.flow.board, &build.stages, &build.memory)
+                sysgen::max_equal_program_config(&opts.flow.platform, &build.stages, &build.memory)
             }
         };
         let (system, host_source) = match cfg {
             Some(c) => {
                 let host_src = build.host_for(c.clone()).to_c(opts.flow.elements);
-                let design = build.design_for(&opts.flow.board, c.clone());
+                let design = build.design_for(&opts.flow.platform, c.clone());
                 if design.is_none() && opts.system.is_some() {
                     return Err(FlowError::DoesNotFit {
                         k: c.ks.iter().copied().max().unwrap_or(0),
                         m: c.m,
+                        board: opts.flow.platform.board.name.clone(),
                     });
                 }
                 (design, host_src)

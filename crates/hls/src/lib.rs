@@ -96,7 +96,7 @@ impl HlsOptions {
 
 /// Run "synthesis": produce the report for a kernel.
 pub fn synthesize(kernel: &CKernel, opts: &HlsOptions) -> HlsReport {
-    let lib = OpLibrary::ultrascale_200mhz();
+    let lib = OpLibrary::for_clock(opts.clock_mhz);
     let (loops, total_latency) = latency::kernel_latency(kernel, opts, &lib);
     let res = resources::estimate_resources(kernel, opts, &lib, &loops);
     HlsReport {

@@ -62,6 +62,31 @@ impl OpLibrary {
         }
     }
 
+    /// The library for an arbitrary synthesis clock: operator pipeline
+    /// depths scale with the clock (a 300 MHz datapath needs deeper
+    /// pipelines than the 200 MHz calibration point; a 100 MHz one is
+    /// shallower), while per-operator resource costs stay put. At
+    /// exactly 200 MHz this returns [`OpLibrary::ultrascale_200mhz`]
+    /// unchanged, so the paper's calibration is bit-identical.
+    pub fn for_clock(clock_mhz: f64) -> OpLibrary {
+        let base = OpLibrary::ultrascale_200mhz();
+        let ratio = clock_mhz / 200.0;
+        if (ratio - 1.0).abs() < 1e-12 {
+            return base;
+        }
+        let scale = |spec: OpSpec| OpSpec {
+            latency: ((spec.latency as f64 * ratio).ceil() as u64).max(1),
+            ..spec
+        };
+        OpLibrary {
+            dadd: scale(base.dadd),
+            dmul: scale(base.dmul),
+            ddiv: scale(base.ddiv),
+            mem_latency: ((base.mem_latency as f64 * ratio).ceil() as u64).max(1),
+            ..base
+        }
+    }
+
     /// Spec for a binary operator.
     pub fn spec(&self, op: BinOp) -> OpSpec {
         match op {
@@ -93,6 +118,20 @@ mod tests {
         let lib = OpLibrary::ultrascale_200mhz();
         assert_eq!(lib.spec(BinOp::Sub), lib.dadd);
         assert_eq!(lib.spec(BinOp::Mul), lib.dmul);
+    }
+
+    #[test]
+    fn clock_scaling_is_identity_at_calibration_point() {
+        assert_eq!(OpLibrary::for_clock(200.0), OpLibrary::ultrascale_200mhz());
+        let fast = OpLibrary::for_clock(300.0);
+        let slow = OpLibrary::for_clock(100.0);
+        let base = OpLibrary::ultrascale_200mhz();
+        assert!(fast.dmul.latency > base.dmul.latency);
+        assert!(slow.dmul.latency < base.dmul.latency);
+        assert!(slow.dadd.latency >= 1);
+        // Resources do not move with the clock.
+        assert_eq!(fast.dmul.dsps, base.dmul.dsps);
+        assert_eq!(slow.ddiv.luts, base.ddiv.luts);
     }
 
     #[test]

@@ -1,4 +1,10 @@
-//! FPGA board descriptions.
+//! FPGA board descriptions: the programmable-logic resource vector.
+//!
+//! A `BoardSpec` is the `[A]` side of Eq. (3) and nothing else. The
+//! host CPU, DMA fabric and clock ladder that used to live here belong
+//! to the surrounding [`Platform`](crate::platform::Platform) — boards
+//! are looked up through the platform catalog, never constructed ad
+//! hoc.
 
 use serde::{Deserialize, Serialize};
 
@@ -10,36 +16,9 @@ pub struct BoardSpec {
     pub ffs: usize,
     pub dsps: usize,
     pub brams: usize,
-    /// Host CPU clock (Hz) — the ARM Cortex-A53 on Zynq boards.
-    pub cpu_hz: f64,
-    /// Fabric clock for the accelerators (Hz).
-    pub fabric_hz: f64,
-    /// Effective host↔PL DMA bandwidth (bytes/second).
-    pub dma_bytes_per_sec: f64,
-    /// Fixed DMA setup latency per transfer burst (seconds).
-    pub dma_setup_s: f64,
 }
 
 impl BoardSpec {
-    /// The Xilinx Zynq UltraScale+ ZCU106 (xczu7ev-ffvc1156-2) used in
-    /// the paper: ~230K LUTs, ~460K FFs, 312 BRAM36, 1,728 DSPs; quad
-    /// Cortex-A53 at 1.2 GHz; kernels synthesized at 200 MHz. The DMA
-    /// bandwidth is calibrated to the transfer fraction implied by
-    /// Figures 9/10 (~0.7 GB/s effective on the HP ports).
-    pub fn zcu106() -> BoardSpec {
-        BoardSpec {
-            name: "ZCU106 (xczu7ev)".into(),
-            luts: 230_400,
-            ffs: 460_800,
-            dsps: 1_728,
-            brams: 312,
-            cpu_hz: 1.2e9,
-            fabric_hz: 200.0e6,
-            dma_bytes_per_sec: 0.70e9,
-            dma_setup_s: 4.0e-6,
-        }
-    }
-
     /// Percentage of the board's LUTs.
     pub fn lut_pct(&self, used: usize) -> f64 {
         100.0 * used as f64 / self.luts as f64
@@ -54,21 +33,9 @@ impl BoardSpec {
     pub fn dsp_pct(&self, used: usize) -> f64 {
         100.0 * used as f64 / self.dsps as f64
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn zcu106_matches_paper_figures() {
-        let b = BoardSpec::zcu106();
-        assert_eq!(b.brams, 312);
-        // Paper: 11,318 LUT = 4.9%, 9,523 FF = 2.1%, 15 DSP = 0.9%.
-        assert!((b.lut_pct(11_318) - 4.9).abs() < 0.05);
-        assert!((b.ff_pct(9_523) - 2.1).abs() < 0.05);
-        assert!((b.dsp_pct(15) - 0.9).abs() < 0.05);
-        // Clock ratio: CPU is 6× faster than the fabric.
-        assert!((b.cpu_hz / b.fabric_hz - 6.0).abs() < 1e-9);
+    /// Percentage of the board's BRAM36 blocks.
+    pub fn bram_pct(&self, used: usize) -> f64 {
+        100.0 * used as f64 / self.brams as f64
     }
 }

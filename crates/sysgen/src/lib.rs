@@ -1,11 +1,46 @@
-//! `sysgen` — parallel system generation (Section V-B).
+//! `sysgen` — parallel system generation (Section V-B) over portable
+//! target platforms.
 //!
-//! The system generator reads the HLS kernel report, the Mnemosyne memory
-//! subsystem and the board description, and builds the replicated
-//! architecture of Figure 7:
+//! # The `Platform` decomposition
+//!
+//! Every compilation targets one [`Platform`] from the catalog
+//! ([`Platform::catalog`]), which decomposes the deployment target into
+//! four orthogonal pieces:
+//!
+//! * **[`BoardSpec`]** — the programmable-logic resource vector `[A]`
+//!   of Eq. (3): LUTs, FFs, DSPs, BRAM36 blocks. Nothing else; the
+//!   board is pure budget.
+//! * **[`HostCpuModel`]** — the CPU that runs the generated main loop
+//!   and the software reference: clock plus average retired-cycle
+//!   coefficients per load/store/FLOP/iteration/address-op. The
+//!   `zynq::ArmCostModel` is derived from this.
+//! * **[`DmaSpec`]** — the host↔PL transfer fabric: effective
+//!   bandwidth and fixed per-burst setup latency, consumed by
+//!   `zynq::DmaModel`.
+//! * **clock ladder** — the fabric clocks the part realistically
+//!   closes timing at ([`Platform::clock_ladder_mhz`]), with
+//!   [`Platform::default_clock_mhz`] as the plain-compile choice. The
+//!   HLS model synthesizes the kernel at the selected rung; the
+//!   portfolio DSE sweeps the whole ladder.
+//!
+//! The ZCU106 entry carries the paper's calibration exactly: Table I's
+//! base infrastructure ≈ 6.8k LUT with ≈ 4.4–4.9k LUT per added
+//! replica ([`IntegrationModel`]), the in-text kernel footprint
+//! (2,314 LUT / 2,999 FF / 15 DSP at 200 MHz), the 1.2 GHz quad
+//! Cortex-A53 host, and the ~0.7 GB/s effective HP-port DMA implied by
+//! Figures 9/10. Table I's totals reproduce within 10% for every
+//! `k = m ∈ {1, 2, 4, 8, 16}` row (LUT: 11,292 / 15,572 / 24,480 /
+//! 42,141 / 77,235) and the DSP column exactly (15·k).
+//!
+//! # System construction
+//!
+//! The system generator reads the HLS kernel report, the Mnemosyne
+//! memory subsystem and the selected platform, and builds the
+//! replicated architecture of Figure 7:
 //!
 //! * it solves Eq. (3) — `[H]·k + [M]·m ≤ [A]` with `m` a power-of-two
-//!   multiple of `k` — to find feasible replication factors,
+//!   multiple of `k` — against the platform's board to find feasible
+//!   replication factors,
 //! * it instantiates `k` accelerators and `m` PLM systems plus the
 //!   integration logic: the AXI-lite peripheral that presents the `k`
 //!   accelerators to the host as a single `ap_ctrl` device, the batch
@@ -14,13 +49,18 @@
 //! * it emits the host program skeleton: `Ne/m` main-loop iterations of
 //!   input transfer → `m/k` start/wait rounds → output transfer.
 //!
-//! Resource totals are calibrated against Table I of the paper (base
-//! infrastructure ≈ 6.8k LUT, ≈ 4.4–4.9k LUT per added replica).
+//! A request that exceeds the selected board (e.g. the ZCU106's
+//! `k = m = 16` asked of a Pynq-Z2) is *not* an error at this layer:
+//! [`SystemDesign::build`] returns `None`, and
+//! [`max_equal_config`] degrades to the largest replication the small
+//! board admits. Callers that insist on an explicit configuration get
+//! a structured does-not-fit error from the flow above.
 
 pub mod board;
 pub mod host;
 pub mod multi;
 pub mod netlist;
+pub mod platform;
 pub mod system;
 
 pub use board::BoardSpec;
@@ -30,4 +70,7 @@ pub use multi::{
     MultiSystemDesign, ProgramHostProgram, ProgramSystemConfig, StageDesign,
 };
 pub use netlist::emit_system_verilog;
-pub use system::{enumerate_configs, max_equal_config, SystemConfig, SystemDesign};
+pub use platform::{DmaSpec, HostCpuModel, Platform};
+pub use system::{
+    enumerate_configs, max_equal_config, IntegrationModel, SystemConfig, SystemDesign,
+};

@@ -20,6 +20,7 @@
 //! external outputs back.
 
 use crate::board::BoardSpec;
+use crate::platform::Platform;
 use crate::system::{IntegrationModel, SystemConfig};
 use hls::HlsReport;
 use mnemosyne::MemorySubsystem;
@@ -133,7 +134,8 @@ impl ProgramHostProgram {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MultiSystemDesign {
     pub config: ProgramSystemConfig,
-    pub board: BoardSpec,
+    /// The target the design was built for.
+    pub platform: Platform,
     pub stages: Vec<StageDesign>,
     /// The merged program memory subsystem of *one* PLM set.
     pub memory: MemorySubsystem,
@@ -149,7 +151,7 @@ impl MultiSystemDesign {
     /// Build a program system, checking the generalized Eq. (3) over
     /// the union of all stages. Returns `None` when it does not fit.
     pub fn build(
-        board: &BoardSpec,
+        platform: &Platform,
         stages: &[(String, HlsReport)],
         memory: &MemorySubsystem,
         cfg: ProgramSystemConfig,
@@ -157,6 +159,7 @@ impl MultiSystemDesign {
     ) -> Option<MultiSystemDesign> {
         assert_eq!(stages.len(), cfg.ks.len(), "one k per stage");
         assert!(cfg.valid(), "invalid program configuration {cfg:?}");
+        let board = &platform.board;
         let im = IntegrationModel::default();
         let mut luts = im.base_lut + cfg.m * memory.luts;
         let mut ffs = im.base_ff + cfg.m * memory.ffs;
@@ -186,7 +189,7 @@ impl MultiSystemDesign {
                 })
                 .collect(),
             config: cfg,
-            board: board.clone(),
+            platform: platform.clone(),
             memory: memory.clone(),
             luts,
             ffs,
@@ -196,14 +199,33 @@ impl MultiSystemDesign {
         })
     }
 
+    /// The board budget the design fits.
+    pub fn board(&self) -> &BoardSpec {
+        &self.platform.board
+    }
+
     /// Slack per resource: `[A] - (Σ[H_i]·k_i + [M]·m)`.
     pub fn slack(&self) -> (isize, isize, isize, isize) {
+        let board = self.board();
         (
-            self.board.luts as isize - self.luts as isize,
-            self.board.ffs as isize - self.ffs as isize,
-            self.board.dsps as isize - self.dsps as isize,
-            self.board.brams as isize - self.brams as isize,
+            board.luts as isize - self.luts as isize,
+            board.ffs as isize - self.ffs as isize,
+            board.dsps as isize - self.dsps as isize,
+            board.brams as isize - self.brams as isize,
         )
+    }
+
+    /// The largest resource-utilization fraction across LUT/FF/DSP/BRAM.
+    pub fn utilization(&self) -> f64 {
+        let board = self.board();
+        [
+            self.luts as f64 / board.luts as f64,
+            self.ffs as f64 / board.ffs as f64,
+            self.dsps as f64 / board.dsps as f64,
+            self.brams as f64 / board.brams as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
     }
 
     /// Per-round kernel-execution seconds summed over the chained
@@ -222,7 +244,7 @@ impl MultiSystemDesign {
 /// only need the configurations can project them out, callers that
 /// report resources get them without rebuilding Eq. (3).
 pub fn enumerate_program_designs(
-    board: &BoardSpec,
+    platform: &Platform,
     stages: &[(String, HlsReport)],
     memory: &MemorySubsystem,
 ) -> Vec<MultiSystemDesign> {
@@ -233,7 +255,7 @@ pub fn enumerate_program_designs(
         while m <= 64 {
             let cfg = ProgramSystemConfig::uniform(k, m, stages.len());
             let host = ProgramHostProgram::placeholder(cfg.clone(), stages);
-            if let Some(d) = MultiSystemDesign::build(board, stages, memory, cfg, host) {
+            if let Some(d) = MultiSystemDesign::build(platform, stages, memory, cfg, host) {
                 out.push(d);
             }
             m *= 2;
@@ -245,11 +267,11 @@ pub fn enumerate_program_designs(
 
 /// All feasible **uniform** program configurations.
 pub fn enumerate_program_configs(
-    board: &BoardSpec,
+    platform: &Platform,
     stages: &[(String, HlsReport)],
     memory: &MemorySubsystem,
 ) -> Vec<ProgramSystemConfig> {
-    enumerate_program_designs(board, stages, memory)
+    enumerate_program_designs(platform, stages, memory)
         .into_iter()
         .map(|d| d.config)
         .collect()
@@ -257,11 +279,11 @@ pub fn enumerate_program_configs(
 
 /// The largest feasible uniform `k = m` program configuration.
 pub fn max_equal_program_config(
-    board: &BoardSpec,
+    platform: &Platform,
     stages: &[(String, HlsReport)],
     memory: &MemorySubsystem,
 ) -> Option<ProgramSystemConfig> {
-    enumerate_program_configs(board, stages, memory)
+    enumerate_program_configs(platform, stages, memory)
         .into_iter()
         .filter(|c| c.ks.iter().all(|&k| k == c.m))
         .max_by_key(|c| c.m)
@@ -292,7 +314,7 @@ mod tests {
     fn report(latency: u64, luts: usize) -> HlsReport {
         HlsReport {
             kernel: "kernel_body".into(),
-            clock_mhz: 200.0,
+            clock_mhz: Platform::zcu106().default_clock_mhz,
             latency_cycles: latency,
             luts,
             ffs: 2_999,
@@ -331,7 +353,7 @@ mod tests {
     fn single_stage_matches_system_design_totals() {
         // The degenerate one-kernel program must cost exactly what the
         // single-kernel Eq. (3) computes.
-        let board = BoardSpec::zcu106();
+        let board = Platform::zcu106();
         let hlsr = report(500_000, 2_314);
         let mem = memory();
         let cfg = SystemConfig { k: 4, m: 4 };
@@ -355,7 +377,7 @@ mod tests {
 
     #[test]
     fn union_budget_rejects_what_stages_accept_alone() {
-        let board = BoardSpec::zcu106();
+        let board = Platform::zcu106();
         let hlsr = report(500_000, 2_314);
         // One kernel with its own 16-BRAM PLM set fits at k = m = 16;
         // the three-kernel program's merged PLM set (36 BRAMs even
@@ -396,7 +418,7 @@ mod tests {
 
     #[test]
     fn per_stage_replication_and_chain_latency() {
-        let board = BoardSpec::zcu106();
+        let board = Platform::zcu106();
         let fast = report(100_000, 2_000);
         let slow = report(400_000, 2_500);
         let mem = memory();
@@ -417,7 +439,8 @@ mod tests {
         assert_eq!(d.config.batch(0), 4);
         assert_eq!(d.config.batch(1), 1);
         // Chain exec = 4×fast + 1×slow per round.
-        let want = 4.0 * 100_000.0 / 200e6 + 400_000.0 / 200e6;
+        let hz = Platform::zcu106().fabric_hz();
+        let want = 4.0 * 100_000.0 / hz + 400_000.0 / hz;
         assert!((d.chain_exec_seconds() - want).abs() < 1e-12);
         let (l, f, ds, br) = d.slack();
         assert!(l >= 0 && f >= 0 && ds >= 0 && br >= 0);

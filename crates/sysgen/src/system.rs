@@ -2,6 +2,7 @@
 
 use crate::board::BoardSpec;
 use crate::host::HostProgram;
+use crate::platform::Platform;
 use hls::HlsReport;
 use mnemosyne::MemorySubsystem;
 use serde::{Deserialize, Serialize};
@@ -62,7 +63,9 @@ impl Default for IntegrationModel {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemDesign {
     pub config: SystemConfig,
-    pub board: BoardSpec,
+    /// The target the design was built for (board budget, DMA fabric,
+    /// host CPU, clock ladder).
+    pub platform: Platform,
     /// Per-kernel HLS report.
     pub kernel: HlsReport,
     /// Per-kernel memory subsystem.
@@ -76,16 +79,17 @@ pub struct SystemDesign {
 }
 
 impl SystemDesign {
-    /// Build a system, checking Eq. (3). Returns `None` when the
-    /// configuration does not fit the board.
+    /// Build a system, checking Eq. (3) against the platform's board.
+    /// Returns `None` when the configuration does not fit.
     pub fn build(
-        board: &BoardSpec,
+        platform: &Platform,
         kernel: &HlsReport,
         memory: &MemorySubsystem,
         cfg: SystemConfig,
         host: HostProgram,
     ) -> Option<SystemDesign> {
         assert!(cfg.valid(), "invalid (k, m) = ({}, {})", cfg.k, cfg.m);
+        let board = &platform.board;
         let im = IntegrationModel::default();
         let luts = im.base_lut
             + cfg.k * (kernel.luts + im.glue_lut_per_kernel)
@@ -101,7 +105,7 @@ impl SystemDesign {
         }
         Some(SystemDesign {
             config: cfg,
-            board: board.clone(),
+            platform: platform.clone(),
             kernel: kernel.clone(),
             memory: memory.clone(),
             luts,
@@ -112,21 +116,41 @@ impl SystemDesign {
         })
     }
 
+    /// The board budget the design fits.
+    pub fn board(&self) -> &BoardSpec {
+        &self.platform.board
+    }
+
     /// Eq. (3) slack per resource: `[A] - ([H]·k + [M]·m)`.
     pub fn slack(&self) -> (isize, isize, isize, isize) {
+        let board = self.board();
         (
-            self.board.luts as isize - self.luts as isize,
-            self.board.ffs as isize - self.ffs as isize,
-            self.board.dsps as isize - self.dsps as isize,
-            self.board.brams as isize - self.brams as isize,
+            board.luts as isize - self.luts as isize,
+            board.ffs as isize - self.ffs as isize,
+            board.dsps as isize - self.dsps as isize,
+            board.brams as isize - self.brams as isize,
         )
+    }
+
+    /// The largest resource-utilization fraction across LUT/FF/DSP/BRAM
+    /// — the "fit" axis of the portfolio Pareto frontier.
+    pub fn utilization(&self) -> f64 {
+        let board = self.board();
+        [
+            self.luts as f64 / board.luts as f64,
+            self.ffs as f64 / board.ffs as f64,
+            self.dsps as f64 / board.dsps as f64,
+            self.brams as f64 / board.brams as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
     }
 }
 
 /// All feasible `(k, m)` pairs with `k ∈ {1, 2, 4, ...}` and
 /// `m = 2^j · k`, by checking Eq. (3) for each.
 pub fn enumerate_configs(
-    board: &BoardSpec,
+    platform: &Platform,
     kernel: &HlsReport,
     memory: &MemorySubsystem,
 ) -> Vec<SystemConfig> {
@@ -137,7 +161,7 @@ pub fn enumerate_configs(
         while m <= 64 {
             let cfg = SystemConfig { k, m };
             let host = HostProgram::placeholder(cfg);
-            if SystemDesign::build(board, kernel, memory, cfg, host).is_some() {
+            if SystemDesign::build(platform, kernel, memory, cfg, host).is_some() {
                 out.push(cfg);
             }
             m *= 2;
@@ -150,11 +174,11 @@ pub fn enumerate_configs(
 /// The largest feasible `k = m` (power of two) — the configuration the
 /// paper uses for its main results.
 pub fn max_equal_config(
-    board: &BoardSpec,
+    platform: &Platform,
     kernel: &HlsReport,
     memory: &MemorySubsystem,
 ) -> Option<SystemConfig> {
-    enumerate_configs(board, kernel, memory)
+    enumerate_configs(platform, kernel, memory)
         .into_iter()
         .filter(|c| c.k == c.m)
         .max_by_key(|c| c.k)
@@ -168,7 +192,7 @@ mod tests {
     fn kernel_report() -> HlsReport {
         HlsReport {
             kernel: "kernel_body".into(),
-            clock_mhz: 200.0,
+            clock_mhz: Platform::zcu106().default_clock_mhz,
             latency_cycles: 500_000,
             luts: 2_314,
             ffs: 2_999,
@@ -243,7 +267,7 @@ mod tests {
     fn no_sharing_fits_eight_kernels() {
         // Paper: 31 BRAM/PLM → max m = k = 8. Our model: 28 BRAM → the
         // same maximum (16 × 28 = 448 > 312).
-        let b = BoardSpec::zcu106();
+        let b = Platform::zcu106();
         let mem = memory(false);
         assert_eq!(mem.brams, 28);
         let max = max_equal_config(&b, &kernel_report(), &mem).unwrap();
@@ -253,7 +277,7 @@ mod tests {
     #[test]
     fn sharing_fits_sixteen_kernels() {
         // Paper: 18 BRAM/PLM → max m = k = 16 (the headline result).
-        let b = BoardSpec::zcu106();
+        let b = Platform::zcu106();
         let mem = memory(true);
         assert_eq!(mem.brams, 16);
         let max = max_equal_config(&b, &kernel_report(), &mem).unwrap();
@@ -262,7 +286,7 @@ mod tests {
 
     #[test]
     fn table1_lut_totals_within_ten_percent() {
-        let b = BoardSpec::zcu106();
+        let b = Platform::zcu106();
         let mem = memory(true);
         let paper = [
             (1usize, 11_292usize),
@@ -293,7 +317,7 @@ mod tests {
 
     #[test]
     fn dsp_totals_match_paper_exactly() {
-        let b = BoardSpec::zcu106();
+        let b = Platform::zcu106();
         let mem = memory(true);
         for k in [1usize, 2, 4, 8, 16] {
             let cfg = SystemConfig { k, m: k };
@@ -311,7 +335,7 @@ mod tests {
 
     #[test]
     fn k_less_than_m_configs_enumerate() {
-        let b = BoardSpec::zcu106();
+        let b = Platform::zcu106();
         let mem = memory(true);
         let configs = enumerate_configs(&b, &kernel_report(), &mem);
         assert!(configs.contains(&SystemConfig { k: 1, m: 1 }));
@@ -322,7 +346,7 @@ mod tests {
 
     #[test]
     fn slack_is_nonnegative_for_built_systems() {
-        let b = BoardSpec::zcu106();
+        let b = Platform::zcu106();
         let mem = memory(true);
         let cfg = SystemConfig { k: 16, m: 16 };
         let d = SystemDesign::build(
@@ -339,7 +363,7 @@ mod tests {
 
     #[test]
     fn infeasible_config_rejected() {
-        let b = BoardSpec::zcu106();
+        let b = Platform::zcu106();
         let mem = memory(false);
         let cfg = SystemConfig { k: 16, m: 16 };
         assert!(SystemDesign::build(

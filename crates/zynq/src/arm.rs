@@ -1,14 +1,21 @@
-//! ARM Cortex-A53 software cost model.
+//! Host-CPU software cost model.
 //!
-//! The A53 is a dual-issue in-order core; scalar double-precision code
-//! dominated by L1-resident loads and FP multiply–add chains retires a
-//! handful of cycles per loop iteration. The constants below are
-//! calibrated so that the reference Inverse Helmholtz element (~177
-//! kFLOP) lands at the paper's implied ~2 ms/element on the 1.2 GHz A53
-//! (Figure 10: SW Ref. = 0.69 × HW k=1 total), and so that the flat-index
-//! HLS-oriented code pays the paper's ~10% penalty (SW HLS code = 0.90).
+//! The model applies per-operation retired-cycle coefficients to the
+//! interpreter's (or loop evaluator's) dynamic operation counts. Each
+//! [`sysgen::Platform`] carries its own coefficients
+//! ([`sysgen::HostCpuModel`]); [`ArmCostModel::from_platform`] lifts
+//! them into this crate's cost functions. The calibration anchor is
+//! the paper's Cortex-A53: a dual-issue in-order core whose scalar
+//! double-precision code — L1-resident loads feeding FP multiply–add
+//! chains — retires a handful of cycles per loop iteration. The ZCU106
+//! coefficients land the reference Inverse Helmholtz element (~177
+//! kFLOP) at the paper's implied ~2 ms/element on the 1.2 GHz A53
+//! (Figure 10: SW Ref. = 0.69 × HW k=1 total), with the flat-index
+//! HLS-oriented code paying the paper's ~10% penalty (SW HLS code =
+//! 0.90).
 
 use serde::{Deserialize, Serialize};
+use sysgen::Platform;
 use teil::interp::ExecStats;
 
 /// Average retired-cycle costs per dynamic operation.
@@ -29,17 +36,25 @@ pub struct ArmCostModel {
 }
 
 impl ArmCostModel {
-    /// The calibrated Cortex-A53 model at the ZCU106's 1.2 GHz.
-    pub fn a53_1200mhz() -> ArmCostModel {
+    /// The host cost model of a platform (the catalog carries the
+    /// per-CPU cycle coefficients).
+    pub fn from_platform(platform: &Platform) -> ArmCostModel {
+        let h = &platform.host;
         ArmCostModel {
-            cycles_per_load: 8.0,
-            cycles_per_store: 8.0,
-            cycles_per_flop: 3.0,
-            cycles_per_iter: 4.0,
-            cycles_per_addr_mul: 0.75,
-            cycles_per_addr_add: 0.35,
-            hz: 1.2e9,
+            cycles_per_load: h.cycles_per_load,
+            cycles_per_store: h.cycles_per_store,
+            cycles_per_flop: h.cycles_per_flop,
+            cycles_per_iter: h.cycles_per_iter,
+            cycles_per_addr_mul: h.cycles_per_addr_mul,
+            cycles_per_addr_add: h.cycles_per_addr_add,
+            hz: h.hz,
         }
+    }
+
+    /// The calibrated Cortex-A53 model at the ZCU106's 1.2 GHz — the
+    /// paper's host, derived from the catalog entry.
+    pub fn a53_1200mhz() -> ArmCostModel {
+        ArmCostModel::from_platform(&Platform::zcu106())
     }
 
     /// Seconds for the reference implementation, from interpreter

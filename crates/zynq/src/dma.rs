@@ -1,7 +1,7 @@
 //! Host↔PL DMA transfer model.
 
 use serde::{Deserialize, Serialize};
-use sysgen::BoardSpec;
+use sysgen::Platform;
 
 /// Linear transfer-time model: `setup + bytes / bandwidth` per burst.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -11,11 +11,11 @@ pub struct DmaModel {
 }
 
 impl DmaModel {
-    /// From a board description.
-    pub fn from_board(board: &BoardSpec) -> DmaModel {
+    /// From a platform's DMA fabric description.
+    pub fn from_platform(platform: &Platform) -> DmaModel {
         DmaModel {
-            bytes_per_sec: board.dma_bytes_per_sec,
-            setup_s: board.dma_setup_s,
+            bytes_per_sec: platform.dma.bytes_per_sec,
+            setup_s: platform.dma.setup_s,
         }
     }
 

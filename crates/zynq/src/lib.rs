@@ -1,18 +1,22 @@
-//! `zynq` — full-system simulation of the ZCU106 deployment.
+//! `zynq` — full-system simulation of the deployed accelerator.
 //!
-//! The paper evaluates on a physical Zynq UltraScale+ MPSoC: a quad
-//! Cortex-A53 host at 1.2 GHz driving `k` accelerators at 200 MHz through
-//! AXI DMA and an AXI-lite control peripheral, with hardware timers
-//! measuring kernel execution with and without data transfers. This
-//! crate replaces the board with a discrete-event simulator plus
-//! calibrated cost models:
+//! The paper evaluates on a physical Zynq UltraScale+ MPSoC (ZCU106): a
+//! quad Cortex-A53 host at 1.2 GHz driving `k` accelerators at 200 MHz
+//! through AXI DMA and an AXI-lite control peripheral, with hardware
+//! timers measuring kernel execution with and without data transfers.
+//! This crate replaces the board with a simulator plus calibrated cost
+//! models, all derived from the selected [`sysgen::Platform`] — the
+//! same simulation runs any catalog board, from a Pynq-Z2 to an Alveo
+//! U250:
 //!
-//! * [`arm`] — the ARM software cost model (cycles per memory access /
-//!   FLOP / loop iteration), applied to the reference implementation
-//!   (interpreter operation counts) and to the HLS-oriented generated C
-//!   (flat-index loop nests with explicit address arithmetic) — the *SW
-//!   Ref.* and *SW HLS code* bars of Figure 10,
-//! * [`dma`] — the host↔PLM transfer model (setup latency + bandwidth),
+//! * [`arm`] — the host software cost model (cycles per memory access /
+//!   FLOP / loop iteration, per-platform coefficients), applied to the
+//!   reference implementation (interpreter operation counts) and to the
+//!   HLS-oriented generated C (flat-index loop nests with explicit
+//!   address arithmetic) — the *SW Ref.* and *SW HLS code* bars of
+//!   Figure 10,
+//! * [`dma`] — the host↔PLM transfer model (setup latency + bandwidth,
+//!   from the platform's [`sysgen::DmaSpec`]),
 //! * [`des`] — a small discrete-event engine,
 //! * [`sim`] — the system simulation executing the generated host
 //!   program: per main-loop round, transfer inputs for `m` elements,

@@ -9,7 +9,7 @@
 //! "hardware timers" accumulate, exactly as in the paper's measurements:
 //! execution-only time and total time including transfers.
 
-use crate::des::{secs, to_secs, EventQueue};
+use crate::des::{secs, to_secs};
 use crate::dma::DmaModel;
 use serde::{Deserialize, Serialize};
 use sysgen::{MultiSystemDesign, SystemDesign};
@@ -70,92 +70,49 @@ impl HwResult {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[allow(clippy::enum_variant_names)]
-enum Event {
-    DmaInDone,
-    AccelDone { accel: usize },
-    DmaOutDone,
-}
-
-/// Run the discrete-event simulation of the full system.
+/// Run the full-system simulation.
 ///
 /// The serial schedule carries no state from one main-loop round to the
-/// next — every round advances the clock by the same tick delta — so the
-/// DES runs **one** round through the event queue and fast-forwards the
-/// remaining `rounds - 1` by multiplication in integer tick space. The
-/// result is exact (tick-identical totals); per-sweep cost drops from
-/// `O(rounds · k)` heap events to `O(k)`.
+/// next — every round advances the clock by the same tick delta — and
+/// within a round every accelerator of a batch finishes at the same
+/// tick (one broadcast start, identical latency), so the event queue of
+/// the general DES degenerates to closed-form tick arithmetic: one
+/// round is `t_in + batch · (start + kernel + irq) + t_out`, and the
+/// remaining `rounds - 1` fast-forward by multiplication in integer
+/// tick space. The result is exact (tick-identical to the event-queue
+/// formulation); per-sweep cost drops from `O(rounds · k)` heap events
+/// to `O(1)`.
 pub fn simulate_hw(design: &SystemDesign, cfg: &SimConfig) -> HwResult {
     if cfg.overlap_transfers && design.config.batch() >= 2 {
         return simulate_overlapped(design, cfg);
     }
     let k = design.config.k;
     let m = design.config.m;
-    let batch = design.config.batch();
+    let batch = design.config.batch() as u64;
     let host = &design.host;
-    let dma = DmaModel::from_board(&design.board);
+    let dma = DmaModel::from_platform(&design.platform);
     let kernel_s = design.kernel.latency_seconds();
     let rounds = host.rounds(cfg.elements);
 
-    let mut q: EventQueue<Event> = EventQueue::new();
     let mut exec_ticks: u64 = 0;
     let mut transfer_ticks: u64 = 0;
-
+    let mut round_ticks: u64 = 0;
     if rounds > 0 {
-        // --- One representative round through the event queue. ---
         // Input DMA: one burst per PLM instance.
-        let t_in = dma.transfer_bursts_s(host.bytes_in_per_element * m, m);
-        q.schedule_in(secs(t_in), Event::DmaInDone);
-        match q.pop() {
-            Some((_, Event::DmaInDone)) => {}
-            other => unreachable!("expected DmaInDone, got {other:?}"),
-        }
-        transfer_ticks += secs(t_in);
-
-        // Batched execution rounds.
-        for _b in 0..batch {
-            let start_t = q.now();
-            // The host starts each accelerator through the AXI-lite
-            // peripheral; the broadcast is serialized on the AXI bus.
-            let start_cost = secs(cfg.axi_start_s_per_kernel) * k as u64;
-            for a in 0..k {
-                q.schedule_at(
-                    start_t + start_cost + secs(kernel_s),
-                    Event::AccelDone { accel: a },
-                );
-            }
-            // Collect all done events; the peripheral raises the
-            // interrupt when the last accelerator signals done.
-            let mut done = 0usize;
-            let mut last = start_t;
-            while done < k {
-                match q.pop() {
-                    Some((t, Event::AccelDone { .. })) => {
-                        done += 1;
-                        last = t;
-                    }
-                    other => unreachable!("expected AccelDone, got {other:?}"),
-                }
-            }
-            let irq_t = last + secs(cfg.irq_s);
-            q.schedule_at(irq_t, Event::DmaOutDone); // reuse slot as a time marker
-            let _ = q.pop();
-            exec_ticks += irq_t - start_t;
-        }
-
-        // Output DMA.
-        let t_out = dma.transfer_bursts_s(host.bytes_out_per_element * m, m);
-        q.schedule_in(secs(t_out), Event::DmaOutDone);
-        match q.pop() {
-            Some((_, Event::DmaOutDone)) => {}
-            other => unreachable!("expected DmaOutDone, got {other:?}"),
-        }
-        transfer_ticks += secs(t_out);
+        let t_in = secs(dma.transfer_bursts_s(host.bytes_in_per_element * m, m));
+        // Each batch: the host starts each accelerator through the
+        // AXI-lite peripheral (the broadcast is serialized on the AXI
+        // bus), all k finish together, the peripheral raises the
+        // interrupt when the last accelerator signals done.
+        let per_batch =
+            secs(cfg.axi_start_s_per_kernel) * k as u64 + secs(kernel_s) + secs(cfg.irq_s);
+        let t_out = secs(dma.transfer_bursts_s(host.bytes_out_per_element * m, m));
+        exec_ticks = per_batch * batch;
+        transfer_ticks = t_in + t_out;
+        round_ticks = t_in + exec_ticks + t_out;
     }
 
-    // --- Fast-forward the identical remaining rounds. ---
-    let round_ticks = q.now();
+    // --- Fast-forward the identical rounds. ---
     let n = rounds as u64;
     HwResult {
         elements: cfg.elements,
@@ -195,16 +152,18 @@ impl ProgramHwResult {
     }
 }
 
-/// Run the discrete-event simulation of a chained multi-kernel system.
+/// Run the simulation of a chained multi-kernel system.
 ///
 /// One main-loop round DMAs the *external* inputs for `m` elements in,
 /// executes every stage in chain order (`m / k_i` serial batches of
 /// stage `i`'s `k_i` accelerators; kernel-to-kernel handoffs are free —
 /// the merged PLM co-locates the buffers), and DMAs the external
 /// outputs back. As in [`simulate_hw`], the serial schedule carries no
-/// state between rounds, so the DES runs **one** representative round
-/// and fast-forwards the rest by multiplication in integer tick space —
-/// the single-kernel fast-forward path, preserved per kernel.
+/// state between rounds and no state between an accelerator batch's
+/// identical done events, so one representative round is computed in
+/// closed tick arithmetic and the rest fast-forward by multiplication
+/// in integer tick space — the single-kernel fast-forward path,
+/// preserved per kernel.
 ///
 /// With `overlap_transfers` set and a spare PLM set for every stage
 /// (`m >= 2·k_i`), rounds pipeline at **round granularity**: the DMA
@@ -219,63 +178,28 @@ pub fn simulate_program(design: &MultiSystemDesign, cfg: &SimConfig) -> ProgramH
     }
     let m = design.config.m;
     let host = &design.host;
-    let dma = DmaModel::from_board(&design.board);
+    let dma = DmaModel::from_platform(&design.platform);
     let rounds = host.rounds(cfg.elements);
 
-    let mut q: EventQueue<Event> = EventQueue::new();
     let mut stage_exec_ticks: Vec<u64> = vec![0; design.stages.len()];
     let mut transfer_ticks: u64 = 0;
+    let mut round_ticks: u64 = 0;
 
     if rounds > 0 {
-        let t_in = dma.transfer_bursts_s(host.bytes_in_per_element * m, m);
-        q.schedule_in(secs(t_in), Event::DmaInDone);
-        match q.pop() {
-            Some((_, Event::DmaInDone)) => {}
-            other => unreachable!("expected DmaInDone, got {other:?}"),
-        }
-        transfer_ticks += secs(t_in);
-
+        let t_in = secs(dma.transfer_bursts_s(host.bytes_in_per_element * m, m));
+        let t_out = secs(dma.transfer_bursts_s(host.bytes_out_per_element * m, m));
         for (si, stage) in design.stages.iter().enumerate() {
             let k = design.config.ks[si];
-            let batch = design.config.batch(si);
-            let kernel_s = stage.kernel.latency_seconds();
-            for _b in 0..batch {
-                let start_t = q.now();
-                let start_cost = secs(cfg.axi_start_s_per_kernel) * k as u64;
-                for a in 0..k {
-                    q.schedule_at(
-                        start_t + start_cost + secs(kernel_s),
-                        Event::AccelDone { accel: a },
-                    );
-                }
-                let mut done = 0usize;
-                let mut last = start_t;
-                while done < k {
-                    match q.pop() {
-                        Some((t, Event::AccelDone { .. })) => {
-                            done += 1;
-                            last = t;
-                        }
-                        other => unreachable!("expected AccelDone, got {other:?}"),
-                    }
-                }
-                let irq_t = last + secs(cfg.irq_s);
-                q.schedule_at(irq_t, Event::DmaOutDone); // time marker
-                let _ = q.pop();
-                stage_exec_ticks[si] += irq_t - start_t;
-            }
+            let batch = design.config.batch(si) as u64;
+            let per_batch = secs(cfg.axi_start_s_per_kernel) * k as u64
+                + secs(stage.kernel.latency_seconds())
+                + secs(cfg.irq_s);
+            stage_exec_ticks[si] = per_batch * batch;
         }
-
-        let t_out = dma.transfer_bursts_s(host.bytes_out_per_element * m, m);
-        q.schedule_in(secs(t_out), Event::DmaOutDone);
-        match q.pop() {
-            Some((_, Event::DmaOutDone)) => {}
-            other => unreachable!("expected DmaOutDone, got {other:?}"),
-        }
-        transfer_ticks += secs(t_out);
+        transfer_ticks = t_in + t_out;
+        round_ticks = t_in + stage_exec_ticks.iter().sum::<u64>() + t_out;
     }
 
-    let round_ticks = q.now();
     let n = rounds as u64;
     let stage_exec_s: Vec<f64> = stage_exec_ticks.iter().map(|&t| to_secs(t * n)).collect();
     ProgramHwResult {
@@ -298,7 +222,7 @@ pub fn simulate_program(design: &MultiSystemDesign, cfg: &SimConfig) -> ProgramH
 fn simulate_program_overlapped(design: &MultiSystemDesign, cfg: &SimConfig) -> ProgramHwResult {
     let m = design.config.m;
     let host = &design.host;
-    let dma = DmaModel::from_board(&design.board);
+    let dma = DmaModel::from_platform(&design.platform);
     let rounds = host.rounds(cfg.elements);
 
     let t_in = secs(dma.transfer_bursts_s(host.bytes_in_per_element * m, m));
@@ -372,7 +296,7 @@ fn simulate_overlapped(design: &SystemDesign, cfg: &SimConfig) -> HwResult {
     let k = design.config.k;
     let m = design.config.m;
     let host = &design.host;
-    let dma = DmaModel::from_board(&design.board);
+    let dma = DmaModel::from_platform(&design.platform);
     let kernel_s = design.kernel.latency_seconds();
     let rounds = host.rounds(cfg.elements);
     let slices = rounds * design.config.batch();
@@ -477,20 +401,27 @@ pub fn sw_hls_code(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sysgen::{BoardSpec, HostProgram, SystemConfig, SystemDesign};
+    use sysgen::{HostProgram, Platform, SystemConfig, SystemDesign};
 
-    fn design(k: usize, m: usize) -> SystemDesign {
-        let board = BoardSpec::zcu106();
-        let kernel = hls::HlsReport {
-            kernel: "kernel_body".into(),
-            clock_mhz: 200.0,
-            latency_cycles: 571_000, // ≈ the p=11 factored kernel
+    /// A paper-shaped kernel report at the catalog platform's default
+    /// synthesis clock (no hardcoded 200 MHz literals in the tests).
+    fn paper_report(name: &str, latency_cycles: u64) -> hls::HlsReport {
+        hls::HlsReport {
+            kernel: name.into(),
+            clock_mhz: Platform::zcu106().default_clock_mhz,
+            latency_cycles,
             luts: 2_314,
             ffs: 2_999,
             dsps: 15,
             brams: 0,
             loops: vec![],
-        };
+        }
+    }
+
+    fn design(k: usize, m: usize) -> SystemDesign {
+        let platform = Platform::zcu106();
+        // ≈ the p=11 factored kernel.
+        let kernel = paper_report("kernel_body", 571_000);
         let memory = mnemosyne::MemorySubsystem {
             units: vec![],
             brams: 16,
@@ -503,7 +434,7 @@ mod tests {
             bytes_in_per_element: (121 + 2 * 1331) * 8,
             bytes_out_per_element: 1331 * 8,
         };
-        SystemDesign::build(&board, &kernel, &memory, cfgm, host).unwrap()
+        SystemDesign::build(&platform, &kernel, &memory, cfgm, host).unwrap()
     }
 
     fn sim(k: usize, m: usize, elements: usize) -> HwResult {
@@ -634,25 +565,11 @@ mod tests {
     }
 
     fn program_design(ks: Vec<usize>, m: usize, latencies: &[u64]) -> sysgen::MultiSystemDesign {
-        let board = BoardSpec::zcu106();
+        let platform = Platform::zcu106();
         let stages: Vec<(String, hls::HlsReport)> = latencies
             .iter()
             .enumerate()
-            .map(|(i, &l)| {
-                (
-                    format!("stage{i}"),
-                    hls::HlsReport {
-                        kernel: format!("stage{i}"),
-                        clock_mhz: 200.0,
-                        latency_cycles: l,
-                        luts: 2_314,
-                        ffs: 2_999,
-                        dsps: 15,
-                        brams: 0,
-                        loops: vec![],
-                    },
-                )
-            })
+            .map(|(i, &l)| (format!("stage{i}"), paper_report(&format!("stage{i}"), l)))
             .collect();
         let memory = mnemosyne::MemorySubsystem {
             units: vec![],
@@ -668,7 +585,7 @@ mod tests {
             bytes_out_per_element: 1331 * 8,
             handoff_bytes_per_element: 1331 * 8,
         };
-        sysgen::MultiSystemDesign::build(&board, &stages, &memory, cfg, host).unwrap()
+        sysgen::MultiSystemDesign::build(&platform, &stages, &memory, cfg, host).unwrap()
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use cfdfpga::flow::{Flow, FlowOptions};
 use cfdfpga::mnemosyne::MemoryOptions;
-use cfdfpga::sysgen::{BoardSpec, HostProgram, SystemConfig, SystemDesign};
+use cfdfpga::sysgen::{HostProgram, Platform, SystemConfig, SystemDesign};
 use cfdfpga::zynq::{ArmCostModel, SimConfig};
 
 const ELEMENTS: usize = 50_000;
@@ -56,12 +56,12 @@ fn main() {
     println!("max parallel kernels: {k_max_no} -> {k_max_sh} (the paper's 8 -> 16)\n");
 
     // Figure 9: scale k = m and report speedups.
-    let board = BoardSpec::zcu106();
+    let platform = Platform::zcu106();
     let simulate = |k: usize| {
         let cfg = SystemConfig { k, m: k };
         let host = HostProgram::from_kernel(&with_sharing.kernel, cfg);
         let d = SystemDesign::build(
-            &board,
+            &platform,
             &with_sharing.hls_report,
             &with_sharing.memory,
             cfg,
@@ -90,8 +90,8 @@ fn main() {
         );
     }
 
-    // Figure 10: against the ARM A53.
-    let model = ArmCostModel::a53_1200mhz();
+    // Figure 10: against the platform's host CPU (the ZCU106's A53).
+    let model = ArmCostModel::from_platform(&platform);
     let sw = cfdfpga::zynq::sim::sw_reference(&with_sharing.module, &model, ELEMENTS).expect("sw");
     println!(
         "\nARM A53 (1.2 GHz) software reference: {:.2} s total",

@@ -3,7 +3,7 @@
 //! the compatibility graph, for the paper's exact kernel.
 
 use cfdfpga::flow::{Flow, FlowOptions};
-use cfdfpga::sysgen::{emit_system_verilog, BoardSpec, HostProgram, SystemConfig, SystemDesign};
+use cfdfpga::sysgen::{emit_system_verilog, HostProgram, Platform, SystemConfig, SystemDesign};
 use std::sync::OnceLock;
 
 fn paper() -> &'static cfdfpga::flow::Artifacts {
@@ -65,14 +65,8 @@ fn verilog_netlist_batched_variant() {
     let art = paper();
     let cfg = SystemConfig { k: 4, m: 16 };
     let host = HostProgram::from_kernel(&art.kernel, cfg);
-    let d = SystemDesign::build(
-        &BoardSpec::zcu106(),
-        &art.hls_report,
-        &art.memory,
-        cfg,
-        host,
-    )
-    .unwrap();
+    let d =
+        SystemDesign::build(&Platform::zcu106(), &art.hls_report, &art.memory, cfg, host).unwrap();
     let v = emit_system_verilog(&d);
     assert!(v.contains("batch = 4"));
     assert!(v.contains("batch_count"));

@@ -116,7 +116,7 @@ proptest! {
             },
         )
         .unwrap();
-        let board = cfdfpga::sysgen::BoardSpec::zcu106();
+        let board = cfdfpga::sysgen::Platform::zcu106();
         let max = cfdfpga::sysgen::max_equal_config(&board, &art.hls_report, &art.memory).unwrap();
         // The next power of two must not fit.
         let next = cfdfpga::sysgen::SystemConfig { k: max.k * 2, m: max.m * 2 };

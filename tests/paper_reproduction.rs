@@ -13,7 +13,7 @@
 
 use cfdfpga::flow::{Flow, FlowOptions};
 use cfdfpga::mnemosyne::MemoryOptions;
-use cfdfpga::sysgen::{BoardSpec, HostProgram, SystemConfig, SystemDesign};
+use cfdfpga::sysgen::{HostProgram, Platform, SystemConfig, SystemDesign};
 use cfdfpga::zynq::{ArmCostModel, SimConfig};
 use std::sync::OnceLock;
 
@@ -43,14 +43,8 @@ fn simulate(k: usize, m: usize) -> cfdfpga::zynq::HwResult {
     let art = paper_kernel(true);
     let cfg = SystemConfig { k, m };
     let host = HostProgram::from_kernel(&art.kernel, cfg);
-    let d = SystemDesign::build(
-        &BoardSpec::zcu106(),
-        &art.hls_report,
-        &art.memory,
-        cfg,
-        host,
-    )
-    .expect("fits");
+    let d = SystemDesign::build(&Platform::zcu106(), &art.hls_report, &art.memory, cfg, host)
+        .expect("fits");
     cfdfpga::zynq::simulate_hw(
         &d,
         &SimConfig {
@@ -141,7 +135,7 @@ fn figure10_arm_comparison_within_tolerance() {
 #[test]
 fn table1_dsps_exact_and_luts_close() {
     let art = paper_kernel(true);
-    let b = BoardSpec::zcu106();
+    let b = Platform::zcu106();
     let paper = [
         (1usize, 11_292usize),
         (2, 15_572),
@@ -163,7 +157,7 @@ fn table1_dsps_exact_and_luts_close() {
 fn figure8_feasibility_crossover() {
     let no = paper_kernel(false).memory.brams;
     let sh = paper_kernel(true).memory.brams;
-    let budget = BoardSpec::zcu106().brams;
+    let budget = Platform::zcu106().board.brams;
     assert!(8 * no <= budget);
     assert!(16 * no > budget, "no-sharing must not fit 16 kernels");
     assert!(16 * sh <= budget, "sharing must fit 16 kernels");
