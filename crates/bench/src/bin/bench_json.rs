@@ -2,21 +2,24 @@
 //!
 //! Times the hot paths this repository optimizes — compiler stages,
 //! interpreter, full-system simulation, the DSE sweep, the multi-kernel
-//! program flow, and the multi-board portfolio sweep — and writes
-//! `BENCH_pr4.json` (schema `cfdfpga-bench-v1`, documented in
+//! program flow, the multi-board portfolio sweep, and the batched
+//! multi-request serving runtime — and writes `BENCH_pr5.json` (schema `cfdfpga-bench-v1`, documented in
 //! README.md, "Reading `BENCH_*.json`"). The committed file carries
 //! both the numbers of the tree it was generated from and the frozen
-//! PR-3 medians (`baseline_pr3`, lifted from the committed
-//! `BENCH_pr3.json`), so the perf trajectory is tracked in-repo and
+//! PR-4 medians (`baseline_pr4`, lifted from the committed
+//! `BENCH_pr4.json`), so the perf trajectory is tracked in-repo and
 //! regressions are diffable. The `platforms` section records, per
 //! catalog platform, the paper kernel's largest feasible replication
-//! and its simulated time — the portfolio figures.
+//! and its simulated time — the portfolio figures. The `runtime`
+//! section records the serving acceptance figures: batched vs
+//! sequential requests/sec on the zcu106 (the emitter asserts the
+//! >= 2x speedup), p99 latency and the DMA/compute overlap fraction.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr4.json
+//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr5.json
 //! cargo run --release -p bench --bin bench_json -- --smoke # 3 samples, stdout only
 //! cargo run --release -p bench --bin bench_json -- --check # CI gate: committed
-//!                        # BENCH_pr4.json medians vs BENCH_pr3.json, >20% fails
+//!                        # BENCH_pr5.json medians vs BENCH_pr4.json, >20% fails
 //! ```
 
 use cfd_core::program::{ProgramFlow, ProgramOptions};
@@ -30,14 +33,14 @@ use teil::layout::LayoutPlan;
 struct Args {
     samples: usize,
     out: Option<String>,
-    /// `--check`: compare committed BENCH_pr4.json against the frozen
-    /// BENCH_pr3.json baselines instead of measuring.
+    /// `--check`: compare committed BENCH_pr5.json against the frozen
+    /// BENCH_pr4.json baselines instead of measuring.
     check: bool,
 }
 
 fn parse_args() -> Args {
     let mut samples = 9usize;
-    let mut out = Some("BENCH_pr4.json".to_string());
+    let mut out = Some("BENCH_pr5.json".to_string());
     let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -92,13 +95,13 @@ fn read_bench_medians(path: &str) -> Vec<(String, u64)> {
 }
 
 /// CI regression gate: every bench name present in both committed files
-/// must not have regressed by more than 20% from PR 3 to PR 4. Purely
+/// must not have regressed by more than 20% from PR 4 to PR 5. Purely
 /// file-vs-file (deterministic — no timing in CI).
 fn run_check() -> ! {
-    let baseline = read_bench_medians("BENCH_pr3.json");
-    let current = read_bench_medians("BENCH_pr4.json");
-    assert!(!baseline.is_empty(), "no benches in BENCH_pr3.json");
-    assert!(!current.is_empty(), "no benches in BENCH_pr4.json");
+    let baseline = read_bench_medians("BENCH_pr4.json");
+    let current = read_bench_medians("BENCH_pr5.json");
+    assert!(!baseline.is_empty(), "no benches in BENCH_pr4.json");
+    assert!(!current.is_empty(), "no benches in BENCH_pr5.json");
     let mut compared = 0usize;
     let mut failures = Vec::new();
     let mut missing = Vec::new();
@@ -127,7 +130,7 @@ fn run_check() -> ! {
     }
     assert!(compared > 0, "no overlapping bench names to compare");
     if failures.is_empty() && missing.is_empty() {
-        println!("bench check: {compared} medians within 20% of BENCH_pr3.json");
+        println!("bench check: {compared} medians within 20% of BENCH_pr4.json");
         std::process::exit(0)
     }
     if !failures.is_empty() {
@@ -139,7 +142,7 @@ fn run_check() -> ! {
     }
     if !missing.is_empty() {
         eprintln!(
-            "bench check FAILED: {} baseline benches missing from BENCH_pr4.json: {}",
+            "bench check FAILED: {} baseline benches missing from BENCH_pr5.json: {}",
             missing.len(),
             missing.join(", ")
         );
@@ -333,6 +336,66 @@ fn main() {
     );
     let program_brams = (part.memory.brams, part.per_kernel_plm_brams());
 
+    // --- Batched serving runtime: 64 queued requests on the zcu106
+    // simstep system, batched (auto fill + double-buffered DMA) vs the
+    // sequential per-request baseline — the PR-5 acceptance figures.
+    println!("serving runtime (simulation_step, p = 7, 64 requests):");
+    let serve_opts = cfd_core::RuntimeOptions {
+        requests: 64,
+        ..Default::default()
+    };
+    push(
+        "runtime/serve64_batched",
+        median_ns(samples, || part.serve(&serve_opts).unwrap()),
+        samples,
+    );
+    push(
+        "runtime/serve64_sequential",
+        median_ns(samples, || {
+            part.serve_sequential_baseline(&serve_opts).unwrap()
+        }),
+        samples,
+    );
+    let batched = part.serve(&serve_opts).unwrap().report;
+    let sequential = part.serve_sequential_baseline(&serve_opts).unwrap();
+    let serve_speedup = batched.throughput_rps / sequential.throughput_rps;
+    println!(
+        "  batched {:.1} req/s vs sequential {:.1} req/s -> {serve_speedup:.2}x, \
+         p99 {:.4} s, overlap {:.2}",
+        batched.throughput_rps,
+        sequential.throughput_rps,
+        batched.latency_p99_s,
+        batched.overlap_fraction,
+    );
+    assert!(
+        serve_speedup >= 2.0,
+        "batched serving must be >= 2x sequential (got {serve_speedup:.2}x)"
+    );
+    // Double-buffered variant: halve the replication (k = m/2) so every
+    // stage keeps a spare PLM set and the DMA overlaps compute.
+    let m = part.system.as_ref().expect("simstep fits").config.m;
+    let overlapped = ProgramFlow::compile(
+        &psrc,
+        &ProgramOptions {
+            system: Some(sysgen::ProgramSystemConfig::uniform(m / 2, m, 3)),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .serve(&serve_opts)
+    .unwrap()
+    .report;
+    println!(
+        "  double-buffered (k={}, m={m}): {:.1} req/s, overlap fraction {:.2}",
+        m / 2,
+        overlapped.throughput_rps,
+        overlapped.overlap_fraction,
+    );
+    assert!(
+        overlapped.overlap_fraction > 0.0,
+        "spare PLM sets must overlap DMA with compute"
+    );
+
     // --- Multi-board portfolio: per-platform figures for the paper
     // kernel (largest feasible k = m at the default clock + simulated
     // time), plus the portfolio sweep wall time.
@@ -399,7 +462,7 @@ fn main() {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"cfdfpga-bench-v1\",\n");
-    s.push_str("  \"pr\": 4,\n");
+    s.push_str("  \"pr\": 5,\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str("  \"benches\": [\n");
     for (i, (name, ns, n)) in rows.iter().enumerate() {
@@ -427,6 +490,24 @@ fn main() {
         "  \"program\": {{\"kernels\": 3, \"plm_brams_shared\": {}, \"plm_brams_concat\": {}}},\n",
         program_brams.0, program_brams.1
     ));
+    // Serving acceptance figures: batched vs sequential requests/sec on
+    // the zcu106 (>= 2x asserted above), p99, overlap.
+    s.push_str(&format!(
+        "  \"runtime\": {{\"requests\": 64, \"board\": \"zcu106\", \"batched_rps\": {:.3}, \
+         \"sequential_rps\": {:.3}, \"speedup\": {:.3}, \"p99_s\": {:.6}, \
+         \"rounds\": {}, \"capacity\": {}, \
+         \"double_buffered\": {{\"ks\": {}, \"m\": {}, \"rps\": {:.3}, \"overlap_fraction\": {:.4}}}}},\n",
+        batched.throughput_rps,
+        sequential.throughput_rps,
+        serve_speedup,
+        batched.latency_p99_s,
+        batched.rounds,
+        batched.capacity,
+        overlapped.capacity / 2,
+        overlapped.capacity,
+        overlapped.throughput_rps,
+        overlapped.overlap_fraction,
+    ));
     // Per-platform portfolio figures for the paper kernel.
     s.push_str("  \"platforms\": [\n");
     for (i, (id, clock, k, luts, brams, total_s)) in platform_rows.iter().enumerate() {
@@ -453,14 +534,14 @@ fn main() {
         portfolio.pareto_frontier().len(),
         portfolio.feasible_platforms().len(),
     ));
-    // Freeze the PR-3 medians from the committed file so the
+    // Freeze the PR-4 medians from the committed file so the
     // before/after comparison travels with this one.
-    let baseline_pr3 = read_bench_medians("BENCH_pr3.json");
-    s.push_str("  \"baseline_pr3\": {\n");
-    for (i, (name, ns)) in baseline_pr3.iter().enumerate() {
+    let baseline_pr4 = read_bench_medians("BENCH_pr4.json");
+    s.push_str("  \"baseline_pr4\": {\n");
+    for (i, (name, ns)) in baseline_pr4.iter().enumerate() {
         s.push_str(&format!(
             "    \"{name}\": {ns}{}\n",
-            if i + 1 == baseline_pr3.len() { "" } else { "," }
+            if i + 1 == baseline_pr4.len() { "" } else { "," }
         ));
     }
     s.push_str("  }\n}\n");

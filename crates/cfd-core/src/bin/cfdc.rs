@@ -9,6 +9,8 @@
 //! cfdc verify   <file.cfd> [--elements N] [--seed S] [--kernel NAME]
 //! cfdc explore  <file.cfd> [--board NAME | --boards all|A,B,..] [--grid]
 //!               [--jobs N] [--json] [--elements N]
+//! cfdc serve    <file.cfd> [--board NAME] [--requests N] [--arrival closed|poisson]
+//!               [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]
 //! ```
 //!
 //! Every command targets one platform from the catalog (`cfdc boards`
@@ -19,22 +21,35 @@
 //! stages fan out over `--jobs` workers. With `--boards all` (or a
 //! comma-separated list) it sweeps the **platform × clock × grid**
 //! portfolio and reports the Pareto frontier of simulated time vs.
-//! resource fit across boards.
+//! resource fit across boards, plus the service frontier (requests/sec
+//! vs. p99 latency vs. fit).
+//!
+//! `serve` runs the batched multi-request runtime: a queue of
+//! `--requests` independent invocations of the compiled system is
+//! coalesced into hardware rounds (`--batch auto` fills the design's
+//! `m`, `--batch K` caps the fill, `--batch off` is the sequential
+//! reference), time-multiplexed with double-buffered DMA, and reported
+//! as requests/sec, p50/p99 latency and DMA/compute overlap.
 //!
 //! **Multi-kernel programs** (sources with `kernel name { ... }` blocks)
 //! compile as a whole into one shared-memory accelerator system —
 //! `compile` prints per-kernel *and* aggregate resource tables,
-//! `simulate`/`verify` run the chained execution, `explore --grid`
-//! sweeps joint design points. `--kernel NAME` instead selects one
-//! kernel of the program and compiles it alone.
+//! `simulate`/`verify`/`serve` run the chained execution, `explore
+//! --grid` sweeps joint design points. `--kernel NAME` instead selects
+//! one kernel of the program and compiles it alone.
 //!
 //! `<file.cfd>` may be a path or one of the built-in kernels:
 //! `helmholtz[:p]`, `interpolation[:n:m]`, `sandwich[:n]`, `axpy[:n]`,
 //! or the built-in programs `simstep[:p]`, `axpychain[:n]`.
+//!
+//! Malformed arguments never panic: every flag value routes through the
+//! structured [`CliError`] path (exit code 2 with a one-line
+//! diagnosis), mirroring the structured `FlowError::DoesNotFit`
+//! introduced for small-board compiles.
 
 use cfd_core::dse::{DseEngine, DseGrid, ProgramDseEngine};
 use cfd_core::program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
-use cfd_core::{Flow, FlowOptions};
+use cfd_core::{Arrival, BatchPolicy, Flow, FlowOptions, RuntimeOptions};
 use mnemosyne::MemoryOptions;
 use std::process::exit;
 use sysgen::{Platform, ProgramSystemConfig, SystemConfig};
@@ -50,6 +65,7 @@ fn main() {
         "simulate" => cmd_simulate(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "explore" => cmd_explore(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "boards" => cmd_boards(),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -69,7 +85,9 @@ fn usage() -> ! {
          \tcfdc simulate <kernel> [--board NAME] [--elements N] [--k K] [--m M] [--kernel NAME]\n\
          \tcfdc verify   <kernel> [--elements N] [--seed S] [--kernel NAME]\n\
          \tcfdc explore  <kernel> [--board NAME | --boards all|A,B,..] [--grid] [--jobs N]\n\
-         \t              [--json] [--elements N]\n\n\
+         \t              [--json] [--elements N]\n\
+         \tcfdc serve    <kernel> [--board NAME] [--requests N] [--arrival closed|poisson]\n\
+         \t              [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]\n\n\
          KERNEL: a .cfd file path, a kernel helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n],\n\
          \tor a multi-kernel program simstep[:p] | axpychain[:n]\n\
          EMIT:   c | host | ir | dot | report | memory | all (default: report)\n\
@@ -77,30 +95,120 @@ fn usage() -> ! {
          Multi-kernel sources compile into ONE shared-memory accelerator system;\n\
          --kernel NAME selects a single kernel of the program instead.\n\
          `explore --boards all` sweeps the platform x clock x (k, m) portfolio and\n\
-         reports the Pareto frontier (simulated time vs. resource fit) per board."
+         reports the Pareto frontier (simulated time vs. resource fit) per board.\n\
+         `serve` batches a queue of independent requests onto one compiled system\n\
+         and reports requests/sec, p50/p99 latency and DMA/compute overlap."
     );
     exit(2)
 }
 
-fn load_source(spec: &str) -> String {
-    let mut parts = spec.split(':');
-    let head = parts.next().unwrap_or_default();
-    let p1: Option<usize> = parts.next().and_then(|s| s.parse().ok());
-    let p2: Option<usize> = parts.next().and_then(|s| s.parse().ok());
-    match head {
-        "helmholtz" => cfdlang::examples::inverse_helmholtz(p1.unwrap_or(11)),
-        "interpolation" => cfdlang::examples::interpolation(p1.unwrap_or(8), p2.unwrap_or(12)),
-        "sandwich" => cfdlang::examples::matrix_sandwich(p1.unwrap_or(8)),
-        "axpy" => cfdlang::examples::axpy(p1.unwrap_or(8)),
-        "simstep" => cfdlang::examples::simulation_step(p1.unwrap_or(11)),
-        "axpychain" => cfdlang::examples::axpy_chain(p1.unwrap_or(8)),
-        path => std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read '{path}': {e}");
-            exit(1)
-        }),
+/// A structured CLI error: every malformed argument routes through this
+/// (printed as one line, exit code 2) instead of panicking or being
+/// silently ignored.
+#[derive(Debug, Clone, PartialEq)]
+enum CliError {
+    /// No kernel/file argument at all — fall back to the usage text.
+    MissingKernel,
+    MissingValue {
+        flag: String,
+    },
+    InvalidValue {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
+    UnknownOption(String),
+    UnknownBoard {
+        name: String,
+        catalog: Vec<String>,
+    },
+    UnknownKernel {
+        name: String,
+        kernels: Vec<String>,
+    },
+    CannotRead {
+        path: String,
+        error: String,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingKernel => write!(f, "missing kernel argument"),
+            CliError::MissingValue { flag } => write!(f, "option '{flag}' needs a value"),
+            CliError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "invalid value '{value}' for {flag}: expected {expected}"),
+            CliError::UnknownOption(o) => write!(f, "unknown option '{o}'"),
+            CliError::UnknownBoard { name, catalog } => write!(
+                f,
+                "unknown board '{name}' (catalog: {})",
+                catalog.join(", ")
+            ),
+            CliError::UnknownKernel { name, kernels } => write!(
+                f,
+                "no kernel '{name}' in program (kernels: {})",
+                kernels.join(", ")
+            ),
+            CliError::CannotRead { path, error } => write!(f, "cannot read '{path}': {error}"),
+        }
     }
 }
 
+/// Parse a flag value, naming the flag and the expectation on failure.
+fn parse_value<T: std::str::FromStr>(
+    flag: &str,
+    value: String,
+    expected: &'static str,
+) -> Result<T, CliError> {
+    value.parse().map_err(|_| CliError::InvalidValue {
+        flag: flag.to_string(),
+        value,
+        expected,
+    })
+}
+
+/// Consume the value following `args[*i]`.
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, CliError> {
+    *i += 1;
+    args.get(*i).cloned().ok_or_else(|| CliError::MissingValue {
+        flag: flag.to_string(),
+    })
+}
+
+fn load_source(spec: &str) -> Result<String, CliError> {
+    let mut parts = spec.split(':');
+    let head = parts.next().unwrap_or_default();
+    let p1 = parts.next();
+    let p2 = parts.next();
+    let num = |v: Option<&str>, default: usize| -> Result<usize, CliError> {
+        match v {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| CliError::InvalidValue {
+                flag: format!("kernel parameter of '{head}'"),
+                value: s.to_string(),
+                expected: "a positive integer",
+            }),
+        }
+    };
+    Ok(match head {
+        "helmholtz" => cfdlang::examples::inverse_helmholtz(num(p1, 11)?),
+        "interpolation" => cfdlang::examples::interpolation(num(p1, 8)?, num(p2, 12)?),
+        "sandwich" => cfdlang::examples::matrix_sandwich(num(p1, 8)?),
+        "axpy" => cfdlang::examples::axpy(num(p1, 8)?),
+        "simstep" => cfdlang::examples::simulation_step(num(p1, 11)?),
+        "axpychain" => cfdlang::examples::axpy_chain(num(p1, 8)?),
+        _ => std::fs::read_to_string(spec).map_err(|e| CliError::CannotRead {
+            path: spec.to_string(),
+            error: e.to_string(),
+        })?,
+    })
+}
+
+#[derive(Debug)]
 struct Parsed {
     source: String,
     opts: FlowOptions,
@@ -123,6 +231,12 @@ struct Parsed {
     json: bool,
     /// Portfolio platforms from `--boards` (explore only).
     boards: Option<Vec<Platform>>,
+    /// Serving: request count, arrival process, batch policy, DMA
+    /// double-buffering (serve only).
+    requests: usize,
+    arrival: Arrival,
+    batch: BatchPolicy,
+    overlap: bool,
 }
 
 impl Parsed {
@@ -140,13 +254,25 @@ impl Parsed {
         opts.flow.system = None;
         opts
     }
+
+    fn runtime_options(&self) -> RuntimeOptions {
+        RuntimeOptions {
+            requests: self.requests,
+            arrival: self.arrival,
+            batch: self.batch,
+            overlap_dma: self.overlap,
+            seed: self.seed,
+            execute: false,
+            sim: SimConfig::default(),
+        }
+    }
 }
 
-fn parse_common(args: &[String]) -> Parsed {
+fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
     if args.is_empty() {
-        usage();
+        return Err(CliError::MissingKernel);
     }
-    let mut source = load_source(&args[0]);
+    let mut source = load_source(&args[0])?;
     let mut opts = FlowOptions::default();
     let mut cross_sharing = true;
     let mut kernel: Option<String> = None;
@@ -162,11 +288,12 @@ fn parse_common(args: &[String]) -> Parsed {
     let mut json = false;
     let mut board: Option<String> = None;
     let mut boards: Option<Vec<Platform>> = None;
+    let mut requests = 64usize;
+    let mut arrival_spec = "closed".to_string();
+    let mut rate = 0.0f64;
+    let mut batch = BatchPolicy::Auto;
+    let mut overlap = true;
     let mut i = 1;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| usage())
-    };
     while i < args.len() {
         match args[i].as_str() {
             "--no-factorize" => opts.factorize = false,
@@ -178,37 +305,97 @@ fn parse_common(args: &[String]) -> Parsed {
                 }
             }
             "--no-cross-sharing" => cross_sharing = false,
-            "--kernel" => kernel = Some(value(&mut i)),
-            "--emit" => emit = value(&mut i),
-            "-o" => out_dir = Some(value(&mut i)),
+            "--kernel" => kernel = Some(take_value(args, &mut i, "--kernel")?),
+            "--emit" => emit = take_value(args, &mut i, "--emit")?,
+            "-o" => out_dir = Some(take_value(args, &mut i, "-o")?),
             "--elements" => {
-                elements = value(&mut i).parse().unwrap_or_else(|_| usage());
+                elements = parse_value(
+                    "--elements",
+                    take_value(args, &mut i, "--elements")?,
+                    "a positive integer",
+                )?;
                 elements_set = true;
             }
-            "--seed" => seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--k" => k = value(&mut i).parse().ok(),
-            "--m" => m = value(&mut i).parse().ok(),
+            "--seed" => {
+                seed = parse_value(
+                    "--seed",
+                    take_value(args, &mut i, "--seed")?,
+                    "an unsigned integer",
+                )?
+            }
+            "--k" => {
+                k = Some(parse_value(
+                    "--k",
+                    take_value(args, &mut i, "--k")?,
+                    "a positive integer",
+                )?)
+            }
+            "--m" => {
+                m = Some(parse_value(
+                    "--m",
+                    take_value(args, &mut i, "--m")?,
+                    "a positive integer",
+                )?)
+            }
             "--grid" => grid = true,
-            "--board" => board = Some(value(&mut i)),
+            "--board" => board = Some(take_value(args, &mut i, "--board")?),
             "--boards" => {
-                let spec = value(&mut i);
+                let spec = take_value(args, &mut i, "--boards")?;
                 boards = Some(if spec == "all" {
                     Platform::catalog()
                 } else {
-                    spec.split(',').map(lookup_platform).collect()
+                    spec.split(',')
+                        .map(lookup_platform)
+                        .collect::<Result<Vec<_>, _>>()?
                 });
             }
-            "--jobs" => jobs = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--json" => json = true,
-            other => {
-                eprintln!("unknown option '{other}'");
-                usage();
+            "--jobs" => {
+                jobs = parse_value(
+                    "--jobs",
+                    take_value(args, &mut i, "--jobs")?,
+                    "a worker count (0 = all cores)",
+                )?
             }
+            "--json" => json = true,
+            "--requests" => {
+                let value = take_value(args, &mut i, "--requests")?;
+                requests = parse_value("--requests", value.clone(), "a positive integer")?;
+                if requests == 0 {
+                    return Err(CliError::InvalidValue {
+                        flag: "--requests".to_string(),
+                        value,
+                        expected: "a positive integer",
+                    });
+                }
+            }
+            "--arrival" => arrival_spec = take_value(args, &mut i, "--arrival")?,
+            "--rate" => {
+                rate = parse_value(
+                    "--rate",
+                    take_value(args, &mut i, "--rate")?,
+                    "requests per second (a positive number)",
+                )?
+            }
+            "--batch" => {
+                let spec = take_value(args, &mut i, "--batch")?;
+                batch = BatchPolicy::parse(&spec).map_err(|_| CliError::InvalidValue {
+                    flag: "--batch".to_string(),
+                    value: spec,
+                    expected: "auto | off | a fixed fill K >= 1",
+                })?;
+            }
+            "--no-overlap" => overlap = false,
+            other => return Err(CliError::UnknownOption(other.to_string())),
         }
         i += 1;
     }
+    let arrival = Arrival::parse(&arrival_spec, rate).map_err(|_| CliError::InvalidValue {
+        flag: "--arrival".to_string(),
+        value: arrival_spec.clone(),
+        expected: "closed, or poisson with --rate R > 0",
+    })?;
     if let Some(name) = &board {
-        let platform = lookup_platform(name);
+        let platform = lookup_platform(name)?;
         opts.hls.clock_mhz = platform.default_clock_mhz;
         opts.platform = platform;
     }
@@ -225,17 +412,16 @@ fn parse_common(args: &[String]) -> Parsed {
             match set.find_kernel(name) {
                 Some(k) => source = cfdlang::pretty(&k.program),
                 None => {
-                    eprintln!(
-                        "no kernel '{name}' in program (kernels: {})",
-                        set.kernel_names().join(", ")
-                    );
-                    exit(1)
+                    return Err(CliError::UnknownKernel {
+                        name: name.clone(),
+                        kernels: set.kernel_names().iter().map(|s| s.to_string()).collect(),
+                    })
                 }
             }
             kernel_count = 1;
         }
     }
-    Parsed {
+    Ok(Parsed {
         source,
         opts,
         cross_sharing,
@@ -251,15 +437,31 @@ fn parse_common(args: &[String]) -> Parsed {
         jobs,
         json,
         boards,
+        requests,
+        arrival,
+        batch,
+        overlap,
+    })
+}
+
+/// Parse or exit with the structured one-line error (usage text when no
+/// kernel was named at all).
+fn parse_or_exit(args: &[String]) -> Parsed {
+    match parse_common(args) {
+        Ok(p) => p,
+        Err(CliError::MissingKernel) => usage(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2)
+        }
     }
 }
 
 /// Resolve a `--board`/`--boards` name against the platform catalog.
-fn lookup_platform(name: &str) -> Platform {
-    Platform::by_name(name).unwrap_or_else(|| {
-        let ids: Vec<String> = Platform::catalog().into_iter().map(|p| p.id).collect();
-        eprintln!("unknown board '{name}' (catalog: {})", ids.join(", "));
-        exit(1)
+fn lookup_platform(name: &str) -> Result<Platform, CliError> {
+    Platform::by_name(name).ok_or_else(|| CliError::UnknownBoard {
+        name: name.to_string(),
+        catalog: Platform::catalog().into_iter().map(|p| p.id).collect(),
     })
 }
 
@@ -381,7 +583,7 @@ fn program_report(art: &ProgramArtifacts) -> String {
 }
 
 fn cmd_compile(args: &[String]) {
-    let p = parse_common(args);
+    let p = parse_or_exit(args);
     if p.is_program() {
         return cmd_compile_program(&p);
     }
@@ -518,7 +720,7 @@ fn cmd_compile_program(p: &Parsed) {
 }
 
 fn cmd_simulate(args: &[String]) {
-    let p = parse_common(args);
+    let p = parse_or_exit(args);
     if p.is_program() {
         let art = compile_program(&p);
         let r = art
@@ -581,7 +783,7 @@ fn cmd_simulate(args: &[String]) {
 }
 
 fn cmd_verify(args: &[String]) {
-    let mut p = parse_common(args);
+    let mut p = parse_or_exit(args);
     if !p.elements_set {
         p.elements = 8; // verification default: a sample, not the full run
     }
@@ -617,8 +819,39 @@ fn cmd_verify(args: &[String]) {
     }
 }
 
+/// `cfdc serve`: batched multi-request runtime on the compiled system.
+/// Single-kernel sources serve as the degenerate one-kernel program.
+fn cmd_serve(args: &[String]) {
+    let p = parse_or_exit(args);
+    let art = compile_program(&p);
+    let opts = p.runtime_options();
+    let out = art.serve(&opts).unwrap_or_else(|e| {
+        eprintln!("serving failed: {e}");
+        exit(1)
+    });
+    if p.json {
+        println!("{}", out.report.to_json());
+        return;
+    }
+    print!("{}", out.report.render_table());
+    // With --batch off the run IS the sequential baseline — comparing it
+    // against itself would just print a meaningless 1.00x.
+    if p.batch == BatchPolicy::Disabled {
+        return;
+    }
+    let seq = art.serve_sequential_baseline(&opts).unwrap_or_else(|e| {
+        eprintln!("serving failed: {e}");
+        exit(1)
+    });
+    println!(
+        "sequential baseline: {:.1} req/s -> batching speedup {:.2}x",
+        seq.throughput_rps,
+        out.report.throughput_rps / seq.throughput_rps
+    );
+}
+
 fn cmd_explore(args: &[String]) {
-    let p = parse_common(args);
+    let p = parse_or_exit(args);
     if p.is_program() {
         return cmd_explore_program(&p);
     }
@@ -672,6 +905,20 @@ fn print_portfolio(report: &cfd_core::dse::PortfolioReport, json: bool) {
             o.outcome.point.m,
             o.outcome.total_s,
             o.outcome.throughput_eps,
+            o.utilization * 100.0
+        );
+    }
+    let service = report.service_frontier();
+    println!("service frontier ({} points):", service.len());
+    for o in service {
+        println!(
+            "  {} @ {:.0} MHz: k={} m={} -> {:.0} req/s at p99 {:.4} s, {:.1}% fit",
+            o.platform,
+            o.clock_mhz,
+            o.outcome.point.k,
+            o.outcome.point.m,
+            o.outcome.service_rps,
+            o.outcome.service_p99_s,
             o.utilization * 100.0
         );
     }
@@ -762,5 +1009,139 @@ fn explore_listing(p: &Parsed, be: &cfd_core::pipeline::Backend) {
                 sb
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn malformed_numeric_flag_values_are_structured_errors() {
+        for (flag, bad) in [
+            ("--k", "x"),
+            ("--m", "2.5"),
+            ("--elements", "lots"),
+            ("--jobs", "-1"),
+            ("--seed", "0x2a"),
+            ("--requests", "many"),
+            ("--requests", "0"),
+            ("--rate", "fast"),
+        ] {
+            let e = parse_common(&args(&["axpy:2", flag, bad])).unwrap_err();
+            match &e {
+                CliError::InvalidValue { flag: f, value, .. } => {
+                    assert_eq!(f, flag);
+                    assert_eq!(value, bad);
+                }
+                other => panic!("{flag} {bad}: expected InvalidValue, got {other:?}"),
+            }
+            // And the rendered message names the flag and the value.
+            let msg = e.to_string();
+            assert!(msg.contains(flag) && msg.contains(bad), "{msg}");
+        }
+    }
+
+    #[test]
+    fn missing_value_at_end_of_args_is_reported() {
+        for flag in ["--k", "--elements", "--boards", "--batch", "--emit"] {
+            let e = parse_common(&args(&["axpy:2", flag])).unwrap_err();
+            assert_eq!(
+                e,
+                CliError::MissingValue {
+                    flag: flag.to_string()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_options_and_boards_are_reported() {
+        assert!(matches!(
+            parse_common(&args(&["axpy:2", "--grids"])).unwrap_err(),
+            CliError::UnknownOption(o) if o == "--grids"
+        ));
+        let e = parse_common(&args(&["axpy:2", "--board", "zcu9999"])).unwrap_err();
+        match e {
+            CliError::UnknownBoard { name, catalog } => {
+                assert_eq!(name, "zcu9999");
+                assert!(catalog.iter().any(|c| c == "zcu106"));
+            }
+            other => panic!("expected UnknownBoard, got {other:?}"),
+        }
+        // A malformed entry inside a --boards list fails the same way.
+        let e = parse_common(&args(&["axpy:2", "--boards", "zcu106,bogus"])).unwrap_err();
+        assert!(matches!(e, CliError::UnknownBoard { name, .. } if name == "bogus"));
+    }
+
+    #[test]
+    fn malformed_builtin_kernel_parameters_are_reported() {
+        let e = parse_common(&args(&["helmholtz:eleven"])).unwrap_err();
+        assert!(
+            matches!(&e, CliError::InvalidValue { value, .. } if value == "eleven"),
+            "{e:?}"
+        );
+        let e = parse_common(&args(&["interpolation:4:big"])).unwrap_err();
+        assert!(matches!(&e, CliError::InvalidValue { value, .. } if value == "big"));
+    }
+
+    #[test]
+    fn serve_flags_validate_policy_and_arrival() {
+        let e = parse_common(&args(&["axpy:2", "--batch", "wat"])).unwrap_err();
+        assert!(matches!(&e, CliError::InvalidValue { flag, .. } if flag == "--batch"));
+        let e = parse_common(&args(&["axpy:2", "--batch", "0"])).unwrap_err();
+        assert!(matches!(&e, CliError::InvalidValue { flag, .. } if flag == "--batch"));
+        let e = parse_common(&args(&["axpy:2", "--arrival", "burst"])).unwrap_err();
+        assert!(matches!(&e, CliError::InvalidValue { flag, .. } if flag == "--arrival"));
+        // Poisson without a positive --rate is rejected up front.
+        let e = parse_common(&args(&["axpy:2", "--arrival", "poisson"])).unwrap_err();
+        assert!(matches!(&e, CliError::InvalidValue { flag, .. } if flag == "--arrival"));
+        let p = parse_common(&args(&[
+            "axpy:2",
+            "--arrival",
+            "poisson",
+            "--rate",
+            "50",
+            "--batch",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(p.arrival, Arrival::Poisson { rate_rps: 50.0 });
+        assert_eq!(p.batch, BatchPolicy::Fixed(4));
+    }
+
+    #[test]
+    fn unknown_program_kernel_selection_is_reported() {
+        let e = parse_common(&args(&["axpychain:3", "--kernel", "nope"])).unwrap_err();
+        match e {
+            CliError::UnknownKernel { name, kernels } => {
+                assert_eq!(name, "nope");
+                assert_eq!(kernels, vec!["axpy_scale", "axpy_update"]);
+            }
+            other => panic!("expected UnknownKernel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreadable_paths_are_reported_not_panicked() {
+        let e = parse_common(&args(&["/nonexistent/kernel.cfd"])).unwrap_err();
+        assert!(matches!(&e, CliError::CannotRead { path, .. } if path.contains("nonexistent")));
+    }
+
+    #[test]
+    fn wellformed_args_parse_with_defaults() {
+        let p = parse_common(&args(&["axpychain:3", "--requests", "16", "--no-overlap"])).unwrap();
+        assert_eq!(p.kernel_count, 2);
+        assert!(p.is_program());
+        assert_eq!(p.requests, 16);
+        assert!(!p.overlap);
+        assert_eq!(p.batch, BatchPolicy::Auto);
+        assert_eq!(p.arrival, Arrival::Closed);
+        assert_eq!(p.elements, 50_000);
+        assert!(!p.elements_set);
     }
 }

@@ -168,8 +168,41 @@ pub struct DseOutcome {
     pub total_s: f64,
     /// Elements per second (0 when infeasible).
     pub throughput_eps: f64,
+    /// Batched-serving throughput of the design (requests/sec for a
+    /// closed backlog of [`SERVICE_PROBE_REQUESTS`] requests, batch
+    /// fill `m`, double-buffered DMA; 0 when infeasible) — the
+    /// **throughput objective** of the service-level Pareto view.
+    pub service_rps: f64,
+    /// p99 request latency of the same probe (0 when infeasible).
+    pub service_p99_s: f64,
     /// Wall-clock seconds spent evaluating this point.
     pub eval_s: f64,
+}
+
+/// Closed-backlog size of the serving probe every feasible design is
+/// scored with.
+pub const SERVICE_PROBE_REQUESTS: usize = 64;
+
+/// Score a design's serving behavior: requests/sec and p99 latency of a
+/// closed backlog of [`SERVICE_PROBE_REQUESTS`] requests under the
+/// `Auto` batch policy (fill `m`) with double-buffered DMA. This is a
+/// timing-only `runtime::serve` run, so the numbers are by construction
+/// the ones `cfdc serve` would report for the same design.
+fn service_probe(design: &sysgen::MultiSystemDesign) -> (f64, f64) {
+    let opts = runtime::RuntimeOptions {
+        requests: SERVICE_PROBE_REQUESTS,
+        arrival: runtime::Arrival::Closed,
+        batch: runtime::BatchPolicy::Auto,
+        overlap_dma: true,
+        seed: 0,
+        execute: false,
+        sim: SimConfig::default(),
+    };
+    let requests = runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed);
+    let report = runtime::serve(design, &[], &[], &[], &requests, &opts)
+        .expect("timing-only probe always serves")
+        .report;
+    (report.throughput_rps, report.latency_p99_s)
 }
 
 /// Ranked sweep results plus the evidence that the shared stages ran
@@ -235,13 +268,13 @@ impl DseReport {
             .unwrap_or(6)
             .max(6);
         s.push_str(&format!(
-            "  {:<name_w$}   k    m  share  decouple  part      LUT      FF   DSP   BRAM    el/s  feasible\n",
+            "  {:<name_w$}   k    m  share  decouple  part      LUT      FF   DSP   BRAM    el/s   req/s  feasible\n",
             "kernel"
         ));
         for o in &self.outcomes {
             let p = &o.point;
             s.push_str(&format!(
-                "  {:<name_w$}  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>6}  {:>4}  {:>5}  {:>6.0}  {}\n",
+                "  {:<name_w$}  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>6}  {:>4}  {:>5}  {:>6.0}  {:>6.0}  {}\n",
                 o.kernel,
                 p.k,
                 p.m,
@@ -253,6 +286,7 @@ impl DseReport {
                 o.dsps,
                 o.brams,
                 o.throughput_eps,
+                o.service_rps,
                 if o.feasible { "yes" } else { "no" },
             ));
         }
@@ -296,7 +330,7 @@ impl DseReport {
                 "    {{\"kernel\": \"{}\", \"k\": {}, \"m\": {}, \"sharing\": {}, \"decoupled\": {}, \"partition\": {}, \
                  \"feasible\": {}, \"luts\": {}, \"ffs\": {}, \"dsps\": {}, \"brams\": {}, \
                  \"plm_brams\": {}, \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \
-                 \"eval_s\": {:.6}}}{}\n",
+                 \"service_rps\": {:.3}, \"service_p99_s\": {:.6}, \"eval_s\": {:.6}}}{}\n",
                 o.kernel,
                 p.k,
                 p.m,
@@ -312,6 +346,8 @@ impl DseReport {
                 o.latency_cycles,
                 o.total_s,
                 o.throughput_eps,
+                o.service_rps,
+                o.service_p99_s,
                 o.eval_s,
                 if i + 1 == self.outcomes.len() { "" } else { "," },
             ));
@@ -454,6 +490,8 @@ impl DseEngine {
                         ..Default::default()
                     },
                 );
+                let (service_rps, service_p99_s) =
+                    service_probe(&sysgen::MultiSystemDesign::from_single(&design));
                 DseOutcome {
                     point: *point,
                     kernel: self.kernel_name.clone(),
@@ -470,6 +508,8 @@ impl DseEngine {
                     } else {
                         0.0
                     },
+                    service_rps,
+                    service_p99_s,
                     eval_s: started.elapsed().as_secs_f64(),
                 }
             }
@@ -485,6 +525,8 @@ impl DseEngine {
                 latency_cycles: be.hls_report.latency_cycles,
                 total_s: 0.0,
                 throughput_eps: 0.0,
+                service_rps: 0.0,
+                service_p99_s: 0.0,
                 eval_s: started.elapsed().as_secs_f64(),
             },
         }
@@ -788,6 +830,7 @@ impl ProgramDseEngine {
                         ..Default::default()
                     },
                 );
+                let (service_rps, service_p99_s) = service_probe(&design);
                 DseOutcome {
                     point: *point,
                     kernel: self.program_label(),
@@ -804,6 +847,8 @@ impl ProgramDseEngine {
                     } else {
                         0.0
                     },
+                    service_rps,
+                    service_p99_s,
                     eval_s: started.elapsed().as_secs_f64(),
                 }
             }
@@ -819,6 +864,8 @@ impl ProgramDseEngine {
                 latency_cycles,
                 total_s: 0.0,
                 throughput_eps: 0.0,
+                service_rps: 0.0,
+                service_p99_s: 0.0,
                 eval_s: started.elapsed().as_secs_f64(),
             },
         }
@@ -995,6 +1042,11 @@ pub struct PortfolioOutcome {
     /// (simulated time, utilization). The portfolio frontier is the
     /// union over platforms — pick the node that fits the job.
     pub pareto: bool,
+    /// Whether this point sits on its platform's **service** Pareto
+    /// frontier — maximize requests/sec against minimizing p99 latency
+    /// and utilization (the throughput objective: pick the node that
+    /// serves the most traffic per resource).
+    pub service_pareto: bool,
 }
 
 /// Per-platform feasibility summary of a portfolio sweep.
@@ -1049,6 +1101,27 @@ fn pareto_flags(objectives: &[Option<(f64, f64)>]) -> Vec<bool> {
     flags
 }
 
+/// Three-objective Pareto flags (all minimized; callers negate
+/// maximization axes). Same tie rule as [`pareto_flags`]: of identical
+/// objective triples only the first survives.
+fn pareto_flags3(objectives: &[Option<(f64, f64, f64)>]) -> Vec<bool> {
+    let mut flags = vec![false; objectives.len()];
+    for i in 0..objectives.len() {
+        let Some((a, b, c)) = objectives[i] else {
+            continue;
+        };
+        let dominated = objectives.iter().enumerate().any(|(j, o)| match o {
+            Some((a2, b2, c2)) => {
+                (*a2 <= a && *b2 <= b && *c2 <= c && (*a2 < a || *b2 < b || *c2 < c))
+                    || (j < i && *a2 == a && *b2 == b && *c2 == c)
+            }
+            None => false,
+        });
+        flags[i] = !dominated;
+    }
+    flags
+}
+
 impl PortfolioReport {
     /// Rank, flag Pareto points per platform and summarize.
     /// `backend_uses` is the total number of memoized-backend lookups
@@ -1063,7 +1136,9 @@ impl PortfolioReport {
         backend_compiles: usize,
         backend_uses: usize,
     ) -> PortfolioReport {
-        // Per-platform Pareto frontier over (total_s, utilization).
+        // Per-platform Pareto frontiers: the latency view over
+        // (total_s, utilization) and the service view over
+        // (requests/sec ↑, p99 ↓, utilization ↓).
         for p in platforms {
             let idx: Vec<usize> = (0..outcomes.len())
                 .filter(|&i| outcomes[i].platform == p.id)
@@ -1079,6 +1154,20 @@ impl PortfolioReport {
                 .collect();
             for (&i, flag) in idx.iter().zip(pareto_flags(&objectives)) {
                 outcomes[i].pareto = flag;
+            }
+            let service: Vec<Option<(f64, f64, f64)>> = idx
+                .iter()
+                .map(|&i| {
+                    let o = &outcomes[i];
+                    o.outcome.feasible.then_some((
+                        -o.outcome.service_rps,
+                        o.outcome.service_p99_s,
+                        o.utilization,
+                    ))
+                })
+                .collect();
+            for (&i, flag) in idx.iter().zip(pareto_flags3(&service)) {
+                outcomes[i].service_pareto = flag;
             }
         }
         outcomes.sort_by(|a, b| {
@@ -1130,6 +1219,14 @@ impl PortfolioReport {
         self.outcomes.iter().filter(|o| o.pareto).collect()
     }
 
+    /// The portfolio **service** frontier: every platform's
+    /// non-dominated (requests/sec ↑, p99 latency ↓, utilization ↓)
+    /// points — where to place traffic for throughput rather than
+    /// single-job latency.
+    pub fn service_frontier(&self) -> Vec<&PortfolioOutcome> {
+        self.outcomes.iter().filter(|o| o.service_pareto).collect()
+    }
+
     /// Platforms with at least one feasible point.
     pub fn feasible_platforms(&self) -> Vec<&PlatformSummary> {
         self.summaries.iter().filter(|s| s.feasible > 0).collect()
@@ -1164,12 +1261,12 @@ impl PortfolioReport {
             ));
         }
         s.push_str(
-            "    platform     MHz   k    m  share  decouple  part      LUT   BRAM   util%     el/s  pareto\n",
+            "    platform     MHz   k    m  share  decouple  part      LUT   BRAM   util%     el/s    req/s  pareto\n",
         );
         for o in &self.outcomes {
             let p = &o.outcome.point;
             s.push_str(&format!(
-                "  {} {:<10}  {:>4.0}  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>5}  {:>6.1}  {:>7.0}  {}\n",
+                "  {} {:<10}  {:>4.0}  {:>2}  {:>3}  {:>5}  {:>8}  {:>4}  {:>7}  {:>5}  {:>6.1}  {:>7.0}  {:>7.0}  {}\n",
                 if o.pareto { "*" } else { " " },
                 o.platform,
                 o.clock_mhz,
@@ -1182,11 +1279,13 @@ impl PortfolioReport {
                 o.outcome.brams,
                 o.utilization * 100.0,
                 o.outcome.throughput_eps,
+                o.outcome.service_rps,
                 if o.outcome.feasible {
-                    if o.pareto {
-                        "pareto"
-                    } else {
-                        "yes"
+                    match (o.pareto, o.service_pareto) {
+                        (true, true) => "pareto+serve",
+                        (true, false) => "pareto",
+                        (false, true) => "serve",
+                        (false, false) => "yes",
                     }
                 } else {
                     "no"
@@ -1250,6 +1349,24 @@ impl PortfolioReport {
             ));
         }
         s.push_str("  ],\n");
+        let service = self.service_frontier();
+        s.push_str("  \"service_frontier\": [\n");
+        for (i, o) in service.iter().enumerate() {
+            let p = &o.outcome.point;
+            s.push_str(&format!(
+                "    {{\"platform\": \"{}\", \"clock_mhz\": {:.1}, \"k\": {}, \"m\": {}, \
+                 \"service_rps\": {:.3}, \"service_p99_s\": {:.6}, \"utilization\": {:.4}}}{}\n",
+                o.platform,
+                o.clock_mhz,
+                p.k,
+                p.m,
+                o.outcome.service_rps,
+                o.outcome.service_p99_s,
+                o.utilization,
+                if i + 1 == service.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"outcomes\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             let p = &o.outcome.point;
@@ -1258,7 +1375,8 @@ impl PortfolioReport {
                  \"sharing\": {}, \"decoupled\": {}, \"partition\": {}, \"feasible\": {}, \
                  \"luts\": {}, \"ffs\": {}, \"dsps\": {}, \"brams\": {}, \"plm_brams\": {}, \
                  \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \
-                 \"utilization\": {:.4}, \"pareto\": {}}}{}\n",
+                 \"service_rps\": {:.3}, \"service_p99_s\": {:.6}, \
+                 \"utilization\": {:.4}, \"pareto\": {}, \"service_pareto\": {}}}{}\n",
                 o.platform,
                 o.clock_mhz,
                 o.outcome.kernel,
@@ -1276,8 +1394,11 @@ impl PortfolioReport {
                 o.outcome.latency_cycles,
                 o.outcome.total_s,
                 o.outcome.throughput_eps,
+                o.outcome.service_rps,
+                o.outcome.service_p99_s,
                 o.utilization,
                 o.pareto,
+                o.service_pareto,
                 if i + 1 == self.outcomes.len() { "" } else { "," },
             ));
         }
@@ -1453,6 +1574,7 @@ impl DseEngine {
                             outcome,
                             utilization,
                             pareto: false,
+                            service_pareto: false,
                         });
                     }
                 }));
@@ -1570,6 +1692,7 @@ impl ProgramDseEngine {
                             outcome,
                             utilization,
                             pareto: false,
+                            service_pareto: false,
                         });
                     }
                 }));

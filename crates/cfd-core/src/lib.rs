@@ -70,6 +70,9 @@ use zynq::{ArmCostModel, SimConfig};
 
 pub use pipeline::{Pipeline, StageCounts, StageTimings};
 pub use program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
+// The serving layer: request-level batching runtime over a compiled
+// system ([`ProgramArtifacts::serve`] is the artifact-level entry).
+pub use runtime::{Arrival, BatchPolicy, RuntimeOptions, ServeOutcome, ServiceReport};
 
 /// Errors from the flow.
 #[derive(Debug, Clone, PartialEq)]

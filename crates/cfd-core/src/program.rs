@@ -144,6 +144,48 @@ impl ProgramArtifacts {
         let kernels: Vec<&cgen::CKernel> = self.kernels.iter().map(|a| &a.kernel).collect();
         zynq::verify_program(&self.names, &modules, &kernels, n, seed).map_err(FlowError::Backend)
     }
+
+    /// Serve a stream of `opts.requests` independent requests on the
+    /// compiled system: generate per-request inputs and arrivals,
+    /// schedule the batched stream (`runtime::serve`) and return the
+    /// [`runtime::ServiceReport`] plus, when `opts.execute` is set,
+    /// every request's output tensors.
+    pub fn serve(
+        &self,
+        opts: &runtime::RuntimeOptions,
+    ) -> Result<runtime::ServeOutcome, FlowError> {
+        let system = self
+            .system
+            .as_ref()
+            .ok_or_else(|| FlowError::Backend("no feasible program configuration".into()))?;
+        let modules: Vec<&Module> = self.kernels.iter().map(|a| &a.module).collect();
+        let kernels: Vec<&cgen::CKernel> = self.kernels.iter().map(|a| &a.kernel).collect();
+        // Timing-only runs skip the input tensors entirely (same
+        // arrival stream either way, per seed).
+        let requests = if opts.execute {
+            runtime::generate_requests(&modules, opts.requests, &opts.arrival, opts.seed)
+        } else {
+            runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed)
+        };
+        runtime::serve(system, &self.names, &modules, &kernels, &requests, opts)
+            .map_err(FlowError::Backend)
+    }
+
+    /// Serve the same request stream with batching disabled and no DMA
+    /// overlap — the sequential per-request baseline every speedup
+    /// figure compares against (timing only).
+    pub fn serve_sequential_baseline(
+        &self,
+        opts: &runtime::RuntimeOptions,
+    ) -> Result<runtime::ServiceReport, FlowError> {
+        let seq = runtime::RuntimeOptions {
+            batch: runtime::BatchPolicy::Disabled,
+            overlap_dma: false,
+            execute: false,
+            ..opts.clone()
+        };
+        Ok(self.serve(&seq)?.report)
+    }
 }
 
 /// The shared program-level products derived from per-kernel backends:
@@ -566,6 +608,30 @@ mod tests {
         // ...while the per-kernel artifacts keep their stand-alone
         // shape (the bit-identity guarantee).
         assert!(art.kernels[0].c_source.contains("void kernel_body("));
+    }
+
+    #[test]
+    fn serving_batches_beat_sequential_per_request() {
+        let src = cfdlang::examples::axpy_chain(4);
+        let art = ProgramFlow::compile(&src, &ProgramOptions::default()).unwrap();
+        let m = art.system.as_ref().unwrap().config.m;
+        assert!(m >= 2, "auto-picked system must batch (m = {m})");
+        let opts = runtime::RuntimeOptions {
+            requests: 32,
+            ..Default::default()
+        };
+        let served = art.serve(&opts).unwrap();
+        let seq = art.serve_sequential_baseline(&opts).unwrap();
+        assert!(
+            served.report.throughput_rps >= 2.0 * seq.throughput_rps,
+            "batched {} req/s vs sequential {} req/s",
+            served.report.throughput_rps,
+            seq.throughput_rps
+        );
+        assert!(served.report.latency_p50_s <= served.report.latency_p99_s);
+        assert_eq!(served.report.traces.len(), 32);
+        // Timing-only by default: no functional outputs materialized.
+        assert!(served.outputs.is_empty());
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Golden-snapshot tests for `cfdc`'s machine-readable surfaces.
+//!
+//! Each test runs the real binary (`CARGO_BIN_EXE_cfdc`) and compares
+//! its output against a committed fixture under `tests/snapshots/`.
+//! JSON surfaces are compared **structurally**: the set of key paths
+//! (with scalar/array/object kinds) must match exactly, so renaming or
+//! dropping a key fails loudly in CI while numeric values — timings,
+//! throughputs — are free to drift. The `boards` listing is plain text
+//! and compared byte for byte.
+//!
+//! Regenerate after an intentional schema change with:
+//!
+//! ```sh
+//! UPDATE_SNAPSHOTS=1 cargo test -p cfd-core --test snapshots
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader (the dependency set has no serde_json): just
+// enough to extract the structural shape of cfdc's hand-rolled output.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Scalar,
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Reader<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Reader<'a> {
+        Reader {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| "unexpected end of JSON".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != c {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                c as char, self.i, got as char
+            ));
+        }
+        self.i += 1;
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i] != b'"' {
+            // cfdc's output never escapes quotes; reject if it starts to.
+            if self.s[self.i] == b'\\' {
+                return Err("escape sequences unsupported".into());
+            }
+            self.i += 1;
+        }
+        let out = String::from_utf8_lossy(&self.s[start..self.i]).into_owned();
+        self.expect(b'"')?;
+        Ok(out)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        c => return Err(format!("expected ',' or '}}', found '{}'", c as char)),
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        c => return Err(format!("expected ',' or ']', found '{}'", c as char)),
+                    }
+                }
+            }
+            b'"' => {
+                self.string()?;
+                Ok(Json::Scalar)
+            }
+            _ => {
+                // number / true / false / null — consume the token.
+                let start = self.i;
+                while self.i < self.s.len()
+                    && !matches!(self.s[self.i], b',' | b'}' | b']')
+                    && !(self.s[self.i] as char).is_whitespace()
+                {
+                    self.i += 1;
+                }
+                if self.i == start {
+                    return Err(format!("empty scalar at byte {start}"));
+                }
+                Ok(Json::Scalar)
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Json {
+    let mut r = Reader::new(s);
+    let v = r
+        .value()
+        .unwrap_or_else(|e| panic!("unparsable JSON: {e}\n{s}"));
+    r.skip_ws();
+    assert!(r.i == r.s.len(), "trailing bytes after JSON document");
+    v
+}
+
+/// The structural shape: every key path with its kind. Array elements
+/// all fold into one `[]` segment, so optional/varying rows still
+/// contribute their keys.
+fn shape(j: &Json, prefix: &str, out: &mut BTreeSet<String>) {
+    match j {
+        Json::Scalar => {
+            out.insert(format!("{prefix}:scalar"));
+        }
+        Json::Arr(items) => {
+            out.insert(format!("{prefix}:array"));
+            for it in items {
+                shape(it, &format!("{prefix}[]"), out);
+            }
+        }
+        Json::Obj(fields) => {
+            out.insert(format!("{prefix}:object"));
+            for (k, v) in fields {
+                shape(v, &format!("{prefix}.{k}"), out);
+            }
+        }
+    }
+}
+
+fn json_shape(s: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    shape(&parse_json(s), "$", &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name)
+}
+
+fn run_cfdc(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_cfdc"))
+        .args(args)
+        .output()
+        .expect("cfdc runs");
+    assert!(
+        out.status.success(),
+        "cfdc {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+/// Compare (or, with UPDATE_SNAPSHOTS=1, rewrite) a fixture.
+fn check_snapshot(name: &str, actual: &str, structural: bool) {
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_SNAPSHOTS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path:?} ({e}); run with UPDATE_SNAPSHOTS=1 to create it")
+    });
+    if structural {
+        let want = json_shape(&expected);
+        let got = json_shape(actual);
+        if want != got {
+            let missing: Vec<&String> = want.difference(&got).collect();
+            let extra: Vec<&String> = got.difference(&want).collect();
+            panic!(
+                "JSON structure of {name} changed.\n\
+                 Missing vs fixture: {missing:#?}\n\
+                 New vs fixture: {extra:#?}\n\
+                 If intentional, regenerate with UPDATE_SNAPSHOTS=1."
+            );
+        }
+    } else {
+        assert_eq!(
+            actual, expected,
+            "text snapshot {name} changed; regenerate with UPDATE_SNAPSHOTS=1 if intentional"
+        );
+    }
+}
+
+#[test]
+fn explore_grid_json_schema_is_stable() {
+    let out = run_cfdc(&[
+        "explore",
+        "helmholtz:4",
+        "--grid",
+        "--json",
+        "--elements",
+        "500",
+        "--jobs",
+        "2",
+    ]);
+    check_snapshot("explore_grid.json", &out, true);
+    // Spot-check the keys the CI jobs and bench tooling grep for.
+    for key in ["\"outcomes\"", "\"service_rps\"", "\"backend_cache\""] {
+        assert!(out.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn portfolio_json_schema_is_stable() {
+    let out = run_cfdc(&[
+        "explore",
+        "helmholtz:4",
+        "--boards",
+        "all",
+        "--json",
+        "--elements",
+        "500",
+        "--jobs",
+        "2",
+    ]);
+    check_snapshot("explore_portfolio.json", &out, true);
+    for key in [
+        "\"pareto_frontier\"",
+        "\"service_frontier\"",
+        "\"platforms\"",
+    ] {
+        assert!(out.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn serve_json_schema_is_stable() {
+    let out = run_cfdc(&[
+        "serve",
+        "simstep:4",
+        "--requests",
+        "8",
+        "--seed",
+        "7",
+        "--json",
+    ]);
+    check_snapshot("serve.json", &out, true);
+    for key in ["\"throughput_rps\"", "\"latency\"", "\"traces\""] {
+        assert!(out.contains(key), "missing {key}");
+    }
+}
+
+#[test]
+fn boards_listing_is_stable() {
+    // Pure catalog data — deterministic, compared byte for byte.
+    let out = run_cfdc(&["boards"]);
+    check_snapshot("boards.txt", &out, false);
+}
+
+#[test]
+fn structural_compare_catches_renames() {
+    // The comparator itself: a renamed key must be a detected diff.
+    let a = r#"{"requests": 3, "latency": {"p99_s": 0.5}, "rows": [{"id": 1}, {"id": 2}]}"#;
+    let b = r#"{"requests": 9, "latency": {"p99_s": 1.5}, "rows": [{"id": 7}]}"#;
+    let c = r#"{"request_count": 3, "latency": {"p99_s": 0.5}, "rows": [{"id": 1}]}"#;
+    assert_eq!(json_shape(a), json_shape(b), "value drift must not trip");
+    assert_ne!(json_shape(a), json_shape(c), "key rename must trip");
+}

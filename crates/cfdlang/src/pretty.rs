@@ -4,10 +4,13 @@ use crate::ast::{Decl, DeclKind, Expr, Program, ProgramSet, TypeExpr};
 use std::fmt::Write;
 
 /// Render a multi-kernel set as CFDlang source. The degenerate
-/// single-kernel set prints as a plain program (no `kernel` block), so
-/// round-tripping a classic source stays the identity.
+/// single-kernel set named `main` (what a plain source parses to)
+/// prints as a plain program without a `kernel` block, so
+/// round-tripping a classic source stays the identity; a single kernel
+/// with any other name keeps its block — dropping it would lose the
+/// name and break `pretty_set ∘ parse_set` as an identity.
 pub fn pretty_set(set: &ProgramSet) -> String {
-    if !set.is_multi() {
+    if !set.is_multi() && set.kernels.first().is_none_or(|k| k.name == "main") {
         return set
             .kernels
             .first()

@@ -1,0 +1,181 @@
+//! Round-trip property: `pretty_set → parse_set → check_set` is an
+//! identity on generated multi-kernel programs.
+//!
+//! The generator builds random-but-valid `ProgramSet`s (1–3 kernels,
+//! random extents, pointwise or contraction bodies, chained through
+//! name-matched handoffs) directly as ASTs. For each one:
+//!
+//! 1. `pretty_set` must produce source that `parse_set` accepts,
+//! 2. pretty-printing the parsed set must reproduce the text exactly
+//!    (the printer is a fixpoint of its own output),
+//! 3. re-parsing that text must reproduce the parsed AST exactly
+//!    (including spans — identical text, identical positions), and
+//! 4. `check_set` must accept it, preserving kernel names and resolving
+//!    every chained handoff.
+//!
+//! The proptest shim draws from a fixed per-test seed, so runs are
+//! reproducible.
+
+use cfdlang::ast::TypeExpr;
+use cfdlang::{check_set, parse_set, pretty_set};
+use cfdlang::{BinOp, Decl, DeclKind, Expr, KernelDef, Program, ProgramSet, Stmt};
+use proptest::prelude::*;
+
+/// Span-free convenience constructors (the printer ignores spans; the
+/// identity is asserted on the *parsed* ASTs, whose spans line up
+/// because the compared texts are identical).
+fn span() -> cfdlang::Span {
+    cfdlang::Span::default()
+}
+
+fn var(kind: DeclKind, name: &str, shape: &[usize]) -> Decl {
+    Decl::Var {
+        kind,
+        name: name.to_string(),
+        ty: TypeExpr::Shape(shape.to_vec()),
+        span: span(),
+    }
+}
+
+fn ident(name: &str) -> Expr {
+    Expr::Ident(name.to_string(), span())
+}
+
+/// One kernel of the chain: consumes `input` (shape `[e e]`), produces
+/// `output` of the same shape. `op == 0` is the pointwise template
+/// `out = a * in + in`; otherwise the sandwich contraction
+/// `out = S # in . [[1 2]]`.
+fn gen_kernel(name: &str, input: &str, output: &str, e: usize, op: usize) -> KernelDef {
+    let shape = [e, e];
+    let mut decls = Vec::new();
+    // Handoff inputs are still declared `input` in the consumer kernel —
+    // the linker matches them by name.
+    decls.push(var(DeclKind::Input, input, &shape));
+    let stmt = if op == 0 {
+        let scale = format!("a_{name}");
+        decls.push(var(DeclKind::Input, &scale, &[]));
+        decls.push(var(DeclKind::Output, output, &shape));
+        Stmt {
+            lhs: output.to_string(),
+            rhs: Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Binary {
+                    op: BinOp::Mul,
+                    lhs: Box::new(ident(&scale)),
+                    rhs: Box::new(ident(input)),
+                    span: span(),
+                }),
+                rhs: Box::new(ident(input)),
+                span: span(),
+            },
+            span: span(),
+        }
+    } else {
+        let s = format!("S_{name}");
+        decls.push(var(DeclKind::Input, &s, &shape));
+        decls.push(var(DeclKind::Output, output, &shape));
+        Stmt {
+            lhs: output.to_string(),
+            rhs: Expr::Contract {
+                operand: Box::new(Expr::Product {
+                    operands: vec![ident(&s), ident(input)],
+                    span: span(),
+                }),
+                pairs: vec![(1, 2)],
+                span: span(),
+            },
+            span: span(),
+        }
+    };
+    KernelDef {
+        name: name.to_string(),
+        program: Program {
+            decls,
+            stmts: vec![stmt],
+        },
+        span: span(),
+    }
+}
+
+/// A chained program of `kernels` kernels with extent `e`, kernel `i`
+/// consuming kernel `i-1`'s output.
+fn gen_program(kernels: usize, e: usize, ops: &[usize]) -> ProgramSet {
+    let defs = (0..kernels)
+        .map(|i| {
+            let name = format!("k{i}");
+            let input = if i == 0 {
+                "x0".to_string()
+            } else {
+                format!("w{}", i - 1)
+            };
+            gen_kernel(&name, &input, &format!("w{i}"), e, ops[i % ops.len()])
+        })
+        .collect();
+    ProgramSet { kernels: defs }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pretty_parse_check_is_identity(
+        kernels in 1usize..4,
+        e in 2usize..5,
+        ops in proptest::collection::vec(0usize..2, 3),
+    ) {
+        let set = gen_program(kernels, e, &ops);
+
+        // 1. pretty output parses.
+        let s0 = pretty_set(&set);
+        let parsed = parse_set(&s0).unwrap_or_else(|d| panic!("unparsable pretty output:\n{s0}\n{d}"));
+        prop_assert_eq!(parsed.kernels.len(), kernels);
+
+        // 2. the printer is a fixpoint of its own output.
+        let s1 = pretty_set(&parsed);
+        prop_assert_eq!(&s1, &s0);
+
+        // 3. reparsing identical text reproduces the AST exactly
+        //    (spans included).
+        let reparsed = parse_set(&s1).unwrap();
+        prop_assert_eq!(&reparsed, &parsed);
+
+        // 4. the checker accepts it and resolves the chain.
+        let typed = check_set(&parsed).unwrap_or_else(|d| panic!("check_set rejected:\n{s0}\n{d}"));
+        let names: Vec<String> = (0..kernels).map(|i| format!("k{i}")).collect();
+        prop_assert_eq!(typed.kernel_names(), names.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for i in 1..kernels {
+            let handoff = format!("w{}", i - 1);
+            prop_assert!(
+                typed.link_into(i, &handoff).is_some(),
+                "handoff '{}' into kernel {} not resolved", handoff, i
+            );
+        }
+        // x0 stays an external input of the whole program.
+        prop_assert!(typed.external_inputs().iter().any(|(_, n)| n == "x0"));
+    }
+}
+
+#[test]
+fn named_single_kernel_block_round_trips() {
+    // Regression: `pretty_set` used to drop the block (and with it the
+    // kernel's name) for single-kernel sets, so `kernel solo { ... }`
+    // came back as an anonymous `main` program.
+    let src = "kernel solo {\n\tvar input x : [2 2]\n\tvar output y : [2 2]\n\ty = x + x\n}\n";
+    let parsed = parse_set(src).unwrap();
+    assert_eq!(parsed.kernel_names(), vec!["solo"]);
+    let printed = pretty_set(&parsed);
+    assert_eq!(printed, src);
+    assert_eq!(parse_set(&printed).unwrap(), parsed);
+}
+
+#[test]
+fn plain_source_still_prints_without_a_block() {
+    // The degenerate `main` set (what a classic source parses to) keeps
+    // printing as a plain program.
+    let src = cfdlang::examples::inverse_helmholtz(3);
+    let parsed = parse_set(&src).unwrap();
+    assert_eq!(parsed.kernel_names(), vec!["main"]);
+    let printed = pretty_set(&parsed);
+    assert!(!printed.contains("kernel "));
+    assert_eq!(parse_set(&printed).unwrap().kernel_names(), vec!["main"]);
+}

@@ -1,0 +1,719 @@
+//! `runtime` — request-level serving on one compiled accelerator
+//! system.
+//!
+//! The compiler flow ends with a [`sysgen::MultiSystemDesign`]: one
+//! shared-memory accelerator system for one CFD time-step. A production
+//! deployment does not run that system for a single owner — it serves a
+//! **stream of independent simulation requests** (each with its own
+//! input tensors) and must decide how to share the hardware between
+//! them. This crate is that layer:
+//!
+//! 1. **Admission** — [`generate_requests`] (or caller-built
+//!    [`Request`]s) supply the queue; arrivals are either `Closed` (all
+//!    queued at t=0, the throughput benchmark) or `Poisson` (open
+//!    arrivals at a given rate, the latency benchmark).
+//! 2. **Batching** — a [`BatchPolicy`] decides how many requests
+//!    coalesce into one hardware round: `Auto` fills the design's batch
+//!    factor `m` greedily (take whatever is queued when the hardware
+//!    frees, never wait for stragglers), `Fixed(K)` caps the fill at
+//!    `K`, `Disabled` serves one request per round — the sequential
+//!    reference the differential tests compare against.
+//! 3. **Time multiplexing** — [`zynq::simulate_batch_stream`] schedules
+//!    the rounds on the design in closed tick arithmetic, with
+//!    double-buffered DMA overlapping the transfers of neighbouring
+//!    rounds when `overlap_dma` is set (and every stage keeps a spare
+//!    PLM set).
+//! 4. **Execution** — each request's tensors run through the generated
+//!    kernel chain ([`zynq::run_program_chain`]), so the service path
+//!    returns real outputs, not just timings. Batching never changes
+//!    results: outputs are bit-identical to running every request
+//!    alone, and with batching disabled the tick schedule is exactly
+//!    the sequential one (`tests/runtime_differential.rs` proves both).
+//! 5. **Reporting** — the [`ServiceReport`] carries per-request latency
+//!    traces, p50/p99 latency, requests/sec, and the DMA/compute
+//!    overlap fraction, as a table or JSON (`cfdc serve`).
+//!
+//! The typical entry point is `cfd_core::program::ProgramArtifacts::
+//! serve`, which wires compiled artifacts into this crate; `cfdc serve`
+//! drives it from the command line.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sysgen::MultiSystemDesign;
+use teil::ir::Module;
+use teil::Tensor;
+use zynq::des::{secs, to_secs, Time};
+use zynq::SimConfig;
+
+/// How requests enter the queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Every request queued at t = 0 (closed backlog — the throughput
+    /// view).
+    Closed,
+    /// Open Poisson arrivals at `rate_rps` requests per second
+    /// (exponential interarrival times, deterministic per seed).
+    Poisson { rate_rps: f64 },
+}
+
+impl Arrival {
+    /// Parse a CLI spec: `closed` or `poisson` (the rate comes
+    /// separately).
+    pub fn parse(s: &str, rate_rps: f64) -> Result<Arrival, String> {
+        match s {
+            "closed" => Ok(Arrival::Closed),
+            "poisson" => {
+                if rate_rps > 0.0 {
+                    Ok(Arrival::Poisson { rate_rps })
+                } else {
+                    Err(format!(
+                        "poisson arrivals need a positive --rate, got {rate_rps}"
+                    ))
+                }
+            }
+            other => Err(format!(
+                "unknown arrival process '{other}' (closed | poisson)"
+            )),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Arrival::Closed => "closed".into(),
+            Arrival::Poisson { rate_rps } => format!("poisson({rate_rps:.1}/s)"),
+        }
+    }
+}
+
+/// How many requests share one hardware round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// Fill the design's `m` PLM sets greedily (adaptive: a round takes
+    /// whatever is queued when the hardware frees, at least one).
+    Auto,
+    /// Cap the fill at `K` (clamped to `[1, m]`).
+    Fixed(usize),
+    /// One request per round — the sequential reference.
+    Disabled,
+}
+
+impl BatchPolicy {
+    /// The fill limit against a design with `m` PLM sets.
+    pub fn capacity(&self, m: usize) -> usize {
+        match self {
+            BatchPolicy::Auto => m,
+            BatchPolicy::Fixed(k) => (*k).clamp(1, m),
+            BatchPolicy::Disabled => 1,
+        }
+    }
+
+    /// Parse a CLI spec: `auto`, `off`, or a fixed fill `K >= 1`.
+    pub fn parse(s: &str) -> Result<BatchPolicy, String> {
+        match s {
+            "auto" => Ok(BatchPolicy::Auto),
+            "off" => Ok(BatchPolicy::Disabled),
+            other => match other.parse::<usize>() {
+                Ok(k) if k >= 1 => Ok(BatchPolicy::Fixed(k)),
+                _ => Err(format!(
+                    "unknown batch policy '{other}' (auto | off | K>=1)"
+                )),
+            },
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            BatchPolicy::Auto => "auto".into(),
+            BatchPolicy::Fixed(k) => format!("fixed({k})"),
+            BatchPolicy::Disabled => "off".into(),
+        }
+    }
+}
+
+/// Options for one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeOptions {
+    /// Requests to generate/serve.
+    pub requests: usize,
+    pub arrival: Arrival,
+    pub batch: BatchPolicy,
+    /// Double-buffer the DMA across rounds (ignored — serial — when
+    /// batching is `Disabled`, so the sequential reference stays exact).
+    pub overlap_dma: bool,
+    /// Seed for request inputs and Poisson arrivals.
+    pub seed: u64,
+    /// Run every request's tensors through the generated kernel chain
+    /// (off = timing only).
+    pub execute: bool,
+    /// Host-side cost constants (the `elements` field is unused — the
+    /// stream works in requests, not elements).
+    pub sim: SimConfig,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            requests: 64,
+            arrival: Arrival::Closed,
+            batch: BatchPolicy::Auto,
+            overlap_dma: true,
+            seed: 42,
+            execute: false,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// One simulation request: an independent invocation of the compiled
+/// program with its own external input tensors.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: usize,
+    /// Arrival time (seconds from service start).
+    pub arrival_s: f64,
+    /// External inputs by tensor name (program-global, as in
+    /// [`zynq::run_program_chain`]).
+    pub inputs: HashMap<String, Tensor>,
+}
+
+/// Generate `n` timing-only requests (empty inputs) with arrival times
+/// drawn from `arrival`. Deterministic per seed, and arrival-identical
+/// to [`generate_requests`] for the same seed — the timing-only serve
+/// paths (reports, benches) schedule exactly the stream the executing
+/// path would.
+pub fn generate_timing_requests(n: usize, arrival: &Arrival, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_A881_0CA7_F00Du64);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|id| {
+            let arrival_s = match arrival {
+                Arrival::Closed => 0.0,
+                Arrival::Poisson { rate_rps } => {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    t += -(1.0 - u).ln() / rate_rps;
+                    t
+                }
+            };
+            Request {
+                id,
+                arrival_s,
+                inputs: HashMap::new(),
+            }
+        })
+        .collect()
+}
+
+/// Generate `n` requests with random input tensors drawn per request
+/// and arrival times drawn from `arrival`. Deterministic per seed.
+pub fn generate_requests(
+    modules: &[&Module],
+    n: usize,
+    arrival: &Arrival,
+    seed: u64,
+) -> Vec<Request> {
+    let mut requests = generate_timing_requests(n, arrival, seed);
+    for req in &mut requests {
+        req.inputs = zynq::random_program_inputs(modules, seed.wrapping_add(req.id as u64));
+    }
+    requests
+}
+
+/// Per-request service trace (all times in seconds from service start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    pub id: usize,
+    pub arrival_s: f64,
+    /// When the request's round started loading.
+    pub admitted_s: f64,
+    /// When the request's outputs finished draining.
+    pub completed_s: f64,
+    /// `completed - arrival`.
+    pub latency_s: f64,
+}
+
+/// Aggregate + per-request results of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    pub requests: usize,
+    pub policy: BatchPolicy,
+    pub arrival: Arrival,
+    /// Effective fill limit per round.
+    pub capacity: usize,
+    /// Whether the double-buffered scheduler ran (overlap requested,
+    /// batching enabled, and the design keeps a spare PLM set per
+    /// stage); `overlap_fraction` is the measured quantity — it can be
+    /// 0 under sparse arrivals even when this is true.
+    pub overlap_dma: bool,
+    /// Hardware rounds dispatched.
+    pub rounds: usize,
+    /// Rounds resolved by the closed-tick fast-forward.
+    pub fast_forwarded_rounds: usize,
+    /// Mean requests per round.
+    pub mean_fill: f64,
+    /// Exact tick totals (picoseconds) — the differential tests compare
+    /// these, not rounded floats.
+    pub exec_ticks: u64,
+    pub transfer_ticks: u64,
+    pub overlapped_ticks: u64,
+    pub makespan_ticks: u64,
+    pub makespan_s: f64,
+    pub throughput_rps: f64,
+    pub latency_mean_s: f64,
+    pub latency_p50_s: f64,
+    pub latency_p99_s: f64,
+    pub latency_max_s: f64,
+    /// Fraction of DMA time hidden behind compute.
+    pub overlap_fraction: f64,
+    /// Per-request traces, in request-id order.
+    pub traces: Vec<RequestTrace>,
+}
+
+/// A serving run's report plus (when `execute` was set) every request's
+/// output tensors, `"kernel.tensor"` → values. `outputs[i]` belongs to
+/// `requests[i]` of the [`serve`] call (caller order), matching each
+/// request by position, not by id.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    pub report: ServiceReport,
+    pub outputs: Vec<HashMap<String, Vec<f64>>>,
+}
+
+/// Nearest-rank percentile of a sorted tick slice — the one definition
+/// every latency figure (service reports, DSE probes) shares.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Serve `requests` on `design`: schedule the batched stream, compute
+/// the service statistics and (when `opts.execute`) run every request
+/// through the generated kernel chain. `names`/`modules`/`kernels` are
+/// the compiled program's stages in chain order (as in
+/// [`zynq::run_program_chain`]); `kernels` may be empty when
+/// `opts.execute` is off.
+pub fn serve(
+    design: &MultiSystemDesign,
+    names: &[String],
+    modules: &[&Module],
+    kernels: &[&cgen::CKernel],
+    requests: &[Request],
+    opts: &RuntimeOptions,
+) -> Result<ServeOutcome, String> {
+    if requests.is_empty() {
+        return Err("no requests to serve".into());
+    }
+    // Admission order: arrival time, ties by id (stable).
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        requests[a]
+            .arrival_s
+            .total_cmp(&requests[b].arrival_s)
+            .then(requests[a].id.cmp(&requests[b].id))
+    });
+    let arrivals: Vec<Time> = order.iter().map(|&i| secs(requests[i].arrival_s)).collect();
+    let capacity = opts.batch.capacity(design.config.m);
+    let overlap = opts.overlap_dma && opts.batch != BatchPolicy::Disabled;
+    let stream = zynq::simulate_batch_stream(design, &opts.sim, &arrivals, capacity, overlap);
+
+    // Map the stream's arrival-order results back to request ids.
+    let mut traces: Vec<RequestTrace> = order
+        .iter()
+        .enumerate()
+        .map(|(pos, &i)| {
+            let arrival = arrivals[pos];
+            let completed = stream.completion_ticks[pos];
+            RequestTrace {
+                id: requests[i].id,
+                arrival_s: to_secs(arrival),
+                admitted_s: to_secs(stream.admitted_ticks[pos]),
+                completed_s: to_secs(completed),
+                latency_s: to_secs(completed - arrival),
+            }
+        })
+        .collect();
+    traces.sort_by_key(|t| t.id);
+
+    let mut latency_ticks: Vec<u64> = stream
+        .completion_ticks
+        .iter()
+        .zip(&arrivals)
+        .map(|(c, a)| c - a)
+        .collect();
+    latency_ticks.sort_unstable();
+    let n = requests.len();
+    let makespan_s = to_secs(stream.makespan_ticks);
+    let report = ServiceReport {
+        requests: n,
+        policy: opts.batch,
+        arrival: opts.arrival,
+        capacity,
+        overlap_dma: stream.double_buffered,
+        rounds: stream.rounds(),
+        fast_forwarded_rounds: stream.fast_forwarded_rounds,
+        mean_fill: n as f64 / stream.rounds().max(1) as f64,
+        exec_ticks: stream.exec_ticks,
+        transfer_ticks: stream.transfer_ticks,
+        overlapped_ticks: stream.overlapped_ticks,
+        makespan_ticks: stream.makespan_ticks,
+        makespan_s,
+        throughput_rps: if makespan_s > 0.0 {
+            n as f64 / makespan_s
+        } else {
+            0.0
+        },
+        latency_mean_s: to_secs(latency_ticks.iter().sum::<u64>() / n as u64),
+        latency_p50_s: to_secs(percentile(&latency_ticks, 0.50)),
+        latency_p99_s: to_secs(percentile(&latency_ticks, 0.99)),
+        latency_max_s: to_secs(*latency_ticks.last().unwrap()),
+        overlap_fraction: stream.overlap_fraction(),
+        traces,
+    };
+
+    // Functional path: every request's tensors through the generated
+    // chain, independent of the batch schedule (batching shares
+    // hardware, never data).
+    let outputs = if opts.execute {
+        let mut outs = Vec::with_capacity(n);
+        for req in requests {
+            outs.push(zynq::run_program_chain(
+                names,
+                modules,
+                kernels,
+                &req.inputs,
+            )?);
+        }
+        outs
+    } else {
+        Vec::new()
+    };
+
+    Ok(ServeOutcome { report, outputs })
+}
+
+impl ServiceReport {
+    /// Render as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "served {} requests ({} arrivals, batch {}, capacity {}/round, overlap {}):\n",
+            self.requests,
+            self.arrival.label(),
+            self.policy.label(),
+            self.capacity,
+            if self.overlap_dma { "on" } else { "off" },
+        ));
+        s.push_str(&format!(
+            "  {} rounds ({} fast-forwarded), mean fill {:.2}\n",
+            self.rounds, self.fast_forwarded_rounds, self.mean_fill,
+        ));
+        s.push_str(&format!(
+            "  throughput {:.1} req/s over {:.4} s makespan\n",
+            self.throughput_rps, self.makespan_s,
+        ));
+        s.push_str(&format!(
+            "  latency mean {:.4} s | p50 {:.4} s | p99 {:.4} s | max {:.4} s\n",
+            self.latency_mean_s, self.latency_p50_s, self.latency_p99_s, self.latency_max_s,
+        ));
+        s.push_str(&format!(
+            "  exec {:.4} s | transfers {:.4} s | overlap fraction {:.2}\n",
+            to_secs(self.exec_ticks),
+            to_secs(self.transfer_ticks),
+            self.overlap_fraction,
+        ));
+        s
+    }
+
+    /// Serialize as JSON (hand-rolled: the dependency set has no
+    /// serde_json).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy.label()));
+        s.push_str(&format!("  \"arrival\": \"{}\",\n", self.arrival.label()));
+        s.push_str(&format!("  \"capacity\": {},\n", self.capacity));
+        s.push_str(&format!("  \"overlap_dma\": {},\n", self.overlap_dma));
+        s.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        s.push_str(&format!(
+            "  \"fast_forwarded_rounds\": {},\n",
+            self.fast_forwarded_rounds
+        ));
+        s.push_str(&format!("  \"mean_fill\": {:.4},\n", self.mean_fill));
+        s.push_str(&format!(
+            "  \"throughput_rps\": {:.3},\n",
+            self.throughput_rps
+        ));
+        s.push_str(&format!("  \"makespan_s\": {:.6},\n", self.makespan_s));
+        s.push_str(&format!(
+            "  \"latency\": {{\"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}}},\n",
+            self.latency_mean_s, self.latency_p50_s, self.latency_p99_s, self.latency_max_s
+        ));
+        s.push_str(&format!(
+            "  \"dma\": {{\"exec_s\": {:.6}, \"transfer_s\": {:.6}, \"overlap_fraction\": {:.4}}},\n",
+            to_secs(self.exec_ticks),
+            to_secs(self.transfer_ticks),
+            self.overlap_fraction
+        ));
+        s.push_str("  \"traces\": [\n");
+        for (i, t) in self.traces.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"arrival_s\": {:.6}, \"admitted_s\": {:.6}, \
+                 \"completed_s\": {:.6}, \"latency_s\": {:.6}}}{}\n",
+                t.id,
+                t.arrival_s,
+                t.admitted_s,
+                t.completed_s,
+                t.latency_s,
+                if i + 1 == self.traces.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgen::{build_kernel, CodegenOptions};
+    use pschedule::{KernelModel, Schedule};
+    use sysgen::Platform;
+    use teil::layout::LayoutPlan;
+    use teil::lower::lower;
+    use teil::transform::factorize;
+
+    fn design(ks: Vec<usize>, m: usize, latencies: &[u64]) -> MultiSystemDesign {
+        let platform = Platform::zcu106();
+        let stages: Vec<(String, hls::HlsReport)> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                (
+                    format!("stage{i}"),
+                    hls::HlsReport {
+                        kernel: format!("stage{i}"),
+                        clock_mhz: platform.default_clock_mhz,
+                        latency_cycles: l,
+                        luts: 2_314,
+                        ffs: 2_999,
+                        dsps: 15,
+                        brams: 0,
+                        loops: vec![],
+                    },
+                )
+            })
+            .collect();
+        let memory = mnemosyne::MemorySubsystem {
+            units: vec![],
+            brams: 16,
+            luts: 450,
+            ffs: 250,
+        };
+        let cfg = sysgen::ProgramSystemConfig { ks, m };
+        let host = sysgen::ProgramHostProgram {
+            config: cfg.clone(),
+            stage_names: stages.iter().map(|(n, _)| n.clone()).collect(),
+            bytes_in_per_element: 1331 * 8,
+            bytes_out_per_element: 1331 * 8,
+            handoff_bytes_per_element: 0,
+        };
+        MultiSystemDesign::build(&platform, &stages, &memory, cfg, host).unwrap()
+    }
+
+    fn timing_opts(batch: BatchPolicy, overlap: bool) -> RuntimeOptions {
+        RuntimeOptions {
+            batch,
+            overlap_dma: overlap,
+            execute: false,
+            ..Default::default()
+        }
+    }
+
+    fn timing_requests(n: usize) -> Vec<Request> {
+        (0..n)
+            .map(|id| Request {
+                id,
+                arrival_s: 0.0,
+                inputs: HashMap::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batching_multiplies_throughput_over_disabled() {
+        let d = design(vec![2], 8, &[200_000]);
+        let reqs = timing_requests(64);
+        let auto = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &timing_opts(BatchPolicy::Auto, false),
+        )
+        .unwrap();
+        let seq = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &timing_opts(BatchPolicy::Disabled, false),
+        )
+        .unwrap();
+        let speedup = auto.report.throughput_rps / seq.report.throughput_rps;
+        assert!((speedup - 8.0).abs() < 1e-9, "speedup {speedup}");
+        assert_eq!(auto.report.rounds, 8);
+        assert_eq!(seq.report.rounds, 64);
+        assert!(seq.report.fast_forwarded_rounds > 0);
+    }
+
+    #[test]
+    fn fixed_policy_caps_fill_and_clamps() {
+        let d = design(vec![2], 8, &[200_000]);
+        let reqs = timing_requests(16);
+        let two = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &timing_opts(BatchPolicy::Fixed(2), false),
+        )
+        .unwrap();
+        assert_eq!(two.report.rounds, 8);
+        assert_eq!(two.report.capacity, 2);
+        let big = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &timing_opts(BatchPolicy::Fixed(512), false),
+        )
+        .unwrap();
+        assert_eq!(big.report.capacity, 8, "clamped to m");
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let d = design(vec![2, 2], 4, &[100_000, 200_000]);
+        let reqs = timing_requests(33);
+        let r = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &timing_opts(BatchPolicy::Auto, true),
+        )
+        .unwrap()
+        .report;
+        assert!(r.latency_p50_s <= r.latency_p99_s);
+        assert!(r.latency_p99_s <= r.latency_max_s);
+        assert!(r.latency_mean_s > 0.0);
+        for t in &r.traces {
+            assert!((t.latency_s - (t.completed_s - t.arrival_s)).abs() < 1e-12);
+            assert!(t.admitted_s >= t.arrival_s);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_deterministic() {
+        let src = cfdlang::examples::axpy(3);
+        let typed = cfdlang::check(&cfdlang::parse(&src).unwrap()).unwrap();
+        let module = factorize(&lower(&typed).unwrap());
+        let modules = vec![&module];
+        let a = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 7);
+        let b = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 7);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.last().unwrap().arrival_s > 0.0);
+        // Different seeds change both inputs and arrivals.
+        let c = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 8);
+        assert!(c[5].arrival_s != a[5].arrival_s);
+        // The timing-only stream is arrival-identical (and tensor-free).
+        let t = generate_timing_requests(16, &Arrival::Poisson { rate_rps: 100.0 }, 7);
+        for (x, y) in a.iter().zip(&t) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+        }
+        assert!(t.iter().all(|r| r.inputs.is_empty()));
+    }
+
+    #[test]
+    fn executed_outputs_match_standalone_chain() {
+        let src = cfdlang::examples::axpy(3);
+        let typed = cfdlang::check(&cfdlang::parse(&src).unwrap()).unwrap();
+        let module = factorize(&lower(&typed).unwrap());
+        let layout = LayoutPlan::row_major(&module);
+        let km = KernelModel::build(&module, &layout);
+        let sched = Schedule::reference(&km);
+        let kernel = build_kernel(&module, &km, &sched, &CodegenOptions::default());
+        let names = vec!["main".to_string()];
+        let modules = vec![&module];
+        let kernels = vec![&kernel];
+        let d = design(vec![2], 4, &[100_000]);
+        let reqs = generate_requests(&modules, 5, &Arrival::Closed, 3);
+        let opts = RuntimeOptions {
+            execute: true,
+            ..Default::default()
+        };
+        let out = serve(&d, &names, &modules, &kernels, &reqs, &opts).unwrap();
+        assert_eq!(out.outputs.len(), 5);
+        for (req, got) in reqs.iter().zip(&out.outputs) {
+            let solo = zynq::run_program_chain(&names, &modules, &kernels, &req.inputs).unwrap();
+            assert_eq!(&solo, got, "request {} diverged", req.id);
+        }
+    }
+
+    #[test]
+    fn policy_and_arrival_parsing() {
+        assert_eq!(BatchPolicy::parse("auto"), Ok(BatchPolicy::Auto));
+        assert_eq!(BatchPolicy::parse("off"), Ok(BatchPolicy::Disabled));
+        assert_eq!(BatchPolicy::parse("4"), Ok(BatchPolicy::Fixed(4)));
+        assert!(BatchPolicy::parse("0").is_err());
+        assert!(BatchPolicy::parse("huge?").is_err());
+        assert!(Arrival::parse("closed", 0.0).is_ok());
+        assert!(Arrival::parse("poisson", 50.0).is_ok());
+        assert!(Arrival::parse("poisson", 0.0).is_err());
+        assert!(Arrival::parse("burst", 1.0).is_err());
+    }
+
+    #[test]
+    fn report_json_has_the_service_keys() {
+        let d = design(vec![2], 4, &[100_000]);
+        let reqs = timing_requests(6);
+        let r = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &timing_opts(BatchPolicy::Auto, true),
+        )
+        .unwrap()
+        .report;
+        let j = r.to_json();
+        for key in [
+            "\"throughput_rps\"",
+            "\"latency\"",
+            "\"p99_s\"",
+            "\"overlap_fraction\"",
+            "\"traces\"",
+            "\"fast_forwarded_rounds\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(r.render_table().contains("req/s"));
+    }
+}

@@ -22,6 +22,10 @@
 //!   program: per main-loop round, transfer inputs for `m` elements,
 //!   broadcast start `m/k` times, collect done interrupts, transfer
 //!   outputs (Figure 7's architecture, including `k < m` batching),
+//! * [`stream`] — the multi-request batch-stream schedule: a queue of
+//!   independent invocations coalesced into hardware rounds and
+//!   time-multiplexed over one system with double-buffered DMA (the
+//!   `crates/runtime` service layer drives it),
 //! * [`verify`] — functional validation: sampled elements are executed
 //!   through the generated kernel and compared against the `teil`
 //!   reference interpreter.
@@ -34,11 +38,16 @@ pub mod arm;
 pub mod des;
 pub mod dma;
 pub mod sim;
+pub mod stream;
 pub mod verify;
 
 pub use arm::ArmCostModel;
 pub use dma::DmaModel;
-pub use sim::{simulate_hw, simulate_program, HwResult, ProgramHwResult, SimConfig};
+pub use sim::{
+    program_round, simulate_hw, simulate_program, HwResult, ProgramHwResult, ProgramRound,
+    SimConfig,
+};
+pub use stream::{simulate_batch_stream, StreamOutcome};
 pub use verify::{
     random_program_inputs, run_program_chain, run_program_reference, verify_elements,
     verify_program, VerifyResult,

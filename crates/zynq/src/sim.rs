@@ -152,6 +152,61 @@ impl ProgramHwResult {
     }
 }
 
+/// The closed-form tick costs of **one** main-loop round of a chained
+/// multi-kernel system: input DMA, per-stage serial batches, output
+/// DMA. [`simulate_program`] and the batch-stream runtime
+/// ([`crate::stream`]) both derive their schedules from this one
+/// function, so a runtime round is tick-identical to a `simulate_program`
+/// round by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramRound {
+    /// External-input DMA ticks (`m` elements, one burst per PLM set).
+    pub t_in: u64,
+    /// Kernel-execution ticks per stage (`m/k_i` serial batches each).
+    pub stage_exec: Vec<u64>,
+    /// External-output DMA ticks.
+    pub t_out: u64,
+}
+
+impl ProgramRound {
+    /// Total execution ticks of the chained stages.
+    pub fn exec(&self) -> u64 {
+        self.stage_exec.iter().sum()
+    }
+
+    /// Total ticks of one serial round (`t_in + exec + t_out`).
+    pub fn total(&self) -> u64 {
+        self.t_in + self.exec() + self.t_out
+    }
+}
+
+/// Compute the per-round tick costs of `design` under `cfg`'s host
+/// constants (`cfg.elements` is irrelevant here — a round always moves
+/// `m` elements).
+pub fn program_round(design: &MultiSystemDesign, cfg: &SimConfig) -> ProgramRound {
+    let m = design.config.m;
+    let host = &design.host;
+    let dma = DmaModel::from_platform(&design.platform);
+    let stage_exec: Vec<u64> = design
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(si, stage)| {
+            let k = design.config.ks[si];
+            let batch = design.config.batch(si) as u64;
+            let per_batch = secs(cfg.axi_start_s_per_kernel) * k as u64
+                + secs(stage.kernel.latency_seconds())
+                + secs(cfg.irq_s);
+            per_batch * batch
+        })
+        .collect();
+    ProgramRound {
+        t_in: secs(dma.transfer_bursts_s(host.bytes_in_per_element * m, m)),
+        stage_exec,
+        t_out: secs(dma.transfer_bursts_s(host.bytes_out_per_element * m, m)),
+    }
+}
+
 /// Run the simulation of a chained multi-kernel system.
 ///
 /// One main-loop round DMAs the *external* inputs for `m` elements in,
@@ -178,27 +233,16 @@ pub fn simulate_program(design: &MultiSystemDesign, cfg: &SimConfig) -> ProgramH
     }
     let m = design.config.m;
     let host = &design.host;
-    let dma = DmaModel::from_platform(&design.platform);
     let rounds = host.rounds(cfg.elements);
 
-    let mut stage_exec_ticks: Vec<u64> = vec![0; design.stages.len()];
-    let mut transfer_ticks: u64 = 0;
-    let mut round_ticks: u64 = 0;
-
-    if rounds > 0 {
-        let t_in = secs(dma.transfer_bursts_s(host.bytes_in_per_element * m, m));
-        let t_out = secs(dma.transfer_bursts_s(host.bytes_out_per_element * m, m));
-        for (si, stage) in design.stages.iter().enumerate() {
-            let k = design.config.ks[si];
-            let batch = design.config.batch(si) as u64;
-            let per_batch = secs(cfg.axi_start_s_per_kernel) * k as u64
-                + secs(stage.kernel.latency_seconds())
-                + secs(cfg.irq_s);
-            stage_exec_ticks[si] = per_batch * batch;
-        }
-        transfer_ticks = t_in + t_out;
-        round_ticks = t_in + stage_exec_ticks.iter().sum::<u64>() + t_out;
-    }
+    let (stage_exec_ticks, transfer_ticks, round_ticks) = if rounds > 0 {
+        let round = program_round(design, cfg);
+        let transfer = round.t_in + round.t_out;
+        let total = round.total();
+        (round.stage_exec, transfer, total)
+    } else {
+        (vec![0; design.stages.len()], 0, 0)
+    };
 
     let n = rounds as u64;
     let stage_exec_s: Vec<f64> = stage_exec_ticks.iter().map(|&t| to_secs(t * n)).collect();

@@ -1,0 +1,464 @@
+//! Multi-request batch-stream simulation: one compiled accelerator
+//! system serving a queue of independent simulation requests.
+//!
+//! [`crate::sim::simulate_program`] answers "how long does *one* job of
+//! `Ne` elements take"; a production service instead sees a stream of
+//! independent invocations of the same compiled system, each with its
+//! own input tensors. This module time-multiplexes the hardware across
+//! that stream: requests are coalesced into hardware rounds (up to
+//! `capacity` requests share the `m` PLM sets of one round), rounds
+//! execute back to back, and with `overlap` set the single DMA engine
+//! double-buffers — the input transfer of round `i+1` and the output
+//! drain of round `i-1` run while round `i` computes.
+//!
+//! Round costs come from [`crate::sim::program_round`], the same
+//! closed-form tick arithmetic `simulate_program` uses, so:
+//!
+//! * with `capacity = 1` and `overlap = false` (batching disabled) the
+//!   stream is **tick-identical** to running `simulate_program` once per
+//!   request back to back, and
+//! * as in the serial simulator, nothing inside a round needs an event
+//!   queue — each round is closed tick arithmetic, and once every
+//!   remaining request has arrived the tail of the schedule collapses
+//!   into a single multiplication (**closed-tick fast-forward**; see
+//!   [`StreamOutcome::fast_forwarded_rounds`]).
+
+use crate::des::Time;
+use crate::sim::{program_round, SimConfig};
+use sysgen::MultiSystemDesign;
+
+/// Timing outcome of serving a request stream on one system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Tick at which each request's round started loading (its admission
+    /// to the hardware), in arrival order.
+    pub admitted_ticks: Vec<Time>,
+    /// Tick at which each request's outputs finished draining, in
+    /// arrival order.
+    pub completion_ticks: Vec<Time>,
+    /// Requests coalesced into each hardware round, dispatch order.
+    pub round_fills: Vec<usize>,
+    /// Accumulated kernel-execution ticks across all rounds.
+    pub exec_ticks: u64,
+    /// Accumulated DMA ticks across all rounds.
+    pub transfer_ticks: u64,
+    /// Ticks during which the DMA engine and the accelerator chain were
+    /// busy simultaneously (transfers hidden behind compute; 0 for the
+    /// serial schedule).
+    pub overlapped_ticks: u64,
+    /// End of the last output drain.
+    pub makespan_ticks: Time,
+    /// Rounds resolved by the closed-tick fast-forward instead of the
+    /// per-round loop.
+    pub fast_forwarded_rounds: usize,
+    /// Whether the double-buffered scheduler ran (requested overlap AND
+    /// every stage had a spare PLM set) — `overlapped_ticks` can still
+    /// be 0 if rounds were too sparse to ever coincide.
+    pub double_buffered: bool,
+}
+
+impl StreamOutcome {
+    /// Number of hardware rounds dispatched.
+    pub fn rounds(&self) -> usize {
+        self.round_fills.len()
+    }
+
+    /// Fraction of DMA time hidden behind compute (0 when there were no
+    /// transfers).
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.transfer_ticks == 0 {
+            0.0
+        } else {
+            self.overlapped_ticks as f64 / self.transfer_ticks as f64
+        }
+    }
+}
+
+/// Serve `arrivals` (sorted request-arrival ticks) on `design`.
+///
+/// `capacity` is the batch policy's fill limit per hardware round,
+/// clamped to `[1, m]`; admission is greedy — a round takes every
+/// request that has arrived by its load time, up to `capacity`, and
+/// never idles while at least one request is queued. A round always
+/// moves all `m` PLM sets through the DMA and runs every stage's full
+/// `m/k_i` batch schedule (the host program is compiled for `m`; unused
+/// slots carry don't-care data), so round cost is independent of fill.
+///
+/// `overlap` requests double-buffered DMA; like
+/// [`crate::sim::simulate_program`] it degrades to the serial schedule
+/// unless every stage keeps a spare PLM set (`m >= 2·k_i`).
+pub fn simulate_batch_stream(
+    design: &MultiSystemDesign,
+    cfg: &SimConfig,
+    arrivals: &[Time],
+    capacity: usize,
+    overlap: bool,
+) -> StreamOutcome {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    let capacity = capacity.clamp(1, design.config.m);
+    let round = program_round(design, cfg);
+    let overlap = overlap && design.config.ks.iter().all(|&k| design.config.m >= 2 * k);
+    if overlap {
+        stream_overlapped(arrivals, capacity, &round)
+    } else {
+        stream_serial(arrivals, capacity, &round)
+    }
+}
+
+/// The serial schedule: rounds execute strictly one after another
+/// (`in → exec → out`), the hardware idling only when the queue is
+/// empty. Once the last request has arrived, the remaining rounds are
+/// identical and fast-forward by multiplication.
+fn stream_serial(
+    arrivals: &[Time],
+    capacity: usize,
+    round: &crate::sim::ProgramRound,
+) -> StreamOutcome {
+    let n = arrivals.len();
+    let rt = round.total();
+    let exec = round.exec();
+    let dma = round.t_in + round.t_out;
+    let mut admitted = vec![0u64; n];
+    let mut completion = vec![0u64; n];
+    let mut fills = Vec::new();
+    let mut exec_ticks = 0u64;
+    let mut transfer_ticks = 0u64;
+    let mut fast_forwarded = 0usize;
+    let mut now: Time = 0;
+    let mut i = 0usize;
+    while i < n {
+        if arrivals[i] > now {
+            now = arrivals[i];
+        }
+        if arrivals[n - 1] <= now {
+            // Closed-tick fast-forward: the whole backlog is queued, so
+            // the remaining rounds are identical — place them
+            // arithmetically instead of looping.
+            let remaining = n - i;
+            let rounds = remaining.div_ceil(capacity);
+            for b in 0..rounds {
+                let lo = i + b * capacity;
+                let hi = (lo + capacity).min(n);
+                fills.push(hi - lo);
+                for r in lo..hi {
+                    admitted[r] = now + b as u64 * rt;
+                    completion[r] = now + (b as u64 + 1) * rt;
+                }
+            }
+            exec_ticks += rounds as u64 * exec;
+            transfer_ticks += rounds as u64 * dma;
+            now += rounds as u64 * rt;
+            fast_forwarded += rounds;
+            break;
+        }
+        // Greedy admission: everything arrived by the round start, up to
+        // capacity (at least one — `arrivals[i] <= now` here).
+        let hi = (i + capacity).min(n);
+        let fill = arrivals[i..hi].iter().filter(|&&a| a <= now).count();
+        for r in i..i + fill {
+            admitted[r] = now;
+            completion[r] = now + rt;
+        }
+        fills.push(fill);
+        exec_ticks += exec;
+        transfer_ticks += dma;
+        now += rt;
+        i += fill;
+    }
+    StreamOutcome {
+        admitted_ticks: admitted,
+        completion_ticks: completion,
+        round_fills: fills,
+        exec_ticks,
+        transfer_ticks,
+        overlapped_ticks: 0,
+        makespan_ticks: now,
+        fast_forwarded_rounds: fast_forwarded,
+        double_buffered: false,
+    }
+}
+
+/// Double-buffered schedule: the DMA engine and the accelerator chain
+/// are two serially reused resources. Round `r+1`'s inputs load and
+/// round `r-1`'s outputs drain while round `r` computes; a request
+/// completes when its round's outputs have drained.
+fn stream_overlapped(
+    arrivals: &[Time],
+    capacity: usize,
+    round: &crate::sim::ProgramRound,
+) -> StreamOutcome {
+    let n = arrivals.len();
+    let exec = round.exec();
+    let mut admitted = vec![0u64; n];
+    let mut completion = vec![0u64; n];
+    let mut fills = Vec::new();
+    let mut exec_ticks = 0u64;
+    let mut transfer_ticks = 0u64;
+    // Busy intervals of the two resources, for the overlap accounting.
+    let mut dma_iv: Vec<(Time, Time)> = Vec::new();
+    let mut chain_iv: Vec<(Time, Time)> = Vec::new();
+    let mut dma_free: Time = 0;
+    let mut chain_free: Time = 0;
+    let mut makespan: Time = 0;
+    // (exec_done, first request, one past last request) of the round
+    // whose outputs still wait to drain.
+    let mut pending_out: Option<(Time, usize, usize)> = None;
+    let mut i = 0usize;
+    while i < n {
+        // Sparse queue: if the pending round's outputs can fully drain
+        // before the next request's input could even start loading,
+        // drain them now — the DMA must not idle on a finished round
+        // just because the queue is empty. (When both are ready the
+        // input keeps priority, as below: filling keeps the chain busy.)
+        if let Some((ready, plo, phi)) = pending_out {
+            let out_start = ready.max(dma_free);
+            if out_start + round.t_out <= arrivals[i] {
+                let out_done = out_start + round.t_out;
+                dma_free = out_done;
+                transfer_ticks += round.t_out;
+                dma_iv.push((out_start, out_done));
+                for c in &mut completion[plo..phi] {
+                    *c = out_done;
+                }
+                makespan = makespan.max(out_done);
+                pending_out = None;
+            }
+        }
+        let load_at = dma_free.max(arrivals[i]);
+        let hi = (i + capacity).min(n);
+        let fill = arrivals[i..hi].iter().filter(|&&a| a <= load_at).count();
+        let in_done = load_at + round.t_in;
+        dma_free = in_done;
+        transfer_ticks += round.t_in;
+        dma_iv.push((load_at, in_done));
+        for a in &mut admitted[i..i + fill] {
+            *a = load_at;
+        }
+        let exec_start = in_done.max(chain_free);
+        let exec_done = exec_start + exec;
+        chain_free = exec_done;
+        exec_ticks += exec;
+        chain_iv.push((exec_start, exec_done));
+        makespan = makespan.max(exec_done);
+        // Drain the previous round's outputs while this one executes.
+        if let Some((ready, lo, hi)) = pending_out.take() {
+            let out_start = ready.max(dma_free);
+            let out_done = out_start + round.t_out;
+            dma_free = out_done;
+            transfer_ticks += round.t_out;
+            dma_iv.push((out_start, out_done));
+            for c in &mut completion[lo..hi] {
+                *c = out_done;
+            }
+            makespan = makespan.max(out_done);
+        }
+        pending_out = Some((exec_done, i, i + fill));
+        fills.push(fill);
+        i += fill;
+    }
+    if let Some((ready, lo, hi)) = pending_out {
+        let out_start = ready.max(dma_free);
+        let out_done = out_start + round.t_out;
+        transfer_ticks += round.t_out;
+        dma_iv.push((out_start, out_done));
+        for c in &mut completion[lo..hi] {
+            *c = out_done;
+        }
+        makespan = makespan.max(out_done);
+    }
+    StreamOutcome {
+        admitted_ticks: admitted,
+        completion_ticks: completion,
+        round_fills: fills,
+        exec_ticks,
+        transfer_ticks,
+        overlapped_ticks: intervals_intersection(&dma_iv, &chain_iv),
+        makespan_ticks: makespan,
+        fast_forwarded_rounds: 0,
+        double_buffered: true,
+    }
+}
+
+/// Total intersection of two interval lists, each sorted by start and
+/// internally non-overlapping (each models one serially reused
+/// resource).
+fn intervals_intersection(a: &[(Time, Time)], b: &[(Time, Time)]) -> u64 {
+    let mut total = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo < hi {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::secs;
+    use crate::sim::simulate_program;
+    use sysgen::Platform;
+
+    fn design(ks: Vec<usize>, m: usize, latencies: &[u64]) -> MultiSystemDesign {
+        let platform = Platform::zcu106();
+        let stages: Vec<(String, hls::HlsReport)> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                (
+                    format!("stage{i}"),
+                    hls::HlsReport {
+                        kernel: format!("stage{i}"),
+                        clock_mhz: platform.default_clock_mhz,
+                        latency_cycles: l,
+                        luts: 2_314,
+                        ffs: 2_999,
+                        dsps: 15,
+                        brams: 0,
+                        loops: vec![],
+                    },
+                )
+            })
+            .collect();
+        let memory = mnemosyne::MemorySubsystem {
+            units: vec![],
+            brams: 16,
+            luts: 450,
+            ffs: 250,
+        };
+        let cfg = sysgen::ProgramSystemConfig { ks, m };
+        let host = sysgen::ProgramHostProgram {
+            config: cfg.clone(),
+            stage_names: stages.iter().map(|(n, _)| n.clone()).collect(),
+            bytes_in_per_element: (121 + 2 * 1331) * 8,
+            bytes_out_per_element: 1331 * 8,
+            handoff_bytes_per_element: 0,
+        };
+        MultiSystemDesign::build(&platform, &stages, &memory, cfg, host).unwrap()
+    }
+
+    #[test]
+    fn disabled_batching_is_tick_identical_to_sequential_runs() {
+        let d = design(vec![2, 2], 4, &[100_000, 300_000]);
+        let cfg = SimConfig::default();
+        let n = 9;
+        let out = simulate_batch_stream(&d, &cfg, &vec![0; n], 1, false);
+        let single = simulate_program(&d, &SimConfig { elements: 1, ..cfg });
+        let rt = secs(single.total_s);
+        assert_eq!(out.makespan_ticks, n as u64 * rt);
+        assert_eq!(out.exec_ticks, n as u64 * secs(single.exec_s));
+        assert_eq!(out.transfer_ticks, n as u64 * secs(single.transfer_s));
+        for (i, &c) in out.completion_ticks.iter().enumerate() {
+            assert_eq!(c, (i as u64 + 1) * rt);
+        }
+        assert_eq!(out.rounds(), n);
+        assert_eq!(out.fast_forwarded_rounds, n, "closed queue fast-forwards");
+    }
+
+    #[test]
+    fn batching_coalesces_and_multiplies_throughput() {
+        let d = design(vec![2], 8, &[200_000]);
+        let cfg = SimConfig::default();
+        let n = 64;
+        let seq = simulate_batch_stream(&d, &cfg, &vec![0; n], 1, false);
+        let batched = simulate_batch_stream(&d, &cfg, &vec![0; n], 8, false);
+        assert_eq!(batched.rounds(), 8);
+        assert_eq!(seq.rounds(), 64);
+        // Same round cost, 8 requests per round: exactly 8x the rate.
+        assert_eq!(batched.makespan_ticks * 8, seq.makespan_ticks);
+    }
+
+    #[test]
+    fn staggered_arrivals_wait_for_work() {
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let rt = program_round(&d, &cfg).total();
+        // Second request arrives long after the first round finished.
+        let late = 3 * rt;
+        let out = simulate_batch_stream(&d, &cfg, &[0, late], 4, false);
+        assert_eq!(out.round_fills, vec![1, 1]);
+        assert_eq!(out.completion_ticks[0], rt);
+        assert_eq!(out.admitted_ticks[1], late);
+        assert_eq!(out.completion_ticks[1], late + rt);
+    }
+
+    #[test]
+    fn overlap_hides_transfers_and_accounts_them() {
+        let d = design(vec![2, 2], 4, &[200_000, 200_000]);
+        let cfg = SimConfig::default();
+        let n = 32;
+        let serial = simulate_batch_stream(&d, &cfg, &vec![0; n], 4, false);
+        let olap = simulate_batch_stream(&d, &cfg, &vec![0; n], 4, true);
+        assert!(olap.makespan_ticks < serial.makespan_ticks);
+        assert_eq!(olap.exec_ticks, serial.exec_ticks);
+        assert_eq!(olap.transfer_ticks, serial.transfer_ticks);
+        assert!(olap.overlapped_ticks > 0);
+        assert!(olap.overlapped_ticks <= olap.transfer_ticks);
+        let f = olap.overlap_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        // Transfers are ~2% of the chain: nearly all of them hide.
+        assert!(f > 0.5, "overlap fraction {f}");
+    }
+
+    #[test]
+    fn sparse_arrivals_drain_outputs_without_waiting_for_the_next_request() {
+        // Regression: the double-buffered scheduler must not hold a
+        // finished round's output drain hostage to the *next* round's
+        // input load — with an empty queue the DMA drains immediately,
+        // so request 0's completion never depends on request 1's
+        // arrival.
+        let d = design(vec![2, 2], 4, &[200_000, 200_000]);
+        let cfg = SimConfig::default();
+        let rt = program_round(&d, &cfg).total();
+        let late = 50 * rt;
+        let olap = simulate_batch_stream(&d, &cfg, &[0, late], 4, true);
+        let serial = simulate_batch_stream(&d, &cfg, &[0, late], 4, false);
+        assert!(
+            olap.completion_ticks[0] < late,
+            "request 0 completed at {} — only after request 1 arrived at {late}",
+            olap.completion_ticks[0]
+        );
+        // An isolated round gains nothing from double buffering: its
+        // latency equals the serial round.
+        assert_eq!(olap.completion_ticks[0], serial.completion_ticks[0]);
+        assert_eq!(olap.completion_ticks[1], serial.completion_ticks[1]);
+    }
+
+    #[test]
+    fn overlap_degrades_without_spare_plm_sets() {
+        let d = design(vec![4], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let a = simulate_batch_stream(&d, &cfg, &[0; 8], 4, true);
+        let b = simulate_batch_stream(&d, &cfg, &[0; 8], 4, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capacity_clamps_to_plm_sets() {
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let a = simulate_batch_stream(&d, &cfg, &[0; 8], 64, false);
+        let b = simulate_batch_stream(&d, &cfg, &[0; 8], 4, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intersection_is_symmetric_and_exact() {
+        let a = [(0u64, 10u64), (20, 30)];
+        let b = [(5u64, 25u64)];
+        assert_eq!(intervals_intersection(&a, &b), 10);
+        assert_eq!(intervals_intersection(&b, &a), 10);
+        assert_eq!(intervals_intersection(&a, &[]), 0);
+    }
+}
