@@ -2,30 +2,36 @@
 //!
 //! Times the hot paths this repository optimizes — compiler stages,
 //! interpreter, full-system simulation, the DSE sweep, the multi-kernel
-//! program flow, the multi-board portfolio sweep, and the batched
-//! multi-request serving runtime — and writes `BENCH_pr5.json` (schema `cfdfpga-bench-v1`, documented in
+//! program flow, the compile cache, the multi-board portfolio sweep,
+//! and the batched multi-request serving runtime — and writes
+//! `BENCH_pr6.json` (schema `cfdfpga-bench-v1`, documented in
 //! README.md, "Reading `BENCH_*.json`"). The committed file carries
 //! both the numbers of the tree it was generated from and the frozen
-//! PR-4 medians (`baseline_pr4`, lifted from the committed
-//! `BENCH_pr4.json`), so the perf trajectory is tracked in-repo and
+//! PR-5 medians (`baseline_pr5`, lifted from the committed
+//! `BENCH_pr5.json`), so the perf trajectory is tracked in-repo and
 //! regressions are diffable. The `platforms` section records, per
 //! catalog platform, the paper kernel's largest feasible replication
 //! and its simulated time — the portfolio figures. The `runtime`
 //! section records the serving acceptance figures: batched vs
-//! sequential requests/sec on the zcu106 (the emitter asserts the
-//! >= 2x speedup), p99 latency and the DMA/compute overlap fraction.
+//! sequential requests/sec on the zcu106 (the emitter asserts the 2x or
+//! better speedup), p99 latency and the DMA/compute overlap fraction.
+//! The `compile_cache` section records the PR-6 acceptance figures:
+//! cold (parallel + optimized) and warm (content-hash hit) program
+//! compiles against the frozen PR-5 `program/compile_simstep` median —
+//! the emitter asserts >= 2x cold and >= 10x warm.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr5.json
+//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr6.json
 //! cargo run --release -p bench --bin bench_json -- --smoke # 3 samples, stdout only
 //! cargo run --release -p bench --bin bench_json -- --check # CI gate: committed
-//!                        # BENCH_pr5.json medians vs BENCH_pr4.json, >20% fails
+//!                        # BENCH_pr6.json medians vs BENCH_pr5.json, >20% fails
 //! ```
 
 use cfd_core::program::{ProgramFlow, ProgramOptions};
-use cfd_core::FlowOptions;
+use cfd_core::{CompileCache, FlowOptions};
 use pschedule::{Dependences, KernelModel, Liveness, SchedulerOptions};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 use teil::interp::{Interpreter, Tensor};
 use teil::layout::LayoutPlan;
@@ -33,14 +39,35 @@ use teil::layout::LayoutPlan;
 struct Args {
     samples: usize,
     out: Option<String>,
-    /// `--check`: compare committed BENCH_pr5.json against the frozen
-    /// BENCH_pr4.json baselines instead of measuring.
+    /// `--check`: compare committed BENCH_pr6.json against the frozen
+    /// BENCH_pr5.json baselines instead of measuring.
     check: bool,
+}
+
+/// Wall-clock benches (whole-sweep timings) repeat this many times and
+/// report the median — `samples: 1` point estimates were too noisy to
+/// gate on.
+const WALL_REPS: usize = 3;
+
+/// Median wall time over `reps` runs of `f`, with no warm-up run —
+/// these are whole-sweep timings where an extra run is expensive.
+/// Returns the median and the last run's result so the caller can keep
+/// reporting from a real sweep.
+fn median_wall<T>(reps: usize, mut f: impl FnMut() -> T) -> (u64, T) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        last = Some(std::hint::black_box(f()));
+        times.push(t.elapsed().as_nanos() as u64);
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], last.expect("reps >= 1"))
 }
 
 fn parse_args() -> Args {
     let mut samples = 9usize;
-    let mut out = Some("BENCH_pr5.json".to_string());
+    let mut out = Some("BENCH_pr6.json".to_string());
     let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -95,13 +122,20 @@ fn read_bench_medians(path: &str) -> Vec<(String, u64)> {
 }
 
 /// CI regression gate: every bench name present in both committed files
-/// must not have regressed by more than 20% from PR 4 to PR 5. Purely
+/// must not have regressed by more than 20% from PR 5 to PR 6. Purely
 /// file-vs-file (deterministic — no timing in CI).
+///
+/// Microsecond-scale benches drift well past 20% from binary layout and
+/// CPU state alone, so a regression must also exceed an absolute noise
+/// floor to fail the gate: relative checks on a 2 us median gate
+/// nothing but the weather.
+const CHECK_NOISE_FLOOR_NS: u64 = 100_000;
+
 fn run_check() -> ! {
-    let baseline = read_bench_medians("BENCH_pr4.json");
-    let current = read_bench_medians("BENCH_pr5.json");
-    assert!(!baseline.is_empty(), "no benches in BENCH_pr4.json");
-    assert!(!current.is_empty(), "no benches in BENCH_pr5.json");
+    let baseline = read_bench_medians("BENCH_pr5.json");
+    let current = read_bench_medians("BENCH_pr6.json");
+    assert!(!baseline.is_empty(), "no benches in BENCH_pr5.json");
+    assert!(!current.is_empty(), "no benches in BENCH_pr6.json");
     let mut compared = 0usize;
     let mut failures = Vec::new();
     let mut missing = Vec::new();
@@ -115,9 +149,11 @@ fn run_check() -> ! {
         };
         compared += 1;
         let ratio = *cur_ns as f64 / (*base_ns).max(1) as f64;
-        let verdict = if ratio > 1.20 {
+        let verdict = if ratio > 1.20 && cur_ns.saturating_sub(*base_ns) > CHECK_NOISE_FLOOR_NS {
             failures.push(name.clone());
             "REGRESSED"
+        } else if ratio > 1.20 {
+            "noise (below absolute floor)"
         } else {
             "ok"
         };
@@ -130,7 +166,7 @@ fn run_check() -> ! {
     }
     assert!(compared > 0, "no overlapping bench names to compare");
     if failures.is_empty() && missing.is_empty() {
-        println!("bench check: {compared} medians within 20% of BENCH_pr4.json");
+        println!("bench check: {compared} medians within 20% of BENCH_pr5.json");
         std::process::exit(0)
     }
     if !failures.is_empty() {
@@ -142,7 +178,7 @@ fn run_check() -> ! {
     }
     if !missing.is_empty() {
         eprintln!(
-            "bench check FAILED: {} baseline benches missing from BENCH_pr5.json: {}",
+            "bench check FAILED: {} baseline benches missing from BENCH_pr6.json: {}",
             missing.len(),
             missing.join(", ")
         );
@@ -301,12 +337,11 @@ fn main() {
         samples,
     );
 
-    // --- DSE sweep: wall clock + the engine's own per-point accounting.
+    // --- DSE sweep: wall clock (median over repetitions) + the
+    // engine's own per-point accounting from the last sweep.
     println!("dse sweep:");
-    let t = Instant::now();
-    let report = bench::dse_sweep(2_000, 4);
-    let sweep_ns = t.elapsed().as_nanos() as u64;
-    push("dse/sweep_32pt_wall", sweep_ns, 1);
+    let (sweep_ns, report) = median_wall(WALL_REPS, || bench::dse_sweep(2_000, 4));
+    push("dse/sweep_32pt_wall", sweep_ns, WALL_REPS);
 
     // --- Multi-kernel program flow: the whole simulation_step chain
     // (interpolation → inverse Helmholtz → projection) compiled into
@@ -314,11 +349,8 @@ fn main() {
     println!("multi-kernel program (simulation_step, p = 7):");
     let psrc = cfdlang::examples::simulation_step(7);
     let popts = ProgramOptions::default();
-    push(
-        "program/compile_simstep",
-        median_ns(samples, || ProgramFlow::compile(&psrc, &popts).unwrap()),
-        samples,
-    );
+    let cold_ns = median_ns(samples, || ProgramFlow::compile(&psrc, &popts).unwrap());
+    push("program/compile_simstep", cold_ns, samples);
     let part = ProgramFlow::compile(&psrc, &popts).unwrap();
     let psys = part.system.as_ref().expect("program fits");
     push(
@@ -335,6 +367,54 @@ fn main() {
         samples,
     );
     let program_brams = (part.memory.brams, part.per_kernel_plm_brams());
+
+    // --- Incremental compile cache: warm (in-memory content-hash hit)
+    // and disk-warm (fresh cache over a populated directory, modeling a
+    // new process) program compiles. The PR-6 acceptance gates compare
+    // against the frozen PR-5 `program/compile_simstep` median: the
+    // cold path must be >= 2x faster and the warm path >= 10x.
+    println!("compile cache (simulation_step, p = 7):");
+    let ccache = Arc::new(CompileCache::in_memory());
+    ProgramFlow::compile_cached(&psrc, &popts, Arc::clone(&ccache)).unwrap();
+    let warm_ns = median_ns(samples, || {
+        ProgramFlow::compile_cached(&psrc, &popts, Arc::clone(&ccache)).unwrap()
+    });
+    push("compile_cache/warm_simstep", warm_ns, samples);
+    let cache_dir =
+        std::env::temp_dir().join(format!("cfdfpga-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let writer = Arc::new(CompileCache::with_dir(&cache_dir).expect("usable cache dir"));
+    ProgramFlow::compile_cached(&psrc, &popts, writer).unwrap();
+    let disk_warm_ns = median_ns(samples, || {
+        let fresh = Arc::new(CompileCache::with_dir(&cache_dir).expect("usable cache dir"));
+        ProgramFlow::compile_cached(&psrc, &popts, fresh).unwrap()
+    });
+    push("compile_cache/disk_warm_simstep", disk_warm_ns, samples);
+    let cache_counters = ccache.counters();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let baseline_pr5 = read_bench_medians("BENCH_pr5.json");
+    let pr5_compile = baseline_pr5
+        .iter()
+        .find(|(name, _)| name == "program/compile_simstep")
+        .map(|(_, ns)| *ns);
+    let (mut cold_x, mut warm_x) = (0.0f64, 0.0f64);
+    if let Some(base) = pr5_compile {
+        cold_x = base as f64 / cold_ns as f64;
+        warm_x = base as f64 / warm_ns as f64;
+        println!(
+            "  vs PR-5 compile_simstep ({base} ns): cold {cold_x:.1}x, warm {warm_x:.1}x, \
+             disk-warm {:.1}x",
+            base as f64 / disk_warm_ns as f64
+        );
+        assert!(
+            cold_x >= 2.0,
+            "cold program compile must be >= 2x PR-5 (got {cold_x:.2}x)"
+        );
+        assert!(
+            warm_x >= 10.0,
+            "warm-cache program compile must be >= 10x PR-5 (got {warm_x:.2}x)"
+        );
+    }
 
     // --- Batched serving runtime: 64 queued requests on the zcu106
     // simstep system, batched (auto fill + double-buffered DMA) vs the
@@ -441,18 +521,15 @@ fn main() {
             }
         }
     }
-    let t = Instant::now();
-    let portfolio = bench::paper_engine().run_portfolio(
-        &sysgen::Platform::catalog(),
-        &cfd_core::dse::DseGrid::default(),
-        4,
-        2_000,
-    );
-    push(
-        "portfolio/sweep_catalog_wall",
-        t.elapsed().as_nanos() as u64,
-        1,
-    );
+    let (portfolio_ns, portfolio) = median_wall(WALL_REPS, || {
+        bench::paper_engine().run_portfolio(
+            &sysgen::Platform::catalog(),
+            &cfd_core::dse::DseGrid::default(),
+            4,
+            2_000,
+        )
+    });
+    push("portfolio/sweep_catalog_wall", portfolio_ns, WALL_REPS);
     assert!(
         portfolio.feasible_platforms().len() >= 3,
         "portfolio must span the catalog"
@@ -462,7 +539,7 @@ fn main() {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"cfdfpga-bench-v1\",\n");
-    s.push_str("  \"pr\": 5,\n");
+    s.push_str("  \"pr\": 6,\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str("  \"benches\": [\n");
     for (i, (name, ns, n)) in rows.iter().enumerate() {
@@ -489,6 +566,21 @@ fn main() {
     s.push_str(&format!(
         "  \"program\": {{\"kernels\": 3, \"plm_brams_shared\": {}, \"plm_brams_concat\": {}}},\n",
         program_brams.0, program_brams.1
+    ));
+    // Compile-cache acceptance figures: cold / warm / disk-warm program
+    // compile medians, speedups vs the frozen PR-5 cold compile
+    // (asserted above: >= 2x cold, >= 10x warm), and the in-memory
+    // cache's cumulative counters from the warm runs.
+    s.push_str(&format!(
+        "  \"compile_cache\": {{\"cold_ns\": {cold_ns}, \"warm_ns\": {warm_ns}, \
+         \"disk_warm_ns\": {disk_warm_ns}, \"cold_speedup_vs_pr5\": {cold_x:.3}, \
+         \"warm_speedup_vs_pr5\": {warm_x:.3}, \"hits\": {}, \"disk_hits\": {}, \
+         \"misses\": {}, \"stores\": {}, \"invalidations\": {}}},\n",
+        cache_counters.hits,
+        cache_counters.disk_hits,
+        cache_counters.misses,
+        cache_counters.stores,
+        cache_counters.invalidations,
     ));
     // Serving acceptance figures: batched vs sequential requests/sec on
     // the zcu106 (>= 2x asserted above), p99, overlap.
@@ -534,14 +626,13 @@ fn main() {
         portfolio.pareto_frontier().len(),
         portfolio.feasible_platforms().len(),
     ));
-    // Freeze the PR-4 medians from the committed file so the
+    // Freeze the PR-5 medians from the committed file so the
     // before/after comparison travels with this one.
-    let baseline_pr4 = read_bench_medians("BENCH_pr4.json");
-    s.push_str("  \"baseline_pr4\": {\n");
-    for (i, (name, ns)) in baseline_pr4.iter().enumerate() {
+    s.push_str("  \"baseline_pr5\": {\n");
+    for (i, (name, ns)) in baseline_pr5.iter().enumerate() {
         s.push_str(&format!(
             "    \"{name}\": {ns}{}\n",
-            if i + 1 == baseline_pr4.len() { "" } else { "," }
+            if i + 1 == baseline_pr5.len() { "" } else { "," }
         ));
     }
     s.push_str("  }\n}\n");

@@ -5,6 +5,8 @@
 //! cfdc compile  <file.cfd> [--board NAME] [--no-factorize] [--no-sharing]
 //!               [--no-decouple] [--no-cross-sharing] [--kernel NAME]
 //!               [--emit c|host|ir|dot|report|memory|all] [-o DIR]
+//!               [--jobs N] [--cache-dir PATH] [--no-cache] [--json]
+//! cfdc cache    stats|clear --cache-dir PATH
 //! cfdc simulate <file.cfd> [--board NAME] [--elements N] [--k K] [--m M] [--kernel NAME]
 //! cfdc verify   <file.cfd> [--elements N] [--seed S] [--kernel NAME]
 //! cfdc explore  <file.cfd> [--board NAME | --boards all|A,B,..] [--grid]
@@ -49,9 +51,10 @@
 
 use cfd_core::dse::{DseEngine, DseGrid, ProgramDseEngine};
 use cfd_core::program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
-use cfd_core::{Arrival, BatchPolicy, Flow, FlowOptions, RuntimeOptions};
+use cfd_core::{Arrival, BatchPolicy, CompileCache, Flow, FlowOptions, RuntimeOptions};
 use mnemosyne::MemoryOptions;
 use std::process::exit;
+use std::sync::Arc;
 use sysgen::{Platform, ProgramSystemConfig, SystemConfig};
 use zynq::SimConfig;
 
@@ -67,6 +70,7 @@ fn main() {
         "explore" => cmd_explore(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "boards" => cmd_boards(),
+        "cache" => cmd_cache(&args[1..]),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command '{other}'");
@@ -82,6 +86,8 @@ fn usage() -> ! {
          \tcfdc boards\n\
          \tcfdc compile  <kernel> [--board NAME] [--no-factorize] [--no-sharing] [--no-decouple]\n\
          \t              [--no-cross-sharing] [--kernel NAME] [--emit WHAT] [-o DIR]\n\
+         \t              [--jobs N] [--cache-dir PATH] [--no-cache] [--json]\n\
+         \tcfdc cache    stats|clear --cache-dir PATH\n\
          \tcfdc simulate <kernel> [--board NAME] [--elements N] [--k K] [--m M] [--kernel NAME]\n\
          \tcfdc verify   <kernel> [--elements N] [--seed S] [--kernel NAME]\n\
          \tcfdc explore  <kernel> [--board NAME | --boards all|A,B,..] [--grid] [--jobs N]\n\
@@ -97,7 +103,10 @@ fn usage() -> ! {
          `explore --boards all` sweeps the platform x clock x (k, m) portfolio and\n\
          reports the Pareto frontier (simulated time vs. resource fit) per board.\n\
          `serve` batches a queue of independent requests onto one compiled system\n\
-         and reports requests/sec, p50/p99 latency and DMA/compute overlap."
+         and reports requests/sec, p50/p99 latency and DMA/compute overlap.\n\
+         --cache-dir PATH persists the scheduling-stage products under a content\n\
+         hash: a re-compile of unchanged source reports cache hits and emits\n\
+         bit-identical output (`cfdc cache stats|clear` inspects the store)."
     );
     exit(2)
 }
@@ -130,6 +139,12 @@ enum CliError {
         path: String,
         error: String,
     },
+    /// The `--cache-dir` location cannot be created, probed for
+    /// writability, or enumerated.
+    CacheDir {
+        path: String,
+        error: String,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -154,6 +169,9 @@ impl std::fmt::Display for CliError {
                 kernels.join(", ")
             ),
             CliError::CannotRead { path, error } => write!(f, "cannot read '{path}': {error}"),
+            CliError::CacheDir { path, error } => {
+                write!(f, "cannot use cache directory '{path}': {error}")
+            }
         }
     }
 }
@@ -229,6 +247,10 @@ struct Parsed {
     grid: bool,
     jobs: usize,
     json: bool,
+    /// On-disk compile-cache directory (`--cache-dir`); compiles run
+    /// uncached when absent or when `--no-cache` is given.
+    cache_dir: Option<String>,
+    no_cache: bool,
     /// Portfolio platforms from `--boards` (explore only).
     boards: Option<Vec<Platform>>,
     /// Serving: request count, arrival process, batch policy, DMA
@@ -253,6 +275,21 @@ impl Parsed {
         };
         opts.flow.system = None;
         opts
+    }
+
+    /// Build the compile cache requested by `--cache-dir` (none when
+    /// absent or disabled with `--no-cache`). An unusable directory is
+    /// the structured [`CliError::CacheDir`] — reported once, up front.
+    fn cache(&self) -> Result<Option<Arc<CompileCache>>, CliError> {
+        match &self.cache_dir {
+            Some(dir) if !self.no_cache => CompileCache::with_dir(dir)
+                .map(|c| Some(Arc::new(c)))
+                .map_err(|e| CliError::CacheDir {
+                    path: dir.clone(),
+                    error: e.to_string(),
+                }),
+            _ => Ok(None),
+        }
     }
 
     fn runtime_options(&self) -> RuntimeOptions {
@@ -286,6 +323,8 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
     let mut grid = false;
     let mut jobs = 0usize;
     let mut json = false;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
     let mut board: Option<String> = None;
     let mut boards: Option<Vec<Platform>> = None;
     let mut requests = 64usize;
@@ -357,6 +396,8 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
                 )?
             }
             "--json" => json = true,
+            "--cache-dir" => cache_dir = Some(take_value(args, &mut i, "--cache-dir")?),
+            "--no-cache" => no_cache = true,
             "--requests" => {
                 let value = take_value(args, &mut i, "--requests")?;
                 requests = parse_value("--requests", value.clone(), "a positive integer")?;
@@ -402,6 +443,9 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
     if let (Some(k), Some(m)) = (k, m) {
         opts.system = Some(SystemConfig { k, m });
     }
+    // --jobs drives both the compile-stage fan-out and (as before) the
+    // exploration worker pool.
+    opts.jobs = jobs;
     // Parse once: program detection, and the --kernel NAME reduction
     // of a program source to one of its kernels. (Parse errors are
     // deferred to the command's own compile for a uniform message.)
@@ -436,6 +480,8 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
         grid,
         jobs,
         json,
+        cache_dir,
+        no_cache,
         boards,
         requests,
         arrival,
@@ -498,11 +544,61 @@ fn cmd_boards() {
     println!("  (default clock bracketed; default board: zcu106)");
 }
 
+/// Build the `--cache-dir` cache or exit with the structured error.
+fn cache_or_exit(p: &Parsed) -> Option<Arc<CompileCache>> {
+    p.cache().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(2)
+    })
+}
+
+/// One-line cache summary on stderr — stdout stays bit-identical
+/// between cold and warm runs, which the CI cache-smoke job checks.
+fn report_cache(t: &cfd_core::StageTimings, enabled: bool) {
+    if enabled {
+        let c = &t.cache;
+        eprintln!(
+            "compile cache: {} memory hits, {} disk hits, {} misses, {} stored, {} invalidated",
+            c.hits, c.disk_hits, c.misses, c.stores, c.invalidations
+        );
+    }
+}
+
+/// The `--json` compile summary: stage timings plus cache counters.
+fn timings_json(kernels: usize, t: &cfd_core::StageTimings) -> String {
+    format!(
+        "{{\n  \"kernels\": {},\n  \"timings_s\": {{\"frontend\": {:.6}, \"middle_end\": {:.6}, \
+         \"schedule\": {:.6}, \"link\": {:.6}, \"backend\": {:.6}, \"system\": {:.6}, \"total\": {:.6}}},\n  \
+         \"compile_cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"stores\": {}, \"invalidations\": {}}}\n}}",
+        kernels,
+        t.frontend_s,
+        t.middle_end_s,
+        t.schedule_s,
+        t.link_s,
+        t.backend_s,
+        t.system_s,
+        t.total_s(),
+        t.cache.hits,
+        t.cache.disk_hits,
+        t.cache.misses,
+        t.cache.stores,
+        t.cache.invalidations,
+    )
+}
+
 fn compile(p: &Parsed) -> cfd_core::Artifacts {
-    Flow::compile(&p.source, &p.opts).unwrap_or_else(|e| {
+    let cache = cache_or_exit(p);
+    let cached = cache.is_some();
+    let art = match cache {
+        Some(c) => Flow::compile_cached(&p.source, &p.opts, c),
+        None => Flow::compile(&p.source, &p.opts),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("compilation failed: {e}");
         exit(1)
-    })
+    });
+    report_cache(&art.timings, cached);
+    art
 }
 
 fn compile_program(p: &Parsed) -> ProgramArtifacts {
@@ -511,10 +607,74 @@ fn compile_program(p: &Parsed) -> ProgramArtifacts {
         // Uniform per-kernel replication from --k/--m.
         opts.system = Some(ProgramSystemConfig::uniform(k, m, p.kernel_count));
     }
-    ProgramFlow::compile(&p.source, &opts).unwrap_or_else(|e| {
+    let cache = cache_or_exit(p);
+    let cached = cache.is_some();
+    let art = match cache {
+        Some(c) => ProgramFlow::compile_cached(&p.source, &opts, c),
+        None => ProgramFlow::compile(&p.source, &opts),
+    }
+    .unwrap_or_else(|e| {
         eprintln!("compilation failed: {e}");
         exit(1)
-    })
+    });
+    report_cache(&art.timings, cached);
+    art
+}
+
+/// `cfdc cache stats|clear --cache-dir PATH`: inspect or empty the
+/// on-disk compile cache without running a compile.
+fn cmd_cache(args: &[String]) {
+    let err = |e: CliError| -> ! {
+        eprintln!("error: {e}");
+        exit(2)
+    };
+    let sub = match args.first().map(String::as_str) {
+        Some(s @ ("stats" | "clear")) => s,
+        Some(other) => err(CliError::InvalidValue {
+            flag: "cache".to_string(),
+            value: other.to_string(),
+            expected: "stats | clear",
+        }),
+        None => err(CliError::InvalidValue {
+            flag: "cache".to_string(),
+            value: String::new(),
+            expected: "stats | clear",
+        }),
+    };
+    let mut dir: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cache-dir" => {
+                dir = Some(take_value(args, &mut i, "--cache-dir").unwrap_or_else(|e| err(e)))
+            }
+            other => err(CliError::UnknownOption(other.to_string())),
+        }
+        i += 1;
+    }
+    let dir = dir.unwrap_or_else(|| {
+        err(CliError::MissingValue {
+            flag: "--cache-dir".to_string(),
+        })
+    });
+    let path = std::path::Path::new(&dir);
+    let cache_err = |e: std::io::Error| -> ! {
+        err(CliError::CacheDir {
+            path: dir.clone(),
+            error: e.to_string(),
+        })
+    };
+    match sub {
+        "stats" => {
+            let (entries, bytes) = CompileCache::disk_stats(path).unwrap_or_else(|e| cache_err(e));
+            println!("cache at {dir}: {entries} entries, {bytes} bytes");
+        }
+        "clear" => {
+            let removed = CompileCache::clear_disk(path).unwrap_or_else(|e| cache_err(e));
+            println!("cache at {dir}: removed {removed} entries");
+        }
+        _ => unreachable!(),
+    }
 }
 
 /// Per-kernel + aggregate resource tables of a compiled program.
@@ -648,6 +808,9 @@ fn cmd_compile(args: &[String]) {
             }
         }
     }
+    if p.json {
+        println!("{}", timings_json(1, &art.timings));
+    }
 }
 
 fn cmd_compile_program(p: &Parsed) {
@@ -716,6 +879,9 @@ fn cmd_compile_program(p: &Parsed) {
                 println!("=== {name} ===\n{content}");
             }
         }
+    }
+    if p.json {
+        println!("{}", timings_json(art.kernel_count(), &art.timings));
     }
 }
 
@@ -1048,7 +1214,14 @@ mod tests {
 
     #[test]
     fn missing_value_at_end_of_args_is_reported() {
-        for flag in ["--k", "--elements", "--boards", "--batch", "--emit"] {
+        for flag in [
+            "--k",
+            "--elements",
+            "--boards",
+            "--batch",
+            "--emit",
+            "--cache-dir",
+        ] {
             let e = parse_common(&args(&["axpy:2", flag])).unwrap_err();
             assert_eq!(
                 e,
@@ -1130,6 +1303,39 @@ mod tests {
     fn unreadable_paths_are_reported_not_panicked() {
         let e = parse_common(&args(&["/nonexistent/kernel.cfd"])).unwrap_err();
         assert!(matches!(&e, CliError::CannotRead { path, .. } if path.contains("nonexistent")));
+    }
+
+    #[test]
+    fn unusable_cache_dir_is_a_structured_error() {
+        // A path under a file can never become a directory.
+        let p = parse_common(&args(&["axpy:2", "--cache-dir", "/dev/null/sub"])).unwrap();
+        let e = p.cache().unwrap_err();
+        match &e {
+            CliError::CacheDir { path, .. } => assert_eq!(path, "/dev/null/sub"),
+            other => panic!("expected CacheDir, got {other:?}"),
+        }
+        assert!(e.to_string().contains("/dev/null/sub"));
+        // --no-cache disables the cache even when a directory is named.
+        let p = parse_common(&args(&[
+            "axpy:2",
+            "--cache-dir",
+            "/dev/null/sub",
+            "--no-cache",
+        ]))
+        .unwrap();
+        assert!(p.cache().unwrap().is_none());
+        // And no --cache-dir means no cache at all.
+        let p = parse_common(&args(&["axpy:2"])).unwrap();
+        assert!(p.cache().unwrap().is_none());
+    }
+
+    #[test]
+    fn jobs_flag_reaches_the_flow_options() {
+        let p = parse_common(&args(&["axpy:2", "--jobs", "3"])).unwrap();
+        assert_eq!(p.opts.jobs, 3);
+        assert_eq!(p.jobs, 3);
+        let p = parse_common(&args(&["axpy:2"])).unwrap();
+        assert_eq!(p.opts.jobs, 0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ use sysgen::{Platform, SystemConfig};
 use teil::TensorKind;
 use zynq::SimConfig;
 
+use crate::cache::{CacheCounters, CompileCache};
 use crate::pipeline::{Backend, Pipeline, Scheduled, StageCounts, StageTimings};
 use crate::{Artifacts, FlowError, FlowOptions};
 
@@ -223,6 +224,8 @@ pub struct DseReport {
     pub shared: StageTimings,
     /// Stage-invocation counters after the sweep.
     pub counts: StageCounts,
+    /// Compile-cache counters (all zero for an uncached engine).
+    pub cache: CacheCounters,
     /// Unique backend configurations compiled during the sweep.
     pub backend_compiles: usize,
     /// Points that reused a memoized backend instead of recompiling.
@@ -320,6 +323,14 @@ impl DseReport {
             self.backend_compiles, self.backend_reuses, self.backend_s
         ));
         s.push_str(&format!(
+            "  \"compile_cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"stores\": {}, \"invalidations\": {}}},\n",
+            self.cache.hits,
+            self.cache.disk_hits,
+            self.cache.misses,
+            self.cache.stores,
+            self.cache.invalidations
+        ));
+        s.push_str(&format!(
             "  \"eval_timing\": {{\"total_s\": {:.6}, \"mean_s\": {:.6}, \"max_s\": {:.6}}},\n",
             self.eval_total_s, self.eval_mean_s, self.eval_max_s
         ));
@@ -379,6 +390,26 @@ impl DseEngine {
     /// canonicalization options, board, HLS clock, element count.
     /// Multi-kernel sources are rejected — use [`ProgramDseEngine`].
     pub fn prepare(source: &str, base: &FlowOptions) -> Result<DseEngine, FlowError> {
+        DseEngine::prepare_on(Pipeline::new(), source, base)
+    }
+
+    /// Like [`DseEngine::prepare`], with the shared stages memoized
+    /// through a [`CompileCache`] — a warm cache skips the scheduling
+    /// stage entirely, so repeated explorations of unchanged source pay
+    /// only frontend + middle end.
+    pub fn prepare_cached(
+        source: &str,
+        base: &FlowOptions,
+        cache: std::sync::Arc<CompileCache>,
+    ) -> Result<DseEngine, FlowError> {
+        DseEngine::prepare_on(Pipeline::with_cache(cache), source, base)
+    }
+
+    fn prepare_on(
+        pipeline: Pipeline,
+        source: &str,
+        base: &FlowOptions,
+    ) -> Result<DseEngine, FlowError> {
         let set = cfdlang::parse_set(source)?;
         if set.is_multi() {
             return Err(FlowError::Backend(
@@ -390,7 +421,6 @@ impl DseEngine {
             .first()
             .map(|k| k.name.clone())
             .unwrap_or_else(|| "main".to_string());
-        let pipeline = Pipeline::new();
         let fe = pipeline.frontend(source)?;
         let me = pipeline.middle_end(&fe, base)?;
         let sc = pipeline.schedule(&me, base);
@@ -665,6 +695,7 @@ impl DseEngine {
             wall_s: t.elapsed().as_secs_f64(),
             shared: self.shared_timings(),
             counts: self.pipeline.counters(),
+            cache: self.pipeline.cache_counters(),
             backend_compiles: keys.len(),
             backend_reuses: points.len() - keys.len(),
             backend_s,
@@ -721,7 +752,24 @@ impl ProgramDseEngine {
         source: &str,
         base: &crate::program::ProgramOptions,
     ) -> Result<ProgramDseEngine, FlowError> {
-        let pipeline = Pipeline::new();
+        ProgramDseEngine::prepare_on(Pipeline::new(), source, base)
+    }
+
+    /// Like [`ProgramDseEngine::prepare`], with every kernel's shared
+    /// stages memoized through a [`CompileCache`].
+    pub fn prepare_cached(
+        source: &str,
+        base: &crate::program::ProgramOptions,
+        cache: std::sync::Arc<CompileCache>,
+    ) -> Result<ProgramDseEngine, FlowError> {
+        ProgramDseEngine::prepare_on(Pipeline::with_cache(cache), source, base)
+    }
+
+    fn prepare_on(
+        pipeline: Pipeline,
+        source: &str,
+        base: &crate::program::ProgramOptions,
+    ) -> Result<ProgramDseEngine, FlowError> {
         let fronts = pipeline.program_frontend(source)?;
         let names: Vec<String> = fronts.iter().map(|(n, _)| n.clone()).collect();
         let kopts = FlowOptions {
@@ -1005,6 +1053,7 @@ impl ProgramDseEngine {
             wall_s: t.elapsed().as_secs_f64(),
             shared: self.shared,
             counts: self.pipeline.counters(),
+            cache: self.pipeline.cache_counters(),
             backend_compiles: keys.len() * nk,
             backend_reuses: (points.len() - keys.len()) * nk,
             backend_s,
@@ -1078,6 +1127,8 @@ pub struct PortfolioReport {
     pub backend_compiles: usize,
     /// Evaluations that reused a memoized backend.
     pub backend_reuses: usize,
+    /// Compile-cache counters (all zero for an uncached engine).
+    pub cache: CacheCounters,
 }
 
 /// Pareto flags over (minimize time, minimize utilization) for the
@@ -1127,6 +1178,7 @@ impl PortfolioReport {
     /// `backend_uses` is the total number of memoized-backend lookups
     /// across all evaluations (one per kernel per combo), so
     /// `reuses = uses - compiles` holds for programs too.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         platforms: &[Platform],
         mut outcomes: Vec<PortfolioOutcome>,
@@ -1135,6 +1187,7 @@ impl PortfolioReport {
         wall_s: f64,
         backend_compiles: usize,
         backend_uses: usize,
+        cache: CacheCounters,
     ) -> PortfolioReport {
         // Per-platform Pareto frontiers: the latency view over
         // (total_s, utilization) and the service view over
@@ -1208,6 +1261,7 @@ impl PortfolioReport {
             wall_s,
             backend_compiles,
             backend_reuses: backend_uses.saturating_sub(backend_compiles),
+            cache,
             summaries,
             outcomes,
         }
@@ -1308,6 +1362,14 @@ impl PortfolioReport {
         s.push_str(&format!(
             "  \"backend_cache\": {{\"compiles\": {}, \"reuses\": {}}},\n",
             self.backend_compiles, self.backend_reuses
+        ));
+        s.push_str(&format!(
+            "  \"compile_cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"stores\": {}, \"invalidations\": {}}},\n",
+            self.cache.hits,
+            self.cache.disk_hits,
+            self.cache.misses,
+            self.cache.stores,
+            self.cache.invalidations
         ));
         s.push_str("  \"platforms\": [\n");
         for (i, p) in self.summaries.iter().enumerate() {
@@ -1593,6 +1655,7 @@ impl DseEngine {
             t.elapsed().as_secs_f64(),
             keys.len(),
             uses,
+            self.pipeline.cache_counters(),
         )
     }
 }
@@ -1711,6 +1774,7 @@ impl ProgramDseEngine {
             t.elapsed().as_secs_f64(),
             keys.len() * nk,
             uses,
+            self.pipeline.cache_counters(),
         )
     }
 }

@@ -53,6 +53,7 @@
 //! assert!(best.feasible && best.throughput_eps > 0.0);
 //! ```
 
+pub mod cache;
 pub mod dse;
 pub mod pipeline;
 pub mod program;
@@ -68,6 +69,7 @@ use sysgen::{Platform, SystemConfig, SystemDesign};
 use teil::Module;
 use zynq::{ArmCostModel, SimConfig};
 
+pub use cache::{CacheCounters, CompileCache};
 pub use pipeline::{Pipeline, StageCounts, StageTimings};
 pub use program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 // The serving layer: request-level batching runtime over a compiled
@@ -138,6 +140,11 @@ pub struct FlowOptions {
     pub system: Option<SystemConfig>,
     /// CFD problem size for host-program generation.
     pub elements: usize,
+    /// Compilation worker threads for the parallelizable passes
+    /// (per-kernel program stages, per-array liveness): `0` = one per
+    /// available core, `1` = fully serial. Artifacts are bit-identical
+    /// for every value — the knob trades wall clock only.
+    pub jobs: usize,
 }
 
 impl Default for FlowOptions {
@@ -152,6 +159,7 @@ impl Default for FlowOptions {
             platform: Platform::zcu106(),
             system: None,
             elements: 50_000,
+            jobs: 0,
         }
     }
 }
@@ -164,6 +172,23 @@ impl FlowOptions {
         opts.hls.clock_mhz = platform.default_clock_mhz;
         opts.platform = platform;
         opts
+    }
+
+    /// Resolve the `jobs` knob to a concrete worker count: `0` asks the
+    /// OS for the available parallelism, anything else is taken as-is.
+    pub fn resolved_jobs(&self) -> usize {
+        resolve_jobs(self.jobs)
+    }
+}
+
+/// `0` → available parallelism, otherwise the value itself (min 1).
+pub(crate) fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        jobs
     }
 }
 
@@ -201,6 +226,18 @@ impl Flow {
     /// [`Pipeline`].
     pub fn compile(source: &str, opts: &FlowOptions) -> Result<Artifacts, FlowError> {
         Pipeline::new().run(source, opts)
+    }
+
+    /// Compile against a shared [`CompileCache`]: the scheduling stage
+    /// is served from the cache on a content-hash hit and stored on a
+    /// miss. Artifacts are bit-identical to an uncached compile; the
+    /// resulting [`Artifacts::timings`] carry the cache counters.
+    pub fn compile_cached(
+        source: &str,
+        opts: &FlowOptions,
+        cache: std::sync::Arc<CompileCache>,
+    ) -> Result<Artifacts, FlowError> {
+        Pipeline::with_cache(cache).run(source, opts)
     }
 }
 

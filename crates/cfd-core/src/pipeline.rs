@@ -58,6 +58,7 @@ use sysgen::{HostProgram, SystemDesign};
 use teil::layout::LayoutPlan;
 use teil::Module;
 
+use crate::cache::{schedule_key, CacheCounters, CachedSchedule, CompileCache};
 use crate::{Artifacts, FlowError, FlowOptions};
 
 /// How many times each stage of a [`Pipeline`] ran.
@@ -105,6 +106,9 @@ pub struct StageTimings {
     pub link_s: f64,
     pub backend_s: f64,
     pub system_s: f64,
+    /// Compile-cache counters for this compilation (all zero when the
+    /// pipeline ran uncached).
+    pub cache: CacheCounters,
 }
 
 impl StageTimings {
@@ -185,11 +189,36 @@ pub struct SystemStage {
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {
     counters: Arc<StageCounters>,
+    cache: Option<Arc<CompileCache>>,
 }
 
 impl Pipeline {
     pub fn new() -> Self {
         Pipeline::default()
+    }
+
+    /// A pipeline whose scheduling stage is memoized through `cache`
+    /// (see [`crate::cache`]). Cached and uncached compiles produce
+    /// bit-identical artifacts; only the stage counters and wall clock
+    /// differ.
+    pub fn with_cache(cache: Arc<CompileCache>) -> Self {
+        Pipeline {
+            counters: Arc::default(),
+            cache: Some(cache),
+        }
+    }
+
+    /// The attached compile cache, if any.
+    pub fn cache(&self) -> Option<&Arc<CompileCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the attached cache (all zero when uncached).
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache
+            .as_ref()
+            .map(|c| c.counters())
+            .unwrap_or_default()
     }
 
     /// Snapshot of how many times each stage has run on this pipeline.
@@ -265,19 +294,51 @@ impl Pipeline {
         })
     }
 
-    /// Reschedule and run the liveness / compatibility analyses.
+    /// Reschedule and run the liveness / compatibility analyses. The
+    /// per-array liveness expansions fan out over `opts.jobs` workers;
+    /// the result is bit-identical for every worker count.
+    ///
+    /// On a pipeline built with [`Pipeline::with_cache`] the stage is
+    /// memoized under the content hash of the canonicalized module and
+    /// the reachable options ([`schedule_key`]): a hit returns the
+    /// cached products without running — or counting — the stage.
     pub fn schedule(&self, me: &MiddleEnd, opts: &FlowOptions) -> Scheduled {
-        self.counters.schedule.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
+        let key = self.cache.as_ref().map(|_| schedule_key(&me.module, opts));
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            if let Some(hit) = cache.lookup(key) {
+                return Scheduled {
+                    middle: me.clone(),
+                    schedule: Arc::clone(&hit.schedule),
+                    liveness: Arc::clone(&hit.liveness),
+                    compat: Arc::clone(&hit.compat),
+                    elapsed_s: t.elapsed().as_secs_f64(),
+                };
+            }
+        }
+        self.counters.schedule.fetch_add(1, Ordering::Relaxed);
         let schedule =
             pschedule::reschedule(&me.module, &me.model, &me.dependences, &opts.scheduler);
-        let liveness = Liveness::analyze(&me.module, &me.model, &schedule);
+        let liveness = Liveness::analyze_jobs(&me.module, &me.model, &schedule, opts.jobs);
         let compat = CompatibilityGraph::build(&me.model, &liveness);
+        let schedule = Arc::new(schedule);
+        let liveness = Arc::new(liveness);
+        let compat = Arc::new(compat);
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.store(
+                key,
+                Arc::new(CachedSchedule {
+                    schedule: Arc::clone(&schedule),
+                    liveness: Arc::clone(&liveness),
+                    compat: Arc::clone(&compat),
+                }),
+            );
+        }
         Scheduled {
             middle: me.clone(),
-            schedule: Arc::new(schedule),
-            liveness: Arc::new(liveness),
-            compat: Arc::new(compat),
+            schedule,
+            liveness,
+            compat,
             elapsed_s: t.elapsed().as_secs_f64(),
         }
     }
@@ -395,7 +456,9 @@ impl Pipeline {
         let sc = self.schedule(&me, opts);
         let be = self.backend(&sc, opts);
         let sys = self.system(&be, opts)?;
-        Ok(Artifacts::assemble(&fe, &sc, be, sys, opts))
+        let mut art = Artifacts::assemble(&fe, &sc, be, sys, opts);
+        art.timings.cache = self.cache_counters();
+        Ok(art)
     }
 }
 
@@ -419,6 +482,7 @@ impl Artifacts {
             link_s: 0.0,
             backend_s: be.elapsed_s,
             system_s: sys.elapsed_s,
+            cache: CacheCounters::default(),
         };
         Artifacts {
             typed: (*me.typed).clone(),

@@ -293,6 +293,18 @@ impl ProgramFlow {
     pub fn compile(source: &str, opts: &ProgramOptions) -> Result<ProgramArtifacts, FlowError> {
         Pipeline::new().run_program(source, opts)
     }
+
+    /// Compile against a shared [`crate::CompileCache`]: every kernel's
+    /// scheduling stage is memoized under its content hash. Artifacts
+    /// are bit-identical to an uncached compile; the program
+    /// [`StageTimings`](crate::StageTimings) carry the cache counters.
+    pub fn compile_cached(
+        source: &str,
+        opts: &ProgramOptions,
+        cache: Arc<crate::CompileCache>,
+    ) -> Result<ProgramArtifacts, FlowError> {
+        Pipeline::with_cache(cache).run_program(source, opts)
+    }
 }
 
 impl Pipeline {
@@ -335,13 +347,82 @@ impl Pipeline {
             system: None,
             ..opts.flow.clone()
         };
-        let mut scheds: Vec<Scheduled> = Vec::with_capacity(fronts.len());
-        for (_, fe) in &fronts {
-            let me = self.middle_end(fe, &kopts)?;
-            scheds.push(self.schedule(&me, &kopts));
-        }
+        // The per-kernel middle end + schedule stages are independent:
+        // fan them over `jobs` workers (kernel `i` goes to worker
+        // `i % jobs`), then reassemble in kernel order, so the artifact
+        // stream is bit-identical to the serial compile. When several
+        // kernels fan out at once the intra-kernel liveness stays serial
+        // — one level of parallelism is enough to cover the cores.
+        let jobs = crate::resolve_jobs(opts.flow.jobs).min(fronts.len().max(1));
+        let scheds: Vec<Scheduled> = if jobs <= 1 {
+            let mut scheds = Vec::with_capacity(fronts.len());
+            for (_, fe) in &fronts {
+                let me = self.middle_end(fe, &kopts)?;
+                scheds.push(self.schedule(&me, &kopts));
+            }
+            scheds
+        } else {
+            let inner = FlowOptions {
+                jobs: 1,
+                ..kopts.clone()
+            };
+            let mut indexed: Vec<(usize, Result<Scheduled, FlowError>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..jobs)
+                        .map(|w| {
+                            let fronts = &fronts;
+                            let inner = &inner;
+                            scope.spawn(move || {
+                                (w..fronts.len())
+                                    .step_by(jobs)
+                                    .map(|i| {
+                                        let r = self
+                                            .middle_end(&fronts[i].1, inner)
+                                            .map(|me| self.schedule(&me, inner));
+                                        (i, r)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("program compile worker panicked"))
+                        .collect()
+                });
+            indexed.sort_by_key(|(i, _)| *i);
+            // Deterministic error selection: the first failing kernel in
+            // program order wins, exactly as in the serial loop.
+            indexed
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect::<Result<Vec<Scheduled>, FlowError>>()?
+        };
         let link = self.link(&names, &scheds)?;
-        let backends: Vec<Backend> = scheds.iter().map(|sc| self.backend(sc, &kopts)).collect();
+        let backends: Vec<Backend> = if jobs <= 1 {
+            scheds.iter().map(|sc| self.backend(sc, &kopts)).collect()
+        } else {
+            let mut indexed: Vec<(usize, Backend)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| {
+                        let scheds = &scheds;
+                        let kopts = &kopts;
+                        scope.spawn(move || {
+                            (w..scheds.len())
+                                .step_by(jobs)
+                                .map(|i| (i, self.backend(&scheds[i], kopts)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("backend worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, be)| be).collect()
+        };
         self.finish_program(opts, fronts, scheds, link, backends)
     }
 
@@ -429,6 +510,7 @@ impl Pipeline {
             link_s: link.elapsed_s,
             backend_s: backends.iter().map(|b| b.elapsed_s).sum(),
             system_s,
+            cache: self.cache_counters(),
         };
         let kernels: Vec<Artifacts> = fronts
             .iter()

@@ -72,12 +72,58 @@ pub fn lex_le_map(n: usize) -> Map {
 pub fn between_set(iv: &Map, n: usize) -> Set {
     assert_eq!(iv.in_space.dim(), n);
     assert_eq!(iv.out_space.dim(), n);
-    let le = lex_le_map(n);
     let space = Space::anon(n);
     let mut out = Set::empty(space.clone());
+    let sandwiches = sandwich_systems(n);
 
-    // Precompute the lifted lex systems once (the seed rebuilt both
-    // inside the per-part double loop — (n+1)² remaps per interval part).
+    // Reused propagation buffers (seeded per sandwich below).
+    let mut lo: Vec<Option<i64>> = Vec::new();
+    let mut hi: Vec<Option<i64>> = Vec::new();
+    for part in &iv.parts {
+        // Variables: (w, r) in `part`; extend to (w, r, x).
+        let base = part.system.insert_vars(2 * n, n);
+        // Bounds of the part alone, derived once and reused as the
+        // propagation seed for all (dim+1)² sandwich combinations below.
+        let Some((base_lo, base_hi)) = base.propagate_bounds() else {
+            continue;
+        };
+        for sandwich in sandwiches.iter() {
+            // Seeded interval propagation prunes most incompatible split
+            // combinations (sound: never flags a feasible join) by
+            // propagating only the sandwich rows against the memoized
+            // base bounds — cheap enough to discard the bulk of the
+            // combinations before the joined system is even allocated.
+            lo.clear();
+            lo.extend_from_slice(&base_lo);
+            hi.clear();
+            hi.extend_from_slice(&base_hi);
+            if sandwich.propagate_seeded(&mut lo, &mut hi, 3) {
+                continue;
+            }
+            // Eliminate w and r (first 2n vars), keep x. The elimination
+            // flags whatever infeasible joins slipped past propagation.
+            let live = base.concat_rows(sandwich).eliminate_range_owned(0, 2 * n);
+            if !live.known_infeasible() {
+                out = out.union_basic(BasicSet::from_system(space.clone(), live));
+            }
+        }
+    }
+    out.coalesce()
+}
+
+/// The `(dim+1)²` lifted lex "sandwich" systems `w <=lex x ∧ x <=lex r`
+/// over variables `(w, r, x)` — one per pair of lex splits. They depend
+/// only on the dimension, and [`between_set`] runs once per array per
+/// kernel, so they are memoized process-wide.
+fn sandwich_systems(n: usize) -> std::sync::Arc<Vec<System>> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Vec<System>>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().unwrap().get(&n) {
+        return hit.clone();
+    }
+    let le = lex_le_map(n);
     // Over variables (w, r, x):
     //   wx[j1]: w <=lex x at split j1 — le is over (in, out) = (w, x);
     //           insert r in the middle.
@@ -108,30 +154,17 @@ pub fn between_set(iv: &Map, n: usize) -> Set {
         })
         .collect();
     // Both lex conjuncts combined, shared across every interval part.
-    let sandwiches: Vec<System> = wx
-        .iter()
-        .flat_map(|a| xr.iter().map(move |b| a.intersect(b)))
-        .collect();
-
-    for part in &iv.parts {
-        // Variables: (w, r) in `part`; extend to (w, r, x).
-        let base = part.system.insert_vars(2 * n, n);
-        for sandwich in &sandwiches {
-            let joined = base.intersect(sandwich);
-            // Interval propagation prunes most incompatible split
-            // combinations without running the full elimination (sound:
-            // never flags a feasible join).
-            if joined.known_infeasible() || joined.quick_infeasible() {
-                continue;
-            }
-            // Eliminate w and r (first 2n vars), keep x.
-            let live = joined.eliminate_range(0, 2 * n);
-            if !live.known_infeasible() {
-                out = out.union_basic(BasicSet::from_system(space.clone(), live));
-            }
-        }
-    }
-    out.coalesce()
+    let built = Arc::new(
+        wx.iter()
+            .flat_map(|a| xr.iter().map(move |b| a.intersect(b)))
+            .collect::<Vec<System>>(),
+    );
+    cache
+        .lock()
+        .unwrap()
+        .entry(n)
+        .or_insert_with(|| built.clone())
+        .clone()
 }
 
 #[cfg(test)]

@@ -154,6 +154,26 @@ impl LinExpr {
         }
     }
 
+    /// Remove a set of variables at once (sorted ascending indices; every
+    /// removed coefficient must be zero). One allocation regardless of
+    /// how many variables go.
+    pub fn remove_vars(&self, sorted_dead: &[usize]) -> LinExpr {
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() - sorted_dead.len());
+        let mut d = 0;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if d < sorted_dead.len() && sorted_dead[d] == i {
+                debug_assert_eq!(c, 0, "removing live variable");
+                d += 1;
+            } else {
+                coeffs.push(c);
+            }
+        }
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
+    }
+
     /// Substitute variable `i` by the affine expression `repl` (which must
     /// range over the same variable vector and have zero coefficient on
     /// `i`). Afterwards `self` has zero coefficient on `i`.

@@ -30,6 +30,10 @@ pub struct BasicSet {
     /// Cached projection sweep (suffix chain + bounding box); computed by
     /// one shared elimination sweep on first use.
     bbox: OnceLock<ProjectionCache>,
+    /// Cached interval-propagation box: a sound over-approximation of
+    /// the exact bounding box, much cheaper to compute (no elimination).
+    /// Used by [`Set::disjoint`] to discard part pairs.
+    qbox: OnceLock<Vec<Option<(i64, i64)>>>,
 }
 
 /// The memoized result of one suffix-elimination sweep over a system.
@@ -49,10 +53,15 @@ impl Clone for BasicSet {
         if let Some(b) = self.bbox.get() {
             let _ = bbox.set(b.clone());
         }
+        let qbox = OnceLock::new();
+        if let Some(q) = self.qbox.get() {
+            let _ = qbox.set(q.clone());
+        }
         BasicSet {
             space: self.space.clone(),
             system: self.system.clone(),
             bbox,
+            qbox,
         }
     }
 }
@@ -71,6 +80,7 @@ impl BasicSet {
             space,
             system,
             bbox: OnceLock::new(),
+            qbox: OnceLock::new(),
         }
     }
 
@@ -210,6 +220,26 @@ impl BasicSet {
         self.bbox.get_or_init(|| compute_projection(&self.system))
     }
 
+    /// A sound over-approximate bounding box from interval propagation —
+    /// no elimination, so far cheaper than [`BasicSet::bounding_box`],
+    /// at the price of possibly looser (or absent) bounds on dimensions
+    /// coupled through multi-variable constraints. Memoized; used to
+    /// discard part pairs in [`Set::disjoint`].
+    pub(crate) fn quick_box(&self) -> &[Option<(i64, i64)>] {
+        self.qbox
+            .get_or_init(|| match self.system.propagate_bounds() {
+                None => vec![Some((1, 0)); self.dim()],
+                Some((lo, hi)) => lo
+                    .into_iter()
+                    .zip(hi)
+                    .map(|(l, h)| match (l, h) {
+                        (Some(l), Some(h)) => Some((l, h)),
+                        _ => None,
+                    })
+                    .collect(),
+            })
+    }
+
     /// Rename the space (dimensionality must match).
     pub fn with_space(&self, space: Space) -> BasicSet {
         assert_eq!(space.dim(), self.dim());
@@ -263,6 +293,17 @@ fn compute_projection(sys: &System) -> ProjectionCache {
         bbox = vec![Some((1, 0)); n];
     }
     ProjectionCache { levels, bbox }
+}
+
+/// Whether two bounding boxes certainly share no point: some dimension
+/// has both ranges known and non-overlapping. (`None` ranges are
+/// unbounded and never separate; the canonical empty box `(1, 0)` is
+/// disjoint from everything.)
+fn boxes_disjoint(a: &[Option<(i64, i64)>], b: &[Option<(i64, i64)>]) -> bool {
+    a.iter().zip(b).any(|(ra, rb)| match (ra, rb) {
+        (Some((alo, ahi)), Some((blo, bhi))) => alo.max(blo) > ahi.min(bhi),
+        _ => false,
+    })
 }
 
 /// Extract `[lo, hi]` of the single remaining variable of a projected
@@ -396,8 +437,26 @@ impl Set {
     }
 
     /// Whether two sets share no integer point.
+    ///
+    /// Equivalent to `self.intersect(other).is_empty()` but never builds
+    /// the intersection union: part pairs whose memoized propagation
+    /// boxes miss each other are skipped outright (the boxes are shared
+    /// across every `disjoint` call on the same set — the compatibility
+    /// graph asks O(arrays) questions of each live set), and the first
+    /// non-empty pairwise intersection short-circuits the answer.
     pub fn disjoint(&self, other: &Set) -> bool {
-        self.intersect(other).is_empty()
+        for a in &self.parts {
+            for b in &other.parts {
+                if boxes_disjoint(a.quick_box(), b.quick_box()) {
+                    continue;
+                }
+                let sys = a.system.intersect(&b.system);
+                if !sys.is_empty() {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Membership test.

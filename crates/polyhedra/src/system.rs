@@ -18,6 +18,10 @@ pub struct System {
     infeasible: bool,
 }
 
+/// Per-variable `[lo, hi]` interval bounds (`None` = unbounded on that
+/// side), as derived by [`System::propagate_bounds`].
+pub(crate) type VarBounds = (Vec<Option<i64>>, Vec<Option<i64>>);
+
 impl System {
     /// The unconstrained (universe) system over `n` variables.
     pub fn universe(n: usize) -> Self {
@@ -219,9 +223,93 @@ impl System {
     /// integer-exact: `k`, `j`, `i` are substituted through the unit
     /// coefficients instead of being paired through the large strides.
     pub fn eliminate_range(&self, from: usize, count: usize) -> System {
-        let mut sys = self.clone();
-        // Remaining variable indices (they shift as eliminations proceed).
+        self.clone().eliminate_range_owned(from, count)
+    }
+
+    /// [`System::eliminate_range`] consuming the system — hot callers
+    /// that build the input on the spot skip one full row-set clone.
+    pub(crate) fn eliminate_range_owned(self, from: usize, count: usize) -> System {
+        if count == 0 {
+            return self;
+        }
+        if self.infeasible {
+            return System::infeasible(self.n_vars - count);
+        }
+        // Phase 1: batched exact substitutions, in place at full width.
+        // Every variable of the range that is (or becomes, as earlier
+        // substitutions rewrite rows) the subject of a unit-coefficient
+        // equality is substituted directly into the working rows —
+        // without rebuilding a fresh system per variable, which is where
+        // the old per-variable loop spent most of its time. Eliminated
+        // columns stay as all-zero placeholders until one final
+        // compaction. `None` marks a consumed/trivial row.
+        let n_vars = self.n_vars;
+        let mut rows: Vec<Option<Constraint>> = self.constraints.into_iter().map(Some).collect();
         let mut remaining: Vec<usize> = (from..from + count).collect();
+        let mut dead: Vec<usize> = Vec::with_capacity(count);
+        'subst: loop {
+            let mut pick: Option<(usize, usize)> = None;
+            'scan: for (ri, &v) in remaining.iter().enumerate() {
+                for (i, r) in rows.iter().enumerate() {
+                    if let Some(c) = r {
+                        if c.kind == ConstraintKind::Eq && c.expr.coeffs[v].abs() == 1 {
+                            pick = Some((ri, i));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            let Some((ri, pos)) = pick else { break 'subst };
+            let v = remaining.swap_remove(ri);
+            dead.push(v);
+            let eqc = rows[pos].take().expect("picked row is alive");
+            // c*x + e = 0 with c = ±1  =>  x = -c * e (since c^2 = 1).
+            let cv = eqc.expr.coeffs[v];
+            let mut repl = eqc.expr;
+            repl.coeffs[v] = 0;
+            repl.scale_assign(-cv);
+            for slot in rows.iter_mut() {
+                let Some(c) = slot else { continue };
+                let a = c.expr.coeffs[v];
+                if a == 0 {
+                    continue;
+                }
+                c.expr.coeffs[v] = 0;
+                c.expr.add_scaled_assign(&repl, a);
+                match c.normalize_in_place() {
+                    NormalizeAction::Trivial => *slot = None,
+                    NormalizeAction::Infeasible => return System::infeasible(self.n_vars - count),
+                    NormalizeAction::Keep => {}
+                }
+            }
+        }
+        // Compact the substituted columns away. Rows are individually
+        // normalized already (on entry or by the substitution loop), and
+        // dropping all-zero columns preserves normal form, so they go in
+        // raw; `prune_redundant` dedups exact duplicates and dominated
+        // parallel rows in one sorted pass.
+        dead.sort_unstable();
+        let mut sys = System {
+            n_vars: n_vars - dead.len(),
+            constraints: rows
+                .into_iter()
+                .flatten()
+                .map(|r| Constraint {
+                    kind: r.kind,
+                    expr: r.expr.remove_vars(&dead),
+                })
+                .collect(),
+            infeasible: false,
+        };
+        sys.prune_redundant();
+        // Phase 2: whatever is left has no unit-coefficient equality —
+        // Fourier–Motzkin pairing per variable, exactly as before.
+        // (Pairing only produces inequalities, so no new substitution
+        // opportunities arise.) Indices shift down past the compacted
+        // columns and as eliminations proceed.
+        for r in &mut remaining {
+            *r -= dead.iter().filter(|&&d| d < *r).count();
+        }
         while let Some(pos) = pick_elimination_target(&sys, &remaining) {
             let var = remaining.swap_remove(pos);
             sys = sys.eliminate(var);
@@ -250,12 +338,53 @@ impl System {
         // Sound early exit: interval propagation never flags a feasible
         // system, and skipping the full elimination is a large win on the
         // dependence/liveness systems that are empty for simple reasons.
-        if self.quick_infeasible() {
+        let Some((lo, hi)) = self.propagate_bounds() else {
             return true;
+        };
+        // Sound early exit in the other direction: probe the corners of
+        // the propagated box as candidate integer points. Any point that
+        // satisfies every row proves non-emptiness without elimination —
+        // and on the box-like schedule/liveness systems of this flow the
+        // low corner almost always is such a witness.
+        if self.n_vars > 0
+            && (self.holds_corner(&lo, &hi, true) || self.holds_corner(&lo, &hi, false))
+        {
+            return false;
         }
         // Full elimination in greedy order (unit-coefficient equalities
         // substitute exactly before any Fourier–Motzkin pairing).
         self.eliminate_range(0, self.n_vars).infeasible
+    }
+
+    /// Whether the corner of the box `[lo, hi]` (low corner when
+    /// `prefer_lo`, high otherwise; unbounded coordinates fall back to
+    /// the opposite bound or 0) satisfies every row. Evaluation is done
+    /// in i128 so a clamped probe can never overflow.
+    fn holds_corner(&self, lo: &[Option<i64>], hi: &[Option<i64>], prefer_lo: bool) -> bool {
+        // Probes beyond this magnitude only arise from clamped
+        // "effectively unbounded" propagation results; a real witness
+        // among them is out of reach anyway.
+        const LIM: i64 = 1 << 40;
+        let pt: Vec<i64> = (0..self.n_vars)
+            .map(|v| {
+                let c = if prefer_lo {
+                    lo[v].or(hi[v])
+                } else {
+                    hi[v].or(lo[v])
+                };
+                c.unwrap_or(0).clamp(-LIM, LIM)
+            })
+            .collect();
+        self.constraints.iter().all(|c| {
+            let mut acc = c.expr.constant as i128;
+            for (co, x) in c.expr.coeffs.iter().zip(&pt) {
+                acc += (*co as i128) * (*x as i128);
+            }
+            match c.kind {
+                ConstraintKind::Eq => acc == 0,
+                ConstraintKind::GeZero => acc >= 0,
+            }
+        })
     }
 
     /// Cheap incomplete emptiness test via bounded interval propagation:
@@ -268,10 +397,71 @@ impl System {
         if self.infeasible {
             return true;
         }
-        let n = self.n_vars;
-        if n == 0 {
+        if self.n_vars == 0 {
             return false;
         }
+        self.propagate_bounds().is_none()
+    }
+
+    /// Conjunction of two systems whose rows are all already normalized
+    /// (every row of a `System` is), skipping the re-normalization and
+    /// duplicate scan of [`System::intersect`]. Duplicate rows across the
+    /// two systems are kept — harmless for feasibility tests and
+    /// elimination, which is what the hot callers do with the result.
+    pub(crate) fn concat_rows(&self, other: &System) -> System {
+        assert_eq!(self.n_vars, other.n_vars, "system arity mismatch");
+        if self.infeasible || other.infeasible {
+            return System::infeasible(self.n_vars);
+        }
+        let mut constraints = Vec::with_capacity(self.constraints.len() + other.constraints.len());
+        constraints.extend_from_slice(&self.constraints);
+        constraints.extend_from_slice(&other.constraints);
+        System {
+            n_vars: self.n_vars,
+            constraints,
+            infeasible: false,
+        }
+    }
+
+    /// Propagate this system's rows against externally seeded bounds
+    /// (typically derived from another system this one is about to be
+    /// intersected with — bounds valid for that system stay valid for
+    /// the conjunction). Returns `true` when some interval becomes
+    /// empty, i.e. the conjunction is certainly infeasible.
+    pub(crate) fn propagate_seeded(
+        &self,
+        lo: &mut [Option<i64>],
+        hi: &mut [Option<i64>],
+        rounds: usize,
+    ) -> bool {
+        if self.infeasible {
+            return true;
+        }
+        for _ in 0..rounds {
+            let mut changed = false;
+            for c in &self.constraints {
+                for sign in [1i64, -1] {
+                    if sign < 0 && c.kind != ConstraintKind::Eq {
+                        continue;
+                    }
+                    if propagate_row(&c.expr, sign, lo, hi, &mut changed) {
+                        return true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Run the bounded interval propagation of [`System::quick_infeasible`]
+    /// and return the per-variable `[lo, hi]` bounds it derived, or `None`
+    /// when some interval became empty (the system is certainly
+    /// infeasible).
+    pub(crate) fn propagate_bounds(&self) -> Option<VarBounds> {
+        let n = self.n_vars;
         let mut lo: Vec<Option<i64>> = vec![None; n];
         let mut hi: Vec<Option<i64>> = vec![None; n];
         for _round in 0..4 {
@@ -283,7 +473,7 @@ impl System {
                         continue;
                     }
                     if propagate_row(&c.expr, sign, &mut lo, &mut hi, &mut changed) {
-                        return true;
+                        return None;
                     }
                 }
             }
@@ -291,7 +481,7 @@ impl System {
                 break;
             }
         }
-        false
+        Some((lo, hi))
     }
 
     /// Drop duplicate rows and inequalities dominated by a parallel row

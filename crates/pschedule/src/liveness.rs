@@ -43,64 +43,83 @@ pub struct Liveness {
 }
 
 impl Liveness {
-    /// Run the analysis for a kernel under a schedule.
+    /// Run the analysis for a kernel under a schedule (serial).
     pub fn analyze(module: &Module, model: &KernelModel, sched: &Schedule) -> Liveness {
+        Liveness::analyze_jobs(module, model, sched, 1)
+    }
+
+    /// Run the analysis with up to `jobs` worker threads (`0` = one per
+    /// available core). The per-array expansions are independent, so
+    /// they stripe across a scoped thread pool; results are merged in
+    /// array order, making the outcome bit-identical for every `jobs`
+    /// value.
+    pub fn analyze_jobs(
+        module: &Module,
+        model: &KernelModel,
+        sched: &Schedule,
+        jobs: usize,
+    ) -> Liveness {
         let dim = sched.dim;
         let layout = &model.layout;
         let arrays = layout.live_arrays();
-        let mut live = HashMap::new();
-        let mut writes_at = HashMap::new();
-        let mut reads_at = HashMap::new();
         // Per-statement schedule maps are array-independent: build once.
         let stmt_maps: Vec<Map> = (0..model.stmts.len())
             .map(|si| sched.stmt_map(model, si))
             .collect();
 
-        for &arr in &arrays {
-            let arr_decl = &layout.arrays[arr.0];
-            let arr_space = Space::set(&arr_decl.name, &["addr"]);
-            let arr_dom = BasicSet::boxed(arr_space.clone(), &[(0, arr_decl.size as i64 - 1)]);
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        }
+        .min(arrays.len().max(1));
 
-            // A : array[addr] → write schedule tuples.
-            let mut a = Map::empty(arr_space.clone(), Space::anon(dim));
-            for (si, stmt) in model.stmts.iter().enumerate() {
-                if stmt.write_array == arr {
-                    a = a.union(&stmt.write.reverse().compose(&stmt_maps[si]));
-                }
-            }
-            // Virtual write for host-written (input) tensors.
-            if holds_kind(module, model, arr, TensorKind::Input) {
-                a = a.union(&const_map(&arr_space, &arr_dom, &sched.first_tuple()));
-            }
+        let analyzed: Vec<(Set, Set, Set)> = if jobs <= 1 {
+            arrays
+                .iter()
+                .map(|&arr| analyze_array(module, model, sched, &stmt_maps, dim, arr))
+                .collect()
+        } else {
+            // Worker `w` takes arrays w, w+jobs, ...; reassembling by
+            // index restores declaration order exactly.
+            let mut indexed: Vec<(usize, (Set, Set, Set))> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..jobs)
+                    .map(|w| {
+                        let arrays = &arrays;
+                        let stmt_maps = &stmt_maps;
+                        scope.spawn(move || {
+                            (w..arrays.len())
+                                .step_by(jobs)
+                                .map(|i| {
+                                    (
+                                        i,
+                                        analyze_array(
+                                            module, model, sched, stmt_maps, dim, arrays[i],
+                                        ),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("liveness worker panicked"))
+                    .collect()
+            });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed.into_iter().map(|(_, r)| r).collect()
+        };
 
-            // B : array[addr] → read schedule tuples.
-            let mut b = Map::empty(arr_space.clone(), Space::anon(dim));
-            for (si, stmt) in model.stmts.iter().enumerate() {
-                for (ra, rm) in &stmt.reads {
-                    if *ra == arr {
-                        b = b.union(&rm.reverse().compose(&stmt_maps[si]));
-                    }
-                }
-            }
-            // Virtual read for host-read (output) tensors.
-            if holds_kind(module, model, arr, TensorKind::Output) {
-                b = b.union(&const_map(&arr_space, &arr_dom, &sched.last_tuple()));
-            }
-
-            // P : write tuple → read tuple over the same element. The
-            // seed additionally intersected with `lex_le_map(dim)` to
-            // keep forward intervals only; that conjunct is implied
-            // inside `between_set` (w <=lex x <=lex r forces w <=lex r by
-            // transitivity of the total lex order, and backward pairs
-            // expand to empty parts that `prune_empty` drops), so it is
-            // omitted — it multiplied the part count by dim+1 before the
-            // expensive ge_le expansion.
-            let p = a.reverse().compose(&b);
-            let l = between_set(&p, dim).prune_empty();
-
-            writes_at.insert(arr, a.range().prune_empty());
-            reads_at.insert(arr, b.range().prune_empty());
+        let mut live = HashMap::new();
+        let mut writes_at = HashMap::new();
+        let mut reads_at = HashMap::new();
+        for (&arr, (l, w, r)) in arrays.iter().zip(analyzed) {
             live.insert(arr, l);
+            writes_at.insert(arr, w);
+            reads_at.insert(arr, r);
         }
         Liveness {
             dim,
@@ -123,6 +142,60 @@ impl Liveness {
         self.writes_at[&a].disjoint(&self.writes_at[&b])
             && self.reads_at[&a].disjoint(&self.reads_at[&b])
     }
+}
+
+/// One array's liveness expansion: `(live, writes_at, reads_at)`.
+fn analyze_array(
+    module: &Module,
+    model: &KernelModel,
+    sched: &Schedule,
+    stmt_maps: &[Map],
+    dim: usize,
+    arr: ArrayId,
+) -> (Set, Set, Set) {
+    let layout = &model.layout;
+    let arr_decl = &layout.arrays[arr.0];
+    let arr_space = Space::set(&arr_decl.name, &["addr"]);
+    let arr_dom = BasicSet::boxed(arr_space.clone(), &[(0, arr_decl.size as i64 - 1)]);
+
+    // A : array[addr] → write schedule tuples.
+    let mut a = Map::empty(arr_space.clone(), Space::anon(dim));
+    for (si, stmt) in model.stmts.iter().enumerate() {
+        if stmt.write_array == arr {
+            a = a.union(&stmt.write.reverse().compose(&stmt_maps[si]));
+        }
+    }
+    // Virtual write for host-written (input) tensors.
+    if holds_kind(module, model, arr, TensorKind::Input) {
+        a = a.union(&const_map(&arr_space, &arr_dom, &sched.first_tuple()));
+    }
+
+    // B : array[addr] → read schedule tuples.
+    let mut b = Map::empty(arr_space.clone(), Space::anon(dim));
+    for (si, stmt) in model.stmts.iter().enumerate() {
+        for (ra, rm) in &stmt.reads {
+            if *ra == arr {
+                b = b.union(&rm.reverse().compose(&stmt_maps[si]));
+            }
+        }
+    }
+    // Virtual read for host-read (output) tensors.
+    if holds_kind(module, model, arr, TensorKind::Output) {
+        b = b.union(&const_map(&arr_space, &arr_dom, &sched.last_tuple()));
+    }
+
+    // P : write tuple → read tuple over the same element. The
+    // seed additionally intersected with `lex_le_map(dim)` to
+    // keep forward intervals only; that conjunct is implied
+    // inside `between_set` (w <=lex x <=lex r forces w <=lex r by
+    // transitivity of the total lex order, and backward pairs
+    // expand to empty parts that `prune_empty` drops), so it is
+    // omitted — it multiplied the part count by dim+1 before the
+    // expensive ge_le expansion.
+    let p = a.reverse().compose(&b);
+    let l = between_set(&p, dim).prune_empty();
+
+    (l, a.range().prune_empty(), b.range().prune_empty())
 }
 
 fn holds_kind(module: &Module, model: &KernelModel, arr: ArrayId, kind: TensorKind) -> bool {
