@@ -51,7 +51,10 @@
 
 use cfd_core::dse::{DseEngine, DseGrid, ProgramDseEngine};
 use cfd_core::program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
-use cfd_core::{Arrival, BatchPolicy, CompileCache, Flow, FlowOptions, RuntimeOptions};
+use cfd_core::{
+    Arrival, BatchPolicy, CompileCache, FaultPlan, Flow, FlowOptions, RecoveryPolicy,
+    RuntimeOptions,
+};
 use mnemosyne::MemoryOptions;
 use std::process::exit;
 use std::sync::Arc;
@@ -93,7 +96,8 @@ fn usage() -> ! {
          \tcfdc explore  <kernel> [--board NAME | --boards all|A,B,..] [--grid] [--jobs N]\n\
          \t              [--json] [--elements N]\n\
          \tcfdc serve    <kernel> [--board NAME] [--requests N] [--arrival closed|poisson]\n\
-         \t              [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]\n\n\
+         \t              [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]\n\
+         \t              [--faults SEED:SPEC] [--deadline SECS] [--retries N] [--backoff SECS]\n\n\
          KERNEL: a .cfd file path, a kernel helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n],\n\
          \tor a multi-kernel program simstep[:p] | axpychain[:n]\n\
          EMIT:   c | host | ir | dot | report | memory | all (default: report)\n\
@@ -104,6 +108,10 @@ fn usage() -> ! {
          reports the Pareto frontier (simulated time vs. resource fit) per board.\n\
          `serve` batches a queue of independent requests onto one compiled system\n\
          and reports requests/sec, p50/p99 latency and DMA/compute overlap.\n\
+         --faults arms a deterministic fault plan (`7:0.1` = seed 7, 10% transient\n\
+         round errors; or `7:transient=0.1,stall=0.05,corrupt=0.01,fail=2e-3,recover=4e-3`);\n\
+         --retries/--backoff/--deadline set the recovery policy, and the report\n\
+         grows completed/retried/shed/failed counts plus goodput vs offered load.\n\
          --cache-dir PATH persists the scheduling-stage products under a content\n\
          hash: a re-compile of unchanged source reports cache hits and emits\n\
          bit-identical output (`cfdc cache stats|clear` inspects the store)."
@@ -259,6 +267,11 @@ struct Parsed {
     arrival: Arrival,
     batch: BatchPolicy,
     overlap: bool,
+    /// Deterministic fault plan from `--faults` (unarmed by default).
+    faults: FaultPlan,
+    /// Retry/backoff/deadline policy from `--retries`, `--backoff`,
+    /// `--deadline`.
+    recovery: RecoveryPolicy,
 }
 
 impl Parsed {
@@ -301,6 +314,8 @@ impl Parsed {
             seed: self.seed,
             execute: false,
             sim: SimConfig::default(),
+            faults: self.faults.clone(),
+            recovery: self.recovery,
         }
     }
 }
@@ -332,6 +347,8 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
     let mut rate = 0.0f64;
     let mut batch = BatchPolicy::Auto;
     let mut overlap = true;
+    let mut faults = FaultPlan::none();
+    let mut recovery = RecoveryPolicy::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -426,6 +443,48 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
                 })?;
             }
             "--no-overlap" => overlap = false,
+            "--faults" => {
+                let spec = take_value(args, &mut i, "--faults")?;
+                faults = FaultPlan::parse(&spec).map_err(|_| CliError::InvalidValue {
+                    flag: "--faults".to_string(),
+                    value: spec,
+                    expected:
+                        "SEED:RATE, or SEED:transient=..,stall=..,corrupt=..,fail=..,recover=.. \
+                               (rates in [0,1], fail/recover in seconds with recover > fail)",
+                })?;
+            }
+            "--deadline" => {
+                let value = take_value(args, &mut i, "--deadline")?;
+                let d: f64 =
+                    parse_value("--deadline", value.clone(), "a latency budget in seconds")?;
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(CliError::InvalidValue {
+                        flag: "--deadline".to_string(),
+                        value,
+                        expected: "a latency budget in seconds",
+                    });
+                }
+                recovery.deadline_s = Some(d);
+            }
+            "--retries" => {
+                recovery.max_retries = parse_value(
+                    "--retries",
+                    take_value(args, &mut i, "--retries")?,
+                    "a retry cap (0 = fail on first fault)",
+                )?;
+            }
+            "--backoff" => {
+                let value = take_value(args, &mut i, "--backoff")?;
+                let b: f64 = parse_value("--backoff", value.clone(), "a base backoff in seconds")?;
+                if !(b.is_finite() && b >= 0.0) {
+                    return Err(CliError::InvalidValue {
+                        flag: "--backoff".to_string(),
+                        value,
+                        expected: "a base backoff in seconds",
+                    });
+                }
+                recovery.backoff_s = b;
+            }
             other => return Err(CliError::UnknownOption(other.to_string())),
         }
         i += 1;
@@ -487,6 +546,8 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
         arrival,
         batch,
         overlap,
+        faults,
+        recovery,
     })
 }
 
@@ -1285,6 +1346,75 @@ mod tests {
         .unwrap();
         assert_eq!(p.arrival, Arrival::Poisson { rate_rps: 50.0 });
         assert_eq!(p.batch, BatchPolicy::Fixed(4));
+    }
+
+    #[test]
+    fn fault_flags_parse_and_reach_the_runtime_options() {
+        let p = parse_common(&args(&[
+            "axpychain:3",
+            "--faults",
+            "7:transient=0.1,corrupt=0.05",
+            "--retries",
+            "5",
+            "--backoff",
+            "0.002",
+            "--deadline",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(p.faults.armed());
+        assert_eq!(p.faults.label(), "seed=7,transient=0.1,corrupt=0.05");
+        assert_eq!(p.recovery.max_retries, 5);
+        assert_eq!(p.recovery.backoff_s, 0.002);
+        assert_eq!(p.recovery.deadline_s, Some(0.5));
+        let opts = p.runtime_options();
+        assert_eq!(opts.faults, p.faults);
+        assert_eq!(opts.recovery, p.recovery);
+        // Bare-rate shorthand: SEED:RATE arms transient errors only.
+        let p = parse_common(&args(&["axpy:2", "--faults", "3:0.25"])).unwrap();
+        assert_eq!(p.faults, FaultPlan::transient(3, 0.25));
+        // Defaults: no plan, stock policy.
+        let p = parse_common(&args(&["axpy:2"])).unwrap();
+        assert!(!p.faults.armed());
+        assert_eq!(p.recovery, RecoveryPolicy::default());
+    }
+
+    #[test]
+    fn malformed_fault_flags_are_structured_errors() {
+        for (flag, bad) in [
+            ("--faults", "nocolon"),
+            ("--faults", "x:0.1"),
+            ("--faults", "7:1.5"),
+            ("--faults", "7:transient=-0.1"),
+            ("--faults", "7:wat=1"),
+            ("--faults", "7:fail=2e-3,recover=1e-3"),
+            ("--deadline", "0"),
+            ("--deadline", "-1"),
+            ("--deadline", "inf"),
+            ("--deadline", "soon"),
+            ("--retries", "-2"),
+            ("--retries", "few"),
+            ("--backoff", "-0.1"),
+            ("--backoff", "NaN"),
+        ] {
+            let e = parse_common(&args(&["axpy:2", flag, bad])).unwrap_err();
+            match &e {
+                CliError::InvalidValue { flag: f, value, .. } => {
+                    assert_eq!(f, flag);
+                    assert_eq!(value, bad);
+                }
+                other => panic!("{flag} {bad}: expected InvalidValue, got {other:?}"),
+            }
+        }
+        for flag in ["--faults", "--deadline", "--retries", "--backoff"] {
+            let e = parse_common(&args(&["axpy:2", flag])).unwrap_err();
+            assert_eq!(
+                e,
+                CliError::MissingValue {
+                    flag: flag.to_string()
+                }
+            );
+        }
     }
 
     #[test]

@@ -197,9 +197,10 @@ fn service_probe(design: &sysgen::MultiSystemDesign) -> (f64, f64) {
         overlap_dma: true,
         seed: 0,
         execute: false,
-        sim: SimConfig::default(),
+        ..runtime::RuntimeOptions::default()
     };
-    let requests = runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed);
+    let requests = runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed)
+        .expect("closed arrivals never fail");
     let report = runtime::serve(design, &[], &[], &[], &requests, &opts)
         .expect("timing-only probe always serves")
         .report;

@@ -74,7 +74,11 @@ pub use pipeline::{Pipeline, StageCounts, StageTimings};
 pub use program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 // The serving layer: request-level batching runtime over a compiled
 // system ([`ProgramArtifacts::serve`] is the artifact-level entry).
-pub use runtime::{Arrival, BatchPolicy, RuntimeOptions, ServeOutcome, ServiceReport};
+pub use runtime::{
+    Arrival, BatchPolicy, RecoveryPolicy, RequestOutcome, RuntimeError, RuntimeOptions,
+    ServeOutcome, ServiceReport,
+};
+pub use zynq::FaultPlan;
 
 /// Errors from the flow.
 #[derive(Debug, Clone, PartialEq)]

@@ -166,14 +166,15 @@ impl ProgramArtifacts {
             runtime::generate_requests(&modules, opts.requests, &opts.arrival, opts.seed)
         } else {
             runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed)
-        };
+        }
+        .map_err(|e| FlowError::Backend(e.to_string()))?;
         runtime::serve(system, &self.names, &modules, &kernels, &requests, opts)
-            .map_err(FlowError::Backend)
+            .map_err(|e| FlowError::Backend(e.to_string()))
     }
 
-    /// Serve the same request stream with batching disabled and no DMA
-    /// overlap — the sequential per-request baseline every speedup
-    /// figure compares against (timing only).
+    /// Serve the same request stream with batching disabled, no DMA
+    /// overlap and no fault injection — the sequential per-request
+    /// baseline every speedup figure compares against (timing only).
     pub fn serve_sequential_baseline(
         &self,
         opts: &runtime::RuntimeOptions,
@@ -182,6 +183,8 @@ impl ProgramArtifacts {
             batch: runtime::BatchPolicy::Disabled,
             overlap_dma: false,
             execute: false,
+            faults: zynq::FaultPlan::none(),
+            recovery: runtime::RecoveryPolicy::default(),
             ..opts.clone()
         };
         Ok(self.serve(&seq)?.report)

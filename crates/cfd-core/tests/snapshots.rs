@@ -302,6 +302,40 @@ fn serve_json_schema_is_stable() {
 }
 
 #[test]
+fn serve_faults_json_schema_is_stable() {
+    // An armed fault plan with the full recovery policy: the reliability
+    // and fault sections plus the per-trace outcome fields must all be
+    // present and stay stable.
+    let out = run_cfdc(&[
+        "serve",
+        "simstep:4",
+        "--requests",
+        "8",
+        "--seed",
+        "7",
+        "--faults",
+        "7:transient=0.2,corrupt=0.1",
+        "--retries",
+        "6",
+        "--backoff",
+        "0.0001",
+        "--deadline",
+        "5",
+        "--json",
+    ]);
+    check_snapshot("serve_faults.json", &out, true);
+    for key in [
+        "\"reliability\"",
+        "\"goodput_rps\"",
+        "\"faults\"",
+        "\"outcome\"",
+        "\"attempts\"",
+    ] {
+        assert!(out.contains(key), "missing {key}");
+    }
+}
+
+#[test]
 fn boards_listing_is_stable() {
     // Pure catalog data — deterministic, compared byte for byte.
     let out = run_cfdc(&["boards"]);

@@ -23,21 +23,35 @@
 //!    double-buffered DMA overlapping the transfers of neighbouring
 //!    rounds when `overlap_dma` is set (and every stage keeps a spare
 //!    PLM set).
-//! 4. **Execution** — each request's tensors run through the generated
-//!    kernel chain ([`zynq::run_program_chain`]), so the service path
-//!    returns real outputs, not just timings. Batching never changes
-//!    results: outputs are bit-identical to running every request
-//!    alone, and with batching disabled the tick schedule is exactly
-//!    the sequential one (`tests/runtime_differential.rs` proves both).
-//! 5. **Reporting** — the [`ServiceReport`] carries per-request latency
-//!    traces, p50/p99 latency, requests/sec, and the DMA/compute
-//!    overlap fraction, as a table or JSON (`cfdc serve`).
+//! 4. **Fault tolerance** — an armed [`zynq::FaultPlan`] injects
+//!    deterministic faults (DMA stalls, transient round errors, payload
+//!    corruption, hard board failure) into the schedule, and the
+//!    [`RecoveryPolicy`] decides what happens next: per-request retries
+//!    with capped exponential backoff in tick space, per-request
+//!    deadlines that shed late work, round-level requeue after a failed
+//!    round, and drain/pause/resume degradation across a board outage.
+//!    Every request ends in a structured [`RequestOutcome`]. The empty
+//!    plan is tick- and bit-identical to the fault-free scheduler
+//!    (`tests/fault_injection.rs` proves it).
+//! 5. **Execution** — each completed request's tensors run through the
+//!    generated kernel chain ([`zynq::run_program_chain`]), so the
+//!    service path returns real outputs, not just timings. Batching and
+//!    retries never change results: outputs are bit-identical to
+//!    running every request alone, and with batching disabled the tick
+//!    schedule is exactly the sequential one
+//!    (`tests/runtime_differential.rs` proves both).
+//! 6. **Reporting** — the [`ServiceReport`] carries per-request latency
+//!    traces and outcomes, p50/p99 latency (over all requests and over
+//!    completed-only), requests/sec offered vs goodput, and the
+//!    DMA/compute overlap fraction, as a table or JSON (`cfdc serve`,
+//!    with `--faults seed:RATE --deadline T --retries N`).
 //!
 //! The typical entry point is `cfd_core::program::ProgramArtifacts::
 //! serve`, which wires compiled artifacts into this crate; `cfdc serve`
 //! drives it from the command line.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,7 +59,34 @@ use sysgen::MultiSystemDesign;
 use teil::ir::Module;
 use teil::Tensor;
 use zynq::des::{secs, to_secs, Time};
-use zynq::SimConfig;
+use zynq::fault::{FaultPlan, RecoverySpec};
+use zynq::{SimConfig, StreamStatus};
+
+/// Structured runtime-layer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Poisson arrivals need a positive, finite rate.
+    InvalidRate { rate_rps: f64 },
+    /// A serve call with an empty request queue.
+    NoRequests,
+    /// The functional execution path failed (kernel chain error).
+    Exec(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidRate { rate_rps } => write!(
+                f,
+                "poisson arrivals need a positive finite rate, got {rate_rps}"
+            ),
+            RuntimeError::NoRequests => write!(f, "no requests to serve"),
+            RuntimeError::Exec(e) => write!(f, "request execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
 
 /// How requests enter the queue.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,11 +106,11 @@ impl Arrival {
         match s {
             "closed" => Ok(Arrival::Closed),
             "poisson" => {
-                if rate_rps > 0.0 {
+                if rate_rps.is_finite() && rate_rps > 0.0 {
                     Ok(Arrival::Poisson { rate_rps })
                 } else {
                     Err(format!(
-                        "poisson arrivals need a positive --rate, got {rate_rps}"
+                        "poisson arrivals need a positive finite --rate, got {rate_rps}"
                     ))
                 }
             }
@@ -134,6 +175,89 @@ impl BatchPolicy {
     }
 }
 
+/// What the service does when faults strike: retries, backoff,
+/// deadlines. Converted to a tick-space [`zynq::RecoverySpec`] for the
+/// scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retries allowed after the first attempt (at most
+    /// `max_retries + 1` attempts per request).
+    pub max_retries: u32,
+    /// Base backoff after the first failure, seconds; doubles per
+    /// further failure. 0 = requeue immediately.
+    pub backoff_s: f64,
+    /// Cap on the exponential backoff, seconds; 0 = 16x the base.
+    pub backoff_cap_s: f64,
+    /// Per-request latency budget from arrival; requests that cannot
+    /// (or did not) complete inside it are timed out.
+    pub deadline_s: Option<f64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_s: 0.0,
+            backoff_cap_s: 0.0,
+            deadline_s: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Tick-space view for the scheduler.
+    pub fn to_spec(self) -> RecoverySpec {
+        let backoff_ticks = secs(self.backoff_s.max(0.0));
+        RecoverySpec {
+            max_retries: self.max_retries,
+            backoff_ticks,
+            backoff_cap_ticks: if self.backoff_cap_s > 0.0 {
+                secs(self.backoff_cap_s)
+            } else {
+                backoff_ticks.saturating_mul(16)
+            },
+            deadline_ticks: self.deadline_s.map(secs),
+        }
+    }
+
+    /// Display label (stable — part of the replayable report).
+    pub fn label(&self) -> String {
+        let mut s = format!("retries={}", self.max_retries);
+        if self.backoff_s > 0.0 {
+            s.push_str(&format!(",backoff={}s", self.backoff_s));
+        }
+        if let Some(d) = self.deadline_s {
+            s.push_str(&format!(",deadline={d}s"));
+        }
+        s
+    }
+}
+
+/// How one request's service ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Outputs drained and passed their checksum inside the deadline.
+    Completed,
+    /// The per-request deadline expired first.
+    TimedOut,
+    /// Dropped because the board died and never recovered.
+    Shed,
+    /// Every allowed attempt failed.
+    Failed { attempts: u32 },
+}
+
+impl RequestOutcome {
+    /// Stable JSON/label token.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestOutcome::Completed => "completed",
+            RequestOutcome::TimedOut => "timed_out",
+            RequestOutcome::Shed => "shed",
+            RequestOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
 /// Options for one serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeOptions {
@@ -149,6 +273,12 @@ pub struct RuntimeOptions {
     /// Run every request's tensors through the generated kernel chain
     /// (off = timing only).
     pub execute: bool,
+    /// Deterministic fault injection; `FaultPlan::none()` leaves the
+    /// schedule tick-identical to the fault-free simulator.
+    pub faults: FaultPlan,
+    /// Retry/timeout policy applied when faults (or deadlines) are
+    /// armed.
+    pub recovery: RecoveryPolicy,
     /// Host-side cost constants (the `elements` field is unused — the
     /// stream works in requests, not elements).
     pub sim: SimConfig,
@@ -163,6 +293,8 @@ impl Default for RuntimeOptions {
             overlap_dma: true,
             seed: 42,
             execute: false,
+            faults: FaultPlan::none(),
+            recovery: RecoveryPolicy::default(),
             sim: SimConfig::default(),
         }
     }
@@ -185,10 +317,26 @@ pub struct Request {
 /// to [`generate_requests`] for the same seed — the timing-only serve
 /// paths (reports, benches) schedule exactly the stream the executing
 /// path would.
-pub fn generate_timing_requests(n: usize, arrival: &Arrival, seed: u64) -> Vec<Request> {
+///
+/// A Poisson rate that is zero, negative, or non-finite is a structured
+/// [`RuntimeError::InvalidRate`] — the interarrival draw
+/// `-ln(1-u)/rate` would otherwise yield infinite or NaN arrival times
+/// that poison the whole schedule.
+pub fn generate_timing_requests(
+    n: usize,
+    arrival: &Arrival,
+    seed: u64,
+) -> Result<Vec<Request>, RuntimeError> {
+    if let Arrival::Poisson { rate_rps } = arrival {
+        if !rate_rps.is_finite() || *rate_rps <= 0.0 {
+            return Err(RuntimeError::InvalidRate {
+                rate_rps: *rate_rps,
+            });
+        }
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_A881_0CA7_F00Du64);
     let mut t = 0.0f64;
-    (0..n)
+    Ok((0..n)
         .map(|id| {
             let arrival_s = match arrival {
                 Arrival::Closed => 0.0,
@@ -204,22 +352,23 @@ pub fn generate_timing_requests(n: usize, arrival: &Arrival, seed: u64) -> Vec<R
                 inputs: HashMap::new(),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Generate `n` requests with random input tensors drawn per request
 /// and arrival times drawn from `arrival`. Deterministic per seed.
+/// Rejects degenerate Poisson rates like [`generate_timing_requests`].
 pub fn generate_requests(
     modules: &[&Module],
     n: usize,
     arrival: &Arrival,
     seed: u64,
-) -> Vec<Request> {
-    let mut requests = generate_timing_requests(n, arrival, seed);
+) -> Result<Vec<Request>, RuntimeError> {
+    let mut requests = generate_timing_requests(n, arrival, seed)?;
     for req in &mut requests {
         req.inputs = zynq::random_program_inputs(modules, seed.wrapping_add(req.id as u64));
     }
-    requests
+    Ok(requests)
 }
 
 /// Per-request service trace (all times in seconds from service start).
@@ -227,12 +376,17 @@ pub fn generate_requests(
 pub struct RequestTrace {
     pub id: usize,
     pub arrival_s: f64,
-    /// When the request's round started loading.
+    /// When the request's (last) round started loading. Meaningful only
+    /// for requests that were admitted at least once.
     pub admitted_s: f64,
-    /// When the request's outputs finished draining.
+    /// When the request resolved: outputs drained for `Completed`, the
+    /// give-up tick otherwise.
     pub completed_s: f64,
     /// `completed - arrival`.
     pub latency_s: f64,
+    /// Hardware rounds the request participated in.
+    pub attempts: u32,
+    pub outcome: RequestOutcome,
 }
 
 /// Aggregate + per-request results of one serving run.
@@ -262,12 +416,37 @@ pub struct ServiceReport {
     pub makespan_ticks: u64,
     pub makespan_s: f64,
     pub throughput_rps: f64,
+    /// Latency statistics over *all* requests (for non-completed ones,
+    /// resolution time - arrival).
     pub latency_mean_s: f64,
     pub latency_p50_s: f64,
     pub latency_p99_s: f64,
     pub latency_max_s: f64,
+    /// p99 latency over completed requests only.
+    pub latency_p99_completed_s: f64,
     /// Fraction of DMA time hidden behind compute.
     pub overlap_fraction: f64,
+    /// Reliability: terminal outcome counts.
+    pub completed: usize,
+    /// Requests that needed more than one attempt (any terminal state).
+    pub retried: usize,
+    pub timed_out: usize,
+    pub shed: usize,
+    pub failed: usize,
+    /// Rounds aborted by transient errors.
+    pub transient_faults: usize,
+    /// Rounds whose input DMA stalled.
+    pub dma_stalls: usize,
+    /// Checksum failures detected at drain.
+    pub corrupt_payloads: usize,
+    /// Offered load: all requests over the makespan (== throughput).
+    pub offered_rps: f64,
+    /// Goodput: completed requests over the makespan.
+    pub goodput_rps: f64,
+    /// Canonical fault-plan label (`"none"` when unarmed).
+    pub fault_plan: String,
+    /// The recovery policy in force.
+    pub recovery: RecoveryPolicy,
     /// Per-request traces, in request-id order.
     pub traces: Vec<RequestTrace>,
 }
@@ -292,12 +471,18 @@ pub fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Serve `requests` on `design`: schedule the batched stream, compute
-/// the service statistics and (when `opts.execute`) run every request
+/// Serve `requests` on `design`: schedule the batched stream (under the
+/// fault plan and recovery policy in `opts`), compute the service
+/// statistics and (when `opts.execute`) run every completed request
 /// through the generated kernel chain. `names`/`modules`/`kernels` are
 /// the compiled program's stages in chain order (as in
 /// [`zynq::run_program_chain`]); `kernels` may be empty when
 /// `opts.execute` is off.
+///
+/// With `FaultPlan::none()` and no deadline the schedule is tick- and
+/// bit-identical to the fault-free stream; retries never change
+/// completed outputs (the functional path runs each request's own
+/// tensors, batching and retries share hardware, never data).
 pub fn serve(
     design: &MultiSystemDesign,
     names: &[String],
@@ -305,9 +490,9 @@ pub fn serve(
     kernels: &[&cgen::CKernel],
     requests: &[Request],
     opts: &RuntimeOptions,
-) -> Result<ServeOutcome, String> {
+) -> Result<ServeOutcome, RuntimeError> {
     if requests.is_empty() {
-        return Err("no requests to serve".into());
+        return Err(RuntimeError::NoRequests);
     }
     // Admission order: arrival time, ties by id (stable).
     let mut order: Vec<usize> = (0..requests.len()).collect();
@@ -320,35 +505,75 @@ pub fn serve(
     let arrivals: Vec<Time> = order.iter().map(|&i| secs(requests[i].arrival_s)).collect();
     let capacity = opts.batch.capacity(design.config.m);
     let overlap = opts.overlap_dma && opts.batch != BatchPolicy::Disabled;
-    let stream = zynq::simulate_batch_stream(design, &opts.sim, &arrivals, capacity, overlap);
+    let spec = opts.recovery.to_spec();
+    let fso = zynq::simulate_faulty_stream(
+        design,
+        &opts.sim,
+        &arrivals,
+        capacity,
+        overlap,
+        &opts.faults,
+        &spec,
+    );
+    let stream = &fso.stream;
 
     // Map the stream's arrival-order results back to request ids.
+    let outcome_at = |pos: usize| -> RequestOutcome {
+        match fso.statuses[pos] {
+            StreamStatus::Completed => RequestOutcome::Completed,
+            StreamStatus::TimedOut => RequestOutcome::TimedOut,
+            StreamStatus::Shed => RequestOutcome::Shed,
+            StreamStatus::Failed => RequestOutcome::Failed {
+                attempts: fso.attempts[pos],
+            },
+        }
+    };
     let mut traces: Vec<RequestTrace> = order
         .iter()
         .enumerate()
         .map(|(pos, &i)| {
             let arrival = arrivals[pos];
-            let completed = stream.completion_ticks[pos];
+            let resolved = fso.resolved_ticks[pos];
             RequestTrace {
                 id: requests[i].id,
                 arrival_s: to_secs(arrival),
                 admitted_s: to_secs(stream.admitted_ticks[pos]),
-                completed_s: to_secs(completed),
-                latency_s: to_secs(completed - arrival),
+                completed_s: to_secs(resolved),
+                latency_s: to_secs(resolved.saturating_sub(arrival)),
+                attempts: fso.attempts[pos],
+                outcome: outcome_at(pos),
             }
         })
         .collect();
     traces.sort_by_key(|t| t.id);
 
-    let mut latency_ticks: Vec<u64> = stream
-        .completion_ticks
+    let mut latency_ticks: Vec<u64> = fso
+        .resolved_ticks
         .iter()
         .zip(&arrivals)
-        .map(|(c, a)| c - a)
+        .map(|(c, a)| c.saturating_sub(*a))
         .collect();
     latency_ticks.sort_unstable();
+    let mut completed_latency_ticks: Vec<u64> = fso
+        .resolved_ticks
+        .iter()
+        .zip(&arrivals)
+        .zip(&fso.statuses)
+        .filter(|(_, &s)| s == StreamStatus::Completed)
+        .map(|((c, a), _)| c.saturating_sub(*a))
+        .collect();
+    completed_latency_ticks.sort_unstable();
+    let count = |want: StreamStatus| fso.statuses.iter().filter(|&&s| s == want).count();
+    let completed = count(StreamStatus::Completed);
     let n = requests.len();
     let makespan_s = to_secs(stream.makespan_ticks);
+    let per_s = |k: usize| {
+        if makespan_s > 0.0 {
+            k as f64 / makespan_s
+        } else {
+            0.0
+        }
+    };
     let report = ServiceReport {
         requests: n,
         policy: opts.batch,
@@ -363,31 +588,44 @@ pub fn serve(
         overlapped_ticks: stream.overlapped_ticks,
         makespan_ticks: stream.makespan_ticks,
         makespan_s,
-        throughput_rps: if makespan_s > 0.0 {
-            n as f64 / makespan_s
-        } else {
-            0.0
-        },
+        throughput_rps: per_s(n),
         latency_mean_s: to_secs(latency_ticks.iter().sum::<u64>() / n as u64),
         latency_p50_s: to_secs(percentile(&latency_ticks, 0.50)),
         latency_p99_s: to_secs(percentile(&latency_ticks, 0.99)),
         latency_max_s: to_secs(*latency_ticks.last().unwrap()),
+        latency_p99_completed_s: to_secs(percentile(&completed_latency_ticks, 0.99)),
         overlap_fraction: stream.overlap_fraction(),
+        completed,
+        retried: fso.attempts.iter().filter(|&&a| a > 1).count(),
+        timed_out: count(StreamStatus::TimedOut),
+        shed: count(StreamStatus::Shed),
+        failed: count(StreamStatus::Failed),
+        transient_faults: fso.transient_faults,
+        dma_stalls: fso.dma_stalls,
+        corrupt_payloads: fso.corrupt_payloads,
+        offered_rps: per_s(n),
+        goodput_rps: per_s(completed),
+        fault_plan: opts.faults.label(),
+        recovery: opts.recovery,
         traces,
     };
 
-    // Functional path: every request's tensors through the generated
-    // chain, independent of the batch schedule (batching shares
-    // hardware, never data).
+    // Functional path: every completed request's tensors through the
+    // generated chain, independent of the batch schedule and of how
+    // many retries it took (batching shares hardware, never data).
+    // Requests that never completed get an empty output map.
     let outputs = if opts.execute {
         let mut outs = Vec::with_capacity(n);
-        for req in requests {
-            outs.push(zynq::run_program_chain(
-                names,
-                modules,
-                kernels,
-                &req.inputs,
-            )?);
+        for (idx, req) in requests.iter().enumerate() {
+            let pos = order.iter().position(|&i| i == idx).unwrap();
+            if fso.statuses[pos] == StreamStatus::Completed {
+                outs.push(
+                    zynq::run_program_chain(names, modules, kernels, &req.inputs)
+                        .map_err(RuntimeError::Exec)?,
+                );
+            } else {
+                outs.push(HashMap::new());
+            }
         }
         outs
     } else {
@@ -427,6 +665,24 @@ impl ServiceReport {
             to_secs(self.transfer_ticks),
             self.overlap_fraction,
         ));
+        s.push_str(&format!(
+            "  reliability {}/{} completed ({} retried, {} timed-out, {} shed, {} failed)\n",
+            self.completed, self.requests, self.retried, self.timed_out, self.shed, self.failed,
+        ));
+        s.push_str(&format!(
+            "  goodput {:.1} req/s of {:.1} offered | p99 completed {:.4} s\n",
+            self.goodput_rps, self.offered_rps, self.latency_p99_completed_s,
+        ));
+        if self.fault_plan != "none" {
+            s.push_str(&format!(
+                "  faults [{}] policy [{}]: {} transient, {} stalls, {} corrupt\n",
+                self.fault_plan,
+                self.recovery.label(),
+                self.transient_faults,
+                self.dma_stalls,
+                self.corrupt_payloads,
+            ));
+        }
         s
     }
 
@@ -461,16 +717,41 @@ impl ServiceReport {
             to_secs(self.transfer_ticks),
             self.overlap_fraction
         ));
+        s.push_str(&format!(
+            "  \"reliability\": {{\"completed\": {}, \"retried\": {}, \"timed_out\": {}, \
+             \"shed\": {}, \"failed\": {}, \"goodput_rps\": {:.3}, \"offered_rps\": {:.3}, \
+             \"p99_completed_s\": {:.6}}},\n",
+            self.completed,
+            self.retried,
+            self.timed_out,
+            self.shed,
+            self.failed,
+            self.goodput_rps,
+            self.offered_rps,
+            self.latency_p99_completed_s
+        ));
+        s.push_str(&format!(
+            "  \"faults\": {{\"plan\": \"{}\", \"policy\": \"{}\", \"transient\": {}, \
+             \"dma_stalls\": {}, \"corrupt\": {}}},\n",
+            self.fault_plan,
+            self.recovery.label(),
+            self.transient_faults,
+            self.dma_stalls,
+            self.corrupt_payloads
+        ));
         s.push_str("  \"traces\": [\n");
         for (i, t) in self.traces.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"id\": {}, \"arrival_s\": {:.6}, \"admitted_s\": {:.6}, \
-                 \"completed_s\": {:.6}, \"latency_s\": {:.6}}}{}\n",
+                 \"completed_s\": {:.6}, \"latency_s\": {:.6}, \"attempts\": {}, \
+                 \"outcome\": \"{}\"}}{}\n",
                 t.id,
                 t.arrival_s,
                 t.admitted_s,
                 t.completed_s,
                 t.latency_s,
+                t.attempts,
+                t.outcome.label(),
                 if i + 1 == self.traces.len() { "" } else { "," },
             ));
         }
@@ -631,8 +912,8 @@ mod tests {
         let typed = cfdlang::check(&cfdlang::parse(&src).unwrap()).unwrap();
         let module = factorize(&lower(&typed).unwrap());
         let modules = vec![&module];
-        let a = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 7);
-        let b = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 7);
+        let a = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 7).unwrap();
+        let b = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 7).unwrap();
         assert_eq!(a.len(), 16);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.arrival_s, y.arrival_s);
@@ -640,10 +921,10 @@ mod tests {
         assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
         assert!(a.last().unwrap().arrival_s > 0.0);
         // Different seeds change both inputs and arrivals.
-        let c = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 8);
+        let c = generate_requests(&modules, 16, &Arrival::Poisson { rate_rps: 100.0 }, 8).unwrap();
         assert!(c[5].arrival_s != a[5].arrival_s);
         // The timing-only stream is arrival-identical (and tensor-free).
-        let t = generate_timing_requests(16, &Arrival::Poisson { rate_rps: 100.0 }, 7);
+        let t = generate_timing_requests(16, &Arrival::Poisson { rate_rps: 100.0 }, 7).unwrap();
         for (x, y) in a.iter().zip(&t) {
             assert_eq!(x.arrival_s, y.arrival_s);
         }
@@ -663,7 +944,7 @@ mod tests {
         let modules = vec![&module];
         let kernels = vec![&kernel];
         let d = design(vec![2], 4, &[100_000]);
-        let reqs = generate_requests(&modules, 5, &Arrival::Closed, 3);
+        let reqs = generate_requests(&modules, 5, &Arrival::Closed, 3).unwrap();
         let opts = RuntimeOptions {
             execute: true,
             ..Default::default()
@@ -686,7 +967,139 @@ mod tests {
         assert!(Arrival::parse("closed", 0.0).is_ok());
         assert!(Arrival::parse("poisson", 50.0).is_ok());
         assert!(Arrival::parse("poisson", 0.0).is_err());
+        assert!(Arrival::parse("poisson", f64::NAN).is_err());
+        assert!(Arrival::parse("poisson", f64::INFINITY).is_err());
         assert!(Arrival::parse("burst", 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_poisson_rates_are_structured_errors() {
+        // A zero or non-finite rate used to produce inf/NaN arrival
+        // times (the -ln(1-u)/rate draw) that poisoned the schedule.
+        for rate in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let arrival = Arrival::Poisson { rate_rps: rate };
+            let timing = generate_timing_requests(8, &arrival, 1);
+            match timing {
+                Err(RuntimeError::InvalidRate { rate_rps }) => {
+                    assert!(rate_rps.is_nan() == rate.is_nan() || rate_rps == rate)
+                }
+                other => panic!("rate {rate}: expected InvalidRate, got {other:?}"),
+            }
+            let full = generate_requests(&[], 8, &arrival, 1);
+            assert!(
+                matches!(full, Err(RuntimeError::InvalidRate { .. })),
+                "rate {rate}: generate_requests must reject too"
+            );
+        }
+        // The error renders a one-line diagnosis for the CLI.
+        let msg = RuntimeError::InvalidRate { rate_rps: 0.0 }.to_string();
+        assert!(msg.contains("positive finite rate"), "{msg}");
+    }
+
+    #[test]
+    fn empty_fault_plan_serve_is_bit_identical_to_default() {
+        // A FaultPlan with a seed but no armed classes is "empty": the
+        // report (and its JSON bytes) must match the default serve
+        // under every batch policy.
+        let d = design(vec![2, 2], 4, &[100_000, 200_000]);
+        let reqs = timing_requests(24);
+        for batch in [
+            BatchPolicy::Auto,
+            BatchPolicy::Fixed(2),
+            BatchPolicy::Disabled,
+        ] {
+            for overlap in [false, true] {
+                let base = timing_opts(batch, overlap);
+                let with_plan = RuntimeOptions {
+                    faults: zynq::FaultPlan {
+                        seed: 99,
+                        ..zynq::FaultPlan::none()
+                    },
+                    ..base.clone()
+                };
+                let a = serve(&d, &[], &[], &[], &reqs, &base).unwrap().report;
+                let b = serve(&d, &[], &[], &[], &reqs, &with_plan).unwrap().report;
+                assert_eq!(a, b);
+                assert_eq!(a.to_json(), b.to_json(), "JSON bytes must match");
+                assert_eq!(a.completed, 24);
+                assert_eq!(a.failed + a.shed + a.timed_out + a.retried, 0);
+                assert_eq!(a.goodput_rps, a.throughput_rps);
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_serve_reports_reliability_and_replays_byte_identically() {
+        let d = design(vec![2], 8, &[200_000]);
+        let reqs = timing_requests(64);
+        let opts = RuntimeOptions {
+            faults: zynq::FaultPlan::transient(7, 0.2),
+            recovery: RecoveryPolicy {
+                max_retries: 6,
+                ..RecoveryPolicy::default()
+            },
+            ..timing_opts(BatchPolicy::Auto, true)
+        };
+        let a = serve(&d, &[], &[], &[], &reqs, &opts).unwrap().report;
+        let b = serve(&d, &[], &[], &[], &reqs, &opts).unwrap().report;
+        assert_eq!(a.to_json(), b.to_json(), "replay must be byte-identical");
+        assert_eq!(a.completed, 64, "enough retries to absorb 20% faults");
+        assert!(a.retried > 0, "some rounds must have failed");
+        assert!(a.transient_faults > 0);
+        assert!(a.goodput_rps <= a.offered_rps);
+        assert!(a.fault_plan.contains("transient=0.2"));
+        let json = a.to_json();
+        for key in [
+            "\"reliability\"",
+            "\"goodput_rps\"",
+            "\"p99_completed_s\"",
+            "\"faults\"",
+            "\"outcome\"",
+            "\"attempts\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(a.render_table().contains("reliability"));
+        assert!(a.render_table().contains("faults ["));
+    }
+
+    #[test]
+    fn failed_requests_get_structured_outcomes_and_empty_outputs() {
+        let src = cfdlang::examples::axpy(3);
+        let typed = cfdlang::check(&cfdlang::parse(&src).unwrap()).unwrap();
+        let module = factorize(&lower(&typed).unwrap());
+        let layout = LayoutPlan::row_major(&module);
+        let km = KernelModel::build(&module, &layout);
+        let sched = Schedule::reference(&km);
+        let kernel = build_kernel(&module, &km, &sched, &CodegenOptions::default());
+        let names = vec!["main".to_string()];
+        let modules = vec![&module];
+        let kernels = vec![&kernel];
+        let d = design(vec![2], 4, &[100_000]);
+        let reqs = generate_requests(&modules, 6, &Arrival::Closed, 3).unwrap();
+        let opts = RuntimeOptions {
+            execute: true,
+            // Every attempt corrupts: everything fails after the cap.
+            faults: zynq::FaultPlan {
+                corrupt_rate: 1.0,
+                ..zynq::FaultPlan::none()
+            },
+            recovery: RecoveryPolicy {
+                max_retries: 1,
+                ..RecoveryPolicy::default()
+            },
+            ..Default::default()
+        };
+        let out = serve(&d, &names, &modules, &kernels, &reqs, &opts).unwrap();
+        assert_eq!(out.report.failed, 6);
+        assert_eq!(out.report.completed, 0);
+        assert_eq!(out.report.goodput_rps, 0.0);
+        for t in &out.report.traces {
+            assert_eq!(t.outcome, RequestOutcome::Failed { attempts: 2 });
+            assert_eq!(t.attempts, 2);
+        }
+        assert_eq!(out.outputs.len(), 6);
+        assert!(out.outputs.iter().all(|o| o.is_empty()));
     }
 
     #[test]
@@ -711,6 +1124,9 @@ mod tests {
             "\"overlap_fraction\"",
             "\"traces\"",
             "\"fast_forwarded_rounds\"",
+            "\"reliability\"",
+            "\"goodput_rps\"",
+            "\"outcome\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }

@@ -1,0 +1,375 @@
+//! Deterministic fault injection for the serving DES.
+//!
+//! A [`FaultPlan`] is a *pure function* of `(seed, round, request-id,
+//! attempt)` — no wall clock, no hidden RNG state — so any schedule it
+//! perturbs is fully replayable: the same `(seed, plan, policy)` always
+//! reproduces the identical tick trace. Four fault classes model what a
+//! real Zynq board does under stress:
+//!
+//! 1. **DMA transfer stalls** — a round's input transfer takes extra
+//!    ticks (AXI back-pressure). Modelled as a doubled `t_in` for the
+//!    stalled round; timing only, no data loss.
+//! 2. **Transient errors** — a DMA or compute error aborts the round at
+//!    the error interrupt (end of execution); the outputs never drain
+//!    and the round's payloads are lost. Surviving requests re-enter
+//!    admission under the runtime's retry policy.
+//! 3. **Payload corruption** — a single request's output fails its
+//!    checksum when the round drains; that request alone retries, the
+//!    rest of the round completes.
+//! 4. **Hard board failure** — the board dies at tick `fail_at`
+//!    ([`Outage`]); in-flight work is lost and admission pauses. With
+//!    `recover_at` set the board comes back (drain, pause, resume);
+//!    without it every still-queued request is shed.
+//!
+//! The retry mechanics (attempt caps, capped exponential backoff,
+//! per-request deadlines) are a [`RecoverySpec`] in tick space; the
+//! `runtime` crate converts its user-facing `RecoveryPolicy` into one.
+
+use crate::des::{secs, Time};
+
+/// splitmix64 finalizer: the one hash every fault decision goes
+/// through. Chosen for avalanche quality — neighbouring rounds or
+/// request ids must not correlate.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hard board failure window (ticks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Tick at which the board dies; rounds in flight abort here.
+    pub fail_at: Time,
+    /// Tick at which the board is usable again; `None` = never.
+    pub recover_at: Option<Time>,
+}
+
+/// A seeded, replayable fault schedule. `FaultPlan::none()` injects
+/// nothing and leaves every schedule tick-identical to the fault-free
+/// simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Probability a round's input DMA stalls (class 1).
+    pub stall_rate: f64,
+    /// Probability a round fails transiently (class 2).
+    pub transient_rate: f64,
+    /// Probability one request's payload corrupts per attempt (class 3).
+    pub corrupt_rate: f64,
+    /// Hard board failure (class 4).
+    pub outage: Option<Outage>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            stall_rate: 0.0,
+            transient_rate: 0.0,
+            corrupt_rate: 0.0,
+            outage: None,
+        }
+    }
+
+    /// Transient-errors-only plan (the common smoke-test shape).
+    pub fn transient(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_rate: rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether the plan can inject anything at all. An unarmed plan
+    /// must leave the scheduler on the fault-free fast path (including
+    /// the closed-tick fast-forward).
+    pub fn armed(&self) -> bool {
+        self.stall_rate > 0.0
+            || self.transient_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.outage.is_some()
+    }
+
+    /// One Bernoulli draw, pure in `(seed, domain, a, b)`.
+    fn decide(&self, domain: u64, a: u64, b: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let h = mix(self.seed ^ mix(domain ^ mix(a ^ mix(b))));
+        // Top 53 bits → uniform in [0, 1).
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < rate
+    }
+
+    /// Does round `round_idx`'s input DMA stall? (Doubles `t_in`.)
+    pub fn dma_stalls(&self, round_idx: u64) -> bool {
+        self.decide(1, round_idx, 0, self.stall_rate)
+    }
+
+    /// Does round `round_idx` fail transiently? (Payloads lost.)
+    pub fn round_fails(&self, round_idx: u64) -> bool {
+        self.decide(2, round_idx, 0, self.transient_rate)
+    }
+
+    /// Does `request`'s attempt number `attempt` fail its output
+    /// checksum? Retries re-draw (different `attempt`), so a corrupted
+    /// request can succeed later.
+    pub fn corrupts(&self, request: u64, attempt: u32) -> bool {
+        self.decide(3, request, attempt as u64, self.corrupt_rate)
+    }
+
+    /// Parse a CLI spec: `SEED:SPEC` where `SPEC` is either a bare
+    /// transient-error rate (`7:0.1`) or comma-separated `key=value`
+    /// pairs from `transient`, `stall`, `corrupt` (rates in `[0, 1]`)
+    /// and `fail`, `recover` (seconds): `7:transient=0.1,stall=0.05,
+    /// fail=0.5,recover=0.8`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (seed_s, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("fault spec '{spec}' needs the form seed:rate"))?;
+        let seed: u64 = seed_s
+            .parse()
+            .map_err(|_| format!("fault spec seed '{seed_s}' is not a u64"))?;
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        };
+        let mut fail_s: Option<f64> = None;
+        let mut recover_s: Option<f64> = None;
+        let rate = |key: &str, v: &str| -> Result<f64, String> {
+            match v.parse::<f64>() {
+                Ok(r) if r.is_finite() && (0.0..=1.0).contains(&r) => Ok(r),
+                _ => Err(format!(
+                    "fault {key} rate '{v}' must be a finite number in [0, 1]"
+                )),
+            }
+        };
+        let when = |key: &str, v: &str| -> Result<f64, String> {
+            match v.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => Ok(t),
+                _ => Err(format!(
+                    "fault {key} time '{v}' must be a finite number of seconds >= 0"
+                )),
+            }
+        };
+        for item in rest.split(',') {
+            match item.split_once('=') {
+                None => plan.transient_rate = rate("transient", item)?,
+                Some(("transient", v)) => plan.transient_rate = rate("transient", v)?,
+                Some(("stall", v)) => plan.stall_rate = rate("stall", v)?,
+                Some(("corrupt", v)) => plan.corrupt_rate = rate("corrupt", v)?,
+                Some(("fail", v)) => fail_s = Some(when("fail", v)?),
+                Some(("recover", v)) => recover_s = Some(when("recover", v)?),
+                Some((k, _)) => {
+                    return Err(format!(
+                        "unknown fault key '{k}' (transient | stall | corrupt | fail | recover)"
+                    ))
+                }
+            }
+        }
+        match (fail_s, recover_s) {
+            (None, None) => {}
+            (None, Some(_)) => return Err("fault 'recover' needs a 'fail' time".into()),
+            (Some(f), r) => {
+                if let Some(r) = r {
+                    if r <= f {
+                        return Err(format!(
+                            "fault recover time {r} must be after fail time {f}"
+                        ));
+                    }
+                }
+                plan.outage = Some(Outage {
+                    fail_at: secs(f),
+                    recover_at: r.map(secs),
+                });
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Canonical display label (stable: the report replay guarantee
+    /// covers this string too).
+    pub fn label(&self) -> String {
+        if !self.armed() {
+            return "none".into();
+        }
+        let mut parts = vec![format!("seed={}", self.seed)];
+        if self.transient_rate > 0.0 {
+            parts.push(format!("transient={}", self.transient_rate));
+        }
+        if self.stall_rate > 0.0 {
+            parts.push(format!("stall={}", self.stall_rate));
+        }
+        if self.corrupt_rate > 0.0 {
+            parts.push(format!("corrupt={}", self.corrupt_rate));
+        }
+        if let Some(o) = &self.outage {
+            parts.push(format!("fail@{}", o.fail_at));
+            if let Some(r) = o.recover_at {
+                parts.push(format!("recover@{r}"));
+            }
+        }
+        parts.join(",")
+    }
+}
+
+/// Retry/timeout mechanics in tick space (the scheduler's view of the
+/// runtime's `RecoveryPolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpec {
+    /// Retries allowed after the first attempt (so at most
+    /// `max_retries + 1` attempts per request).
+    pub max_retries: u32,
+    /// Base backoff after the first failure; doubles per further
+    /// failure. 0 = requeue immediately.
+    pub backoff_ticks: u64,
+    /// Cap on the exponential backoff.
+    pub backoff_cap_ticks: u64,
+    /// Per-request latency budget from arrival; a request that cannot
+    /// (or did not) complete inside it is timed out.
+    pub deadline_ticks: Option<u64>,
+}
+
+impl Default for RecoverySpec {
+    fn default() -> Self {
+        RecoverySpec {
+            max_retries: 3,
+            backoff_ticks: 0,
+            backoff_cap_ticks: 0,
+            deadline_ticks: None,
+        }
+    }
+}
+
+impl RecoverySpec {
+    /// Backoff delay after the `failures`-th failure (1-based), capped
+    /// exponential: `base * 2^(failures-1)`, clamped to the cap.
+    pub fn backoff_after(&self, failures: u32) -> u64 {
+        if self.backoff_ticks == 0 || failures == 0 {
+            return 0;
+        }
+        let shifted = if failures > 63 {
+            u64::MAX
+        } else {
+            self.backoff_ticks.saturating_mul(1u64 << (failures - 1))
+        };
+        if self.backoff_cap_ticks > 0 {
+            shifted.min(self.backoff_cap_ticks)
+        } else {
+            shifted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let a = FaultPlan::transient(7, 0.3);
+        let b = FaultPlan::transient(7, 0.3);
+        let c = FaultPlan::transient(8, 0.3);
+        let fires_a: Vec<bool> = (0..256).map(|r| a.round_fails(r)).collect();
+        let fires_b: Vec<bool> = (0..256).map(|r| b.round_fails(r)).collect();
+        let fires_c: Vec<bool> = (0..256).map(|r| c.round_fails(r)).collect();
+        assert_eq!(fires_a, fires_b, "same seed, same plan, same draws");
+        assert_ne!(fires_a, fires_c, "seed changes the draws");
+        let hits = fires_a.iter().filter(|&&f| f).count();
+        assert!(
+            (32..=128).contains(&hits),
+            "0.3 rate fired {hits}/256 times"
+        );
+    }
+
+    #[test]
+    fn rate_extremes_are_exact() {
+        let never = FaultPlan::transient(3, 0.0);
+        let always = FaultPlan::transient(3, 1.0);
+        assert!((0..64).all(|r| !never.round_fails(r)));
+        assert!((0..64).all(|r| always.round_fails(r)));
+        assert!(!never.armed());
+        assert!(always.armed());
+        assert!(!FaultPlan::none().armed());
+    }
+
+    #[test]
+    fn corrupt_draws_vary_by_attempt() {
+        let p = FaultPlan {
+            corrupt_rate: 0.5,
+            ..FaultPlan::transient(11, 0.0)
+        };
+        // Some request must corrupt on one attempt and pass on another —
+        // retries re-draw.
+        let varies = (0..64u64).any(|req| p.corrupts(req, 1) != p.corrupts(req, 2));
+        assert!(varies, "attempt number never changed the draw");
+    }
+
+    #[test]
+    fn spec_parsing_roundtrips_and_rejects_garbage() {
+        let p = FaultPlan::parse("7:0.1").unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.transient_rate, 0.1);
+        assert!(p.armed());
+
+        let full = FaultPlan::parse("42:transient=0.2,stall=0.1,corrupt=0.05,fail=0.5,recover=0.8")
+            .unwrap();
+        assert_eq!(full.seed, 42);
+        assert_eq!(full.stall_rate, 0.1);
+        assert_eq!(full.corrupt_rate, 0.05);
+        let o = full.outage.unwrap();
+        assert_eq!(o.fail_at, secs(0.5));
+        assert_eq!(o.recover_at, Some(secs(0.8)));
+
+        for bad in [
+            "no-colon",
+            "x:0.1",
+            "7:1.5",
+            "7:nan",
+            "7:-0.1",
+            "7:bogus=1",
+            "7:recover=0.5",
+            "7:fail=0.8,recover=0.5",
+            "7:fail=inf",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn labels_are_canonical() {
+        assert_eq!(FaultPlan::none().label(), "none");
+        let p = FaultPlan::parse("7:0.1,corrupt=0.05").unwrap();
+        assert_eq!(p.label(), "seed=7,transient=0.1,corrupt=0.05");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = RecoverySpec {
+            max_retries: 8,
+            backoff_ticks: 100,
+            backoff_cap_ticks: 350,
+            deadline_ticks: None,
+        };
+        assert_eq!(r.backoff_after(0), 0);
+        assert_eq!(r.backoff_after(1), 100);
+        assert_eq!(r.backoff_after(2), 200);
+        assert_eq!(r.backoff_after(3), 350, "capped");
+        assert_eq!(r.backoff_after(40), 350, "still capped far out");
+        let immediate = RecoverySpec::default();
+        assert_eq!(immediate.backoff_after(5), 0, "no base, no delay");
+        let uncapped = RecoverySpec {
+            backoff_ticks: 1,
+            backoff_cap_ticks: 0,
+            ..RecoverySpec::default()
+        };
+        assert_eq!(uncapped.backoff_after(70), u64::MAX, "saturates");
+    }
+}

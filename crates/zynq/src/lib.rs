@@ -26,6 +26,10 @@
 //!   independent invocations coalesced into hardware rounds and
 //!   time-multiplexed over one system with double-buffered DMA (the
 //!   `crates/runtime` service layer drives it),
+//! * [`fault`] — deterministic fault injection for that stream: a
+//!   seeded [`FaultPlan`] perturbs the schedule with DMA stalls,
+//!   transient round errors, payload corruption and hard board
+//!   failures, fully replayable per seed,
 //! * [`verify`] — functional validation: sampled elements are executed
 //!   through the generated kernel and compared against the `teil`
 //!   reference interpreter.
@@ -37,17 +41,21 @@
 pub mod arm;
 pub mod des;
 pub mod dma;
+pub mod fault;
 pub mod sim;
 pub mod stream;
 pub mod verify;
 
 pub use arm::ArmCostModel;
 pub use dma::DmaModel;
+pub use fault::{FaultPlan, Outage, RecoverySpec};
 pub use sim::{
     program_round, simulate_hw, simulate_program, HwResult, ProgramHwResult, ProgramRound,
     SimConfig,
 };
-pub use stream::{simulate_batch_stream, StreamOutcome};
+pub use stream::{
+    simulate_batch_stream, simulate_faulty_stream, FaultStreamOutcome, StreamOutcome, StreamStatus,
+};
 pub use verify::{
     random_program_inputs, run_program_chain, run_program_reference, verify_elements,
     verify_program, VerifyResult,

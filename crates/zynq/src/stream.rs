@@ -24,7 +24,8 @@
 //!   [`StreamOutcome::fast_forwarded_rounds`]).
 
 use crate::des::Time;
-use crate::sim::{program_round, SimConfig};
+use crate::fault::{FaultPlan, RecoverySpec};
+use crate::sim::{program_round, ProgramRound, SimConfig};
 use sysgen::MultiSystemDesign;
 
 /// Timing outcome of serving a request stream on one system.
@@ -282,6 +283,562 @@ fn stream_overlapped(
     }
 }
 
+/// Terminal status of one request under the fault-aware scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStatus {
+    /// Outputs drained and passed their checksum (inside the deadline,
+    /// when one was set).
+    Completed,
+    /// The per-request deadline expired before the request could
+    /// complete.
+    TimedOut,
+    /// Dropped through no fault of its own: the board died and never
+    /// recovered.
+    Shed,
+    /// Every allowed attempt failed (transient errors or corruption).
+    Failed,
+}
+
+/// [`StreamOutcome`] plus per-request reliability data from the
+/// fault-aware scheduler. For requests that never completed,
+/// `completion_ticks` holds the tick the scheduler gave up
+/// (== `resolved_ticks`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStreamOutcome {
+    pub stream: StreamOutcome,
+    /// Terminal status per request, arrival order.
+    pub statuses: Vec<StreamStatus>,
+    /// Hardware rounds each request participated in.
+    pub attempts: Vec<u32>,
+    /// Tick at which each request resolved (completion, or the moment
+    /// the scheduler gave up on it), arrival order.
+    pub resolved_ticks: Vec<Time>,
+    /// Rounds whose input DMA stalled.
+    pub dma_stalls: usize,
+    /// Rounds aborted by a transient DMA/compute error.
+    pub transient_faults: usize,
+    /// Per-request checksum failures detected at drain.
+    pub corrupt_payloads: usize,
+    /// Requests requeued because the board failed mid-round.
+    pub outage_requeues: usize,
+}
+
+impl FaultStreamOutcome {
+    /// Wrap a fault-free [`StreamOutcome`]: every request completed on
+    /// its first attempt.
+    fn clean(stream: StreamOutcome) -> FaultStreamOutcome {
+        let n = stream.completion_ticks.len();
+        FaultStreamOutcome {
+            statuses: vec![StreamStatus::Completed; n],
+            attempts: vec![1; n],
+            resolved_ticks: stream.completion_ticks.clone(),
+            stream,
+            dma_stalls: 0,
+            transient_faults: 0,
+            corrupt_payloads: 0,
+            outage_requeues: 0,
+        }
+    }
+}
+
+/// Serve `arrivals` under a [`FaultPlan`] and [`RecoverySpec`].
+///
+/// With an unarmed plan and no deadline this runs *the same code* as
+/// [`simulate_batch_stream`] — fast-forward included — so the fault-free
+/// configuration is tick- and bit-identical to the plain stream by
+/// construction. An armed plan (or a deadline) switches to the
+/// fault-aware round loop, which walks every round individually: the
+/// closed-tick fast-forward is bypassed, because a fault inside a
+/// collapsed backlog would otherwise be skipped silently.
+///
+/// Board-outage semantics are defined on the serial round loop (a
+/// failure tears down DMA and chain at one tick), so an armed outage
+/// degrades double buffering to the serial schedule; the other fault
+/// classes keep the overlapped scheduler.
+pub fn simulate_faulty_stream(
+    design: &MultiSystemDesign,
+    cfg: &SimConfig,
+    arrivals: &[Time],
+    capacity: usize,
+    overlap: bool,
+    plan: &FaultPlan,
+    rec: &RecoverySpec,
+) -> FaultStreamOutcome {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    let capacity = capacity.clamp(1, design.config.m);
+    let round = program_round(design, cfg);
+    let overlap = overlap && design.config.ks.iter().all(|&k| design.config.m >= 2 * k);
+    if !plan.armed() && rec.deadline_ticks.is_none() {
+        let stream = if overlap {
+            stream_overlapped(arrivals, capacity, &round)
+        } else {
+            stream_serial(arrivals, capacity, &round)
+        };
+        return FaultStreamOutcome::clean(stream);
+    }
+    if overlap && plan.outage.is_none() {
+        stream_faulty_overlapped(arrivals, capacity, &round, plan, rec)
+    } else {
+        stream_faulty_serial(arrivals, capacity, &round, plan, rec)
+    }
+}
+
+/// A request still waiting (or retrying) in the fault-aware scheduler.
+#[derive(Debug, Clone)]
+struct Pend {
+    /// Arrival-order position (the request's identity in fault draws).
+    pos: usize,
+    arrival: Time,
+    /// Earliest tick the request may join a round (arrival, then
+    /// retry-backoff or outage-recovery times).
+    eligible: Time,
+    attempts: u32,
+    failures: u32,
+}
+
+/// Per-request resolution arrays + aggregate counters shared by both
+/// fault-aware loops.
+struct FaultAcc {
+    admitted: Vec<Time>,
+    completion: Vec<Time>,
+    resolved: Vec<Time>,
+    statuses: Vec<StreamStatus>,
+    attempts: Vec<u32>,
+    fills: Vec<usize>,
+    exec_ticks: u64,
+    transfer_ticks: u64,
+    makespan: Time,
+    dma_stalls: usize,
+    transient_faults: usize,
+    corrupt_payloads: usize,
+    outage_requeues: usize,
+}
+
+impl FaultAcc {
+    fn new(n: usize) -> FaultAcc {
+        FaultAcc {
+            admitted: vec![0; n],
+            completion: vec![0; n],
+            resolved: vec![0; n],
+            statuses: vec![StreamStatus::Completed; n],
+            attempts: vec![0; n],
+            fills: Vec::new(),
+            exec_ticks: 0,
+            transfer_ticks: 0,
+            makespan: 0,
+            dma_stalls: 0,
+            transient_faults: 0,
+            corrupt_payloads: 0,
+            outage_requeues: 0,
+        }
+    }
+
+    /// Record a request's terminal state.
+    fn resolve(&mut self, p: &Pend, status: StreamStatus, at: Time) {
+        self.statuses[p.pos] = status;
+        self.attempts[p.pos] = p.attempts;
+        self.resolved[p.pos] = at;
+        self.completion[p.pos] = at;
+        self.makespan = self.makespan.max(at);
+    }
+
+    fn finish(self, overlapped_ticks: u64, double_buffered: bool) -> FaultStreamOutcome {
+        FaultStreamOutcome {
+            stream: StreamOutcome {
+                admitted_ticks: self.admitted,
+                completion_ticks: self.completion,
+                round_fills: self.fills,
+                exec_ticks: self.exec_ticks,
+                transfer_ticks: self.transfer_ticks,
+                overlapped_ticks,
+                makespan_ticks: self.makespan,
+                fast_forwarded_rounds: 0,
+                double_buffered,
+            },
+            statuses: self.statuses,
+            attempts: self.attempts,
+            resolved_ticks: self.resolved,
+            dma_stalls: self.dma_stalls,
+            transient_faults: self.transient_faults,
+            corrupt_payloads: self.corrupt_payloads,
+            outage_requeues: self.outage_requeues,
+        }
+    }
+}
+
+/// Time out every eligible request whose latency budget cannot cover
+/// even a fault-free round starting at `start`. Returns true if any
+/// request was shed (the caller re-derives its round start).
+fn shed_expired(
+    pending: &mut Vec<Pend>,
+    acc: &mut FaultAcc,
+    rec: &RecoverySpec,
+    start: Time,
+    clean_latency: u64,
+) -> bool {
+    let Some(d) = rec.deadline_ticks else {
+        return false;
+    };
+    let mut timed_out = false;
+    // retain() can't reach `acc`, so collect then remove.
+    let expired: Vec<usize> = pending
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.eligible <= start && p.arrival.saturating_add(d) < start + clean_latency)
+        .map(|(j, _)| j)
+        .collect();
+    for &j in expired.iter().rev() {
+        let p = pending.remove(j);
+        acc.resolve(&p, StreamStatus::TimedOut, start);
+        timed_out = true;
+    }
+    timed_out
+}
+
+/// The serial fault-aware loop: rounds strictly one after another, every
+/// round walked individually (no fast-forward), faults drawn from the
+/// plan, failed work requeued under the recovery spec.
+fn stream_faulty_serial(
+    arrivals: &[Time],
+    capacity: usize,
+    round: &ProgramRound,
+    plan: &FaultPlan,
+    rec: &RecoverySpec,
+) -> FaultStreamOutcome {
+    let n = arrivals.len();
+    let exec = round.exec();
+    let rt = round.total();
+    let mut acc = FaultAcc::new(n);
+    let mut pending: Vec<Pend> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(pos, &a)| Pend {
+            pos,
+            arrival: a,
+            eligible: a,
+            attempts: 0,
+            failures: 0,
+        })
+        .collect();
+    let mut now: Time = 0;
+    let mut round_idx: u64 = 0;
+    while !pending.is_empty() {
+        let t_min = pending.iter().map(|p| p.eligible).min().unwrap();
+        let mut start = now.max(t_min);
+        // Admission pauses while the board is down; without recovery the
+        // rest of the queue sheds at the failure tick.
+        if let Some(o) = plan.outage {
+            if start >= o.fail_at {
+                match o.recover_at {
+                    Some(r) if start < r => start = r,
+                    Some(_) => {}
+                    None => {
+                        let at = now.max(o.fail_at);
+                        for p in std::mem::take(&mut pending) {
+                            acc.resolve(&p, StreamStatus::Shed, at);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        if shed_expired(&mut pending, &mut acc, rec, start, rt) {
+            continue;
+        }
+        // Admit up to `capacity` eligible requests, stable arrival
+        // order (requeued work keeps its original priority).
+        let fill: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.eligible <= start)
+            .map(|(j, _)| j)
+            .take(capacity)
+            .collect();
+        round_idx += 1;
+        let stalled = plan.dma_stalls(round_idx);
+        let t_in = if stalled {
+            acc.dma_stalls += 1;
+            2 * round.t_in
+        } else {
+            round.t_in
+        };
+        let in_done = start + t_in;
+        let exec_done = in_done + exec;
+        let out_done = exec_done + round.t_out;
+        // Hard failure mid-round: in-flight work is lost at the failure
+        // tick. The aborted round bills nothing (its timers died with
+        // the board) and does not consume an attempt — the requeue waits
+        // for recovery.
+        if let Some(o) = plan.outage {
+            if o.fail_at > start && o.fail_at <= out_done {
+                acc.outage_requeues += fill.len();
+                for &j in &fill {
+                    pending[j].eligible = o.recover_at.unwrap_or(Time::MAX);
+                }
+                now = o.fail_at;
+                acc.makespan = acc.makespan.max(now);
+                continue;
+            }
+        }
+        for &j in &fill {
+            let p = &mut pending[j];
+            p.attempts += 1;
+            acc.admitted[p.pos] = start;
+        }
+        acc.fills.push(fill.len());
+        if plan.round_fails(round_idx) {
+            // Transient error: the round aborts at the error interrupt
+            // (end of execution); outputs never drain, payloads lost.
+            acc.transient_faults += 1;
+            acc.exec_ticks += exec;
+            acc.transfer_ticks += t_in;
+            now = exec_done;
+            acc.makespan = acc.makespan.max(now);
+            for &j in fill.iter().rev() {
+                pending[j].failures += 1;
+                if pending[j].failures > rec.max_retries {
+                    let p = pending.remove(j);
+                    acc.resolve(&p, StreamStatus::Failed, exec_done);
+                } else {
+                    let f = pending[j].failures;
+                    pending[j].eligible = exec_done + rec.backoff_after(f);
+                }
+            }
+            continue;
+        }
+        // Round completes: outputs drain and checksums verify. A
+        // corrupted payload retries alone; everyone else resolves.
+        acc.exec_ticks += exec;
+        acc.transfer_ticks += t_in + round.t_out;
+        now = out_done;
+        acc.makespan = acc.makespan.max(now);
+        for &j in fill.iter().rev() {
+            let p = &mut pending[j];
+            if plan.corrupts(p.pos as u64, p.attempts) {
+                acc.corrupt_payloads += 1;
+                p.failures += 1;
+                if p.failures > rec.max_retries {
+                    let p = pending.remove(j);
+                    acc.resolve(&p, StreamStatus::Failed, out_done);
+                } else {
+                    let f = p.failures;
+                    pending[j].eligible = out_done + rec.backoff_after(f);
+                }
+            } else {
+                let status = match rec.deadline_ticks {
+                    Some(d) if out_done > p.arrival.saturating_add(d) => StreamStatus::TimedOut,
+                    _ => StreamStatus::Completed,
+                };
+                let p = pending.remove(j);
+                acc.resolve(&p, status, out_done);
+            }
+        }
+    }
+    acc.finish(0, false)
+}
+
+/// Drain one finished round's outputs in the overlapped fault loop:
+/// checksum each payload, resolve the clean ones, requeue (or fail) the
+/// corrupted ones.
+#[allow(clippy::too_many_arguments)]
+fn drain_faulty(
+    ready: Time,
+    ents: Vec<Pend>,
+    round: &ProgramRound,
+    plan: &FaultPlan,
+    rec: &RecoverySpec,
+    acc: &mut FaultAcc,
+    pending: &mut Vec<Pend>,
+    dma_free: &mut Time,
+    dma_iv: &mut Vec<(Time, Time)>,
+) {
+    let out_start = ready.max(*dma_free);
+    let out_done = out_start + round.t_out;
+    *dma_free = out_done;
+    acc.transfer_ticks += round.t_out;
+    dma_iv.push((out_start, out_done));
+    acc.makespan = acc.makespan.max(out_done);
+    let mut requeued = false;
+    for mut p in ents {
+        if plan.corrupts(p.pos as u64, p.attempts) {
+            acc.corrupt_payloads += 1;
+            p.failures += 1;
+            if p.failures > rec.max_retries {
+                acc.resolve(&p, StreamStatus::Failed, out_done);
+            } else {
+                p.eligible = out_done + rec.backoff_after(p.failures);
+                pending.push(p);
+                requeued = true;
+            }
+        } else {
+            let status = match rec.deadline_ticks {
+                Some(d) if out_done > p.arrival.saturating_add(d) => StreamStatus::TimedOut,
+                _ => StreamStatus::Completed,
+            };
+            acc.resolve(&p, status, out_done);
+        }
+    }
+    if requeued {
+        // Requeued work keeps its original admission priority.
+        pending.sort_by_key(|p| p.pos);
+    }
+}
+
+/// The double-buffered fault-aware loop (no outage — see
+/// [`simulate_faulty_stream`]): DMA and chain as two serially reused
+/// resources, with transient errors suppressing a round's drain and
+/// corrupted payloads retrying after theirs.
+fn stream_faulty_overlapped(
+    arrivals: &[Time],
+    capacity: usize,
+    round: &ProgramRound,
+    plan: &FaultPlan,
+    rec: &RecoverySpec,
+) -> FaultStreamOutcome {
+    let n = arrivals.len();
+    let exec = round.exec();
+    let rt = round.total();
+    let mut acc = FaultAcc::new(n);
+    let mut pending: Vec<Pend> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(pos, &a)| Pend {
+            pos,
+            arrival: a,
+            eligible: a,
+            attempts: 0,
+            failures: 0,
+        })
+        .collect();
+    let mut dma_iv: Vec<(Time, Time)> = Vec::new();
+    let mut chain_iv: Vec<(Time, Time)> = Vec::new();
+    let mut dma_free: Time = 0;
+    let mut chain_free: Time = 0;
+    // The round whose outputs still wait to drain: (exec_done, its
+    // requests).
+    let mut pending_out: Option<(Time, Vec<Pend>)> = None;
+    let mut round_idx: u64 = 0;
+    while !pending.is_empty() || pending_out.is_some() {
+        if pending.is_empty() {
+            let (ready, ents) = pending_out.take().unwrap();
+            drain_faulty(
+                ready,
+                ents,
+                round,
+                plan,
+                rec,
+                &mut acc,
+                &mut pending,
+                &mut dma_free,
+                &mut dma_iv,
+            );
+            continue;
+        }
+        let t_min = pending.iter().map(|p| p.eligible).min().unwrap();
+        // Sparse queue: drain a finished round if it fits before the
+        // next load could even start (the drain may requeue corrupted
+        // requests, so re-derive afterwards).
+        if let Some((ready, _)) = &pending_out {
+            let out_start = (*ready).max(dma_free);
+            if out_start + round.t_out <= t_min {
+                let (ready, ents) = pending_out.take().unwrap();
+                drain_faulty(
+                    ready,
+                    ents,
+                    round,
+                    plan,
+                    rec,
+                    &mut acc,
+                    &mut pending,
+                    &mut dma_free,
+                    &mut dma_iv,
+                );
+                continue;
+            }
+        }
+        let load_at = dma_free.max(t_min);
+        if shed_expired(&mut pending, &mut acc, rec, load_at, rt) {
+            continue;
+        }
+        // Admit and pull the round's requests out of the queue.
+        let fill: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.eligible <= load_at)
+            .map(|(j, _)| j)
+            .take(capacity)
+            .collect();
+        let mut ents: Vec<Pend> = Vec::with_capacity(fill.len());
+        for &j in fill.iter().rev() {
+            ents.push(pending.remove(j));
+        }
+        ents.reverse();
+        round_idx += 1;
+        let stalled = plan.dma_stalls(round_idx);
+        let t_in = if stalled {
+            acc.dma_stalls += 1;
+            2 * round.t_in
+        } else {
+            round.t_in
+        };
+        let in_done = load_at + t_in;
+        dma_free = in_done;
+        acc.transfer_ticks += t_in;
+        dma_iv.push((load_at, in_done));
+        for p in &mut ents {
+            p.attempts += 1;
+            acc.admitted[p.pos] = load_at;
+        }
+        acc.fills.push(ents.len());
+        let exec_start = in_done.max(chain_free);
+        let exec_done = exec_start + exec;
+        chain_free = exec_done;
+        acc.exec_ticks += exec;
+        chain_iv.push((exec_start, exec_done));
+        acc.makespan = acc.makespan.max(exec_done);
+        // Drain the previous round's outputs while this one executes.
+        if let Some((ready, prev)) = pending_out.take() {
+            drain_faulty(
+                ready,
+                prev,
+                round,
+                plan,
+                rec,
+                &mut acc,
+                &mut pending,
+                &mut dma_free,
+                &mut dma_iv,
+            );
+        }
+        if plan.round_fails(round_idx) {
+            // Transient error at the end of execution: no drain, the
+            // round's payloads are lost.
+            acc.transient_faults += 1;
+            let mut requeued = false;
+            for mut p in ents {
+                p.failures += 1;
+                if p.failures > rec.max_retries {
+                    acc.resolve(&p, StreamStatus::Failed, exec_done);
+                } else {
+                    p.eligible = exec_done + rec.backoff_after(p.failures);
+                    pending.push(p);
+                    requeued = true;
+                }
+            }
+            if requeued {
+                pending.sort_by_key(|p| p.pos);
+            }
+        } else {
+            pending_out = Some((exec_done, ents));
+        }
+    }
+    let overlapped = intervals_intersection(&dma_iv, &chain_iv);
+    acc.finish(overlapped, true)
+}
+
 /// Total intersection of two interval lists, each sorted by start and
 /// internally non-overlapping (each models one serially reused
 /// resource).
@@ -451,6 +1008,303 @@ mod tests {
         let a = simulate_batch_stream(&d, &cfg, &[0; 8], 64, false);
         let b = simulate_batch_stream(&d, &cfg, &[0; 8], 4, false);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unarmed_plan_with_default_recovery_is_the_clean_scheduler() {
+        // The fault-free configuration runs the very same scheduler
+        // code: the whole StreamOutcome (fast-forward counter included)
+        // must be equal, under both schedules.
+        let d = design(vec![2, 2], 4, &[200_000, 200_000]);
+        let cfg = SimConfig::default();
+        for overlap in [false, true] {
+            let clean = simulate_batch_stream(&d, &cfg, &[0; 16], 4, overlap);
+            let f = simulate_faulty_stream(
+                &d,
+                &cfg,
+                &[0; 16],
+                4,
+                overlap,
+                &FaultPlan::none(),
+                &RecoverySpec::default(),
+            );
+            assert_eq!(f.stream, clean);
+            assert!(f.statuses.iter().all(|&s| s == StreamStatus::Completed));
+            assert!(f.attempts.iter().all(|&a| a == 1));
+            assert_eq!(f.resolved_ticks, clean.completion_ticks);
+        }
+    }
+
+    #[test]
+    fn armed_plan_bypasses_fast_forward_and_fires_mid_backlog() {
+        // A closed backlog normally collapses via the closed-tick
+        // fast-forward; a fault in the middle of that backlog must still
+        // fire, so an armed plan walks every round.
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let n = 16;
+        let clean = simulate_batch_stream(&d, &cfg, &vec![0; n], 4, false);
+        assert!(clean.fast_forwarded_rounds > 0, "backlog must fast-forward");
+        // Find a seed whose first fault lands mid-backlog (not round 1).
+        let plan = (0..1000)
+            .map(|seed| FaultPlan::transient(seed, 0.3))
+            .find(|p| !p.round_fails(1) && (2..=4).any(|r| p.round_fails(r)))
+            .expect("no seed fired mid-backlog");
+        let out = simulate_faulty_stream(
+            &d,
+            &cfg,
+            &vec![0; n],
+            4,
+            false,
+            &plan,
+            &RecoverySpec::default(),
+        );
+        assert_eq!(
+            out.stream.fast_forwarded_rounds, 0,
+            "armed plan fast-forwarded"
+        );
+        assert!(out.transient_faults > 0, "mid-backlog fault never fired");
+        assert!(
+            out.stream.rounds() > 4,
+            "failed rounds must be re-dispatched"
+        );
+        assert!(out.attempts.iter().any(|&a| a > 1));
+        assert!(out.statuses.iter().all(|&s| s == StreamStatus::Completed));
+        assert!(out.stream.makespan_ticks > clean.makespan_ticks);
+    }
+
+    #[test]
+    fn deadline_only_fault_loop_matches_clean_ticks() {
+        // A huge deadline arms the fault-aware loop without any faults:
+        // its schedule must be tick-identical to the clean scheduler
+        // (the fast-forward counter is the one allowed difference).
+        let d = design(vec![2, 2], 4, &[200_000, 200_000]);
+        let cfg = SimConfig::default();
+        let rt = program_round(&d, &cfg).total();
+        let rec = RecoverySpec {
+            deadline_ticks: Some(u64::MAX),
+            ..RecoverySpec::default()
+        };
+        let cases: Vec<Vec<Time>> = vec![
+            vec![0; 16],
+            vec![0, 0, rt / 2, rt, 3 * rt, 3 * rt, 50 * rt, 50 * rt + 1],
+        ];
+        for arrivals in &cases {
+            for overlap in [false, true] {
+                for capacity in [1, 3, 4] {
+                    let clean = simulate_batch_stream(&d, &cfg, arrivals, capacity, overlap);
+                    let f = simulate_faulty_stream(
+                        &d,
+                        &cfg,
+                        arrivals,
+                        capacity,
+                        overlap,
+                        &FaultPlan::none(),
+                        &rec,
+                    );
+                    assert_eq!(f.stream.admitted_ticks, clean.admitted_ticks);
+                    assert_eq!(f.stream.completion_ticks, clean.completion_ticks);
+                    assert_eq!(f.stream.round_fills, clean.round_fills);
+                    assert_eq!(f.stream.exec_ticks, clean.exec_ticks);
+                    assert_eq!(f.stream.transfer_ticks, clean.transfer_ticks);
+                    assert_eq!(f.stream.overlapped_ticks, clean.overlapped_ticks);
+                    assert_eq!(f.stream.makespan_ticks, clean.makespan_ticks);
+                    assert!(f.statuses.iter().all(|&s| s == StreamStatus::Completed));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_are_capped_and_fail_structured() {
+        // Every attempt corrupts: each request burns 1 + max_retries
+        // attempts and fails.
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let plan = FaultPlan {
+            corrupt_rate: 1.0,
+            ..FaultPlan::transient(5, 0.0)
+        };
+        let rec = RecoverySpec {
+            max_retries: 2,
+            ..RecoverySpec::default()
+        };
+        for overlap in [false, true] {
+            let out = simulate_faulty_stream(&d, &cfg, &[0; 8], 4, overlap, &plan, &rec);
+            assert!(out.statuses.iter().all(|&s| s == StreamStatus::Failed));
+            assert!(out.attempts.iter().all(|&a| a == 3), "{:?}", out.attempts);
+            assert_eq!(out.corrupt_payloads, 24);
+        }
+    }
+
+    #[test]
+    fn backoff_delays_retries_in_tick_space() {
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let plan = FaultPlan::transient(1, 1.0);
+        let slow = RecoverySpec {
+            max_retries: 2,
+            backoff_ticks: 1_000_000,
+            backoff_cap_ticks: 0,
+            deadline_ticks: None,
+        };
+        let fast = RecoverySpec {
+            max_retries: 2,
+            ..RecoverySpec::default()
+        };
+        let a = simulate_faulty_stream(&d, &cfg, &[0; 4], 4, false, &plan, &slow);
+        let b = simulate_faulty_stream(&d, &cfg, &[0; 4], 4, false, &plan, &fast);
+        assert!(a.stream.makespan_ticks >= b.stream.makespan_ticks + 3_000_000 - 1);
+    }
+
+    #[test]
+    fn deadlines_shed_requests_that_cannot_finish() {
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let rt = program_round(&d, &cfg).total();
+        // Capacity 1: request k starts at k*rt, so with a deadline of
+        // 2.5 rounds only the first few can make it.
+        let rec = RecoverySpec {
+            deadline_ticks: Some(rt * 5 / 2),
+            ..RecoverySpec::default()
+        };
+        let out = simulate_faulty_stream(&d, &cfg, &[0; 8], 1, false, &FaultPlan::none(), &rec);
+        let done = out
+            .statuses
+            .iter()
+            .filter(|&&s| s == StreamStatus::Completed)
+            .count();
+        let timed = out
+            .statuses
+            .iter()
+            .filter(|&&s| s == StreamStatus::TimedOut)
+            .count();
+        assert_eq!(done, 2, "{:?}", out.statuses);
+        assert_eq!(timed, 6);
+        // Completed requests all made their deadline.
+        for (i, &s) in out.statuses.iter().enumerate() {
+            if s == StreamStatus::Completed {
+                assert!(out.resolved_ticks[i] <= rec.deadline_ticks.unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn outage_without_recovery_sheds_the_queue() {
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let rt = program_round(&d, &cfg).total();
+        let plan = FaultPlan {
+            outage: Some(crate::fault::Outage {
+                fail_at: rt + rt / 2,
+                recover_at: None,
+            }),
+            ..FaultPlan::none()
+        };
+        let out = simulate_faulty_stream(
+            &d,
+            &cfg,
+            &[0; 8],
+            4,
+            true, // degrades to serial under an armed outage
+            &plan,
+            &RecoverySpec::default(),
+        );
+        assert!(!out.stream.double_buffered);
+        // Round 1 (requests 0-3) completed before the failure; round 2
+        // was in flight and is lost, then shed.
+        let done = out
+            .statuses
+            .iter()
+            .filter(|&&s| s == StreamStatus::Completed)
+            .count();
+        let shed = out
+            .statuses
+            .iter()
+            .filter(|&&s| s == StreamStatus::Shed)
+            .count();
+        assert_eq!(done, 4, "{:?}", out.statuses);
+        assert_eq!(shed, 4);
+        assert!(
+            out.outage_requeues > 0,
+            "in-flight round must requeue first"
+        );
+    }
+
+    #[test]
+    fn outage_with_recovery_drains_pauses_and_resumes() {
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let rt = program_round(&d, &cfg).total();
+        let fail_at = rt + rt / 2;
+        let recover_at = 10 * rt;
+        let plan = FaultPlan {
+            outage: Some(crate::fault::Outage {
+                fail_at,
+                recover_at: Some(recover_at),
+            }),
+            ..FaultPlan::none()
+        };
+        let out =
+            simulate_faulty_stream(&d, &cfg, &[0; 8], 4, false, &plan, &RecoverySpec::default());
+        assert!(out.statuses.iter().all(|&s| s == StreamStatus::Completed));
+        // The interrupted round re-runs after recovery.
+        assert!(out.stream.makespan_ticks >= recover_at + rt);
+        for (i, &c) in out.stream.completion_ticks.iter().enumerate() {
+            if i < 4 {
+                assert!(c < fail_at, "round 1 completed before the outage");
+            } else {
+                assert!(c >= recover_at, "round 2 only after recovery");
+            }
+        }
+    }
+
+    #[test]
+    fn dma_stalls_inflate_transfers_only() {
+        let d = design(vec![2], 4, &[200_000]);
+        let cfg = SimConfig::default();
+        let round = program_round(&d, &cfg);
+        let plan = FaultPlan {
+            stall_rate: 1.0,
+            ..FaultPlan::transient(9, 0.0)
+        };
+        let out =
+            simulate_faulty_stream(&d, &cfg, &[0; 8], 4, false, &plan, &RecoverySpec::default());
+        assert!(out.statuses.iter().all(|&s| s == StreamStatus::Completed));
+        assert_eq!(out.dma_stalls, 2);
+        assert_eq!(
+            out.stream.transfer_ticks,
+            2 * (2 * round.t_in + round.t_out),
+            "every input transfer doubled"
+        );
+        let clean = simulate_batch_stream(&d, &cfg, &[0; 8], 4, false);
+        assert_eq!(out.stream.exec_ticks, clean.exec_ticks);
+        assert_eq!(
+            out.stream.makespan_ticks,
+            clean.makespan_ticks + 2 * round.t_in
+        );
+    }
+
+    #[test]
+    fn faulty_stream_replays_identically() {
+        let d = design(vec![2, 2], 4, &[100_000, 300_000]);
+        let cfg = SimConfig::default();
+        let plan = FaultPlan {
+            stall_rate: 0.2,
+            corrupt_rate: 0.1,
+            ..FaultPlan::transient(1234, 0.25)
+        };
+        let rec = RecoverySpec {
+            max_retries: 4,
+            backoff_ticks: 50_000,
+            backoff_cap_ticks: 400_000,
+            deadline_ticks: Some(u64::MAX / 2),
+        };
+        for overlap in [false, true] {
+            let a = simulate_faulty_stream(&d, &cfg, &vec![0; 32], 4, overlap, &plan, &rec);
+            let b = simulate_faulty_stream(&d, &cfg, &vec![0; 32], 4, overlap, &plan, &rec);
+            assert_eq!(a, b, "same (seed, plan, policy) must replay exactly");
+        }
     }
 
     #[test]

@@ -86,7 +86,7 @@ proptest! {
         let c = Compiled::new(&src, None);
         let modules = c.modules();
         let kernels = c.kernels();
-        let requests = generate_requests(&modules, n, &Arrival::Closed, seed);
+        let requests = generate_requests(&modules, n, &Arrival::Closed, seed).unwrap();
         let batch = match policy {
             0 => BatchPolicy::Auto,
             1 => BatchPolicy::Fixed(2),
@@ -195,7 +195,7 @@ proptest! {
         let src = source_for(choice, 0);
         let c = Compiled::new(&src, None);
         let modules = c.modules();
-        let requests = generate_requests(&modules, n, &Arrival::Closed, seed);
+        let requests = generate_requests(&modules, n, &Arrival::Closed, seed).unwrap();
         let opts = RuntimeOptions {
             requests: n,
             batch: BatchPolicy::Disabled,
@@ -223,7 +223,7 @@ fn auto_batching_multiplies_closed_throughput_by_m() {
     assert_eq!(m, 4);
     let modules = c.modules();
     let n = 64;
-    let requests = generate_requests(&modules, n, &Arrival::Closed, 9);
+    let requests = generate_requests(&modules, n, &Arrival::Closed, 9).unwrap();
     let run = |batch, overlap| {
         serve(
             c.system(),
@@ -264,7 +264,8 @@ fn poisson_stream_queues_and_stays_bit_identical() {
     let modules = c.modules();
     let kernels = c.kernels();
     // Arrival rate far above the service rate: a queue must build.
-    let requests = generate_requests(&modules, 24, &Arrival::Poisson { rate_rps: 1.0e4 }, 5);
+    let requests =
+        generate_requests(&modules, 24, &Arrival::Poisson { rate_rps: 1.0e4 }, 5).unwrap();
     assert!(requests
         .windows(2)
         .all(|w| w[0].arrival_s <= w[1].arrival_s));
