@@ -4,12 +4,15 @@
 //! interpreter, full-system simulation, the DSE sweep, the multi-kernel
 //! program flow, the compile cache, the multi-board portfolio sweep,
 //! and the batched multi-request serving runtime — and writes
-//! `BENCH_pr7.json` (schema `cfdfpga-bench-v1`, documented in
+//! `BENCH_pr8.json` (schema `cfdfpga-bench-v1`, documented in
 //! README.md, "Reading `BENCH_*.json`"). The committed file carries
 //! both the numbers of the tree it was generated from and the frozen
-//! PR-6 medians (`baseline_pr6`, lifted from the committed
-//! `BENCH_pr6.json`), so the perf trajectory is tracked in-repo and
-//! regressions are diffable. The `platforms` section records, per
+//! PR-7 medians (`baseline_pr7`, lifted from the committed
+//! `BENCH_pr7.json`), so the perf trajectory is tracked in-repo and
+//! regressions are diffable. The `polyhedra` section records the
+//! feasibility-oracle counters accumulated across the whole run —
+//! simplex calls, memo hits/misses, FM fallbacks (PR 8). The
+//! `platforms` section records, per
 //! catalog platform, the paper kernel's largest feasible replication
 //! and its simulated time — the portfolio figures. The `runtime`
 //! section records the serving acceptance figures: batched vs
@@ -24,10 +27,10 @@
 //! >= 2x cold and >= 10x warm.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr7.json
+//! cargo run --release -p bench --bin bench_json            # writes BENCH_pr8.json
 //! cargo run --release -p bench --bin bench_json -- --smoke # 3 samples, stdout only
 //! cargo run --release -p bench --bin bench_json -- --check # CI gate: committed
-//!                        # BENCH_pr7.json medians vs BENCH_pr6.json,
+//!                        # BENCH_pr8.json medians vs BENCH_pr7.json,
 //!                        # >25% after drift correction fails
 //! ```
 
@@ -43,8 +46,8 @@ use teil::layout::LayoutPlan;
 struct Args {
     samples: usize,
     out: Option<String>,
-    /// `--check`: compare committed BENCH_pr7.json against the frozen
-    /// BENCH_pr6.json baselines instead of measuring.
+    /// `--check`: compare committed BENCH_pr8.json against the frozen
+    /// BENCH_pr7.json baselines instead of measuring.
     check: bool,
 }
 
@@ -71,7 +74,7 @@ fn median_wall<T>(reps: usize, mut f: impl FnMut() -> T) -> (u64, T) {
 
 fn parse_args() -> Args {
     let mut samples = 9usize;
-    let mut out = Some("BENCH_pr7.json".to_string());
+    let mut out = Some("BENCH_pr8.json".to_string());
     let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -126,8 +129,8 @@ fn read_bench_medians(path: &str) -> Vec<(String, u64)> {
 }
 
 /// CI regression gate: every bench name present in both committed files
-/// must not have regressed by more than `CHECK_TOLERANCE` from PR 6 to
-/// PR 7 **after correcting for tree-wide machine drift**. Purely
+/// must not have regressed by more than `CHECK_TOLERANCE` from PR 7 to
+/// PR 8 **after correcting for tree-wide machine drift**. Purely
 /// file-vs-file (deterministic — no timing in CI).
 ///
 /// The two committed files are wall-clock medians measured in different
@@ -154,10 +157,10 @@ const CHECK_TOLERANCE: f64 = 1.25;
 const DRIFT_ESTIMATE_MIN_NS: u64 = 1_000_000;
 
 fn run_check() -> ! {
-    let baseline = read_bench_medians("BENCH_pr6.json");
-    let current = read_bench_medians("BENCH_pr7.json");
-    assert!(!baseline.is_empty(), "no benches in BENCH_pr6.json");
-    assert!(!current.is_empty(), "no benches in BENCH_pr7.json");
+    let baseline = read_bench_medians("BENCH_pr7.json");
+    let current = read_bench_medians("BENCH_pr8.json");
+    assert!(!baseline.is_empty(), "no benches in BENCH_pr7.json");
+    assert!(!current.is_empty(), "no benches in BENCH_pr8.json");
 
     // Tree-wide drift factor: median ratio over the stable benches
     // (falling back to all overlapping benches if too few qualify).
@@ -226,7 +229,7 @@ fn run_check() -> ! {
     assert!(compared > 0, "no overlapping bench names to compare");
     if failures.is_empty() && missing.is_empty() {
         println!(
-            "bench check: {compared} medians within {:.0}% of BENCH_pr6.json (drift {machine:.3}x)",
+            "bench check: {compared} medians within {:.0}% of BENCH_pr7.json (drift {machine:.3}x)",
             (CHECK_TOLERANCE - 1.0) * 100.0
         );
         std::process::exit(0)
@@ -241,7 +244,7 @@ fn run_check() -> ! {
     }
     if !missing.is_empty() {
         eprintln!(
-            "bench check FAILED: {} baseline benches missing from BENCH_pr7.json: {}",
+            "bench check FAILED: {} baseline benches missing from BENCH_pr8.json: {}",
             missing.len(),
             missing.join(", ")
         );
@@ -430,6 +433,19 @@ fn main() {
         samples,
     );
     let program_brams = (part.memory.brams, part.per_kernel_plm_brams());
+    // Multi-kernel liveness: re-run `Liveness::analyze` over every
+    // kernel of the compiled simstep program — the cross-kernel analog
+    // of `compiler/liveness`, and the path the memoized simplex oracle
+    // accelerates hardest (the three kernels share many systems).
+    push(
+        "compiler/liveness_simstep",
+        median_ns(samples, || {
+            for a in &part.kernels {
+                std::hint::black_box(Liveness::analyze(&a.module, &a.model, &a.schedule));
+            }
+        }),
+        samples,
+    );
 
     // --- Incremental compile cache: warm (in-memory content-hash hit)
     // and disk-warm (fresh cache over a populated directory, modeling a
@@ -643,12 +659,45 @@ fn main() {
         portfolio.feasible_platforms().len() >= 3,
         "portfolio must span the catalog"
     );
+    // Thousand-point sweep: a dense grid (11 replications × 3 batch
+    // factors × sharing × decoupling × 2 partitions = 264 points) across
+    // the full catalog and every clock ladder — 4000+ evaluated design
+    // points. The PR-8 acceptance figure: with the memoized simplex
+    // oracle the whole sweep stays under a second of wall clock.
+    let dense_grid = cfd_core::dse::DseGrid {
+        k: vec![1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16],
+        batch: vec![1, 2, 4],
+        sharing: vec![true, false],
+        decoupled: vec![true, false],
+        partition: vec![1, 2],
+    };
+    let (dense_ns, dense) = median_wall(WALL_REPS, || {
+        bench::paper_engine().run_portfolio(&sysgen::Platform::catalog(), &dense_grid, 4, 2_000)
+    });
+    push("portfolio/sweep_4096pt_wall", dense_ns, WALL_REPS);
+    println!(
+        "  dense sweep: {} points evaluated, {} feasible, {:.1} ms",
+        dense.evaluated,
+        dense.feasible,
+        dense_ns as f64 / 1e6
+    );
+    assert!(
+        dense.evaluated >= 4096,
+        "dense sweep must evaluate >= 4096 points (got {})",
+        dense.evaluated
+    );
+    assert!(
+        dense_ns < 1_000_000_000,
+        "dense {}-point sweep must finish under 1 s (got {:.3} s)",
+        dense.evaluated,
+        dense_ns as f64 / 1e9
+    );
 
     // --- Emit JSON.
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"cfdfpga-bench-v1\",\n");
-    s.push_str("  \"pr\": 7,\n");
+    s.push_str("  \"pr\": 8,\n");
     s.push_str(&format!("  \"samples\": {samples},\n"));
     s.push_str("  \"benches\": [\n");
     for (i, (name, ns, n)) in rows.iter().enumerate() {
@@ -738,22 +787,33 @@ fn main() {
     s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"portfolio\": {{\"evaluated\": {}, \"feasible\": {}, \"backend_compiles\": {}, \
-         \"backend_reuses\": {}, \"pareto_points\": {}, \"platforms_spanned\": {}}},\n",
+         \"backend_reuses\": {}, \"pareto_points\": {}, \"platforms_spanned\": {}, \
+         \"dense_evaluated\": {}, \"dense_feasible\": {}, \"dense_wall_ns\": {dense_ns}}},\n",
         portfolio.evaluated,
         portfolio.feasible,
         portfolio.backend_compiles,
         portfolio.backend_reuses,
         portfolio.pareto_frontier().len(),
         portfolio.feasible_platforms().len(),
+        dense.evaluated,
+        dense.feasible,
     ));
-    // Freeze the PR-6 medians from the committed file so the
+    // Feasibility-oracle counters accumulated over the entire bench run
+    // (same schema as `cfdc --json` and the DSE/portfolio reports):
+    // layered quick exits, verdict-memo traffic, simplex calls and FM
+    // fallbacks, projection-memo traffic.
+    s.push_str(&format!(
+        "  \"polyhedra\": {},\n",
+        polyhedra::OracleCounters::snapshot().json()
+    ));
+    // Freeze the PR-7 medians from the committed file so the
     // before/after comparison travels with this one.
-    let baseline_pr6 = read_bench_medians("BENCH_pr6.json");
-    s.push_str("  \"baseline_pr6\": {\n");
-    for (i, (name, ns)) in baseline_pr6.iter().enumerate() {
+    let baseline_pr7 = read_bench_medians("BENCH_pr7.json");
+    s.push_str("  \"baseline_pr7\": {\n");
+    for (i, (name, ns)) in baseline_pr7.iter().enumerate() {
         s.push_str(&format!(
             "    \"{name}\": {ns}{}\n",
-            if i + 1 == baseline_pr6.len() { "" } else { "," }
+            if i + 1 == baseline_pr7.len() { "" } else { "," }
         ));
     }
     s.push_str("  }\n}\n");

@@ -625,12 +625,14 @@ fn report_cache(t: &cfd_core::StageTimings, enabled: bool) {
     }
 }
 
-/// The `--json` compile summary: stage timings plus cache counters.
+/// The `--json` compile summary: stage timings plus cache and
+/// polyhedra-oracle counters.
 fn timings_json(kernels: usize, t: &cfd_core::StageTimings) -> String {
     format!(
         "{{\n  \"kernels\": {},\n  \"timings_s\": {{\"frontend\": {:.6}, \"middle_end\": {:.6}, \
          \"schedule\": {:.6}, \"link\": {:.6}, \"backend\": {:.6}, \"system\": {:.6}, \"total\": {:.6}}},\n  \
-         \"compile_cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"stores\": {}, \"invalidations\": {}}}\n}}",
+         \"compile_cache\": {{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"stores\": {}, \"invalidations\": {}}},\n  \
+         \"polyhedra\": {}\n}}",
         kernels,
         t.frontend_s,
         t.middle_end_s,
@@ -644,6 +646,7 @@ fn timings_json(kernels: usize, t: &cfd_core::StageTimings) -> String {
         t.cache.misses,
         t.cache.stores,
         t.cache.invalidations,
+        t.oracle.json(),
     )
 }
 

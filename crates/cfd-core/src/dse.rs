@@ -227,6 +227,9 @@ pub struct DseReport {
     pub counts: StageCounts,
     /// Compile-cache counters (all zero for an uncached engine).
     pub cache: CacheCounters,
+    /// Polyhedra-oracle counters accumulated over the sweep (delta of
+    /// the process totals across `run`).
+    pub oracle: polyhedra::OracleCounters,
     /// Unique backend configurations compiled during the sweep.
     pub backend_compiles: usize,
     /// Points that reused a memoized backend instead of recompiling.
@@ -331,6 +334,7 @@ impl DseReport {
             self.cache.stores,
             self.cache.invalidations
         ));
+        s.push_str(&format!("  \"polyhedra\": {},\n", self.oracle.json()));
         s.push_str(&format!(
             "  \"eval_timing\": {{\"total_s\": {:.6}, \"mean_s\": {:.6}, \"max_s\": {:.6}}},\n",
             self.eval_total_s, self.eval_mean_s, self.eval_max_s
@@ -581,6 +585,7 @@ impl DseEngine {
             jobs
         }
         .min(points.len().max(1));
+        let oracle_base = polyhedra::OracleCounters::snapshot();
         let t = Instant::now();
 
         // Unique backend configurations, first-seen order.
@@ -697,6 +702,7 @@ impl DseEngine {
             shared: self.shared_timings(),
             counts: self.pipeline.counters(),
             cache: self.pipeline.cache_counters(),
+            oracle: polyhedra::OracleCounters::snapshot().since(oracle_base),
             backend_compiles: keys.len(),
             backend_reuses: points.len() - keys.len(),
             backend_s,
@@ -947,6 +953,7 @@ impl ProgramDseEngine {
             jobs
         }
         .min(points.len().max(1));
+        let oracle_base = polyhedra::OracleCounters::snapshot();
         let t = Instant::now();
 
         // Unique backend keys, first-seen order.
@@ -1055,6 +1062,7 @@ impl ProgramDseEngine {
             shared: self.shared,
             counts: self.pipeline.counters(),
             cache: self.pipeline.cache_counters(),
+            oracle: polyhedra::OracleCounters::snapshot().since(oracle_base),
             backend_compiles: keys.len() * nk,
             backend_reuses: (points.len() - keys.len()) * nk,
             backend_s,
@@ -1130,6 +1138,8 @@ pub struct PortfolioReport {
     pub backend_reuses: usize,
     /// Compile-cache counters (all zero for an uncached engine).
     pub cache: CacheCounters,
+    /// Polyhedra-oracle counters accumulated over the sweep.
+    pub oracle: polyhedra::OracleCounters,
 }
 
 /// Pareto flags over (minimize time, minimize utilization) for the
@@ -1189,6 +1199,7 @@ impl PortfolioReport {
         backend_compiles: usize,
         backend_uses: usize,
         cache: CacheCounters,
+        oracle: polyhedra::OracleCounters,
     ) -> PortfolioReport {
         // Per-platform Pareto frontiers: the latency view over
         // (total_s, utilization) and the service view over
@@ -1263,6 +1274,7 @@ impl PortfolioReport {
             backend_compiles,
             backend_reuses: backend_uses.saturating_sub(backend_compiles),
             cache,
+            oracle,
             summaries,
             outcomes,
         }
@@ -1372,6 +1384,7 @@ impl PortfolioReport {
             self.cache.stores,
             self.cache.invalidations
         ));
+        s.push_str(&format!("  \"polyhedra\": {},\n", self.oracle.json()));
         s.push_str("  \"platforms\": [\n");
         for (i, p) in self.summaries.iter().enumerate() {
             s.push_str(&format!(
@@ -1558,6 +1571,7 @@ impl DseEngine {
         let points = grid.points();
         let (combos, keys) = portfolio_jobs(platforms, &points);
         let jobs = resolve_jobs(jobs, combos.len());
+        let oracle_base = polyhedra::OracleCounters::snapshot();
         let t = Instant::now();
 
         // Compile the unique (clock, backend-key) backends in parallel.
@@ -1657,6 +1671,7 @@ impl DseEngine {
             keys.len(),
             uses,
             self.pipeline.cache_counters(),
+            polyhedra::OracleCounters::snapshot().since(oracle_base),
         )
     }
 }
@@ -1676,6 +1691,7 @@ impl ProgramDseEngine {
         let nk = self.scheds.len();
         let (combos, keys) = portfolio_jobs(platforms, &points);
         let jobs = resolve_jobs(jobs, combos.len());
+        let oracle_base = polyhedra::OracleCounters::snapshot();
         let t = Instant::now();
 
         // Compile (clock, key) × kernel backends on the worker pool.
@@ -1776,6 +1792,7 @@ impl ProgramDseEngine {
             keys.len() * nk,
             uses,
             self.pipeline.cache_counters(),
+            polyhedra::OracleCounters::snapshot().since(oracle_base),
         )
     }
 }

@@ -109,6 +109,10 @@ pub struct StageTimings {
     /// Compile-cache counters for this compilation (all zero when the
     /// pipeline ran uncached).
     pub cache: CacheCounters,
+    /// Polyhedra-oracle counters for this compilation (delta of the
+    /// process-wide totals across the run; see
+    /// [`polyhedra::OracleCounters`]).
+    pub oracle: polyhedra::OracleCounters,
 }
 
 impl StageTimings {
@@ -451,6 +455,7 @@ impl Pipeline {
     /// The complete flow as a composition of the five stages —
     /// behaviorally identical to the old monolithic `Flow::compile`.
     pub fn run(&self, source: &str, opts: &FlowOptions) -> Result<Artifacts, FlowError> {
+        let oracle_base = polyhedra::OracleCounters::snapshot();
         let fe = self.frontend(source)?;
         let me = self.middle_end(&fe, opts)?;
         let sc = self.schedule(&me, opts);
@@ -458,6 +463,7 @@ impl Pipeline {
         let sys = self.system(&be, opts)?;
         let mut art = Artifacts::assemble(&fe, &sc, be, sys, opts);
         art.timings.cache = self.cache_counters();
+        art.timings.oracle = polyhedra::OracleCounters::snapshot().since(oracle_base);
         Ok(art)
     }
 }
@@ -483,6 +489,7 @@ impl Artifacts {
             backend_s: be.elapsed_s,
             system_s: sys.elapsed_s,
             cache: CacheCounters::default(),
+            oracle: polyhedra::OracleCounters::default(),
         };
         Artifacts {
             typed: (*me.typed).clone(),

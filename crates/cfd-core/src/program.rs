@@ -343,6 +343,7 @@ impl Pipeline {
         source: &str,
         opts: &ProgramOptions,
     ) -> Result<ProgramArtifacts, FlowError> {
+        let oracle_base = polyhedra::OracleCounters::snapshot();
         let fronts = self.program_frontend(source)?;
         let names: Vec<String> = fronts.iter().map(|(n, _)| n.clone()).collect();
         // Per-kernel options: the program stage owns the system choice.
@@ -426,7 +427,9 @@ impl Pipeline {
             indexed.sort_by_key(|(i, _)| *i);
             indexed.into_iter().map(|(_, be)| be).collect()
         };
-        self.finish_program(opts, fronts, scheds, link, backends)
+        let mut art = self.finish_program(opts, fronts, scheds, link, backends)?;
+        art.timings.oracle = polyhedra::OracleCounters::snapshot().since(oracle_base);
+        Ok(art)
     }
 
     /// Program memory + system construction from already-compiled
@@ -514,6 +517,7 @@ impl Pipeline {
             backend_s: backends.iter().map(|b| b.elapsed_s).sum(),
             system_s,
             cache: self.cache_counters(),
+            oracle: polyhedra::OracleCounters::default(),
         };
         let kernels: Vec<Artifacts> = fronts
             .iter()

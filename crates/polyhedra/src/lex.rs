@@ -10,6 +10,7 @@
 //! is implemented by [`between_set`].
 
 use crate::constraint::Constraint;
+use crate::intern;
 use crate::linexpr::LinExpr;
 use crate::map::{BasicMap, Map};
 use crate::set::{BasicSet, Set};
@@ -74,41 +75,102 @@ pub fn between_set(iv: &Map, n: usize) -> Set {
     assert_eq!(iv.out_space.dim(), n);
     let space = Space::anon(n);
     let mut out = Set::empty(space.clone());
-    let sandwiches = sandwich_systems(n);
+    let fm_mode = intern::oracle_mode() == intern::OracleMode::Fm;
 
-    // Reused propagation buffers (seeded per sandwich below).
-    let mut lo: Vec<Option<i64>> = Vec::new();
-    let mut hi: Vec<Option<i64>> = Vec::new();
     for part in &iv.parts {
-        // Variables: (w, r) in `part`; extend to (w, r, x).
-        let base = part.system.insert_vars(2 * n, n);
-        // Bounds of the part alone, derived once and reused as the
-        // propagation seed for all (dim+1)² sandwich combinations below.
-        let Some((base_lo, base_hi)) = base.propagate_bounds() else {
-            continue;
+        // The whole per-part expansion — the `(dim+1)²` sandwich loop
+        // below — is a deterministic function of (part rows, n), so it
+        // is memoized process-wide as the ordered list of surviving
+        // systems. A hit replays exactly what a cold run would emit;
+        // `POLYHEDRA_ORACLE=fm` bypasses the memo (legacy path).
+        let lives = if fm_mode {
+            expand_part(&part.system, n)
+        } else {
+            let key = intern::between_key(&part.system, n);
+            match intern::lookup_between(&key) {
+                Some(hit) => hit,
+                None => {
+                    let computed = expand_part(&part.system, n);
+                    intern::store_between(key, computed.clone());
+                    computed
+                }
+            }
         };
-        for sandwich in sandwiches.iter() {
-            // Seeded interval propagation prunes most incompatible split
-            // combinations (sound: never flags a feasible join) by
-            // propagating only the sandwich rows against the memoized
-            // base bounds — cheap enough to discard the bulk of the
-            // combinations before the joined system is even allocated.
-            lo.clear();
-            lo.extend_from_slice(&base_lo);
-            hi.clear();
-            hi.extend_from_slice(&base_hi);
-            if sandwich.propagate_seeded(&mut lo, &mut hi, 3) {
-                continue;
-            }
-            // Eliminate w and r (first 2n vars), keep x. The elimination
-            // flags whatever infeasible joins slipped past propagation.
-            let live = base.concat_rows(sandwich).eliminate_range_owned(0, 2 * n);
-            if !live.known_infeasible() {
-                out = out.union_basic(BasicSet::from_system(space.clone(), live));
-            }
+        // Push directly: `lives` holds only non-infeasible systems (the
+        // expansion filtered them), and `union_basic`'s clone-per-call
+        // would make this loop quadratic in the accumulated union.
+        for live in lives {
+            out.parts.push(BasicSet::from_system(space.clone(), live));
         }
     }
     out.coalesce()
+}
+
+/// Tag distinguishing whole-map between-set keys from other compound-key
+/// families (see [`intern::KeyBuilder::new`]).
+const BETWEEN_SET_KEY_TAG: i64 = 2;
+
+/// [`between_set`] followed by [`crate::Set::prune_empty`], memoized as
+/// a unit over the whole interval map. Liveness analysis always prunes
+/// the between result, and both steps are deterministic functions of the
+/// map's parts (in order) and `n`, so a warm analysis replays the final
+/// pruned set with a single clone instead of re-expanding, re-coalescing
+/// and re-probing every part. `POLYHEDRA_ORACLE=fm` bypasses the memo.
+pub fn between_set_pruned(iv: &Map, n: usize) -> Set {
+    if intern::oracle_mode() == intern::OracleMode::Fm {
+        return between_set(iv, n).prune_empty();
+    }
+    let mut kb = intern::KeyBuilder::new(BETWEEN_SET_KEY_TAG);
+    kb.scalar(n as i64);
+    kb.scalar(iv.parts.len() as i64);
+    for p in &iv.parts {
+        kb.system(&p.system);
+    }
+    let key = kb.finish();
+    if let Some(hit) = intern::lookup_between_set(&key) {
+        return hit;
+    }
+    let result = between_set(iv, n).prune_empty();
+    intern::store_between_set(key, result.clone());
+    result
+}
+
+/// One part's `between_set` expansion: the surviving `x`-systems of the
+/// `(dim+1)²` lex-sandwich combinations, in combination order.
+fn expand_part(part_sys: &System, n: usize) -> Vec<System> {
+    let sandwiches = sandwich_systems(n);
+    // Variables: (w, r) in the part; extend to (w, r, x).
+    let base = part_sys.insert_vars(2 * n, n);
+    // Bounds of the part alone, derived once and reused as the
+    // propagation seed for all (dim+1)² sandwich combinations below.
+    let Some((base_lo, base_hi)) = base.propagate_bounds() else {
+        return Vec::new();
+    };
+    // Reused propagation buffers (seeded per sandwich below).
+    let mut lo: Vec<Option<i64>> = Vec::new();
+    let mut hi: Vec<Option<i64>> = Vec::new();
+    let mut lives = Vec::new();
+    for sandwich in sandwiches.iter() {
+        // Seeded interval propagation prunes most incompatible split
+        // combinations (sound: never flags a feasible join) by
+        // propagating only the sandwich rows against the memoized
+        // base bounds — cheap enough to discard the bulk of the
+        // combinations before the joined system is even allocated.
+        lo.clear();
+        lo.extend_from_slice(&base_lo);
+        hi.clear();
+        hi.extend_from_slice(&base_hi);
+        if sandwich.propagate_seeded(&mut lo, &mut hi, 3) {
+            continue;
+        }
+        // Eliminate w and r (first 2n vars), keep x. The elimination
+        // flags whatever infeasible joins slipped past propagation.
+        let live = base.concat_rows(sandwich).eliminate_range_owned(0, 2 * n);
+        if !live.known_infeasible() {
+            lives.push(live);
+        }
+    }
+    lives
 }
 
 /// The `(dim+1)²` lifted lex "sandwich" systems `w <=lex x ∧ x <=lex r`

@@ -14,7 +14,12 @@
 //! * [`lex`] — lexicographic-order relations over schedule spaces, used for
 //!   dependence legality and liveness (`ge_le` expansion),
 //! * [`bounds`] — per-dimension affine loop-bound extraction for code
-//!   generation.
+//!   generation,
+//! * [`simplex`] — an exact rational phase-I simplex feasibility probe
+//!   (the fast path behind emptiness tests),
+//! * [`intern`] — process-wide hash-consed memoization of emptiness
+//!   verdicts and projections, the oracle mode toggle, and the oracle
+//!   counters surfaced in compile/DSE/bench reports.
 //!
 //! # Scope and exactness
 //!
@@ -27,6 +32,13 @@
 //! constants by the coefficient GCD) on every normalization, which is what
 //! makes the rational FM projection integer-exact for this constraint
 //! class.
+//!
+//! Emptiness no longer *runs* full FM by default: [`System::is_empty`]
+//! layers interval propagation, corner probing, a memo table, and the
+//! polynomial simplex probe in front of it, using FM only when the
+//! rational verdict cannot settle the integer question. The combination
+//! is verdict-identical to pure FM on every query (debug-asserted and
+//! proptested); `POLYHEDRA_ORACLE=fm` forces the legacy path.
 //!
 //! # Example
 //!
@@ -47,17 +59,20 @@
 
 pub mod bounds;
 pub mod constraint;
+pub mod intern;
 pub mod lex;
 pub mod linexpr;
 pub mod map;
 pub mod points;
 pub mod set;
+pub mod simplex;
 pub mod space;
 pub mod system;
 
 pub use bounds::{extract_bounds, ClosedInterval, DimBounds};
 pub use constraint::{Constraint, ConstraintKind};
-pub use lex::{between_set, lex_le_map, lex_lt_map};
+pub use intern::{oracle_signature, set_oracle_mode, OracleCounters, OracleMode};
+pub use lex::{between_set, between_set_pruned, lex_le_map, lex_lt_map};
 pub use linexpr::LinExpr;
 pub use map::{BasicMap, Map};
 pub use points::PointIter;

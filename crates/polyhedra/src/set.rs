@@ -478,10 +478,27 @@ impl Set {
         self
     }
 
-    /// Drop parts that are fully empty (runs FM per part — more expensive
-    /// than [`Set::coalesce`] but produces a minimal union).
+    /// Drop parts that are fully empty (runs the emptiness oracle per
+    /// part — more expensive than [`Set::coalesce`] but produces a
+    /// minimal union).
+    ///
+    /// Unions built by join loops (e.g. `between_set`) routinely carry
+    /// structurally identical disjuncts, so each distinct system is
+    /// decided at most once per call here — repeats reuse the local
+    /// verdict without even paying the global memo's key encoding.
     pub fn prune_empty(mut self) -> Set {
-        self.parts.retain(|p| !p.is_empty());
+        let mut decided: Vec<(System, bool)> = Vec::new();
+        self.parts.retain(|p| {
+            let empty = match decided.iter().find(|(s, _)| *s == p.system) {
+                Some(&(_, e)) => e,
+                None => {
+                    let e = p.is_empty();
+                    decided.push((p.system.clone(), e));
+                    e
+                }
+            };
+            !empty
+        });
         self
     }
 

@@ -3,10 +3,14 @@
 //! A [`System`] is a conjunction of affine constraints over `n_vars`
 //! anonymous variables. It is the computational workhorse behind sets and
 //! maps: intersection is concatenation, projection is FM elimination, and
-//! emptiness is full elimination down to constant rows.
+//! emptiness is decided by the layered oracle in [`System::is_empty`]
+//! (interval propagation → corner probe → memoized rational simplex with
+//! FM as the authoritative fallback).
 
 use crate::constraint::{Constraint, ConstraintKind, NormalizeAction};
+use crate::intern;
 use crate::linexpr::{clamp_i64, combine_skipping, LinExpr};
+use crate::simplex;
 
 /// A conjunction of affine constraints over `n_vars` variables.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -228,7 +232,34 @@ impl System {
 
     /// [`System::eliminate_range`] consuming the system — hot callers
     /// that build the input on the spot skip one full row-set clone.
+    ///
+    /// Results are memoized process-wide under an exact-row-order key
+    /// (see [`crate::intern`]): identical queries are deterministic, so
+    /// serving the stored projection is bit-identical to recomputing it.
+    /// `POLYHEDRA_ORACLE=fm` bypasses the memo entirely (legacy path).
     pub(crate) fn eliminate_range_owned(self, from: usize, count: usize) -> System {
+        if count == 0 {
+            return self;
+        }
+        if self.infeasible {
+            return System::infeasible(self.n_vars - count);
+        }
+        if intern::oracle_mode() == intern::OracleMode::Fm {
+            return self.eliminate_range_core(from, count);
+        }
+        let key = intern::projection_key(&self, from, count);
+        if let Some(memoized) = intern::lookup_projection(&key) {
+            return memoized;
+        }
+        let out = self.eliminate_range_core(from, count);
+        intern::store_projection(key, out.clone());
+        out
+    }
+
+    /// The actual elimination work behind [`System::eliminate_range_owned`]
+    /// (phase 1: batched unit-coefficient substitutions; phase 2: greedy
+    /// Fourier–Motzkin pairing), with no memoization.
+    fn eliminate_range_core(self, from: usize, count: usize) -> System {
         if count == 0 {
             return self;
         }
@@ -327,10 +358,24 @@ impl System {
 
     /// Whether the system has no integer solutions.
     ///
-    /// Decided by exhaustive FM elimination with integer tightening. On
-    /// the (near-unimodular) systems produced by the CFDlang flow this is
-    /// exact; in general FM may fail to detect emptiness of pathological
-    /// integer-only-empty systems (never produced here).
+    /// Decided by a layered oracle, cheapest first, every layer agreeing
+    /// with exhaustive FM elimination on this flow's constraint class:
+    ///
+    /// 1. interval propagation (sound emptiness witness),
+    /// 2. box-corner probing (sound non-emptiness witness),
+    /// 3. a process-wide memo keyed on the sorted canonical rows,
+    /// 4. rational phase-I simplex ([`crate::simplex`]): a rational
+    ///    emptiness proof or an *integral* witness settles the integer
+    ///    question; a fractional vertex or arithmetic overflow falls back
+    ///    to
+    /// 5. full FM elimination with integer tightening — the authoritative
+    ///    answer, and the only oracle when `POLYHEDRA_ORACLE=fm` (or
+    ///    [`intern::set_oracle_mode`]) forces the legacy path.
+    ///
+    /// Debug builds assert simplex ≡ FM on every freshly computed
+    /// verdict. On the (near-unimodular) systems produced by the CFDlang
+    /// flow FM is exact; in general it may fail to detect emptiness of
+    /// pathological integer-only-empty systems (never produced here).
     pub fn is_empty(&self) -> bool {
         if self.infeasible {
             return true;
@@ -339,6 +384,7 @@ impl System {
         // system, and skipping the full elimination is a large win on the
         // dependence/liveness systems that are empty for simple reasons.
         let Some((lo, hi)) = self.propagate_bounds() else {
+            intern::count_quick_hit();
             return true;
         };
         // Sound early exit in the other direction: probe the corners of
@@ -349,11 +395,73 @@ impl System {
         if self.n_vars > 0
             && (self.holds_corner(&lo, &hi, true) || self.holds_corner(&lo, &hi, false))
         {
+            intern::count_corner_hit();
             return false;
         }
-        // Full elimination in greedy order (unit-coefficient equalities
-        // substitute exactly before any Fourier–Motzkin pairing).
-        self.eliminate_range(0, self.n_vars).infeasible
+        if intern::oracle_mode() == intern::OracleMode::Fm {
+            return self.clone().eliminate_range_core(0, self.n_vars).infeasible;
+        }
+        let key = intern::verdict_key(self);
+        if let Some(verdict) = intern::lookup_verdict(&key) {
+            return verdict;
+        }
+        let verdict = self.decide_empty_uncached();
+        intern::store_verdict(key, verdict);
+        verdict
+    }
+
+    /// The legacy emptiness oracle: quick exits plus exhaustive FM, with
+    /// no simplex probe and no memoization. Reference implementation for
+    /// the differential tests (`is_empty` must agree on every system).
+    pub fn is_empty_via_fm(&self) -> bool {
+        if self.infeasible {
+            return true;
+        }
+        let Some((lo, hi)) = self.propagate_bounds() else {
+            return true;
+        };
+        if self.n_vars > 0
+            && (self.holds_corner(&lo, &hi, true) || self.holds_corner(&lo, &hi, false))
+        {
+            return false;
+        }
+        self.clone().eliminate_range_core(0, self.n_vars).infeasible
+    }
+
+    /// Decide emptiness with the simplex probe, falling back to FM when
+    /// the rational answer does not settle the integer question. Debug
+    /// builds differentially verify each simplex verdict against FM.
+    fn decide_empty_uncached(&self) -> bool {
+        intern::count_simplex_call();
+        match simplex::feasibility(self) {
+            simplex::Verdict::Empty => {
+                // Rationally empty ⇒ integer-empty; FM (whose tightening
+                // only shrinks the rational hull) must agree.
+                intern::count_simplex_empty();
+                debug_assert!(
+                    self.clone().eliminate_range_core(0, self.n_vars).infeasible,
+                    "simplex says empty but FM disagrees"
+                );
+                true
+            }
+            simplex::Verdict::Witness(pt) => {
+                // A verified integer point ⇒ non-empty; FM never cuts
+                // integer points, so it must agree.
+                debug_assert!(self.holds(&pt));
+                debug_assert!(
+                    !self.clone().eliminate_range_core(0, self.n_vars).infeasible,
+                    "simplex found an integer witness but FM says empty"
+                );
+                false
+            }
+            simplex::Verdict::Fractional | simplex::Verdict::Overflow => {
+                // Rational feasibility does not decide integer emptiness
+                // (integer tightening can prove rationally feasible
+                // systems empty) — defer to the authoritative oracle.
+                intern::count_fm_fallback();
+                self.clone().eliminate_range_core(0, self.n_vars).infeasible
+            }
+        }
     }
 
     /// Whether the corner of the box `[lo, hi]` (low corner when

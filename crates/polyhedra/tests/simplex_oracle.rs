@@ -1,0 +1,199 @@
+//! Differential validation of the layered emptiness oracle.
+//!
+//! `System::is_empty` (simplex-first, memoized) must agree with
+//! `System::is_empty_via_fm` (the legacy quick-exits + Fourier–Motzkin
+//! path) on *every* system — that equivalence is the correctness
+//! contract of the oracle swap. The generators deliberately cover the
+//! cases where the two engines take different routes:
+//!
+//! * feasible and infeasible random systems,
+//! * equality-only systems (decided entirely by Gauss–Jordan),
+//! * unbounded systems (interval propagation can't help; phase-I
+//!   simplex or FM pairing must decide),
+//! * rational-vertex systems (even coefficients against odd constants,
+//!   e.g. `2x = 1`), where the rational relaxation is feasible but the
+//!   integer question is not settled by it — the simplex verdict must
+//!   defer to FM, never override it.
+//!
+//! The CI `polyhedra-oracle-smoke` job reruns this file with
+//! `POLYHEDRA_ORACLE_CASES` raised well above the in-tree default.
+
+use polyhedra::simplex::{feasibility, Verdict};
+use polyhedra::{Constraint, LinExpr, System};
+use proptest::prelude::*;
+
+/// Case count per property: default 96, raised via the
+/// `POLYHEDRA_ORACLE_CASES` environment variable in CI.
+fn oracle_cases() -> u32 {
+    std::env::var("POLYHEDRA_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
+/// Build a system over `n` vars from encoded rows (coeffs, constant,
+/// is_eq), truncated to `rows` entries.
+fn build(n_vars: usize, rows: &[(Vec<i64>, i64, bool)], rows_used: usize) -> System {
+    let mut s = System::universe(n_vars);
+    s.extend(rows.iter().take(rows_used).map(|(c, k, eq)| {
+        let e = LinExpr::new(c, *k);
+        if *eq {
+            Constraint::eq(e)
+        } else {
+            Constraint::ge0(e)
+        }
+    }));
+    s
+}
+
+/// Strategy: up to `max_rows` random rows over `n` vars. Coefficients
+/// up to ±3 and constants up to ±8 produce a healthy mix of feasible,
+/// infeasible, unbounded and rational-vertex systems.
+fn arb_rows(n: usize, max_rows: usize) -> impl Strategy<Value = Vec<(Vec<i64>, i64, bool)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(-3i64..4, n),
+            -8i64..9,
+            proptest::bool::ANY,
+        ),
+        max_rows,
+    )
+}
+
+/// The two oracles on one system: full agreement, and the raw simplex
+/// verdict must be individually sound against FM.
+fn assert_oracles_agree(s: &System) {
+    let fm = s.is_empty_via_fm();
+    assert_eq!(
+        s.is_empty(),
+        fm,
+        "oracle mismatch on {} rows over {} vars: {:?}",
+        s.constraints().len(),
+        s.n_vars(),
+        s.constraints()
+    );
+    match feasibility(s) {
+        Verdict::Empty => assert!(fm, "simplex Empty but FM feasible: {:?}", s.constraints()),
+        Verdict::Witness(pt) => {
+            assert!(
+                s.holds(&pt),
+                "witness {pt:?} fails rows {:?}",
+                s.constraints()
+            );
+            assert!(
+                !fm,
+                "integer witness {pt:?} but FM empty: {:?}",
+                s.constraints()
+            );
+        }
+        // Rational feasibility without an integral vertex (or overflow)
+        // decides nothing about the integer question — no obligation.
+        Verdict::Fractional | Verdict::Overflow => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(oracle_cases()))]
+
+    /// Mixed random systems: the headline differential property.
+    #[test]
+    fn simplex_matches_fm(
+        rows in arb_rows(3, 6),
+        rows_used in 0usize..7,
+    ) {
+        let s = build(3, &rows, rows_used.min(rows.len()));
+        assert_oracles_agree(&s);
+    }
+
+    /// Equality-only systems: everything rides on Gauss–Jordan and the
+    /// `0 = c` contradiction check.
+    #[test]
+    fn simplex_matches_fm_equality_only(
+        rows in arb_rows(3, 5),
+        rows_used in 0usize..6,
+    ) {
+        let eq_rows: Vec<(Vec<i64>, i64, bool)> = rows
+            .into_iter()
+            .map(|(c, k, _)| (c, k, true))
+            .collect();
+        let s = build(3, &eq_rows, rows_used.min(eq_rows.len()));
+        assert_oracles_agree(&s);
+    }
+
+    /// Unbounded strips: drop box bounds entirely so interval
+    /// propagation never settles the verdict — phase-I simplex (or FM
+    /// pairing) has to.
+    #[test]
+    fn simplex_matches_fm_unbounded(
+        c1 in proptest::collection::vec(-3i64..4, 4),
+        c2 in proptest::collection::vec(-3i64..4, 4),
+        k1 in -8i64..9,
+        k2 in -8i64..9,
+    ) {
+        let mut s = System::universe(4);
+        s.extend([
+            Constraint::ge0(LinExpr::new(&c1, k1)),
+            Constraint::ge0(LinExpr::new(&c2, k2)),
+        ]);
+        assert_oracles_agree(&s);
+    }
+
+    /// Rational-vertex family: `d*x = k` lines with even/odd mixes pin
+    /// the rational solution to fractional coordinates; integer
+    /// tightening proves emptiness where the relaxation is feasible.
+    /// The layered oracle must reproduce FM's verdict, not the
+    /// relaxation's.
+    #[test]
+    fn simplex_matches_fm_rational_vertex(
+        d in 2i64..5,
+        k in -6i64..7,
+        lo in -4i64..1,
+        hi in 0i64..5,
+    ) {
+        let mut s = System::universe(2);
+        s.extend([
+            // d*x - k = 0: integral solutions iff d | k.
+            Constraint::eq(LinExpr::new(&[d, 0], -k)),
+            // x bounded, y = x (ties the second var in).
+            Constraint::ge0(LinExpr::new(&[1, 0], -lo)),
+            Constraint::ge0(LinExpr::new(&[-1, 0], hi)),
+            Constraint::eq(LinExpr::new(&[1, -1], 0)),
+        ]);
+        assert_oracles_agree(&s);
+    }
+
+    /// Memoized and cold paths agree: the first call may compute, every
+    /// repeat must serve the identical verdict (the memo is process-wide,
+    /// so the second call is a hit whenever the first stored).
+    #[test]
+    fn memoized_verdict_matches_cold(
+        rows in arb_rows(3, 5),
+        rows_used in 0usize..6,
+    ) {
+        let s = build(3, &rows, rows_used.min(rows.len()));
+        let cold = s.is_empty();
+        prop_assert_eq!(s.is_empty(), cold);
+        prop_assert_eq!(s.clone().is_empty(), cold);
+        prop_assert_eq!(s.is_empty_via_fm(), cold);
+    }
+}
+
+/// The documented divergence between the rational relaxation and the
+/// integer question: `{2j = i, i = 1}` is rationally feasible at
+/// `(1, 1/2)` but integer-empty. The layered oracle must answer like FM.
+#[test]
+fn integer_only_empty_system_stays_empty() {
+    let mut s = System::universe(2);
+    s.extend([
+        Constraint::eq(LinExpr::new(&[-1, 2], 0)),
+        Constraint::eq(LinExpr::new(&[1, 0], -1)),
+    ]);
+    assert!(s.is_empty_via_fm(), "FM must prove integer emptiness");
+    assert_eq!(s.is_empty(), s.is_empty_via_fm());
+    // And the raw probe must not claim an integer witness.
+    match feasibility(&s) {
+        Verdict::Witness(pt) => panic!("bogus witness {pt:?}"),
+        Verdict::Empty => panic!("rationally feasible system declared Empty"),
+        Verdict::Fractional | Verdict::Overflow => {}
+    }
+}

@@ -117,16 +117,60 @@ impl Dependences {
     }
 }
 
+/// Tag distinguishing legality keys from other compound-key families in
+/// the shared memo (see [`polyhedra::intern::KeyBuilder::new`]).
+const LEGAL_KEY_TAG: i64 = 1;
+
 /// Whether a schedule satisfies every RAW dependence strictly.
 ///
 /// For each RAW edge, builds the out-of-order relation
 /// `O = S_src ∘ lex_ge ∘ S_dst⁻¹` (pairs whose writer is scheduled at or
 /// after the reader) and checks that `dep ∩ O` is empty.
+///
+/// The verdict is a deterministic function of the schedule dimension and
+/// the (relation, writer-map, reader-map) systems of every RAW edge, so
+/// it is memoized process-wide on exactly that content — the compose
+/// chains above dominate `reschedule`'s runtime otherwise. The forced-FM
+/// oracle mode bypasses the memo (legacy path).
 pub fn legal(model: &KernelModel, deps: &Dependences, sched: &Schedule) -> bool {
-    let lex_ge = lex_le_map(sched.dim).reverse();
-    for d in deps.raw() {
-        let sw = sched.stmt_map(model, d.src);
-        let sr = sched.stmt_map(model, d.dst);
+    use polyhedra::intern;
+    let edges: Vec<(&Dependence, Map, Map)> = deps
+        .raw()
+        .map(|d| {
+            (
+                d,
+                sched.stmt_map(model, d.src),
+                sched.stmt_map(model, d.dst),
+            )
+        })
+        .collect();
+    if polyhedra::intern::oracle_mode() == polyhedra::OracleMode::Fm {
+        return legal_eval(sched.dim, &edges);
+    }
+    let mut kb = intern::KeyBuilder::new(LEGAL_KEY_TAG);
+    kb.scalar(sched.dim as i64);
+    for (d, sw, sr) in &edges {
+        for m in [&d.relation, sw, sr] {
+            kb.scalar(m.parts.len() as i64);
+            for p in &m.parts {
+                kb.system(&p.system);
+            }
+        }
+    }
+    let key = kb.finish();
+    if let Some(verdict) = intern::lookup_legal(&key) {
+        return verdict;
+    }
+    let verdict = legal_eval(sched.dim, &edges);
+    intern::store_legal(key, verdict);
+    verdict
+}
+
+/// The uncached legality check over pre-built `(edge, S_src, S_dst)`
+/// triples.
+fn legal_eval(dim: usize, edges: &[(&Dependence, Map, Map)]) -> bool {
+    let lex_ge = lex_le_map(dim).reverse();
+    for (d, sw, sr) in edges {
         // O : src[x] → dst[y] with S(src x) >=lex S(dst y).
         let out_of_order = sw.compose(&lex_ge).compose(&sr.reverse());
         let violated = d.relation.intersect(&out_of_order);

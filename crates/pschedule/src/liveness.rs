@@ -22,7 +22,7 @@
 
 use crate::model::KernelModel;
 use crate::schedule::Schedule;
-use polyhedra::{between_set, BasicSet, LinExpr, Map, Set, Space};
+use polyhedra::{between_set_pruned, BasicSet, LinExpr, Map, Set, Space};
 use std::collections::HashMap;
 use teil::ir::{Module, TensorKind};
 use teil::layout::ArrayId;
@@ -193,7 +193,7 @@ fn analyze_array(
     // omitted — it multiplied the part count by dim+1 before the
     // expensive ge_le expansion.
     let p = a.reverse().compose(&b);
-    let l = between_set(&p, dim).prune_empty();
+    let l = between_set_pruned(&p, dim);
 
     (l, a.range().prune_empty(), b.range().prune_empty())
 }

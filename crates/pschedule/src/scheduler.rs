@@ -82,6 +82,7 @@ fn optimize_permutations(
     sched: &mut Schedule,
     opts: &SchedulerOptions,
 ) {
+    let cm = CostModel::build(module, model, deps);
     for _ in 0..opts.sweeps {
         let mut changed = false;
         for si in 0..model.stmts.len() {
@@ -90,13 +91,13 @@ fn optimize_permutations(
                 continue;
             }
             let mut best = sched.perms[si].clone();
-            let mut best_cost = cost(module, model, deps, sched);
+            let mut best_cost = cm.eval(sched);
             for perm in permutations(rank) {
                 if perm == sched.perms[si] {
                     continue;
                 }
                 let saved = std::mem::replace(&mut sched.perms[si], perm.clone());
-                let c = cost(module, model, deps, sched);
+                let c = cm.eval(sched);
                 if c < best_cost {
                     best_cost = c;
                     best = perm;
@@ -117,6 +118,141 @@ fn optimize_permutations(
     }
 }
 
+/// One dependence edge's schedule-independent access structure: which
+/// index maps the alignment computation compares. Resolved once per
+/// search — `PointExpr::walk` over the statement bodies is invariant in
+/// the candidate permutation, and re-walking it for every candidate
+/// dominated `reschedule`'s runtime.
+struct CostEdge {
+    weight: usize,
+    src: usize,
+    dst: usize,
+    /// Consumer accesses of the producer's output tensor, plus that
+    /// tensor's rank (RAW alignment path).
+    raw: Option<(Vec<Vec<usize>>, usize)>,
+    /// Shared-operand read pairs `(producer map, consumer map)` — the
+    /// RAR coincidence fallback when `raw` is absent or empty.
+    rar: Vec<(Vec<usize>, Vec<usize>)>,
+}
+
+/// The pre-resolved structural cost function of one kernel under one
+/// dependence graph; [`CostModel::eval`] is pure integer work over a
+/// candidate schedule.
+struct CostModel {
+    max_rank: usize,
+    edges: Vec<CostEdge>,
+    /// `(statement, reduce_rank)` for statements with a reduction
+    /// suffix (the HLS-friendliness penalty term).
+    reductions: Vec<(usize, usize)>,
+}
+
+impl CostModel {
+    fn build(module: &Module, model: &KernelModel, deps: &Dependences) -> CostModel {
+        let max_rank = model.stmts.iter().map(|s| s.rank()).max().unwrap_or(0);
+        let edges = deps
+            .edges
+            .iter()
+            .map(|e| {
+                let weight = match e.kind {
+                    crate::deps::DependenceKind::Raw => 4,
+                    crate::deps::DependenceKind::Rar => 1,
+                };
+                let wstmt = &module.stmts[e.src];
+                let rstmt = &module.stmts[e.dst];
+                let out = wstmt.out;
+                let mut accesses: Vec<Vec<usize>> = Vec::new();
+                rstmt.expr.walk(&mut |node| {
+                    if let PointExpr::Access { tensor, index_map } = node {
+                        if *tensor == out {
+                            accesses.push(index_map.clone());
+                        }
+                    }
+                });
+                let (raw, rar) = if accesses.is_empty() {
+                    let mut pairs = Vec::new();
+                    for (tw, imw) in wstmt.expr.accesses() {
+                        for (tr, imr) in rstmt.expr.accesses() {
+                            if tw == tr {
+                                pairs.push((imw.clone(), imr.clone()));
+                            }
+                        }
+                    }
+                    (None, pairs)
+                } else {
+                    (Some((accesses, module.shape(out).len())), Vec::new())
+                };
+                CostEdge {
+                    weight,
+                    src: e.src,
+                    dst: e.dst,
+                    raw,
+                    rar,
+                }
+            })
+            .collect();
+        let reductions = module
+            .stmts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.reduce_rank() > 0)
+            .map(|(si, s)| (si, s.reduce_rank()))
+            .collect();
+        CostModel {
+            max_rank,
+            edges,
+            reductions,
+        }
+    }
+
+    fn eval(&self, sched: &Schedule) -> usize {
+        let mut total = 0usize;
+        for e in &self.edges {
+            let a = match &e.raw {
+                Some((accesses, out_rank)) => {
+                    let wperm = &sched.perms[e.src];
+                    let rperm = &sched.perms[e.dst];
+                    let mut best = 0usize;
+                    for im in accesses {
+                        let mut depth = 0usize;
+                        while depth < wperm.len() && depth < rperm.len() {
+                            let j = wperm[depth];
+                            if j >= *out_rank {
+                                break;
+                            }
+                            if im.get(j) == Some(&rperm[depth]) {
+                                depth += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        best = best.max(depth);
+                    }
+                    best
+                }
+                None => {
+                    let mut best = 0usize;
+                    for (imw, imr) in &e.rar {
+                        best = best.max(read_read_alignment(sched, e.src, e.dst, imw, imr));
+                    }
+                    best
+                }
+            };
+            total += e.weight * (self.max_rank.saturating_sub(a));
+        }
+        for &(si, reduce_rank) in &self.reductions {
+            let perm = &sched.perms[si];
+            let out_rank = perm.len() - reduce_rank;
+            let suffix_ok = perm[perm.len() - reduce_rank..]
+                .iter()
+                .all(|&v| v >= out_rank);
+            if !suffix_ok {
+                total += 1000;
+            }
+        }
+        total
+    }
+}
+
 /// Structural schedule cost: lower is better.
 ///
 /// For every RAW edge the cost is `max_rank - aligned(w, r)` where
@@ -131,83 +267,7 @@ fn optimize_permutations(
 /// memory read-modify-write. This is the paper's "fine-tune the
 /// generated code so that it is amenable to HLS" (Section IV).
 pub fn cost(module: &Module, model: &KernelModel, deps: &Dependences, sched: &Schedule) -> usize {
-    let max_rank = model.stmts.iter().map(|s| s.rank()).max().unwrap_or(0);
-    let mut total = 0usize;
-    for e in deps.edges.iter() {
-        let weight = match e.kind {
-            crate::deps::DependenceKind::Raw => 4,
-            crate::deps::DependenceKind::Rar => 1,
-        };
-        let a = alignment(module, sched, e.src, e.dst);
-        total += weight * (max_rank.saturating_sub(a));
-    }
-    for (si, stmt) in module.stmts.iter().enumerate() {
-        let reduce_rank = stmt.reduce_rank();
-        if reduce_rank == 0 {
-            continue;
-        }
-        let perm = &sched.perms[si];
-        let out_rank = perm.len() - reduce_rank;
-        let suffix_ok = perm[perm.len() - reduce_rank..]
-            .iter()
-            .all(|&v| v >= out_rank);
-        if !suffix_ok {
-            total += 1000;
-        }
-    }
-    total
-}
-
-/// Leading-depth alignment between the producer's output iteration and
-/// the consumer's read of that tensor.
-fn alignment(module: &Module, sched: &Schedule, w: usize, r: usize) -> usize {
-    let wstmt = &module.stmts[w];
-    let rstmt = &module.stmts[r];
-    let out = wstmt.out;
-    // Find the consumer's access(es) to the producer's output tensor.
-    let mut best = 0usize;
-    let mut accesses: Vec<Vec<usize>> = Vec::new();
-    rstmt.expr.walk(&mut |node| {
-        if let PointExpr::Access { tensor, index_map } = node {
-            if *tensor == out {
-                accesses.push(index_map.clone());
-            }
-        }
-    });
-    // RAR edges connect reads of a shared operand; fall back to comparing
-    // any common tensor read by both statements.
-    if accesses.is_empty() {
-        for (tw, imw) in wstmt.expr.accesses() {
-            for (tr, imr) in rstmt.expr.accesses() {
-                if tw == tr {
-                    best = best.max(read_read_alignment(sched, w, r, imw, imr));
-                }
-            }
-        }
-        return best;
-    }
-    let wperm = &sched.perms[w];
-    let rperm = &sched.perms[r];
-    for im in &accesses {
-        let mut depth = 0usize;
-        while depth < wperm.len() && depth < rperm.len() {
-            // Producer iterates output dim `j = wperm[depth]` at this
-            // depth (only meaningful if it is an output dim).
-            let j = wperm[depth];
-            if j >= module.shape(out).len() {
-                break;
-            }
-            // The consumer reads tensor dim j with variable im[j]; it is
-            // aligned if that variable sits at the same depth.
-            if im.get(j) == Some(&rperm[depth]) {
-                depth += 1;
-            } else {
-                break;
-            }
-        }
-        best = best.max(depth);
-    }
-    best
+    CostModel::build(module, model, deps).eval(sched)
 }
 
 /// Alignment of two reads of the same operand (RAR coincidence).
@@ -365,13 +425,14 @@ mod tests {
 
     #[test]
     fn alignment_prefers_matching_traversal() {
-        // Producer writes t[i,j,k] in order (i,j,k); a consumer reading
-        // t[i,j,k] identity-mapped aligns fully with identity perms.
+        // Producer writes t[i,j,k] in order (i,j,k); the Hadamard reads
+        // t[i,j,k] identity-mapped, so identity perms align fully and
+        // misordering the consumer's loops must raise the cost.
         let (m, km, deps) = setup(&cfdlang::examples::inverse_helmholtz(3), false);
         let s = Schedule::reference(&km);
-        drop(km);
-        // RAW t -> Hadamard: full 3-deep alignment.
-        let e = deps.raw().find(|d| (d.src, d.dst) == (0, 1)).unwrap();
-        assert_eq!(super::alignment(&m, &s, e.src, e.dst), 3);
+        let aligned = cost(&m, &km, &deps, &s);
+        let mut skewed = s.clone();
+        skewed.perms[1].reverse();
+        assert!(cost(&m, &km, &deps, &skewed) > aligned);
     }
 }
