@@ -13,6 +13,7 @@
 //!               [--jobs N] [--json] [--elements N]
 //! cfdc serve    <file.cfd> [--board NAME] [--requests N] [--arrival closed|poisson]
 //!               [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]
+//!               [--fleet all|A,B,..] [--route rr|jsq|predictive]
 //! ```
 //!
 //! Every command targets one platform from the catalog (`cfdc boards`
@@ -31,7 +32,10 @@
 //! coalesced into hardware rounds (`--batch auto` fills the design's
 //! `m`, `--batch K` caps the fill, `--batch off` is the sequential
 //! reference), time-multiplexed with double-buffered DMA, and reported
-//! as requests/sec, p50/p99 latency and DMA/compute overlap.
+//! as requests/sec, p50/p99 latency and DMA/compute overlap. With
+//! `--fleet` the same stream is sharded across a whole board set by a
+//! deterministic dispatcher (`--route rr|jsq|predictive`) and reported
+//! as fleet-aggregate req/s plus per-board utilization.
 //!
 //! **Multi-kernel programs** (sources with `kernel name { ... }` blocks)
 //! compile as a whole into one shared-memory accelerator system —
@@ -52,8 +56,8 @@
 use cfd_core::dse::{DseEngine, DseGrid, ProgramDseEngine};
 use cfd_core::program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 use cfd_core::{
-    Arrival, BatchPolicy, CompileCache, FaultPlan, Flow, FlowOptions, RecoveryPolicy,
-    RuntimeOptions,
+    Arrival, BatchPolicy, CompileCache, FaultPlan, FleetBoard, FleetOptions, Flow, FlowOptions,
+    RecoveryPolicy, RoutePolicy, RuntimeOptions,
 };
 use mnemosyne::MemoryOptions;
 use std::process::exit;
@@ -97,7 +101,8 @@ fn usage() -> ! {
          \t              [--json] [--elements N]\n\
          \tcfdc serve    <kernel> [--board NAME] [--requests N] [--arrival closed|poisson]\n\
          \t              [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]\n\
-         \t              [--faults SEED:SPEC] [--deadline SECS] [--retries N] [--backoff SECS]\n\n\
+         \t              [--faults SEED:SPEC] [--deadline SECS] [--retries N] [--backoff SECS]\n\
+         \t              [--fleet all|A,B,..] [--route rr|jsq|predictive]\n\n\
          KERNEL: a .cfd file path, a kernel helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n],\n\
          \tor a multi-kernel program simstep[:p] | axpychain[:n]\n\
          EMIT:   c | host | ir | dot | report | memory | all (default: report)\n\
@@ -112,6 +117,12 @@ fn usage() -> ! {
          round errors; or `7:transient=0.1,stall=0.05,corrupt=0.01,fail=2e-3,recover=4e-3`);\n\
          --retries/--backoff/--deadline set the recovery policy, and the report\n\
          grows completed/retried/shed/failed counts plus goodput vs offered load.\n\
+         `serve --fleet` shards ONE request stream across a board set (compiled\n\
+         once per platform; boards that cannot fit the program are skipped) and\n\
+         reports fleet-aggregate req/s, goodput, p99 and per-board utilization;\n\
+         --route picks the dispatcher (rr round-robin | jsq join-shortest-queue |\n\
+         predictive via each board's cost model), and --faults arms board 0 only\n\
+         so a board outage drains and requeues onto the survivors.\n\
          --cache-dir PATH persists the scheduling-stage products under a content\n\
          hash: a re-compile of unchanged source reports cache hits and emits\n\
          bit-identical output (`cfdc cache stats|clear` inspects the store)."
@@ -272,6 +283,11 @@ struct Parsed {
     /// Retry/backoff/deadline policy from `--retries`, `--backoff`,
     /// `--deadline`.
     recovery: RecoveryPolicy,
+    /// Fleet platforms from `--fleet` (serve only): shard the request
+    /// stream across this board set instead of serving one board.
+    fleet: Option<Vec<Platform>>,
+    /// Dispatcher routing policy from `--route` (fleet serving).
+    route: RoutePolicy,
 }
 
 impl Parsed {
@@ -349,6 +365,8 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
     let mut overlap = true;
     let mut faults = FaultPlan::none();
     let mut recovery = RecoveryPolicy::default();
+    let mut fleet: Option<Vec<Platform>> = None;
+    let mut route = RoutePolicy::RoundRobin;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -485,6 +503,24 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
                 }
                 recovery.backoff_s = b;
             }
+            "--fleet" => {
+                let spec = take_value(args, &mut i, "--fleet")?;
+                fleet = Some(if spec == "all" {
+                    Platform::catalog()
+                } else {
+                    spec.split(',')
+                        .map(lookup_platform)
+                        .collect::<Result<Vec<_>, _>>()?
+                });
+            }
+            "--route" => {
+                let spec = take_value(args, &mut i, "--route")?;
+                route = RoutePolicy::parse(&spec).map_err(|_| CliError::InvalidValue {
+                    flag: "--route".to_string(),
+                    value: spec,
+                    expected: "rr | jsq | predictive",
+                })?;
+            }
             other => return Err(CliError::UnknownOption(other.to_string())),
         }
         i += 1;
@@ -548,6 +584,8 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
         overlap,
         faults,
         recovery,
+        fleet,
+        route,
     })
 }
 
@@ -683,6 +721,25 @@ fn compile_program(p: &Parsed) -> ProgramArtifacts {
     });
     report_cache(&art.timings, cached);
     art
+}
+
+/// Compile the program for one specific fleet platform (the platform
+/// and its default clock override whatever `--board` chose). Errors
+/// are returned, not fatal: fleet serving skips boards the program
+/// cannot target and fails only when none remain.
+fn compile_program_for(p: &Parsed, platform: &Platform) -> Result<ProgramArtifacts, String> {
+    let mut opts = p.program_options();
+    opts.flow.platform = platform.clone();
+    opts.flow.hls.clock_mhz = platform.default_clock_mhz;
+    if let (Some(k), Some(m)) = (p.k, p.m) {
+        opts.system = Some(ProgramSystemConfig::uniform(k, m, p.kernel_count));
+    }
+    let cache = cache_or_exit(p);
+    match cache {
+        Some(c) => ProgramFlow::compile_cached(&p.source, &opts, c),
+        None => ProgramFlow::compile(&p.source, &opts),
+    }
+    .map_err(|e| e.to_string())
 }
 
 /// `cfdc cache stats|clear --cache-dir PATH`: inspect or empty the
@@ -1053,6 +1110,9 @@ fn cmd_verify(args: &[String]) {
 /// Single-kernel sources serve as the degenerate one-kernel program.
 fn cmd_serve(args: &[String]) {
     let p = parse_or_exit(args);
+    if p.fleet.is_some() {
+        return cmd_serve_fleet(&p);
+    }
     let art = compile_program(&p);
     let opts = p.runtime_options();
     let out = art.serve(&opts).unwrap_or_else(|e| {
@@ -1078,6 +1138,73 @@ fn cmd_serve(args: &[String]) {
         seq.throughput_rps,
         out.report.throughput_rps / seq.throughput_rps
     );
+}
+
+/// `cfdc serve --fleet`: shard the request stream across a board set.
+/// The program is compiled once per distinct platform; boards the
+/// program cannot target are skipped with a warning. `--faults` arms
+/// board 0 only, so an outage always leaves survivors to requeue onto.
+fn cmd_serve_fleet(p: &Parsed) {
+    let platforms = p.fleet.as_ref().expect("fleet platforms");
+    // One compile per distinct platform id — repeated boards share it.
+    let mut compiled: Vec<(String, Result<ProgramArtifacts, String>)> = Vec::new();
+    for platform in platforms {
+        if !compiled.iter().any(|(id, _)| *id == platform.id) {
+            compiled.push((platform.id.clone(), compile_program_for(p, platform)));
+        }
+    }
+    let art_for = |id: &str| &compiled.iter().find(|(cid, _)| cid == id).unwrap().1;
+    // Board list in catalog order, with repeats of one platform named
+    // id#2, id#3, ... and --faults armed on the first board only.
+    let mut boards: Vec<FleetBoard> = Vec::new();
+    let mut reference: Option<&ProgramArtifacts> = None;
+    for platform in platforms {
+        let art = match art_for(&platform.id) {
+            Ok(art) => art,
+            Err(e) => {
+                eprintln!("warning: skipping {}: {e}", platform.id);
+                continue;
+            }
+        };
+        let Some(design) = art.system.clone() else {
+            eprintln!(
+                "warning: skipping {}: program has no system design for this board",
+                platform.id
+            );
+            continue;
+        };
+        reference.get_or_insert(art);
+        let mut board = FleetBoard::healthy(design);
+        let repeats = boards
+            .iter()
+            .filter(|b| b.name.starts_with(&board.name))
+            .count();
+        if repeats > 0 {
+            board.name = format!("{}#{}", board.name, repeats + 1);
+        }
+        if boards.is_empty() {
+            board.faults = p.faults.clone();
+        }
+        boards.push(board);
+    }
+    let Some(art) = reference else {
+        eprintln!("no fleet board fits the program");
+        exit(1)
+    };
+    let fopts = FleetOptions {
+        route: p.route,
+        parallel: true,
+        base: p.runtime_options(),
+    };
+    let out = art.serve_fleet(&boards, &fopts).unwrap_or_else(|e| {
+        eprintln!("fleet serving failed: {e}");
+        exit(1)
+    });
+    if p.json {
+        println!("{}", out.report.to_json());
+        return;
+    }
+    print!("{}", out.report.render_table());
 }
 
 fn cmd_explore(args: &[String]) {
@@ -1150,6 +1277,20 @@ fn print_portfolio(report: &cfd_core::dse::PortfolioReport, json: bool) {
             o.outcome.service_rps,
             o.outcome.service_p99_s,
             o.utilization * 100.0
+        );
+    }
+    let cost = report.cost_frontier();
+    println!("cost-efficiency frontier ({} points):", cost.len());
+    for (o, per_kluts) in cost {
+        println!(
+            "  {} @ {:.0} MHz: k={} m={} -> {:.0} req/s, {:.1} req/s per kLUT ({} LUTs)",
+            o.platform,
+            o.clock_mhz,
+            o.outcome.point.k,
+            o.outcome.point.m,
+            o.outcome.service_rps,
+            per_kluts,
+            o.outcome.luts
         );
     }
 }
@@ -1285,6 +1426,8 @@ mod tests {
             "--batch",
             "--emit",
             "--cache-dir",
+            "--fleet",
+            "--route",
         ] {
             let e = parse_common(&args(&["axpy:2", flag])).unwrap_err();
             assert_eq!(
@@ -1349,6 +1492,46 @@ mod tests {
         .unwrap();
         assert_eq!(p.arrival, Arrival::Poisson { rate_rps: 50.0 });
         assert_eq!(p.batch, BatchPolicy::Fixed(4));
+    }
+
+    #[test]
+    fn fleet_flags_parse_boards_and_routing_policy() {
+        // Defaults: no fleet, round-robin routing.
+        let p = parse_common(&args(&["axpy:2"])).unwrap();
+        assert!(p.fleet.is_none());
+        assert_eq!(p.route, RoutePolicy::RoundRobin);
+        // --fleet all expands to the whole catalog.
+        let p = parse_common(&args(&["axpy:2", "--fleet", "all"])).unwrap();
+        assert_eq!(p.fleet.as_ref().unwrap().len(), Platform::catalog().len());
+        // A comma-separated list resolves each name (repeats allowed).
+        let p = parse_common(&args(&[
+            "axpy:2",
+            "--fleet",
+            "zcu106,pynq-z2,zcu106",
+            "--route",
+            "predictive",
+        ]))
+        .unwrap();
+        let ids: Vec<&str> = p
+            .fleet
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|pl| pl.id.as_str())
+            .collect();
+        assert_eq!(ids, ["zcu106", "pynq-z2", "zcu106"]);
+        assert_eq!(p.route, RoutePolicy::Predictive);
+        // jsq parses; unknown policies and boards are structured errors.
+        let p = parse_common(&args(&["axpy:2", "--fleet", "all", "--route", "jsq"])).unwrap();
+        assert_eq!(p.route, RoutePolicy::ShortestQueue);
+        let e = parse_common(&args(&["axpy:2", "--route", "fastest"])).unwrap_err();
+        assert!(matches!(
+            &e,
+            CliError::InvalidValue { flag, value, .. }
+                if flag == "--route" && value == "fastest"
+        ));
+        let e = parse_common(&args(&["axpy:2", "--fleet", "zcu106,nope"])).unwrap_err();
+        assert!(matches!(&e, CliError::UnknownBoard { name, .. } if name == "nope"));
     }
 
     #[test]

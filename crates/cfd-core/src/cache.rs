@@ -72,7 +72,7 @@ use crate::FlowOptions;
 /// Format version: first token of every key and every on-disk entry.
 /// Bump on any change to the serialization below — old entries then
 /// simply never match and age out.
-pub const SCHEMA: &str = "cfdfpga-cache-v1";
+pub const SCHEMA: &str = "cfdfpga-cache-v2";
 
 /// File extension of on-disk entries.
 const EXT: &str = "cfdcache";
@@ -313,6 +313,18 @@ pub fn schedule_key(module: &Module, opts: &FlowOptions) -> u128 {
 // so tuple and dimension names survive any content. The writers below
 // double as a canonical printer: two semantically identical products
 // serialize to the same text, which the differential tests exploit.
+//
+// Two measured size levers keep disk-warm revival fast (it must stay
+// 2x under a cold compile, and the parse IS the disk overhead):
+//
+// * constraint coefficients are ~80% zeros on real schedules, so each
+//   row stores `nnz (index value)...` instead of a dense vector;
+// * the liveness maps repeat whole sets (a single-write array's `live`
+//   and `writes_at` are often identical), so each set is written once
+//   (`s <body>`) and repeats become back-references (`r <k>`) into the
+//   table of distinct sets in first-appearance order — and likewise
+//   every part of a set shares the set's space, so spaces are written
+//   once (`n <body>`) and repeats become `p <k>` references.
 
 /// Serialize an entry to the on-disk text format.
 pub fn write_entry(e: &CachedSchedule) -> String {
@@ -374,6 +386,18 @@ fn w_space(out: &mut String, sp: &Space) {
     }
 }
 
+/// Write one space, deduplicated against `spaces` (same scheme as
+/// [`w_set`]): a repeat becomes `p <k>`, a new space `n <body>`.
+fn w_space_ref<'a>(out: &mut String, sp: &'a Space, spaces: &mut Vec<&'a Space>) {
+    if let Some(k) = spaces.iter().position(|s| *s == sp) {
+        let _ = write!(out, "p {} ", k);
+        return;
+    }
+    spaces.push(sp);
+    out.push_str("n ");
+    w_space(out, sp);
+}
+
 fn w_system(out: &mut String, sys: &System) {
     let _ = write!(
         out,
@@ -387,19 +411,31 @@ fn w_system(out: &mut String, sys: &System) {
             ConstraintKind::Eq => 0,
             ConstraintKind::GeZero => 1,
         };
-        let _ = write!(out, "{} {} ", kind, con.expr.coeffs.len());
-        for v in &con.expr.coeffs {
-            let _ = write!(out, "{} ", v);
+        let nnz = con.expr.coeffs.iter().filter(|&&v| v != 0).count();
+        let _ = write!(out, "{} {} ", kind, nnz);
+        for (i, &v) in con.expr.coeffs.iter().enumerate() {
+            if v != 0 {
+                let _ = write!(out, "{} {} ", i, v);
+            }
         }
         let _ = write!(out, "{} ", con.expr.constant);
     }
 }
 
-fn w_set(out: &mut String, set: &Set) {
-    w_space(out, &set.space);
+/// Write one set, deduplicated against `seen` (the distinct sets
+/// already written, in first-appearance order): a repeat becomes a
+/// back-reference `r <k>`, a new set is written in full as `s <body>`.
+fn w_set<'a>(out: &mut String, set: &'a Set, seen: &mut Vec<&'a Set>, spaces: &mut Vec<&'a Space>) {
+    if let Some(k) = seen.iter().position(|s| *s == set) {
+        let _ = writeln!(out, "r {}", k);
+        return;
+    }
+    seen.push(set);
+    out.push_str("s ");
+    w_space_ref(out, &set.space, spaces);
     let _ = write!(out, "{} ", set.parts.len());
     for part in &set.parts {
-        w_space(out, &part.space);
+        w_space_ref(out, &part.space, spaces);
         w_system(out, part.system());
     }
     out.push('\n');
@@ -407,10 +443,12 @@ fn w_set(out: &mut String, set: &Set) {
 
 fn w_liveness(out: &mut String, lv: &Liveness) {
     let _ = writeln!(out, "liveness {} {}", lv.dim, lv.arrays.len());
+    let mut seen: Vec<&Set> = Vec::new();
+    let mut spaces: Vec<&Space> = Vec::new();
     for &arr in &lv.arrays {
         let _ = write!(out, "{} ", arr.0);
         for m in [&lv.live, &lv.writes_at, &lv.reads_at] {
-            w_set(out, &m[&arr]);
+            w_set(out, &m[&arr], &mut seen, &mut spaces);
         }
     }
     out.push('\n');
@@ -452,12 +490,57 @@ impl<'a> Cursor<'a> {
         (self.pos > start).then(|| &self.text[start..self.pos])
     }
 
-    fn usize(&mut self) -> Option<usize> {
-        self.tok()?.parse().ok()
+    /// Integer tokens are the bulk of an entry (every constraint
+    /// coefficient), so they are scanned byte-by-byte instead of going
+    /// through token slicing + `str::parse` — the disk-warm revival is
+    /// dominated by this loop.
+    fn i64(&mut self) -> Option<i64> {
+        let bytes = self.text.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let neg = self.pos < bytes.len() && bytes[self.pos] == b'-';
+        if neg {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let mut value = 0i64;
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+            value = value
+                .checked_mul(10)?
+                .checked_add((bytes[self.pos] - b'0') as i64)?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        // The digit run must end the token — "12x" is not an integer.
+        if self.pos < bytes.len() && !bytes[self.pos].is_ascii_whitespace() {
+            return None;
+        }
+        Some(if neg { -value } else { value })
     }
 
-    fn i64(&mut self) -> Option<i64> {
-        self.tok()?.parse().ok()
+    fn usize(&mut self) -> Option<usize> {
+        let bytes = self.text.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        let mut value = 0usize;
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+            value = value
+                .checked_mul(10)?
+                .checked_add((bytes[self.pos] - b'0') as usize)?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        if self.pos < bytes.len() && !bytes[self.pos].is_ascii_whitespace() {
+            return None;
+        }
+        Some(value)
     }
 
     /// A length-prefixed string: `<len> <exactly len bytes>`.
@@ -506,6 +589,23 @@ fn r_space(c: &mut Cursor) -> Option<Space> {
     Some(Space { tuple, dims })
 }
 
+/// Read one space slot: `n <body>` (new, pushed onto the table) or a
+/// back-reference `p <k>` (cloned from the table).
+fn r_space_ref(c: &mut Cursor, spaces: &mut Vec<Space>) -> Option<Space> {
+    match c.tok()? {
+        "p" => {
+            let k = c.usize()?;
+            spaces.get(k).cloned()
+        }
+        "n" => {
+            let sp = r_space(c)?;
+            spaces.push(sp.clone());
+            Some(sp)
+        }
+        _ => None,
+    }
+}
+
 fn r_system(c: &mut Cursor) -> Option<System> {
     let n_vars = c.usize()?;
     let infeasible = c.usize()? != 0;
@@ -514,39 +614,68 @@ fn r_system(c: &mut Cursor) -> Option<System> {
         // An infeasible system stores no rows.
         return (rows == 0).then(|| System::infeasible(n_vars));
     }
-    let mut sys = System::universe(n_vars);
+    let mut parsed = Vec::with_capacity(rows);
     for _ in 0..rows {
         let kind = match c.usize()? {
             0 => ConstraintKind::Eq,
             1 => ConstraintKind::GeZero,
             _ => return None,
         };
-        let ncoef = c.usize()?;
-        if ncoef != n_vars {
+        // Sparse row: `nnz (index value)...` with strictly increasing
+        // indices and no explicit zeros, so the writer's output is the
+        // only text that parses back to a given row (canonical printer).
+        let nnz = c.usize()?;
+        if nnz > n_vars {
             return None;
         }
-        let coeffs = (0..ncoef).map(|_| c.i64()).collect::<Option<Vec<_>>>()?;
+        let mut coeffs = vec![0i64; n_vars];
+        let mut prev = None;
+        for _ in 0..nnz {
+            let idx = c.usize()?;
+            let v = c.i64()?;
+            if idx >= n_vars || v == 0 || prev.is_some_and(|p| idx <= p) {
+                return None;
+            }
+            coeffs[idx] = v;
+            prev = Some(idx);
+        }
         let constant = c.i64()?;
-        // Rows were normalized when first added, so re-adding them is an
-        // identity and the rebuilt system equals the serialized one.
-        sys.add(Constraint {
+        parsed.push(Constraint {
             kind,
             expr: LinExpr { coeffs, constant },
         });
     }
-    Some(sys)
+    // Rows were normalized and deduplicated when first added, so revive
+    // them verbatim instead of re-normalizing one row at a time — this is
+    // the disk-warm hot path (debug builds re-verify the canonical claim).
+    Some(System::from_canonical_rows(n_vars, parsed))
 }
 
-fn r_set(c: &mut Cursor) -> Option<Set> {
-    let space = r_space(c)?;
-    let nparts = c.usize()?;
-    let mut parts = Vec::with_capacity(nparts);
-    for _ in 0..nparts {
-        let psp = r_space(c)?;
-        let sys = r_system(c)?;
-        parts.push(BasicSet::from_system(psp, sys));
+/// Read one set slot: either a new set (`s`, parsed in full and pushed
+/// onto the distinct-set table) or a back-reference (`r <k>`). Returns
+/// the slot's index into `seen`; the caller materializes owned sets at
+/// the end so each distinct set is parsed once and cloned only for its
+/// repeats.
+fn r_set(c: &mut Cursor, seen: &mut Vec<Set>, spaces: &mut Vec<Space>) -> Option<usize> {
+    match c.tok()? {
+        "r" => {
+            let k = c.usize()?;
+            (k < seen.len()).then_some(k)
+        }
+        "s" => {
+            let space = r_space_ref(c, spaces)?;
+            let nparts = c.usize()?;
+            let mut parts = Vec::with_capacity(nparts);
+            for _ in 0..nparts {
+                let psp = r_space_ref(c, spaces)?;
+                let sys = r_system(c)?;
+                parts.push(BasicSet::from_system(psp, sys));
+            }
+            seen.push(Set { space, parts });
+            Some(seen.len() - 1)
+        }
+        _ => None,
     }
-    Some(Set { space, parts })
 }
 
 fn r_liveness(c: &mut Cursor) -> Option<Liveness> {
@@ -556,15 +685,44 @@ fn r_liveness(c: &mut Cursor) -> Option<Liveness> {
     let dim = c.usize()?;
     let n = c.usize()?;
     let mut arrays = Vec::with_capacity(n);
-    let mut live = HashMap::new();
-    let mut writes_at = HashMap::new();
-    let mut reads_at = HashMap::new();
+    let mut seen: Vec<Set> = Vec::new();
+    let mut spaces: Vec<Space> = Vec::new();
+    let mut slots = Vec::with_capacity(n);
     for _ in 0..n {
         let arr = ArrayId(c.usize()?);
         arrays.push(arr);
-        live.insert(arr, r_set(c)?);
-        writes_at.insert(arr, r_set(c)?);
-        reads_at.insert(arr, r_set(c)?);
+        let live = r_set(c, &mut seen, &mut spaces)?;
+        let writes = r_set(c, &mut seen, &mut spaces)?;
+        let reads = r_set(c, &mut seen, &mut spaces)?;
+        slots.push((arr, [live, writes, reads]));
+    }
+    // Materialize: the last user of a table entry moves it out, earlier
+    // users clone — one parse per distinct set, one clone per repeat.
+    let mut uses = vec![0usize; seen.len()];
+    for (_, idxs) in &slots {
+        for &i in idxs {
+            uses[i] += 1;
+        }
+    }
+    let mut pool: Vec<Option<Set>> = seen.into_iter().map(Some).collect();
+    let mut take = |i: usize, uses: &mut Vec<usize>| -> Set {
+        uses[i] -= 1;
+        if uses[i] == 0 {
+            pool[i].take().expect("use counts cover every slot")
+        } else {
+            pool[i]
+                .as_ref()
+                .expect("use counts cover every slot")
+                .clone()
+        }
+    };
+    let mut live = HashMap::new();
+    let mut writes_at = HashMap::new();
+    let mut reads_at = HashMap::new();
+    for (arr, [l, w, r]) in slots {
+        live.insert(arr, take(l, &mut uses));
+        writes_at.insert(arr, take(w, &mut uses));
+        reads_at.insert(arr, take(r, &mut uses));
     }
     Some(Liveness {
         dim,
@@ -707,7 +865,7 @@ mod tests {
 
         // Corruption is detected, counted and cleaned up.
         let path = dir.join(format!("{:032x}.{}", key, EXT));
-        std::fs::write(&path, "cfdfpga-cache-v1 garbage").unwrap();
+        std::fs::write(&path, format!("{SCHEMA} garbage")).unwrap();
         let poisoned = CompileCache::with_dir(&dir).unwrap();
         assert!(poisoned.lookup(key).is_none());
         assert_eq!(poisoned.counters().invalidations, 1);

@@ -1299,6 +1299,31 @@ impl PortfolioReport {
         self.summaries.iter().filter(|s| s.feasible > 0).collect()
     }
 
+    /// The portfolio **cost-efficiency** frontier: non-dominated points
+    /// over (requests/sec ↑, requests/sec per 1000 design LUTs ↑) —
+    /// which boards earn their silicon when a fleet dispatcher shards
+    /// one stream across the catalog. Returned with each point's
+    /// req/s-per-kLUT figure, best throughput first (the ranking order
+    /// of `outcomes`).
+    pub fn cost_frontier(&self) -> Vec<(&PortfolioOutcome, f64)> {
+        let per_kluts =
+            |o: &PortfolioOutcome| o.outcome.service_rps / (o.outcome.luts as f64 / 1000.0);
+        let objectives: Vec<Option<(f64, f64)>> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                (o.outcome.feasible && o.outcome.luts > 0)
+                    .then(|| (-o.outcome.service_rps, -per_kluts(o)))
+            })
+            .collect();
+        self.outcomes
+            .iter()
+            .zip(pareto_flags(&objectives))
+            .filter(|(_, flag)| *flag)
+            .map(|(o, _)| (o, per_kluts(o)))
+            .collect()
+    }
+
     /// Render as an aligned text table (Pareto rows marked `*`).
     pub fn render_table(&self) -> String {
         let mut s = String::new();
@@ -1440,6 +1465,24 @@ impl PortfolioReport {
                 o.outcome.service_p99_s,
                 o.utilization,
                 if i + 1 == service.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ],\n");
+        let cost = self.cost_frontier();
+        s.push_str("  \"cost_frontier\": [\n");
+        for (i, (o, per_kluts)) in cost.iter().enumerate() {
+            let p = &o.outcome.point;
+            s.push_str(&format!(
+                "    {{\"platform\": \"{}\", \"clock_mhz\": {:.1}, \"k\": {}, \"m\": {}, \
+                 \"luts\": {}, \"service_rps\": {:.3}, \"rps_per_kluts\": {:.4}}}{}\n",
+                o.platform,
+                o.clock_mhz,
+                p.k,
+                p.m,
+                o.outcome.luts,
+                o.outcome.service_rps,
+                per_kluts,
+                if i + 1 == cost.len() { "" } else { "," },
             ));
         }
         s.push_str("  ],\n");

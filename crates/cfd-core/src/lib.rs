@@ -6,7 +6,8 @@
 //! ```text
 //! Frontend   CFDlang source ──parse/check──► typed AST
 //! MiddleEnd  typed AST ──lower/factorize/cse/dce──► tensor IR
-//!            + row-major layout + polyhedral model + dependences
+//!            + row-major layout + polyhedral model
+//!            (+ dependences, computed lazily on first use)
 //! Scheduled  middle end ──reschedule──► schedule + liveness
 //!            + memory-compatibility graph
 //! Backend    scheduled ──codegen──► C99 kernel + HLS report
@@ -77,6 +78,11 @@ pub use program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 pub use runtime::{
     Arrival, BatchPolicy, RecoveryPolicy, RequestOutcome, RuntimeError, RuntimeOptions,
     ServeOutcome, ServiceReport,
+};
+// The fleet layer: one request stream sharded across N boards
+// ([`ProgramArtifacts::serve_fleet`] is the artifact-level entry).
+pub use runtime::{
+    serve_fleet, BoardReport, FleetBoard, FleetOptions, FleetOutcome, FleetReport, RoutePolicy,
 };
 pub use zynq::FaultPlan;
 
@@ -199,13 +205,14 @@ pub(crate) fn resolve_jobs(jobs: usize) -> usize {
 /// Everything the flow produces.
 #[derive(Debug, Clone)]
 pub struct Artifacts {
-    pub typed: TypedProgram,
-    pub module: Module,
-    pub model: KernelModel,
-    pub dependences: Dependences,
-    pub schedule: Schedule,
-    pub liveness: Liveness,
-    pub compat: CompatibilityGraph,
+    pub typed: std::sync::Arc<TypedProgram>,
+    pub module: std::sync::Arc<Module>,
+    pub model: std::sync::Arc<KernelModel>,
+    /// Lazy dependence analysis — see [`Artifacts::dependences`].
+    dependences: std::sync::Arc<std::sync::OnceLock<Dependences>>,
+    pub schedule: std::sync::Arc<Schedule>,
+    pub liveness: std::sync::Arc<Liveness>,
+    pub compat: std::sync::Arc<CompatibilityGraph>,
     pub kernel: CKernel,
     /// The generated C99 source (input to HLS).
     pub c_source: String,
@@ -246,6 +253,18 @@ impl Flow {
 }
 
 impl Artifacts {
+    /// The RAW/WAR/WAW dependence analysis over the polyhedral model.
+    ///
+    /// Computed on first use and memoized (shared with the pipeline's
+    /// [`MiddleEnd`](pipeline::MiddleEnd), so a schedule-cache miss —
+    /// which needs dependences to reschedule — fills it for free). A
+    /// cache-hit compile that never asks for dependences never runs the
+    /// analysis.
+    pub fn dependences(&self) -> &Dependences {
+        self.dependences
+            .get_or_init(|| Dependences::analyze(&self.model))
+    }
+
     /// Run the full-system simulation (requires a fitting system).
     pub fn simulate(&self, sim: &SimConfig) -> Result<zynq::HwResult, FlowError> {
         let system = self

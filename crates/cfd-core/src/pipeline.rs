@@ -11,7 +11,7 @@
 //! | stage | consumes | produces |
 //! |-------|----------|----------|
 //! | [`Pipeline::frontend`]   | CFDlang source | [`Frontend`]: type-checked AST |
-//! | [`Pipeline::middle_end`] | [`Frontend`] + canonicalization options | [`MiddleEnd`]: tensor IR, layout, polyhedral model, dependences |
+//! | [`Pipeline::middle_end`] | [`Frontend`] + canonicalization options | [`MiddleEnd`]: tensor IR, layout, polyhedral model (dependences lazily) |
 //! | [`Pipeline::schedule`]   | [`MiddleEnd`] + scheduler options | [`Scheduled`]: schedule, liveness, compatibility graph |
 //! | [`Pipeline::link`]       | all kernels' [`Scheduled`] | [`LinkStage`]: inter-kernel handoffs + sequence liveness |
 //! | [`Pipeline::backend`]    | [`Scheduled`] + decoupling/memory/HLS options | [`Backend`]: C kernel, HLS report, Mnemosyne config, memory subsystem |
@@ -46,7 +46,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use cfdlang::TypedProgram;
@@ -143,8 +143,21 @@ pub struct MiddleEnd {
     pub module: Arc<Module>,
     pub layout: Arc<LayoutPlan>,
     pub model: Arc<KernelModel>,
-    pub dependences: Arc<Dependences>,
+    /// Dependence analysis, computed on first use (see
+    /// [`MiddleEnd::dependences`]): a schedule-cache hit never asks for
+    /// it, so the warm path skips the analysis entirely.
+    dependences: Arc<OnceLock<Dependences>>,
     pub elapsed_s: f64,
+}
+
+impl MiddleEnd {
+    /// The RAW/WAR/WAW dependence analysis over the polyhedral model,
+    /// memoized on first use and shared across clones (and with the
+    /// [`Artifacts`] assembled from this middle end).
+    pub fn dependences(&self) -> &Dependences {
+        self.dependences
+            .get_or_init(|| Dependences::analyze(&self.model))
+    }
 }
 
 /// Output of the scheduling stage: the rescheduled program plus the
@@ -273,7 +286,9 @@ impl Pipeline {
 
     /// Lower to tensor IR, canonicalize (factorization, CSE, DCE per
     /// `opts`), materialize the row-major layout and build the
-    /// polyhedral model and dependences.
+    /// polyhedral model. Dependence analysis is deferred to first use —
+    /// only a schedule-cache miss (or an explicit legality check) pays
+    /// for it.
     pub fn middle_end(&self, fe: &Frontend, opts: &FlowOptions) -> Result<MiddleEnd, FlowError> {
         self.counters.middle_end.fetch_add(1, Ordering::Relaxed);
         let t = Instant::now();
@@ -287,13 +302,12 @@ impl Pipeline {
         }
         let layout = LayoutPlan::row_major(&module);
         let model = KernelModel::build(&module, &layout);
-        let dependences = Dependences::analyze(&model);
         Ok(MiddleEnd {
             typed: Arc::clone(&fe.typed),
             module: Arc::new(module),
             layout: Arc::new(layout),
             model: Arc::new(model),
-            dependences: Arc::new(dependences),
+            dependences: Arc::new(OnceLock::new()),
             elapsed_s: t.elapsed().as_secs_f64(),
         })
     }
@@ -322,7 +336,7 @@ impl Pipeline {
         }
         self.counters.schedule.fetch_add(1, Ordering::Relaxed);
         let schedule =
-            pschedule::reschedule(&me.module, &me.model, &me.dependences, &opts.scheduler);
+            pschedule::reschedule(&me.module, &me.model, me.dependences(), &opts.scheduler);
         let liveness = Liveness::analyze_jobs(&me.module, &me.model, &schedule, opts.jobs);
         let compat = CompatibilityGraph::build(&me.model, &liveness);
         let schedule = Arc::new(schedule);
@@ -470,9 +484,10 @@ impl Pipeline {
 
 impl Artifacts {
     /// Assemble the flat [`Artifacts`] record the rest of the codebase
-    /// consumes from staged outputs. The frontend/middle-end products are
-    /// cloned out of their `Arc`s so `Artifacts` keeps its owned,
-    /// self-contained shape.
+    /// consumes from staged outputs. The immutable analysis products
+    /// (typed AST, module, model, schedule, liveness, compatibility
+    /// graph) are `Arc`-shared with the pipeline stages rather than
+    /// deep-cloned — assembly is a handful of reference-count bumps.
     pub fn assemble(
         fe: &Frontend,
         sc: &Scheduled,
@@ -492,13 +507,13 @@ impl Artifacts {
             oracle: polyhedra::OracleCounters::default(),
         };
         Artifacts {
-            typed: (*me.typed).clone(),
-            module: (*me.module).clone(),
-            model: (*me.model).clone(),
-            dependences: (*me.dependences).clone(),
-            schedule: (*sc.schedule).clone(),
-            liveness: (*sc.liveness).clone(),
-            compat: (*sc.compat).clone(),
+            typed: Arc::clone(&me.typed),
+            module: Arc::clone(&me.module),
+            model: Arc::clone(&me.model),
+            dependences: Arc::clone(&me.dependences),
+            schedule: Arc::clone(&sc.schedule),
+            liveness: Arc::clone(&sc.liveness),
+            compat: Arc::clone(&sc.compat),
             kernel: be.kernel,
             c_source: be.c_source,
             hls_report: be.hls_report,

@@ -140,7 +140,7 @@ impl ProgramArtifacts {
     /// Verify `n` chained elements against the chained reference
     /// interpreter.
     pub fn verify(&self, n: usize, seed: u64) -> Result<VerifyResult, FlowError> {
-        let modules: Vec<&Module> = self.kernels.iter().map(|a| &a.module).collect();
+        let modules: Vec<&Module> = self.kernels.iter().map(|a| &*a.module).collect();
         let kernels: Vec<&cgen::CKernel> = self.kernels.iter().map(|a| &a.kernel).collect();
         zynq::verify_program(&self.names, &modules, &kernels, n, seed).map_err(FlowError::Backend)
     }
@@ -158,7 +158,7 @@ impl ProgramArtifacts {
             .system
             .as_ref()
             .ok_or_else(|| FlowError::Backend("no feasible program configuration".into()))?;
-        let modules: Vec<&Module> = self.kernels.iter().map(|a| &a.module).collect();
+        let modules: Vec<&Module> = self.kernels.iter().map(|a| &*a.module).collect();
         let kernels: Vec<&cgen::CKernel> = self.kernels.iter().map(|a| &a.kernel).collect();
         // Timing-only runs skip the input tensors entirely (same
         // arrival stream either way, per seed).
@@ -169,6 +169,32 @@ impl ProgramArtifacts {
         }
         .map_err(|e| FlowError::Backend(e.to_string()))?;
         runtime::serve(system, &self.names, &modules, &kernels, &requests, opts)
+            .map_err(|e| FlowError::Backend(e.to_string()))
+    }
+
+    /// Serve one request stream across a fleet of boards
+    /// (`runtime::serve_fleet`): generate per-request inputs and
+    /// arrivals exactly as [`ProgramArtifacts::serve`] would, then let
+    /// the dispatcher shard them over `boards`. The functional stages
+    /// come from *this* artifact — the kernel chain is
+    /// platform-independent, so heterogeneous boards share one set of
+    /// modules and kernels while each board keeps its own compiled
+    /// system and cost model.
+    pub fn serve_fleet(
+        &self,
+        boards: &[runtime::FleetBoard],
+        fopts: &runtime::FleetOptions,
+    ) -> Result<runtime::FleetOutcome, FlowError> {
+        let modules: Vec<&Module> = self.kernels.iter().map(|a| &*a.module).collect();
+        let kernels: Vec<&cgen::CKernel> = self.kernels.iter().map(|a| &a.kernel).collect();
+        let opts = &fopts.base;
+        let requests = if opts.execute {
+            runtime::generate_requests(&modules, opts.requests, &opts.arrival, opts.seed)
+        } else {
+            runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed)
+        }
+        .map_err(|e| FlowError::Backend(e.to_string()))?;
+        runtime::serve_fleet(boards, &self.names, &modules, &kernels, &requests, fopts)
             .map_err(|e| FlowError::Backend(e.to_string()))
     }
 

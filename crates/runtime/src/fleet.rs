@@ -1,0 +1,1090 @@
+//! Fleet-scale serving: shard one request stream across a catalog of
+//! heterogeneous boards and simulate every board in parallel.
+//!
+//! One [`crate::serve`] call time-multiplexes one compiled system. A
+//! deployment that must absorb fleet-scale load runs N boards —
+//! possibly different platforms and clocks, each with its own compiled
+//! system and its own fault exposure — behind one dispatcher:
+//!
+//! ```text
+//!              requests (one stream, admission order)
+//!                  │
+//!            ┌─────▼──────┐  route: rr | jsq | predictive
+//!            │ dispatcher │  (cost model per board: probed round ticks)
+//!            └─┬───┬────┬─┘
+//!        ┌─────┘   │    └──────┐
+//!   ┌────▼───┐ ┌───▼────┐ ┌────▼───┐
+//!   │ board 0│ │ board 1│ │ board N│   per-board DES on scoped
+//!   │ serve()│ │ serve()│ │ serve()│   threads (phase 1)
+//!   └────┬───┘ └───┬────┘ └────┬───┘
+//!        │  shed (fatal outage)│        drain + requeue on the
+//!        └──────►──┤           │        surviving boards (phase 2)
+//!                  │           │
+//!            ┌─────▼───────────▼─┐
+//!            │ deterministic merge│ → FleetReport (aggregate req/s,
+//!            └───────────────────┘   goodput, p99, per-board util,
+//!                                    req/s per kLUT)
+//! ```
+//!
+//! Three properties make the layer trustworthy rather than merely fast:
+//!
+//! * **Fleet-of-1 ≡ serve.** Every routing policy sends the whole
+//!   stream to a lone board, and the board's report *is* a
+//!   [`crate::serve`] report — same code path, tick- and byte-identical
+//!   (`tests/fleet_properties.rs` proves it).
+//! * **Parallel ≡ serial.** Each board's DES is a pure function of its
+//!   request list; results are merged by board index, so the scoped
+//!   thread fan-out is bit-identical to the serial loop.
+//! * **Routing never touches data.** Policies only choose *where* a
+//!   request runs; completed outputs stay bit-exact against
+//!   `zynq::run_program_reference` under every policy.
+//!
+//! Routing happens before simulation, from a deterministic cost model:
+//! each board's full round cost is probed once with a one-request
+//! stream (host-side round cost does not depend on fill — the host
+//! always moves all `m` PLM sets), giving an estimated per-request
+//! service time `round_ticks / capacity` that `jsq` and `predictive`
+//! consume. A board whose [`FaultPlan`] holds an unrecovered outage
+//! sheds its queued work at the failure tick; the dispatcher drains
+//! those requests and requeues them — same policy, continued state —
+//! on the surviving boards, with the shed tick as their new arrival.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sysgen::MultiSystemDesign;
+use teil::ir::Module;
+use zynq::des::{secs, to_secs, Time};
+use zynq::fault::FaultPlan;
+
+use crate::{
+    percentile, serve, Request, RequestOutcome, RuntimeError, RuntimeOptions, ServeOutcome,
+    ServiceReport,
+};
+
+/// How the dispatcher picks a board for each admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Admission order modulo board count — the zero-knowledge
+    /// baseline.
+    RoundRobin,
+    /// Join-shortest-queue over the dispatcher's virtual queues
+    /// (entries expire at their estimated completion tick).
+    ShortestQueue,
+    /// Earliest estimated completion using each board's probed cost
+    /// model — heterogeneity-aware.
+    Predictive,
+}
+
+impl RoutePolicy {
+    /// Parse a CLI spec: `rr`, `jsq`, or `predictive`.
+    pub fn parse(s: &str) -> Result<RoutePolicy, String> {
+        match s {
+            "rr" => Ok(RoutePolicy::RoundRobin),
+            "jsq" => Ok(RoutePolicy::ShortestQueue),
+            "predictive" => Ok(RoutePolicy::Predictive),
+            other => Err(format!(
+                "unknown routing policy '{other}' (rr | jsq | predictive)"
+            )),
+        }
+    }
+
+    /// Stable JSON/label token.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "rr",
+            RoutePolicy::ShortestQueue => "jsq",
+            RoutePolicy::Predictive => "predictive",
+        }
+    }
+}
+
+/// One board worker: a compiled system plus its own fault exposure.
+#[derive(Debug, Clone)]
+pub struct FleetBoard {
+    /// Display name (usually the platform id, deduplicated by the
+    /// caller when a platform appears twice).
+    pub name: String,
+    pub design: MultiSystemDesign,
+    /// This board's deterministic fault plan (`FaultPlan::none()` for a
+    /// healthy board). Replaces `FleetOptions::base.faults` per board.
+    pub faults: FaultPlan,
+}
+
+impl FleetBoard {
+    /// A healthy board named after its platform.
+    pub fn healthy(design: MultiSystemDesign) -> FleetBoard {
+        FleetBoard {
+            name: design.platform.id.clone(),
+            design,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// Options for one fleet serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOptions {
+    pub route: RoutePolicy,
+    /// Simulate boards on scoped threads (bit-identical to the serial
+    /// loop — the differential tests compare both).
+    pub parallel: bool,
+    /// Per-board serving options. `base.faults` is ignored: each
+    /// [`FleetBoard`] carries its own plan.
+    pub base: RuntimeOptions,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            route: RoutePolicy::RoundRobin,
+            parallel: true,
+            base: RuntimeOptions::default(),
+        }
+    }
+}
+
+/// Per-board slice of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardReport {
+    pub name: String,
+    /// Platform id of the board's design.
+    pub platform: String,
+    /// Programmable-logic capacity of the board (the cost denominator).
+    pub board_luts: usize,
+    /// Requests routed here in phase 1.
+    pub assigned: usize,
+    /// Requests rescued onto this board after another board's outage.
+    pub rescued_in: usize,
+    /// Requests this board shed that a survivor picked up.
+    pub rescued_out: usize,
+    /// Estimated per-request service ticks from the probe (the routing
+    /// cost model).
+    pub est_request_ticks: u64,
+    /// Fraction of the fleet makespan this board spent computing.
+    pub utilization: f64,
+    /// Completed requests per second per 1000 board LUTs — the
+    /// cost-efficiency axis of the fleet frontier.
+    pub rps_per_kluts: f64,
+    /// The board's own service report (`None` when no request was ever
+    /// routed here).
+    pub report: Option<ServiceReport>,
+}
+
+/// Aggregate + per-board results of one fleet serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    pub route: RoutePolicy,
+    pub parallel: bool,
+    pub requests: usize,
+    pub completed: usize,
+    pub retried: usize,
+    pub timed_out: usize,
+    pub shed: usize,
+    pub failed: usize,
+    /// Requests drained off a dead board and requeued on a survivor.
+    pub requeued: usize,
+    /// Fleet makespan: the latest board-local makespan (all boards
+    /// share the t=0 epoch).
+    pub makespan_ticks: u64,
+    pub makespan_s: f64,
+    /// All requests over the fleet makespan.
+    pub aggregate_rps: f64,
+    /// Completed requests over the fleet makespan.
+    pub goodput_rps: f64,
+    /// Latency statistics over all requests, measured from each
+    /// request's *original* arrival (a rescued request's latency
+    /// includes its time on the dead board).
+    pub latency_mean_s: f64,
+    pub latency_p50_s: f64,
+    pub latency_p99_s: f64,
+    pub latency_max_s: f64,
+    pub boards: Vec<BoardReport>,
+    /// Final placement: `(request id, board index)` in request-id
+    /// order. Every request appears exactly once — the conservation
+    /// property the proptests check.
+    pub assignment: Vec<(usize, usize)>,
+}
+
+/// A fleet run's report plus (when `execute` was set) every request's
+/// output tensors; `outputs[i]` belongs to `requests[i]` of the
+/// [`serve_fleet`] call, matching by position like [`crate::ServeOutcome`].
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    pub report: FleetReport,
+    pub outputs: Vec<HashMap<String, Vec<f64>>>,
+}
+
+/// Deterministic routing state, shared between the initial placement
+/// and the outage requeue so phase 2 continues — not restarts — the
+/// policy.
+struct Dispatcher {
+    policy: RoutePolicy,
+    /// Round-robin cursor.
+    next: usize,
+    /// Per-board estimated completion ticks of in-flight work (virtual
+    /// queues for `jsq`).
+    queues: Vec<Vec<Time>>,
+    /// Per-board estimated busy horizon (for `predictive`).
+    busy_until: Vec<Time>,
+    /// Per-board estimated service ticks per request.
+    req_ticks: Vec<u64>,
+}
+
+impl Dispatcher {
+    fn new(policy: RoutePolicy, req_ticks: Vec<u64>) -> Dispatcher {
+        let n = req_ticks.len();
+        Dispatcher {
+            policy,
+            next: 0,
+            queues: vec![Vec::new(); n],
+            busy_until: vec![0; n],
+            req_ticks,
+        }
+    }
+
+    /// Pick a board among `live` (candidate indices, ascending) for a
+    /// request arriving at tick `t`. Ties break toward the lowest board
+    /// index, so routing is a pure function of the admitted prefix.
+    fn route(&mut self, t: Time, live: &[usize]) -> usize {
+        debug_assert!(!live.is_empty());
+        let pick = match self.policy {
+            RoutePolicy::RoundRobin => {
+                let b = live[self.next % live.len()];
+                self.next += 1;
+                b
+            }
+            RoutePolicy::ShortestQueue => {
+                for &b in live {
+                    self.queues[b].retain(|&done| done > t);
+                }
+                *live
+                    .iter()
+                    .min_by_key(|&&b| (self.queues[b].len(), b))
+                    .unwrap()
+            }
+            RoutePolicy::Predictive => *live
+                .iter()
+                .min_by_key(|&&b| (self.busy_until[b].max(t) + self.req_ticks[b], b))
+                .unwrap(),
+        };
+        let done = self.busy_until[pick].max(t) + self.req_ticks[pick];
+        self.busy_until[pick] = done;
+        self.queues[pick].push(done);
+        pick
+    }
+}
+
+/// Probe one board's full round cost: a single-request closed stream
+/// without overlap. The host-side round cost is fill-independent (the
+/// host always moves all `m` PLM sets), so one request prices the whole
+/// round; dividing by the fill capacity prices one request.
+fn probe_request_ticks(board: &FleetBoard, opts: &RuntimeOptions) -> u64 {
+    let probe = zynq::simulate_batch_stream(&board.design, &opts.sim, &[0], 1, false);
+    let capacity = opts.batch.capacity(board.design.config.m).max(1);
+    (probe.makespan_ticks / capacity as u64).max(1)
+}
+
+/// Run `serve` for every board with a non-empty request list, either on
+/// scoped threads or serially. Results land in board-index order, so
+/// the merge is deterministic regardless of completion order.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+fn run_boards(
+    boards: &[FleetBoard],
+    names: &[String],
+    modules: &[&Module],
+    kernels: &[&cgen::CKernel],
+    lists: &[Vec<Request>],
+    opts: &FleetOptions,
+    only: Option<&[usize]>,
+    results: &mut [Option<ServeOutcome>],
+) -> Result<(), RuntimeError> {
+    let wanted: Vec<usize> = (0..boards.len())
+        .filter(|b| !lists[*b].is_empty() && only.is_none_or(|o| o.contains(b)))
+        .collect();
+    let board_opts: Vec<RuntimeOptions> = boards
+        .iter()
+        .map(|b| RuntimeOptions {
+            faults: b.faults.clone(),
+            ..opts.base.clone()
+        })
+        .collect();
+    let mut done: Vec<(usize, Result<ServeOutcome, RuntimeError>)> =
+        Vec::with_capacity(wanted.len());
+    if opts.parallel && wanted.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = wanted
+                .iter()
+                .map(|&b| {
+                    let list = &lists[b];
+                    let bopts = &board_opts[b];
+                    let design = &boards[b].design;
+                    s.spawn(move || (b, serve(design, names, modules, kernels, list, bopts)))
+                })
+                .collect();
+            for h in handles {
+                done.push(h.join().expect("board worker panicked"));
+            }
+        });
+    } else {
+        for &b in &wanted {
+            done.push((
+                b,
+                serve(
+                    &boards[b].design,
+                    names,
+                    modules,
+                    kernels,
+                    &lists[b],
+                    &board_opts[b],
+                ),
+            ));
+        }
+    }
+    done.sort_by_key(|(b, _)| *b);
+    for (b, r) in done {
+        results[b] = Some(r?);
+    }
+    Ok(())
+}
+
+/// Serve `requests` across a fleet of boards: route each request to a
+/// board (phase 1), simulate every board's stream — in parallel when
+/// `opts.parallel` — then drain requests shed by an unrecovered board
+/// outage and requeue them on the surviving boards (phase 2). The
+/// merged [`FleetReport`] aggregates throughput, goodput, fleet-level
+/// latency percentiles, per-board utilization and cost efficiency.
+///
+/// `names`/`modules`/`kernels` describe the compiled program exactly as
+/// in [`crate::serve`]; the functional path (and its bit-exactness
+/// guarantees) is inherited unchanged because every board *runs*
+/// [`crate::serve`].
+pub fn serve_fleet(
+    boards: &[FleetBoard],
+    names: &[String],
+    modules: &[&Module],
+    kernels: &[&cgen::CKernel],
+    requests: &[Request],
+    opts: &FleetOptions,
+) -> Result<FleetOutcome, RuntimeError> {
+    if boards.is_empty() {
+        return Err(RuntimeError::NoBoards);
+    }
+    if requests.is_empty() {
+        return Err(RuntimeError::NoRequests);
+    }
+    let n = requests.len();
+    let nb = boards.len();
+
+    // Admission order: arrival time, ties by id — the same total order
+    // `serve` uses, so routing is a pure function of the stream.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        requests[a]
+            .arrival_s
+            .total_cmp(&requests[b].arrival_s)
+            .then(requests[a].id.cmp(&requests[b].id))
+    });
+
+    // Phase 1: place every request.
+    let req_ticks: Vec<u64> = boards
+        .iter()
+        .map(|b| probe_request_ticks(b, &opts.base))
+        .collect();
+    let mut dispatcher = Dispatcher::new(opts.route, req_ticks.clone());
+    let all: Vec<usize> = (0..nb).collect();
+    let mut assignment: Vec<usize> = vec![0; n];
+    let mut lists: Vec<Vec<Request>> = vec![Vec::new(); nb];
+    // Caller index of each entry in a board's list, so outputs map back.
+    let mut list_origin: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for &i in &order {
+        let b = dispatcher.route(secs(requests[i].arrival_s), &all);
+        assignment[i] = b;
+        lists[b].push(requests[i].clone());
+        list_origin[b].push(i);
+    }
+    let assigned: Vec<usize> = lists.iter().map(|l| l.len()).collect();
+
+    let mut results: Vec<Option<ServeOutcome>> = (0..nb).map(|_| None).collect();
+    run_boards(
+        boards,
+        names,
+        modules,
+        kernels,
+        &lists,
+        opts,
+        None,
+        &mut results,
+    )?;
+
+    // Phase 2: drain requests shed by a fatal outage and requeue them
+    // on the surviving boards, arriving at their shed tick. `Shed` only
+    // arises from an unrecovered outage, and survivors cannot shed, so
+    // one wave settles the fleet. The dead board keeps its phase-1
+    // report — that stream is what physically ran before the rescue —
+    // but its drained requests leave the dispatcher's books, so the
+    // merge below takes their final outcome from the rescue board.
+    let survivors: Vec<usize> = (0..nb)
+        .filter(|&b| !boards[b].faults.fatal_outage())
+        .collect();
+    let mut rescued_in = vec![0usize; nb];
+    let mut rescued_out = vec![0usize; nb];
+    let mut requeued = 0usize;
+    if !survivors.is_empty() {
+        // (shed tick, caller index), in deterministic drain order.
+        let mut sheds: Vec<(f64, usize)> = Vec::new();
+        for b in 0..nb {
+            let Some(out) = &results[b] else { continue };
+            if !boards[b].faults.fatal_outage() {
+                continue;
+            }
+            for t in &out.report.traces {
+                if t.outcome == RequestOutcome::Shed {
+                    let i = list_origin[b]
+                        .iter()
+                        .zip(&lists[b])
+                        .find(|(_, r)| r.id == t.id)
+                        .map(|(&i, _)| i)
+                        .expect("shed trace maps to a routed request");
+                    sheds.push((t.completed_s, i));
+                }
+            }
+        }
+        sheds.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(requests[a.1].id.cmp(&requests[b.1].id))
+        });
+        if !sheds.is_empty() {
+            let mut touched: Vec<usize> = Vec::new();
+            for &(shed_s, i) in &sheds {
+                let b = dispatcher.route(secs(shed_s), &survivors);
+                // The dead board's list stays intact (its phase-1
+                // stream and outputs stay positionally aligned); the
+                // reassignment makes the merge skip its shed entries.
+                rescued_out[assignment[i]] += 1;
+                assignment[i] = b;
+                let mut req = requests[i].clone();
+                req.arrival_s = shed_s;
+                lists[b].push(req);
+                list_origin[b].push(i);
+                rescued_in[b] += 1;
+                if !touched.contains(&b) {
+                    touched.push(b);
+                }
+                requeued += 1;
+            }
+            // Re-simulate only the rescue boards: their streams gained
+            // requests. Dead boards are inert after the failure tick,
+            // so their phase-1 streams stand as simulated.
+            run_boards(
+                boards,
+                names,
+                modules,
+                kernels,
+                &lists,
+                opts,
+                Some(&touched),
+                &mut results,
+            )?;
+        }
+    }
+
+    // Deterministic merge: per-request fleet traces keyed by caller
+    // index, latencies measured from the original arrivals. Entries a
+    // rescue moved away (`assignment[i] != b`) are skipped — their
+    // final outcome lives on the rescue board.
+    let mut completed_s: Vec<f64> = vec![0.0; n];
+    let mut outcomes: Vec<RequestOutcome> = vec![RequestOutcome::Shed; n];
+    let mut retried = 0usize;
+    for b in 0..nb {
+        let Some(out) = &results[b] else { continue };
+        let by_id: HashMap<usize, usize> = out
+            .report
+            .traces
+            .iter()
+            .enumerate()
+            .map(|(k, t)| (t.id, k))
+            .collect();
+        for (&i, req) in list_origin[b].iter().zip(&lists[b]) {
+            if assignment[i] != b {
+                continue;
+            }
+            let t = &out.report.traces[by_id[&req.id]];
+            completed_s[i] = t.completed_s;
+            outcomes[i] = t.outcome;
+            if t.attempts > 1 {
+                retried += 1;
+            }
+        }
+    }
+    let mut latency_ticks: Vec<u64> = (0..n)
+        .map(|i| secs(completed_s[i]).saturating_sub(secs(requests[i].arrival_s)))
+        .collect();
+    latency_ticks.sort_unstable();
+    let count = |want: fn(&RequestOutcome) -> bool| outcomes.iter().filter(|&o| want(o)).count();
+    let completed = count(|o| matches!(o, RequestOutcome::Completed));
+    let makespan_ticks = results
+        .iter()
+        .flatten()
+        .map(|o| o.report.makespan_ticks)
+        .max()
+        .unwrap_or(0);
+    let makespan_s = to_secs(makespan_ticks);
+    let per_s = |k: usize| {
+        if makespan_s > 0.0 {
+            k as f64 / makespan_s
+        } else {
+            0.0
+        }
+    };
+
+    let board_reports: Vec<BoardReport> = (0..nb)
+        .map(|b| {
+            let report = results[b].as_ref().map(|o| o.report.clone());
+            let exec_ticks = report.as_ref().map_or(0, |r| r.exec_ticks);
+            let board_completed = report.as_ref().map_or(0, |r| r.completed);
+            let kluts = boards[b].design.platform.board.luts as f64 / 1000.0;
+            BoardReport {
+                name: boards[b].name.clone(),
+                platform: boards[b].design.platform.id.clone(),
+                board_luts: boards[b].design.platform.board.luts,
+                assigned: assigned[b],
+                rescued_in: rescued_in[b],
+                rescued_out: rescued_out[b],
+                est_request_ticks: req_ticks[b],
+                utilization: if makespan_ticks > 0 {
+                    exec_ticks as f64 / makespan_ticks as f64
+                } else {
+                    0.0
+                },
+                rps_per_kluts: if kluts > 0.0 {
+                    per_s(board_completed) / kluts
+                } else {
+                    0.0
+                },
+                report,
+            }
+        })
+        .collect();
+
+    let mut placement: Vec<(usize, usize)> =
+        (0..n).map(|i| (requests[i].id, assignment[i])).collect();
+    placement.sort_unstable();
+
+    let report = FleetReport {
+        route: opts.route,
+        parallel: opts.parallel,
+        requests: n,
+        completed,
+        retried,
+        timed_out: count(|o| matches!(o, RequestOutcome::TimedOut)),
+        shed: count(|o| matches!(o, RequestOutcome::Shed)),
+        failed: count(|o| matches!(o, RequestOutcome::Failed { .. })),
+        requeued,
+        makespan_ticks,
+        makespan_s,
+        aggregate_rps: per_s(n),
+        goodput_rps: per_s(completed),
+        latency_mean_s: to_secs(latency_ticks.iter().sum::<u64>() / n as u64),
+        latency_p50_s: to_secs(percentile(&latency_ticks, 0.50)),
+        latency_p99_s: to_secs(percentile(&latency_ticks, 0.99)),
+        latency_max_s: to_secs(*latency_ticks.last().unwrap()),
+        boards: board_reports,
+        assignment: placement,
+    };
+
+    // Outputs in caller order, pulled back through each board's origin
+    // map (phase-2 boards already re-ran the functional path for their
+    // final lists).
+    let outputs = if opts.base.execute {
+        let mut outs: Vec<HashMap<String, Vec<f64>>> = vec![HashMap::new(); n];
+        for b in 0..nb {
+            let Some(out) = &results[b] else { continue };
+            for (&i, o) in list_origin[b].iter().zip(&out.outputs) {
+                if assignment[i] == b {
+                    outs[i] = o.clone();
+                }
+            }
+        }
+        outs
+    } else {
+        Vec::new()
+    };
+
+    Ok(FleetOutcome { report, outputs })
+}
+
+impl FleetReport {
+    /// Render as an aligned text table.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "fleet served {} requests across {} boards (route {}, {}):\n",
+            self.requests,
+            self.boards.len(),
+            self.route.label(),
+            if self.parallel { "parallel" } else { "serial" },
+        ));
+        s.push_str(&format!(
+            "  aggregate {:.1} req/s | goodput {:.1} req/s over {:.4} s makespan\n",
+            self.aggregate_rps, self.goodput_rps, self.makespan_s,
+        ));
+        s.push_str(&format!(
+            "  latency mean {:.4} s | p50 {:.4} s | p99 {:.4} s | max {:.4} s\n",
+            self.latency_mean_s, self.latency_p50_s, self.latency_p99_s, self.latency_max_s,
+        ));
+        s.push_str(&format!(
+            "  reliability {}/{} completed ({} retried, {} timed-out, {} shed, {} failed, {} requeued across boards)\n",
+            self.completed,
+            self.requests,
+            self.retried,
+            self.timed_out,
+            self.shed,
+            self.failed,
+            self.requeued,
+        ));
+        for b in &self.boards {
+            let (rounds, completed, plan) = match &b.report {
+                Some(r) => (r.rounds, r.completed, r.fault_plan.clone()),
+                None => (0, 0, "none".into()),
+            };
+            s.push_str(&format!(
+                "  board {:<10} [{:>9} LUT] assigned {:>4} (+{} in, -{} out) | {} rounds | {} ok | util {:.2} | {:.2} req/s/kLUT{}\n",
+                b.name,
+                b.board_luts,
+                b.assigned,
+                b.rescued_in,
+                b.rescued_out,
+                rounds,
+                completed,
+                b.utilization,
+                b.rps_per_kluts,
+                if plan == "none" {
+                    String::new()
+                } else {
+                    format!(" | faults [{plan}]")
+                },
+            ));
+        }
+        s
+    }
+
+    /// Serialize as JSON (hand-rolled: the dependency set has no
+    /// serde_json). Per-board reports embed the full
+    /// [`ServiceReport::to_json`] document, so a fleet-of-1 JSON carries
+    /// the byte-exact single-board report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"route\": \"{}\",\n", self.route.label()));
+        s.push_str(&format!("  \"parallel\": {},\n", self.parallel));
+        s.push_str(&format!("  \"requests\": {},\n", self.requests));
+        s.push_str(&format!("  \"boards\": {},\n", self.boards.len()));
+        s.push_str(&format!("  \"makespan_s\": {:.6},\n", self.makespan_s));
+        s.push_str(&format!(
+            "  \"aggregate_rps\": {:.3},\n",
+            self.aggregate_rps
+        ));
+        s.push_str(&format!("  \"goodput_rps\": {:.3},\n", self.goodput_rps));
+        s.push_str(&format!(
+            "  \"latency\": {{\"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}}},\n",
+            self.latency_mean_s, self.latency_p50_s, self.latency_p99_s, self.latency_max_s
+        ));
+        s.push_str(&format!(
+            "  \"reliability\": {{\"completed\": {}, \"retried\": {}, \"timed_out\": {}, \
+             \"shed\": {}, \"failed\": {}, \"requeued_across_boards\": {}}},\n",
+            self.completed, self.retried, self.timed_out, self.shed, self.failed, self.requeued
+        ));
+        s.push_str("  \"per_board\": [\n");
+        for (k, b) in self.boards.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"platform\": \"{}\", \"board_luts\": {}, \
+                 \"assigned\": {}, \"rescued_in\": {}, \"rescued_out\": {}, \
+                 \"est_request_ticks\": {}, \
+                 \"utilization\": {:.4}, \"rps_per_kluts\": {:.4}, \"report\": {}}}{}\n",
+                b.name,
+                b.platform,
+                b.board_luts,
+                b.assigned,
+                b.rescued_in,
+                b.rescued_out,
+                b.est_request_ticks,
+                b.utilization,
+                b.rps_per_kluts,
+                match &b.report {
+                    Some(r) => indent_json(&r.to_json(), 4),
+                    None => "null".into(),
+                },
+                if k + 1 == self.boards.len() { "" } else { "," },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"assignment\": [");
+        for (k, (id, b)) in self.assignment.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"id\": {id}, \"board\": {b}}}{}",
+                if k + 1 == self.assignment.len() {
+                    ""
+                } else {
+                    ", "
+                },
+            ));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Re-indent an embedded JSON document by `by` spaces (first line
+/// stays in place — it follows a `"key": ` prefix).
+fn indent_json(doc: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    doc.trim_end()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("\n{pad}{l}")
+            }
+        })
+        .collect()
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{design, timing_requests};
+    use crate::{Arrival, BatchPolicy};
+    use zynq::fault::Outage;
+
+    fn boards3() -> Vec<FleetBoard> {
+        // Three boards with distinct speeds: routing must notice.
+        vec![
+            FleetBoard::healthy(design(vec![2], 8, &[200_000])),
+            FleetBoard::healthy(design(vec![2], 8, &[400_000])),
+            FleetBoard::healthy(design(vec![2], 8, &[100_000])),
+        ]
+    }
+
+    fn fleet_opts(route: RoutePolicy) -> FleetOptions {
+        FleetOptions {
+            route,
+            parallel: false,
+            base: RuntimeOptions {
+                batch: BatchPolicy::Auto,
+                overlap_dma: false,
+                execute: false,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn fleet_of_one_matches_serve_exactly() {
+        let d = design(vec![2], 8, &[200_000]);
+        let reqs = timing_requests(48);
+        let solo = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &fleet_opts(RoutePolicy::RoundRobin).base,
+        )
+        .unwrap()
+        .report;
+        for route in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::ShortestQueue,
+            RoutePolicy::Predictive,
+        ] {
+            let fleet = serve_fleet(
+                &[FleetBoard::healthy(d.clone())],
+                &[],
+                &[],
+                &[],
+                &reqs,
+                &fleet_opts(route),
+            )
+            .unwrap()
+            .report;
+            let br = fleet.boards[0].report.as_ref().unwrap();
+            assert_eq!(br, &solo, "route {}", route.label());
+            assert_eq!(br.to_json(), solo.to_json());
+            assert_eq!(fleet.makespan_ticks, solo.makespan_ticks);
+            assert_eq!(fleet.completed, solo.completed);
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let boards = boards3();
+        let reqs = timing_requests(64);
+        for route in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::ShortestQueue,
+            RoutePolicy::Predictive,
+        ] {
+            let serial = serve_fleet(&boards, &[], &[], &[], &reqs, &fleet_opts(route))
+                .unwrap()
+                .report;
+            let par = serve_fleet(
+                &boards,
+                &[],
+                &[],
+                &[],
+                &reqs,
+                &FleetOptions {
+                    parallel: true,
+                    ..fleet_opts(route)
+                },
+            )
+            .unwrap()
+            .report;
+            assert_eq!(serial.makespan_ticks, par.makespan_ticks);
+            assert_eq!(serial.assignment, par.assignment);
+            // The only field allowed to differ is the `parallel` flag.
+            let mut par2 = par.clone();
+            par2.parallel = false;
+            assert_eq!(serial, par2, "route {}", route.label());
+        }
+    }
+
+    #[test]
+    fn fleet_scales_throughput_over_single_board() {
+        let boards = boards3();
+        let reqs = timing_requests(96);
+        let solo = serve(
+            &boards[0].design,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &fleet_opts(RoutePolicy::Predictive).base,
+        )
+        .unwrap()
+        .report;
+        let fleet = serve_fleet(
+            &boards,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &fleet_opts(RoutePolicy::Predictive),
+        )
+        .unwrap()
+        .report;
+        assert_eq!(fleet.completed, 96);
+        assert!(
+            fleet.aggregate_rps > 1.5 * solo.throughput_rps,
+            "fleet {:.0} vs solo {:.0}",
+            fleet.aggregate_rps,
+            solo.throughput_rps
+        );
+        // Every board did some work under the cost-aware policy.
+        for b in &fleet.boards {
+            assert!(b.assigned > 0, "board {} idle", b.name);
+        }
+    }
+
+    #[test]
+    fn predictive_favors_the_faster_board() {
+        let boards = boards3();
+        let reqs = timing_requests(90);
+        let fleet = serve_fleet(
+            &boards,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &fleet_opts(RoutePolicy::Predictive),
+        )
+        .unwrap()
+        .report;
+        // Board 2 runs at half the latency of board 0 and a quarter of
+        // board 1: predictive routing must give it the largest share.
+        assert!(fleet.boards[2].assigned > fleet.boards[1].assigned);
+    }
+
+    #[test]
+    fn outage_drains_and_requeues_on_survivors() {
+        let mut boards = boards3();
+        // Board 1 dies early and never recovers: everything it had
+        // queued must finish elsewhere.
+        boards[1].faults = FaultPlan {
+            seed: 3,
+            outage: Some(Outage {
+                fail_at: secs(0.0001),
+                recover_at: None,
+            }),
+            ..FaultPlan::none()
+        };
+        let reqs = timing_requests(60);
+        for route in [
+            RoutePolicy::RoundRobin,
+            RoutePolicy::ShortestQueue,
+            RoutePolicy::Predictive,
+        ] {
+            let fleet = serve_fleet(&boards, &[], &[], &[], &reqs, &fleet_opts(route))
+                .unwrap()
+                .report;
+            assert_eq!(
+                fleet.shed,
+                0,
+                "route {}: sheds must be rescued",
+                route.label()
+            );
+            assert_eq!(fleet.completed, 60, "route {}", route.label());
+            assert!(
+                fleet.requeued > 0,
+                "route {}: outage must requeue",
+                route.label()
+            );
+            // Conservation: every id placed exactly once, none on the
+            // dead board beyond what it finished before failing.
+            assert_eq!(fleet.assignment.len(), 60);
+            let ids: Vec<usize> = fleet.assignment.iter().map(|(id, _)| *id).collect();
+            let mut uniq = ids.clone();
+            uniq.dedup();
+            assert_eq!(ids, uniq);
+            let kept: usize = fleet.assignment.iter().filter(|(_, b)| *b == 1).count();
+            assert_eq!(
+                kept + fleet.requeued,
+                fleet.boards[1].assigned,
+                "drained requests must leave the dead board's books"
+            );
+            assert_eq!(fleet.boards[1].rescued_out, fleet.requeued);
+            assert_eq!(
+                fleet.boards[0].rescued_in + fleet.boards[2].rescued_in,
+                fleet.requeued
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_without_survivors_keeps_shed_requests() {
+        let d = design(vec![2], 8, &[200_000]);
+        let dead = FaultPlan {
+            seed: 1,
+            outage: Some(Outage {
+                fail_at: secs(0.0001),
+                recover_at: None,
+            }),
+            ..FaultPlan::none()
+        };
+        let boards = vec![FleetBoard {
+            name: "only".into(),
+            design: d.clone(),
+            faults: dead.clone(),
+        }];
+        let reqs = timing_requests(40);
+        let fleet = serve_fleet(
+            &boards,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &fleet_opts(RoutePolicy::RoundRobin),
+        )
+        .unwrap()
+        .report;
+        // Identical to a single-board serve under the same plan.
+        let solo = serve(
+            &d,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &RuntimeOptions {
+                faults: dead,
+                ..fleet_opts(RoutePolicy::RoundRobin).base
+            },
+        )
+        .unwrap()
+        .report;
+        assert_eq!(fleet.shed, solo.shed);
+        assert!(fleet.shed > 0);
+        assert_eq!(fleet.requeued, 0);
+        assert_eq!(fleet.boards[0].report.as_ref().unwrap(), &solo);
+    }
+
+    #[test]
+    fn route_parsing_and_labels() {
+        assert_eq!(RoutePolicy::parse("rr"), Ok(RoutePolicy::RoundRobin));
+        assert_eq!(RoutePolicy::parse("jsq"), Ok(RoutePolicy::ShortestQueue));
+        assert_eq!(
+            RoutePolicy::parse("predictive"),
+            Ok(RoutePolicy::Predictive)
+        );
+        assert!(RoutePolicy::parse("random").is_err());
+        assert_eq!(RoutePolicy::RoundRobin.label(), "rr");
+    }
+
+    #[test]
+    fn empty_inputs_are_structured_errors() {
+        let reqs = timing_requests(4);
+        assert_eq!(
+            serve_fleet(&[], &[], &[], &[], &reqs, &FleetOptions::default()).unwrap_err(),
+            RuntimeError::NoBoards
+        );
+        let boards = vec![FleetBoard::healthy(design(vec![2], 8, &[200_000]))];
+        assert_eq!(
+            serve_fleet(&boards, &[], &[], &[], &[], &FleetOptions::default()).unwrap_err(),
+            RuntimeError::NoRequests
+        );
+    }
+
+    #[test]
+    fn report_json_has_the_fleet_keys() {
+        let boards = boards3();
+        let reqs = timing_requests(24);
+        let r = serve_fleet(
+            &boards,
+            &[],
+            &[],
+            &[],
+            &reqs,
+            &fleet_opts(RoutePolicy::ShortestQueue),
+        )
+        .unwrap()
+        .report;
+        let j = r.to_json();
+        for key in [
+            "\"route\"",
+            "\"aggregate_rps\"",
+            "\"goodput_rps\"",
+            "\"per_board\"",
+            "\"utilization\"",
+            "\"rps_per_kluts\"",
+            "\"requeued_across_boards\"",
+            "\"assignment\"",
+            "\"throughput_rps\"",
+        ] {
+            assert!(j.contains(key), "missing {key}");
+        }
+        assert!(r.render_table().contains("req/s/kLUT"));
+        // Poisson arrivals flow through the same admission order.
+        let preqs =
+            crate::generate_timing_requests(24, &Arrival::Poisson { rate_rps: 5000.0 }, 9).unwrap();
+        let pr = serve_fleet(
+            &boards,
+            &[],
+            &[],
+            &[],
+            &preqs,
+            &fleet_opts(RoutePolicy::Predictive),
+        )
+        .unwrap()
+        .report;
+        assert_eq!(pr.requests, 24);
+        assert!(pr.latency_p50_s <= pr.latency_p99_s);
+    }
+}

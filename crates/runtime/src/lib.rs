@@ -50,6 +50,12 @@
 //! serve`, which wires compiled artifacts into this crate; `cfdc serve`
 //! drives it from the command line.
 
+pub mod fleet;
+
+pub use fleet::{
+    serve_fleet, BoardReport, FleetBoard, FleetOptions, FleetOutcome, FleetReport, RoutePolicy,
+};
+
 use std::collections::HashMap;
 use std::fmt;
 
@@ -69,6 +75,8 @@ pub enum RuntimeError {
     InvalidRate { rate_rps: f64 },
     /// A serve call with an empty request queue.
     NoRequests,
+    /// A fleet serve call with an empty board list.
+    NoBoards,
     /// The functional execution path failed (kernel chain error).
     Exec(String),
 }
@@ -81,6 +89,7 @@ impl fmt::Display for RuntimeError {
                 "poisson arrivals need a positive finite rate, got {rate_rps}"
             ),
             RuntimeError::NoRequests => write!(f, "no requests to serve"),
+            RuntimeError::NoBoards => write!(f, "fleet serving needs at least one board"),
             RuntimeError::Exec(e) => write!(f, "request execution failed: {e}"),
         }
     }
@@ -615,9 +624,16 @@ pub fn serve(
     // many retries it took (batching shares hardware, never data).
     // Requests that never completed get an empty output map.
     let outputs = if opts.execute {
+        // Inverse of `order`: caller index -> admission position. One
+        // O(n) pass instead of an O(n) `position` scan per request —
+        // the scan made large closed backlogs quadratic.
+        let mut pos_of = vec![0usize; n];
+        for (pos, &i) in order.iter().enumerate() {
+            pos_of[i] = pos;
+        }
         let mut outs = Vec::with_capacity(n);
         for (idx, req) in requests.iter().enumerate() {
-            let pos = order.iter().position(|&i| i == idx).unwrap();
+            let pos = pos_of[idx];
             if fso.statuses[pos] == StreamStatus::Completed {
                 outs.push(
                     zynq::run_program_chain(names, modules, kernels, &req.inputs)
@@ -770,7 +786,7 @@ mod tests {
     use teil::lower::lower;
     use teil::transform::factorize;
 
-    fn design(ks: Vec<usize>, m: usize, latencies: &[u64]) -> MultiSystemDesign {
+    pub(crate) fn design(ks: Vec<usize>, m: usize, latencies: &[u64]) -> MultiSystemDesign {
         let platform = Platform::zcu106();
         let stages: Vec<(String, hls::HlsReport)> = latencies
             .iter()
@@ -817,7 +833,7 @@ mod tests {
         }
     }
 
-    fn timing_requests(n: usize) -> Vec<Request> {
+    pub(crate) fn timing_requests(n: usize) -> Vec<Request> {
         (0..n)
             .map(|id| Request {
                 id,

@@ -94,6 +94,20 @@ impl FaultPlan {
             || self.outage.is_some()
     }
 
+    /// Whether the plan holds an outage the board never recovers from.
+    /// Only such outages shed requests ([`crate::StreamStatus::Shed`]),
+    /// so this is exactly the "queued work needs another board" case a
+    /// fleet dispatcher drains and requeues.
+    pub fn fatal_outage(&self) -> bool {
+        matches!(
+            self.outage,
+            Some(Outage {
+                recover_at: None,
+                ..
+            })
+        )
+    }
+
     /// One Bernoulli draw, pure in `(seed, domain, a, b)`.
     fn decide(&self, domain: u64, a: u64, b: u64, rate: f64) -> bool {
         if rate <= 0.0 {

@@ -161,7 +161,7 @@ fn schedule_groups_follow_program_order() {
     let flat: Vec<usize> = groups.into_iter().flatten().collect();
     // RAW chain forces producer-before-consumer; with the reference
     // sequence this is program order.
-    for e in art.dependences.raw() {
+    for e in art.dependences().raw() {
         let pos = |s: usize| flat.iter().position(|&x| x == s).unwrap();
         assert!(pos(e.src) < pos(e.dst));
     }

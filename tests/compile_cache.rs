@@ -19,9 +19,9 @@ use std::sync::Arc;
 /// memoization cells never leak into the comparison.
 fn canonical(art: &Artifacts) -> String {
     let entry = CachedSchedule {
-        schedule: Arc::new(art.schedule.clone()),
-        liveness: Arc::new(art.liveness.clone()),
-        compat: Arc::new(art.compat.clone()),
+        schedule: Arc::clone(&art.schedule),
+        liveness: Arc::clone(&art.liveness),
+        compat: Arc::clone(&art.compat),
     };
     format!(
         "{}\n---c---\n{}\n---host---\n{}\n---hls---\n{:?}\n---mem---\n{:?}\n---sys---\n{:?}",

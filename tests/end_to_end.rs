@@ -124,7 +124,7 @@ fn schedule_is_legal_for_dependences() {
     let art = flow(&src, &FlowOptions::default());
     assert!(cfdfpga::pschedule::legal(
         &art.model,
-        &art.dependences,
+        art.dependences(),
         &art.schedule
     ));
 }

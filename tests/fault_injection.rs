@@ -49,7 +49,7 @@ impl Compiled {
     }
 
     fn modules(&self) -> Vec<&teil::ir::Module> {
-        self.art.kernels.iter().map(|a| &a.module).collect()
+        self.art.kernels.iter().map(|a| &*a.module).collect()
     }
 
     fn kernels(&self) -> Vec<&cgen::CKernel> {

@@ -1,0 +1,323 @@
+//! Property-based differential tests of fleet serving.
+//!
+//! Random kernels, request streams and routing policies are pushed
+//! through `runtime::serve_fleet` and checked against the single-board
+//! runtime and the reference interpreter:
+//!
+//! * **Fleet-of-1 identity** — a fleet with one healthy board is
+//!   tick-identical AND byte-identical (report, JSON, outputs) to a
+//!   plain `runtime::serve` run, under every routing policy.
+//! * **Parallel ≡ serial** — the scoped-thread board fan-out produces
+//!   a bit-identical `FleetReport` and identical outputs to the serial
+//!   board loop, under every routing policy.
+//! * **Outage conservation** — when one board dies and never recovers,
+//!   every drained request is requeued on a survivor exactly once:
+//!   nothing is lost, nothing is served twice, and the per-board
+//!   rescued-in/rescued-out books balance.
+//! * **Functional identity** — completed outputs are bit-exact against
+//!   the chained reference interpreter for every request, under every
+//!   routing policy; routing shares hardware, never data.
+
+use cfd_core::program::{ProgramFlow, ProgramOptions};
+use proptest::prelude::*;
+use runtime::{
+    generate_requests, generate_timing_requests, serve, serve_fleet, Arrival, BatchPolicy,
+    FleetBoard, FleetOptions, RoutePolicy, RuntimeOptions,
+};
+use sysgen::Platform;
+use teil::ir::Module;
+use zynq::des::secs;
+use zynq::fault::{FaultPlan, Outage};
+
+/// The generated-kernel pool the properties draw from (same pool as
+/// `runtime_differential`): small enough that every case compiles and
+/// serves in milliseconds.
+fn source_for(choice: usize, size: usize) -> String {
+    match choice % 5 {
+        0 => cfdlang::examples::axpy(2 + size),
+        1 => cfdlang::examples::matrix_sandwich(2 + size),
+        2 => cfdlang::examples::inverse_helmholtz(2 + size),
+        3 => cfdlang::examples::axpy_chain(2 + size),
+        _ => cfdlang::examples::simulation_step(2 + size),
+    }
+}
+
+const ROUTES: [RoutePolicy; 3] = [
+    RoutePolicy::RoundRobin,
+    RoutePolicy::ShortestQueue,
+    RoutePolicy::Predictive,
+];
+
+struct Compiled {
+    art: cfd_core::ProgramArtifacts,
+}
+
+impl Compiled {
+    /// Compile for one named catalog platform (`None` = default board).
+    fn new(source: &str, platform: Option<&str>) -> Compiled {
+        let mut opts = ProgramOptions::default();
+        if let Some(name) = platform {
+            let p = Platform::by_name(name).expect("catalog platform");
+            opts.flow.hls.clock_mhz = p.default_clock_mhz;
+            opts.flow.platform = p;
+        }
+        Compiled {
+            art: ProgramFlow::compile(source, &opts).expect("test kernel compiles"),
+        }
+    }
+
+    fn modules(&self) -> Vec<&Module> {
+        self.art.kernels.iter().map(|a| &*a.module).collect()
+    }
+
+    fn kernels(&self) -> Vec<&cgen::CKernel> {
+        self.art.kernels.iter().map(|a| &a.kernel).collect()
+    }
+
+    fn design(&self) -> sysgen::MultiSystemDesign {
+        self.art.system.clone().expect("system fits the board")
+    }
+}
+
+/// A heterogeneous three-board fleet: the same program compiled for
+/// three different catalog platforms (distinct clocks and capacities,
+/// so routing decisions actually differ).
+fn boards_het(source: &str) -> (Compiled, Vec<FleetBoard>) {
+    let main = Compiled::new(source, Some("zcu106"));
+    let small = Compiled::new(source, Some("pynq-z2"));
+    let mid = Compiled::new(source, Some("zc706"));
+    let boards = vec![
+        FleetBoard::healthy(main.design()),
+        FleetBoard::healthy(small.design()),
+        FleetBoard::healthy(mid.design()),
+    ];
+    (main, boards)
+}
+
+fn fleet_opts(route: RoutePolicy, base: RuntimeOptions) -> FleetOptions {
+    FleetOptions {
+        route,
+        parallel: true,
+        base,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A fleet of one healthy board IS `runtime::serve`: same report
+    /// ticks, same JSON bytes, same output tensors — whatever the
+    /// routing policy (with one board every policy picks board 0).
+    #[test]
+    fn fleet_of_one_is_serve_tick_and_byte_identical(
+        choice in 0usize..5,
+        size in 0usize..2,
+        n in 2usize..6,
+        overlap in proptest::bool::ANY,
+        seed in 0u64..1_000,
+    ) {
+        let src = source_for(choice, size);
+        let c = Compiled::new(&src, None);
+        let modules = c.modules();
+        let kernels = c.kernels();
+        let requests = generate_requests(&modules, n, &Arrival::Closed, seed).unwrap();
+        let base = RuntimeOptions {
+            requests: n,
+            batch: BatchPolicy::Auto,
+            overlap_dma: overlap,
+            execute: true,
+            seed,
+            ..Default::default()
+        };
+        let solo = serve(&c.design(), &c.art.names, &modules, &kernels, &requests, &base).unwrap();
+        for route in ROUTES {
+            let fleet = serve_fleet(
+                &[FleetBoard::healthy(c.design())],
+                &c.art.names,
+                &modules,
+                &kernels,
+                &requests,
+                &fleet_opts(route, base.clone()),
+            )
+            .unwrap();
+            let br = fleet.report.boards[0].report.as_ref().unwrap();
+            prop_assert_eq!(br, &solo.report, "route {}: report diverged", route.label());
+            prop_assert_eq!(br.to_json(), solo.report.to_json());
+            prop_assert_eq!(fleet.report.makespan_ticks, solo.report.makespan_ticks);
+            prop_assert_eq!(fleet.outputs.len(), solo.outputs.len());
+            for (i, (a, b)) in fleet.outputs.iter().zip(&solo.outputs).enumerate() {
+                prop_assert_eq!(a.len(), b.len());
+                for (key, tensor) in a {
+                    let other = &b[key];
+                    prop_assert_eq!(tensor.len(), other.len());
+                    for (x, y) in tensor.iter().zip(other) {
+                        prop_assert!(
+                            x.to_bits() == y.to_bits(),
+                            "request {} output '{}' not bit-identical under {}",
+                            i, key, route.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The scoped-thread board fan-out is bit-identical to the serial
+    /// board loop: same `FleetReport` (modulo the `parallel` flag),
+    /// same assignment, same outputs — under every routing policy, on
+    /// a heterogeneous fleet.
+    #[test]
+    fn parallel_fleet_is_bit_identical_to_serial(
+        choice in 0usize..5,
+        n in 4usize..10,
+        rate_idx in 0usize..2,
+        seed in 0u64..1_000,
+    ) {
+        let src = source_for(choice, 0);
+        let (main, boards) = boards_het(&src);
+        let arrival = if rate_idx == 0 {
+            Arrival::Closed
+        } else {
+            Arrival::Poisson { rate_rps: 5.0e4 }
+        };
+        let requests = generate_timing_requests(n, &arrival, seed).unwrap();
+        let base = RuntimeOptions {
+            requests: n,
+            batch: BatchPolicy::Auto,
+            overlap_dma: false,
+            execute: false,
+            seed,
+            ..Default::default()
+        };
+        for route in ROUTES {
+            let serial = serve_fleet(
+                &boards, &main.art.names, &[], &[], &requests,
+                &FleetOptions { parallel: false, ..fleet_opts(route, base.clone()) },
+            )
+            .unwrap();
+            let par = serve_fleet(
+                &boards, &main.art.names, &[], &[], &requests,
+                &fleet_opts(route, base.clone()),
+            )
+            .unwrap();
+            let mut par_report = par.report.clone();
+            par_report.parallel = false;
+            prop_assert_eq!(&serial.report, &par_report, "route {}", route.label());
+            prop_assert_eq!(serial.report.to_json(), par_report.to_json());
+            prop_assert_eq!(serial.outputs, par.outputs);
+        }
+    }
+
+    /// One board dies and never recovers: every request it had queued
+    /// is requeued onto a survivor exactly once. Request counts are
+    /// conserved (completed = n, nothing shed, no duplicate ids) and
+    /// the per-board rescue books balance — under jsq, predictive and
+    /// round-robin alike.
+    #[test]
+    fn outage_drain_conserves_request_counts(
+        choice in 0usize..5,
+        n in 12usize..24,
+        dead in 0usize..3,
+        fail_us in 50u64..500,
+        seed in 0u64..1_000,
+    ) {
+        let src = source_for(choice, 0);
+        let (main, mut boards) = boards_het(&src);
+        boards[dead].faults = FaultPlan {
+            seed,
+            outage: Some(Outage {
+                fail_at: secs(fail_us as f64 * 1e-6),
+                recover_at: None,
+            }),
+            ..FaultPlan::none()
+        };
+        let requests = generate_timing_requests(n, &Arrival::Closed, seed).unwrap();
+        let base = RuntimeOptions {
+            requests: n,
+            batch: BatchPolicy::Auto,
+            overlap_dma: false,
+            execute: false,
+            seed,
+            ..Default::default()
+        };
+        for route in ROUTES {
+            let fleet = serve_fleet(
+                &boards, &main.art.names, &[], &[], &requests,
+                &fleet_opts(route, base.clone()),
+            )
+            .unwrap()
+            .report;
+            // Conservation: everything completes somewhere, nothing is
+            // shed, and the outcome counters sum to n.
+            prop_assert_eq!(fleet.completed, n, "route {}", route.label());
+            prop_assert_eq!(fleet.shed, 0);
+            prop_assert_eq!(
+                fleet.completed + fleet.timed_out + fleet.shed + fleet.failed,
+                n
+            );
+            // Every id is placed on exactly one board.
+            prop_assert_eq!(fleet.assignment.len(), n);
+            let mut ids: Vec<usize> = fleet.assignment.iter().map(|(id, _)| *id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), n, "route {}: duplicate placement", route.label());
+            // The rescue books balance: what left the dead board landed
+            // on survivors, and assigned-minus-kept equals requeued.
+            let kept = fleet.assignment.iter().filter(|(_, b)| *b == dead).count();
+            prop_assert_eq!(kept + fleet.requeued, fleet.boards[dead].assigned);
+            prop_assert_eq!(fleet.boards[dead].rescued_out, fleet.requeued);
+            let rescued_in: usize = fleet.boards.iter().map(|b| b.rescued_in).sum();
+            prop_assert_eq!(rescued_in, fleet.requeued);
+            prop_assert_eq!(fleet.boards[dead].rescued_in, 0);
+        }
+    }
+
+    /// Completed outputs are bit-exact against the chained reference
+    /// interpreter for every request under every routing policy on a
+    /// heterogeneous fleet: the dispatcher moves work, never data.
+    #[test]
+    fn fleet_outputs_bit_exact_vs_reference_under_every_policy(
+        choice in 0usize..5,
+        size in 0usize..2,
+        n in 3usize..7,
+        seed in 0u64..1_000,
+    ) {
+        let src = source_for(choice, size);
+        let (main, boards) = boards_het(&src);
+        let modules = main.modules();
+        let kernels = main.kernels();
+        let requests = generate_requests(&modules, n, &Arrival::Closed, seed).unwrap();
+        let base = RuntimeOptions {
+            requests: n,
+            batch: BatchPolicy::Auto,
+            overlap_dma: false,
+            execute: true,
+            seed,
+            ..Default::default()
+        };
+        for route in ROUTES {
+            let fleet = serve_fleet(
+                &boards, &main.art.names, &modules, &kernels, &requests,
+                &fleet_opts(route, base.clone()),
+            )
+            .unwrap();
+            prop_assert_eq!(fleet.outputs.len(), n);
+            for (req, got) in requests.iter().zip(&fleet.outputs) {
+                let reference =
+                    zynq::run_program_reference(&main.art.names, &modules, &req.inputs).unwrap();
+                prop_assert_eq!(reference.len(), got.len());
+                for (key, tensor) in &reference {
+                    let g = &got[key];
+                    prop_assert_eq!(tensor.data.len(), g.len());
+                    for (a, b) in tensor.data.iter().zip(g) {
+                        prop_assert!(
+                            a.to_bits() == b.to_bits(),
+                            "request {} output '{}' diverged under {}",
+                            req.id, key, route.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn simulated_tensors(
     prog: &cfdfpga::flow::program::ProgramArtifacts,
     seed: u64,
 ) -> HashMap<String, Vec<f64>> {
-    let modules: Vec<&cfdfpga::teil::Module> = prog.kernels.iter().map(|a| &a.module).collect();
+    let modules: Vec<&cfdfpga::teil::Module> = prog.kernels.iter().map(|a| &*a.module).collect();
     let kernels: Vec<&cfdfpga::cgen::CKernel> = prog.kernels.iter().map(|a| &a.kernel).collect();
     let external = cfdfpga::zynq::random_program_inputs(&modules, seed);
     cfdfpga::zynq::run_program_chain(&prog.names, &modules, &kernels, &external).unwrap()

@@ -33,7 +33,7 @@ fn program_options(platform: Platform) -> ProgramOptions {
 fn simulation_step_tensors_bit_identical_on_every_platform() {
     let src = cfdfpga::cfdlang::examples::simulation_step(5);
     let reference = ProgramFlow::compile(&src, &program_options(Platform::zcu106())).unwrap();
-    let ref_modules: Vec<&Module> = reference.kernels.iter().map(|a| &a.module).collect();
+    let ref_modules: Vec<&Module> = reference.kernels.iter().map(|a| &*a.module).collect();
     let external = zynq::random_program_inputs(&ref_modules, 20_260_727);
     let ref_kernels: Vec<&cgen::CKernel> = reference.kernels.iter().map(|a| &a.kernel).collect();
     let want =
@@ -43,7 +43,7 @@ fn simulation_step_tensors_bit_identical_on_every_platform() {
     for platform in Platform::catalog() {
         let id = platform.id.clone();
         let art = ProgramFlow::compile(&src, &program_options(platform)).unwrap();
-        let modules: Vec<&Module> = art.kernels.iter().map(|a| &a.module).collect();
+        let modules: Vec<&Module> = art.kernels.iter().map(|a| &*a.module).collect();
         let kernels: Vec<&cgen::CKernel> = art.kernels.iter().map(|a| &a.kernel).collect();
         let got = zynq::run_program_chain(&art.names, &modules, &kernels, &external).unwrap();
         assert_eq!(want.len(), got.len(), "{id}: output set differs");

@@ -65,7 +65,8 @@ fn program_without_sharing_is_bit_identical_to_sequential_compiles() {
 
         // Simulated tensors: the chained program must equal feeding the
         // separately compiled kernels by hand, bit for bit.
-        let modules: Vec<&cfdfpga::teil::Module> = prog.kernels.iter().map(|a| &a.module).collect();
+        let modules: Vec<&cfdfpga::teil::Module> =
+            prog.kernels.iter().map(|a| &*a.module).collect();
         let prog_kernels: Vec<&cfdfpga::cgen::CKernel> =
             prog.kernels.iter().map(|a| &a.kernel).collect();
         let external = cfdfpga::zynq::random_program_inputs(&modules, 2024);

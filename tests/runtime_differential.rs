@@ -55,7 +55,7 @@ impl Compiled {
     }
 
     fn modules(&self) -> Vec<&Module> {
-        self.art.kernels.iter().map(|a| &a.module).collect()
+        self.art.kernels.iter().map(|a| &*a.module).collect()
     }
 
     fn kernels(&self) -> Vec<&cgen::CKernel> {
