@@ -13,6 +13,7 @@
 //!               [--jobs N] [--json] [--elements N]
 //! cfdc serve    <file.cfd> [--board NAME] [--requests N] [--arrival closed|poisson]
 //!               [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]
+//!               [--online] [--slo SECS] [--shed DEPTH] [--priority TIERS]
 //!               [--fleet all|A,B,..] [--route rr|jsq|predictive]
 //! ```
 //!
@@ -57,7 +58,7 @@ use cfd_core::dse::{DseEngine, DseGrid, ProgramDseEngine};
 use cfd_core::program::{ProgramArtifacts, ProgramFlow, ProgramOptions};
 use cfd_core::{
     Arrival, BatchPolicy, CompileCache, FaultPlan, FleetBoard, FleetOptions, Flow, FlowOptions,
-    RecoveryPolicy, RoutePolicy, RuntimeOptions,
+    OnlinePolicy, RecoveryPolicy, RoutePolicy, RuntimeOptions,
 };
 use mnemosyne::MemoryOptions;
 use std::process::exit;
@@ -102,6 +103,7 @@ fn usage() -> ! {
          \tcfdc serve    <kernel> [--board NAME] [--requests N] [--arrival closed|poisson]\n\
          \t              [--rate R] [--batch auto|off|K] [--no-overlap] [--seed S] [--json]\n\
          \t              [--faults SEED:SPEC] [--deadline SECS] [--retries N] [--backoff SECS]\n\
+         \t              [--online] [--slo SECS] [--shed DEPTH] [--priority TIERS]\n\
          \t              [--fleet all|A,B,..] [--route rr|jsq|predictive]\n\n\
          KERNEL: a .cfd file path, a kernel helmholtz[:p] | interpolation[:n:m] | sandwich[:n] | axpy[:n],\n\
          \tor a multi-kernel program simstep[:p] | axpychain[:n]\n\
@@ -117,6 +119,12 @@ fn usage() -> ! {
          round errors; or `7:transient=0.1,stall=0.05,corrupt=0.01,fail=2e-3,recover=4e-3`);\n\
          --retries/--backoff/--deadline set the recovery policy, and the report\n\
          grows completed/retried/shed/failed counts plus goodput vs offered load.\n\
+         --online serves through the event-loop reactor (bit-identical to the\n\
+         default scheduler until a policy is armed); --slo SECS closes batches\n\
+         early when the oldest queued request's p99 budget is at risk and sheds\n\
+         structurally hopeless requests, --shed DEPTH bounds the admission queue\n\
+         (arrivals beyond it are load-shed), --priority TIERS serves tier 0\n\
+         first with preemption at round boundaries (requests cycle tiers by id).\n\
          `serve --fleet` shards ONE request stream across a board set (compiled\n\
          once per platform; boards that cannot fit the program are skipped) and\n\
          reports fleet-aggregate req/s, goodput, p99 and per-board utilization;\n\
@@ -288,6 +296,9 @@ struct Parsed {
     fleet: Option<Vec<Platform>>,
     /// Dispatcher routing policy from `--route` (fleet serving).
     route: RoutePolicy,
+    /// Online serving policy from `--online`, `--slo`, `--shed`,
+    /// `--priority` (serve only).
+    online: OnlinePolicy,
 }
 
 impl Parsed {
@@ -332,6 +343,7 @@ impl Parsed {
             sim: SimConfig::default(),
             faults: self.faults.clone(),
             recovery: self.recovery,
+            online: self.online.clone(),
         }
     }
 }
@@ -367,6 +379,7 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
     let mut recovery = RecoveryPolicy::default();
     let mut fleet: Option<Vec<Platform>> = None;
     let mut route = RoutePolicy::RoundRobin;
+    let mut online = OnlinePolicy::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -521,6 +534,43 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
                     expected: "rr | jsq | predictive",
                 })?;
             }
+            "--online" => online.event_loop = true,
+            "--slo" => {
+                let value = take_value(args, &mut i, "--slo")?;
+                let d: f64 = parse_value("--slo", value.clone(), "a p99 budget in seconds")?;
+                if !(d.is_finite() && d > 0.0) {
+                    return Err(CliError::InvalidValue {
+                        flag: "--slo".to_string(),
+                        value,
+                        expected: "a p99 budget in seconds",
+                    });
+                }
+                online.slo_s = Some(d);
+            }
+            "--shed" => {
+                let value = take_value(args, &mut i, "--shed")?;
+                let depth: usize = parse_value("--shed", value.clone(), "a queue depth >= 1")?;
+                if depth == 0 {
+                    return Err(CliError::InvalidValue {
+                        flag: "--shed".to_string(),
+                        value,
+                        expected: "a queue depth >= 1",
+                    });
+                }
+                online.shed_queue = Some(depth);
+            }
+            "--priority" => {
+                let value = take_value(args, &mut i, "--priority")?;
+                let tiers: u8 = parse_value("--priority", value.clone(), "a tier count >= 1")?;
+                if tiers == 0 {
+                    return Err(CliError::InvalidValue {
+                        flag: "--priority".to_string(),
+                        value,
+                        expected: "a tier count >= 1",
+                    });
+                }
+                online.priority_tiers = tiers;
+            }
             other => return Err(CliError::UnknownOption(other.to_string())),
         }
         i += 1;
@@ -586,6 +636,7 @@ fn parse_common(args: &[String]) -> Result<Parsed, CliError> {
         recovery,
         fleet,
         route,
+        online,
     })
 }
 

@@ -197,6 +197,14 @@ fn service_probe(design: &sysgen::MultiSystemDesign) -> (f64, f64) {
         overlap_dma: true,
         seed: 0,
         execute: false,
+        // Score through the online event loop in its neutral FIFO mode:
+        // bit-identical to the offline scheduler by the differential
+        // tests, so the numbers are unchanged while the probe exercises
+        // the same code path `cfdc serve --online` runs.
+        online: runtime::OnlinePolicy {
+            event_loop: true,
+            ..runtime::OnlinePolicy::default()
+        },
         ..runtime::RuntimeOptions::default()
     };
     let requests = runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed)
@@ -347,7 +355,7 @@ impl DseReport {
                  \"feasible\": {}, \"luts\": {}, \"ffs\": {}, \"dsps\": {}, \"brams\": {}, \
                  \"plm_brams\": {}, \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \
                  \"service_rps\": {:.3}, \"service_p99_s\": {:.6}, \"eval_s\": {:.6}}}{}\n",
-                o.kernel,
+                runtime::json_escape(&o.kernel),
                 p.k,
                 p.m,
                 p.sharing,
@@ -1415,8 +1423,8 @@ impl PortfolioReport {
             s.push_str(&format!(
                 "    {{\"platform\": \"{}\", \"board\": \"{}\", \"evaluated\": {}, \
                  \"feasible\": {}, \"pareto_points\": {}, \"best_total_s\": {}}}{}\n",
-                p.platform,
-                p.board,
+                runtime::json_escape(&p.platform),
+                runtime::json_escape(&p.board),
                 p.evaluated,
                 p.feasible,
                 p.pareto_points,
@@ -1439,7 +1447,7 @@ impl PortfolioReport {
             s.push_str(&format!(
                 "    {{\"platform\": \"{}\", \"clock_mhz\": {:.1}, \"k\": {}, \"m\": {}, \
                  \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \"utilization\": {:.4}}}{}\n",
-                o.platform,
+                runtime::json_escape(&o.platform),
                 o.clock_mhz,
                 p.k,
                 p.m,
@@ -1457,7 +1465,7 @@ impl PortfolioReport {
             s.push_str(&format!(
                 "    {{\"platform\": \"{}\", \"clock_mhz\": {:.1}, \"k\": {}, \"m\": {}, \
                  \"service_rps\": {:.3}, \"service_p99_s\": {:.6}, \"utilization\": {:.4}}}{}\n",
-                o.platform,
+                runtime::json_escape(&o.platform),
                 o.clock_mhz,
                 p.k,
                 p.m,
@@ -1475,7 +1483,7 @@ impl PortfolioReport {
             s.push_str(&format!(
                 "    {{\"platform\": \"{}\", \"clock_mhz\": {:.1}, \"k\": {}, \"m\": {}, \
                  \"luts\": {}, \"service_rps\": {:.3}, \"rps_per_kluts\": {:.4}}}{}\n",
-                o.platform,
+                runtime::json_escape(&o.platform),
                 o.clock_mhz,
                 p.k,
                 p.m,
@@ -1496,9 +1504,9 @@ impl PortfolioReport {
                  \"latency_cycles\": {}, \"total_s\": {:.6}, \"throughput_eps\": {:.3}, \
                  \"service_rps\": {:.3}, \"service_p99_s\": {:.6}, \
                  \"utilization\": {:.4}, \"pareto\": {}, \"service_pareto\": {}}}{}\n",
-                o.platform,
+                runtime::json_escape(&o.platform),
                 o.clock_mhz,
-                o.outcome.kernel,
+                runtime::json_escape(&o.outcome.kernel),
                 p.k,
                 p.m,
                 p.sharing,

@@ -162,12 +162,20 @@ impl ProgramArtifacts {
         let kernels: Vec<&cgen::CKernel> = self.kernels.iter().map(|a| &a.kernel).collect();
         // Timing-only runs skip the input tensors entirely (same
         // arrival stream either way, per seed).
-        let requests = if opts.execute {
+        let mut requests = if opts.execute {
             runtime::generate_requests(&modules, opts.requests, &opts.arrival, opts.seed)
         } else {
             runtime::generate_timing_requests(opts.requests, &opts.arrival, opts.seed)
         }
         .map_err(|e| FlowError::Backend(e.to_string()))?;
+        // Priority serving: requests cycle through the configured tier
+        // count in id order (tier 0 is the most urgent), the same
+        // deterministic assignment the differential tests replay.
+        if opts.online.priority_tiers > 1 {
+            for r in &mut requests {
+                r.tier = (r.id % opts.online.priority_tiers as usize) as u8;
+            }
+        }
         runtime::serve(system, &self.names, &modules, &kernels, &requests, opts)
             .map_err(|e| FlowError::Backend(e.to_string()))
     }
@@ -211,6 +219,7 @@ impl ProgramArtifacts {
             execute: false,
             faults: zynq::FaultPlan::none(),
             recovery: runtime::RecoveryPolicy::default(),
+            online: runtime::OnlinePolicy::default(),
             ..opts.clone()
         };
         Ok(self.serve(&seq)?.report)

@@ -58,8 +58,8 @@ use zynq::des::{secs, to_secs, Time};
 use zynq::fault::FaultPlan;
 
 use crate::{
-    percentile, serve, Request, RequestOutcome, RuntimeError, RuntimeOptions, ServeOutcome,
-    ServiceReport,
+    json::json_escape, percentile, serve, Request, RequestOutcome, RuntimeError, RuntimeOptions,
+    ServeOutcome, ServiceReport,
 };
 
 /// How the dispatcher picks a board for each admitted request.
@@ -190,8 +190,10 @@ pub struct FleetReport {
     pub makespan_s: f64,
     /// All requests over the fleet makespan.
     pub aggregate_rps: f64,
-    /// Completed requests over the fleet makespan.
-    pub goodput_rps: f64,
+    /// Completed requests over the fleet makespan. `None` when zero
+    /// requests completed — a total outage has no goodput, not a
+    /// goodput of 0.0 (JSON emits `null`, the table a `-`).
+    pub goodput_rps: Option<f64>,
     /// Latency statistics over all requests, measured from each
     /// request's *original* arrival (a rescued request's latency
     /// includes its time on the dead board).
@@ -584,7 +586,7 @@ pub fn serve_fleet(
         makespan_ticks,
         makespan_s,
         aggregate_rps: per_s(n),
-        goodput_rps: per_s(completed),
+        goodput_rps: (completed > 0).then(|| per_s(completed)),
         latency_mean_s: to_secs(latency_ticks.iter().sum::<u64>() / n as u64),
         latency_p50_s: to_secs(percentile(&latency_ticks, 0.50)),
         latency_p99_s: to_secs(percentile(&latency_ticks, 0.99)),
@@ -626,8 +628,11 @@ impl FleetReport {
             if self.parallel { "parallel" } else { "serial" },
         ));
         s.push_str(&format!(
-            "  aggregate {:.1} req/s | goodput {:.1} req/s over {:.4} s makespan\n",
-            self.aggregate_rps, self.goodput_rps, self.makespan_s,
+            "  aggregate {:.1} req/s | goodput {} req/s over {:.4} s makespan\n",
+            self.aggregate_rps,
+            self.goodput_rps
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+            self.makespan_s,
         ));
         s.push_str(&format!(
             "  latency mean {:.4} s | p50 {:.4} s | p99 {:.4} s | max {:.4} s\n",
@@ -685,7 +690,11 @@ impl FleetReport {
             "  \"aggregate_rps\": {:.3},\n",
             self.aggregate_rps
         ));
-        s.push_str(&format!("  \"goodput_rps\": {:.3},\n", self.goodput_rps));
+        s.push_str(&format!(
+            "  \"goodput_rps\": {},\n",
+            self.goodput_rps
+                .map_or_else(|| "null".to_string(), |v| format!("{v:.3}"))
+        ));
         s.push_str(&format!(
             "  \"latency\": {{\"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"max_s\": {:.6}}},\n",
             self.latency_mean_s, self.latency_p50_s, self.latency_p99_s, self.latency_max_s
@@ -702,8 +711,8 @@ impl FleetReport {
                  \"assigned\": {}, \"rescued_in\": {}, \"rescued_out\": {}, \
                  \"est_request_ticks\": {}, \
                  \"utilization\": {:.4}, \"rps_per_kluts\": {:.4}, \"report\": {}}}{}\n",
-                b.name,
-                b.platform,
+                json_escape(&b.name),
+                json_escape(&b.platform),
                 b.board_luts,
                 b.assigned,
                 b.rescued_in,

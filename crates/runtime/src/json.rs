@@ -1,0 +1,233 @@
+//! Shared helpers for the hand-rolled JSON emitters.
+//!
+//! Every report in this workspace emits JSON by string formatting, not
+//! through a serializer — the shapes are small and stable, and the
+//! byte-identical replay guarantee is easier to state over a fixed
+//! emitter. The one correctness hole in that approach is string
+//! interpolation: board names, fault-plan labels, and kernel names flow
+//! into the output verbatim, so a quote or backslash in a label would
+//! emit invalid JSON. [`json_escape`] closes that hole; every emitter
+//! routes externally influenced strings through it.
+//!
+//! [`validate`] is a minimal JSON parser (structure only, no value
+//! tree) used by tests to prove emitted documents stay well-formed even
+//! under hostile labels.
+
+/// Escape `s` for inclusion inside a JSON string literal (between the
+/// quotes). Escapes the two mandatory characters (`"` and `\`), the
+/// common control characters by mnemonic, and the rest of the C0 range
+/// as `\u00XX`. Clean labels pass through unchanged, so adding the
+/// escape to an emitter cannot perturb existing output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validate that `s` is one well-formed JSON document. Returns the
+/// parse error (with byte offset) if not. Numbers are checked
+/// shallowly (the emitters only write `{:.N}` floats and integers);
+/// strings accept the escapes [`json_escape`] can produce plus the
+/// rest of RFC 8259's set.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        Some(c) => Err(format!("unexpected byte {:?} at offset {i}", *c as char)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {i}"))
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while *i < b.len() && b[*i].is_ascii_digit() {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err(format!("bad number at offset {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e') | Some(b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+') | Some(b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err(format!("bad number at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        *i += 1;
+                        for _ in 0..4 {
+                            if !b.get(*i).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at offset {i}"));
+                            }
+                            *i += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at offset {i}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte at offset {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*i], b'{');
+    *i += 1;
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at offset {i}"));
+        }
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at offset {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {i}")),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*i], b'[');
+    *i += 1;
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_labels_pass_through_unchanged() {
+        for s in ["zcu106", "retries=3,deadline=0.5s", "poisson(150.0)", ""] {
+            assert_eq!(json_escape(s), s);
+        }
+    }
+
+    #[test]
+    fn hostile_labels_escape_and_validate() {
+        let nasty = "a\"b\\c\nd\te\rf\u{1}g";
+        let doc = format!("{{\"label\": \"{}\"}}", json_escape(nasty));
+        validate(&doc).unwrap();
+        assert!(!doc.contains('\n'));
+    }
+
+    #[test]
+    fn validator_accepts_report_shapes_and_rejects_breakage() {
+        validate("{\"a\": [1, 2.5, -3e4], \"b\": {\"c\": null}, \"d\": true}").unwrap();
+        assert!(validate("{\"a\": }").is_err());
+        assert!(validate("{\"a\": \"unterminated}").is_err());
+        assert!(validate("{\"a\": 1} trailing").is_err());
+        assert!(validate("{\"a\": \"raw\"quote\"}").is_err());
+    }
+}

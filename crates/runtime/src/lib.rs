@@ -51,10 +51,12 @@
 //! drives it from the command line.
 
 pub mod fleet;
+pub mod json;
 
 pub use fleet::{
     serve_fleet, BoardReport, FleetBoard, FleetOptions, FleetOutcome, FleetReport, RoutePolicy,
 };
+pub use json::json_escape;
 
 use std::collections::HashMap;
 use std::fmt;
@@ -73,6 +75,8 @@ use zynq::{SimConfig, StreamStatus};
 pub enum RuntimeError {
     /// Poisson arrivals need a positive, finite rate.
     InvalidRate { rate_rps: f64 },
+    /// An arrival-process spec that is neither `closed` nor `poisson`.
+    UnknownArrival { spec: String },
     /// A serve call with an empty request queue.
     NoRequests,
     /// A fleet serve call with an empty board list.
@@ -88,6 +92,9 @@ impl fmt::Display for RuntimeError {
                 f,
                 "poisson arrivals need a positive finite rate, got {rate_rps}"
             ),
+            RuntimeError::UnknownArrival { spec } => {
+                write!(f, "unknown arrival process '{spec}' (closed | poisson)")
+            }
             RuntimeError::NoRequests => write!(f, "no requests to serve"),
             RuntimeError::NoBoards => write!(f, "fleet serving needs at least one board"),
             RuntimeError::Exec(e) => write!(f, "request execution failed: {e}"),
@@ -110,23 +117,37 @@ pub enum Arrival {
 
 impl Arrival {
     /// Parse a CLI spec: `closed` or `poisson` (the rate comes
-    /// separately).
-    pub fn parse(s: &str, rate_rps: f64) -> Result<Arrival, String> {
-        match s {
-            "closed" => Ok(Arrival::Closed),
-            "poisson" => {
-                if rate_rps.is_finite() && rate_rps > 0.0 {
-                    Ok(Arrival::Poisson { rate_rps })
-                } else {
-                    Err(format!(
-                        "poisson arrivals need a positive finite --rate, got {rate_rps}"
-                    ))
-                }
+    /// separately). Shares [`Arrival::validate`] with the request
+    /// generators, so the CLI and the library reject exactly the same
+    /// inputs with the same structured error.
+    pub fn parse(s: &str, rate_rps: f64) -> Result<Arrival, RuntimeError> {
+        let arrival = match s {
+            "closed" => Arrival::Closed,
+            "poisson" => Arrival::Poisson { rate_rps },
+            other => {
+                return Err(RuntimeError::UnknownArrival {
+                    spec: other.to_string(),
+                })
             }
-            other => Err(format!(
-                "unknown arrival process '{other}' (closed | poisson)"
-            )),
+        };
+        arrival.validate()?;
+        Ok(arrival)
+    }
+
+    /// The one validity check for arrival processes: a Poisson rate
+    /// that is zero, negative, or non-finite is a structured
+    /// [`RuntimeError::InvalidRate`] — the interarrival draw
+    /// `-ln(1-u)/rate` would otherwise yield infinite or NaN arrival
+    /// times that poison the whole schedule.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        if let Arrival::Poisson { rate_rps } = self {
+            if !rate_rps.is_finite() || *rate_rps <= 0.0 {
+                return Err(RuntimeError::InvalidRate {
+                    rate_rps: *rate_rps,
+                });
+            }
         }
+        Ok(())
     }
 
     /// Display label.
@@ -242,6 +263,75 @@ impl RecoveryPolicy {
     }
 }
 
+/// Online serving policy: whether `serve` runs the event-loop reactor
+/// ([`zynq::simulate_online_stream`]) and which policies it arms.
+///
+/// The neutral policy on the event loop (`event_loop: true`, nothing
+/// armed) is tick- and bit-identical to the offline fold — the
+/// differential proptests at the workspace root pin the whole
+/// `ServiceReport` JSON byte for byte — so flipping the loop on is
+/// observable only through policy effects, never through numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlinePolicy {
+    /// Run the DES reactor even with no policy armed (differential
+    /// harness; also what DSE service probes use).
+    pub event_loop: bool,
+    /// p99 latency budget (SLO), seconds: arms adaptive batching (close
+    /// a round early when the oldest queued request's budget is at
+    /// risk) and sheds work that cannot complete inside the budget.
+    pub slo_s: Option<f64>,
+    /// Wait-queue depth beyond which new arrivals are shed
+    /// (backpressure under overload).
+    pub shed_queue: Option<usize>,
+    /// Priority tiers (1 = FIFO). Requests carry a [`Request::tier`]
+    /// (0 = highest); batch formation preempts lower tiers at every
+    /// round boundary.
+    pub priority_tiers: u8,
+}
+
+impl Default for OnlinePolicy {
+    fn default() -> Self {
+        OnlinePolicy {
+            event_loop: false,
+            slo_s: None,
+            shed_queue: None,
+            priority_tiers: 1,
+        }
+    }
+}
+
+impl OnlinePolicy {
+    /// Whether `serve` routes through the event loop at all.
+    pub fn enabled(&self) -> bool {
+        self.event_loop || self.armed()
+    }
+
+    /// Whether any policy deviates from FIFO capacity-fill. The report
+    /// emits its online section only when this holds, so a bare
+    /// `event_loop` run stays byte-identical to the offline scheduler.
+    pub fn armed(&self) -> bool {
+        self.slo_s.is_some() || self.shed_queue.is_some() || self.priority_tiers > 1
+    }
+
+    /// Display label (stable — part of the replayable report).
+    pub fn label(&self) -> String {
+        if !self.armed() {
+            return "fifo".into();
+        }
+        let mut parts = Vec::new();
+        if let Some(slo) = self.slo_s {
+            parts.push(format!("slo={slo}s"));
+        }
+        if let Some(q) = self.shed_queue {
+            parts.push(format!("shed={q}"));
+        }
+        if self.priority_tiers > 1 {
+            parts.push(format!("tiers={}", self.priority_tiers));
+        }
+        parts.join(",")
+    }
+}
+
 /// How one request's service ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestOutcome {
@@ -288,6 +378,9 @@ pub struct RuntimeOptions {
     /// Retry/timeout policy applied when faults (or deadlines) are
     /// armed.
     pub recovery: RecoveryPolicy,
+    /// Online serving: event-loop routing, SLO batching, priority
+    /// tiers, backpressure shedding.
+    pub online: OnlinePolicy,
     /// Host-side cost constants (the `elements` field is unused — the
     /// stream works in requests, not elements).
     pub sim: SimConfig,
@@ -304,6 +397,7 @@ impl Default for RuntimeOptions {
             execute: false,
             faults: FaultPlan::none(),
             recovery: RecoveryPolicy::default(),
+            online: OnlinePolicy::default(),
             sim: SimConfig::default(),
         }
     }
@@ -316,6 +410,9 @@ pub struct Request {
     pub id: usize,
     /// Arrival time (seconds from service start).
     pub arrival_s: f64,
+    /// Priority tier, 0 = highest. Only consulted when
+    /// [`OnlinePolicy::priority_tiers`] > 1.
+    pub tier: u8,
     /// External inputs by tensor name (program-global, as in
     /// [`zynq::run_program_chain`]).
     pub inputs: HashMap<String, Tensor>,
@@ -327,22 +424,14 @@ pub struct Request {
 /// paths (reports, benches) schedule exactly the stream the executing
 /// path would.
 ///
-/// A Poisson rate that is zero, negative, or non-finite is a structured
-/// [`RuntimeError::InvalidRate`] — the interarrival draw
-/// `-ln(1-u)/rate` would otherwise yield infinite or NaN arrival times
-/// that poison the whole schedule.
+/// Degenerate Poisson rates are rejected through the single
+/// [`Arrival::validate`] path the CLI parser also uses.
 pub fn generate_timing_requests(
     n: usize,
     arrival: &Arrival,
     seed: u64,
 ) -> Result<Vec<Request>, RuntimeError> {
-    if let Arrival::Poisson { rate_rps } = arrival {
-        if !rate_rps.is_finite() || *rate_rps <= 0.0 {
-            return Err(RuntimeError::InvalidRate {
-                rate_rps: *rate_rps,
-            });
-        }
-    }
+    arrival.validate()?;
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_A881_0CA7_F00Du64);
     let mut t = 0.0f64;
     Ok((0..n)
@@ -358,6 +447,7 @@ pub fn generate_timing_requests(
             Request {
                 id,
                 arrival_s,
+                tier: 0,
                 inputs: HashMap::new(),
             }
         })
@@ -431,8 +521,10 @@ pub struct ServiceReport {
     pub latency_p50_s: f64,
     pub latency_p99_s: f64,
     pub latency_max_s: f64,
-    /// p99 latency over completed requests only.
-    pub latency_p99_completed_s: f64,
+    /// p99 latency over completed requests only; `None` when nothing
+    /// completed (an empty set has no percentile — emitted as `null`
+    /// in JSON and `-` in tables rather than a misleading 0).
+    pub latency_p99_completed_s: Option<f64>,
     /// Fraction of DMA time hidden behind compute.
     pub overlap_fraction: f64,
     /// Reliability: terminal outcome counts.
@@ -450,12 +542,24 @@ pub struct ServiceReport {
     pub corrupt_payloads: usize,
     /// Offered load: all requests over the makespan (== throughput).
     pub offered_rps: f64,
-    /// Goodput: completed requests over the makespan.
-    pub goodput_rps: f64,
+    /// Goodput: completed requests over the makespan; `None` when
+    /// nothing completed (same empty-set semantics as
+    /// `latency_p99_completed_s`).
+    pub goodput_rps: Option<f64>,
     /// Canonical fault-plan label (`"none"` when unarmed).
     pub fault_plan: String,
     /// The recovery policy in force.
     pub recovery: RecoveryPolicy,
+    /// Whether the online event loop served this run.
+    pub online: bool,
+    /// The online policy in force (reported only when armed — a bare
+    /// event-loop run stays byte-identical to the offline report).
+    pub online_policy: OnlinePolicy,
+    /// Arrivals shed at admission by queue-depth backpressure.
+    pub backpressure_shed: usize,
+    /// Rounds the SLO batcher closed early (below capacity with more
+    /// work still on the way).
+    pub early_closed_rounds: usize,
     /// Per-request traces, in request-id order.
     pub traces: Vec<RequestTrace>,
 }
@@ -515,15 +619,40 @@ pub fn serve(
     let capacity = opts.batch.capacity(design.config.m);
     let overlap = opts.overlap_dma && opts.batch != BatchPolicy::Disabled;
     let spec = opts.recovery.to_spec();
-    let fso = zynq::simulate_faulty_stream(
-        design,
-        &opts.sim,
-        &arrivals,
-        capacity,
-        overlap,
-        &opts.faults,
-        &spec,
-    );
+    let (fso, backpressure_shed, early_closed_rounds) = if opts.online.enabled() {
+        let tiers = if order.iter().any(|&i| requests[i].tier != 0) {
+            order.iter().map(|&i| requests[i].tier).collect()
+        } else {
+            Vec::new()
+        };
+        let online_spec = zynq::OnlineSpec {
+            slo_ticks: opts.online.slo_s.map(secs),
+            max_queue: opts.online.shed_queue,
+            tiers,
+        };
+        let oo = zynq::simulate_online_stream(
+            design,
+            &opts.sim,
+            &arrivals,
+            capacity,
+            overlap,
+            &opts.faults,
+            &spec,
+            &online_spec,
+        );
+        (oo.fault, oo.backpressure_shed, oo.early_closed_rounds)
+    } else {
+        let fso = zynq::simulate_faulty_stream(
+            design,
+            &opts.sim,
+            &arrivals,
+            capacity,
+            overlap,
+            &opts.faults,
+            &spec,
+        );
+        (fso, 0, 0)
+    };
     let stream = &fso.stream;
 
     // Map the stream's arrival-order results back to request ids.
@@ -602,7 +731,8 @@ pub fn serve(
         latency_p50_s: to_secs(percentile(&latency_ticks, 0.50)),
         latency_p99_s: to_secs(percentile(&latency_ticks, 0.99)),
         latency_max_s: to_secs(*latency_ticks.last().unwrap()),
-        latency_p99_completed_s: to_secs(percentile(&completed_latency_ticks, 0.99)),
+        latency_p99_completed_s: (completed > 0)
+            .then(|| to_secs(percentile(&completed_latency_ticks, 0.99))),
         overlap_fraction: stream.overlap_fraction(),
         completed,
         retried: fso.attempts.iter().filter(|&&a| a > 1).count(),
@@ -613,9 +743,13 @@ pub fn serve(
         dma_stalls: fso.dma_stalls,
         corrupt_payloads: fso.corrupt_payloads,
         offered_rps: per_s(n),
-        goodput_rps: per_s(completed),
+        goodput_rps: (completed > 0).then(|| per_s(completed)),
         fault_plan: opts.faults.label(),
         recovery: opts.recovery,
+        online: opts.online.enabled(),
+        online_policy: opts.online.clone(),
+        backpressure_shed,
+        early_closed_rounds,
         traces,
     };
 
@@ -686,9 +820,21 @@ impl ServiceReport {
             self.completed, self.requests, self.retried, self.timed_out, self.shed, self.failed,
         ));
         s.push_str(&format!(
-            "  goodput {:.1} req/s of {:.1} offered | p99 completed {:.4} s\n",
-            self.goodput_rps, self.offered_rps, self.latency_p99_completed_s,
+            "  goodput {} req/s of {:.1} offered | p99 completed {} s\n",
+            self.goodput_rps
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+            self.offered_rps,
+            self.latency_p99_completed_s
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.4}")),
         ));
+        if self.online_policy.armed() {
+            s.push_str(&format!(
+                "  online [{}]: {} early-closed rounds, {} backpressure-shed\n",
+                self.online_policy.label(),
+                self.early_closed_rounds,
+                self.backpressure_shed,
+            ));
+        }
         if self.fault_plan != "none" {
             s.push_str(&format!(
                 "  faults [{}] policy [{}]: {} transient, {} stalls, {} corrupt\n",
@@ -708,8 +854,14 @@ impl ServiceReport {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"requests\": {},\n", self.requests));
-        s.push_str(&format!("  \"policy\": \"{}\",\n", self.policy.label()));
-        s.push_str(&format!("  \"arrival\": \"{}\",\n", self.arrival.label()));
+        s.push_str(&format!(
+            "  \"policy\": \"{}\",\n",
+            json_escape(&self.policy.label())
+        ));
+        s.push_str(&format!(
+            "  \"arrival\": \"{}\",\n",
+            json_escape(&self.arrival.label())
+        ));
         s.push_str(&format!("  \"capacity\": {},\n", self.capacity));
         s.push_str(&format!("  \"overlap_dma\": {},\n", self.overlap_dma));
         s.push_str(&format!("  \"rounds\": {},\n", self.rounds));
@@ -735,26 +887,45 @@ impl ServiceReport {
         ));
         s.push_str(&format!(
             "  \"reliability\": {{\"completed\": {}, \"retried\": {}, \"timed_out\": {}, \
-             \"shed\": {}, \"failed\": {}, \"goodput_rps\": {:.3}, \"offered_rps\": {:.3}, \
-             \"p99_completed_s\": {:.6}}},\n",
+             \"shed\": {}, \"failed\": {}, \"goodput_rps\": {}, \"offered_rps\": {:.3}, \
+             \"p99_completed_s\": {}}},\n",
             self.completed,
             self.retried,
             self.timed_out,
             self.shed,
             self.failed,
-            self.goodput_rps,
+            self.goodput_rps
+                .map_or_else(|| "null".to_string(), |v| format!("{v:.3}")),
             self.offered_rps,
             self.latency_p99_completed_s
+                .map_or_else(|| "null".to_string(), |v| format!("{v:.6}"))
         ));
         s.push_str(&format!(
             "  \"faults\": {{\"plan\": \"{}\", \"policy\": \"{}\", \"transient\": {}, \
              \"dma_stalls\": {}, \"corrupt\": {}}},\n",
-            self.fault_plan,
-            self.recovery.label(),
+            json_escape(&self.fault_plan),
+            json_escape(&self.recovery.label()),
             self.transient_faults,
             self.dma_stalls,
             self.corrupt_payloads
         ));
+        if self.online_policy.armed() {
+            s.push_str(&format!(
+                "  \"online\": {{\"policy\": \"{}\", \"slo_s\": {}, \"shed_queue\": {}, \
+                 \"priority_tiers\": {}, \"early_closed_rounds\": {}, \
+                 \"backpressure_shed\": {}}},\n",
+                json_escape(&self.online_policy.label()),
+                self.online_policy
+                    .slo_s
+                    .map_or_else(|| "null".to_string(), |v| format!("{v:.6}")),
+                self.online_policy
+                    .shed_queue
+                    .map_or_else(|| "null".to_string(), |v| v.to_string()),
+                self.online_policy.priority_tiers,
+                self.early_closed_rounds,
+                self.backpressure_shed
+            ));
+        }
         s.push_str("  \"traces\": [\n");
         for (i, t) in self.traces.iter().enumerate() {
             s.push_str(&format!(
@@ -838,6 +1009,7 @@ mod tests {
             .map(|id| Request {
                 id,
                 arrival_s: 0.0,
+                tier: 0,
                 inputs: HashMap::new(),
             })
             .collect()
@@ -1039,7 +1211,7 @@ mod tests {
                 assert_eq!(a.to_json(), b.to_json(), "JSON bytes must match");
                 assert_eq!(a.completed, 24);
                 assert_eq!(a.failed + a.shed + a.timed_out + a.retried, 0);
-                assert_eq!(a.goodput_rps, a.throughput_rps);
+                assert_eq!(a.goodput_rps, Some(a.throughput_rps));
             }
         }
     }
@@ -1062,7 +1234,7 @@ mod tests {
         assert_eq!(a.completed, 64, "enough retries to absorb 20% faults");
         assert!(a.retried > 0, "some rounds must have failed");
         assert!(a.transient_faults > 0);
-        assert!(a.goodput_rps <= a.offered_rps);
+        assert!(a.goodput_rps.unwrap() <= a.offered_rps);
         assert!(a.fault_plan.contains("transient=0.2"));
         let json = a.to_json();
         for key in [
@@ -1109,13 +1281,107 @@ mod tests {
         let out = serve(&d, &names, &modules, &kernels, &reqs, &opts).unwrap();
         assert_eq!(out.report.failed, 6);
         assert_eq!(out.report.completed, 0);
-        assert_eq!(out.report.goodput_rps, 0.0);
+        assert_eq!(out.report.goodput_rps, None);
+        assert_eq!(out.report.latency_p99_completed_s, None);
         for t in &out.report.traces {
             assert_eq!(t.outcome, RequestOutcome::Failed { attempts: 2 });
             assert_eq!(t.attempts, 2);
         }
         assert_eq!(out.outputs.len(), 6);
         assert!(out.outputs.iter().all(|o| o.is_empty()));
+    }
+
+    #[test]
+    fn total_outage_pins_the_empty_completed_set_semantics() {
+        // Board dies at t=0, never recovers: zero requests complete, so
+        // the completed-set metrics have no value — `null` in JSON and
+        // `-` in tables, never a misleading 0.
+        let d = design(vec![2], 4, &[100_000]);
+        let reqs = timing_requests(8);
+        let opts = RuntimeOptions {
+            faults: zynq::FaultPlan {
+                outage: Some(zynq::Outage {
+                    fail_at: 0,
+                    recover_at: None,
+                }),
+                ..zynq::FaultPlan::none()
+            },
+            ..timing_opts(BatchPolicy::Auto, true)
+        };
+        let r = serve(&d, &[], &[], &[], &reqs, &opts).unwrap().report;
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.shed, 8);
+        assert_eq!(r.goodput_rps, None);
+        assert_eq!(r.latency_p99_completed_s, None);
+        let j = r.to_json();
+        json::validate(&j).unwrap();
+        assert!(j.contains("\"goodput_rps\": null"), "{j}");
+        assert!(j.contains("\"p99_completed_s\": null"), "{j}");
+        let t = r.render_table();
+        assert!(t.contains("goodput - req/s"), "{t}");
+        assert!(t.contains("p99 completed - s"), "{t}");
+    }
+
+    #[test]
+    fn bare_event_loop_report_is_byte_identical_to_offline() {
+        // `--online` with no policy armed must not perturb a single
+        // byte of the report (the integration proptests randomize this
+        // further; this pins the plumbing).
+        let d = design(vec![2, 2], 4, &[100_000, 200_000]);
+        let reqs = generate_timing_requests(24, &Arrival::Poisson { rate_rps: 900.0 }, 5).unwrap();
+        for batch in [
+            BatchPolicy::Auto,
+            BatchPolicy::Fixed(2),
+            BatchPolicy::Disabled,
+        ] {
+            for overlap in [false, true] {
+                let base = timing_opts(batch, overlap);
+                let online = RuntimeOptions {
+                    online: OnlinePolicy {
+                        event_loop: true,
+                        ..OnlinePolicy::default()
+                    },
+                    ..base.clone()
+                };
+                let a = serve(&d, &[], &[], &[], &reqs, &base).unwrap().report;
+                let b = serve(&d, &[], &[], &[], &reqs, &online).unwrap().report;
+                assert!(b.online && !a.online);
+                assert_eq!(a.to_json(), b.to_json(), "bytes diverged");
+                assert_eq!(a.makespan_ticks, b.makespan_ticks);
+                assert_eq!(a.fast_forwarded_rounds, b.fast_forwarded_rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn armed_online_policies_reach_the_report_surfaces() {
+        let d = design(vec![2], 8, &[200_000]);
+        let mut reqs = timing_requests(32);
+        for r in &mut reqs {
+            r.tier = (r.id % 2) as u8;
+        }
+        let opts = RuntimeOptions {
+            online: OnlinePolicy {
+                event_loop: true,
+                slo_s: Some(0.005),
+                shed_queue: Some(16),
+                priority_tiers: 2,
+            },
+            ..timing_opts(BatchPolicy::Auto, true)
+        };
+        let r = serve(&d, &[], &[], &[], &reqs, &opts).unwrap().report;
+        let j = r.to_json();
+        json::validate(&j).unwrap();
+        assert!(j.contains("\"online\""), "{j}");
+        assert!(j.contains("\"priority_tiers\": 2"), "{j}");
+        assert!(r.render_table().contains("online ["));
+        assert!(r.backpressure_shed > 0, "32 arrivals into a 16-deep queue");
+        // Every completed request made its SLO.
+        for t in &r.traces {
+            if t.outcome == RequestOutcome::Completed {
+                assert!(t.latency_s <= 0.005 + 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   independent invocations coalesced into hardware rounds and
 //!   time-multiplexed over one system with double-buffered DMA (the
 //!   `crates/runtime` service layer drives it),
+//! * [`online`] — the online serving event loop layered on the same
+//!   round arithmetic: admission, batch formation, DMA and completion
+//!   interleave on one virtual clock, with SLO-aware adaptive batching,
+//!   priority tiers, and backpressure shedding; bit-identical to
+//!   [`stream`] under the neutral policy,
 //! * [`fault`] — deterministic fault injection for that stream: a
 //!   seeded [`FaultPlan`] perturbs the schedule with DMA stalls,
 //!   transient round errors, payload corruption and hard board
@@ -42,6 +47,7 @@ pub mod arm;
 pub mod des;
 pub mod dma;
 pub mod fault;
+pub mod online;
 pub mod sim;
 pub mod stream;
 pub mod verify;
@@ -49,6 +55,7 @@ pub mod verify;
 pub use arm::ArmCostModel;
 pub use dma::DmaModel;
 pub use fault::{FaultPlan, Outage, RecoverySpec};
+pub use online::{simulate_online_stream, OnlineOutcome, OnlineSpec};
 pub use sim::{
     program_round, simulate_hw, simulate_program, HwResult, ProgramHwResult, ProgramRound,
     SimConfig,

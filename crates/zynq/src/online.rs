@@ -1,0 +1,959 @@
+//! Online serving: a deterministic virtual-clock event loop in which
+//! admission, batch formation, DMA, and completion interleave.
+//!
+//! [`crate::stream`] folds over a pre-generated request list: every
+//! request exists before the first round is formed, and the scheduler
+//! only ever looks at the head of the queue. This module replays the
+//! same virtual clock as a *reactor*: arrivals enter the system at
+//! their arrival tick, batch formation is a decision point that can
+//! wait, close early, reorder by priority, or refuse admission — and
+//! the whole thing stays exact integer-tick arithmetic, so a neutral
+//! policy reproduces the offline scheduler bit for bit.
+//!
+//! Policies layered on the loop (all per [`OnlineSpec`]):
+//!
+//! * **SLO-aware adaptive batching** — with `slo_ticks` set, a round
+//!   below capacity waits for more arrivals while the oldest queued
+//!   request's budget still covers a full fault-free round, and closes
+//!   early the moment it no longer does. The SLO also acts as the
+//!   per-request latency budget: work that cannot complete inside it
+//!   is shed at dispatch or timed out at drain, which is what bounds
+//!   the completed-set p99 under overload.
+//! * **Priority tiers** — `tiers[pos]` classes requests (0 = highest);
+//!   batch formation takes eligible requests in `(tier, arrival)`
+//!   order, so a high tier preempts queued low-tier work at every
+//!   round boundary. Retries keep their tier.
+//! * **Backpressure shedding** — with `max_queue` set, an arrival that
+//!   finds the wait queue at depth `max_queue` is shed at its own
+//!   arrival tick instead of joining (retries are already in the
+//!   system and bypass the gate).
+//!
+//! With every policy disabled (`OnlineSpec::fifo()`) and an unarmed
+//! fault plan, the serial loop terminates through the same closed-tick
+//! fast-forward as [`crate::stream::simulate_batch_stream`] and both
+//! loops produce tick- and bit-identical [`StreamOutcome`]s — enforced
+//! by differential proptests at the workspace root.
+
+use crate::des::Time;
+use crate::fault::{FaultPlan, RecoverySpec};
+use crate::sim::{program_round, ProgramRound, SimConfig};
+use crate::stream::{
+    drain_faulty, intervals_intersection, shed_expired, FaultAcc, FaultStreamOutcome, Pend,
+    StreamStatus,
+};
+use std::collections::VecDeque;
+use sysgen::MultiSystemDesign;
+
+/// Serving policy for the online event loop.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OnlineSpec {
+    /// Per-request latency budget (p99 SLO) in ticks; also arms the
+    /// adaptive batcher. `None` = capacity-fill with no budget.
+    pub slo_ticks: Option<u64>,
+    /// Wait-queue depth beyond which new arrivals are shed. `None` =
+    /// unbounded queue.
+    pub max_queue: Option<usize>,
+    /// Priority tier per arrival-order position (0 = highest). Empty =
+    /// one tier (FIFO).
+    pub tiers: Vec<u8>,
+}
+
+impl OnlineSpec {
+    /// The neutral policy: FIFO capacity-fill, no budget, no shedding.
+    pub fn fifo() -> OnlineSpec {
+        OnlineSpec::default()
+    }
+
+    /// Whether any policy deviates from FIFO capacity-fill.
+    pub fn armed(&self) -> bool {
+        self.slo_ticks.is_some() || self.max_queue.is_some() || self.has_tiers()
+    }
+
+    fn has_tiers(&self) -> bool {
+        self.tiers.iter().any(|&t| t != 0)
+    }
+
+    fn tier_of(&self, pos: usize) -> u8 {
+        self.tiers.get(pos).copied().unwrap_or(0)
+    }
+}
+
+/// [`FaultStreamOutcome`] plus the online loop's policy counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineOutcome {
+    pub fault: FaultStreamOutcome,
+    /// Arrivals shed at admission because the wait queue was full.
+    pub backpressure_shed: usize,
+    /// Rounds dispatched below capacity because the oldest queued
+    /// request's SLO budget could no longer cover another wait.
+    pub early_closed_rounds: usize,
+}
+
+/// Serve `arrivals` (sorted arrival ticks) through the online event
+/// loop under `plan`, `rec`, and the online policy `spec`.
+///
+/// The effective per-request deadline is the tighter of `rec`'s
+/// deadline and the SLO budget. Like [`crate::simulate_faulty_stream`],
+/// an armed outage degrades double buffering to the serial loop (an
+/// outage tears down DMA and chain at one tick).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_online_stream(
+    design: &MultiSystemDesign,
+    cfg: &SimConfig,
+    arrivals: &[Time],
+    capacity: usize,
+    overlap: bool,
+    plan: &FaultPlan,
+    rec: &RecoverySpec,
+    spec: &OnlineSpec,
+) -> OnlineOutcome {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    assert!(
+        spec.tiers.is_empty() || spec.tiers.len() == arrivals.len(),
+        "tiers must be empty or one per request"
+    );
+    let capacity = capacity.clamp(1, design.config.m);
+    let round = program_round(design, cfg);
+    let overlap = overlap && design.config.ks.iter().all(|&k| design.config.m >= 2 * k);
+    let rec_eff = RecoverySpec {
+        deadline_ticks: match (spec.slo_ticks, rec.deadline_ticks) {
+            (Some(s), Some(d)) => Some(s.min(d)),
+            (Some(s), None) => Some(s),
+            (None, d) => d,
+        },
+        ..*rec
+    };
+    if overlap && plan.outage.is_none() {
+        online_overlapped(arrivals, capacity, &round, plan, &rec_eff, spec)
+    } else {
+        online_serial(arrivals, capacity, &round, plan, &rec_eff, spec)
+    }
+}
+
+/// Arrival/admission state shared by both loops: the not-yet-admitted
+/// arrival stream (only populated when backpressure is armed) and the
+/// policy counters.
+struct Reactor<'a> {
+    spec: &'a OnlineSpec,
+    incoming: VecDeque<Pend>,
+    backpressure_shed: usize,
+    early_closed_rounds: usize,
+}
+
+impl<'a> Reactor<'a> {
+    /// Split the arrival stream: without a queue bound every request
+    /// sits in the wait queue from the start (exactly the offline
+    /// fold's view); with one, arrivals are events that admission
+    /// processes at each decision point.
+    fn new(arrivals: &[Time], spec: &'a OnlineSpec) -> (Reactor<'a>, Vec<Pend>) {
+        let mk = |(pos, &a): (usize, &Time)| Pend {
+            pos,
+            arrival: a,
+            eligible: a,
+            attempts: 0,
+            failures: 0,
+        };
+        let (pending, incoming) = if spec.max_queue.is_some() {
+            (Vec::new(), arrivals.iter().enumerate().map(mk).collect())
+        } else {
+            (
+                arrivals.iter().enumerate().map(mk).collect(),
+                VecDeque::new(),
+            )
+        };
+        let st = Reactor {
+            spec,
+            incoming,
+            backpressure_shed: 0,
+            early_closed_rounds: 0,
+        };
+        (st, pending)
+    }
+
+    fn next_arrival(&self) -> Option<Time> {
+        self.incoming.front().map(|p| p.arrival)
+    }
+
+    /// Admit every arrival up to `t` into the wait queue, shedding the
+    /// ones that find it full (at their own arrival tick).
+    fn admit(&mut self, pending: &mut Vec<Pend>, acc: &mut FaultAcc, t: Time) {
+        let Some(q) = self.spec.max_queue else {
+            return;
+        };
+        let mut joined = false;
+        while self.incoming.front().is_some_and(|p| p.arrival <= t) {
+            let p = self.incoming.pop_front().unwrap();
+            if pending.len() >= q {
+                acc.resolve(&p, StreamStatus::Shed, p.arrival);
+                self.backpressure_shed += 1;
+            } else {
+                pending.push(p);
+                joined = true;
+            }
+        }
+        if joined {
+            // Retries already in the queue keep their arrival priority.
+            pending.sort_by_key(|p| p.pos);
+        }
+    }
+
+    /// Drop every unadmitted arrival (the board died with no recovery).
+    fn shed_incoming(&mut self, acc: &mut FaultAcc, at: Time) {
+        while let Some(p) = self.incoming.pop_front() {
+            let t = at.max(p.arrival);
+            acc.resolve(&p, StreamStatus::Shed, t);
+            self.backpressure_shed += 1;
+        }
+    }
+
+    fn finish(self, acc: FaultAcc, overlapped_ticks: u64, double_buffered: bool) -> OnlineOutcome {
+        OnlineOutcome {
+            fault: acc.finish(overlapped_ticks, double_buffered),
+            backpressure_shed: self.backpressure_shed,
+            early_closed_rounds: self.early_closed_rounds,
+        }
+    }
+}
+
+/// Batch-formation verdict at one decision point.
+enum Gate {
+    /// Form the round now; `early` marks an SLO-forced below-capacity
+    /// close with more work still on the way.
+    Dispatch { early: bool },
+    /// Idle until `t` (a future arrival/eligibility or the close
+    /// budget, whichever is nearer) and re-evaluate.
+    Wait(Time),
+}
+
+/// The SLO batcher: a round below capacity waits while the oldest
+/// eligible request's budget still covers a full fault-free round
+/// starting later, and closes early once it no longer does.
+fn slo_gate(
+    pending: &[Pend],
+    next_arrival: Option<Time>,
+    start: Time,
+    capacity: usize,
+    rt: u64,
+    spec: &OnlineSpec,
+) -> Gate {
+    let Some(slo) = spec.slo_ticks else {
+        return Gate::Dispatch { early: false };
+    };
+    let eligible = pending.iter().filter(|p| p.eligible <= start).count();
+    if eligible >= capacity {
+        return Gate::Dispatch { early: false };
+    }
+    // The next event that could grow the batch.
+    let next_t = pending
+        .iter()
+        .filter(|p| p.eligible > start)
+        .map(|p| p.eligible)
+        .chain(next_arrival)
+        .min();
+    let Some(next_t) = next_t else {
+        // Tail of the stream: nothing else is coming, dispatch.
+        return Gate::Dispatch { early: false };
+    };
+    let oldest = pending
+        .iter()
+        .filter(|p| p.eligible <= start)
+        .map(|p| p.arrival)
+        .min()
+        .expect("gate runs only with at least one eligible request");
+    let latest_safe = oldest.saturating_add(slo).saturating_sub(rt);
+    if start >= latest_safe {
+        return Gate::Dispatch { early: true };
+    }
+    Gate::Wait(next_t.min(latest_safe))
+}
+
+/// Pick the round's requests: eligible work in `(tier, arrival)` order
+/// up to `capacity`, returned as ascending indices into `pending`.
+fn select_fill(pending: &[Pend], spec: &OnlineSpec, start: Time, capacity: usize) -> Vec<usize> {
+    let mut fill: Vec<usize> = pending
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.eligible <= start)
+        .map(|(j, _)| j)
+        .collect();
+    if spec.has_tiers() {
+        fill.sort_by_key(|&j| (spec.tier_of(pending[j].pos), pending[j].pos));
+    }
+    fill.truncate(capacity);
+    // Ascending order so reverse-removal below stays valid.
+    fill.sort_unstable();
+    fill
+}
+
+/// The serial event loop. With every policy neutral and no faults it
+/// terminates through the same closed-tick fast-forward as the offline
+/// serial scheduler and is bit-identical to it.
+fn online_serial(
+    arrivals: &[Time],
+    capacity: usize,
+    round: &ProgramRound,
+    plan: &FaultPlan,
+    rec: &RecoverySpec,
+    spec: &OnlineSpec,
+) -> OnlineOutcome {
+    let n = arrivals.len();
+    let exec = round.exec();
+    let rt = round.total();
+    let mut acc = FaultAcc::new(n);
+    let (mut st, mut pending) = Reactor::new(arrivals, spec);
+    let collapse_allowed = !plan.armed()
+        && rec.deadline_ticks.is_none()
+        && spec.max_queue.is_none()
+        && !spec.has_tiers();
+    let mut fast_forwarded = 0usize;
+    let mut now: Time = 0;
+    let mut round_idx: u64 = 0;
+    while !pending.is_empty() || !st.incoming.is_empty() {
+        let t_min = pending
+            .iter()
+            .map(|p| p.eligible)
+            .chain(st.next_arrival())
+            .min()
+            .unwrap();
+        let mut start = now.max(t_min);
+        // Admission pauses while the board is down; without recovery the
+        // rest of the queue (admitted or not) sheds at the failure tick.
+        if let Some(o) = plan.outage {
+            if start >= o.fail_at {
+                match o.recover_at {
+                    Some(r) if start < r => start = r,
+                    Some(_) => {}
+                    None => {
+                        let at = now.max(o.fail_at);
+                        for p in std::mem::take(&mut pending) {
+                            acc.resolve(&p, StreamStatus::Shed, at);
+                        }
+                        st.shed_incoming(&mut acc, at);
+                        break;
+                    }
+                }
+            }
+        }
+        st.admit(&mut pending, &mut acc, start);
+        if pending.is_empty() {
+            // Everything arrived so far was shed at admission; the next
+            // iteration jumps to the next arrival.
+            continue;
+        }
+        if shed_expired(&mut pending, &mut acc, rec, start, rt) {
+            continue;
+        }
+        // Backpressure can shed the very arrival that set `t_min`; idle
+        // until something in the queue becomes eligible.
+        if pending.iter().all(|p| p.eligible > start) {
+            now = pending.iter().map(|p| p.eligible).min().unwrap();
+            continue;
+        }
+        // Once every remaining request is in the queue and eligible, the
+        // neutral policy's tail is the offline fast-forward, untouched.
+        if collapse_allowed && pending.last().is_some_and(|p| p.arrival <= start) {
+            let rounds = pending.len().div_ceil(capacity);
+            for (b, chunk) in pending.chunks(capacity).enumerate() {
+                acc.fills.push(chunk.len());
+                let adm = start + b as u64 * rt;
+                for p in chunk {
+                    acc.admitted[p.pos] = adm;
+                    let mut done = p.clone();
+                    done.attempts = 1;
+                    acc.resolve(&done, StreamStatus::Completed, adm + rt);
+                }
+            }
+            acc.exec_ticks += rounds as u64 * exec;
+            acc.transfer_ticks += rounds as u64 * (round.t_in + round.t_out);
+            fast_forwarded = rounds;
+            break;
+        }
+        match slo_gate(&pending, st.next_arrival(), start, capacity, rt, spec) {
+            Gate::Wait(t) => {
+                now = t;
+                continue;
+            }
+            Gate::Dispatch { early } => {
+                let fill = select_fill(&pending, spec, start, capacity);
+                round_idx += 1;
+                let stalled = plan.dma_stalls(round_idx);
+                let t_in = if stalled {
+                    acc.dma_stalls += 1;
+                    2 * round.t_in
+                } else {
+                    round.t_in
+                };
+                let in_done = start + t_in;
+                let exec_done = in_done + exec;
+                let out_done = exec_done + round.t_out;
+                // Hard failure mid-round: in-flight work is lost at the
+                // failure tick; the aborted round bills nothing and does
+                // not consume an attempt.
+                if let Some(o) = plan.outage {
+                    if o.fail_at > start && o.fail_at <= out_done {
+                        acc.outage_requeues += fill.len();
+                        for &j in &fill {
+                            pending[j].eligible = o.recover_at.unwrap_or(Time::MAX);
+                        }
+                        now = o.fail_at;
+                        acc.makespan = acc.makespan.max(now);
+                        continue;
+                    }
+                }
+                for &j in &fill {
+                    let p = &mut pending[j];
+                    p.attempts += 1;
+                    acc.admitted[p.pos] = start;
+                }
+                acc.fills.push(fill.len());
+                if early {
+                    st.early_closed_rounds += 1;
+                }
+                if plan.round_fails(round_idx) {
+                    acc.transient_faults += 1;
+                    acc.exec_ticks += exec;
+                    acc.transfer_ticks += t_in;
+                    now = exec_done;
+                    acc.makespan = acc.makespan.max(now);
+                    for &j in fill.iter().rev() {
+                        pending[j].failures += 1;
+                        if pending[j].failures > rec.max_retries {
+                            let p = pending.remove(j);
+                            acc.resolve(&p, StreamStatus::Failed, exec_done);
+                        } else {
+                            let f = pending[j].failures;
+                            pending[j].eligible = exec_done + rec.backoff_after(f);
+                        }
+                    }
+                    continue;
+                }
+                acc.exec_ticks += exec;
+                acc.transfer_ticks += t_in + round.t_out;
+                now = out_done;
+                acc.makespan = acc.makespan.max(now);
+                for &j in fill.iter().rev() {
+                    let p = &mut pending[j];
+                    if plan.corrupts(p.pos as u64, p.attempts) {
+                        acc.corrupt_payloads += 1;
+                        p.failures += 1;
+                        if p.failures > rec.max_retries {
+                            let p = pending.remove(j);
+                            acc.resolve(&p, StreamStatus::Failed, out_done);
+                        } else {
+                            let f = p.failures;
+                            pending[j].eligible = out_done + rec.backoff_after(f);
+                        }
+                    } else {
+                        let status = match rec.deadline_ticks {
+                            Some(d) if out_done > p.arrival.saturating_add(d) => {
+                                StreamStatus::TimedOut
+                            }
+                            _ => StreamStatus::Completed,
+                        };
+                        let p = pending.remove(j);
+                        acc.resolve(&p, status, out_done);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = st.finish(acc, 0, false);
+    out.fault.stream.fast_forwarded_rounds = fast_forwarded;
+    out
+}
+
+/// The double-buffered event loop (no outage — see
+/// [`simulate_online_stream`]). With every policy neutral it is
+/// bit-identical to the offline overlapped scheduler.
+fn online_overlapped(
+    arrivals: &[Time],
+    capacity: usize,
+    round: &ProgramRound,
+    plan: &FaultPlan,
+    rec: &RecoverySpec,
+    spec: &OnlineSpec,
+) -> OnlineOutcome {
+    let n = arrivals.len();
+    let exec = round.exec();
+    let rt = round.total();
+    let mut acc = FaultAcc::new(n);
+    let (mut st, mut pending) = Reactor::new(arrivals, spec);
+    let mut dma_iv: Vec<(Time, Time)> = Vec::new();
+    let mut chain_iv: Vec<(Time, Time)> = Vec::new();
+    let mut dma_free: Time = 0;
+    let mut chain_free: Time = 0;
+    let mut pending_out: Option<(Time, Vec<Pend>)> = None;
+    let mut round_idx: u64 = 0;
+    // While the SLO batcher idles, the decision point is pinned forward
+    // of every already-known event; reset at each dispatch.
+    let mut wait_floor: Time = 0;
+    while !pending.is_empty() || pending_out.is_some() || !st.incoming.is_empty() {
+        if pending.is_empty() && st.incoming.is_empty() {
+            let (ready, ents) = pending_out.take().unwrap();
+            drain_faulty(
+                ready,
+                ents,
+                round,
+                plan,
+                rec,
+                &mut acc,
+                &mut pending,
+                &mut dma_free,
+                &mut dma_iv,
+            );
+            continue;
+        }
+        let t_min = pending
+            .iter()
+            .map(|p| p.eligible)
+            .chain(st.next_arrival())
+            .min()
+            .unwrap()
+            .max(wait_floor);
+        // Sparse queue: drain a finished round if it fits before the
+        // next load could even start.
+        if let Some((ready, _)) = &pending_out {
+            let out_start = (*ready).max(dma_free);
+            if out_start + round.t_out <= t_min {
+                let (ready, ents) = pending_out.take().unwrap();
+                drain_faulty(
+                    ready,
+                    ents,
+                    round,
+                    plan,
+                    rec,
+                    &mut acc,
+                    &mut pending,
+                    &mut dma_free,
+                    &mut dma_iv,
+                );
+                continue;
+            }
+        }
+        let load_at = dma_free.max(t_min);
+        st.admit(&mut pending, &mut acc, load_at);
+        if pending.is_empty() {
+            continue;
+        }
+        if shed_expired(&mut pending, &mut acc, rec, load_at, rt) {
+            continue;
+        }
+        // Backpressure can shed the arrival that set `t_min`; idle until
+        // the next queue eligibility or arrival.
+        if pending.iter().all(|p| p.eligible > load_at) {
+            let nxt = pending.iter().map(|p| p.eligible).min().unwrap();
+            wait_floor = st.next_arrival().map_or(nxt, |a| nxt.min(a));
+            continue;
+        }
+        match slo_gate(&pending, st.next_arrival(), load_at, capacity, rt, spec) {
+            Gate::Wait(t) => {
+                wait_floor = t;
+                continue;
+            }
+            Gate::Dispatch { early } => {
+                let fill = select_fill(&pending, spec, load_at, capacity);
+                let mut ents: Vec<Pend> = Vec::with_capacity(fill.len());
+                for &j in fill.iter().rev() {
+                    ents.push(pending.remove(j));
+                }
+                ents.reverse();
+                wait_floor = 0;
+                round_idx += 1;
+                let stalled = plan.dma_stalls(round_idx);
+                let t_in = if stalled {
+                    acc.dma_stalls += 1;
+                    2 * round.t_in
+                } else {
+                    round.t_in
+                };
+                let in_done = load_at + t_in;
+                dma_free = in_done;
+                acc.transfer_ticks += t_in;
+                dma_iv.push((load_at, in_done));
+                for p in &mut ents {
+                    p.attempts += 1;
+                    acc.admitted[p.pos] = load_at;
+                }
+                acc.fills.push(ents.len());
+                if early {
+                    st.early_closed_rounds += 1;
+                }
+                let exec_start = in_done.max(chain_free);
+                let exec_done = exec_start + exec;
+                chain_free = exec_done;
+                acc.exec_ticks += exec;
+                chain_iv.push((exec_start, exec_done));
+                acc.makespan = acc.makespan.max(exec_done);
+                // Drain the previous round's outputs while this one
+                // executes.
+                if let Some((ready, prev)) = pending_out.take() {
+                    drain_faulty(
+                        ready,
+                        prev,
+                        round,
+                        plan,
+                        rec,
+                        &mut acc,
+                        &mut pending,
+                        &mut dma_free,
+                        &mut dma_iv,
+                    );
+                }
+                if plan.round_fails(round_idx) {
+                    acc.transient_faults += 1;
+                    let mut requeued = false;
+                    for mut p in ents {
+                        p.failures += 1;
+                        if p.failures > rec.max_retries {
+                            acc.resolve(&p, StreamStatus::Failed, exec_done);
+                        } else {
+                            p.eligible = exec_done + rec.backoff_after(p.failures);
+                            pending.push(p);
+                            requeued = true;
+                        }
+                    }
+                    if requeued {
+                        pending.sort_by_key(|p| p.pos);
+                    }
+                } else {
+                    pending_out = Some((exec_done, ents));
+                }
+            }
+        }
+    }
+    let overlapped = intervals_intersection(&dma_iv, &chain_iv);
+    st.finish(acc, overlapped, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::secs;
+    use crate::fault::Outage;
+    use crate::stream::{simulate_batch_stream, simulate_faulty_stream};
+    use sysgen::Platform;
+
+    fn design() -> MultiSystemDesign {
+        let platform = Platform::zcu106();
+        let stages: Vec<(String, hls::HlsReport)> = [200_000u64, 300_000]
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                (
+                    format!("stage{i}"),
+                    hls::HlsReport {
+                        kernel: format!("stage{i}"),
+                        clock_mhz: platform.default_clock_mhz,
+                        latency_cycles: l,
+                        luts: 2_314,
+                        ffs: 2_999,
+                        dsps: 15,
+                        brams: 0,
+                        loops: vec![],
+                    },
+                )
+            })
+            .collect();
+        let memory = mnemosyne::MemorySubsystem {
+            units: vec![],
+            brams: 16,
+            luts: 450,
+            ffs: 250,
+        };
+        let cfg = sysgen::ProgramSystemConfig {
+            ks: vec![2, 2],
+            m: 8,
+        };
+        let host = sysgen::ProgramHostProgram {
+            config: cfg.clone(),
+            stage_names: stages.iter().map(|(n, _)| n.clone()).collect(),
+            bytes_in_per_element: (121 + 2 * 1331) * 8,
+            bytes_out_per_element: 1331 * 8,
+            handoff_bytes_per_element: 0,
+        };
+        MultiSystemDesign::build(&platform, &stages, &memory, cfg, host).unwrap()
+    }
+
+    fn poisson_like(n: usize, gap: Time) -> Vec<Time> {
+        // Deterministic "bursty" arrivals: pairs arrive together, pairs
+        // separated by `gap`.
+        (0..n).map(|i| (i as Time / 2) * gap).collect()
+    }
+
+    #[test]
+    fn neutral_fifo_is_bit_identical_to_the_offline_scheduler() {
+        let d = design();
+        let cfg = SimConfig::default();
+        let arrivals = poisson_like(24, secs(0.0004));
+        for overlap in [false, true] {
+            for capacity in [1, 3, d.config.m] {
+                let offline = simulate_batch_stream(&d, &cfg, &arrivals, capacity, overlap);
+                let online = simulate_online_stream(
+                    &d,
+                    &cfg,
+                    &arrivals,
+                    capacity,
+                    overlap,
+                    &FaultPlan::none(),
+                    &RecoverySpec::default(),
+                    &OnlineSpec::fifo(),
+                );
+                assert_eq!(online.fault.stream, offline);
+                assert_eq!(online.backpressure_shed, 0);
+                assert_eq!(online.early_closed_rounds, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn neutral_fifo_matches_the_fault_loops_under_an_armed_plan() {
+        let d = design();
+        let cfg = SimConfig::default();
+        let arrivals = poisson_like(20, secs(0.0003));
+        let plans = [
+            FaultPlan::transient(7, 0.2),
+            FaultPlan::parse("11:transient=0.15,stall=0.3,corrupt=0.1").unwrap(),
+            FaultPlan::parse("3:fail=0.002,recover=0.004").unwrap(),
+        ];
+        let rec = RecoverySpec {
+            backoff_ticks: secs(0.0001),
+            ..RecoverySpec::default()
+        };
+        for plan in &plans {
+            for overlap in [false, true] {
+                let offline = simulate_faulty_stream(&d, &cfg, &arrivals, 4, overlap, plan, &rec);
+                let online = simulate_online_stream(
+                    &d,
+                    &cfg,
+                    &arrivals,
+                    4,
+                    overlap,
+                    plan,
+                    &rec,
+                    &OnlineSpec::fifo(),
+                );
+                assert_eq!(online.fault, offline, "plan {}", plan.label());
+            }
+        }
+    }
+
+    #[test]
+    fn slo_budget_bounds_completed_latency_under_overload() {
+        let d = design();
+        let cfg = SimConfig::default();
+        // Everyone arrives at once: far more work than one round's SLO
+        // can cover.
+        let arrivals = vec![0; 48];
+        let rt = program_round(&d, &cfg).total();
+        let slo = 3 * rt;
+        let spec = OnlineSpec {
+            slo_ticks: Some(slo),
+            ..OnlineSpec::fifo()
+        };
+        let out = simulate_online_stream(
+            &d,
+            &cfg,
+            &arrivals,
+            4,
+            false,
+            &FaultPlan::none(),
+            &RecoverySpec::default(),
+            &spec,
+        );
+        let mut completed = 0;
+        let mut timed_out = 0;
+        for (pos, s) in out.fault.statuses.iter().enumerate() {
+            match s {
+                StreamStatus::Completed => {
+                    completed += 1;
+                    assert!(out.fault.stream.completion_ticks[pos] <= slo);
+                }
+                StreamStatus::TimedOut => timed_out += 1,
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+        assert!(completed > 0, "some requests beat the budget");
+        assert!(timed_out > 0, "overload must time the tail out");
+    }
+
+    #[test]
+    fn slo_batcher_waits_to_fill_and_closes_early() {
+        let d = design();
+        let cfg = SimConfig::default();
+        let rt = program_round(&d, &cfg).total();
+        // Second request lands well inside the first one's budget: the
+        // batcher waits, coalesces both into one round, and still makes
+        // the deadline. Capacity-fill would burn two rounds.
+        let arrivals = vec![0, rt / 2];
+        let spec = OnlineSpec {
+            slo_ticks: Some(4 * rt),
+            ..OnlineSpec::fifo()
+        };
+        let out = simulate_online_stream(
+            &d,
+            &cfg,
+            &arrivals,
+            4,
+            false,
+            &FaultPlan::none(),
+            &RecoverySpec::default(),
+            &spec,
+        );
+        assert_eq!(out.fault.stream.round_fills, vec![2]);
+        let fifo = simulate_online_stream(
+            &d,
+            &cfg,
+            &arrivals,
+            4,
+            false,
+            &FaultPlan::none(),
+            &RecoverySpec::default(),
+            &OnlineSpec::fifo(),
+        );
+        assert_eq!(fifo.fault.stream.round_fills, vec![1, 1]);
+        // A second arrival past the close budget forces an early,
+        // below-capacity round; both requests still make their budgets.
+        let tight = OnlineSpec {
+            slo_ticks: Some(2 * rt),
+            ..OnlineSpec::fifo()
+        };
+        let out = simulate_online_stream(
+            &d,
+            &cfg,
+            &[0, 3 * rt / 2],
+            4,
+            false,
+            &FaultPlan::none(),
+            &RecoverySpec::default(),
+            &tight,
+        );
+        assert_eq!(out.fault.stream.round_fills, vec![1, 1]);
+        assert!(out.early_closed_rounds >= 1);
+        assert!(out
+            .fault
+            .statuses
+            .iter()
+            .all(|s| *s == StreamStatus::Completed));
+    }
+
+    #[test]
+    fn priority_tiers_preempt_at_round_boundaries() {
+        let d = design();
+        let cfg = SimConfig::default();
+        let arrivals = vec![0; 6];
+        let spec = OnlineSpec {
+            tiers: vec![1, 1, 1, 0, 0, 0],
+            ..OnlineSpec::fifo()
+        };
+        let out = simulate_online_stream(
+            &d,
+            &cfg,
+            &arrivals,
+            3,
+            false,
+            &FaultPlan::none(),
+            &RecoverySpec::default(),
+            &spec,
+        );
+        let adm = &out.fault.stream.admitted_ticks;
+        // Tier 0 (positions 3..6) rides the first round.
+        assert!(adm[3] < adm[0] && adm[4] < adm[1] && adm[5] < adm[2]);
+        assert!(out
+            .fault
+            .statuses
+            .iter()
+            .all(|s| *s == StreamStatus::Completed));
+    }
+
+    #[test]
+    fn backpressure_sheds_arrivals_beyond_the_queue_bound() {
+        let d = design();
+        let cfg = SimConfig::default();
+        let arrivals = vec![0; 10];
+        let spec = OnlineSpec {
+            max_queue: Some(2),
+            ..OnlineSpec::fifo()
+        };
+        let out = simulate_online_stream(
+            &d,
+            &cfg,
+            &arrivals,
+            1,
+            false,
+            &FaultPlan::none(),
+            &RecoverySpec::default(),
+            &spec,
+        );
+        assert_eq!(out.backpressure_shed, 8);
+        let shed = out
+            .fault
+            .statuses
+            .iter()
+            .filter(|s| **s == StreamStatus::Shed)
+            .count();
+        assert_eq!(shed, 8);
+        let completed = out
+            .fault
+            .statuses
+            .iter()
+            .filter(|s| **s == StreamStatus::Completed)
+            .count();
+        assert_eq!(completed, 2);
+    }
+
+    #[test]
+    fn outage_without_recovery_sheds_unadmitted_arrivals_too() {
+        let d = design();
+        let cfg = SimConfig::default();
+        let arrivals: Vec<Time> = (0..8).map(|i| i * secs(0.01)).collect();
+        let plan = FaultPlan {
+            outage: Some(Outage {
+                fail_at: secs(0.015),
+                recover_at: None,
+            }),
+            ..FaultPlan::none()
+        };
+        let spec = OnlineSpec {
+            max_queue: Some(4),
+            ..OnlineSpec::fifo()
+        };
+        let out = simulate_online_stream(
+            &d,
+            &cfg,
+            &arrivals,
+            2,
+            true,
+            &plan,
+            &RecoverySpec::default(),
+            &spec,
+        );
+        assert_eq!(out.fault.statuses.len(), 8);
+        assert!(out.fault.statuses.contains(&StreamStatus::Shed));
+        // Every request resolved one way or another.
+        assert!(out
+            .fault
+            .statuses
+            .iter()
+            .all(|s| matches!(s, StreamStatus::Completed | StreamStatus::Shed)));
+    }
+
+    #[test]
+    fn online_replays_identically() {
+        let d = design();
+        let cfg = SimConfig::default();
+        let arrivals = poisson_like(16, secs(0.0002));
+        let spec = OnlineSpec {
+            slo_ticks: Some(secs(0.01)),
+            max_queue: Some(8),
+            tiers: (0..16).map(|i| (i % 2) as u8).collect(),
+        };
+        let plan = FaultPlan::parse("5:transient=0.1,corrupt=0.1").unwrap();
+        let rec = RecoverySpec::default();
+        let a = simulate_online_stream(&d, &cfg, &arrivals, 3, true, &plan, &rec, &spec);
+        let b = simulate_online_stream(&d, &cfg, &arrivals, 3, true, &plan, &rec, &spec);
+        assert_eq!(a, b);
+    }
+}

@@ -388,37 +388,37 @@ pub fn simulate_faulty_stream(
 
 /// A request still waiting (or retrying) in the fault-aware scheduler.
 #[derive(Debug, Clone)]
-struct Pend {
+pub(crate) struct Pend {
     /// Arrival-order position (the request's identity in fault draws).
-    pos: usize,
-    arrival: Time,
+    pub(crate) pos: usize,
+    pub(crate) arrival: Time,
     /// Earliest tick the request may join a round (arrival, then
     /// retry-backoff or outage-recovery times).
-    eligible: Time,
-    attempts: u32,
-    failures: u32,
+    pub(crate) eligible: Time,
+    pub(crate) attempts: u32,
+    pub(crate) failures: u32,
 }
 
 /// Per-request resolution arrays + aggregate counters shared by both
 /// fault-aware loops.
-struct FaultAcc {
-    admitted: Vec<Time>,
-    completion: Vec<Time>,
-    resolved: Vec<Time>,
-    statuses: Vec<StreamStatus>,
-    attempts: Vec<u32>,
-    fills: Vec<usize>,
-    exec_ticks: u64,
-    transfer_ticks: u64,
-    makespan: Time,
-    dma_stalls: usize,
-    transient_faults: usize,
-    corrupt_payloads: usize,
-    outage_requeues: usize,
+pub(crate) struct FaultAcc {
+    pub(crate) admitted: Vec<Time>,
+    pub(crate) completion: Vec<Time>,
+    pub(crate) resolved: Vec<Time>,
+    pub(crate) statuses: Vec<StreamStatus>,
+    pub(crate) attempts: Vec<u32>,
+    pub(crate) fills: Vec<usize>,
+    pub(crate) exec_ticks: u64,
+    pub(crate) transfer_ticks: u64,
+    pub(crate) makespan: Time,
+    pub(crate) dma_stalls: usize,
+    pub(crate) transient_faults: usize,
+    pub(crate) corrupt_payloads: usize,
+    pub(crate) outage_requeues: usize,
 }
 
 impl FaultAcc {
-    fn new(n: usize) -> FaultAcc {
+    pub(crate) fn new(n: usize) -> FaultAcc {
         FaultAcc {
             admitted: vec![0; n],
             completion: vec![0; n],
@@ -437,7 +437,7 @@ impl FaultAcc {
     }
 
     /// Record a request's terminal state.
-    fn resolve(&mut self, p: &Pend, status: StreamStatus, at: Time) {
+    pub(crate) fn resolve(&mut self, p: &Pend, status: StreamStatus, at: Time) {
         self.statuses[p.pos] = status;
         self.attempts[p.pos] = p.attempts;
         self.resolved[p.pos] = at;
@@ -445,7 +445,7 @@ impl FaultAcc {
         self.makespan = self.makespan.max(at);
     }
 
-    fn finish(self, overlapped_ticks: u64, double_buffered: bool) -> FaultStreamOutcome {
+    pub(crate) fn finish(self, overlapped_ticks: u64, double_buffered: bool) -> FaultStreamOutcome {
         FaultStreamOutcome {
             stream: StreamOutcome {
                 admitted_ticks: self.admitted,
@@ -472,7 +472,7 @@ impl FaultAcc {
 /// Time out every eligible request whose latency budget cannot cover
 /// even a fault-free round starting at `start`. Returns true if any
 /// request was shed (the caller re-derives its round start).
-fn shed_expired(
+pub(crate) fn shed_expired(
     pending: &mut Vec<Pend>,
     acc: &mut FaultAcc,
     rec: &RecoverySpec,
@@ -644,7 +644,7 @@ fn stream_faulty_serial(
 /// checksum each payload, resolve the clean ones, requeue (or fail) the
 /// corrupted ones.
 #[allow(clippy::too_many_arguments)]
-fn drain_faulty(
+pub(crate) fn drain_faulty(
     ready: Time,
     ents: Vec<Pend>,
     round: &ProgramRound,
@@ -842,7 +842,7 @@ fn stream_faulty_overlapped(
 /// Total intersection of two interval lists, each sorted by start and
 /// internally non-overlapping (each models one serially reused
 /// resource).
-fn intervals_intersection(a: &[(Time, Time)], b: &[(Time, Time)]) -> u64 {
+pub(crate) fn intervals_intersection(a: &[(Time, Time)], b: &[(Time, Time)]) -> u64 {
     let mut total = 0u64;
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {

@@ -144,6 +144,7 @@ proptest! {
                 id,
                 arrival_s: ms as f64 * 1e-3,
                 inputs: zynq::random_program_inputs(&modules, seed.wrapping_add(id as u64)),
+                tier: 0,
             })
             .collect();
         let opts = RuntimeOptions {
